@@ -1,0 +1,46 @@
+//! Simulator event-throughput benchmarks: how much simulated time per
+//! wall-clock second the discrete-event engine delivers on the standard
+//! workloads. Useful for keeping the figure harness fast as the engine
+//! evolves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
+use rstorm_sim::{SimConfig, Simulation};
+use rstorm_workloads::{clusters, micro, yahoo};
+use rstorm_topology::Topology;
+
+fn bench_simulation(c: &mut Criterion) {
+    let cluster = clusters::emulab_micro();
+    let mut group = c.benchmark_group("simulate_10s");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, Topology)> = vec![
+        ("linear-net", micro::linear_network_bound()),
+        ("linear-cpu", micro::linear_cpu_bound()),
+        ("page-load", yahoo::page_load()),
+        ("processing", yahoo::processing()),
+    ];
+
+    for (name, topology) in cases {
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .expect("bundled workloads are feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(topology, assignment),
+            |b, (topology, assignment)| {
+                b.iter(|| {
+                    let config = SimConfig::default().with_sim_time_ms(10_000.0);
+                    let mut sim = Simulation::new(cluster.clone(), config);
+                    sim.add_topology(topology, assignment);
+                    sim.run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 10: average CPU utilization of the machines used, default Storm
+//! vs R-Storm, for the computation-time-bound micro-benchmarks.
+//!
+//! Paper result (§6.3.2): R-Storm's average CPU utilization is 69%, 91%
+//! and 350% higher than default Storm's for the Linear, Diamond and Star
+//! topologies respectively, because R-Storm satisfies the same workload
+//! with roughly half the machines.
+
+use rstorm_bench::{config_from_args, figure_header, Comparison};
+use rstorm_metrics::text_table;
+use rstorm_workloads::{clusters, micro};
+
+fn main() {
+    let config = config_from_args();
+    let cluster = clusters::emulab_micro();
+
+    figure_header(
+        "Fig 10 (CPU utilization comparison)",
+        "R-Storm +69% (Linear), +91% (Diamond), +350% (Star) average CPU utilization",
+    );
+
+    let cases = [
+        ("linear", micro::linear_cpu_bound(), 69.0),
+        ("diamond", micro::diamond_cpu_bound(), 91.0),
+        ("star", micro::star_cpu_bound(), 350.0),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, topology, paper_pct) in cases {
+        let cmp = Comparison::run(&topology, &cluster, config.clone());
+        let r = cmp.rstorm.mean_used_cpu_utilization.mean * 100.0;
+        let d = cmp.default.mean_used_cpu_utilization.mean * 100.0;
+        let improvement = if d > 0.0 { (r / d - 1.0) * 100.0 } else { f64::INFINITY };
+        rows.push(vec![
+            name.to_owned(),
+            format!("{d:.0}% ({} nodes)", cmp.default.used_nodes),
+            format!("{r:.0}% ({} nodes)", cmp.rstorm.used_nodes),
+            format!("{improvement:+.0}%"),
+            format!("{paper_pct:+.0}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        text_table(
+            &["topology", "default util", "r-storm util", "measured", "paper"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 12: throughput of the Yahoo! production topologies, each run
+//! alone on the 12-node cluster.
+//!
+//! Paper result (§6.4): "the Page Load and Processing Topologies have 50%
+//! and 47% better overall throughput, respectively, when scheduled by
+//! R-Storm as compared to Storm's default scheduler."
+
+use rstorm_bench::{config_from_args, figure_header, Comparison};
+use rstorm_workloads::{clusters, yahoo};
+
+fn main() {
+    let config = config_from_args();
+    let cluster = clusters::emulab_micro();
+
+    let cases = [
+        ("Fig 12a (Yahoo PageLoad)", yahoo::page_load(), "+50%"),
+        ("Fig 12b (Yahoo Processing)", yahoo::processing(), "+47%"),
+    ];
+
+    for (name, topology, paper) in cases {
+        figure_header(name, &format!("R-Storm ≈ {paper} throughput vs default"));
+        let cmp = Comparison::run(&topology, &cluster, config.clone());
+        println!("{}", cmp.timeline_table());
+        println!("measured: {}", cmp.summary_line());
+        println!();
+    }
+}

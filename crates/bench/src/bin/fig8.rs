@@ -1,0 +1,29 @@
+//! Figure 8: throughput of the network-bound micro-benchmark topologies
+//! (Linear 8a, Diamond 8b, Star 8c), R-Storm vs Storm's default scheduler.
+//!
+//! Paper result: "scheduling computed by R-Storm provides on average of
+//! around 50%, 30%, and 47% higher throughput than that computed by
+//! Storm's default scheduler, for the Linear, Diamond, and Star
+//! Topologies, respectively" (§6.3.1).
+
+use rstorm_bench::{config_from_args, figure_header, Comparison};
+use rstorm_workloads::{clusters, micro};
+
+fn main() {
+    let config = config_from_args();
+    let cluster = clusters::emulab_micro();
+
+    let cases = [
+        ("Fig 8a (Linear, network-bound)", micro::linear_network_bound(), "+50%"),
+        ("Fig 8b (Diamond, network-bound)", micro::diamond_network_bound(), "+30%"),
+        ("Fig 8c (Star, network-bound)", micro::star_network_bound(), "+47%"),
+    ];
+
+    for (name, topology, paper) in cases {
+        figure_header(name, &format!("R-Storm ≈ {paper} throughput vs default"));
+        let cmp = Comparison::run(&topology, &cluster, config.clone());
+        println!("{}", cmp.timeline_table());
+        println!("measured: {}", cmp.summary_line());
+        println!();
+    }
+}

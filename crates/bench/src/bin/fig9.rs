@@ -1,0 +1,51 @@
+//! Figure 9: throughput of the computation-time-bound micro-benchmark
+//! topologies (Linear 9a, Diamond 9b, Star 9c).
+//!
+//! Paper result (§6.3.2): for Linear and Diamond, "the throughput of a
+//! scheduling by R-Storm using 6 (resp. 7) machines is similar to that of
+//! Storm's default scheduler using 12 machines"; for Star, "even when
+//! R-Storm was using half of the machines ... R-Storm still had much
+//! higher throughput" because the default schedule over-utilizes one
+//! machine and that bottleneck throttles the topology.
+
+use rstorm_bench::{config_from_args, figure_header, Comparison};
+use rstorm_workloads::{clusters, micro};
+
+fn main() {
+    let config = config_from_args();
+    let cluster = clusters::emulab_micro();
+
+    let cases = [
+        (
+            "Fig 9a (Linear, CPU-bound)",
+            micro::linear_cpu_bound(),
+            "equal throughput on ~half the machines",
+        ),
+        (
+            "Fig 9b (Diamond, CPU-bound)",
+            micro::diamond_cpu_bound(),
+            "equal throughput on ~half the machines",
+        ),
+        (
+            "Fig 9c (Star, CPU-bound)",
+            micro::star_cpu_bound(),
+            "R-Storm much higher; default bottlenecked by one machine",
+        ),
+    ];
+
+    for (name, topology, paper) in cases {
+        figure_header(name, paper);
+        let cmp = Comparison::run(&topology, &cluster, config.clone());
+        println!("{}", cmp.timeline_table());
+        println!("measured: {}", cmp.summary_line());
+        println!(
+            "mean used-machine CPU utilization: r-storm {:.0}% over {} nodes, \
+             default {:.0}% over {} nodes",
+            cmp.rstorm.mean_used_cpu_utilization.mean * 100.0,
+            cmp.rstorm.used_nodes,
+            cmp.default.mean_used_cpu_utilization.mean * 100.0,
+            cmp.default.used_nodes,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,313 @@
+//! The `rstorm` command-line interface: schedule, verify, simulate and
+//! compare topologies described in plain-text spec files (see the
+//! `rstorm-spec` crate for the formats).
+//!
+//! ```text
+//! rstorm schedule --topology topo.spec --cluster cluster.spec [--scheduler NAME]
+//! rstorm simulate --topology topo.spec --cluster cluster.spec [--duration-s N] [--seed N]
+//! rstorm compare  --topology topo.spec --cluster cluster.spec [--duration-s N]
+//! rstorm example-specs
+//! ```
+
+use rstorm_cluster::Cluster;
+use rstorm_core::schedulers::{EvenScheduler, OfflineLinearizationScheduler, RandomScheduler};
+use rstorm_core::{verify_plan, GlobalState, RStormScheduler, Scheduler};
+use rstorm_metrics::text_table;
+use rstorm_sim::{SimConfig, SimReport, Simulation};
+use rstorm_spec::{parse_cluster, parse_topology};
+use rstorm_topology::Topology;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rstorm — resource-aware scheduling for Storm-style topologies
+
+USAGE:
+    rstorm schedule --topology FILE --cluster FILE [--scheduler NAME]
+    rstorm simulate --topology FILE --cluster FILE [--scheduler NAME]
+                    [--duration-s N] [--seed N]
+    rstorm compare  --topology FILE --cluster FILE [--duration-s N] [--seed N]
+    rstorm example-specs
+
+SCHEDULERS:
+    rstorm (default), default (Storm's round-robin), offline, random
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "schedule" => schedule_cmd(&parse_flags(&args[1..])?),
+        "simulate" => simulate_cmd(&parse_flags(&args[1..])?),
+        "compare" => compare_cmd(&parse_flags(&args[1..])?),
+        "example-specs" => {
+            print_example_specs();
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn load_inputs(flags: &BTreeMap<String, String>) -> Result<(Topology, Cluster), String> {
+    let topology_path = flags
+        .get("topology")
+        .ok_or("--topology FILE is required")?;
+    let cluster_path = flags.get("cluster").ok_or("--cluster FILE is required")?;
+    let topology_text = std::fs::read_to_string(topology_path)
+        .map_err(|e| format!("reading {topology_path}: {e}"))?;
+    let cluster_text = std::fs::read_to_string(cluster_path)
+        .map_err(|e| format!("reading {cluster_path}: {e}"))?;
+    let topology =
+        parse_topology(&topology_text).map_err(|e| format!("{topology_path}: {e}"))?;
+    let cluster = parse_cluster(&cluster_text).map_err(|e| format!("{cluster_path}: {e}"))?;
+    Ok((topology, cluster))
+}
+
+fn make_scheduler(flags: &BTreeMap<String, String>) -> Result<Box<dyn Scheduler>, String> {
+    match flags.get("scheduler").map(String::as_str) {
+        None | Some("rstorm") => Ok(Box::new(RStormScheduler::new())),
+        Some("default") | Some("even") => Ok(Box::new(EvenScheduler::new())),
+        Some("offline") => Ok(Box::new(OfflineLinearizationScheduler::new())),
+        Some("random") => Ok(Box::new(RandomScheduler::default())),
+        Some(other) => Err(format!("unknown scheduler `{other}`")),
+    }
+}
+
+fn sim_config(flags: &BTreeMap<String, String>) -> Result<SimConfig, String> {
+    let mut config = SimConfig::default();
+    if let Some(seconds) = flags.get("duration-s") {
+        let seconds: f64 = seconds
+            .parse()
+            .map_err(|_| format!("invalid --duration-s `{seconds}`"))?;
+        config = config.with_sim_time_ms(seconds * 1000.0);
+    }
+    if let Some(seed) = flags.get("seed") {
+        let seed: u64 = seed.parse().map_err(|_| format!("invalid --seed `{seed}`"))?;
+        config = config.with_seed(seed);
+    }
+    Ok(config)
+}
+
+fn schedule_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let scheduler = make_scheduler(flags)?;
+    let mut state = GlobalState::new(&cluster);
+    let assignment = scheduler
+        .schedule(&topology, &cluster, &mut state)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "scheduled `{}` with the {} scheduler: {} tasks on {} machines\n",
+        topology.id(),
+        scheduler.name(),
+        assignment.len(),
+        assignment.used_nodes().len()
+    );
+    let task_set = topology.task_set();
+    let rows: Vec<Vec<String>> = task_set
+        .tasks()
+        .iter()
+        .map(|t| {
+            vec![
+                t.to_string(),
+                assignment
+                    .slot_of(t.id)
+                    .expect("complete assignment")
+                    .to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["task", "worker slot"], &rows));
+
+    let violations = verify_plan(state.plan(), &[&topology], &cluster);
+    if violations.is_empty() {
+        println!("plan verified: no constraint violations");
+    } else {
+        println!("plan has {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    Ok(())
+}
+
+fn print_report(topology: &Topology, report: &SimReport) {
+    println!(
+        "steady throughput: {:.0} tuples/10s (mean over sink bolts)",
+        report.steady_throughput(topology.id().as_str(), 2)
+    );
+    println!(
+        "tuple latency: mean {:.2} ms (max {:.2} ms over {} completed trees)",
+        report.latency_ms.mean, report.latency_ms.max, report.latency_ms.count
+    );
+    println!(
+        "machines used: {}, mean CPU utilization {:.0}%",
+        report.used_nodes,
+        report.mean_used_cpu_utilization.mean * 100.0
+    );
+    println!(
+        "inter-rack traffic: {:.1} MB; tuple trees timed out: {}",
+        report.inter_rack_mb, report.totals.roots_timed_out
+    );
+}
+
+fn simulate_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let scheduler = make_scheduler(flags)?;
+    let config = sim_config(flags)?;
+    let mut state = GlobalState::new(&cluster);
+    let assignment = scheduler
+        .schedule(&topology, &cluster, &mut state)
+        .map_err(|e| e.to_string())?;
+    let duration = config.sim_time_ms;
+    let mut sim = Simulation::new(cluster, config);
+    sim.add_topology(&topology, &assignment);
+    let report = sim.run();
+    println!(
+        "simulated `{}` for {:.0} s under the {} scheduler",
+        topology.id(),
+        duration / 1000.0,
+        scheduler.name()
+    );
+    print_report(&topology, &report);
+    Ok(())
+}
+
+fn compare_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let config = sim_config(flags)?;
+    for scheduler in [
+        &RStormScheduler::new() as &dyn Scheduler,
+        &EvenScheduler::new(),
+    ] {
+        let mut state = GlobalState::new(&cluster);
+        let assignment = scheduler
+            .schedule(&topology, &cluster, &mut state)
+            .map_err(|e| e.to_string())?;
+        let mut sim = Simulation::new(cluster.clone(), config.clone());
+        sim.add_topology(&topology, &assignment);
+        let report = sim.run();
+        println!("=== {} ===", scheduler.name());
+        print_report(&topology, &report);
+        println!();
+    }
+    Ok(())
+}
+
+fn print_example_specs() {
+    println!("# ---- word-count.spec ----------------------------------");
+    println!(
+        "topology word-count\nworkers 12\nmax-spout-pending 4\n\n\
+         spout sentences parallelism=4 cpu=50 mem=512 work-ms=0.05 bytes=200 rate=7000\n\
+         bolt split parallelism=6 cpu=30 mem=256 work-ms=0.04\n  subscribe sentences shuffle\n\
+         bolt count parallelism=6 cpu=30 mem=256 work-ms=0.03 emit=0\n  subscribe split fields word\n"
+    );
+    println!("# ---- emulab.spec ---------------------------------------");
+    println!("cluster");
+    for rack in 0..2 {
+        println!("rack rack-{rack}");
+        for node in 0..6 {
+            println!("  node rack-{rack}-node-{node} cpu=100 mem=2048 slots=4");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let flags = parse_flags(&[
+            "--topology".into(),
+            "t.spec".into(),
+            "--seed".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        assert_eq!(flags["topology"], "t.spec");
+        assert_eq!(flags["seed"], "7");
+        assert!(parse_flags(&["oops".into()]).is_err());
+        assert!(parse_flags(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn scheduler_selection() {
+        let mut flags = BTreeMap::new();
+        assert_eq!(make_scheduler(&flags).unwrap().name(), "rstorm");
+        flags.insert("scheduler".into(), "default".into());
+        assert_eq!(make_scheduler(&flags).unwrap().name(), "default");
+        flags.insert("scheduler".into(), "martian".into());
+        assert!(make_scheduler(&flags).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join("rstorm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("t.spec");
+        let clus = dir.join("c.spec");
+        std::fs::write(
+            &topo,
+            "topology t\nspout s parallelism=2 cpu=20 mem=128\n\
+             bolt k parallelism=2 cpu=20 mem=128 emit=0\n  subscribe s shuffle\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &clus,
+            "cluster\nrack r0\n  node n0 cpu=100 mem=2048 slots=4\n  node n1 cpu=100 mem=2048 slots=4\n",
+        )
+        .unwrap();
+        let flags = parse_flags(&[
+            "--topology".into(),
+            topo.to_string_lossy().into_owned(),
+            "--cluster".into(),
+            clus.to_string_lossy().into_owned(),
+            "--duration-s".into(),
+            "20".into(),
+        ])
+        .unwrap();
+        schedule_cmd(&flags).unwrap();
+        simulate_cmd(&flags).unwrap();
+        compare_cmd(&flags).unwrap();
+    }
+}

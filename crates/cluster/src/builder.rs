@@ -1,0 +1,138 @@
+//! Programmatic cluster construction.
+
+use crate::cluster::Cluster;
+use crate::error::ClusterError;
+use crate::ids::{NodeId, RackId};
+use crate::network::NetworkCosts;
+use crate::node::{Node, ResourceCapacity};
+
+/// Builder for [`Cluster`] values.
+///
+/// ```
+/// use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+///
+/// let cluster = ClusterBuilder::new()
+///     .add_node("frontend-1", "rack-a", ResourceCapacity::for_machine(8, 32768.0), 4)
+///     .add_node("frontend-2", "rack-a", ResourceCapacity::for_machine(8, 32768.0), 4)
+///     .add_node("backend-1", "rack-b", ResourceCapacity::for_machine(16, 65536.0), 4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cluster.racks().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    nodes: Vec<Node>,
+    costs: NetworkCosts,
+}
+
+impl ClusterBuilder {
+    /// Starts a new, empty cluster with the default (Emulab-like) network
+    /// cost model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the network cost model.
+    pub fn network_costs(mut self, costs: NetworkCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Adds a node with `num_slots` worker slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slots` is zero.
+    pub fn add_node(
+        mut self,
+        id: impl Into<NodeId>,
+        rack: impl Into<RackId>,
+        capacity: ResourceCapacity,
+        num_slots: u16,
+    ) -> Self {
+        self.nodes.push(Node::new(id, rack, capacity, num_slots));
+        self
+    }
+
+    /// Adds `racks` racks of `nodes_per_rack` identical nodes each. Racks
+    /// are named `rack-<r>`, nodes `rack-<r>-node-<n>`.
+    ///
+    /// This is the shape of the paper's Emulab clusters: 2 racks × 6 nodes
+    /// for the single-topology experiments, 2 racks × 12 for the
+    /// multi-topology experiment.
+    pub fn homogeneous_racks(
+        mut self,
+        racks: u32,
+        nodes_per_rack: u32,
+        capacity: ResourceCapacity,
+        slots_per_node: u16,
+    ) -> Self {
+        for r in 0..racks {
+            let rack = format!("rack-{r}");
+            for n in 0..nodes_per_rack {
+                self.nodes.push(Node::new(
+                    format!("{rack}-node-{n}"),
+                    rack.clone(),
+                    capacity,
+                    slots_per_node,
+                ));
+            }
+        }
+        self
+    }
+
+    /// Validates and finalizes the cluster.
+    pub fn build(self) -> Result<Cluster, ClusterError> {
+        Cluster::from_parts(self.nodes, self.costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_layout_names() {
+        let c = ClusterBuilder::new()
+            .homogeneous_racks(2, 2, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let names: Vec<_> = c.nodes().iter().map(|n| n.id().as_str().to_owned()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "rack-0-node-0",
+                "rack-0-node-1",
+                "rack-1-node-0",
+                "rack-1-node-1"
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let err = ClusterBuilder::new()
+            .add_node("n", "r", ResourceCapacity::emulab_node(), 1)
+            .add_node("n", "r", ResourceCapacity::emulab_node(), 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ClusterError::DuplicateNode(NodeId::new("n")));
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        assert_eq!(ClusterBuilder::new().build().unwrap_err(), ClusterError::Empty);
+    }
+
+    #[test]
+    fn custom_costs_are_kept() {
+        let mut costs = NetworkCosts::emulab();
+        costs.distance_inter_rack = 42.0;
+        let c = ClusterBuilder::new()
+            .network_costs(costs)
+            .add_node("n", "r", ResourceCapacity::emulab_node(), 1)
+            .build()
+            .unwrap();
+        assert_eq!(c.costs().distance_inter_rack, 42.0);
+    }
+}

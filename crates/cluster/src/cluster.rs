@@ -1,0 +1,265 @@
+//! The cluster: racks of nodes plus the network cost model.
+
+use crate::error::ClusterError;
+use crate::ids::{NodeId, RackId, WorkerSlot};
+use crate::network::{NetworkCosts, PlacementRelation};
+use crate::node::{Node, ResourceCapacity};
+use std::collections::{HashMap, HashSet};
+
+/// An immutable-topology cluster of worker nodes grouped into racks, with
+/// a network cost model and a liveness set (for failure injection).
+///
+/// Construct via [`crate::ClusterBuilder`].
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    index: HashMap<NodeId, usize>,
+    racks: Vec<RackId>,
+    rack_members: HashMap<RackId, Vec<NodeId>>,
+    costs: NetworkCosts,
+    dead: HashSet<NodeId>,
+}
+
+impl Cluster {
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        costs: NetworkCosts,
+    ) -> Result<Self, ClusterError> {
+        if nodes.is_empty() {
+            return Err(ClusterError::Empty);
+        }
+        let mut index = HashMap::new();
+        let mut racks = Vec::new();
+        let mut rack_members: HashMap<RackId, Vec<NodeId>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if index.insert(n.id().clone(), i).is_some() {
+                return Err(ClusterError::DuplicateNode(n.id().clone()));
+            }
+            if !rack_members.contains_key(n.rack()) {
+                racks.push(n.rack().clone());
+            }
+            rack_members
+                .entry(n.rack().clone())
+                .or_default()
+                .push(n.id().clone());
+        }
+        Ok(Self {
+            nodes,
+            index,
+            racks,
+            rack_members,
+            costs,
+            dead: HashSet::new(),
+        })
+    }
+
+    /// All nodes, in declaration order (dead ones included).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All currently alive nodes, in declaration order.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| !self.dead.contains(n.id()))
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: &str) -> Option<&Node> {
+        self.index.get(id).map(|&i| &self.nodes[i])
+    }
+
+    /// Rack ids in first-seen order.
+    pub fn racks(&self) -> &[RackId] {
+        &self.racks
+    }
+
+    /// Node ids in a rack, in declaration order.
+    pub fn rack_nodes(&self, rack: &str) -> &[NodeId] {
+        self.rack_members.get(rack).map_or(&[], Vec::as_slice)
+    }
+
+    /// The rack a node belongs to.
+    pub fn rack_of(&self, node: &str) -> Option<&RackId> {
+        self.node(node).map(Node::rack)
+    }
+
+    /// The network cost model.
+    pub fn costs(&self) -> &NetworkCosts {
+        &self.costs
+    }
+
+    /// Every worker slot of every alive node.
+    pub fn alive_slots(&self) -> impl Iterator<Item = &WorkerSlot> {
+        self.alive_nodes().flat_map(|n| n.slots().iter())
+    }
+
+    /// Total capacity of all alive nodes in a rack.
+    pub fn rack_capacity(&self, rack: &str) -> ResourceCapacity {
+        self.rack_nodes(rack)
+            .iter()
+            .filter(|id| self.is_alive(id.as_str()))
+            .filter_map(|id| self.node(id.as_str()))
+            .map(Node::capacity)
+            .fold(ResourceCapacity::zero(), |acc, c| acc.saturating_add(c))
+    }
+
+    /// Total capacity of all alive nodes.
+    pub fn total_capacity(&self) -> ResourceCapacity {
+        self.alive_nodes()
+            .map(Node::capacity)
+            .fold(ResourceCapacity::zero(), |acc, c| acc.saturating_add(c))
+    }
+
+    /// Classifies how two slots relate in the network hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot references an unknown node.
+    pub fn relation(&self, a: &WorkerSlot, b: &WorkerSlot) -> PlacementRelation {
+        if a == b {
+            return PlacementRelation::SameWorker;
+        }
+        if a.node == b.node {
+            return PlacementRelation::SameNode;
+        }
+        let rack_a = self
+            .rack_of(a.node.as_str())
+            .unwrap_or_else(|| panic!("unknown node `{}`", a.node));
+        let rack_b = self
+            .rack_of(b.node.as_str())
+            .unwrap_or_else(|| panic!("unknown node `{}`", b.node));
+        if rack_a == rack_b {
+            PlacementRelation::SameRack
+        } else {
+            PlacementRelation::InterRack
+        }
+    }
+
+    /// Scheduler network distance between two *nodes* (node granularity,
+    /// as used by Algorithm 4's `networkDistance(refNode, θj)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is unknown.
+    pub fn node_distance(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return self.costs.distance(PlacementRelation::SameNode).min(
+                self.costs.distance(PlacementRelation::SameWorker),
+            );
+        }
+        let rack_a = self
+            .rack_of(a)
+            .unwrap_or_else(|| panic!("unknown node `{a}`"));
+        let rack_b = self
+            .rack_of(b)
+            .unwrap_or_else(|| panic!("unknown node `{b}`"));
+        if rack_a == rack_b {
+            self.costs.distance(PlacementRelation::SameRack)
+        } else {
+            self.costs.distance(PlacementRelation::InterRack)
+        }
+    }
+
+    /// Marks a node dead (failure injection). Returns true if the node was
+    /// alive. Scheduling and simulation skip dead nodes.
+    pub fn kill_node(&mut self, id: &str) -> bool {
+        if self.index.contains_key(id) {
+            self.dead.insert(NodeId::new(id))
+        } else {
+            false
+        }
+    }
+
+    /// Revives a previously killed node. Returns true if it was dead.
+    pub fn revive_node(&mut self, id: &str) -> bool {
+        self.dead.remove(id)
+    }
+
+    /// Returns true if the node exists and is alive.
+    pub fn is_alive(&self, id: &str) -> bool {
+        self.index.contains_key(id) && !self.dead.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClusterBuilder;
+
+    fn two_racks() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn layout_queries() {
+        let c = two_racks();
+        assert_eq!(c.nodes().len(), 6);
+        assert_eq!(c.racks().len(), 2);
+        assert_eq!(c.rack_nodes("rack-0").len(), 3);
+        assert_eq!(c.rack_of("rack-1-node-2").unwrap().as_str(), "rack-1");
+        assert!(c.node("rack-0-node-0").is_some());
+        assert!(c.node("nope").is_none());
+        assert_eq!(c.alive_slots().count(), 12);
+    }
+
+    #[test]
+    fn capacities_aggregate() {
+        let c = two_racks();
+        assert_eq!(c.rack_capacity("rack-0").cpu_points, 300.0);
+        assert_eq!(c.total_capacity().memory_mb, 6.0 * 2048.0);
+    }
+
+    #[test]
+    fn relation_classification_uses_rack_layout() {
+        let c = two_racks();
+        let s = |n: &str, p: u16| WorkerSlot::new(n, p);
+        assert_eq!(
+            c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-0", 6700)),
+            PlacementRelation::SameWorker
+        );
+        assert_eq!(
+            c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-0", 6701)),
+            PlacementRelation::SameNode
+        );
+        assert_eq!(
+            c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-1", 6700)),
+            PlacementRelation::SameRack
+        );
+        assert_eq!(
+            c.relation(&s("rack-0-node-0", 6700), &s("rack-1-node-0", 6700)),
+            PlacementRelation::InterRack
+        );
+    }
+
+    #[test]
+    fn node_distances_follow_hierarchy() {
+        let c = two_racks();
+        let same = c.node_distance("rack-0-node-0", "rack-0-node-0");
+        let rack = c.node_distance("rack-0-node-0", "rack-0-node-1");
+        let cross = c.node_distance("rack-0-node-0", "rack-1-node-0");
+        assert!(same < rack && rack < cross);
+    }
+
+    #[test]
+    fn failure_injection() {
+        let mut c = two_racks();
+        assert!(c.is_alive("rack-0-node-0"));
+        assert!(c.kill_node("rack-0-node-0"));
+        assert!(!c.kill_node("rack-0-node-0"), "already dead");
+        assert!(!c.is_alive("rack-0-node-0"));
+        assert_eq!(c.alive_nodes().count(), 5);
+        assert_eq!(c.rack_capacity("rack-0").cpu_points, 200.0);
+        assert!(c.revive_node("rack-0-node-0"));
+        assert_eq!(c.alive_nodes().count(), 6);
+        assert!(!c.kill_node("ghost"), "unknown nodes cannot be killed");
+    }
+
+    #[test]
+    fn rack_capacity_of_unknown_rack_is_zero() {
+        let c = two_racks();
+        assert_eq!(c.rack_capacity("rack-9").cpu_points, 0.0);
+    }
+}

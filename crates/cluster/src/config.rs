@@ -1,0 +1,347 @@
+//! A minimal parser for the `storm.yaml`-style configuration the paper's
+//! administration API uses (§5.2):
+//!
+//! ```yaml
+//! # resources of this supervisor
+//! supervisor.memory.capacity.mb: 20480.0
+//! supervisor.cpu.capacity: 100.0
+//! supervisor.slots.ports: [6700, 6701, 6702, 6703]
+//! storm.scheduler: "rstorm"
+//! ```
+//!
+//! Only the flat `key: value` subset Storm actually uses for these keys is
+//! supported (scalars and flow-style integer lists), which keeps this
+//! hand-rolled and dependency-free — a full YAML implementation would be
+//! three orders of magnitude more code than the configuration needs.
+
+use crate::node::ResourceCapacity;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Configuration key for a supervisor's memory capacity in MB (paper §5.2).
+pub const KEY_MEMORY_CAPACITY_MB: &str = "supervisor.memory.capacity.mb";
+/// Configuration key for a supervisor's CPU capacity in points (paper §5.2).
+pub const KEY_CPU_CAPACITY: &str = "supervisor.cpu.capacity";
+/// Configuration key for a supervisor's bandwidth capacity (our extension,
+/// symmetric with the other two resource dimensions).
+pub const KEY_BANDWIDTH_CAPACITY: &str = "supervisor.bandwidth.capacity";
+/// Configuration key for worker slot ports.
+pub const KEY_SLOTS_PORTS: &str = "supervisor.slots.ports";
+/// Configuration key selecting the scheduler implementation, analogous to
+/// Storm's `storm.scheduler` class name.
+pub const KEY_SCHEDULER: &str = "storm.scheduler";
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// A floating point scalar (`100.0`).
+    Number(f64),
+    /// A bare or quoted string (`"rstorm"`).
+    Text(String),
+    /// A flow-style list of integers (`[6700, 6701]`).
+    IntList(Vec<u16>),
+}
+
+impl ConfigValue {
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as text, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer list, if it is one.
+    pub fn as_int_list(&self) -> Option<&[u16]> {
+        match self {
+            Self::IntList(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storm.yaml line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A parsed `storm.yaml`-style configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StormConfig {
+    entries: BTreeMap<String, ConfigValue>,
+}
+
+impl StormConfig {
+    /// Parses configuration text. Later duplicate keys override earlier
+    /// ones, matching YAML mapping semantics in Storm's loader.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once(':').ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("expected `key: value`, got `{raw}`"),
+            })?;
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: "empty key".to_owned(),
+                });
+            }
+            let value = parse_value(value.trim()).map_err(|message| ConfigError {
+                line: line_no,
+                message,
+            })?;
+            entries.insert(key.to_owned(), value);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Looks up a raw value.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a numeric value.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(ConfigValue::as_f64)
+    }
+
+    /// Looks up a text value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(ConfigValue::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The supervisor resource capacity this configuration declares, with
+    /// Storm-like defaults for missing keys (4 GB, one core, bandwidth
+    /// 100).
+    pub fn supervisor_capacity(&self) -> ResourceCapacity {
+        ResourceCapacity::new(
+            self.get_f64(KEY_CPU_CAPACITY).unwrap_or(100.0),
+            self.get_f64(KEY_MEMORY_CAPACITY_MB).unwrap_or(4096.0),
+            self.get_f64(KEY_BANDWIDTH_CAPACITY).unwrap_or(100.0),
+        )
+    }
+
+    /// The worker slot ports this configuration declares (default: four
+    /// slots starting at 6700, Storm's usual layout).
+    pub fn slot_ports(&self) -> Vec<u16> {
+        self.get(KEY_SLOTS_PORTS)
+            .and_then(ConfigValue::as_int_list)
+            .map(<[u16]>::to_vec)
+            .unwrap_or_else(|| vec![6700, 6701, 6702, 6703])
+    }
+
+    /// The configured scheduler name, if any (e.g. `"rstorm"` or
+    /// `"default"`).
+    pub fn scheduler(&self) -> Option<&str> {
+        self.get_str(KEY_SCHEDULER)
+    }
+
+    /// Serializes back to `storm.yaml` text (keys sorted). Parsing the
+    /// output yields an equal configuration (round-trip property).
+    pub fn to_yaml(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            match v {
+                ConfigValue::Number(n) => out.push_str(&format!("{k}: {n:?}\n")),
+                ConfigValue::Text(s) => out.push_str(&format!("{k}: \"{s}\"\n")),
+                ConfigValue::IntList(l) => {
+                    let items: Vec<String> = l.iter().map(u16::to_string).collect();
+                    out.push_str(&format!("{k}: [{}]\n", items.join(", ")));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` starts a comment unless inside quotes.
+    let mut in_quotes = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<ConfigValue, String> {
+    if text.is_empty() {
+        return Err("missing value".to_owned());
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated list `{text}`"))?;
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let v = u16::from_str(part).map_err(|_| format!("invalid port `{part}`"))?;
+            items.push(v);
+        }
+        return Ok(ConfigValue::IntList(items));
+    }
+    if let Some(stripped) = text.strip_prefix('"') {
+        let s = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{text}`"))?;
+        return Ok(ConfigValue::Text(s.to_owned()));
+    }
+    if let Ok(v) = f64::from_str(text) {
+        if !v.is_finite() {
+            return Err(format!("non-finite number `{text}`"));
+        }
+        return Ok(ConfigValue::Number(v));
+    }
+    Ok(ConfigValue::Text(text.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_EXAMPLE: &str = "\
+# Example of usage, straight from the paper:
+supervisor.memory.capacity.mb: 20480.0
+supervisor.cpu.capacity: 100.0
+";
+
+    #[test]
+    fn parses_the_papers_example() {
+        let c = StormConfig::parse(PAPER_EXAMPLE).unwrap();
+        assert_eq!(c.get_f64(KEY_MEMORY_CAPACITY_MB), Some(20480.0));
+        assert_eq!(c.get_f64(KEY_CPU_CAPACITY), Some(100.0));
+        let cap = c.supervisor_capacity();
+        assert_eq!(cap.memory_mb, 20480.0);
+        assert_eq!(cap.cpu_points, 100.0);
+        assert_eq!(cap.bandwidth, 100.0, "default bandwidth");
+    }
+
+    #[test]
+    fn defaults_for_missing_keys() {
+        let c = StormConfig::parse("").unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.supervisor_capacity().memory_mb, 4096.0);
+        assert_eq!(c.slot_ports(), vec![6700, 6701, 6702, 6703]);
+        assert_eq!(c.scheduler(), None);
+    }
+
+    #[test]
+    fn ports_and_scheduler() {
+        let c = StormConfig::parse(
+            "supervisor.slots.ports: [6700, 6701]\nstorm.scheduler: \"rstorm\"\n",
+        )
+        .unwrap();
+        assert_eq!(c.slot_ports(), vec![6700, 6701]);
+        assert_eq!(c.scheduler(), Some("rstorm"));
+    }
+
+    #[test]
+    fn bare_strings_are_text() {
+        let c = StormConfig::parse("storm.scheduler: default").unwrap();
+        assert_eq!(c.scheduler(), Some("default"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = StormConfig::parse(
+            "\n# full-line comment\nsupervisor.cpu.capacity: 200.0 # trailing\n\n",
+        )
+        .unwrap();
+        assert_eq!(c.get_f64(KEY_CPU_CAPACITY), Some(200.0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_kept() {
+        let c = StormConfig::parse("storm.scheduler: \"weird#name\"").unwrap();
+        assert_eq!(c.scheduler(), Some("weird#name"));
+    }
+
+    #[test]
+    fn later_duplicates_override() {
+        let c = StormConfig::parse(
+            "supervisor.cpu.capacity: 100.0\nsupervisor.cpu.capacity: 400.0\n",
+        )
+        .unwrap();
+        assert_eq!(c.get_f64(KEY_CPU_CAPACITY), Some(400.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = StormConfig::parse("good.key: 1.0\nbad line without colon\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = StormConfig::parse(": 1.0").unwrap_err();
+        assert_eq!(err.message, "empty key");
+
+        let err = StormConfig::parse("k: [6700").unwrap_err();
+        assert!(err.message.contains("unterminated list"));
+
+        let err = StormConfig::parse("k: \"oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+
+        let err = StormConfig::parse("k: [horse]").unwrap_err();
+        assert!(err.message.contains("invalid port"));
+
+        let err = StormConfig::parse("k:").unwrap_err();
+        assert!(err.message.contains("missing value"));
+    }
+
+    #[test]
+    fn roundtrip_through_to_yaml() {
+        let c = StormConfig::parse(
+            "supervisor.memory.capacity.mb: 20480.0\n\
+             supervisor.slots.ports: [6700, 6701]\n\
+             storm.scheduler: \"rstorm\"\n",
+        )
+        .unwrap();
+        let reparsed = StormConfig::parse(&c.to_yaml()).unwrap();
+        assert_eq!(c, reparsed);
+    }
+}

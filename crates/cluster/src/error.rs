@@ -1,0 +1,38 @@
+//! Errors raised while constructing a cluster.
+
+use crate::ids::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Why a cluster failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Two nodes were declared with the same id.
+    DuplicateNode(NodeId),
+    /// The cluster has no nodes.
+    Empty,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateNode(id) => write!(f, "node `{id}` declared more than once"),
+            Self::Empty => f.write_str("cluster has no nodes"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_duplicate() {
+        let e = ClusterError::DuplicateNode(NodeId::new("n1"));
+        assert!(e.to_string().contains("`n1`"));
+        assert_eq!(ClusterError::Empty.to_string(), "cluster has no nodes");
+    }
+}

@@ -1,0 +1,112 @@
+//! Identifiers for cluster entities.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+macro_rules! string_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates a new identifier.
+            pub fn new(id: impl Into<String>) -> Self {
+                Self(id.into())
+            }
+
+            /// Returns the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+string_id! {
+    /// Identifier of a worker node (a supervisor machine).
+    NodeId
+}
+
+string_id! {
+    /// Identifier of a server rack (the paper's "VLAN" / sub-cluster).
+    RackId
+}
+
+/// A worker slot: one worker-process port on a node. Storm assigns
+/// executors to slots; each slot hosts exactly one worker process, so two
+/// tasks in the same slot communicate intra-process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerSlot {
+    /// The node this slot lives on.
+    pub node: NodeId,
+    /// The supervisor port identifying the worker process.
+    pub port: u16,
+}
+
+impl WorkerSlot {
+    /// Creates a slot for `node` at `port`.
+    pub fn new(node: impl Into<NodeId>, port: u16) -> Self {
+        Self {
+            node: node.into(),
+            port,
+        }
+    }
+}
+
+impl fmt::Display for WorkerSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_display_and_ordering() {
+        let a = WorkerSlot::new("node-1", 6700);
+        let b = WorkerSlot::new("node-1", 6701);
+        assert_eq!(a.to_string(), "node-1:6700");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let n: NodeId = "n3".into();
+        assert_eq!(n.as_str(), "n3");
+        let r = RackId::new(String::from("rack-0"));
+        assert_eq!(r.to_string(), "rack-0");
+    }
+}

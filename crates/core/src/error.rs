@@ -1,0 +1,89 @@
+//! Scheduling errors.
+
+use rstorm_topology::{TaskId, TopologyId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a scheduling attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No node satisfies a task's hard (memory) constraint.
+    ///
+    /// R-Storm refuses to violate hard constraints: "if a system attempts
+    /// to use more memory resources than physically available the
+    /// consequences are catastrophic" (§3).
+    InsufficientMemory {
+        /// The topology being scheduled.
+        topology: TopologyId,
+        /// The task that could not be placed.
+        task: TaskId,
+        /// The task's memory demand in MB.
+        needed_mb: f64,
+        /// The largest remaining memory on any alive node, in MB.
+        best_available_mb: f64,
+    },
+    /// The cluster has no alive nodes.
+    NoAliveNodes,
+    /// The topology is already scheduled in this [`crate::GlobalState`].
+    AlreadyScheduled(TopologyId),
+    /// The instance exceeds an exact solver's tractability limit
+    /// (exhaustive search is exponential; the paper's §3 rules it out for
+    /// production precisely because of this).
+    InstanceTooLarge {
+        /// Number of tasks in the topology.
+        tasks: usize,
+        /// The solver's task limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientMemory {
+                topology,
+                task,
+                needed_mb,
+                best_available_mb,
+            } => write!(
+                f,
+                "cannot schedule `{topology}`: {task} needs {needed_mb} MB but the best \
+                 node has only {best_available_mb} MB remaining"
+            ),
+            Self::NoAliveNodes => f.write_str("cluster has no alive nodes"),
+            Self::AlreadyScheduled(t) => write!(f, "topology `{t}` is already scheduled"),
+            Self::InstanceTooLarge { tasks, limit } => write!(
+                f,
+                "{tasks} tasks exceed the exact solver's limit of {limit} \
+                 (exhaustive search is exponential)"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ScheduleError::InsufficientMemory {
+            topology: TopologyId::new("big"),
+            task: TaskId(7),
+            needed_mb: 4096.0,
+            best_available_mb: 1024.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("big") && msg.contains("task-7"));
+        assert!(msg.contains("4096") && msg.contains("1024"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<ScheduleError>();
+    }
+}

@@ -1,0 +1,349 @@
+//! `GlobalState`: scheduling and resource bookkeeping across invocations.
+//!
+//! Mirrors the paper's module of the same name (§5.1): "stores important
+//! state information regarding the scheduling and resource availability of
+//! a Storm Cluster ... where each task is placed in the cluster ... all
+//! the resource availability information of physical machines and the
+//! resource demand information of all tasks." Storm's Nimbus is stateless
+//! between scheduler invocations, so this state is owned by the embedding
+//! application and passed to every [`crate::Scheduler::schedule`] call.
+
+use crate::assignment::{Assignment, SchedulingPlan};
+use rstorm_cluster::{Cluster, NodeId, WorkerSlot};
+use rstorm_topology::{ResourceRequest, TopologyId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A node's remaining (unreserved) resources.
+///
+/// Soft dimensions (CPU, bandwidth) may go negative when a
+/// non-resource-aware scheduler (or an explicitly over-subscribed
+/// reservation) overloads a node; memory is the hard dimension and is
+/// kept non-negative by the checked reservation path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemainingResources {
+    /// Remaining CPU points (may go negative under overload).
+    pub cpu_points: f64,
+    /// Remaining memory in MB (non-negative on the checked path).
+    pub memory_mb: f64,
+    /// Remaining bandwidth units (may go negative under overload).
+    pub bandwidth: f64,
+}
+
+impl RemainingResources {
+    fn subtract(&mut self, r: &ResourceRequest) {
+        self.cpu_points -= r.cpu_points;
+        self.memory_mb -= r.memory_mb;
+        self.bandwidth -= r.bandwidth;
+    }
+
+    fn add(&mut self, r: &ResourceRequest) {
+        self.cpu_points += r.cpu_points;
+        self.memory_mb += r.memory_mb;
+        self.bandwidth += r.bandwidth;
+    }
+
+    /// A "more resources" ordering key used by Algorithm 4's
+    /// `findServerRackWithMostResources` / `findNodeWithMostResources`:
+    /// the normalized sum of remaining CPU and memory.
+    pub fn abundance(&self, max_cpu: f64, max_memory: f64) -> f64 {
+        self.cpu_points / max_cpu.max(1e-9) + self.memory_mb / max_memory.max(1e-9)
+    }
+}
+
+/// Cluster-wide scheduling state shared across scheduler invocations.
+#[derive(Debug, Clone)]
+pub struct GlobalState {
+    remaining: BTreeMap<NodeId, RemainingResources>,
+    plan: SchedulingPlan,
+    /// Per-topology, per-node reserved totals, for release on unschedule.
+    reserved: HashMap<TopologyId, BTreeMap<NodeId, ResourceRequest>>,
+    /// The worker slot each (topology, node) pair packs its tasks into.
+    topology_slots: HashMap<(TopologyId, NodeId), u16>,
+    /// Number of distinct topologies occupying each slot.
+    slot_occupancy: BTreeMap<WorkerSlot, usize>,
+}
+
+impl GlobalState {
+    /// Snapshots the remaining resources of every *alive* node of
+    /// `cluster`, with no topologies scheduled.
+    pub fn new(cluster: &Cluster) -> Self {
+        let remaining = cluster
+            .alive_nodes()
+            .map(|n| {
+                (
+                    n.id().clone(),
+                    RemainingResources {
+                        cpu_points: n.capacity().cpu_points,
+                        memory_mb: n.capacity().memory_mb,
+                        bandwidth: n.capacity().bandwidth,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            remaining,
+            plan: SchedulingPlan::new(),
+            reserved: HashMap::new(),
+            topology_slots: HashMap::new(),
+            slot_occupancy: BTreeMap::new(),
+        }
+    }
+
+    /// Remaining resources of a node ([`None`] for unknown/dead nodes).
+    pub fn remaining(&self, node: &str) -> Option<&RemainingResources> {
+        self.remaining.get(node)
+    }
+
+    /// Iterates `(node, remaining)` in node-id order.
+    pub fn iter_remaining(&self) -> impl Iterator<Item = (&NodeId, &RemainingResources)> {
+        self.remaining.iter()
+    }
+
+    /// Reserves `request` on `node` for `topology`. Soft dimensions may go
+    /// negative; callers enforcing the hard memory constraint must check
+    /// [`GlobalState::remaining`] first (the R-Storm node-selection loop
+    /// does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn reserve(&mut self, topology: &TopologyId, node: &NodeId, request: &ResourceRequest) {
+        let remaining = self
+            .remaining
+            .get_mut(node)
+            .unwrap_or_else(|| panic!("reserve on unknown node `{node}`"));
+        remaining.subtract(request);
+        self.reserved
+            .entry(topology.clone())
+            .or_default()
+            .entry(node.clone())
+            .or_insert_with(ResourceRequest::zero)
+            .add_assign(request);
+    }
+
+    /// The worker slot tasks of `topology` use on `node`.
+    ///
+    /// R-Storm packs a topology's tasks on a node into a single worker
+    /// process (so colocated tasks communicate intra-process); distinct
+    /// topologies prefer distinct slots. The choice is stable for the
+    /// lifetime of the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of `cluster`.
+    pub fn slot_for(
+        &mut self,
+        cluster: &Cluster,
+        topology: &TopologyId,
+        node: &NodeId,
+    ) -> WorkerSlot {
+        if let Some(&port) = self.topology_slots.get(&(topology.clone(), node.clone())) {
+            return WorkerSlot::new(node.clone(), port);
+        }
+        let slots = cluster
+            .node(node.as_str())
+            .unwrap_or_else(|| panic!("slot_for on unknown node `{node}`"))
+            .slots();
+        // Prefer an unoccupied slot; otherwise share the least-occupied.
+        let slot = slots
+            .iter()
+            .min_by_key(|s| self.slot_occupancy.get(*s).copied().unwrap_or(0))
+            .expect("nodes always have at least one slot")
+            .clone();
+        *self.slot_occupancy.entry(slot.clone()).or_insert(0) += 1;
+        self.topology_slots
+            .insert((topology.clone(), node.clone()), slot.port);
+        slot
+    }
+
+    /// Increments a slot's occupancy count. Used by schedulers that pick
+    /// slots directly (e.g. the even scheduler) instead of via
+    /// [`GlobalState::slot_for`].
+    pub fn occupy_slot(&mut self, slot: &WorkerSlot) {
+        *self.slot_occupancy.entry(slot.clone()).or_insert(0) += 1;
+    }
+
+    /// How many occupants a slot currently has.
+    pub fn slot_occupancy(&self, slot: &WorkerSlot) -> usize {
+        self.slot_occupancy.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Records a finished assignment in the plan (the "atomic commit" of
+    /// §4.1).
+    pub fn commit(&mut self, assignment: Assignment) {
+        self.plan.insert(assignment);
+    }
+
+    /// True if `topology` currently has an assignment.
+    pub fn is_scheduled(&self, topology: &str) -> bool {
+        self.plan.assignment(topology).is_some()
+    }
+
+    /// The current plan.
+    pub fn plan(&self) -> &SchedulingPlan {
+        &self.plan
+    }
+
+    /// Releases everything reserved by `topology` and removes its
+    /// assignment, returning it (used before rescheduling).
+    pub fn release_topology(&mut self, topology: &str) -> Option<Assignment> {
+        if let Some(per_node) = self.reserved.remove(topology) {
+            for (node, total) in per_node {
+                if let Some(rem) = self.remaining.get_mut(&node) {
+                    rem.add(&total);
+                }
+            }
+        }
+        let keys: Vec<(TopologyId, NodeId)> = self
+            .topology_slots
+            .keys()
+            .filter(|(t, _)| t.as_str() == topology)
+            .cloned()
+            .collect();
+        for key in keys {
+            if let Some(port) = self.topology_slots.remove(&key) {
+                let slot = WorkerSlot::new(key.1.clone(), port);
+                if let Some(count) = self.slot_occupancy.get_mut(&slot) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+        }
+        self.plan.remove(topology)
+    }
+
+    /// Handles a node failure: removes the node from the resource pool and
+    /// returns the topologies that had tasks on it (which the caller
+    /// should release and reschedule). The paper motivates fast
+    /// rescheduling: "if executors are not rescheduled quickly, whole
+    /// topologies may be stalled" (§3).
+    pub fn handle_node_failure(&mut self, node: &str) -> Vec<TopologyId> {
+        self.remaining.remove(node);
+        self.plan
+            .topologies_on_node(node)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+}
+
+trait AddAssign {
+    fn add_assign(&mut self, other: &ResourceRequest);
+}
+
+impl AddAssign for ResourceRequest {
+    fn add_assign(&mut self, other: &ResourceRequest) {
+        *self = self.saturating_add(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TaskId;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(1, 2, ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_matches_capacities() {
+        let c = cluster();
+        let s = GlobalState::new(&c);
+        let r = s.remaining("rack-0-node-0").unwrap();
+        assert_eq!(r.cpu_points, 100.0);
+        assert_eq!(r.memory_mb, 2048.0);
+        assert_eq!(s.iter_remaining().count(), 2);
+        assert!(s.remaining("nope").is_none());
+    }
+
+    #[test]
+    fn dead_nodes_are_not_snapshotted() {
+        let mut c = cluster();
+        c.kill_node("rack-0-node-1");
+        let s = GlobalState::new(&c);
+        assert!(s.remaining("rack-0-node-1").is_none());
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t = TopologyId::new("t");
+        let n = NodeId::new("rack-0-node-0");
+        s.reserve(&t, &n, &ResourceRequest::new(60.0, 1024.0, 0.0));
+        s.reserve(&t, &n, &ResourceRequest::new(60.0, 512.0, 0.0));
+        let r = s.remaining("rack-0-node-0").unwrap();
+        assert_eq!(r.cpu_points, -20.0, "soft dimension may go negative");
+        assert_eq!(r.memory_mb, 512.0);
+
+        s.commit(Assignment::new("t", BTreeMap::new()));
+        assert!(s.is_scheduled("t"));
+        s.release_topology("t");
+        assert!(!s.is_scheduled("t"));
+        let r = s.remaining("rack-0-node-0").unwrap();
+        assert_eq!(r.cpu_points, 100.0);
+        assert_eq!(r.memory_mb, 2048.0);
+    }
+
+    #[test]
+    fn slots_are_stable_and_topology_disjoint() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let n = NodeId::new("rack-0-node-0");
+        let t1 = TopologyId::new("t1");
+        let t2 = TopologyId::new("t2");
+        let s1 = s.slot_for(&c, &t1, &n);
+        let s1_again = s.slot_for(&c, &t1, &n);
+        assert_eq!(s1, s1_again, "slot choice is stable");
+        let s2 = s.slot_for(&c, &t2, &n);
+        assert_ne!(s1, s2, "second topology gets its own worker");
+        // A third topology shares the least-occupied slot (only 2 exist).
+        let s3 = s.slot_for(&c, &TopologyId::new("t3"), &n);
+        assert!(s3 == s1 || s3 == s2);
+    }
+
+    #[test]
+    fn node_failure_reports_affected_topologies() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let mut m = BTreeMap::new();
+        m.insert(TaskId(0), WorkerSlot::new("rack-0-node-0", 6700));
+        s.commit(Assignment::new("t", m));
+        let affected = s.handle_node_failure("rack-0-node-0");
+        assert_eq!(affected, vec![TopologyId::new("t")]);
+        assert!(s.remaining("rack-0-node-0").is_none());
+        // Releasing and rescheduling is the caller's job.
+        assert!(s.release_topology("t").is_some());
+    }
+
+    #[test]
+    fn abundance_orders_nodes() {
+        let a = RemainingResources {
+            cpu_points: 100.0,
+            memory_mb: 2048.0,
+            bandwidth: 100.0,
+        };
+        let b = RemainingResources {
+            cpu_points: 50.0,
+            memory_mb: 2048.0,
+            bandwidth: 100.0,
+        };
+        assert!(a.abundance(100.0, 2048.0) > b.abundance(100.0, 2048.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn reserving_on_unknown_node_panics() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        s.reserve(
+            &TopologyId::new("t"),
+            &NodeId::new("ghost"),
+            &ResourceRequest::zero(),
+        );
+    }
+}

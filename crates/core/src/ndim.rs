@@ -1,0 +1,389 @@
+//! The paper's n-dimensional generalization of the resource model.
+//!
+//! §4 notes that the 3-dimensional formulation "can easily be generalized
+//! to model the resource availability of a node and the resource demand
+//! of a specific task as a n-dimensional vector residing in Rⁿ", with a
+//! weight per soft constraint so "values can be normalized for comparison,
+//! as well as for allowing users to decide which constraints are more
+//! valued". This module implements that generalization faithfully:
+//!
+//! * [`ResourceSpace`] — the schema: named dimensions, each *hard* (must
+//!   never be over-committed: memory, GPU memory, disk) or *soft* (may be
+//!   overloaded at a performance cost: CPU, disk IOPS, ...), each with a
+//!   weight and a normalization scale;
+//! * [`ResourceVector`] — a point in that space (a demand or an
+//!   availability);
+//! * [`ResourceSpace::distance`] — the weighted Euclidean metric of
+//!   Algorithm 4 lifted to Rⁿ (the network-distance term stays separate,
+//!   exactly as in the 3-D scheduler).
+//!
+//! The production scheduler ([`crate::RStormScheduler`]) keeps the
+//! concrete 3-D fast path; this module is the documented, tested
+//! extension point for deployments tracking more resources, and
+//! [`ResourceSpace::select_node`] shows the full n-dimensional node
+//! selection working end to end.
+
+use std::fmt;
+
+/// Whether over-committing a dimension is fatal or merely slow (§3's
+/// hard/soft constraint distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// Must be satisfied in full; a placement may never exceed it.
+    Hard,
+    /// May be overloaded; the scheduler only minimizes the violation.
+    Soft,
+}
+
+/// One named resource dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimension {
+    /// Human-readable name ("memory_mb", "cpu_points", "gpu_mem_mb", ...).
+    pub name: String,
+    /// Hard or soft.
+    pub kind: ConstraintKind,
+    /// Weight in the distance metric (soft dimensions; a hard dimension's
+    /// weight also participates, matching Algorithm 4 where the memory
+    /// term is part of the distance even though memory is hard).
+    pub weight: f64,
+    /// Normalization scale: the typical largest value of this dimension
+    /// in the cluster, bringing all dimensions to comparable magnitude.
+    pub scale: f64,
+}
+
+impl Dimension {
+    /// Creates a dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or `scale` is not strictly positive.
+    pub fn new(name: impl Into<String>, kind: ConstraintKind, weight: f64, scale: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and non-negative, got {weight}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive, got {scale}"
+        );
+        Self {
+            name: name.into(),
+            kind,
+            weight,
+            scale,
+        }
+    }
+}
+
+/// The schema of an n-dimensional resource model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceSpace {
+    dimensions: Vec<Dimension>,
+}
+
+impl ResourceSpace {
+    /// Creates a space from its dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dimension is given or names repeat.
+    pub fn new(dimensions: Vec<Dimension>) -> Self {
+        assert!(!dimensions.is_empty(), "a resource space needs dimensions");
+        for (i, d) in dimensions.iter().enumerate() {
+            assert!(
+                !dimensions[..i].iter().any(|e| e.name == d.name),
+                "duplicate dimension `{}`",
+                d.name
+            );
+        }
+        Self { dimensions }
+    }
+
+    /// The paper's 3-dimensional space: memory (hard), CPU and bandwidth
+    /// (soft), normalized for an Emulab-like cluster.
+    pub fn storm_default() -> Self {
+        Self::new(vec![
+            Dimension::new("memory_mb", ConstraintKind::Hard, 1.0, 2048.0),
+            Dimension::new("cpu_points", ConstraintKind::Soft, 1.0, 100.0),
+            Dimension::new("bandwidth", ConstraintKind::Soft, 1.0, 100.0),
+        ])
+    }
+
+    /// The dimensions, in declaration order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Number of dimensions (the paper's *n*).
+    pub fn len(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// True if the space has no dimensions (never — construction forbids
+    /// it — but conventional alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.dimensions.is_empty()
+    }
+
+    /// Creates a vector in this space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the dimension count, or a
+    /// value is negative or not finite.
+    pub fn vector(&self, values: impl Into<Vec<f64>>) -> ResourceVector {
+        let values = values.into();
+        assert_eq!(
+            values.len(),
+            self.dimensions.len(),
+            "expected {} values, got {}",
+            self.dimensions.len(),
+            values.len()
+        );
+        for (d, v) in self.dimensions.iter().zip(&values) {
+            assert!(
+                v.is_finite() && *v >= 0.0,
+                "dimension `{}` must be finite and non-negative, got {v}",
+                d.name
+            );
+        }
+        ResourceVector { values }
+    }
+
+    /// True if `available` can hold `demand` without violating any hard
+    /// dimension — the generalized `H_θ ≥ H_τ` check of Algorithm 4.
+    pub fn satisfies_hard(&self, demand: &ResourceVector, available: &ResourceVector) -> bool {
+        self.dimensions
+            .iter()
+            .zip(demand.values.iter().zip(&available.values))
+            .all(|(d, (dv, av))| d.kind != ConstraintKind::Hard || av >= dv)
+    }
+
+    /// Algorithm 4's distance lifted to Rⁿ:
+    /// `sqrt(Σ_i w_i·((demand_i − available_i)/scale_i)² + w_net·netdist²)`.
+    pub fn distance(
+        &self,
+        demand: &ResourceVector,
+        available: &ResourceVector,
+        network_distance: f64,
+        network_weight: f64,
+    ) -> f64 {
+        let mut sum = 0.0;
+        for (d, (dv, av)) in self
+            .dimensions
+            .iter()
+            .zip(demand.values.iter().zip(&available.values))
+        {
+            let delta = (dv - av) / d.scale;
+            sum += d.weight * delta * delta;
+        }
+        sum += network_weight * network_distance * network_distance;
+        sum.sqrt()
+    }
+
+    /// Full n-dimensional node selection: among `nodes` (name,
+    /// availability, network distance from the reference node), pick the
+    /// one closest to `demand` that satisfies every hard constraint —
+    /// preferring, as the production scheduler does, nodes that also
+    /// satisfy all soft constraints, and relaxing to soft-violating nodes
+    /// only when none exists. Ties break toward the earlier node.
+    pub fn select_node<'a>(
+        &self,
+        demand: &ResourceVector,
+        nodes: &'a [(String, ResourceVector, f64)],
+        network_weight: f64,
+    ) -> Option<&'a str> {
+        let mut best: Option<(f64, &str)> = None;
+        let mut best_relaxed: Option<(f64, &str)> = None;
+        for (name, available, netdist) in nodes {
+            if !self.satisfies_hard(demand, available) {
+                continue;
+            }
+            let d = self.distance(demand, available, *netdist, network_weight);
+            let soft_ok = self
+                .dimensions
+                .iter()
+                .zip(demand.values.iter().zip(&available.values))
+                .all(|(dim, (dv, av))| dim.kind != ConstraintKind::Soft || av >= dv);
+            if soft_ok && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, name));
+            }
+            if best_relaxed.is_none_or(|(bd, _)| d < bd) {
+                best_relaxed = Some((d, name));
+            }
+        }
+        best.or(best_relaxed).map(|(_, n)| n)
+    }
+}
+
+/// A point in a [`ResourceSpace`]: a task's demand or a node's
+/// availability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceVector {
+    values: Vec<f64>,
+}
+
+impl ResourceVector {
+    /// The raw values, in the space's dimension order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Component-wise subtraction saturating soft semantics are the
+    /// caller's concern; this is plain vector arithmetic.
+    pub fn minus(&self, other: &ResourceVector) -> ResourceVector {
+        assert_eq!(self.values.len(), other.values.len(), "dimension mismatch");
+        ResourceVector {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}]",
+            self.values
+                .iter()
+                .map(|v| format!("{v:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_space() -> ResourceSpace {
+        // A 4-dimensional deployment: memory and GPU memory hard, CPU and
+        // disk IOPS soft.
+        ResourceSpace::new(vec![
+            Dimension::new("memory_mb", ConstraintKind::Hard, 1.0, 4096.0),
+            Dimension::new("gpu_mem_mb", ConstraintKind::Hard, 1.0, 16384.0),
+            Dimension::new("cpu_points", ConstraintKind::Soft, 1.0, 400.0),
+            Dimension::new("disk_iops", ConstraintKind::Soft, 0.5, 10_000.0),
+        ])
+    }
+
+    #[test]
+    fn storm_default_matches_the_paper() {
+        let s = ResourceSpace::storm_default();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.dimensions()[0].kind, ConstraintKind::Hard);
+        assert_eq!(s.dimensions()[1].kind, ConstraintKind::Soft);
+    }
+
+    #[test]
+    fn hard_constraints_checked_per_dimension() {
+        let s = gpu_space();
+        let demand = s.vector(vec![1024.0, 8192.0, 100.0, 500.0]);
+        let fits = s.vector(vec![2048.0, 8192.0, 50.0, 100.0]);
+        let no_gpu = s.vector(vec![8192.0, 4096.0, 400.0, 9000.0]);
+        assert!(s.satisfies_hard(&demand, &fits), "soft shortfall is fine");
+        assert!(!s.satisfies_hard(&demand, &no_gpu), "hard GPU shortfall");
+    }
+
+    #[test]
+    fn distance_matches_hand_computation() {
+        let s = ResourceSpace::new(vec![
+            Dimension::new("a", ConstraintKind::Soft, 1.0, 1.0),
+            Dimension::new("b", ConstraintKind::Soft, 4.0, 1.0),
+        ]);
+        let demand = s.vector(vec![2.0, 3.0]);
+        let avail = s.vector(vec![1.0, 1.0]);
+        // sqrt(1·1² + 4·2² + 1·2²) = sqrt(21)
+        let d = s.distance(&demand, &avail, 2.0, 1.0);
+        assert!((d - 21.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_node_prefers_fit_then_relaxes() {
+        let s = gpu_space();
+        let demand = s.vector(vec![1024.0, 4096.0, 200.0, 1000.0]);
+        let nodes = vec![
+            // Violates hard GPU memory: never eligible.
+            ("no-gpu".to_owned(), s.vector(vec![8192.0, 2048.0, 400.0, 9000.0]), 0.0),
+            // Satisfies everything but is far away.
+            ("far".to_owned(), s.vector(vec![2048.0, 8192.0, 400.0, 5000.0]), 5.0),
+            // Soft CPU shortfall, but perfectly close.
+            ("tight".to_owned(), s.vector(vec![2048.0, 8192.0, 100.0, 5000.0]), 0.0),
+        ];
+        // First pass prefers the soft-satisfying node despite distance.
+        assert_eq!(s.select_node(&demand, &nodes, 1.0), Some("far"));
+        // With only soft-violating candidates, selection relaxes.
+        let only_tight = &nodes[2..];
+        assert_eq!(s.select_node(&demand, only_tight, 1.0), Some("tight"));
+        // With only hard-violating candidates, there is no node.
+        let only_bad = &nodes[..1];
+        assert_eq!(s.select_node(&demand, only_bad, 1.0), None);
+    }
+
+    #[test]
+    fn vector_arithmetic_and_display() {
+        let s = ResourceSpace::storm_default();
+        let a = s.vector(vec![1024.0, 50.0, 10.0]);
+        let b = s.vector(vec![24.0, 20.0, 10.0]);
+        let d = a.minus(&b);
+        assert_eq!(d.values(), &[1000.0, 30.0, 0.0]);
+        assert_eq!(a.to_string(), "[1024.0, 50.0, 10.0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 values")]
+    fn arity_mismatch_rejected() {
+        ResourceSpace::storm_default().vector(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dimension")]
+    fn duplicate_dimensions_rejected() {
+        ResourceSpace::new(vec![
+            Dimension::new("x", ConstraintKind::Soft, 1.0, 1.0),
+            Dimension::new("x", ConstraintKind::Hard, 1.0, 1.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        Dimension::new("x", ConstraintKind::Soft, 1.0, 0.0);
+    }
+
+    #[test]
+    fn three_dim_space_agrees_with_the_concrete_metric() {
+        // The generalized metric must coincide with the scheduler's
+        // concrete 3-D distance for matching weights and scales.
+        use crate::resource::{weighted_euclidean, NormalizationContext, SoftConstraintWeights};
+        let s = ResourceSpace::new(vec![
+            Dimension::new("memory_mb", ConstraintKind::Hard, 1.0, 2048.0),
+            Dimension::new("cpu_points", ConstraintKind::Soft, 1.0, 100.0),
+        ]);
+        let demand = s.vector(vec![512.0, 30.0]);
+        let avail = s.vector(vec![1024.0, 80.0]);
+        let generalized = s.distance(&demand, &avail, 1.0 / 5.0, 10.0);
+
+        let concrete = weighted_euclidean(
+            &SoftConstraintWeights::new(1.0, 1.0, 10.0),
+            &NormalizationContext {
+                max_memory_mb: 2048.0,
+                max_cpu_points: 100.0,
+                max_network_distance: 5.0,
+            },
+            512.0,
+            30.0,
+            1024.0,
+            80.0,
+            1.0,
+        );
+        assert!((generalized - concrete).abs() < 1e-12);
+    }
+}

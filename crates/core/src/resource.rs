@@ -1,0 +1,267 @@
+//! Resource-space geometry: the weighted Euclidean distance of
+//! Algorithm 4 and its normalization.
+//!
+//! The paper models both a task's demand and a node's availability as
+//! vectors in R^n (n = 3 here: memory, CPU, bandwidth-as-network-distance)
+//! and selects the node *closest* to the task's demand that violates no
+//! hard constraint. Because the raw dimensions have wildly different units
+//! (megabytes vs. CPU points vs. hop costs), the paper attaches weights to
+//! the soft constraints "so that values can be normalized for comparison,
+//! as well as for allowing users to decide which constraints are more
+//! valued" (§4). [`NormalizationContext`] captures the per-cluster scale
+//! factors; [`SoftConstraintWeights`] captures the user preference.
+
+use rstorm_cluster::Cluster;
+
+/// User-tunable weights for the three terms of the node-selection
+/// distance (Algorithm 4's `weight_m`, `weight_c`, `weight_b`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftConstraintWeights {
+    /// Weight of the memory-fit term.
+    pub memory: f64,
+    /// Weight of the CPU-fit term.
+    pub cpu: f64,
+    /// Weight of the network-distance term.
+    pub network: f64,
+}
+
+impl SoftConstraintWeights {
+    /// Creates a weight triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or not finite.
+    pub fn new(memory: f64, cpu: f64, network: f64) -> Self {
+        for (name, v) in [("memory", memory), ("cpu", cpu), ("network", network)] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "weight `{name}` must be finite and non-negative, got {v}"
+            );
+        }
+        Self {
+            memory,
+            cpu,
+            network,
+        }
+    }
+
+    /// Disables the network-distance term (used by the ablation study to
+    /// show colocation is where the network-bound speedups come from).
+    pub fn without_network(mut self) -> Self {
+        self.network = 0.0;
+        self
+    }
+}
+
+impl Default for SoftConstraintWeights {
+    /// Equal weights after normalization. The network term gets a larger
+    /// default weight because the paper's first-listed design property is
+    /// that communicating tasks are placed close together; resource fit is
+    /// the tie-breaker within a network distance class.
+    fn default() -> Self {
+        Self {
+            memory: 1.0,
+            cpu: 1.0,
+            network: 10.0,
+        }
+    }
+}
+
+/// Per-cluster scale factors that bring the three distance terms into
+/// comparable [0, 1] ranges before weighting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizationContext {
+    /// Largest node memory capacity in the cluster (MB).
+    pub max_memory_mb: f64,
+    /// Largest node CPU capacity in the cluster (points).
+    pub max_cpu_points: f64,
+    /// Largest possible scheduler network distance (inter-rack).
+    pub max_network_distance: f64,
+}
+
+impl NormalizationContext {
+    /// Derives the normalization scales from a cluster.
+    pub fn for_cluster(cluster: &Cluster) -> Self {
+        let mut max_memory_mb: f64 = 1.0;
+        let mut max_cpu_points: f64 = 1.0;
+        for node in cluster.nodes() {
+            max_memory_mb = max_memory_mb.max(node.capacity().memory_mb);
+            max_cpu_points = max_cpu_points.max(node.capacity().cpu_points);
+        }
+        let costs = cluster.costs();
+        let max_network_distance = costs
+            .distance_inter_rack
+            .max(costs.distance_same_rack)
+            .max(costs.distance_same_node)
+            .max(1e-9);
+        Self {
+            max_memory_mb,
+            max_cpu_points,
+            max_network_distance,
+        }
+    }
+
+    /// An identity context (no rescaling) for unit tests and for callers
+    /// who pre-normalize their inputs.
+    pub fn identity() -> Self {
+        Self {
+            max_memory_mb: 1.0,
+            max_cpu_points: 1.0,
+            max_network_distance: 1.0,
+        }
+    }
+}
+
+/// Algorithm 4's `Distance` procedure:
+///
+/// ```text
+/// distance ← weight_m·(m_τ − m_θ)² + weight_c·(c_τ − c_θ)²
+///          + weight_b·networkDistance(refNode, θ)²
+/// return sqrt(distance)
+/// ```
+///
+/// with each term normalized to [0, 1] by the [`NormalizationContext`]
+/// first. `task_*` are the task's demands, `node_*` the node's *remaining*
+/// availability, and `network_distance` the scheduler distance from the
+/// topology's reference node to the candidate node.
+pub fn weighted_euclidean(
+    weights: &SoftConstraintWeights,
+    norm: &NormalizationContext,
+    task_memory_mb: f64,
+    task_cpu_points: f64,
+    node_memory_mb: f64,
+    node_cpu_points: f64,
+    network_distance: f64,
+) -> f64 {
+    let dm = (task_memory_mb - node_memory_mb) / norm.max_memory_mb;
+    let dc = (task_cpu_points - node_cpu_points) / norm.max_cpu_points;
+    let db = network_distance / norm.max_network_distance;
+    (weights.memory * dm * dm + weights.cpu * dc * dc + weights.network * db * db).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+
+    fn w(m: f64, c: f64, n: f64) -> SoftConstraintWeights {
+        SoftConstraintWeights::new(m, c, n)
+    }
+
+    #[test]
+    fn distance_is_zero_for_perfect_fit_at_ref_node() {
+        let d = weighted_euclidean(
+            &w(1.0, 1.0, 1.0),
+            &NormalizationContext::identity(),
+            512.0,
+            50.0,
+            512.0,
+            50.0,
+            0.0,
+        );
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn distance_matches_hand_computation() {
+        // Unnormalized: sqrt(1·(2-1)² + 1·(3-1)² + 1·2²) = 3.
+        let d = weighted_euclidean(
+            &w(1.0, 1.0, 1.0),
+            &NormalizationContext::identity(),
+            2.0,
+            3.0,
+            1.0,
+            1.0,
+            2.0,
+        );
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_terms() {
+        let base = weighted_euclidean(
+            &w(0.0, 0.0, 1.0),
+            &NormalizationContext::identity(),
+            9.0,
+            9.0,
+            0.0,
+            0.0,
+            2.0,
+        );
+        assert_eq!(base, 2.0, "only the network term remains");
+        let boosted = weighted_euclidean(
+            &w(0.0, 0.0, 4.0),
+            &NormalizationContext::identity(),
+            9.0,
+            9.0,
+            0.0,
+            0.0,
+            2.0,
+        );
+        assert_eq!(boosted, 4.0, "weight multiplies the squared term");
+    }
+
+    #[test]
+    fn symmetric_in_fit_direction() {
+        // Over-provisioned and under-provisioned by the same amount are
+        // equally distant; hard constraints (checked elsewhere) are what
+        // forbid the under-provisioned choice for memory.
+        let ctx = NormalizationContext::identity();
+        let over = weighted_euclidean(&w(1.0, 1.0, 0.0), &ctx, 1.0, 1.0, 2.0, 1.0, 0.0);
+        let under = weighted_euclidean(&w(1.0, 1.0, 0.0), &ctx, 1.0, 1.0, 0.0, 1.0, 0.0);
+        assert_eq!(over, under);
+    }
+
+    #[test]
+    fn normalization_context_from_cluster() {
+        let cluster = ClusterBuilder::new()
+            .add_node("small", "r0", ResourceCapacity::new(100.0, 2048.0, 100.0), 1)
+            .add_node("big", "r1", ResourceCapacity::new(400.0, 16384.0, 100.0), 1)
+            .build()
+            .unwrap();
+        let ctx = NormalizationContext::for_cluster(&cluster);
+        assert_eq!(ctx.max_memory_mb, 16384.0);
+        assert_eq!(ctx.max_cpu_points, 400.0);
+        assert_eq!(
+            ctx.max_network_distance,
+            cluster.costs().distance_inter_rack
+        );
+    }
+
+    #[test]
+    fn normalization_makes_units_comparable() {
+        // A 1024 MB memory misfit and a 50-point CPU misfit should
+        // contribute comparably once normalized by 2048 MB / 100 points.
+        let ctx = NormalizationContext {
+            max_memory_mb: 2048.0,
+            max_cpu_points: 100.0,
+            max_network_distance: 5.0,
+        };
+        let mem_only = weighted_euclidean(&w(1.0, 0.0, 0.0), &ctx, 1024.0, 0.0, 0.0, 0.0, 0.0);
+        let cpu_only = weighted_euclidean(&w(0.0, 1.0, 0.0), &ctx, 0.0, 50.0, 0.0, 0.0, 0.0);
+        assert!((mem_only - 0.5).abs() < 1e-12);
+        assert!((cpu_only - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight `cpu`")]
+    fn negative_weight_rejected() {
+        SoftConstraintWeights::new(1.0, -1.0, 1.0);
+    }
+
+    #[test]
+    fn without_network_zeroes_term() {
+        let weights = SoftConstraintWeights::default().without_network();
+        assert_eq!(weights.network, 0.0);
+        let d = weighted_euclidean(
+            &weights,
+            &NormalizationContext::identity(),
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1000.0,
+        );
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The R-Storm resource-aware scheduler (§4 of the paper).
+//!
+//! Scheduling proceeds in two phases (Algorithm 1):
+//!
+//! 1. [`task_selection`] produces an ordering of all tasks such that tasks
+//!    of adjacent components appear in close succession (Algorithms 2–3).
+//! 2. [`node_selection`] greedily maps each task to the node minimizing a
+//!    weighted Euclidean distance in resource space, anchored at a
+//!    reference node, without violating the hard memory constraint
+//!    (Algorithm 4).
+//!
+//! The assignment is committed atomically: a topology that cannot be fully
+//! placed leaves the [`GlobalState`] untouched and yields a
+//! [`ScheduleError`].
+
+pub mod node_selection;
+pub mod task_selection;
+
+use crate::assignment::Assignment;
+use crate::error::ScheduleError;
+use crate::global_state::GlobalState;
+use crate::resource::SoftConstraintWeights;
+use crate::scheduler::Scheduler;
+use node_selection::NodeSelector;
+use rstorm_cluster::Cluster;
+use rstorm_topology::{Topology, TraversalOrder};
+use std::collections::BTreeMap;
+
+/// Configuration of the R-Storm scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RStormConfig {
+    /// Weights of the distance terms (Algorithm 4).
+    pub weights: SoftConstraintWeights,
+    /// Component traversal strategy for task selection (the paper uses
+    /// BFS; DFS and declaration order exist for the ablation study).
+    pub traversal: TraversalOrder,
+}
+
+/// The R-Storm scheduler.
+///
+/// See the [module docs](self) and the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct RStormScheduler {
+    config: RStormConfig,
+}
+
+impl RStormScheduler {
+    /// Creates a scheduler with the default configuration (BFS traversal,
+    /// default weights).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: RStormConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RStormConfig {
+        &self.config
+    }
+}
+
+impl Scheduler for RStormScheduler {
+    fn name(&self) -> &str {
+        "rstorm"
+    }
+
+    fn schedule(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+    ) -> Result<Assignment, ScheduleError> {
+        if state.is_scheduled(topology.id().as_str()) {
+            return Err(ScheduleError::AlreadyScheduled(topology.id().clone()));
+        }
+        if state.iter_remaining().next().is_none() {
+            return Err(ScheduleError::NoAliveNodes);
+        }
+
+        let task_set = topology.task_set();
+        let ordering = task_selection::task_ordering(topology, &task_set, self.config.traversal);
+
+        // Work on a scratch copy so a failed scheduling leaves `state`
+        // untouched (atomic commit, §4.1).
+        let mut scratch = state.clone();
+        let mut selector = NodeSelector::new(cluster, &self.config.weights);
+        let mut slots = BTreeMap::new();
+
+        for task_id in ordering {
+            let request = *task_set
+                .resources(task_id)
+                .expect("ordering only contains tasks of this task set");
+            let node = selector
+                .select(&scratch, &request)
+                .map_err(|best_available_mb| ScheduleError::InsufficientMemory {
+                    topology: topology.id().clone(),
+                    task: task_id,
+                    needed_mb: request.memory_mb,
+                    best_available_mb,
+                })?;
+            scratch.reserve(topology.id(), &node, &request);
+            let slot = scratch.slot_for(cluster, topology.id(), &node);
+            slots.insert(task_id, slot);
+        }
+
+        let assignment = Assignment::new(topology.id().clone(), slots);
+        scratch.commit(assignment.clone());
+        *state = scratch;
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyBuilder;
+
+    fn emulab(racks: u32, nodes: u32) -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(racks, nodes, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    fn linear(tasks_per_component: u32, cpu: f64, mem: f64) -> Topology {
+        let mut b = TopologyBuilder::new("linear");
+        b.set_spout("c0", tasks_per_component)
+            .set_cpu_load(cpu)
+            .set_memory_load(mem);
+        for i in 1..4 {
+            b.set_bolt(format!("c{i}"), tasks_per_component)
+                .shuffle_grouping(format!("c{}", i - 1))
+                .set_cpu_load(cpu)
+                .set_memory_load(mem);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_task_is_placed() {
+        let cluster = emulab(2, 6);
+        let t = linear(4, 20.0, 128.0);
+        let mut state = GlobalState::new(&cluster);
+        let a = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        assert_eq!(a.len(), 16);
+        assert!(state.is_scheduled("linear"));
+    }
+
+    #[test]
+    fn colocates_when_resources_allow() {
+        // 16 tasks × (20 cpu, 128 MB) fit comfortably on few nodes:
+        // R-Storm should use far fewer machines than the cluster offers.
+        let cluster = emulab(2, 6);
+        let t = linear(4, 20.0, 128.0);
+        let mut state = GlobalState::new(&cluster);
+        let a = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        let used = a.used_nodes().len();
+        assert!(
+            used <= 5,
+            "expected tight packing, used {used} of 12 nodes"
+        );
+        // And everything stays within one rack when it fits there.
+        let racks: std::collections::BTreeSet<_> = a
+            .used_nodes()
+            .iter()
+            .map(|n| cluster.rack_of(n.as_str()).unwrap().clone())
+            .collect();
+        assert_eq!(racks.len(), 1, "single-rack packing expected");
+    }
+
+    #[test]
+    fn hard_memory_constraint_is_never_violated() {
+        let cluster = emulab(2, 6);
+        // Each node has 2048 MB; tasks of 700 MB → at most 2 per node.
+        let t = linear(3, 10.0, 700.0);
+        let mut state = GlobalState::new(&cluster);
+        let a = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        for node in a.used_nodes() {
+            let tasks = a.tasks_on_node(node.as_str());
+            assert!(
+                tasks.len() <= 2,
+                "node {node} got {} × 700 MB tasks into 2048 MB",
+                tasks.len()
+            );
+        }
+        // Remaining memory is non-negative everywhere.
+        for (_, rem) in state.iter_remaining() {
+            assert!(rem.memory_mb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn infeasible_topology_is_rejected_atomically() {
+        let cluster = emulab(1, 2);
+        // 4096 MB tasks cannot fit on 2048 MB nodes.
+        let t = linear(1, 10.0, 4096.0);
+        let mut state = GlobalState::new(&cluster);
+        let before = state.clone();
+        let err = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap_err();
+        match err {
+            ScheduleError::InsufficientMemory {
+                needed_mb,
+                best_available_mb,
+                ..
+            } => {
+                assert_eq!(needed_mb, 4096.0);
+                assert_eq!(best_available_mb, 2048.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // State unchanged (atomicity).
+        for ((n1, r1), (n2, r2)) in state.iter_remaining().zip(before.iter_remaining()) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1, r2);
+        }
+        assert!(!state.is_scheduled("linear"));
+    }
+
+    #[test]
+    fn rescheduling_same_topology_is_rejected() {
+        let cluster = emulab(1, 2);
+        let t = linear(1, 10.0, 128.0);
+        let mut state = GlobalState::new(&cluster);
+        RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        assert_eq!(
+            RStormScheduler::new()
+                .schedule(&t, &cluster, &mut state)
+                .unwrap_err(),
+            ScheduleError::AlreadyScheduled(t.id().clone())
+        );
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let mut cluster = emulab(1, 1);
+        cluster.kill_node("rack-0-node-0");
+        let t = linear(1, 10.0, 128.0);
+        let mut state = GlobalState::new(&cluster);
+        assert_eq!(
+            RStormScheduler::new()
+                .schedule(&t, &cluster, &mut state)
+                .unwrap_err(),
+            ScheduleError::NoAliveNodes
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let cluster = emulab(2, 6);
+        let t = linear(4, 30.0, 256.0);
+        let a1 = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut GlobalState::new(&cluster))
+            .unwrap();
+        let a2 = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut GlobalState::new(&cluster))
+            .unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn second_topology_lands_on_fresh_nodes_when_possible() {
+        // Two CPU-hungry topologies, each filling one rack: the second
+        // should anchor in the other rack because the first one's rack
+        // has fewer remaining resources.
+        let hog = |name: &str| {
+            let mut b = TopologyBuilder::new(name);
+            b.set_spout("s", 3).set_cpu_load(90.0).set_memory_load(256.0);
+            b.set_bolt("b", 3)
+                .shuffle_grouping("s")
+                .set_cpu_load(90.0)
+                .set_memory_load(256.0);
+            b.build().unwrap()
+        };
+        let cluster = emulab(2, 6);
+        let (t1, t2) = (hog("hog-a"), hog("hog-b"));
+
+        let mut state = GlobalState::new(&cluster);
+        let s = RStormScheduler::new();
+        let a1 = s.schedule(&t1, &cluster, &mut state).unwrap();
+        let a2 = s.schedule(&t2, &cluster, &mut state).unwrap();
+        let (used1, used2) = (a1.used_nodes(), a2.used_nodes());
+        let overlap: Vec<_> = used1.intersection(&used2).collect();
+        assert!(
+            overlap.is_empty(),
+            "topologies should avoid each other, overlapped on {overlap:?}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Node selection (Algorithm 4).
+//!
+//! The first task of a topology anchors the **reference node**: the node
+//! with the most remaining resources inside the rack with the most
+//! remaining resources. Every task (including the first) is then placed on
+//! the node minimizing the weighted Euclidean distance between the task's
+//! demand vector and the node's remaining availability vector, with the
+//! network-distance-to-refNode as the bandwidth term — "tasks will be
+//! patched as tightly on or closely around the Ref Node as resource
+//! constraints allow" (§4.2). Nodes whose remaining memory cannot hold the
+//! task are excluded (the hard constraint `H_θ > H_τ`).
+
+use crate::global_state::GlobalState;
+use crate::resource::{weighted_euclidean, NormalizationContext, SoftConstraintWeights};
+use rstorm_cluster::{Cluster, NodeId};
+use rstorm_topology::ResourceRequest;
+
+/// Stateful node selector for scheduling one topology.
+#[derive(Debug)]
+pub struct NodeSelector<'a> {
+    cluster: &'a Cluster,
+    weights: &'a SoftConstraintWeights,
+    norm: NormalizationContext,
+    ref_node: Option<NodeId>,
+}
+
+impl<'a> NodeSelector<'a> {
+    /// Creates a selector for one topology-scheduling pass.
+    pub fn new(cluster: &'a Cluster, weights: &'a SoftConstraintWeights) -> Self {
+        Self {
+            cluster,
+            weights,
+            norm: NormalizationContext::for_cluster(cluster),
+            ref_node: None,
+        }
+    }
+
+    /// The reference node, once anchored by the first selection.
+    pub fn ref_node(&self) -> Option<&NodeId> {
+        self.ref_node.as_ref()
+    }
+
+    /// Selects the node for a task with demand `request` given current
+    /// remaining resources, or `Err(best_available_mb)` if no node
+    /// satisfies the hard memory constraint.
+    ///
+    /// Selection is two-pass, matching the production Resource Aware
+    /// Scheduler's behaviour: the first pass only considers nodes whose
+    /// remaining *soft* CPU budget also covers the task (so a feasible
+    /// cluster is never over-committed); if no such node exists the soft
+    /// constraint is relaxed — CPU may then be overloaded, which is what
+    /// distinguishes it from the hard memory constraint.
+    pub fn select(
+        &mut self,
+        state: &GlobalState,
+        request: &ResourceRequest,
+    ) -> Result<NodeId, f64> {
+        if self.ref_node.is_none() {
+            self.ref_node = self.find_ref_node(state);
+        }
+        let ref_node = match &self.ref_node {
+            Some(n) => n.clone(),
+            None => return Err(0.0),
+        };
+
+        let mut best: Option<(f64, &NodeId)> = None;
+        let mut best_relaxed: Option<(f64, &NodeId)> = None;
+        let mut best_available_mb: f64 = 0.0;
+        for (node, remaining) in state.iter_remaining() {
+            best_available_mb = best_available_mb.max(remaining.memory_mb);
+            // Hard constraint: never over-commit memory.
+            if remaining.memory_mb < request.memory_mb {
+                continue;
+            }
+            let network_distance = self.cluster.node_distance(ref_node.as_str(), node.as_str());
+            let d = weighted_euclidean(
+                self.weights,
+                &self.norm,
+                request.memory_mb,
+                request.cpu_points,
+                remaining.memory_mb,
+                remaining.cpu_points,
+                network_distance,
+            );
+            // Strict `<` plus ordered iteration makes ties deterministic
+            // (first node in id order wins).
+            if remaining.cpu_points >= request.cpu_points
+                && best.is_none_or(|(bd, _)| d < bd)
+            {
+                best = Some((d, node));
+            }
+            if best_relaxed.is_none_or(|(bd, _)| d < bd) {
+                best_relaxed = Some((d, node));
+            }
+        }
+        match best.or(best_relaxed) {
+            Some((_, node)) => Ok(node.clone()),
+            None => Err(best_available_mb),
+        }
+    }
+
+    /// Algorithm 4 lines 6-9: the node with the most resources in the
+    /// rack with the most resources.
+    fn find_ref_node(&self, state: &GlobalState) -> Option<NodeId> {
+        let (max_cpu, max_mem) = (self.norm.max_cpu_points, self.norm.max_memory_mb);
+        let mut best_rack: Option<(f64, &str)> = None;
+        for rack in self.cluster.racks() {
+            let abundance: f64 = self
+                .cluster
+                .rack_nodes(rack.as_str())
+                .iter()
+                .filter_map(|n| state.remaining(n.as_str()))
+                .map(|r| r.abundance(max_cpu, max_mem))
+                .sum();
+            let has_alive = self
+                .cluster
+                .rack_nodes(rack.as_str())
+                .iter()
+                .any(|n| state.remaining(n.as_str()).is_some());
+            if !has_alive {
+                continue;
+            }
+            if best_rack.is_none_or(|(b, _)| abundance > b) {
+                best_rack = Some((abundance, rack.as_str()));
+            }
+        }
+        let rack = best_rack?.1;
+
+        let mut best_node: Option<(f64, &NodeId)> = None;
+        for node in self.cluster.rack_nodes(rack) {
+            let Some(remaining) = state.remaining(node.as_str()) else {
+                continue;
+            };
+            let abundance = remaining.abundance(max_cpu, max_mem);
+            if best_node.is_none_or(|(b, _)| abundance > b) {
+                best_node = Some((abundance, node));
+            }
+        }
+        best_node.map(|(_, n)| n.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyId;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ref_node_is_most_abundant_in_most_abundant_rack() {
+        let c = cluster();
+        let mut state = GlobalState::new(&c);
+        // Drain rack-0 a bit so rack-1 is the most abundant.
+        state.reserve(
+            &TopologyId::new("x"),
+            &NodeId::new("rack-0-node-0"),
+            &ResourceRequest::new(50.0, 1024.0, 0.0),
+        );
+        // Drain rack-1-node-0 so node-1 is the most abundant there.
+        state.reserve(
+            &TopologyId::new("x"),
+            &NodeId::new("rack-1-node-0"),
+            &ResourceRequest::new(10.0, 128.0, 0.0),
+        );
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c, &weights);
+        let node = sel
+            .select(&state, &ResourceRequest::new(10.0, 64.0, 0.0))
+            .unwrap();
+        assert_eq!(sel.ref_node().unwrap().as_str(), "rack-1-node-1");
+        // With plenty of room everywhere, the chosen node is near the ref
+        // node (same rack at minimum).
+        assert_eq!(c.rack_of(node.as_str()).unwrap().as_str(), "rack-1");
+    }
+
+    #[test]
+    fn memory_hard_constraint_excludes_full_nodes() {
+        let c = cluster();
+        let mut state = GlobalState::new(&c);
+        // Fill every node except one below the task's demand.
+        for node in c.nodes() {
+            if node.id().as_str() != "rack-1-node-2" {
+                state.reserve(
+                    &TopologyId::new("x"),
+                    node.id(),
+                    &ResourceRequest::new(0.0, 1900.0, 0.0),
+                );
+            }
+        }
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c, &weights);
+        let node = sel
+            .select(&state, &ResourceRequest::new(10.0, 512.0, 0.0))
+            .unwrap();
+        assert_eq!(node.as_str(), "rack-1-node-2");
+    }
+
+    #[test]
+    fn reports_best_available_on_failure() {
+        let c = cluster();
+        let mut state = GlobalState::new(&c);
+        for node in c.nodes() {
+            state.reserve(
+                &TopologyId::new("x"),
+                node.id(),
+                &ResourceRequest::new(0.0, 1500.0, 0.0),
+            );
+        }
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c, &weights);
+        let err = sel
+            .select(&state, &ResourceRequest::new(0.0, 1024.0, 0.0))
+            .unwrap_err();
+        assert_eq!(err, 548.0);
+    }
+
+    #[test]
+    fn successive_selections_stay_near_ref_node() {
+        let c = cluster();
+        let mut state = GlobalState::new(&c);
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c, &weights);
+        let t = TopologyId::new("t");
+        let req = ResourceRequest::new(30.0, 256.0, 0.0);
+        let mut nodes = Vec::new();
+        for _ in 0..6 {
+            let n = sel.select(&state, &req).unwrap();
+            state.reserve(&t, &n, &req);
+            nodes.push(n);
+        }
+        let ref_rack = c.rack_of(sel.ref_node().unwrap().as_str()).unwrap();
+        for n in &nodes {
+            assert_eq!(
+                c.rack_of(n.as_str()).unwrap(),
+                ref_rack,
+                "all six light tasks fit within the reference rack"
+            );
+        }
+    }
+
+    #[test]
+    fn no_nodes_yields_error() {
+        let mut c = cluster();
+        for i in 0..3 {
+            c.kill_node(&format!("rack-0-node-{i}"));
+            c.kill_node(&format!("rack-1-node-{i}"));
+        }
+        let state = GlobalState::new(&c);
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c, &weights);
+        assert!(sel.select(&state, &ResourceRequest::zero()).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! The scheduler abstraction — the analog of Storm's `IScheduler`.
+
+use crate::assignment::{Assignment, SchedulingPlan};
+use crate::error::ScheduleError;
+use crate::global_state::GlobalState;
+use rstorm_cluster::Cluster;
+use rstorm_topology::Topology;
+
+/// A topology scheduler.
+///
+/// The analog of Storm's `IScheduler` interface (§5): Nimbus invokes the
+/// configured scheduler periodically with the pending topologies and the
+/// cluster state. Implementations must be deterministic given the same
+/// inputs (the R-Storm and even schedulers are; the random baseline is
+/// deterministic given its seed).
+pub trait Scheduler {
+    /// A short human-readable name (used in reports and config files).
+    fn name(&self) -> &str;
+
+    /// Computes a complete assignment for one topology, reserving its
+    /// resources in `state`. On success the assignment has also been
+    /// committed to `state` (atomically — a failed scheduling must leave
+    /// `state` unchanged).
+    fn schedule(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+    ) -> Result<Assignment, ScheduleError>;
+}
+
+/// Schedules several topologies in submission order against one fresh
+/// [`GlobalState`], returning the combined plan. This is the paper's
+/// multi-topology experiment path (§6.5): topologies submitted together
+/// share the cluster, and each scheduling sees the resources the previous
+/// ones consumed.
+pub fn schedule_all<S: Scheduler + ?Sized>(
+    scheduler: &S,
+    topologies: &[&Topology],
+    cluster: &Cluster,
+) -> Result<SchedulingPlan, ScheduleError> {
+    let mut state = GlobalState::new(cluster);
+    for topology in topologies {
+        scheduler.schedule(topology, cluster, &mut state)?;
+    }
+    Ok(state.plan().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulers::EvenScheduler;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyBuilder;
+
+    fn topology(name: &str) -> Topology {
+        let mut b = TopologyBuilder::new(name);
+        b.set_spout("s", 2);
+        b.set_bolt("b", 2).shuffle_grouping("s");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schedule_all_combines_plans() {
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(1, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let t1 = topology("t1");
+        let t2 = topology("t2");
+        let plan = schedule_all(&EvenScheduler::new(), &[&t1, &t2], &cluster).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.assignment("t1").unwrap().len(), 4);
+        assert_eq!(plan.assignment("t2").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(1, 2, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let t = topology("t");
+        let boxed: Box<dyn Scheduler> = Box::new(EvenScheduler::new());
+        let plan = schedule_all(boxed.as_ref(), &[&t], &cluster).unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+}

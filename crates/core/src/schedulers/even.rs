@@ -1,0 +1,218 @@
+//! Storm's default scheduler: resource-oblivious round-robin.
+//!
+//! "The default round-robin scheduling currently deployed in Storm
+//! disregards resource demands and availability" (§1). Tasks are dealt
+//! round-robin over worker slots interleaved across nodes, so "tasks from
+//! a single bolt or spout will most likely be placed on different physical
+//! machines" (§2). Memory demands are *not* checked — over-committing a
+//! node is exactly the failure mode the paper attributes to this
+//! scheduler.
+
+use crate::assignment::Assignment;
+use crate::error::ScheduleError;
+use crate::global_state::GlobalState;
+use crate::scheduler::Scheduler;
+use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_topology::Topology;
+use std::collections::BTreeMap;
+
+/// Storm's default ("even") scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvenScheduler;
+
+impl EvenScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Worker slots of all alive nodes, interleaved node-major: the first
+    /// slot of every node, then the second slot of every node, and so on —
+    /// the order Storm's even scheduler deals executors into.
+    fn interleaved_slots(cluster: &Cluster) -> Vec<WorkerSlot> {
+        let nodes: Vec<_> = cluster.alive_nodes().collect();
+        let max_slots = nodes.iter().map(|n| n.slots().len()).max().unwrap_or(0);
+        let mut slots = Vec::new();
+        for round in 0..max_slots {
+            for node in &nodes {
+                if let Some(slot) = node.slots().get(round) {
+                    slots.push(slot.clone());
+                }
+            }
+        }
+        slots
+    }
+}
+
+impl Scheduler for EvenScheduler {
+    fn name(&self) -> &str {
+        "default"
+    }
+
+    fn schedule(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+    ) -> Result<Assignment, ScheduleError> {
+        if state.is_scheduled(topology.id().as_str()) {
+            return Err(ScheduleError::AlreadyScheduled(topology.id().clone()));
+        }
+        let mut slots = Self::interleaved_slots(cluster);
+        if slots.is_empty() {
+            return Err(ScheduleError::NoAliveNodes);
+        }
+        // Start from the least-occupied slots so a second topology
+        // continues the round-robin where the first left off, as Storm's
+        // slot-sorting does. The sort is stable, preserving the
+        // cross-node interleaving within each occupancy class.
+        slots.sort_by_key(|s| state.slot_occupancy(s));
+        // Storm packs a topology's executors into `topology.workers`
+        // worker processes; the default scheduler never uses more slots
+        // than that, whatever the executor count.
+        if let Some(workers) = topology.num_workers() {
+            slots.truncate((workers as usize).max(1));
+        }
+
+        let task_set = topology.task_set();
+        let mut mapping = BTreeMap::new();
+        for (i, task) in task_set.tasks().iter().enumerate() {
+            let slot = slots[i % slots.len()].clone();
+            let request = task_set
+                .resources(task.id)
+                .expect("task set provides resources for its own tasks");
+            // Resource-oblivious: reserve without any feasibility check.
+            state.reserve(topology.id(), &slot.node, request);
+            state.occupy_slot(&slot);
+            mapping.insert(task.id, slot);
+        }
+        let assignment = Assignment::new(topology.id().clone(), mapping);
+        state.commit(assignment.clone());
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::{TaskId, TopologyBuilder};
+
+    fn cluster(nodes: u32) -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, nodes / 2, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    fn topology(name: &str, spouts: u32, bolts: u32) -> Topology {
+        let mut b = TopologyBuilder::new(name);
+        b.set_spout("s", spouts).set_memory_load(512.0);
+        b.set_bolt("b", bolts)
+            .shuffle_grouping("s")
+            .set_memory_load(512.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn consecutive_tasks_land_on_different_nodes() {
+        let c = cluster(12);
+        let t = topology("t", 6, 6);
+        let mut state = GlobalState::new(&c);
+        let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
+        assert_eq!(a.len(), 12);
+        // Twelve tasks over twelve nodes: every node gets exactly one.
+        assert_eq!(a.used_nodes().len(), 12);
+        for i in 0..11u32 {
+            assert_ne!(
+                a.node_of(TaskId(i)).unwrap(),
+                a.node_of(TaskId(i + 1)).unwrap(),
+                "round-robin must alternate nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn wraps_around_when_tasks_exceed_slots() {
+        let c = cluster(2); // 2 nodes × 4 slots = 8 slots
+        let t = topology("t", 5, 5);
+        let mut state = GlobalState::new(&c);
+        let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.used_nodes().len(), 2);
+    }
+
+    #[test]
+    fn ignores_memory_constraints() {
+        // 1 node of 2048 MB; ten 512 MB tasks = 5120 MB demanded.
+        let c = ClusterBuilder::new()
+            .add_node("only", "r0", ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let t = topology("t", 5, 5);
+        let mut state = GlobalState::new(&c);
+        let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
+        assert_eq!(a.len(), 10, "default Storm schedules regardless");
+        assert!(
+            state.remaining("only").unwrap().memory_mb < 0.0,
+            "node is over-committed — the failure mode the paper describes"
+        );
+    }
+
+    #[test]
+    fn second_topology_continues_round_robin() {
+        let c = cluster(4);
+        let mut state = GlobalState::new(&c);
+        let t1 = topology("t1", 1, 1);
+        let t2 = topology("t2", 1, 1);
+        let a1 = EvenScheduler::new().schedule(&t1, &c, &mut state).unwrap();
+        let a2 = EvenScheduler::new().schedule(&t2, &c, &mut state).unwrap();
+        let used1 = a1.used_slots();
+        let used2 = a2.used_slots();
+        assert!(
+            used1.intersection(&used2).count() == 0,
+            "with free slots available, topologies do not share workers"
+        );
+    }
+
+    #[test]
+    fn num_workers_limits_slots_used() {
+        let c = cluster(12);
+        let mut b = TopologyBuilder::new("packed");
+        b.set_num_workers(4);
+        b.set_spout("s", 6).set_memory_load(128.0);
+        b.set_bolt("b", 6).shuffle_grouping("s").set_memory_load(128.0);
+        let t = b.build().unwrap();
+        let mut state = GlobalState::new(&c);
+        let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.used_slots().len(), 4, "packed into topology.workers");
+        assert_eq!(a.used_nodes().len(), 4);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let mut c = cluster(4);
+        c.kill_node("rack-0-node-0");
+        let t = topology("t", 3, 3);
+        let mut state = GlobalState::new(&c);
+        let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
+        assert!(a
+            .used_nodes()
+            .iter()
+            .all(|n| n.as_str() != "rack-0-node-0"));
+    }
+
+    #[test]
+    fn empty_cluster_is_an_error() {
+        let mut c = cluster(2);
+        c.kill_node("rack-0-node-0");
+        c.kill_node("rack-1-node-0");
+        let t = topology("t", 1, 1);
+        let mut state = GlobalState::new(&c);
+        assert_eq!(
+            EvenScheduler::new().schedule(&t, &c, &mut state).unwrap_err(),
+            ScheduleError::NoAliveNodes
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Baseline schedulers the paper evaluates R-Storm against.
+//!
+//! * [`EvenScheduler`] — Storm's default round-robin scheduler, the
+//!   baseline in every figure of the evaluation.
+//! * [`OfflineLinearizationScheduler`] — an offline comparator in the
+//!   style of Aniello et al. (DEBS '13), discussed in §7 of the paper.
+//! * [`RandomScheduler`] — uniform random placement, used by the ablation
+//!   study as a placement-quality floor.
+//! * [`ExhaustiveScheduler`] — exact branch-and-bound for small
+//!   instances, quantifying the greedy heuristic's optimality gap (the
+//!   solver the paper's §3 rules out for production use).
+
+mod even;
+mod exhaustive;
+mod offline;
+mod random;
+
+pub use even::EvenScheduler;
+pub use exhaustive::{placement_cost, ExhaustiveScheduler};
+pub use offline::OfflineLinearizationScheduler;
+pub use random::RandomScheduler;

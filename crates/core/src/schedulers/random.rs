@@ -1,0 +1,128 @@
+//! Uniform random placement — the ablation study's placement-quality
+//! floor. Deterministic given its seed.
+
+use crate::assignment::Assignment;
+use crate::error::ScheduleError;
+use crate::global_state::GlobalState;
+use crate::scheduler::Scheduler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_topology::Topology;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Places every task on a uniformly random worker slot of an alive node.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler seeded with `seed` (same seed → same
+    /// placements).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Default for RandomScheduler {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn schedule(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+    ) -> Result<Assignment, ScheduleError> {
+        if state.is_scheduled(topology.id().as_str()) {
+            return Err(ScheduleError::AlreadyScheduled(topology.id().clone()));
+        }
+        let slots: Vec<WorkerSlot> = cluster.alive_slots().cloned().collect();
+        if slots.is_empty() {
+            return Err(ScheduleError::NoAliveNodes);
+        }
+        let task_set = topology.task_set();
+        let mut rng = self.rng.lock().expect("rng mutex poisoned");
+        let mut mapping = BTreeMap::new();
+        for task in task_set.tasks() {
+            let slot = slots[rng.gen_range(0..slots.len())].clone();
+            let request = task_set
+                .resources(task.id)
+                .expect("task set provides resources for its own tasks");
+            state.reserve(topology.id(), &slot.node, request);
+            state.occupy_slot(&slot);
+            mapping.insert(task.id, slot);
+        }
+        let assignment = Assignment::new(topology.id().clone(), mapping);
+        state.commit(assignment.clone());
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyBuilder;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    fn topology() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 8);
+        b.set_bolt("b", 8).shuffle_grouping("s");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_placement() {
+        let c = cluster();
+        let t = topology();
+        let a1 = RandomScheduler::seeded(7)
+            .schedule(&t, &c, &mut GlobalState::new(&c))
+            .unwrap();
+        let a2 = RandomScheduler::seeded(7)
+            .schedule(&t, &c, &mut GlobalState::new(&c))
+            .unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let c = cluster();
+        let t = topology();
+        let a1 = RandomScheduler::seeded(1)
+            .schedule(&t, &c, &mut GlobalState::new(&c))
+            .unwrap();
+        let a2 = RandomScheduler::seeded(2)
+            .schedule(&t, &c, &mut GlobalState::new(&c))
+            .unwrap();
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn places_every_task() {
+        let c = cluster();
+        let t = topology();
+        let a = RandomScheduler::default()
+            .schedule(&t, &c, &mut GlobalState::new(&c))
+            .unwrap();
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -1,0 +1,285 @@
+//! Assignment validation: checks a scheduling plan against the invariants
+//! the paper requires (used heavily by tests and property tests).
+//!
+//! Invariants checked:
+//!
+//! 1. every task of every topology is placed exactly once (no missing or
+//!    phantom tasks),
+//! 2. every slot refers to an existing, alive node and a real port,
+//! 3. no node's **memory** (the hard constraint) is over-committed by the
+//!    sum of its placed tasks' demands.
+//!
+//! Note that a valid plan from the resource-oblivious baselines may well
+//! violate (3) — that is the paper's point — so verification returns the
+//! list of violations rather than panicking.
+
+use crate::assignment::SchedulingPlan;
+use rstorm_cluster::Cluster;
+use rstorm_topology::{TaskId, Topology, TopologyId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A violated scheduling invariant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A topology in the plan has no matching `Topology` description.
+    UnknownTopology(TopologyId),
+    /// A topology was expected in the plan but has no assignment.
+    MissingAssignment(TopologyId),
+    /// A task of the topology is absent from its assignment.
+    UnplacedTask(TopologyId, TaskId),
+    /// The assignment mentions a task the topology does not have.
+    PhantomTask(TopologyId, TaskId),
+    /// A task was placed on a node that does not exist or is dead.
+    BadNode(TopologyId, TaskId, String),
+    /// A task was placed on a port its node does not offer.
+    BadPort(TopologyId, TaskId, String, u16),
+    /// A node's memory is over-committed (hard-constraint violation).
+    MemoryOvercommit {
+        /// The over-committed node.
+        node: String,
+        /// Total memory demanded by tasks placed there, in MB.
+        demanded_mb: f64,
+        /// The node's memory capacity in MB.
+        capacity_mb: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTopology(t) => write!(f, "plan schedules unknown topology `{t}`"),
+            Self::MissingAssignment(t) => write!(f, "topology `{t}` has no assignment"),
+            Self::UnplacedTask(t, task) => write!(f, "`{t}`: {task} is not placed"),
+            Self::PhantomTask(t, task) => write!(f, "`{t}`: {task} does not exist"),
+            Self::BadNode(t, task, node) => {
+                write!(f, "`{t}`: {task} placed on missing/dead node `{node}`")
+            }
+            Self::BadPort(t, task, node, port) => {
+                write!(f, "`{t}`: {task} placed on `{node}:{port}` which is not a slot")
+            }
+            Self::MemoryOvercommit {
+                node,
+                demanded_mb,
+                capacity_mb,
+            } => write!(
+                f,
+                "node `{node}` memory over-committed: {demanded_mb} MB demanded, \
+                 {capacity_mb} MB available"
+            ),
+        }
+    }
+}
+
+/// Verifies `plan` against the given topologies and cluster, returning
+/// every violation found (empty = valid).
+pub fn verify_plan(
+    plan: &SchedulingPlan,
+    topologies: &[&Topology],
+    cluster: &Cluster,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let by_id: HashMap<&str, &Topology> = topologies
+        .iter()
+        .map(|t| (t.id().as_str(), *t))
+        .collect();
+
+    for topology in topologies {
+        if plan.assignment(topology.id().as_str()).is_none() {
+            violations.push(Violation::MissingAssignment(topology.id().clone()));
+        }
+    }
+
+    let mut node_memory_demand: BTreeMap<String, f64> = BTreeMap::new();
+
+    for assignment in plan.iter() {
+        let tid = assignment.topology().clone();
+        let Some(topology) = by_id.get(tid.as_str()) else {
+            violations.push(Violation::UnknownTopology(tid));
+            continue;
+        };
+        let task_set = topology.task_set();
+
+        for task in task_set.tasks() {
+            if assignment.slot_of(task.id).is_none() {
+                violations.push(Violation::UnplacedTask(tid.clone(), task.id));
+            }
+        }
+
+        for (task_id, slot) in assignment.iter() {
+            let Some(request) = task_set.resources(task_id) else {
+                violations.push(Violation::PhantomTask(tid.clone(), task_id));
+                continue;
+            };
+            let node_name = slot.node.as_str();
+            match cluster.node(node_name) {
+                Some(node) if cluster.is_alive(node_name) => {
+                    if !node.slots().iter().any(|s| s.port == slot.port) {
+                        violations.push(Violation::BadPort(
+                            tid.clone(),
+                            task_id,
+                            node_name.to_owned(),
+                            slot.port,
+                        ));
+                    }
+                    *node_memory_demand.entry(node_name.to_owned()).or_insert(0.0) +=
+                        request.memory_mb;
+                }
+                _ => {
+                    violations.push(Violation::BadNode(
+                        tid.clone(),
+                        task_id,
+                        node_name.to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (node, demanded_mb) in node_memory_demand {
+        let capacity_mb = cluster
+            .node(&node)
+            .map(|n| n.capacity().memory_mb)
+            .unwrap_or(0.0);
+        if demanded_mb > capacity_mb + 1e-9 {
+            violations.push(Violation::MemoryOvercommit {
+                node,
+                demanded_mb,
+                capacity_mb,
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::global_state::GlobalState;
+    use crate::rstorm::RStormScheduler;
+    use crate::scheduler::{schedule_all, Scheduler};
+    use crate::schedulers::EvenScheduler;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity, WorkerSlot};
+    use rstorm_topology::TopologyBuilder;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    fn topology(mem: f64) -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 4).set_memory_load(mem);
+        b.set_bolt("b", 4).shuffle_grouping("s").set_memory_load(mem);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rstorm_plans_are_clean() {
+        let c = cluster();
+        let t = topology(400.0);
+        let plan = schedule_all(&RStormScheduler::new(), &[&t], &c).unwrap();
+        assert!(verify_plan(&plan, &[&t], &c).is_empty());
+    }
+
+    #[test]
+    fn even_scheduler_can_overcommit_memory() {
+        // 8 tasks × 1500 MB over 6 × 2048 MB nodes: somebody gets two.
+        let c = cluster();
+        let t = topology(1500.0);
+        let plan = schedule_all(&EvenScheduler::new(), &[&t], &c).unwrap();
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::MemoryOvercommit { .. })),
+            "expected over-commit, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn missing_and_phantom_tasks_detected() {
+        let c = cluster();
+        let t = topology(64.0);
+        let mut plan = SchedulingPlan::new();
+        let mut m = BTreeMap::new();
+        // Place only task 0 plus a task id the topology lacks.
+        m.insert(TaskId(0), WorkerSlot::new("rack-0-node-0", 6700));
+        m.insert(TaskId(99), WorkerSlot::new("rack-0-node-0", 6700));
+        plan.insert(Assignment::new("t", m));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnplacedTask(_, TaskId(1)))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PhantomTask(_, TaskId(99)))));
+    }
+
+    #[test]
+    fn dead_nodes_and_bad_ports_detected() {
+        let mut c = cluster();
+        let t = topology(64.0);
+        let mut state = GlobalState::new(&c);
+        let plan = {
+            RStormScheduler::new().schedule(&t, &c, &mut state).unwrap();
+            state.plan().clone()
+        };
+        // Kill a node the plan uses.
+        let victim = plan
+            .assignment("t")
+            .unwrap()
+            .used_nodes()
+            .iter()
+            .next()
+            .unwrap()
+            .clone();
+        c.kill_node(victim.as_str());
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadNode(_, _, _))));
+
+        // Bad port.
+        let c = cluster();
+        let mut m = BTreeMap::new();
+        for task in t.task_set().tasks() {
+            m.insert(task.id, WorkerSlot::new("rack-0-node-0", 9999));
+        }
+        let mut plan = SchedulingPlan::new();
+        plan.insert(Assignment::new("t", m));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadPort(_, _, _, 9999))));
+    }
+
+    #[test]
+    fn unknown_and_missing_topologies_detected() {
+        let c = cluster();
+        let t = topology(64.0);
+        let mut plan = SchedulingPlan::new();
+        plan.insert(Assignment::new("ghost", BTreeMap::new()));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(violations.contains(&Violation::UnknownTopology(TopologyId::new("ghost"))));
+        assert!(violations.contains(&Violation::MissingAssignment(TopologyId::new("t"))));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::MemoryOvercommit {
+            node: "n".into(),
+            demanded_mb: 3000.0,
+            capacity_mb: 2048.0,
+        };
+        assert!(v.to_string().contains("over-committed"));
+    }
+
+    use rstorm_topology::TopologyId;
+    use std::collections::BTreeMap;
+}

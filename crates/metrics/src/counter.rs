@@ -1,0 +1,157 @@
+//! Fixed-width time-window event counters.
+
+/// Counts events into fixed-width, contiguous time windows starting at
+/// t = 0. The paper reports throughput in tuples per 10-second window, so
+/// a window width of `10_000.0` ms is the usual configuration.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    window_ms: f64,
+    counts: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// Creates a counter with the given window width in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ms` is not strictly positive and finite.
+    pub fn new(window_ms: f64) -> Self {
+        assert!(
+            window_ms.is_finite() && window_ms > 0.0,
+            "window width must be positive and finite, got {window_ms}"
+        );
+        Self {
+            window_ms,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The configured window width in milliseconds.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// Records `count` events at time `at_ms` (milliseconds since start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is negative or not finite.
+    pub fn record(&mut self, at_ms: f64, count: u64) {
+        assert!(
+            at_ms.is_finite() && at_ms >= 0.0,
+            "event time must be non-negative and finite, got {at_ms}"
+        );
+        let idx = (at_ms / self.window_ms) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += count;
+    }
+
+    /// Counts per window, from the first window to the last one that saw
+    /// an event (intermediate empty windows are included as zero).
+    pub fn window_counts(&self) -> Vec<u64> {
+        self.counts.clone()
+    }
+
+    /// Counts per window truncated to full windows within `[0, until_ms)`.
+    /// Use this to drop the final partial window of a simulation run.
+    pub fn complete_window_counts(&self, until_ms: f64) -> Vec<u64> {
+        let full = (until_ms / self.window_ms).floor() as usize;
+        let mut counts = self.counts.clone();
+        counts.truncate(full);
+        counts.resize(full.min(counts.len().max(full)), 0);
+        // Ensure we report exactly `full` windows even if the tail saw no
+        // events at all.
+        if counts.len() < full {
+            counts.resize(full, 0);
+        }
+        counts
+    }
+
+    /// Total number of recorded events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean events per window over the windows returned by
+    /// [`WindowedCounter::complete_window_counts`]; `None` if there are no
+    /// complete windows.
+    pub fn mean_per_window(&self, until_ms: f64) -> Option<f64> {
+        let counts = self.complete_window_counts(until_ms);
+        if counts.is_empty() {
+            return None;
+        }
+        Some(counts.iter().sum::<u64>() as f64 / counts.len() as f64)
+    }
+
+    /// Mean events per window ignoring an initial warm-up prefix of
+    /// `skip` windows (the paper lets topologies "stabilize and converge"
+    /// before reading throughput).
+    pub fn steady_state_mean(&self, until_ms: f64, skip: usize) -> Option<f64> {
+        let counts = self.complete_window_counts(until_ms);
+        if counts.len() <= skip {
+            return None;
+        }
+        let tail = &counts[skip..];
+        Some(tail.iter().sum::<u64>() as f64 / tail.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_their_window() {
+        let mut c = WindowedCounter::new(10_000.0);
+        c.record(0.0, 1);
+        c.record(9_999.9, 1);
+        c.record(10_000.0, 5);
+        c.record(35_000.0, 2);
+        assert_eq!(c.window_counts(), vec![2, 5, 0, 2]);
+        assert_eq!(c.total(), 9);
+    }
+
+    #[test]
+    fn complete_windows_drop_partial_tail() {
+        let mut c = WindowedCounter::new(10_000.0);
+        c.record(5_000.0, 10);
+        c.record(25_000.0, 4);
+        // Run lasted 28 s: only two complete 10 s windows.
+        assert_eq!(c.complete_window_counts(28_000.0), vec![10, 0]);
+    }
+
+    #[test]
+    fn complete_windows_pad_with_zeroes() {
+        let mut c = WindowedCounter::new(10_000.0);
+        c.record(1_000.0, 1);
+        // 50 s run but events only in the first window.
+        assert_eq!(c.complete_window_counts(50_000.0), vec![1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn means() {
+        let mut c = WindowedCounter::new(10_000.0);
+        for w in 0..6u64 {
+            c.record(w as f64 * 10_000.0 + 1.0, if w < 2 { 0 } else { 100 });
+        }
+        assert_eq!(c.mean_per_window(60_000.0), Some(400.0 / 6.0));
+        // Skipping the 2-window warm-up gives the steady-state rate.
+        assert_eq!(c.steady_state_mean(60_000.0, 2), Some(100.0));
+        assert_eq!(c.steady_state_mean(60_000.0, 6), None);
+        assert_eq!(WindowedCounter::new(10.0).mean_per_window(5.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_rejected() {
+        WindowedCounter::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time")]
+    fn negative_time_rejected() {
+        WindowedCounter::new(10.0).record(-1.0, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-node CPU utilization accounting.
+//!
+//! The paper's Figure 10 compares the *average CPU utilization of machines
+//! used in the cluster* under each scheduler. The tracker accumulates busy
+//! core-milliseconds per node; utilization is busy time divided by
+//! capacity (cores × elapsed time).
+
+use crate::summary::Summary;
+use std::collections::BTreeMap;
+
+/// Accumulates CPU busy time per node and reports utilization.
+#[derive(Debug, Clone, Default)]
+pub struct CpuUtilizationTracker {
+    /// node -> (cores, busy core-milliseconds)
+    nodes: BTreeMap<String, (f64, f64)>,
+}
+
+impl CpuUtilizationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node with its core count. Nodes never registered are
+    /// "unused" and excluded from reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not strictly positive.
+    pub fn register_node(&mut self, node: impl Into<String>, cores: f64) {
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "core count must be positive, got {cores}"
+        );
+        self.nodes.entry(node.into()).or_insert((cores, 0.0));
+    }
+
+    /// Adds `busy_core_ms` of busy time to a node. Unregistered nodes are
+    /// registered lazily with one core.
+    pub fn add_busy(&mut self, node: &str, busy_core_ms: f64) {
+        assert!(
+            busy_core_ms.is_finite() && busy_core_ms >= 0.0,
+            "busy time must be non-negative, got {busy_core_ms}"
+        );
+        self.nodes
+            .entry(node.to_owned())
+            .or_insert((1.0, 0.0))
+            .1 += busy_core_ms;
+    }
+
+    /// Utilization of one node over an elapsed wall time, as a fraction of
+    /// its total core capacity (0.0–1.0, can exceed 1.0 only on accounting
+    /// error, which is asserted against).
+    pub fn utilization(&self, node: &str, elapsed_ms: f64) -> Option<f64> {
+        let &(cores, busy) = self.nodes.get(node)?;
+        if elapsed_ms <= 0.0 {
+            return Some(0.0);
+        }
+        Some(busy / (cores * elapsed_ms))
+    }
+
+    /// Per-node utilizations over `elapsed_ms` for nodes with any busy
+    /// time (the "machines used"), sorted by node name.
+    pub fn used_node_utilizations(&self, elapsed_ms: f64) -> Vec<(String, f64)> {
+        self.nodes
+            .iter()
+            .filter(|(_, &(_, busy))| busy > 0.0)
+            .map(|(n, &(cores, busy))| (n.clone(), busy / (cores * elapsed_ms)))
+            .collect()
+    }
+
+    /// Average utilization over the machines actually used — the Figure 10
+    /// metric.
+    pub fn mean_used_utilization(&self, elapsed_ms: f64) -> Summary {
+        Summary::of(
+            self.used_node_utilizations(elapsed_ms)
+                .into_iter()
+                .map(|(_, u)| u),
+        )
+    }
+
+    /// Number of nodes that did any work.
+    pub fn used_node_count(&self) -> usize {
+        self.nodes.values().filter(|&&(_, busy)| busy > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let mut t = CpuUtilizationTracker::new();
+        t.register_node("n1", 2.0);
+        t.add_busy("n1", 1_000.0); // 1000 core-ms over 2 cores
+        assert_eq!(t.utilization("n1", 1_000.0), Some(0.5));
+        assert_eq!(t.utilization("missing", 1_000.0), None);
+    }
+
+    #[test]
+    fn unused_nodes_excluded_from_used_mean() {
+        let mut t = CpuUtilizationTracker::new();
+        t.register_node("busy-1", 1.0);
+        t.register_node("busy-2", 1.0);
+        t.register_node("idle", 1.0);
+        t.add_busy("busy-1", 800.0);
+        t.add_busy("busy-2", 400.0);
+        let mean = t.mean_used_utilization(1_000.0);
+        assert_eq!(mean.count, 2, "idle machine excluded");
+        assert!((mean.mean - 0.6).abs() < 1e-12);
+        assert_eq!(t.used_node_count(), 2);
+    }
+
+    #[test]
+    fn lazy_registration_defaults_to_one_core() {
+        let mut t = CpuUtilizationTracker::new();
+        t.add_busy("surprise", 250.0);
+        assert_eq!(t.utilization("surprise", 1_000.0), Some(0.25));
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero() {
+        let mut t = CpuUtilizationTracker::new();
+        t.register_node("n", 1.0);
+        assert_eq!(t.utilization("n", 0.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_rejected() {
+        CpuUtilizationTracker::new().register_node("n", 0.0);
+    }
+}

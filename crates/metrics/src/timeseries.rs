@@ -1,0 +1,105 @@
+//! Simple append-only time series.
+
+use crate::summary::Summary;
+
+/// An append-only series of `(time_ms, value)` points with monotonically
+/// non-decreasing timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is earlier than the previous point or not
+    /// finite.
+    pub fn push(&mut self, time_ms: f64, value: f64) {
+        assert!(time_ms.is_finite(), "time must be finite");
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(
+                time_ms >= last,
+                "time series must be monotonic: {time_ms} < {last}"
+            );
+        }
+        self.points.push((time_ms, value));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary over all values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.values())
+    }
+
+    /// Summary over the values at or after `from_ms` (steady-state view).
+    pub fn summary_from(&self, from_ms: f64) -> Summary {
+        Summary::of(
+            self.points
+                .iter()
+                .filter(|&&(t, _)| t >= from_ms)
+                .map(|&(_, v)| v),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(0.0, 10.0);
+        ts.push(10.0, 20.0);
+        ts.push(10.0, 30.0); // equal timestamps are allowed
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.points()[1], (10.0, 20.0));
+        assert_eq!(ts.summary().mean, 20.0);
+    }
+
+    #[test]
+    fn summary_from_skips_warmup() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 0.0);
+        ts.push(10.0, 100.0);
+        ts.push(20.0, 100.0);
+        let steady = ts.summary_from(10.0);
+        assert_eq!(steady.count, 2);
+        assert_eq!(steady.mean, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn out_of_order_rejected() {
+        let mut ts = TimeSeries::new();
+        ts.push(10.0, 1.0);
+        ts.push(5.0, 1.0);
+    }
+}

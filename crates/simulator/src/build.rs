@@ -1,0 +1,240 @@
+//! Flattening scheduled topologies into the simulator's task table.
+
+use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_core::Assignment;
+use rstorm_topology::{StreamGrouping, Topology};
+use std::collections::HashMap;
+
+/// One downstream subscription of a component, resolved to global
+/// simulator task indices.
+#[derive(Debug, Clone)]
+pub(crate) struct ConsumerGroup {
+    pub grouping: StreamGrouping,
+    /// Global indices of the consuming component's tasks, in task order.
+    pub targets: Vec<usize>,
+}
+
+/// A task as the simulator sees it: placement, profile and routing table.
+#[derive(Debug, Clone)]
+pub(crate) struct SimTaskSpec {
+    pub topology: String,
+    pub component: String,
+    pub slot: WorkerSlot,
+    pub node_idx: usize,
+    pub rack_idx: usize,
+    pub is_spout: bool,
+    pub is_sink: bool,
+    pub work_ms_per_tuple: f64,
+    pub emit_factor: f64,
+    pub tuple_bytes: u32,
+    pub max_rate_tuples_per_sec: Option<f64>,
+    pub max_spout_pending: Option<u32>,
+    pub consumers: Vec<ConsumerGroup>,
+}
+
+/// Index structures over the cluster, shared by all topologies added to a
+/// simulation.
+#[derive(Debug)]
+pub(crate) struct ClusterIndex {
+    pub node_of: HashMap<String, usize>,
+    pub rack_of_node: Vec<usize>,
+    pub cores: Vec<f64>,
+    pub memory_mb: Vec<f64>,
+    pub node_names: Vec<String>,
+}
+
+impl ClusterIndex {
+    pub fn new(cluster: &Cluster) -> Self {
+        let mut rack_index: HashMap<&str, usize> = HashMap::new();
+        for (i, r) in cluster.racks().iter().enumerate() {
+            rack_index.insert(r.as_str(), i);
+        }
+        let mut node_of = HashMap::new();
+        let mut rack_of_node = Vec::new();
+        let mut cores = Vec::new();
+        let mut memory_mb = Vec::new();
+        let mut node_names = Vec::new();
+        for (i, n) in cluster.nodes().iter().enumerate() {
+            node_of.insert(n.id().as_str().to_owned(), i);
+            rack_of_node.push(rack_index[n.rack().as_str()]);
+            cores.push((n.capacity().cpu_points / 100.0).max(0.01));
+            memory_mb.push(n.capacity().memory_mb);
+            node_names.push(n.id().as_str().to_owned());
+        }
+        Self {
+            node_of,
+            rack_of_node,
+            cores,
+            memory_mb,
+            node_names,
+        }
+    }
+}
+
+/// Appends every task of `topology` (placed per `assignment`) to `tasks`,
+/// resolving consumer routing to global indices, and accumulates each
+/// node's memory demand into `node_mem_demand`.
+///
+/// # Panics
+///
+/// Panics if the assignment does not cover every task of the topology or
+/// references a node missing from the cluster — schedulers in this
+/// workspace always produce complete assignments; use
+/// `rstorm_core::verify_plan` to diagnose foreign ones.
+pub(crate) fn append_topology(
+    tasks: &mut Vec<SimTaskSpec>,
+    node_mem_demand: &mut [f64],
+    index: &ClusterIndex,
+    topology: &Topology,
+    assignment: &Assignment,
+) {
+    let task_set = topology.task_set();
+    let base = tasks.len();
+    let sink_ids: Vec<&str> = topology.sinks().map(|c| c.id().as_str()).collect();
+
+    // First pass: create specs without consumer routing.
+    for task in task_set.tasks() {
+        let component = topology
+            .component(task.component.as_str())
+            .expect("task set components exist in the topology");
+        let slot = assignment
+            .slot_of(task.id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "assignment for `{}` does not place {}",
+                    topology.id(),
+                    task.id
+                )
+            })
+            .clone();
+        let node_idx = *index
+            .node_of
+            .get(slot.node.as_str())
+            .unwrap_or_else(|| panic!("assignment references unknown node `{}`", slot.node));
+        node_mem_demand[node_idx] += component.resources().memory_mb;
+        let profile = component.profile();
+        tasks.push(SimTaskSpec {
+            topology: topology.id().as_str().to_owned(),
+            component: task.component.as_str().to_owned(),
+            slot,
+            node_idx,
+            rack_idx: index.rack_of_node[node_idx],
+            is_spout: component.is_spout(),
+            is_sink: sink_ids.contains(&task.component.as_str()),
+            work_ms_per_tuple: profile.work_ms_per_tuple,
+            emit_factor: profile.emit_factor,
+            tuple_bytes: profile.tuple_bytes,
+            max_rate_tuples_per_sec: profile.max_rate_tuples_per_sec,
+            max_spout_pending: topology.max_spout_pending(),
+            consumers: Vec::new(),
+        });
+    }
+
+    // Second pass: resolve each component's consumers to global indices.
+    let global_of: HashMap<&str, Vec<usize>> = task_set
+        .by_component()
+        .map(|(c, ids)| {
+            (
+                c.as_str(),
+                ids.iter().map(|t| base + t.index()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    for task in task_set.tasks() {
+        let groups: Vec<ConsumerGroup> = topology
+            .consumers(task.component.as_str())
+            .iter()
+            .map(|(consumer, decl)| ConsumerGroup {
+                grouping: decl.grouping.clone(),
+                targets: global_of[consumer.as_str()].clone(),
+            })
+            .collect();
+        tasks[base + task.id.index()].consumers = groups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
+    use rstorm_topology::TopologyBuilder;
+
+    fn setup() -> (Cluster, Topology, Assignment) {
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 2).set_memory_load(100.0);
+        b.set_bolt("m", 3).shuffle_grouping("s").set_memory_load(100.0);
+        b.set_bolt("k", 1).global_grouping("m").set_memory_load(100.0);
+        let topology = b.build().unwrap();
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .unwrap();
+        (cluster, topology, assignment)
+    }
+
+    #[test]
+    fn index_covers_all_nodes() {
+        let (cluster, _, _) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        assert_eq!(idx.node_of.len(), 6);
+        assert_eq!(idx.cores.len(), 6);
+        assert_eq!(idx.cores[0], 1.0);
+        assert_eq!(idx.memory_mb[0], 2048.0);
+        // Rack indices partition the nodes 3/3.
+        assert_eq!(idx.rack_of_node.iter().filter(|&&r| r == 0).count(), 3);
+        assert_eq!(idx.rack_of_node.iter().filter(|&&r| r == 1).count(), 3);
+    }
+
+    #[test]
+    fn tasks_flattened_with_routing() {
+        let (cluster, topology, assignment) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        let mut tasks = Vec::new();
+        let mut mem = vec![0.0; cluster.nodes().len()];
+        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
+        assert_eq!(tasks.len(), 6);
+        // Spout tasks route to the middle bolt's three tasks.
+        let spout = &tasks[0];
+        assert!(spout.is_spout);
+        assert!(!spout.is_sink);
+        assert_eq!(spout.consumers.len(), 1);
+        assert_eq!(spout.consumers[0].targets, vec![2, 3, 4]);
+        // Middle bolt routes to the sink.
+        assert_eq!(tasks[2].consumers[0].targets, vec![5]);
+        assert_eq!(tasks[2].consumers[0].grouping, StreamGrouping::Global);
+        // The sink has no consumers and is flagged.
+        assert!(tasks[5].is_sink);
+        assert!(tasks[5].consumers.is_empty());
+        // Memory demand accumulated: 6 tasks × 100 MB.
+        assert!((mem.iter().sum::<f64>() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_topology_gets_offset_indices() {
+        let (cluster, topology, assignment) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        let mut tasks = Vec::new();
+        let mut mem = vec![0.0; cluster.nodes().len()];
+        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
+        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
+        assert_eq!(tasks.len(), 12);
+        // Second copy's spout routes into the second copy's bolts.
+        assert_eq!(tasks[6].consumers[0].targets, vec![8, 9, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not place")]
+    fn incomplete_assignment_panics() {
+        let (cluster, topology, _) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        let empty = Assignment::new("t", Default::default());
+        let mut tasks = Vec::new();
+        let mut mem = vec![0.0; cluster.nodes().len()];
+        append_topology(&mut tasks, &mut mem, &idx, &topology, &empty);
+    }
+}

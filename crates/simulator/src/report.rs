@@ -1,0 +1,92 @@
+//! Simulation results.
+
+use rstorm_metrics::{Summary, ThroughputReport};
+use std::collections::BTreeMap;
+
+/// Aggregate event counts of a run (useful for conservation checks and
+/// diagnosing overload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTotals {
+    /// Root batches emitted by spouts.
+    pub spout_batches: u64,
+    /// Batch deliveries to task input queues (including shed ones).
+    pub batches_delivered: u64,
+    /// Deliveries shed because their root had already timed out.
+    pub batches_dropped: u64,
+    /// Roots fully processed within the timeout.
+    pub roots_completed: u64,
+    /// Roots failed by the tuple timeout.
+    pub roots_timed_out: u64,
+    /// Tuples processed by bolts (stale ones included).
+    pub tuples_processed: u64,
+    /// Tuples of live roots processed at sinks — the throughput numerator.
+    pub tuples_completed: u64,
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated duration in milliseconds.
+    pub duration_ms: f64,
+    /// Reporting window width in milliseconds.
+    pub window_ms: f64,
+    /// Per-topology sink throughput (tuples per window, averaged over
+    /// sinks — the paper's §6.2 metric).
+    pub throughput: BTreeMap<String, ThroughputReport>,
+    /// Mean CPU utilization over the machines that did any work —
+    /// the Figure 10 metric.
+    pub mean_used_cpu_utilization: Summary,
+    /// Number of machines that did any work.
+    pub used_nodes: usize,
+    /// Number of distinct machines each topology's tasks were placed on.
+    pub used_nodes_by_topology: BTreeMap<String, usize>,
+    /// Per-node CPU utilization (used nodes only, sorted by node name).
+    pub node_utilization: Vec<(String, f64)>,
+    /// Megabytes carried by the shared inter-rack uplink — the traffic a
+    /// colocating scheduler avoids.
+    pub inter_rack_mb: f64,
+    /// End-to-end latency of completed tuple trees, in milliseconds —
+    /// emission at the spout to the last descendant's processing.
+    pub latency_ms: Summary,
+    /// Aggregate event counts.
+    pub totals: SimTotals,
+}
+
+impl SimReport {
+    /// Mean steady-state throughput of a topology in tuples per window,
+    /// skipping `skip` warm-up windows.
+    pub fn steady_throughput(&self, topology: &str, skip: usize) -> f64 {
+        self.throughput
+            .get(topology)
+            .map_or(0.0, |t| t.steady_state(skip).mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_throughput_defaults_to_zero() {
+        let report = SimReport {
+            duration_ms: 1000.0,
+            window_ms: 100.0,
+            throughput: BTreeMap::new(),
+            mean_used_cpu_utilization: Summary::of([]),
+            used_nodes: 0,
+            used_nodes_by_topology: BTreeMap::new(),
+            node_utilization: Vec::new(),
+            inter_rack_mb: 0.0,
+            latency_ms: Summary::of([]),
+            totals: SimTotals::default(),
+        };
+        assert_eq!(report.steady_throughput("ghost", 0), 0.0);
+    }
+
+    #[test]
+    fn totals_default_to_zero() {
+        let t = SimTotals::default();
+        assert_eq!(t.spout_batches, 0);
+        assert_eq!(t.roots_completed, 0);
+    }
+}

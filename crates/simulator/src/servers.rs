@@ -1,0 +1,318 @@
+//! FIFO resource servers: the contention primitives of the simulator.
+//!
+//! Every contended resource (a node's CPU, a NIC direction, the inter-rack
+//! uplink) is modeled as a work-conserving FIFO server characterized by a
+//! service rate. Committing work returns the completion time; backlog
+//! accumulates in the server's `busy_until` horizon, which is what turns
+//! over-subscription into latency and, through the spout credit loop, into
+//! backpressure.
+
+/// A FIFO link server with a fixed service rate in bytes per millisecond.
+#[derive(Debug, Clone)]
+pub struct LinkServer {
+    rate_bytes_per_ms: f64,
+    busy_until: f64,
+    served_bytes: f64,
+}
+
+impl LinkServer {
+    /// Creates a server from a rate in megabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is not strictly positive.
+    pub fn from_mbps(mbps: f64) -> Self {
+        assert!(
+            mbps.is_finite() && mbps > 0.0,
+            "link rate must be positive, got {mbps}"
+        );
+        Self {
+            // Mbps → bytes/ms: 1 Mb = 125_000 bytes, 1 s = 1000 ms.
+            rate_bytes_per_ms: mbps * 125.0,
+            busy_until: 0.0,
+            served_bytes: 0.0,
+        }
+    }
+
+    /// Commits a transfer of `bytes` arriving at `at`; returns when the
+    /// last byte has been serialized.
+    pub fn serve(&mut self, at: f64, bytes: u32) -> f64 {
+        let start = self.busy_until.max(at);
+        let done = start + f64::from(bytes) / self.rate_bytes_per_ms;
+        self.busy_until = done;
+        self.served_bytes += f64::from(bytes);
+        done
+    }
+
+    /// Total bytes this server has carried.
+    pub fn served_bytes(&self) -> f64 {
+        self.served_bytes
+    }
+
+    /// The time the server next becomes free.
+    #[allow(dead_code)] // part of the server's natural API; used in tests
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+/// A node's CPU under **max-min fair processor sharing** (the behaviour
+/// of an OS scheduler like CFS across the worker processes on a machine):
+///
+/// * each *task* is single-threaded — it can never use more than one
+///   core, and its batches execute sequentially;
+/// * when the node is over-committed, tasks whose demand is below their
+///   fair share are served in full, while tasks demanding more than
+///   their share are slowed to it — an over-sized task starves (and its
+///   queue diverges) without dragging its light neighbours down.
+///
+/// Task demand is estimated online with an exponentially decayed
+/// accumulator of submitted work. The distinction between protected
+/// light tasks and starved heavy tasks is what lets a resource-oblivious
+/// schedule kill one topology while another one on the same machines
+/// merely degrades (§6.5 of the paper).
+#[derive(Debug, Clone)]
+pub struct CpuServer {
+    cores: f64,
+    /// Thrash multiplier in (0, 1]: < 1 when the node's memory is
+    /// over-committed.
+    thrash: f64,
+    tasks: std::collections::HashMap<usize, TaskCpu>,
+    busy_core_ms: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskCpu {
+    busy_until: f64,
+    demand_acc: f64,
+    last_update: f64,
+}
+
+/// Demand estimation time constant (ms).
+const DEMAND_TAU_MS: f64 = 2_000.0;
+
+impl CpuServer {
+    /// Creates a CPU server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive or `thrash` is outside (0, 1].
+    pub fn new(cores: f64, thrash: f64) -> Self {
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "core count must be positive, got {cores}"
+        );
+        assert!(
+            thrash.is_finite() && thrash > 0.0 && thrash <= 1.0,
+            "thrash factor must be in (0, 1], got {thrash}"
+        );
+        Self {
+            cores,
+            thrash,
+            tasks: std::collections::HashMap::new(),
+            busy_core_ms: 0.0,
+        }
+    }
+
+    /// Commits `work_core_ms` of work for `task` submitted at `at`;
+    /// returns the completion time.
+    pub fn serve(&mut self, at: f64, task: usize, work_core_ms: f64) -> f64 {
+        // Update the submitting task's decayed demand estimate.
+        {
+            let entry = self.tasks.entry(task).or_insert(TaskCpu {
+                busy_until: 0.0,
+                demand_acc: 0.0,
+                last_update: at,
+            });
+            let dt = (at - entry.last_update).max(0.0);
+            entry.demand_acc = entry.demand_acc * (-dt / DEMAND_TAU_MS).exp() + work_core_ms;
+            entry.last_update = at;
+        }
+
+        // Demands in cores, capped at 1.0 (a task is single-threaded).
+        let mut demands: Vec<(usize, f64)> = self
+            .tasks
+            .iter()
+            .map(|(&id, t)| {
+                let dt = (at - t.last_update).max(0.0);
+                let d = t.demand_acc * (-dt / DEMAND_TAU_MS).exp() / DEMAND_TAU_MS;
+                (id, d.min(1.0))
+            })
+            .collect();
+
+        let capacity = self.cores * self.thrash;
+        let alloc = max_min_alloc(&mut demands, capacity, task);
+        let demand = demands
+            .iter()
+            .find(|(id, _)| *id == task)
+            .map_or(0.0, |&(_, d)| d);
+        // A task whose demand fits its fair share runs at single-core
+        // speed (it simply idles between batches); a starved task runs at
+        // its allocation — `1/alloc` cores — which is what makes its
+        // backlog diverge while protected neighbours are unaffected. The
+        // thrash factor always applies.
+        let fair_stretch = if demand > alloc + 1e-9 {
+            (1.0 / alloc.max(1e-6)).max(1.0)
+        } else {
+            1.0
+        };
+        let multiplier = fair_stretch / self.thrash;
+
+        let entry = self.tasks.get_mut(&task).expect("inserted above");
+        let start = entry.busy_until.max(at);
+        let done = start + work_core_ms * multiplier;
+        entry.busy_until = done;
+        self.busy_core_ms += work_core_ms;
+        done
+    }
+
+    /// Total core-milliseconds of work served.
+    pub fn busy_core_ms(&self) -> f64 {
+        self.busy_core_ms
+    }
+
+    /// The configured core count.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// The thrash multiplier.
+    pub fn thrash(&self) -> f64 {
+        self.thrash
+    }
+}
+
+/// Water-filling max-min fair allocation: returns the share of `task`.
+/// Tasks demanding less than an equal split keep their demand; the
+/// leftover is split among the rest.
+fn max_min_alloc(demands: &mut [(usize, f64)], capacity: f64, task: usize) -> f64 {
+    demands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut remaining = capacity;
+    let mut left = demands.len();
+    for &(id, d) in demands.iter() {
+        let share = remaining / left as f64;
+        let alloc = d.min(share);
+        if id == task {
+            return alloc;
+        }
+        remaining -= alloc;
+        left -= 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_serializes_back_to_back() {
+        // 100 Mbps = 12_500 bytes/ms.
+        let mut l = LinkServer::from_mbps(100.0);
+        let t1 = l.serve(0.0, 12_500);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        // Second transfer queues behind the first.
+        let t2 = l.serve(0.0, 12_500);
+        assert!((t2 - 2.0).abs() < 1e-9);
+        // A transfer arriving after the backlog clears starts immediately.
+        let t3 = l.serve(10.0, 12_500);
+        assert!((t3 - 11.0).abs() < 1e-9);
+        assert_eq!(l.served_bytes(), 37_500.0);
+        assert!((l.busy_until() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_single_batch_runs_at_one_core() {
+        // 4 cores, but a lone 10 ms batch still takes 10 ms.
+        let mut c = CpuServer::new(4.0, 1.0);
+        let done = c.serve(0.0, 7, 10.0);
+        assert_eq!(done, 10.0);
+        assert_eq!(c.busy_core_ms(), 10.0);
+    }
+
+    #[test]
+    fn same_task_batches_serialize() {
+        let mut c = CpuServer::new(4.0, 1.0);
+        assert_eq!(c.serve(0.0, 0, 5.0), 5.0);
+        assert_eq!(c.serve(0.0, 0, 5.0), 10.0);
+        assert_eq!(c.serve(0.0, 0, 5.0), 15.0);
+    }
+
+    #[test]
+    fn light_task_is_protected_from_a_heavy_neighbor() {
+        // Task 0 hammers a 1-core node (demand ~1.0); task 1 trickles in
+        // (demand ~0.1). Max-min fairness must serve task 1 at full speed.
+        let mut c = CpuServer::new(1.0, 1.0);
+        let mut t = 0.0;
+        for _ in 0..400 {
+            c.serve(t, 0, 10.0); // heavy: 10 ms work every 10 ms
+            if (t as u64).is_multiple_of(100) {
+                c.serve(t, 1, 1.0); // light: 1 ms work every 100 ms
+            }
+            t += 10.0;
+        }
+        // Steady state: the light task's next batch is barely stretched.
+        let start = t;
+        let done = c.serve(start, 1, 1.0);
+        assert!(
+            done - start < 1.5,
+            "light task stretched to {} ms for 1 ms of work",
+            done - start
+        );
+    }
+
+    #[test]
+    fn two_heavy_tasks_split_a_core() {
+        // Both tasks demand a full core on a 1-core node: each ends up
+        // served at ~half speed once demand estimates converge.
+        let mut c = CpuServer::new(1.0, 1.0);
+        let mut t = 0.0;
+        for _ in 0..600 {
+            c.serve(t, 0, 10.0);
+            c.serve(t, 1, 10.0);
+            t += 10.0;
+        }
+        let start = t;
+        let done = c.serve(start, 0, 10.0);
+        // Note: busy_until for task 0 is far in the future by now; measure
+        // the stretch of the service itself via a fresh probe window.
+        assert!(
+            done - start > 15.0,
+            "heavy task should be stretched, got {} ms",
+            done - start
+        );
+    }
+
+    #[test]
+    fn thrash_slows_everything() {
+        let mut healthy = CpuServer::new(1.0, 1.0);
+        let mut thrashing = CpuServer::new(1.0, 0.1);
+        assert_eq!(healthy.serve(0.0, 0, 10.0), 10.0);
+        assert_eq!(thrashing.serve(0.0, 0, 10.0), 100.0);
+        assert_eq!(thrashing.thrash(), 0.1);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = CpuServer::new(3.0, 1.0);
+        assert_eq!(c.cores(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn zero_cores_rejected() {
+        CpuServer::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thrash factor")]
+    fn bad_thrash_rejected() {
+        CpuServer::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate")]
+    fn zero_rate_link_rejected() {
+        LinkServer::from_mbps(0.0);
+    }
+}

@@ -1,0 +1,960 @@
+//! The discrete-event simulation engine.
+
+use crate::build::{append_topology, ClusterIndex, SimTaskSpec};
+use crate::config::SimConfig;
+use crate::event::EventQueue;
+use crate::report::{SimReport, SimTotals};
+use crate::servers::{CpuServer, LinkServer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rstorm_cluster::{Cluster, PlacementRelation};
+use rstorm_core::Assignment;
+use rstorm_metrics::{CpuUtilizationTracker, StatisticServer};
+use rstorm_topology::{StreamGrouping, Topology};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A batch of tuples in flight, tagged with the root (spout emission) it
+/// descends from for acking purposes.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    root: u64,
+    tuples: u32,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A spout task attempts to emit its next root batch.
+    TrySpout(usize),
+    /// A task finished the CPU work for a batch.
+    WorkDone(usize, Batch),
+    /// A batch arrives at a task's input queue.
+    Deliver(usize, Batch),
+    /// A root's tuple-tree timeout fired.
+    RootTimeout(u64),
+}
+
+#[derive(Debug)]
+struct RootState {
+    pending: u32,
+    born: f64,
+    deadline: f64,
+    spout: usize,
+    failed: bool,
+}
+
+#[derive(Debug, Default)]
+struct TaskRt {
+    queue: VecDeque<Batch>,
+    busy: bool,
+    credits: u32,
+    waiting_for_credit: bool,
+    emit_acc: f64,
+    /// Earliest time a rate-limited spout may emit its next root batch.
+    next_emit_ms: f64,
+}
+
+/// A configured simulation of one cluster executing any number of
+/// scheduled topologies. See the [crate docs](crate) for the model.
+#[derive(Debug)]
+pub struct Simulation {
+    cluster: Cluster,
+    config: SimConfig,
+    index: ClusterIndex,
+    specs: Vec<SimTaskSpec>,
+    node_mem_demand: Vec<f64>,
+    topologies: Vec<String>,
+    stats: StatisticServer,
+}
+
+impl Simulation {
+    /// Creates an empty simulation over `cluster`.
+    pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+        let index = ClusterIndex::new(&cluster);
+        let node_count = cluster.nodes().len();
+        let stats = StatisticServer::new(config.window_ms);
+        Self {
+            cluster,
+            config,
+            index,
+            specs: Vec::new(),
+            node_mem_demand: vec![0.0; node_count],
+            topologies: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Adds a scheduled topology to the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is incomplete or references nodes not in
+    /// the cluster (verify foreign plans with `rstorm_core::verify_plan`
+    /// first).
+    pub fn add_topology(&mut self, topology: &Topology, assignment: &Assignment) {
+        assert_eq!(
+            topology.id().as_str(),
+            assignment.topology().as_str(),
+            "assignment belongs to a different topology"
+        );
+        for sink in topology.sinks() {
+            self.stats
+                .declare_sink(topology.id().as_str(), sink.id().as_str());
+        }
+        append_topology(
+            &mut self.specs,
+            &mut self.node_mem_demand,
+            &self.index,
+            topology,
+            assignment,
+        );
+        self.topologies.push(topology.id().as_str().to_owned());
+    }
+
+    /// Runs the simulation to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no topology was added.
+    pub fn run(self) -> SimReport {
+        assert!(
+            !self.specs.is_empty(),
+            "add at least one topology before running"
+        );
+        Engine::new(self).run()
+    }
+}
+
+/// Mutable engine state, split from `Simulation` so the borrow checker
+/// lets us index tasks and servers independently.
+struct Engine {
+    cluster: Cluster,
+    config: SimConfig,
+    specs: Vec<SimTaskSpec>,
+    topologies: Vec<String>,
+    stats: StatisticServer,
+    node_names: Vec<String>,
+
+    queue: EventQueue<Ev>,
+    cpus: Vec<CpuServer>,
+    egress: Vec<LinkServer>,
+    ingress: Vec<LinkServer>,
+    uplink: LinkServer,
+    tasks: Vec<TaskRt>,
+    roots: HashMap<u64, RootState>,
+    next_root: u64,
+    rng: StdRng,
+    totals: SimTotals,
+    latency: LatencyAccumulator,
+}
+
+/// Streaming accumulator for completed-root latencies (the population is
+/// far too large to retain).
+#[derive(Debug, Default)]
+struct LatencyAccumulator {
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyAccumulator {
+    fn record(&mut self, latency_ms: f64) {
+        if self.count == 0 {
+            self.min = latency_ms;
+            self.max = latency_ms;
+        } else {
+            self.min = self.min.min(latency_ms);
+            self.max = self.max.max(latency_ms);
+        }
+        self.count += 1;
+        self.sum += latency_ms;
+        self.sum_sq += latency_ms * latency_ms;
+    }
+
+    fn summary(&self) -> rstorm_metrics::Summary {
+        if self.count == 0 {
+            return rstorm_metrics::Summary::of([]);
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        let variance = (self.sum_sq / n - mean * mean).max(0.0);
+        rstorm_metrics::Summary {
+            count: self.count,
+            mean,
+            stddev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tasks", &self.tasks.len())
+            .field("now", &self.queue.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    fn new(sim: Simulation) -> Self {
+        let Simulation {
+            cluster,
+            config,
+            index,
+            specs,
+            node_mem_demand,
+            topologies,
+            stats,
+        } = sim;
+
+        let costs = cluster.costs().clone();
+        let cpus = index
+            .cores
+            .iter()
+            .zip(&node_mem_demand)
+            .zip(&index.memory_mb)
+            .map(|((&cores, &demand), &capacity)| {
+                let thrash = if demand > capacity && config.oom_thrash_factor < 1.0 {
+                    // Over-committed memory: the node pages/crash-loops.
+                    config.oom_thrash_factor
+                } else {
+                    1.0
+                };
+                CpuServer::new(cores, thrash)
+            })
+            .collect();
+        let egress = (0..index.cores.len())
+            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
+            .collect();
+        let ingress = (0..index.cores.len())
+            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
+            .collect();
+        let uplink = LinkServer::from_mbps(costs.inter_rack_bandwidth_mbps);
+
+        let tasks = specs
+            .iter()
+            .map(|s| TaskRt {
+                credits: if s.is_spout {
+                    s.max_spout_pending.unwrap_or(config.max_pending)
+                } else {
+                    0
+                },
+                ..TaskRt::default()
+            })
+            .collect();
+
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            cluster,
+            config,
+            specs,
+            topologies,
+            stats,
+            node_names: index.node_names,
+            queue: EventQueue::new(),
+            cpus,
+            egress,
+            ingress,
+            uplink,
+            tasks,
+            roots: HashMap::new(),
+            next_root: 0,
+            rng,
+            totals: SimTotals::default(),
+            latency: LatencyAccumulator::default(),
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        for i in 0..self.specs.len() {
+            if self.specs[i].is_spout {
+                self.queue.schedule(0.0, Ev::TrySpout(i));
+            }
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.config.sim_time_ms {
+                break;
+            }
+            match ev {
+                Ev::TrySpout(i) => self.try_spout(i),
+                Ev::WorkDone(i, batch) => self.work_done(i, batch),
+                Ev::Deliver(i, batch) => self.deliver(i, batch),
+                Ev::RootTimeout(root) => self.root_timeout(root),
+            }
+        }
+
+        self.report()
+    }
+
+    // ---- spout production --------------------------------------------
+
+    fn try_spout(&mut self, i: usize) {
+        if self.tasks[i].busy {
+            return; // WorkDone will retry.
+        }
+        if self.tasks[i].credits == 0 {
+            self.tasks[i].waiting_for_credit = true;
+            return;
+        }
+        let now = self.queue.now();
+        // A rate-limited source paces its emissions regardless of credit
+        // availability (the stream arrives at its own rate).
+        if let Some(rate) = self.specs[i].max_rate_tuples_per_sec {
+            if now + 1e-9 < self.tasks[i].next_emit_ms {
+                let at = self.tasks[i].next_emit_ms;
+                self.queue.schedule(at, Ev::TrySpout(i));
+                return;
+            }
+            let interval = f64::from(self.config.batch_tuples) / rate * 1000.0;
+            let base = self.tasks[i].next_emit_ms.max(now);
+            self.tasks[i].next_emit_ms = base + interval;
+        }
+        self.tasks[i].credits -= 1;
+        let root = self.next_root;
+        self.next_root += 1;
+        let deadline = now + self.config.tuple_timeout_ms;
+        self.roots.insert(
+            root,
+            RootState {
+                pending: 1,
+                born: now,
+                deadline,
+                spout: i,
+                failed: false,
+            },
+        );
+        self.queue.schedule(deadline, Ev::RootTimeout(root));
+
+        let batch = Batch {
+            root,
+            tuples: self.config.batch_tuples,
+        };
+        let work = f64::from(batch.tuples) * self.specs[i].work_ms_per_tuple;
+        let done = self.cpus[self.specs[i].node_idx].serve(now, i, work);
+        self.tasks[i].busy = true;
+        self.queue.schedule(done, Ev::WorkDone(i, batch));
+    }
+
+    // ---- work completion ---------------------------------------------
+
+    fn work_done(&mut self, i: usize, batch: Batch) {
+        let now = self.queue.now();
+        let spec_is_spout = self.specs[i].is_spout;
+        let spec_is_sink = self.specs[i].is_sink;
+
+        if spec_is_spout {
+            self.totals.spout_batches += 1;
+            self.stats.record_emitted(
+                &self.specs[i].topology,
+                &self.specs[i].component,
+                now,
+                u64::from(batch.tuples),
+            );
+        } else {
+            self.totals.tuples_processed += u64::from(batch.tuples);
+        }
+
+        if spec_is_sink {
+            let alive = self
+                .roots
+                .get(&batch.root)
+                .is_some_and(|r| !r.failed && now <= r.deadline);
+            if alive {
+                self.totals.tuples_completed += u64::from(batch.tuples);
+                self.stats.record_processed(
+                    &self.specs[i].topology,
+                    &self.specs[i].component,
+                    now,
+                    u64::from(batch.tuples),
+                );
+            }
+        } else if !spec_is_spout {
+            self.stats.record_processed(
+                &self.specs[i].topology,
+                &self.specs[i].component,
+                now,
+                u64::from(batch.tuples),
+            );
+        }
+
+        // Emission: anchor new copies on the root *before* releasing this
+        // batch's own pending slot, so the root cannot complete early.
+        if self.specs[i].emit_factor > 0.0 && !self.specs[i].consumers.is_empty() {
+            self.tasks[i].emit_acc += self.specs[i].emit_factor;
+            let n_out = self.tasks[i].emit_acc.floor() as u32;
+            self.tasks[i].emit_acc -= f64::from(n_out);
+            for _ in 0..n_out {
+                self.emit(i, batch);
+            }
+        }
+
+        self.finish_pending(batch.root);
+
+        self.tasks[i].busy = false;
+        if spec_is_spout {
+            let now = self.queue.now();
+            self.queue.schedule(now, Ev::TrySpout(i));
+        } else if let Some(next) = self.tasks[i].queue.pop_front() {
+            self.start_processing(i, next);
+        }
+    }
+
+    fn start_processing(&mut self, i: usize, batch: Batch) {
+        let now = self.queue.now();
+        let work = f64::from(batch.tuples) * self.specs[i].work_ms_per_tuple;
+        let done = self.cpus[self.specs[i].node_idx].serve(now, i, work);
+        self.tasks[i].busy = true;
+        self.queue.schedule(done, Ev::WorkDone(i, batch));
+    }
+
+    // ---- routing -------------------------------------------------------
+
+    fn emit(&mut self, from: usize, batch: Batch) {
+        let group_count = self.specs[from].consumers.len();
+        for g in 0..group_count {
+            let targets = self.pick_targets(from, g);
+            for to in targets {
+                self.transfer(from, to, batch);
+            }
+        }
+    }
+
+    fn pick_targets(&mut self, from: usize, group: usize) -> Vec<usize> {
+        let group = &self.specs[from].consumers[group];
+        let targets = &group.targets;
+        debug_assert!(!targets.is_empty(), "validated topologies have tasks");
+        match &group.grouping {
+            StreamGrouping::Shuffle | StreamGrouping::Fields(_) => {
+                // Fields grouping with uniformly distributed keys is
+                // statistically identical to shuffle at this granularity.
+                vec![targets[self.rng.gen_range(0..targets.len())]]
+            }
+            StreamGrouping::All => targets.clone(),
+            StreamGrouping::Global => vec![targets[0]],
+            StreamGrouping::LocalOrShuffle => {
+                let from_slot = &self.specs[from].slot;
+                let local: Vec<usize> = targets
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.specs[t].slot == *from_slot)
+                    .collect();
+                let pool = if local.is_empty() { targets } else { &local };
+                vec![pool[self.rng.gen_range(0..pool.len())]]
+            }
+        }
+    }
+
+    fn transfer(&mut self, from: usize, to: usize, batch: Batch) {
+        let now = self.queue.now();
+        let costs = self.cluster.costs();
+        let relation = relation_of(&self.specs[from], &self.specs[to]);
+        let bytes = self.specs[from].tuple_bytes.saturating_mul(batch.tuples);
+        let latency = costs.latency_ms(relation);
+
+        let arrival = match relation {
+            PlacementRelation::SameWorker | PlacementRelation::SameNode => now + latency,
+            PlacementRelation::SameRack => {
+                let t1 = self.egress[self.specs[from].node_idx].serve(now, bytes);
+                let t2 = self.ingress[self.specs[to].node_idx].serve(t1, bytes);
+                t2 + latency
+            }
+            PlacementRelation::InterRack => {
+                let t1 = self.egress[self.specs[from].node_idx].serve(now, bytes);
+                let t2 = self.uplink.serve(t1, bytes);
+                let t3 = self.ingress[self.specs[to].node_idx].serve(t2, bytes);
+                t3 + latency
+            }
+        };
+
+        if let Some(root) = self.roots.get_mut(&batch.root) {
+            root.pending += 1;
+        }
+        self.queue.schedule(arrival, Ev::Deliver(to, batch));
+    }
+
+    // ---- delivery ------------------------------------------------------
+
+    fn deliver(&mut self, i: usize, batch: Batch) {
+        self.totals.batches_delivered += 1;
+        // Shed batches whose root already timed out: the real system's
+        // queues would be drained of them by the replay mechanism, and
+        // processing them would let queues grow without bound.
+        let stale = self
+            .roots
+            .get(&batch.root)
+            .is_none_or(|r| r.failed);
+        if stale {
+            self.totals.batches_dropped += 1;
+            self.finish_pending(batch.root);
+            return;
+        }
+        if self.tasks[i].busy {
+            self.tasks[i].queue.push_back(batch);
+        } else {
+            self.start_processing(i, batch);
+        }
+    }
+
+    // ---- root lifecycle -------------------------------------------------
+
+    /// Releases one pending slot of `root`, completing it if this was the
+    /// last one.
+    fn finish_pending(&mut self, root: u64) {
+        let Some(state) = self.roots.get_mut(&root) else {
+            return;
+        };
+        state.pending -= 1;
+        if state.pending > 0 {
+            return;
+        }
+        let failed = state.failed;
+        let spout = state.spout;
+        let born = state.born;
+        self.roots.remove(&root);
+        if !failed {
+            self.totals.roots_completed += 1;
+            self.latency.record(self.queue.now() - born);
+            self.return_credit(spout);
+        }
+    }
+
+    fn root_timeout(&mut self, root: u64) {
+        let Some(state) = self.roots.get_mut(&root) else {
+            return; // Completed before the deadline.
+        };
+        if state.failed {
+            return;
+        }
+        state.failed = true;
+        let spout = state.spout;
+        self.totals.roots_timed_out += 1;
+        // Storm replays the tuple: the credit returns to the spout even
+        // though stale descendants may still be in flight.
+        self.return_credit(spout);
+    }
+
+    fn return_credit(&mut self, spout: usize) {
+        self.tasks[spout].credits += 1;
+        if self.tasks[spout].waiting_for_credit {
+            self.tasks[spout].waiting_for_credit = false;
+            let now = self.queue.now();
+            self.queue.schedule(now, Ev::TrySpout(spout));
+        }
+    }
+
+    // ---- reporting ------------------------------------------------------
+
+    fn report(self) -> SimReport {
+        let elapsed = self.config.sim_time_ms;
+        let mut tracker = CpuUtilizationTracker::new();
+        for (i, cpu) in self.cpus.iter().enumerate() {
+            tracker.register_node(self.node_names[i].clone(), cpu.cores());
+            if cpu.busy_core_ms() > 0.0 {
+                // Work committed past the horizon is clamped so that
+                // utilization stays within physical capacity.
+                let capacity = cpu.cores() * cpu.thrash() * elapsed;
+                tracker.add_busy(&self.node_names[i], cpu.busy_core_ms().min(capacity));
+            }
+        }
+
+        let mut throughput = std::collections::BTreeMap::new();
+        let mut used_by_topology = std::collections::BTreeMap::new();
+        for t in &self.topologies {
+            throughput.insert(t.clone(), self.stats.topology_throughput(t, elapsed));
+            let used: BTreeSet<String> = self
+                .specs
+                .iter()
+                .filter(|s| &s.topology == t)
+                .map(|s| s.slot.node.as_str().to_owned())
+                .collect();
+            used_by_topology.insert(t.clone(), used.len());
+        }
+
+        let node_utilization = tracker.used_node_utilizations(elapsed);
+        SimReport {
+            duration_ms: elapsed,
+            window_ms: self.config.window_ms,
+            throughput,
+            mean_used_cpu_utilization: tracker.mean_used_utilization(elapsed),
+            used_nodes: tracker.used_node_count(),
+            used_nodes_by_topology: used_by_topology,
+            node_utilization,
+            inter_rack_mb: self.uplink.served_bytes() / 1e6,
+            latency_ms: self.latency.summary(),
+            totals: self.totals,
+        }
+    }
+}
+
+fn relation_of(a: &SimTaskSpec, b: &SimTaskSpec) -> PlacementRelation {
+    if a.slot == b.slot {
+        PlacementRelation::SameWorker
+    } else if a.node_idx == b.node_idx {
+        PlacementRelation::SameNode
+    } else if a.rack_idx == b.rack_idx {
+        PlacementRelation::SameRack
+    } else {
+        PlacementRelation::InterRack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_core::{schedule_all, GlobalState, RStormScheduler, Scheduler};
+    use rstorm_core::schedulers::EvenScheduler;
+    use rstorm_topology::{ExecutionProfile, TopologyBuilder};
+
+    fn emulab(racks: u32, nodes: u32) -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(racks, nodes, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    fn linear_topology(
+        name: &str,
+        parallelism: u32,
+        profile: ExecutionProfile,
+        cpu: f64,
+        mem: f64,
+    ) -> Topology {
+        let mut b = TopologyBuilder::new(name);
+        b.set_spout("c0", parallelism)
+            .set_profile(profile)
+            .set_cpu_load(cpu)
+            .set_memory_load(mem);
+        for i in 1..4 {
+            let p = if i == 3 { profile.into_sink() } else { profile };
+            b.set_bolt(format!("c{i}"), parallelism)
+                .shuffle_grouping(format!("c{}", i - 1))
+                .set_profile(p)
+                .set_cpu_load(cpu)
+                .set_memory_load(mem);
+        }
+        b.build().unwrap()
+    }
+
+    fn run_with<S: Scheduler>(
+        scheduler: &S,
+        topology: &Topology,
+        cluster: &Cluster,
+        config: SimConfig,
+    ) -> SimReport {
+        let mut state = GlobalState::new(cluster);
+        let assignment = scheduler.schedule(topology, cluster, &mut state).unwrap();
+        let mut sim = Simulation::new(cluster.clone(), config);
+        sim.add_topology(topology, &assignment);
+        sim.run()
+    }
+
+    #[test]
+    fn tuples_flow_end_to_end() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let thr = &report.throughput["t"];
+        assert!(
+            thr.steady_state(1).mean > 0.0,
+            "sink saw tuples: {:?}",
+            thr.windows
+        );
+        assert!(report.totals.spout_batches > 0);
+        assert!(report.totals.roots_completed > 0);
+        assert!(report.totals.tuples_completed > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let r1 = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let r2 = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        assert_eq!(r1.throughput["t"].windows, r2.throughput["t"].windows);
+        assert_eq!(r1.totals, r2.totals);
+    }
+
+    #[test]
+    fn conservation_invariants() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.2, 1.0, 200), 20.0, 128.0);
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let totals = &report.totals;
+        assert!(totals.roots_completed + totals.roots_timed_out <= totals.spout_batches);
+        assert!(totals.tuples_completed <= totals.tuples_processed);
+        assert!(totals.batches_dropped <= totals.batches_delivered);
+    }
+
+    #[test]
+    fn backpressure_bounds_inflight_roots() {
+        // A tiny, heavily CPU-bound sink limits end-to-end throughput;
+        // max_pending must keep spout emission in check rather than let
+        // it run at CPU speed.
+        let cluster = emulab(1, 2);
+        let mut b = TopologyBuilder::new("bp");
+        b.set_spout("fast", 1)
+            .set_profile(ExecutionProfile::new(0.01, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("slow-sink", 1)
+            .shuffle_grouping("fast")
+            .set_profile(ExecutionProfile::new(5.0, 0.0, 100))
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        let mut config = SimConfig::quick();
+        config.max_pending = 10;
+        config.tuple_timeout_ms = 1e9; // no timeouts: pure backpressure
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, config);
+        // The spout can only ever be max_pending roots ahead of the sink.
+        assert!(
+            report.totals.spout_batches
+                <= report.totals.roots_completed + 10,
+            "spout {} vs completed {}",
+            report.totals.spout_batches,
+            report.totals.roots_completed
+        );
+    }
+
+    #[test]
+    fn overload_causes_timeouts() {
+        // One single-core node, CPU demand far beyond capacity, short
+        // timeout: roots must start failing.
+        let cluster = ClusterBuilder::new()
+            .add_node("only", "r0", ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let mut b = TopologyBuilder::new("ovl");
+        b.set_spout("s", 4)
+            .set_profile(ExecutionProfile::new(1.0, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("heavy", 4)
+            .shuffle_grouping("s")
+            .set_profile(ExecutionProfile::new(50.0, 0.0, 100))
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        let mut config = SimConfig::quick();
+        config.tuple_timeout_ms = 2_000.0;
+        let report = run_with(&EvenScheduler::new(), &t, &cluster, config);
+        assert!(
+            report.totals.roots_timed_out > 0,
+            "expected timeouts under overload: {:?}",
+            report.totals
+        );
+    }
+
+    #[test]
+    fn memory_overcommit_thrashes_node() {
+        // 10 × 512 MB on a 2048 MB node → thrash; same workload on a big
+        // node → healthy. The thrashing run must complete far fewer roots.
+        let small = ClusterBuilder::new()
+            .add_node("n", "r0", ResourceCapacity::new(400.0, 2048.0, 100.0), 4)
+            .build()
+            .unwrap();
+        let big = ClusterBuilder::new()
+            .add_node("n", "r0", ResourceCapacity::new(400.0, 65536.0, 100.0), 4)
+            .build()
+            .unwrap();
+        let mut b = TopologyBuilder::new("mem");
+        b.set_spout("s", 5)
+            .set_profile(ExecutionProfile::new(0.5, 1.0, 100))
+            .set_memory_load(512.0);
+        b.set_bolt("k", 5)
+            .shuffle_grouping("s")
+            .set_profile(ExecutionProfile::new(0.5, 0.0, 100))
+            .set_memory_load(512.0);
+        let t = b.build().unwrap();
+        let thrashed = run_with(&EvenScheduler::new(), &t, &small, SimConfig::quick());
+        let healthy = run_with(&EvenScheduler::new(), &t, &big, SimConfig::quick());
+        assert!(
+            healthy.totals.roots_completed > 3 * thrashed.totals.roots_completed,
+            "healthy {} vs thrashed {}",
+            healthy.totals.roots_completed,
+            thrashed.totals.roots_completed
+        );
+    }
+
+    #[test]
+    fn colocation_beats_spreading_for_network_bound_work() {
+        // The core network-bound claim (Fig 8): with trivial per-tuple
+        // work and fat tuples, R-Storm's colocated placement outperforms
+        // the round-robin spread.
+        let cluster = emulab(2, 6);
+        let t = linear_topology(
+            "net",
+            6,
+            ExecutionProfile::network_bound(400),
+            15.0,
+            128.0,
+        );
+        // In-flight-limited regime (see the fig8 harness): placement
+        // quality shows up as end-to-end latency.
+        let mut config = SimConfig::quick();
+        config.max_pending = 4;
+        let rstorm = run_with(&RStormScheduler::new(), &t, &cluster, config.clone());
+        let even = run_with(&EvenScheduler::new(), &t, &cluster, config);
+        let r = rstorm.throughput["net"].steady_state(2).mean;
+        let e = even.throughput["net"].steady_state(2).mean;
+        assert!(
+            r > e * 1.2,
+            "R-Storm {r:.0} should clearly beat default {e:.0}"
+        );
+    }
+
+    #[test]
+    fn all_grouping_replicates_to_every_task() {
+        // spout → bolt(all, p=3): every batch is processed three times.
+        let cluster = emulab(1, 2);
+        let mut b = TopologyBuilder::new("rep");
+        b.set_spout("s", 1)
+            .set_profile(ExecutionProfile::new(0.1, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("k", 3)
+            .all_grouping("s")
+            .set_profile(ExecutionProfile::new(0.05, 0.0, 100))
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let emitted = report.totals.spout_batches * 10; // 10 tuples/batch
+        let processed = report.totals.tuples_processed;
+        let ratio = processed as f64 / emitted as f64;
+        assert!(
+            (2.5..=3.0).contains(&ratio),
+            "all-grouping fan-out should be ~3×, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn global_grouping_funnels_into_one_task() {
+        // spout(p=2) → bolt(global, p=4): exactly one bolt task works, so
+        // throughput is capped by a single task's service rate.
+        let cluster = emulab(1, 4);
+        let mut b = TopologyBuilder::new("glob");
+        b.set_spout("s", 2)
+            .set_profile(ExecutionProfile::new(0.05, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("k", 4)
+            .global_grouping("s")
+            .set_profile(ExecutionProfile::new(1.0, 0.0, 100))
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        let report = run_with(&EvenScheduler::new(), &t, &cluster, SimConfig::quick());
+        // One task at 1 ms/tuple can do at most 1000 tuples/s = 10 000
+        // per window; with 4 tasks sharing it would be ~4×.
+        let thr = report.steady_throughput("glob", 1);
+        assert!(
+            thr <= 10_500.0,
+            "global grouping must serialize through one task, got {thr:.0}"
+        );
+        assert!(thr > 5_000.0, "but the single task should be busy: {thr:.0}");
+    }
+
+    #[test]
+    fn local_or_shuffle_prefers_the_local_task() {
+        // Identical topologies, one shuffle and one local-or-shuffle;
+        // under R-Storm's colocation the local variant keeps traffic in
+        // the worker and completes faster.
+        let make = |name: &str, local: bool| {
+            let mut b = TopologyBuilder::new(name);
+            b.set_max_spout_pending(4);
+            b.set_spout("s", 4)
+                .set_profile(ExecutionProfile::new(0.02, 1.0, 400))
+                .set_cpu_load(20.0)
+                .set_memory_load(64.0);
+            let mut bolt = b.set_bolt("k", 4);
+            if local {
+                bolt.local_or_shuffle_grouping("s");
+            } else {
+                bolt.shuffle_grouping("s");
+            }
+            bolt.set_profile(ExecutionProfile::new(0.02, 0.0, 400))
+                .set_cpu_load(20.0)
+                .set_memory_load(64.0);
+            b.build().unwrap()
+        };
+        let cluster = emulab(2, 6);
+        let local = run_with(
+            &RStormScheduler::new(),
+            &make("local", true),
+            &cluster,
+            SimConfig::quick(),
+        );
+        let shuffled = run_with(
+            &RStormScheduler::new(),
+            &make("shuffled", false),
+            &cluster,
+            SimConfig::quick(),
+        );
+        assert!(
+            local.latency_ms.mean < shuffled.latency_ms.mean,
+            "local {:.3} ms vs shuffle {:.3} ms",
+            local.latency_ms.mean,
+            shuffled.latency_ms.mean
+        );
+    }
+
+    #[test]
+    fn colocated_placement_has_lower_latency() {
+        let cluster = emulab(2, 6);
+        let t = linear_topology(
+            "lat",
+            6,
+            ExecutionProfile::network_bound(400),
+            15.0,
+            128.0,
+        );
+        let mut config = SimConfig::quick();
+        config.max_pending = 4;
+        let rstorm = run_with(&RStormScheduler::new(), &t, &cluster, config.clone());
+        let even = run_with(&EvenScheduler::new(), &t, &cluster, config);
+        assert!(rstorm.latency_ms.count > 0 && even.latency_ms.count > 0);
+        assert!(
+            rstorm.latency_ms.mean < even.latency_ms.mean,
+            "colocated {:.2} ms vs spread {:.2} ms",
+            rstorm.latency_ms.mean,
+            even.latency_ms.mean
+        );
+        // The throughput advantage IS the latency advantage in the
+        // in-flight-limited regime (Little's law).
+        assert!(rstorm.inter_rack_mb < even.inter_rack_mb);
+    }
+
+    #[test]
+    fn multiple_topologies_share_the_cluster() {
+        let cluster = emulab(2, 6);
+        let t1 = linear_topology("a", 3, ExecutionProfile::new(0.2, 1.0, 100), 20.0, 128.0);
+        let t2 = linear_topology("b", 3, ExecutionProfile::new(0.2, 1.0, 100), 20.0, 128.0);
+        let plan = schedule_all(&RStormScheduler::new(), &[&t1, &t2], &cluster).unwrap();
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&t1, plan.assignment("a").unwrap());
+        sim.add_topology(&t2, plan.assignment("b").unwrap());
+        let report = sim.run();
+        assert!(report.throughput["a"].steady_state(1).mean > 0.0);
+        assert!(report.throughput["b"].steady_state(1).mean > 0.0);
+        assert_eq!(report.used_nodes_by_topology.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn mismatched_assignment_rejected() {
+        let cluster = emulab(1, 2);
+        let t = linear_topology("t", 1, ExecutionProfile::default(), 10.0, 64.0);
+        let other = linear_topology("other", 1, ExecutionProfile::default(), 10.0, 64.0);
+        let mut state = GlobalState::new(&cluster);
+        let a = RStormScheduler::new()
+            .schedule(&other, &cluster, &mut state)
+            .unwrap();
+        let mut sim = Simulation::new(cluster, SimConfig::quick());
+        sim.add_topology(&t, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topology")]
+    fn empty_simulation_rejected() {
+        let cluster = emulab(1, 1);
+        Simulation::new(cluster, SimConfig::quick()).run();
+    }
+}

@@ -1,0 +1,178 @@
+//! Parsing and serializing cluster specifications.
+
+use crate::{attr_f64, parse_attrs, strip_comment, SpecError};
+use rstorm_cluster::{Cluster, ClusterBuilder, ResourceCapacity};
+
+/// Parses a cluster specification (see the crate docs for the format).
+pub fn parse_cluster(text: &str) -> Result<Cluster, SpecError> {
+    let mut seen_header = false;
+    let mut current_rack: Option<String> = None;
+    let mut builder = ClusterBuilder::new();
+    let mut nodes = 0usize;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "cluster" => {
+                seen_header = true;
+            }
+            "rack" => {
+                let name = parts.get(1).ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "rack needs a name".into(),
+                })?;
+                current_rack = Some((*name).to_owned());
+            }
+            "node" => {
+                let rack = current_rack.clone().ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "node before any rack".into(),
+                })?;
+                let name = parts.get(1).ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "node needs a name".into(),
+                })?;
+                let attrs = parse_attrs(&parts[2..], line_no)?;
+                for key in attrs.keys() {
+                    if !matches!(key.as_str(), "cpu" | "mem" | "bandwidth" | "slots") {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: format!("unknown attribute `{key}`"),
+                        });
+                    }
+                }
+                let capacity = ResourceCapacity::new(
+                    attr_f64(&attrs, "cpu", 100.0, line_no)?,
+                    attr_f64(&attrs, "mem", 4096.0, line_no)?,
+                    attr_f64(&attrs, "bandwidth", 100.0, line_no)?,
+                );
+                let slots = attr_f64(&attrs, "slots", 4.0, line_no)? as u16;
+                if slots == 0 {
+                    return Err(SpecError {
+                        line: line_no,
+                        message: "slots must be at least 1".into(),
+                    });
+                }
+                builder = builder.add_node((*name).to_owned(), rack, capacity, slots);
+                nodes += 1;
+            }
+            other => {
+                return Err(SpecError {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+
+    if !seen_header {
+        return Err(SpecError {
+            line: 1,
+            message: "missing `cluster` header".into(),
+        });
+    }
+    if nodes == 0 {
+        return Err(SpecError {
+            line: 1,
+            message: "cluster has no nodes".into(),
+        });
+    }
+    builder.build().map_err(|e| SpecError {
+        line: 1,
+        message: e.to_string(),
+    })
+}
+
+/// Serializes a cluster back to spec text (round-trips through
+/// [`parse_cluster`]).
+pub fn cluster_to_spec(cluster: &Cluster) -> String {
+    let mut out = String::from("cluster\n");
+    for rack in cluster.racks() {
+        out.push_str(&format!("rack {rack}\n"));
+        for node_id in cluster.rack_nodes(rack.as_str()) {
+            let node = cluster.node(node_id.as_str()).expect("listed node exists");
+            let c = node.capacity();
+            out.push_str(&format!(
+                "  node {} cpu={:?} mem={:?} bandwidth={:?} slots={}\n",
+                node.id(),
+                c.cpu_points,
+                c.memory_mb,
+                c.bandwidth,
+                node.slots().len(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_RACKS: &str = "\
+cluster
+rack rack-0
+  node node-0 cpu=100 mem=2048 slots=4
+  node node-1 cpu=100 mem=2048 slots=4
+rack rack-1
+  node node-2 cpu=400 mem=8192 slots=2
+";
+
+    #[test]
+    fn parses_the_doc_example() {
+        let c = parse_cluster(TWO_RACKS).unwrap();
+        assert_eq!(c.nodes().len(), 3);
+        assert_eq!(c.racks().len(), 2);
+        assert_eq!(c.rack_of("node-2").unwrap().as_str(), "rack-1");
+        let big = c.node("node-2").unwrap();
+        assert_eq!(big.capacity().cpu_points, 400.0);
+        assert_eq!(big.slots().len(), 2);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let c = parse_cluster(TWO_RACKS).unwrap();
+        let spec = cluster_to_spec(&c);
+        let c2 = parse_cluster(&spec).unwrap();
+        assert_eq!(cluster_to_spec(&c2), spec);
+        assert_eq!(c2.nodes().len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        let cases = [
+            ("rack r\n  node n\n", "missing `cluster` header"),
+            ("cluster\nnode n\n", "node before any rack"),
+            ("cluster\nrack r\n", "no nodes"),
+            ("cluster\nrack r\n  node n slots=0\n", "at least 1"),
+            ("cluster\nrack r\n  node n wat=4\n", "unknown attribute"),
+            ("cluster\nwat\n", "unknown directive"),
+            (
+                "cluster\nrack r\n  node n\n  node n\n",
+                "declared more than once",
+            ),
+        ];
+        for (text, expected) in cases {
+            let err = parse_cluster(text).unwrap_err();
+            assert!(
+                err.message.contains(expected),
+                "{text:?}: got {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse_cluster("cluster\nrack r\n  node n\n").unwrap();
+        let n = c.node("n").unwrap();
+        assert_eq!(n.capacity().cpu_points, 100.0);
+        assert_eq!(n.capacity().memory_mb, 4096.0);
+        assert_eq!(n.slots().len(), 4);
+    }
+}

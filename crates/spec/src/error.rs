@@ -1,0 +1,35 @@
+//! Spec parse errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A specification parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line() {
+        let e = SpecError {
+            line: 3,
+            message: "oops".into(),
+        };
+        assert_eq!(e.to_string(), "spec line 3: oops");
+    }
+}

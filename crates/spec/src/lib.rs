@@ -1,0 +1,91 @@
+//! # rstorm-spec
+//!
+//! A plain-text specification format for topologies and clusters, so that
+//! schedules can be computed and simulated from files (see the `rstorm`
+//! CLI) instead of Rust code.
+//!
+//! ## Topology spec
+//!
+//! ```text
+//! # the word-count starter topology
+//! topology word-count
+//! workers 12
+//! max-spout-pending 4
+//!
+//! spout sentences parallelism=4 cpu=50 mem=512 work-ms=0.05 bytes=200 rate=7000
+//! bolt split parallelism=6 cpu=30 mem=256 work-ms=0.04
+//!   subscribe sentences shuffle
+//! bolt count parallelism=6 cpu=30 mem=256 work-ms=0.03 emit=0
+//!   subscribe split fields word
+//! ```
+//!
+//! One `topology` header; `workers` / `max-spout-pending` optional; then
+//! `spout`/`bolt` declarations with `key=value` attributes, each bolt
+//! followed by indented `subscribe <from> <grouping>` lines. Groupings:
+//! `shuffle`, `all`, `global`, `local-or-shuffle`, `fields f1,f2,...`.
+//! Attributes (all optional except `parallelism` defaulting to 1):
+//! `cpu` (points), `mem` (MB), `bandwidth`, `work-ms` (per tuple),
+//! `emit` (output tuples per input tuple), `bytes` (tuple size) and
+//! `rate` (tuples/s per task; spouts only — omit for flat-out sources).
+//!
+//! ## Cluster spec
+//!
+//! ```text
+//! cluster
+//! rack rack-0
+//!   node node-0 cpu=100 mem=2048 slots=4
+//!   node node-1 cpu=100 mem=2048 slots=4
+//! rack rack-1
+//!   node node-2 cpu=100 mem=2048 slots=4
+//! ```
+//!
+//! Both formats serialize back via [`topology_to_spec`] /
+//! [`cluster_to_spec`] and round-trip exactly (property-tested).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster_spec;
+mod error;
+mod topology_spec;
+
+pub use cluster_spec::{cluster_to_spec, parse_cluster};
+pub use error::SpecError;
+pub use topology_spec::{parse_topology, topology_to_spec};
+
+pub(crate) fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+pub(crate) fn parse_attrs(
+    parts: &[&str],
+    line: usize,
+) -> Result<std::collections::BTreeMap<String, String>, SpecError> {
+    let mut attrs = std::collections::BTreeMap::new();
+    for part in parts {
+        let (k, v) = part.split_once('=').ok_or_else(|| SpecError {
+            line,
+            message: format!("expected key=value, got `{part}`"),
+        })?;
+        attrs.insert(k.to_owned(), v.to_owned());
+    }
+    Ok(attrs)
+}
+
+pub(crate) fn attr_f64(
+    attrs: &std::collections::BTreeMap<String, String>,
+    key: &str,
+    default: f64,
+    line: usize,
+) -> Result<f64, SpecError> {
+    match attrs.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| SpecError {
+            line,
+            message: format!("invalid number for `{key}`: `{raw}`"),
+        }),
+    }
+}

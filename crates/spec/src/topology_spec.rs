@@ -1,0 +1,326 @@
+//! Parsing and serializing topology specifications.
+
+use crate::{attr_f64, parse_attrs, strip_comment, SpecError};
+use rstorm_topology::{ExecutionProfile, StreamGrouping, Topology, TopologyBuilder};
+
+#[derive(Debug)]
+struct PendingComponent {
+    is_spout: bool,
+    name: String,
+    parallelism: u32,
+    cpu: f64,
+    mem: f64,
+    bandwidth: f64,
+    profile: ExecutionProfile,
+    subscriptions: Vec<(String, StreamGrouping)>,
+    line: usize,
+}
+
+/// Parses a topology specification (see the crate docs for the format).
+pub fn parse_topology(text: &str) -> Result<Topology, SpecError> {
+    let mut name: Option<String> = None;
+    let mut workers: Option<u32> = None;
+    let mut max_pending: Option<u32> = None;
+    let mut components: Vec<PendingComponent> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "topology" => {
+                let id = parts.get(1).ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "topology needs a name".into(),
+                })?;
+                name = Some((*id).to_owned());
+            }
+            "workers" => {
+                workers = Some(parse_u32(parts.get(1), "workers", line_no)?);
+            }
+            "max-spout-pending" => {
+                max_pending = Some(parse_u32(parts.get(1), "max-spout-pending", line_no)?);
+            }
+            "spout" | "bolt" => {
+                let is_spout = parts[0] == "spout";
+                let cname = parts.get(1).ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: format!("{} needs a name", parts[0]),
+                })?;
+                let attrs = parse_attrs(&parts[2..], line_no)?;
+                for key in attrs.keys() {
+                    if !matches!(
+                        key.as_str(),
+                        "parallelism" | "cpu" | "mem" | "bandwidth" | "work-ms" | "emit"
+                            | "bytes" | "rate"
+                    ) {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: format!("unknown attribute `{key}`"),
+                        });
+                    }
+                }
+                let parallelism = attr_f64(&attrs, "parallelism", 1.0, line_no)? as u32;
+                if parallelism == 0 {
+                    return Err(SpecError {
+                        line: line_no,
+                        message: "parallelism must be at least 1".into(),
+                    });
+                }
+                let mut profile = ExecutionProfile::new(
+                    attr_f64(&attrs, "work-ms", 0.05, line_no)?,
+                    attr_f64(&attrs, "emit", 1.0, line_no)?,
+                    attr_f64(&attrs, "bytes", 100.0, line_no)? as u32,
+                );
+                if let Some(rate) = attrs.get("rate") {
+                    let rate: f64 = rate.parse().map_err(|_| SpecError {
+                        line: line_no,
+                        message: format!("invalid number for `rate`: `{rate}`"),
+                    })?;
+                    profile = profile.with_max_rate(rate);
+                }
+                components.push(PendingComponent {
+                    is_spout,
+                    name: (*cname).to_owned(),
+                    parallelism,
+                    cpu: attr_f64(&attrs, "cpu", 10.0, line_no)?,
+                    mem: attr_f64(&attrs, "mem", 128.0, line_no)?,
+                    bandwidth: attr_f64(&attrs, "bandwidth", 0.0, line_no)?,
+                    profile,
+                    subscriptions: Vec::new(),
+                    line: line_no,
+                });
+            }
+            "subscribe" => {
+                let component = components.last_mut().ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "subscribe before any component".into(),
+                })?;
+                if component.is_spout {
+                    return Err(SpecError {
+                        line: line_no,
+                        message: "spouts cannot subscribe".into(),
+                    });
+                }
+                let from = parts.get(1).ok_or_else(|| SpecError {
+                    line: line_no,
+                    message: "subscribe needs a source component".into(),
+                })?;
+                let grouping = match parts.get(2).copied() {
+                    Some("shuffle") | None => StreamGrouping::Shuffle,
+                    Some("all") => StreamGrouping::All,
+                    Some("global") => StreamGrouping::Global,
+                    Some("local-or-shuffle") => StreamGrouping::LocalOrShuffle,
+                    Some("fields") => {
+                        let fields = parts.get(3).ok_or_else(|| SpecError {
+                            line: line_no,
+                            message: "fields grouping needs field names".into(),
+                        })?;
+                        StreamGrouping::fields(fields.split(','))
+                    }
+                    Some(other) => {
+                        return Err(SpecError {
+                            line: line_no,
+                            message: format!("unknown grouping `{other}`"),
+                        })
+                    }
+                };
+                component.subscriptions.push(((*from).to_owned(), grouping));
+            }
+            other => {
+                return Err(SpecError {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| SpecError {
+        line: 1,
+        message: "missing `topology <name>` header".into(),
+    })?;
+    let mut b = TopologyBuilder::new(name);
+    if let Some(w) = workers {
+        b.set_num_workers(w);
+    }
+    if let Some(p) = max_pending {
+        b.set_max_spout_pending(p);
+    }
+    for c in &components {
+        if c.is_spout {
+            b.set_spout(c.name.as_str(), c.parallelism)
+                .set_cpu_load(c.cpu)
+                .set_memory_load(c.mem)
+                .set_bandwidth_load(c.bandwidth)
+                .set_profile(c.profile);
+        } else {
+            let mut bolt = b.set_bolt(c.name.as_str(), c.parallelism);
+            for (from, grouping) in &c.subscriptions {
+                bolt.grouping(from.as_str(), grouping.clone());
+            }
+            bolt.set_cpu_load(c.cpu)
+                .set_memory_load(c.mem)
+                .set_bandwidth_load(c.bandwidth)
+                .set_profile(c.profile);
+        }
+    }
+    b.build().map_err(|e| SpecError {
+        line: components.last().map_or(1, |c| c.line),
+        message: e.to_string(),
+    })
+}
+
+/// Serializes a topology back to spec text. `parse_topology` of the
+/// output reproduces the topology exactly.
+pub fn topology_to_spec(topology: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", topology.id()));
+    if let Some(w) = topology.num_workers() {
+        out.push_str(&format!("workers {w}\n"));
+    }
+    if let Some(p) = topology.max_spout_pending() {
+        out.push_str(&format!("max-spout-pending {p}\n"));
+    }
+    for c in topology.components() {
+        let kind = if c.is_spout() { "spout" } else { "bolt" };
+        let r = c.resources();
+        let p = c.profile();
+        out.push_str(&format!(
+            "{kind} {} parallelism={} cpu={:?} mem={:?} bandwidth={:?} \
+             work-ms={:?} emit={:?} bytes={}",
+            c.id(),
+            c.parallelism(),
+            r.cpu_points,
+            r.memory_mb,
+            r.bandwidth,
+            p.work_ms_per_tuple,
+            p.emit_factor,
+            p.tuple_bytes,
+        ));
+        if let Some(rate) = p.max_rate_tuples_per_sec {
+            out.push_str(&format!(" rate={rate:?}"));
+        }
+        out.push('\n');
+        for input in c.inputs() {
+            let grouping = match &input.grouping {
+                StreamGrouping::Shuffle => "shuffle".to_owned(),
+                StreamGrouping::All => "all".to_owned(),
+                StreamGrouping::Global => "global".to_owned(),
+                StreamGrouping::LocalOrShuffle => "local-or-shuffle".to_owned(),
+                StreamGrouping::Fields(f) => format!("fields {}", f.join(",")),
+            };
+            out.push_str(&format!("  subscribe {} {grouping}\n", input.from));
+        }
+    }
+    out
+}
+
+fn parse_u32(value: Option<&&str>, what: &str, line: usize) -> Result<u32, SpecError> {
+    value
+        .ok_or_else(|| SpecError {
+            line,
+            message: format!("`{what}` needs a value"),
+        })?
+        .parse()
+        .map_err(|_| SpecError {
+            line,
+            message: format!("invalid number for `{what}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORD_COUNT: &str = "\
+# the word-count starter topology
+topology word-count
+workers 12
+max-spout-pending 4
+
+spout sentences parallelism=4 cpu=50 mem=512 work-ms=0.05 bytes=200 rate=7000
+bolt split parallelism=6 cpu=30 mem=256 work-ms=0.04
+  subscribe sentences shuffle
+bolt count parallelism=6 cpu=30 mem=256 work-ms=0.03 emit=0
+  subscribe split fields word
+";
+
+    #[test]
+    fn parses_the_doc_example() {
+        let t = parse_topology(WORD_COUNT).unwrap();
+        assert_eq!(t.id().as_str(), "word-count");
+        assert_eq!(t.num_workers(), Some(12));
+        assert_eq!(t.max_spout_pending(), Some(4));
+        assert_eq!(t.total_tasks(), 16);
+        let s = t.component("sentences").unwrap();
+        assert!(s.is_spout());
+        assert_eq!(s.resources().cpu_points, 50.0);
+        assert_eq!(s.profile().max_rate_tuples_per_sec, Some(7000.0));
+        let count = t.component("count").unwrap();
+        assert_eq!(count.inputs()[0].grouping, StreamGrouping::fields(["word"]));
+        assert!(count.profile().is_sink());
+    }
+
+    #[test]
+    fn roundtrips() {
+        let t = parse_topology(WORD_COUNT).unwrap();
+        let spec = topology_to_spec(&t);
+        let t2 = parse_topology(&spec).unwrap();
+        assert_eq!(topology_to_spec(&t2), spec);
+        assert_eq!(t2.total_tasks(), t.total_tasks());
+        assert_eq!(t2.num_workers(), t.num_workers());
+    }
+
+    #[test]
+    fn defaults_are_storm_like() {
+        let t = parse_topology("topology t\nspout s\nbolt b\n  subscribe s\n").unwrap();
+        let s = t.component("s").unwrap();
+        assert_eq!(s.parallelism(), 1);
+        assert_eq!(s.resources().cpu_points, 10.0);
+        assert_eq!(s.resources().memory_mb, 128.0);
+        assert_eq!(
+            t.component("b").unwrap().inputs()[0].grouping,
+            StreamGrouping::Shuffle
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines_and_reasons() {
+        let cases = [
+            ("spout s\n", "missing `topology"),
+            (
+                "topology t\nspout s\nbolt b\n  subscribe ghost\n",
+                "undeclared component",
+            ),
+            ("topology t\nspout s\n  subscribe s\n", "spouts cannot subscribe"),
+            ("topology t\nspout s cpu=fast\n", "invalid number"),
+            ("topology t\nspout s foo=1\n", "unknown attribute"),
+            ("topology t\nnonsense\n", "unknown directive"),
+            ("topology t\nsubscribe x\n", "subscribe before any component"),
+            ("topology t\nspout s\nbolt b\n  subscribe s martian\n", "unknown grouping"),
+            ("topology t\nspout s parallelism=0\n", "at least 1"),
+            ("topology\n", "needs a name"),
+        ];
+        for (text, expected) in cases {
+            let err = parse_topology(text).unwrap_err();
+            assert!(
+                err.message.contains(expected),
+                "{text:?}: got {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let t = parse_topology(
+            "# header\ntopology t # trailing\n\nspout s # spout\nbolt b\n  subscribe s\n",
+        )
+        .unwrap();
+        assert_eq!(t.components().len(), 2);
+    }
+}

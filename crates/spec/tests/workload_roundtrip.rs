@@ -1,0 +1,50 @@
+//! Every bundled benchmark workload must survive a spec round-trip
+//! exactly — the CLI must be able to express everything the library can.
+
+use rstorm_spec::{cluster_to_spec, parse_cluster, parse_topology, topology_to_spec};
+use rstorm_workloads::{clusters, micro, yahoo};
+
+#[test]
+fn all_bundled_topologies_roundtrip() {
+    for topology in [
+        micro::linear_network_bound(),
+        micro::diamond_network_bound(),
+        micro::star_network_bound(),
+        micro::linear_cpu_bound(),
+        micro::diamond_cpu_bound(),
+        micro::star_cpu_bound(),
+        yahoo::page_load(),
+        yahoo::processing(),
+    ] {
+        let spec = topology_to_spec(&topology);
+        let reparsed = parse_topology(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}\n---\n{spec}", topology.id()));
+        assert_eq!(
+            topology_to_spec(&reparsed),
+            spec,
+            "{} spec must be a fixed point",
+            topology.id()
+        );
+        assert_eq!(reparsed.total_tasks(), topology.total_tasks());
+        assert_eq!(reparsed.num_workers(), topology.num_workers());
+        assert_eq!(reparsed.max_spout_pending(), topology.max_spout_pending());
+        assert_eq!(reparsed.components().len(), topology.components().len());
+        for c in topology.components() {
+            let r = reparsed.component(c.id().as_str()).unwrap();
+            assert_eq!(r.resources(), c.resources(), "{}/{}", topology.id(), c.id());
+            assert_eq!(r.profile(), c.profile(), "{}/{}", topology.id(), c.id());
+            assert_eq!(r.inputs(), c.inputs(), "{}/{}", topology.id(), c.id());
+        }
+    }
+}
+
+#[test]
+fn emulab_presets_roundtrip() {
+    for cluster in [clusters::emulab_micro(), clusters::emulab_multi()] {
+        let spec = cluster_to_spec(&cluster);
+        let reparsed = parse_cluster(&spec).unwrap();
+        assert_eq!(cluster_to_spec(&reparsed), spec);
+        assert_eq!(reparsed.nodes().len(), cluster.nodes().len());
+        assert_eq!(reparsed.racks(), cluster.racks());
+    }
+}

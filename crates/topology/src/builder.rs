@@ -1,0 +1,345 @@
+//! Fluent topology construction, mirroring Storm's `TopologyBuilder`.
+//!
+//! The declarer API reproduces the paper's user-facing resource calls
+//! (§5.2):
+//!
+//! ```text
+//! SpoutDeclarer s1 = builder.setSpout("word", new TestWordSpout(), 10);
+//! s1.setMemoryLoad(1024.0);
+//! s1.setCPULoad(50.0);
+//! ```
+//!
+//! becomes
+//!
+//! ```
+//! use rstorm_topology::TopologyBuilder;
+//! let mut builder = TopologyBuilder::new("example");
+//! builder
+//!     .set_spout("word", 10)
+//!     .set_memory_load(1024.0)
+//!     .set_cpu_load(50.0);
+//! builder.set_bolt("exclaim", 3).shuffle_grouping("word");
+//! let topology = builder.build().unwrap();
+//! assert_eq!(topology.total_tasks(), 13);
+//! ```
+
+use crate::component::{Component, ComponentKind, InputDeclaration};
+use crate::error::TopologyError;
+use crate::grouping::StreamGrouping;
+use crate::ids::{ComponentId, StreamId, TopologyId};
+use crate::profile::ExecutionProfile;
+use crate::topology::Topology;
+use std::collections::{HashMap, HashSet};
+
+/// Builder for [`Topology`] values.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    id: TopologyId,
+    components: Vec<Component>,
+    num_workers: Option<u32>,
+    max_spout_pending: Option<u32>,
+    declared_streams: HashMap<ComponentId, HashSet<StreamId>>,
+}
+
+impl TopologyBuilder {
+    /// Starts building a topology with the given id.
+    pub fn new(id: impl Into<TopologyId>) -> Self {
+        Self {
+            id: id.into(),
+            components: Vec::new(),
+            num_workers: None,
+            max_spout_pending: None,
+            declared_streams: HashMap::new(),
+        }
+    }
+
+    /// Sets the number of worker processes (Storm's `topology.workers`).
+    /// Consumed by resource-oblivious schedulers; R-Storm derives worker
+    /// placement from resources instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn set_num_workers(&mut self, workers: u32) -> &mut Self {
+        assert!(workers > 0, "a topology needs at least one worker");
+        self.num_workers = Some(workers);
+        self
+    }
+
+    /// Declares a spout with a parallelism hint and returns a declarer for
+    /// setting its resources, profile and named streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn set_spout(&mut self, id: impl Into<ComponentId>, parallelism: u32) -> SpoutDeclarer<'_> {
+        let index = self.push_component(id, ComponentKind::Spout, parallelism);
+        SpoutDeclarer {
+            builder: self,
+            index,
+        }
+    }
+
+    /// Declares a bolt with a parallelism hint and returns a declarer for
+    /// setting its resources, profile, named streams and input groupings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn set_bolt(&mut self, id: impl Into<ComponentId>, parallelism: u32) -> BoltDeclarer<'_> {
+        let index = self.push_component(id, ComponentKind::Bolt, parallelism);
+        BoltDeclarer {
+            builder: self,
+            index,
+        }
+    }
+
+    /// Sets `topology.max.spout.pending`: the maximum number of in-flight
+    /// (un-acked) root batches per spout task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` is zero.
+    pub fn set_max_spout_pending(&mut self, pending: u32) -> &mut Self {
+        assert!(pending > 0, "max.spout.pending must be at least 1");
+        self.max_spout_pending = Some(pending);
+        self
+    }
+
+    /// Validates and finalizes the topology.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        Topology::from_parts(
+            self.id,
+            self.components,
+            self.num_workers,
+            self.max_spout_pending,
+            self.declared_streams,
+        )
+    }
+
+    fn push_component(
+        &mut self,
+        id: impl Into<ComponentId>,
+        kind: ComponentKind,
+        parallelism: u32,
+    ) -> usize {
+        let id = id.into();
+        // Every component implicitly declares the default stream.
+        self.declared_streams
+            .entry(id.clone())
+            .or_default()
+            .insert(StreamId::default_stream());
+        self.components
+            .push(Component::new(id, kind, parallelism));
+        self.components.len() - 1
+    }
+}
+
+macro_rules! declarer_common {
+    ($name:ident) => {
+        impl $name<'_> {
+            /// Sets the CPU demand, in points, of *one instance* of this
+            /// component (100 points ≈ one core). Mirrors `setCPULoad`.
+            pub fn set_cpu_load(&mut self, points: f64) -> &mut Self {
+                assert!(
+                    points.is_finite() && points >= 0.0,
+                    "CPU load must be finite and non-negative, got {points}"
+                );
+                self.component_mut().resources_mut().cpu_points = points;
+                self
+            }
+
+            /// Sets the memory demand, in megabytes, of *one instance* of
+            /// this component. Mirrors `setMemoryLoad`. Memory is the hard
+            /// constraint of the R-Storm model.
+            pub fn set_memory_load(&mut self, megabytes: f64) -> &mut Self {
+                assert!(
+                    megabytes.is_finite() && megabytes >= 0.0,
+                    "memory load must be finite and non-negative, got {megabytes}"
+                );
+                self.component_mut().resources_mut().memory_mb = megabytes;
+                self
+            }
+
+            /// Sets the bandwidth demand (abstract units) of one instance.
+            pub fn set_bandwidth_load(&mut self, bandwidth: f64) -> &mut Self {
+                assert!(
+                    bandwidth.is_finite() && bandwidth >= 0.0,
+                    "bandwidth load must be finite and non-negative, got {bandwidth}"
+                );
+                self.component_mut().resources_mut().bandwidth = bandwidth;
+                self
+            }
+
+            /// Sets the runtime execution profile used by the simulator.
+            pub fn set_profile(&mut self, profile: ExecutionProfile) -> &mut Self {
+                self.component_mut().set_profile(profile);
+                self
+            }
+
+            /// Declares an additional named output stream.
+            pub fn declare_stream(&mut self, stream: impl Into<StreamId>) -> &mut Self {
+                let id = self.component_mut().id().clone();
+                self.builder
+                    .declared_streams
+                    .entry(id)
+                    .or_default()
+                    .insert(stream.into());
+                self
+            }
+
+            fn component_mut(&mut self) -> &mut Component {
+                &mut self.builder.components[self.index]
+            }
+        }
+    };
+}
+
+/// Declarer returned by [`TopologyBuilder::set_spout`].
+#[derive(Debug)]
+pub struct SpoutDeclarer<'a> {
+    builder: &'a mut TopologyBuilder,
+    index: usize,
+}
+
+declarer_common!(SpoutDeclarer);
+
+/// Declarer returned by [`TopologyBuilder::set_bolt`].
+#[derive(Debug)]
+pub struct BoltDeclarer<'a> {
+    builder: &'a mut TopologyBuilder,
+    index: usize,
+}
+
+declarer_common!(BoltDeclarer);
+
+impl BoltDeclarer<'_> {
+    /// Subscribes to `from`'s default stream with shuffle grouping.
+    pub fn shuffle_grouping(&mut self, from: impl Into<ComponentId>) -> &mut Self {
+        self.grouping(from, StreamGrouping::Shuffle)
+    }
+
+    /// Subscribes with hash partitioning on the named fields.
+    pub fn fields_grouping<I, S>(&mut self, from: impl Into<ComponentId>, fields: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.grouping(from, StreamGrouping::fields(fields))
+    }
+
+    /// Subscribes with full replication to every task.
+    pub fn all_grouping(&mut self, from: impl Into<ComponentId>) -> &mut Self {
+        self.grouping(from, StreamGrouping::All)
+    }
+
+    /// Subscribes routing every tuple to the lowest-id task.
+    pub fn global_grouping(&mut self, from: impl Into<ComponentId>) -> &mut Self {
+        self.grouping(from, StreamGrouping::Global)
+    }
+
+    /// Subscribes preferring a local (same worker) consumer task.
+    pub fn local_or_shuffle_grouping(&mut self, from: impl Into<ComponentId>) -> &mut Self {
+        self.grouping(from, StreamGrouping::LocalOrShuffle)
+    }
+
+    /// Subscribes to `from`'s default stream with an explicit grouping.
+    pub fn grouping(
+        &mut self,
+        from: impl Into<ComponentId>,
+        grouping: StreamGrouping,
+    ) -> &mut Self {
+        self.component_mut()
+            .add_input(InputDeclaration::new(from, grouping));
+        self
+    }
+
+    /// Subscribes to a named stream of `from` with an explicit grouping.
+    pub fn grouping_on_stream(
+        &mut self,
+        from: impl Into<ComponentId>,
+        stream: impl Into<StreamId>,
+        grouping: StreamGrouping,
+    ) -> &mut Self {
+        self.component_mut()
+            .add_input(InputDeclaration::on_stream(from, stream, grouping));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceRequest;
+
+    #[test]
+    fn paper_usage_example() {
+        // The exact scenario from §5.2 of the paper.
+        let mut builder = TopologyBuilder::new("paper");
+        builder
+            .set_spout("word", 10)
+            .set_memory_load(1024.0)
+            .set_cpu_load(50.0);
+        builder.set_bolt("sink", 1).shuffle_grouping("word");
+        let t = builder.build().unwrap();
+        let word = t.component("word").unwrap();
+        assert_eq!(
+            *word.resources(),
+            ResourceRequest::new(50.0, 1024.0, ResourceRequest::DEFAULT_BANDWIDTH)
+        );
+        assert_eq!(word.parallelism(), 10);
+    }
+
+    #[test]
+    fn chained_groupings_accumulate() {
+        let mut b = TopologyBuilder::new("multi-input");
+        b.set_spout("s1", 1);
+        b.set_spout("s2", 1);
+        b.set_bolt("join", 2)
+            .fields_grouping("s1", ["key"])
+            .all_grouping("s2");
+        let t = b.build().unwrap();
+        let join = t.component("join").unwrap();
+        assert_eq!(join.inputs().len(), 2);
+        assert_eq!(join.inputs()[0].grouping, StreamGrouping::fields(["key"]));
+        assert_eq!(join.inputs()[1].grouping, StreamGrouping::All);
+    }
+
+    #[test]
+    fn duplicate_component_rejected_at_build() {
+        let mut b = TopologyBuilder::new("dup");
+        b.set_spout("x", 1);
+        b.set_spout("x", 2);
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateComponent(ComponentId::new("x"))
+        );
+    }
+
+    #[test]
+    fn profile_is_attached() {
+        let mut b = TopologyBuilder::new("prof");
+        b.set_spout("s", 1)
+            .set_profile(ExecutionProfile::cpu_bound(7.5, 64));
+        b.set_bolt("b", 1).shuffle_grouping("s");
+        let t = b.build().unwrap();
+        assert_eq!(
+            t.component("s").unwrap().profile().work_ms_per_tuple,
+            7.5
+        );
+    }
+
+    #[test]
+    fn empty_topology_id_rejected() {
+        let mut b = TopologyBuilder::new("");
+        b.set_spout("s", 1);
+        assert_eq!(b.build().unwrap_err(), TopologyError::EmptyTopologyId);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU load")]
+    fn negative_cpu_load_rejected() {
+        let mut b = TopologyBuilder::new("neg");
+        b.set_spout("s", 1).set_cpu_load(-5.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Components: the vertices of a topology graph (spouts and bolts).
+
+use crate::grouping::StreamGrouping;
+use crate::ids::{ComponentId, StreamId};
+use crate::profile::ExecutionProfile;
+use crate::resource::ResourceRequest;
+use std::fmt;
+
+/// Whether a component is a stream source or a stream transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// A source of data streams; emits an unbounded number of tuples.
+    Spout,
+    /// Consumes, processes and potentially emits new streams of data.
+    Bolt,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Spout => f.write_str("spout"),
+            Self::Bolt => f.write_str("bolt"),
+        }
+    }
+}
+
+/// A subscription of a bolt to one input stream of an upstream component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InputDeclaration {
+    /// The component emitting the subscribed stream.
+    pub from: ComponentId,
+    /// The stream of `from` being subscribed to (usually `"default"`).
+    pub stream: StreamId,
+    /// How tuples on the stream are partitioned among this bolt's tasks.
+    pub grouping: StreamGrouping,
+}
+
+impl InputDeclaration {
+    /// Creates a subscription to `from`'s default stream with the given
+    /// grouping.
+    pub fn new(from: impl Into<ComponentId>, grouping: StreamGrouping) -> Self {
+        Self {
+            from: from.into(),
+            stream: StreamId::default_stream(),
+            grouping,
+        }
+    }
+
+    /// Creates a subscription to a named stream of `from`.
+    pub fn on_stream(
+        from: impl Into<ComponentId>,
+        stream: impl Into<StreamId>,
+        grouping: StreamGrouping,
+    ) -> Self {
+        Self {
+            from: from.into(),
+            stream: stream.into(),
+            grouping,
+        }
+    }
+}
+
+/// A processing operator in a topology: a spout or a bolt, together with
+/// its parallelism hint, per-instance resource request, input
+/// subscriptions and (for simulation) an execution profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    id: ComponentId,
+    kind: ComponentKind,
+    parallelism: u32,
+    resources: ResourceRequest,
+    inputs: Vec<InputDeclaration>,
+    profile: ExecutionProfile,
+}
+
+impl Component {
+    /// Creates a component. Prefer [`crate::TopologyBuilder`], which also
+    /// validates the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn new(id: impl Into<ComponentId>, kind: ComponentKind, parallelism: u32) -> Self {
+        assert!(parallelism > 0, "parallelism hint must be at least 1");
+        Self {
+            id: id.into(),
+            kind,
+            parallelism,
+            resources: ResourceRequest::default(),
+            inputs: Vec::new(),
+            profile: ExecutionProfile::default(),
+        }
+    }
+
+    /// The component's identifier.
+    pub fn id(&self) -> &ComponentId {
+        &self.id
+    }
+
+    /// Spout or bolt.
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// Returns true for spouts.
+    pub fn is_spout(&self) -> bool {
+        self.kind == ComponentKind::Spout
+    }
+
+    /// Number of parallel tasks this component is instantiated into.
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Per-instance (per-task) resource demand.
+    pub fn resources(&self) -> &ResourceRequest {
+        &self.resources
+    }
+
+    /// Total resource demand across all `parallelism` instances.
+    pub fn total_resources(&self) -> ResourceRequest {
+        self.resources.scaled(f64::from(self.parallelism))
+    }
+
+    /// Input subscriptions (empty for spouts).
+    pub fn inputs(&self) -> &[InputDeclaration] {
+        &self.inputs
+    }
+
+    /// Simulation execution profile (tuple cost / fan-out / size).
+    pub fn profile(&self) -> &ExecutionProfile {
+        &self.profile
+    }
+
+    pub(crate) fn resources_mut(&mut self) -> &mut ResourceRequest {
+        &mut self.resources
+    }
+
+    pub(crate) fn set_profile(&mut self, profile: ExecutionProfile) {
+        self.profile = profile;
+    }
+
+    pub(crate) fn add_input(&mut self, input: InputDeclaration) {
+        self.inputs.push(input);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_component_has_defaults() {
+        let c = Component::new("counter", ComponentKind::Bolt, 4);
+        assert_eq!(c.id().as_str(), "counter");
+        assert_eq!(c.kind(), ComponentKind::Bolt);
+        assert!(!c.is_spout());
+        assert_eq!(c.parallelism(), 4);
+        assert_eq!(*c.resources(), ResourceRequest::default());
+        assert!(c.inputs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism hint must be at least 1")]
+    fn zero_parallelism_rejected() {
+        Component::new("c", ComponentKind::Bolt, 0);
+    }
+
+    #[test]
+    fn total_resources_scale_with_parallelism() {
+        let mut c = Component::new("c", ComponentKind::Spout, 10);
+        *c.resources_mut() = ResourceRequest::new(50.0, 1024.0, 1.0);
+        let total = c.total_resources();
+        assert_eq!(total.cpu_points, 500.0);
+        assert_eq!(total.memory_mb, 10240.0);
+        assert_eq!(total.bandwidth, 10.0);
+    }
+
+    #[test]
+    fn input_declaration_defaults_to_default_stream() {
+        let d = InputDeclaration::new("spout", StreamGrouping::Shuffle);
+        assert_eq!(d.stream, StreamId::default_stream());
+        let named = InputDeclaration::on_stream("spout", "errors", StreamGrouping::All);
+        assert_eq!(named.stream.as_str(), "errors");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ComponentKind::Spout.to_string(), "spout");
+        assert_eq!(ComponentKind::Bolt.to_string(), "bolt");
+    }
+}

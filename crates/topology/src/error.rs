@@ -1,0 +1,102 @@
+//! Errors raised while constructing or validating a topology.
+
+use crate::ids::{ComponentId, StreamId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a topology failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Two components were declared with the same id.
+    DuplicateComponent(ComponentId),
+    /// A bolt subscribed to a component that was never declared.
+    UnknownComponent {
+        /// The subscribing bolt.
+        subscriber: ComponentId,
+        /// The missing upstream component id.
+        missing: ComponentId,
+    },
+    /// A bolt subscribed to a stream its upstream component never declares.
+    UnknownStream {
+        /// The subscribing bolt.
+        subscriber: ComponentId,
+        /// The upstream component.
+        from: ComponentId,
+        /// The missing stream id.
+        stream: StreamId,
+    },
+    /// The topology has no spout, so no data could ever flow.
+    NoSpout,
+    /// A spout declared an input subscription (spouts are sources).
+    SpoutWithInput(ComponentId),
+    /// A bolt has no inputs, so it could never receive a tuple.
+    DisconnectedBolt(ComponentId),
+    /// The topology was declared with an empty id.
+    EmptyTopologyId,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateComponent(id) => {
+                write!(f, "component `{id}` declared more than once")
+            }
+            Self::UnknownComponent {
+                subscriber,
+                missing,
+            } => write!(
+                f,
+                "bolt `{subscriber}` subscribes to undeclared component `{missing}`"
+            ),
+            Self::UnknownStream {
+                subscriber,
+                from,
+                stream,
+            } => write!(
+                f,
+                "bolt `{subscriber}` subscribes to stream `{stream}` which `{from}` never declares"
+            ),
+            Self::NoSpout => f.write_str("topology has no spout"),
+            Self::SpoutWithInput(id) => {
+                write!(f, "spout `{id}` must not declare input subscriptions")
+            }
+            Self::DisconnectedBolt(id) => {
+                write!(f, "bolt `{id}` has no input subscriptions")
+            }
+            Self::EmptyTopologyId => f.write_str("topology id must not be empty"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = TopologyError::DuplicateComponent(ComponentId::new("x"));
+        assert!(e.to_string().contains("`x`"));
+
+        let e = TopologyError::UnknownComponent {
+            subscriber: ComponentId::new("b"),
+            missing: ComponentId::new("ghost"),
+        };
+        assert!(e.to_string().contains("ghost"));
+
+        let e = TopologyError::UnknownStream {
+            subscriber: ComponentId::new("b"),
+            from: ComponentId::new("s"),
+            stream: StreamId::new("errs"),
+        };
+        assert!(e.to_string().contains("errs"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<TopologyError>();
+    }
+}

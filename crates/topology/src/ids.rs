@@ -1,0 +1,163 @@
+//! Strongly typed identifiers for topology entities.
+//!
+//! Storm identifies components and streams by user-chosen strings and tasks
+//! by dense integers assigned at schedule time. We mirror that: string-backed
+//! newtypes for [`TopologyId`], [`ComponentId`] and [`StreamId`], and a dense
+//! integer newtype for [`TaskId`].
+
+use std::borrow::Borrow;
+use std::fmt;
+
+macro_rules! string_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates a new identifier from anything string-like.
+            pub fn new(id: impl Into<String>) -> Self {
+                Self(id.into())
+            }
+
+            /// Returns the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+string_id! {
+    /// Identifier of a whole topology (a submitted application).
+    TopologyId
+}
+
+string_id! {
+    /// Identifier of a component (spout or bolt) within a topology.
+    ComponentId
+}
+
+string_id! {
+    /// Identifier of a declared output stream.
+    ///
+    /// Storm gives every component an implicit `"default"` stream; the same
+    /// convention is used here (see [`StreamId::default_stream`]).
+    StreamId
+}
+
+impl StreamId {
+    /// The implicit stream every component emits on unless it declares
+    /// named streams, identical to Storm's `"default"`.
+    pub fn default_stream() -> Self {
+        Self("default".to_owned())
+    }
+}
+
+/// Dense integer identifier of a task — one parallel instance of a component.
+///
+/// Task ids are assigned contiguously per topology in builder insertion
+/// order, matching Storm's dense task numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Returns the raw integer value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw value widened to `usize`, handy for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn string_ids_display_and_compare() {
+        let a = ComponentId::new("spout-1");
+        let b: ComponentId = "spout-1".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "spout-1");
+        assert_eq!(a.as_str(), "spout-1");
+    }
+
+    #[test]
+    fn string_ids_borrow_str_for_map_lookup() {
+        let mut m: HashMap<ComponentId, u32> = HashMap::new();
+        m.insert(ComponentId::new("b"), 7);
+        // Borrow<str> lets us look up by &str without allocating.
+        assert_eq!(m.get("b"), Some(&7));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn default_stream_matches_storm_convention() {
+        assert_eq!(StreamId::default_stream().as_str(), "default");
+    }
+
+    #[test]
+    fn task_ids_are_ordered_integers() {
+        let t0 = TaskId(0);
+        let t9 = TaskId(9);
+        assert!(t0 < t9);
+        assert_eq!(t9.index(), 9);
+        assert_eq!(t9.to_string(), "task-9");
+        assert_eq!(TaskId::from(3).as_u32(), 3);
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; the test documents the intent.
+        let c = ComponentId::new("x");
+        let s = StreamId::new("x");
+        assert_eq!(c.as_str(), s.as_str());
+    }
+}

@@ -1,0 +1,155 @@
+//! Execution profiles: how a component behaves at run time.
+//!
+//! Apache Storm learns these characteristics implicitly by executing user
+//! code; our substitution substrate (`rstorm-sim`) needs them declared.
+//! A profile describes the per-tuple CPU cost, the fan-out ratio and the
+//! emitted tuple size — exactly the knobs the paper turns to make its
+//! micro-benchmarks *network-bound* ("very little processing at each
+//! component", §6.3.1) or *computation-time-bound* ("a significant amount
+//! of arbitrary processing", §6.3.2).
+
+/// Runtime behaviour of one component instance, consumed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionProfile {
+    /// CPU milliseconds consumed per input tuple when running alone on a
+    /// full core. For spouts this is the cost of producing one tuple.
+    pub work_ms_per_tuple: f64,
+    /// Average number of tuples emitted downstream per input tuple
+    /// (per output stream subscription). 1.0 = pass-through, 0.0 = sink,
+    /// >1.0 = splitter.
+    pub emit_factor: f64,
+    /// Size in bytes of each emitted tuple (drives network transfer cost).
+    pub tuple_bytes: u32,
+    /// For spouts: the external source's arrival rate in tuples per
+    /// second per task, if the source is rate-limited (a Kafka partition,
+    /// an event feed). `None` means the spout emits as fast as it can —
+    /// the micro-benchmark behaviour ("a Storm topology executes as fast
+    /// as it can", §6.3). Ignored for bolts.
+    pub max_rate_tuples_per_sec: Option<f64>,
+}
+
+impl ExecutionProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_ms_per_tuple` or `emit_factor` is negative or not
+    /// finite.
+    pub fn new(work_ms_per_tuple: f64, emit_factor: f64, tuple_bytes: u32) -> Self {
+        assert!(
+            work_ms_per_tuple.is_finite() && work_ms_per_tuple >= 0.0,
+            "work_ms_per_tuple must be finite and non-negative, got {work_ms_per_tuple}"
+        );
+        assert!(
+            emit_factor.is_finite() && emit_factor >= 0.0,
+            "emit_factor must be finite and non-negative, got {emit_factor}"
+        );
+        Self {
+            work_ms_per_tuple,
+            emit_factor,
+            tuple_bytes,
+            max_rate_tuples_per_sec: None,
+        }
+    }
+
+    /// Limits the source rate to `tuples_per_sec` per task (spouts only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn with_max_rate(mut self, tuples_per_sec: f64) -> Self {
+        assert!(
+            tuples_per_sec.is_finite() && tuples_per_sec > 0.0,
+            "max rate must be positive, got {tuples_per_sec}"
+        );
+        self.max_rate_tuples_per_sec = Some(tuples_per_sec);
+        self
+    }
+
+    /// A profile doing negligible work and forwarding every tuple —
+    /// the paper's network-bound configuration.
+    pub fn network_bound(tuple_bytes: u32) -> Self {
+        Self::new(0.01, 1.0, tuple_bytes)
+    }
+
+    /// A profile doing heavy per-tuple processing — the paper's
+    /// computation-time-bound configuration.
+    pub fn cpu_bound(work_ms_per_tuple: f64, tuple_bytes: u32) -> Self {
+        Self::new(work_ms_per_tuple, 1.0, tuple_bytes)
+    }
+
+    /// Marks the component as a sink: it consumes tuples but emits nothing.
+    pub fn into_sink(mut self) -> Self {
+        self.emit_factor = 0.0;
+        self
+    }
+
+    /// Returns true if this component never emits downstream.
+    pub fn is_sink(&self) -> bool {
+        self.emit_factor == 0.0
+    }
+}
+
+impl Default for ExecutionProfile {
+    /// A light pass-through profile (0.05 ms/tuple, ratio 1.0, 100-byte
+    /// tuples) — a reasonable stand-in for a trivial bolt.
+    fn default() -> Self {
+        Self {
+            work_ms_per_tuple: 0.05,
+            emit_factor: 1.0,
+            tuple_bytes: 100,
+            max_rate_tuples_per_sec: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_bound_profile_is_cheap() {
+        let p = ExecutionProfile::network_bound(512);
+        assert!(p.work_ms_per_tuple <= 0.01);
+        assert_eq!(p.emit_factor, 1.0);
+        assert_eq!(p.tuple_bytes, 512);
+    }
+
+    #[test]
+    fn cpu_bound_profile_keeps_work() {
+        let p = ExecutionProfile::cpu_bound(5.0, 100);
+        assert_eq!(p.work_ms_per_tuple, 5.0);
+    }
+
+    #[test]
+    fn sink_conversion() {
+        let p = ExecutionProfile::default().into_sink();
+        assert!(p.is_sink());
+        assert!(!ExecutionProfile::default().is_sink());
+    }
+
+    #[test]
+    fn rate_limit_builder() {
+        let p = ExecutionProfile::new(0.1, 1.0, 100).with_max_rate(2_000.0);
+        assert_eq!(p.max_rate_tuples_per_sec, Some(2_000.0));
+        assert_eq!(ExecutionProfile::default().max_rate_tuples_per_sec, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "max rate")]
+    fn zero_rate_rejected() {
+        ExecutionProfile::default().with_max_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work_ms_per_tuple")]
+    fn negative_work_rejected() {
+        ExecutionProfile::new(-1.0, 1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "emit_factor")]
+    fn nan_emit_rejected() {
+        ExecutionProfile::new(1.0, f64::NAN, 10);
+    }
+}

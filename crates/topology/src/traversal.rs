@@ -1,0 +1,217 @@
+//! Topology graph traversals.
+//!
+//! Implements the paper's Algorithm 2 (*BFS topology traversal*): a
+//! breadth-first walk over the component graph starting from the spouts,
+//! treating edges as undirected (a component's "neighbors" are both its
+//! producers and consumers). BFS visits one level at a time, producing a
+//! partial ordering in which adjacent components appear in close
+//! succession — the property R-Storm's task-selection step relies on to
+//! colocate communicating tasks.
+//!
+//! A depth-first variant and plain declaration order are provided for the
+//! ablation experiments.
+
+use crate::ids::ComponentId;
+use crate::topology::Topology;
+use std::collections::{HashSet, VecDeque};
+
+/// Strategy for ordering the components of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraversalOrder {
+    /// Breadth-first from the spouts (the paper's choice, Algorithm 2).
+    #[default]
+    Bfs,
+    /// Depth-first from the spouts (ablation).
+    Dfs,
+    /// Raw declaration order, ignoring the graph (ablation).
+    Declaration,
+}
+
+impl TraversalOrder {
+    /// Produces the component ordering for `topology` under this strategy.
+    pub fn order(self, topology: &Topology) -> Vec<ComponentId> {
+        match self {
+            Self::Bfs => bfs_component_order(topology),
+            Self::Dfs => dfs_component_order(topology),
+            Self::Declaration => topology
+                .components()
+                .iter()
+                .map(|c| c.id().clone())
+                .collect(),
+        }
+    }
+}
+
+/// Breadth-first component ordering starting from the spouts
+/// (Algorithm 2 of the paper).
+///
+/// All spouts are enqueued first, in declaration order; neighbors
+/// (upstream and downstream) are visited level by level. Every component
+/// reachable from a spout appears exactly once; components unreachable
+/// from any spout (possible only in exotic cyclic constructions) are
+/// appended at the end in declaration order so that the result is always
+/// a complete ordering.
+pub fn bfs_component_order(topology: &Topology) -> Vec<ComponentId> {
+    let mut visited: HashSet<ComponentId> = HashSet::new();
+    let mut order: Vec<ComponentId> = Vec::with_capacity(topology.components().len());
+    let mut queue: VecDeque<ComponentId> = VecDeque::new();
+
+    for spout in topology.spouts() {
+        if visited.insert(spout.id().clone()) {
+            queue.push_back(spout.id().clone());
+            order.push(spout.id().clone());
+        }
+    }
+
+    while let Some(current) = queue.pop_front() {
+        for neighbor in topology.neighbor_ids(current.as_str()) {
+            if visited.insert(neighbor.clone()) {
+                queue.push_back(neighbor.clone());
+                order.push(neighbor.clone());
+            }
+        }
+    }
+
+    append_unreachable(topology, &mut order, &mut visited);
+    order
+}
+
+/// Depth-first component ordering starting from the spouts (ablation
+/// alternative to [`bfs_component_order`]).
+pub fn dfs_component_order(topology: &Topology) -> Vec<ComponentId> {
+    let mut visited: HashSet<ComponentId> = HashSet::new();
+    let mut order: Vec<ComponentId> = Vec::with_capacity(topology.components().len());
+
+    for spout in topology.spouts() {
+        if !visited.insert(spout.id().clone()) {
+            continue;
+        }
+        order.push(spout.id().clone());
+        let mut stack = vec![spout.id().clone()];
+        while let Some(current) = stack.last().cloned() {
+            let next = topology
+                .neighbor_ids(current.as_str())
+                .into_iter()
+                .find(|n| !visited.contains(*n))
+                .cloned();
+            match next {
+                Some(n) => {
+                    visited.insert(n.clone());
+                    order.push(n.clone());
+                    stack.push(n);
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    append_unreachable(topology, &mut order, &mut visited);
+    order
+}
+
+fn append_unreachable(
+    topology: &Topology,
+    order: &mut Vec<ComponentId>,
+    visited: &mut HashSet<ComponentId>,
+) {
+    for c in topology.components() {
+        if visited.insert(c.id().clone()) {
+            order.push(c.id().clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new("diamond");
+        b.set_spout("src", 1);
+        b.set_bolt("left", 1).shuffle_grouping("src");
+        b.set_bolt("right", 1).shuffle_grouping("src");
+        b.set_bolt("join", 1)
+            .shuffle_grouping("left")
+            .shuffle_grouping("right");
+        b.build().unwrap()
+    }
+
+    fn linear(n: usize) -> Topology {
+        let mut b = TopologyBuilder::new("linear");
+        b.set_spout("c0", 1);
+        for i in 1..n {
+            b.set_bolt(format!("c{i}"), 1)
+                .shuffle_grouping(format!("c{}", i - 1));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_levels_in_order() {
+        let order = bfs_component_order(&diamond());
+        let names: Vec<_> = order.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names, vec!["src", "left", "right", "join"]);
+    }
+
+    #[test]
+    fn bfs_on_linear_matches_chain_order() {
+        let order = bfs_component_order(&linear(5));
+        let names: Vec<_> = order.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names, vec!["c0", "c1", "c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        let order = dfs_component_order(&diamond());
+        let names: Vec<_> = order.iter().map(|c| c.as_str()).collect();
+        // DFS from src dives through left into join before visiting right.
+        assert_eq!(names, vec!["src", "left", "join", "right"]);
+    }
+
+    #[test]
+    fn every_component_appears_exactly_once() {
+        for strategy in [
+            TraversalOrder::Bfs,
+            TraversalOrder::Dfs,
+            TraversalOrder::Declaration,
+        ] {
+            let t = diamond();
+            let order = strategy.order(&t);
+            assert_eq!(order.len(), t.components().len(), "{strategy:?}");
+            let unique: HashSet<_> = order.iter().collect();
+            assert_eq!(unique.len(), order.len(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_spouts_all_seed_the_frontier() {
+        let mut b = TopologyBuilder::new("two-spouts");
+        b.set_spout("s1", 1);
+        b.set_spout("s2", 1);
+        b.set_bolt("merge", 1)
+            .shuffle_grouping("s1")
+            .shuffle_grouping("s2");
+        let t = b.build().unwrap();
+        let names: Vec<_> = bfs_component_order(&t)
+            .iter()
+            .map(|c| c.as_str().to_owned())
+            .collect();
+        assert_eq!(names, vec!["s1", "s2", "merge"]);
+    }
+
+    #[test]
+    fn cyclic_topology_terminates() {
+        let mut b = TopologyBuilder::new("cyclic");
+        b.set_spout("src", 1);
+        b.set_bolt("a", 1)
+            .shuffle_grouping("src")
+            .shuffle_grouping("b");
+        b.set_bolt("b", 1).shuffle_grouping("a");
+        let t = b.build().unwrap();
+        let order = bfs_component_order(&t);
+        assert_eq!(order.len(), 3);
+    }
+}

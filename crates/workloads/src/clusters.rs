@@ -1,0 +1,51 @@
+//! Emulab-like cluster presets (§6.1 of the paper).
+
+use rstorm_cluster::{Cluster, ClusterBuilder, ResourceCapacity};
+
+/// Worker slots per supervisor (Storm's usual four-port default).
+pub const SLOTS_PER_NODE: u16 = 4;
+
+/// The single-topology evaluation cluster: 12 workers in two racks of six
+/// (plus, in the paper, a 13th master node which takes no tasks and is
+/// therefore not modeled). Each worker: one 3 GHz core (100 CPU points),
+/// 2 GB RAM, 100 Mbps NIC.
+pub fn emulab_micro() -> Cluster {
+    ClusterBuilder::new()
+        .homogeneous_racks(2, 6, ResourceCapacity::emulab_node(), SLOTS_PER_NODE)
+        .build()
+        .expect("static preset is valid")
+}
+
+/// The multi-topology evaluation cluster (§6.5): 24 workers in two racks
+/// of twelve.
+pub fn emulab_multi() -> Cluster {
+    ClusterBuilder::new()
+        .homogeneous_racks(2, 12, ResourceCapacity::emulab_node(), SLOTS_PER_NODE)
+        .build()
+        .expect("static preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_preset_matches_paper() {
+        let c = emulab_micro();
+        assert_eq!(c.nodes().len(), 12);
+        assert_eq!(c.racks().len(), 2);
+        assert_eq!(c.rack_nodes("rack-0").len(), 6);
+        let cap = c.nodes()[0].capacity();
+        assert_eq!(cap.cpu_points, 100.0);
+        assert_eq!(cap.memory_mb, 2048.0);
+        assert_eq!(c.costs().latency_inter_rack_ms * 2.0, 4.0, "4 ms RTT");
+        assert_eq!(c.costs().node_bandwidth_mbps, 100.0);
+    }
+
+    #[test]
+    fn multi_preset_is_double() {
+        let c = emulab_multi();
+        assert_eq!(c.nodes().len(), 24);
+        assert_eq!(c.racks().len(), 2);
+    }
+}

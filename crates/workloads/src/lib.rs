@@ -1,0 +1,25 @@
+//! # rstorm-workloads
+//!
+//! The benchmark workloads of the R-Storm paper, reconstructed:
+//!
+//! * [`micro`] — the Linear, Diamond and Star micro-benchmark topologies
+//!   of Figure 7, each in the *network-bound* (§6.3.1) and
+//!   *computation-time-bound* (§6.3.2) configurations.
+//! * [`yahoo`] — the PageLoad and Processing topologies modeled after the
+//!   production layouts of Figure 11 (event-level advertising data
+//!   pipelines for near-real-time analytical reporting).
+//! * [`clusters`] — the Emulab cluster presets of §6.1: two racks
+//!   ("VLANs") of six or twelve single-core 2 GB workers on 100 Mbps
+//!   NICs with a 4 ms inter-rack RTT.
+//!
+//! Component execution profiles (per-tuple CPU cost, fan-out, tuple size)
+//! and resource hints are calibrated so that the simulated experiments
+//! reproduce the *shape* of the paper's results; the exact constants are
+//! documented per workload and recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod clusters;
+pub mod micro;
+pub mod yahoo;

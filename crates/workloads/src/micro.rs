@@ -1,0 +1,343 @@
+//! The micro-benchmark topologies of Figure 7: Linear, Diamond, Star.
+//!
+//! Each comes in two configurations matching §6.3:
+//!
+//! * **network-bound** — "very little processing at each component", fat
+//!   tuples, so throughput is limited by where tuples travel;
+//! * **computation-time-bound** — "a significant amount of arbitrary
+//!   processing", small tuples, so throughput is limited by CPU headroom.
+//!
+//! CPU hints follow the paper's point system (100 = one core) and are set
+//! to each task's expected steady-state usage, which is what a user
+//! profiling their components would supply to R-Storm.
+
+use rstorm_topology::{ExecutionProfile, Topology, TopologyBuilder};
+
+/// Tuple payload of the network-bound Linear variant (fat records).
+pub const LINEAR_NET_TUPLE_BYTES: u32 = 400;
+/// Tuple payload of the network-bound Diamond variant.
+pub const DIAMOND_NET_TUPLE_BYTES: u32 = 200;
+/// Tuple payload of the network-bound Star variant (small events).
+pub const STAR_NET_TUPLE_BYTES: u32 = 100;
+/// Tuple payload for the CPU-bound variants (small tuples).
+pub const CPU_TUPLE_BYTES: u32 = 100;
+/// Per-tuple cost of a "very little processing" component, in ms
+/// (framework overhead only).
+pub const NET_WORK_MS: f64 = 0.01;
+
+fn net_profile(tuple_bytes: u32) -> ExecutionProfile {
+    ExecutionProfile::new(NET_WORK_MS, 1.0, tuple_bytes)
+}
+
+/// Linear topology (Fig 7a): a four-stage chain
+/// `spout → bolt-1 → bolt-2 → sink`, network-bound.
+///
+/// Parallelism 6 per component (24 tasks). With 25-point CPU hints the
+/// whole chain fits one rack under R-Storm, while the default scheduler
+/// spreads it across both racks and pays the inter-rack uplink.
+pub fn linear_network_bound() -> Topology {
+    let mut b = TopologyBuilder::new("linear-net");
+    b.set_num_workers(12);
+    // Network-bound runs are in-flight-limited: a modest backpressure
+    // window keeps throughput governed by end-to-end tuple latency.
+    b.set_max_spout_pending(4);
+    b.set_spout("spout", 6)
+        .set_profile(net_profile(LINEAR_NET_TUPLE_BYTES))
+        .set_cpu_load(15.0)
+        .set_memory_load(128.0);
+    for (i, name) in ["bolt-1", "bolt-2", "sink"].iter().enumerate() {
+        let from = if i == 0 {
+            "spout".to_owned()
+        } else {
+            format!("bolt-{i}")
+        };
+        let profile = if *name == "sink" {
+            net_profile(LINEAR_NET_TUPLE_BYTES).into_sink()
+        } else {
+            net_profile(LINEAR_NET_TUPLE_BYTES)
+        };
+        b.set_bolt(*name, 6)
+            .shuffle_grouping(from)
+            .set_profile(profile)
+            .set_cpu_load(15.0)
+            .set_memory_load(128.0);
+    }
+    b.build().expect("static workload is valid")
+}
+
+/// Diamond topology (Fig 7b): `spout → {mid-1, mid-2, mid-3} → sink`,
+/// network-bound. The spout's stream is consumed by all three middle
+/// bolts (3× egress fan-out) and the sink joins all three.
+pub fn diamond_network_bound() -> Topology {
+    let mut b = TopologyBuilder::new("diamond-net");
+    b.set_num_workers(12);
+    b.set_max_spout_pending(4);
+    b.set_spout("spout", 4)
+        .set_profile(net_profile(DIAMOND_NET_TUPLE_BYTES))
+        .set_cpu_load(15.0)
+        .set_memory_load(128.0);
+    // Each middle bolt consumes the full spout stream: per-task rate
+    // equals the spout's, so the hint matches.
+    for i in 1..=3 {
+        b.set_bolt(format!("mid-{i}"), 4)
+            .shuffle_grouping("spout")
+            .set_profile(net_profile(DIAMOND_NET_TUPLE_BYTES))
+            .set_cpu_load(15.0)
+            .set_memory_load(128.0);
+    }
+    // The sink joins all three branches: 3× the stream over 6 tasks =
+    // twice the per-task rate of the spout.
+    let mut sink = b.set_bolt("sink", 6);
+    for i in 1..=3 {
+        sink.shuffle_grouping(format!("mid-{i}"));
+    }
+    sink.set_profile(net_profile(DIAMOND_NET_TUPLE_BYTES).into_sink())
+        .set_cpu_load(30.0)
+        .set_memory_load(128.0);
+    b.build().expect("static workload is valid")
+}
+
+/// Star topology (Fig 7c): two spouts feeding a central bolt which feeds
+/// two sinks, network-bound. The hub concentrates traffic, so placement
+/// of the center relative to its peers dominates throughput.
+pub fn star_network_bound() -> Topology {
+    let mut b = TopologyBuilder::new("star-net");
+    b.set_num_workers(12);
+    // The star hub pipelines less, so it runs with a smaller window.
+    b.set_max_spout_pending(2);
+    for s in ["spout-1", "spout-2"] {
+        b.set_spout(s, 4)
+            .set_profile(net_profile(STAR_NET_TUPLE_BYTES))
+            .set_cpu_load(15.0)
+            .set_memory_load(128.0);
+    }
+    // The hub: both spout streams over 8 tasks = the spouts' per-task
+    // rate.
+    b.set_bolt("center", 8)
+        .shuffle_grouping("spout-1")
+        .shuffle_grouping("spout-2")
+        .set_profile(net_profile(STAR_NET_TUPLE_BYTES))
+        .set_cpu_load(15.0)
+        .set_memory_load(128.0);
+    // Each sink consumes the full hub output over 4 tasks = twice the
+    // per-task rate.
+    for k in ["sink-1", "sink-2"] {
+        b.set_bolt(k, 4)
+            .shuffle_grouping("center")
+            .set_profile(net_profile(STAR_NET_TUPLE_BYTES).into_sink())
+            .set_cpu_load(30.0)
+            .set_memory_load(128.0);
+    }
+    b.build().expect("static workload is valid")
+}
+
+/// Linear topology, computation-time-bound (§6.3.2).
+///
+/// Two full-core spouts drive three bolt stages whose tasks run at ~50%
+/// of a core. Total demand ≈ 650 points, so R-Storm satisfies it with
+/// roughly half the cluster while the default scheduler spreads the 11
+/// tasks over 11 machines.
+pub fn linear_cpu_bound() -> Topology {
+    let mut b = TopologyBuilder::new("linear-cpu");
+    b.set_num_workers(12);
+    b.set_spout("spout", 2)
+        .set_profile(ExecutionProfile::new(1.0, 1.0, CPU_TUPLE_BYTES))
+        .set_cpu_load(100.0)
+        .set_memory_load(256.0);
+    for (i, name) in ["bolt-1", "bolt-2", "sink"].iter().enumerate() {
+        let from = if i == 0 {
+            "spout".to_owned()
+        } else {
+            format!("bolt-{i}")
+        };
+        // Input 2000 tuples/s over 3 tasks at 0.75 ms/tuple = 50% core.
+        let mut profile = ExecutionProfile::new(0.75, 1.0, CPU_TUPLE_BYTES);
+        if *name == "sink" {
+            profile = profile.into_sink();
+        }
+        b.set_bolt(*name, 3)
+            .shuffle_grouping(from)
+            .set_profile(profile)
+            .set_cpu_load(50.0)
+            .set_memory_load(256.0);
+    }
+    b.build().expect("static workload is valid")
+}
+
+/// Diamond topology, computation-time-bound.
+///
+/// Each middle bolt consumes the full spout stream; the sink joins all
+/// three branches. Total demand ≈ 600 points.
+pub fn diamond_cpu_bound() -> Topology {
+    let mut b = TopologyBuilder::new("diamond-cpu");
+    b.set_num_workers(12);
+    b.set_spout("spout", 2)
+        .set_profile(ExecutionProfile::new(1.0, 1.0, CPU_TUPLE_BYTES))
+        .set_cpu_load(100.0)
+        .set_memory_load(256.0);
+    for i in 1..=3 {
+        // 2000 tuples/s over 2 tasks at 0.4 ms = 40% core.
+        b.set_bolt(format!("mid-{i}"), 2)
+            .shuffle_grouping("spout")
+            .set_profile(ExecutionProfile::new(0.4, 1.0, CPU_TUPLE_BYTES))
+            .set_cpu_load(40.0)
+            .set_memory_load(256.0);
+    }
+    let mut sink = b.set_bolt("sink", 4);
+    for i in 1..=3 {
+        sink.shuffle_grouping(format!("mid-{i}"));
+    }
+    // 6000 tuples/s over 4 tasks at 0.25 ms = 37.5% core.
+    sink.set_profile(ExecutionProfile::new(0.25, 0.0, CPU_TUPLE_BYTES))
+        .set_cpu_load(40.0)
+        .set_memory_load(256.0);
+    b.build().expect("static workload is valid")
+}
+
+/// Star topology, computation-time-bound — the workload where the default
+/// scheduler "creates a scheduling in which one of the machines gets over
+/// utilized ... and creates a bottleneck that throttles the overall
+/// throughput" (§6.3.2).
+///
+/// Two full-core spouts feed a 12-task central bolt. The default
+/// round-robin wraps the last two center tasks onto the spout machines
+/// (14 tasks before the sinks, 12 machines), over-committing them: the
+/// spouts slow down and the starved center tasks blow the tuple timeout
+/// for every root routed their way, throttling the whole topology.
+/// R-Storm gives the spouts dedicated machines and packs the light
+/// center/sink tasks tightly — about half the machines, all of them busy.
+pub fn star_cpu_bound() -> Topology {
+    let mut b = TopologyBuilder::new("star-cpu");
+    b.set_num_workers(12);
+    for s in ["spout-1", "spout-2"] {
+        b.set_spout(s, 1)
+            .set_profile(ExecutionProfile::new(1.0, 1.0, CPU_TUPLE_BYTES))
+            .set_cpu_load(100.0)
+            .set_memory_load(256.0);
+    }
+    // 2000 tuples/s over 12 tasks at 2.7 ms ≈ 45% core each.
+    b.set_bolt("center", 12)
+        .shuffle_grouping("spout-1")
+        .shuffle_grouping("spout-2")
+        .set_profile(ExecutionProfile::new(2.7, 1.0, CPU_TUPLE_BYTES))
+        .set_cpu_load(45.0)
+        .set_memory_load(256.0);
+    for k in ["sink-1", "sink-2"] {
+        // 2000 tuples/s over 2 tasks at 0.15 ms = 15% core.
+        b.set_bolt(k, 2)
+            .shuffle_grouping("center")
+            .set_profile(ExecutionProfile::new(0.15, 0.0, CPU_TUPLE_BYTES))
+            .set_cpu_load(15.0)
+            .set_memory_load(256.0);
+    }
+    b.build().expect("static workload is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::emulab_micro;
+
+    fn all() -> Vec<Topology> {
+        vec![
+            linear_network_bound(),
+            diamond_network_bound(),
+            star_network_bound(),
+            linear_cpu_bound(),
+            diamond_cpu_bound(),
+            star_cpu_bound(),
+        ]
+    }
+
+    #[test]
+    fn all_variants_are_valid_and_distinctly_named() {
+        let names: Vec<String> = all().iter().map(|t| t.id().to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn network_bound_variants_do_little_work() {
+        for (t, bytes) in [
+            (linear_network_bound(), LINEAR_NET_TUPLE_BYTES),
+            (diamond_network_bound(), DIAMOND_NET_TUPLE_BYTES),
+            (star_network_bound(), STAR_NET_TUPLE_BYTES),
+        ] {
+            for c in t.components() {
+                assert!(
+                    c.profile().work_ms_per_tuple <= NET_WORK_MS,
+                    "{}/{} too heavy for a network-bound variant",
+                    t.id(),
+                    c.id()
+                );
+                assert_eq!(c.profile().tuple_bytes, bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_bound_variants_do_heavy_work() {
+        for t in [linear_cpu_bound(), diamond_cpu_bound(), star_cpu_bound()] {
+            let max_work = t
+                .components()
+                .iter()
+                .map(|c| c.profile().work_ms_per_tuple)
+                .fold(0.0, f64::max);
+            assert!(max_work >= 0.75, "{} is not CPU-heavy", t.id());
+        }
+    }
+
+    #[test]
+    fn cpu_demand_fits_the_micro_cluster() {
+        // The CPU-bound variants must be schedulable by R-Storm on the
+        // 12-node cluster: total hinted demand within 1200 points and no
+        // single task above one node.
+        let cap = emulab_micro().total_capacity();
+        for t in [linear_cpu_bound(), diamond_cpu_bound(), star_cpu_bound()] {
+            let demand = t.total_resources();
+            assert!(
+                demand.cpu_points <= cap.cpu_points,
+                "{}: {} pts exceeds cluster {}",
+                t.id(),
+                demand.cpu_points,
+                cap.cpu_points
+            );
+            assert!(demand.memory_mb <= cap.memory_mb);
+        }
+    }
+
+    #[test]
+    fn every_variant_schedules_under_rstorm() {
+        use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
+        let cluster = emulab_micro();
+        for t in all() {
+            let mut state = GlobalState::new(&cluster);
+            let a = RStormScheduler::new()
+                .schedule(&t, &cluster, &mut state)
+                .unwrap_or_else(|e| panic!("{} unschedulable: {e}", t.id()));
+            assert_eq!(a.len() as u32, t.total_tasks());
+        }
+    }
+
+    #[test]
+    fn star_center_wraps_under_round_robin() {
+        // The overload story needs the default round-robin to wrap the
+        // last center tasks onto the spout machines of a 12-node cluster.
+        let t = star_cpu_bound();
+        let tasks_before_sinks: u32 = t.spouts().map(|c| c.parallelism()).sum::<u32>()
+            + t.component("center").unwrap().parallelism();
+        assert!(tasks_before_sinks > 12);
+    }
+
+    #[test]
+    fn sinks_are_sinks() {
+        for t in all() {
+            assert!(t.sinks().count() >= 1, "{} needs an output bolt", t.id());
+            for s in t.sinks() {
+                assert!(s.profile().is_sink(), "{}/{}", t.id(), s.id());
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The Yahoo! production topologies of Figure 11, "used by Yahoo! for
+//! processing event-level data from their advertising platforms to allow
+//! for near real-time analytical reporting" (§6.4).
+//!
+//! The paper publishes the component layouts (Fig 11a/11b) but not the
+//! per-component costs, so the runtime profiles are reconstructions with
+//! deliberately different characters:
+//!
+//! * **PageLoad** is the shallow, *light* pipeline: page-view beacons
+//!   arrive at the frontends' production rate and every bolt does little
+//!   per-event work. Its throughput is governed by end-to-end latency
+//!   (a small `max.spout.pending` window), so it degrades gracefully
+//!   under interference.
+//! * **Processing** is the deep, *heavy* pipeline: a rate-limited event
+//!   feed (the upstream pipeline produces at its own pace) through five
+//!   bolt stages whose tasks each need most of a core. Its tasks only
+//!   keep up when they actually receive the CPU they asked for; starved
+//!   ones fall behind their fixed-rate input, blow the 30-second tuple
+//!   timeout and stall the topology — which is exactly how the paper
+//!   describes the default schedule killing it (§6.5).
+
+use rstorm_topology::{ExecutionProfile, Topology, TopologyBuilder};
+
+/// Tuple size of the page-view beacon records (bytes).
+pub const BEACON_BYTES: u32 = 300;
+/// Tuple size of the advertising event records (bytes).
+pub const EVENT_BYTES: u32 = 600;
+/// Per-task arrival rate of the PageLoad topology's beacon feed
+/// (tuples per second per spout task).
+pub const PAGE_LOAD_FEED_RATE: f64 = 7_000.0;
+/// Per-task arrival rate of the Processing topology's event feed
+/// (tuples per second per spout task).
+pub const PROCESSING_FEED_RATE: f64 = 1_875.0;
+
+/// The PageLoad topology (Fig 11a): parse page-load beacons, enrich them
+/// and maintain per-key counts for the reporting store.
+///
+/// `beacon-spout → parse → {geo-enrich, count(fields)} → report-sink`
+pub fn page_load() -> Topology {
+    let mut b = TopologyBuilder::new("page-load");
+    // One worker per machine of the large evaluation cluster.
+    b.set_num_workers(24);
+    // Latency-governed throughput: a tight backpressure window.
+    b.set_max_spout_pending(4);
+    // 2 × 7000 = 14 000 beacons/s offered load; the tight pending window
+    // means the topology only sustains it when end-to-end latency is low.
+    b.set_spout("beacon-spout", 2)
+        .set_profile(
+            ExecutionProfile::new(0.1, 1.0, BEACON_BYTES).with_max_rate(PAGE_LOAD_FEED_RATE),
+        )
+        .set_cpu_load(70.0)
+        .set_memory_load(512.0);
+    // Light stateless stages up front...
+    // 14 000/s over 4 tasks at 0.03 ms ≈ 11% core.
+    b.set_bolt("parse", 4)
+        .shuffle_grouping("beacon-spout")
+        .set_profile(ExecutionProfile::new(0.03, 1.0, BEACON_BYTES))
+        .set_cpu_load(15.0)
+        .set_memory_load(384.0);
+    // 14 000/s over 3 tasks at 0.04 ms ≈ 19% core. Local-or-shuffle:
+    // production topologies keep enrichment next to parsing when the
+    // scheduler colocates them — which R-Storm does.
+    b.set_bolt("geo-enrich", 3)
+        .local_or_shuffle_grouping("parse")
+        .set_profile(ExecutionProfile::new(0.04, 1.0, BEACON_BYTES))
+        .set_cpu_load(25.0)
+        .set_memory_load(384.0);
+    // ...and heavier stateful aggregation / report writing at the tail.
+    b.set_bolt("count", 3)
+        .fields_grouping("parse", ["page"])
+        .set_profile(ExecutionProfile::new(0.085, 1.0, BEACON_BYTES))
+        .set_cpu_load(45.0)
+        .set_memory_load(384.0);
+    b.set_bolt("report-sink", 4)
+        .local_or_shuffle_grouping("geo-enrich")
+        .shuffle_grouping("count")
+        .set_profile(ExecutionProfile::new(0.055, 0.0, BEACON_BYTES))
+        .set_cpu_load(45.0)
+        .set_memory_load(384.0);
+    b.build().expect("static workload is valid")
+}
+
+/// The Processing topology (Fig 11b): the deeper, heavier event pipeline
+/// — decode, filter, transform, aggregate, persist.
+///
+/// `event-spout → decode → filter → transform → aggregate(fields) →
+/// db-writer`
+pub fn processing() -> Topology {
+    let mut b = TopologyBuilder::new("processing");
+    // One worker per machine of the large evaluation cluster.
+    b.set_num_workers(24);
+    // `topology.max.spout.pending` is UNSET — Storm's default — so the
+    // fixed-rate feed keeps pressing regardless of downstream congestion.
+    // With an overloaded stage this is the classic death spiral: queues
+    // grow without bound, every tuple blows the 30 s timeout, and
+    // goodput collapses to (nearly) nothing. An effectively infinite
+    // window models that.
+    b.set_max_spout_pending(u32::MAX);
+    // The bolts are declared before the spout (the graph allows forward
+    // references, and Storm's round-robin placement follows declaration
+    // order).
+    //
+    // 3750/s over 2 tasks at 0.48 ms ≈ 90% core each: these stages only
+    // keep up with the feed when they truly get a core to themselves.
+    for (name, from) in [
+        ("decode", "event-spout"),
+        ("filter", "decode"),
+        ("transform", "filter"),
+    ] {
+        b.set_bolt(name, 2)
+            .shuffle_grouping(from)
+            .set_profile(ExecutionProfile::new(0.48, 1.0, EVENT_BYTES))
+            .set_cpu_load(90.0)
+            .set_memory_load(384.0);
+    }
+    // 3750/s over 2 tasks at 0.37 ms ≈ 69% core each.
+    b.set_bolt("aggregate", 2)
+        .fields_grouping("transform", ["campaign"])
+        .set_profile(ExecutionProfile::new(0.37, 1.0, EVENT_BYTES))
+        .set_cpu_load(70.0)
+        .set_memory_load(384.0);
+    b.set_bolt("db-writer", 3)
+        .shuffle_grouping("aggregate")
+        .set_profile(ExecutionProfile::new(0.37, 0.0, EVENT_BYTES))
+        .set_cpu_load(50.0)
+        .set_memory_load(384.0);
+    // Fixed-rate event feed: 2 × 1875 = 3750 tuples/s offered load, at
+    // 0.48 ms/tuple the spout task itself runs at ~90% of a core.
+    b.set_spout("event-spout", 2)
+        .set_profile(
+            ExecutionProfile::new(0.48, 1.0, EVENT_BYTES).with_max_rate(PROCESSING_FEED_RATE),
+        )
+        .set_cpu_load(90.0)
+        .set_memory_load(512.0);
+    b.build().expect("static workload is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::{emulab_micro, emulab_multi};
+    use rstorm_core::{schedule_all, GlobalState, RStormScheduler, Scheduler};
+
+    #[test]
+    fn layouts_match_figure_11() {
+        let pl = page_load();
+        assert_eq!(pl.components().len(), 5);
+        assert_eq!(pl.sinks().count(), 1);
+        assert!(!pl.has_cycle());
+
+        let pr = processing();
+        assert_eq!(pr.components().len(), 6);
+        assert_eq!(pr.sinks().count(), 1);
+        assert!(!pr.has_cycle());
+        // Processing is the deeper pipeline.
+        assert!(pr.components().len() > pl.components().len());
+    }
+
+    #[test]
+    fn characters_differ() {
+        // PageLoad: flat-out light tasks; Processing: rate-limited heavy
+        // tasks — the asymmetry behind the §6.5 result.
+        let pl = page_load();
+        assert!(pl.spouts().all(|s| s
+            .profile()
+            .max_rate_tuples_per_sec
+            .is_some()));
+        let pr = processing();
+        assert!(pr
+            .spouts()
+            .all(|s| s.profile().max_rate_tuples_per_sec.is_some()));
+        let pl_max_bolt_work = pl
+            .bolts()
+            .map(|c| c.profile().work_ms_per_tuple)
+            .fold(0.0, f64::max);
+        let pr_min_bolt_work = pr
+            .bolts()
+            .map(|c| c.profile().work_ms_per_tuple)
+            .fold(f64::INFINITY, f64::min);
+        assert!(pr_min_bolt_work > 3.0 * pl_max_bolt_work);
+        assert_eq!(pl.max_spout_pending(), Some(4));
+        assert_eq!(pr.max_spout_pending(), Some(u32::MAX), "unbounded");
+    }
+
+    #[test]
+    fn each_schedules_alone_on_the_micro_cluster() {
+        let cluster = emulab_micro();
+        for t in [page_load(), processing()] {
+            let mut state = GlobalState::new(&cluster);
+            RStormScheduler::new()
+                .schedule(&t, &cluster, &mut state)
+                .unwrap_or_else(|e| panic!("{} unschedulable: {e}", t.id()));
+        }
+    }
+
+    #[test]
+    fn both_schedule_together_on_the_multi_cluster() {
+        let cluster = emulab_multi();
+        let pl = page_load();
+        let pr = processing();
+        let plan = schedule_all(&RStormScheduler::new(), &[&pl, &pr], &cluster).unwrap();
+        assert_eq!(plan.len(), 2);
+    }
+}

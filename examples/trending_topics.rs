@@ -1,0 +1,101 @@
+//! The introduction's motivating workload: "computing a stream of
+//! trending topics in tweets" (§2) — a multi-stage aggregation with a
+//! fan-out, key-partitioned counting and a global merge.
+//!
+//! Demonstrates weight tuning: boosting the network weight packs the
+//! pipeline more tightly around the reference node, while zeroing it
+//! degenerates into pure resource fitting.
+//!
+//! ```sh
+//! cargo run --release --example trending_topics
+//! ```
+
+use rstorm::prelude::*;
+
+fn trending_topics() -> Topology {
+    let mut b = TopologyBuilder::new("trending-topics");
+    b.set_max_spout_pending(8);
+    // Tweet firehose at a fixed feed rate.
+    b.set_spout("tweets", 4)
+        .set_profile(ExecutionProfile::new(0.06, 1.0, 280).with_max_rate(4_000.0))
+        .set_cpu_load(30.0)
+        .set_memory_load(512.0);
+    // Extract hashtags (several per tweet on average).
+    b.set_bolt("extract-topics", 6)
+        .shuffle_grouping("tweets")
+        .set_profile(ExecutionProfile::new(0.04, 1.5, 60))
+        .set_cpu_load(30.0)
+        .set_memory_load(256.0);
+    // Rolling count per topic: key-partitioned so each topic's counter
+    // lives in exactly one task.
+    b.set_bolt("rolling-count", 8)
+        .fields_grouping("extract-topics", ["topic"])
+        .set_profile(ExecutionProfile::new(0.05, 0.2, 40))
+        .set_cpu_load(35.0)
+        .set_memory_load(384.0);
+    // Intermediate per-partition rankings, merged globally.
+    b.set_bolt("intermediate-rank", 4)
+        .fields_grouping("rolling-count", ["topic"])
+        .set_profile(ExecutionProfile::new(0.08, 0.5, 120))
+        .set_cpu_load(25.0)
+        .set_memory_load(256.0);
+    b.set_bolt("total-rank", 1)
+        .global_grouping("intermediate-rank")
+        .set_profile(ExecutionProfile::new(0.1, 0.0, 200))
+        .set_cpu_load(40.0)
+        .set_memory_load(512.0);
+    b.build().expect("the example topology is valid")
+}
+
+fn main() {
+    let cluster = ClusterBuilder::new()
+        .homogeneous_racks(2, 6, ResourceCapacity::emulab_node(), 4)
+        .build()
+        .expect("the example cluster is valid");
+    let topology = trending_topics();
+
+    println!(
+        "trending-topics: {} tasks, total demand {}",
+        topology.total_tasks(),
+        topology.total_resources()
+    );
+
+    let variants: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("r-storm (default weights)", Box::new(RStormScheduler::new())),
+        (
+            "r-storm (no network term)",
+            Box::new(RStormScheduler::with_config(RStormConfig {
+                weights: SoftConstraintWeights::default().without_network(),
+                traversal: TraversalOrder::Bfs,
+            })),
+        ),
+        ("default storm", Box::new(EvenScheduler::new())),
+        ("offline linearization", Box::new(OfflineLinearizationScheduler::new())),
+    ];
+
+    for (name, scheduler) in variants {
+        let mut state = GlobalState::new(&cluster);
+        let assignment = scheduler
+            .schedule(&topology, &cluster, &mut state)
+            .expect("the example is feasible");
+
+        // Placement-quality summary: how many racks and machines, and how
+        // much of the graph's communication stays rack-local.
+        let used = assignment.used_nodes();
+        let racks: std::collections::BTreeSet<_> = used
+            .iter()
+            .map(|n| cluster.rack_of(n.as_str()).expect("node exists").clone())
+            .collect();
+
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&topology, &assignment);
+        let report = sim.run();
+
+        println!(
+            "{name:>28}: {:>2} machines / {} rack(s), {:>7.0} tuples/10s",
+            used.len(),
+            racks.len(),
+            report.steady_throughput("trending-topics", 1),
+        );
+    }
+}

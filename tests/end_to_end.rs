@@ -1,0 +1,154 @@
+//! End-to-end integration: schedule → verify → simulate, for every
+//! bundled workload under every scheduler.
+
+use rstorm::prelude::*;
+use rstorm::workloads::{clusters, micro, yahoo};
+
+fn all_workloads() -> Vec<Topology> {
+    vec![
+        micro::linear_network_bound(),
+        micro::diamond_network_bound(),
+        micro::star_network_bound(),
+        micro::linear_cpu_bound(),
+        micro::diamond_cpu_bound(),
+        micro::star_cpu_bound(),
+        yahoo::page_load(),
+        yahoo::processing(),
+    ]
+}
+
+#[test]
+fn rstorm_schedules_every_workload_without_violations() {
+    let cluster = clusters::emulab_micro();
+    for topology in all_workloads() {
+        let plan = schedule_all(&RStormScheduler::new(), &[&topology], &cluster)
+            .unwrap_or_else(|e| panic!("{}: {e}", topology.id()));
+        let violations = verify_plan(&plan, &[&topology], &cluster);
+        assert!(
+            violations.is_empty(),
+            "{}: {violations:?}",
+            topology.id()
+        );
+        let assignment = plan.assignment(topology.id().as_str()).unwrap();
+        assert_eq!(assignment.len() as u32, topology.total_tasks());
+    }
+}
+
+#[test]
+fn every_scheduler_places_every_task() {
+    let cluster = clusters::emulab_micro();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RStormScheduler::new()),
+        Box::new(EvenScheduler::new()),
+        Box::new(OfflineLinearizationScheduler::new()),
+        Box::new(RandomScheduler::seeded(11)),
+    ];
+    for scheduler in &schedulers {
+        for topology in all_workloads() {
+            let plan = schedule_all(scheduler.as_ref(), &[&topology], &cluster)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", scheduler.name(), topology.id()));
+            assert_eq!(
+                plan.assignment(topology.id().as_str()).unwrap().len() as u32,
+                topology.total_tasks(),
+                "{}/{}",
+                scheduler.name(),
+                topology.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_flows_tuples_for_every_workload() {
+    let cluster = clusters::emulab_micro();
+    for topology in all_workloads() {
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .unwrap();
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&topology, &assignment);
+        let report = sim.run();
+        let throughput = report.steady_throughput(topology.id().as_str(), 1);
+        assert!(
+            throughput > 0.0,
+            "{}: no tuples reached the sinks",
+            topology.id()
+        );
+        assert!(report.totals.roots_completed > 0, "{}", topology.id());
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let cluster = clusters::emulab_micro();
+    let run = || {
+        let topology = micro::linear_network_bound();
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .unwrap();
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&topology, &assignment);
+        let report = sim.run();
+        (assignment, report.throughput["linear-net"].windows.clone())
+    };
+    let (a1, w1) = run();
+    let (a2, w2) = run();
+    assert_eq!(a1, a2, "scheduling must be deterministic");
+    assert_eq!(w1, w2, "simulation must be deterministic");
+}
+
+#[test]
+fn rstorm_uses_fewer_machines_than_default_on_cpu_bound_workloads() {
+    // The Figure 9/10 headline: same throughput with roughly half the
+    // machines.
+    let cluster = clusters::emulab_micro();
+    for topology in [micro::linear_cpu_bound(), micro::diamond_cpu_bound()] {
+        let mut s1 = GlobalState::new(&cluster);
+        let rstorm = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut s1)
+            .unwrap();
+        let mut s2 = GlobalState::new(&cluster);
+        let even = EvenScheduler::new()
+            .schedule(&topology, &cluster, &mut s2)
+            .unwrap();
+        assert!(
+            rstorm.used_nodes().len() + 3 <= even.used_nodes().len(),
+            "{}: rstorm {} vs default {}",
+            topology.id(),
+            rstorm.used_nodes().len(),
+            even.used_nodes().len()
+        );
+    }
+}
+
+#[test]
+fn network_bound_throughput_favors_rstorm() {
+    // The Figure 8 headline, as a coarse integration check (the precise
+    // factors live in the bench harness and EXPERIMENTS.md).
+    let cluster = clusters::emulab_micro();
+    let topology = micro::linear_network_bound();
+
+    let mut s1 = GlobalState::new(&cluster);
+    let a1 = RStormScheduler::new()
+        .schedule(&topology, &cluster, &mut s1)
+        .unwrap();
+    let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+    sim.add_topology(&topology, &a1);
+    let rstorm = sim.run();
+
+    let mut s2 = GlobalState::new(&cluster);
+    let a2 = EvenScheduler::new()
+        .schedule(&topology, &cluster, &mut s2)
+        .unwrap();
+    let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+    sim.add_topology(&topology, &a2);
+    let even = sim.run();
+
+    let r = rstorm.steady_throughput("linear-net", 2);
+    let e = even.steady_throughput("linear-net", 2);
+    assert!(r > 1.2 * e, "rstorm {r:.0} vs default {e:.0}");
+    // And it does so while crossing the racks less.
+    assert!(rstorm.inter_rack_mb < even.inter_rack_mb);
+}

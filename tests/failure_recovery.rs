@@ -1,0 +1,161 @@
+//! Failure injection: node deaths, rescheduling, and capacity exhaustion.
+
+use rstorm::prelude::*;
+
+fn cluster() -> Cluster {
+    ClusterBuilder::new()
+        .homogeneous_racks(2, 4, ResourceCapacity::emulab_node(), 4)
+        .build()
+        .unwrap()
+}
+
+fn pipeline(mem: f64) -> Topology {
+    let mut b = TopologyBuilder::new("pipeline");
+    b.set_spout("src", 4).set_cpu_load(40.0).set_memory_load(mem);
+    b.set_bolt("mid", 4)
+        .shuffle_grouping("src")
+        .set_cpu_load(30.0)
+        .set_memory_load(mem);
+    b.set_bolt("out", 4)
+        .shuffle_grouping("mid")
+        .set_cpu_load(30.0)
+        .set_memory_load(mem);
+    b.build().unwrap()
+}
+
+/// Full recovery cycle: fail → release → reschedule → verify.
+fn recover(
+    scheduler: &dyn Scheduler,
+    cluster: &mut Cluster,
+    state: &mut GlobalState,
+    topology: &Topology,
+    victim: &str,
+) -> Result<Assignment, ScheduleError> {
+    cluster.kill_node(victim);
+    for tid in state.handle_node_failure(victim) {
+        state.release_topology(tid.as_str());
+    }
+    scheduler.schedule(topology, cluster, state)
+}
+
+#[test]
+fn reschedule_avoids_the_dead_node() {
+    let mut cluster = cluster();
+    let topology = pipeline(256.0);
+    let scheduler = RStormScheduler::new();
+    let mut state = GlobalState::new(&cluster);
+    let before = scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+    let victim = before.used_nodes().iter().next().unwrap().clone();
+
+    let after = recover(&scheduler, &mut cluster, &mut state, &topology, victim.as_str())
+        .expect("survivors have capacity");
+    assert!(!after.used_nodes().contains(&victim));
+    assert_eq!(after.len() as u32, topology.total_tasks());
+    assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
+}
+
+#[test]
+fn repeated_failures_eventually_exhaust_capacity() {
+    // Kill nodes one by one; every successful reschedule must be clean,
+    // and the first failure must be an honest capacity error.
+    let mut cluster = cluster();
+    let topology = pipeline(700.0); // 12 tasks × 700 MB = 8.4 GB total
+    let scheduler = RStormScheduler::new();
+    let mut state = GlobalState::new(&cluster);
+    scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+
+    let node_names: Vec<String> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .collect();
+
+    let mut failed = false;
+    for victim in &node_names {
+        match recover(&scheduler, &mut cluster, &mut state, &topology, victim) {
+            Ok(assignment) => {
+                assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
+                assert_eq!(assignment.len() as u32, topology.total_tasks());
+            }
+            Err(ScheduleError::InsufficientMemory {
+                needed_mb,
+                best_available_mb,
+                ..
+            }) => {
+                assert!(needed_mb > best_available_mb);
+                failed = true;
+                break;
+            }
+            Err(ScheduleError::NoAliveNodes) => {
+                failed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        failed,
+        "8.4 GB cannot fit after enough of the 16 GB cluster has died"
+    );
+}
+
+#[test]
+fn simulation_after_recovery_still_flows() {
+    let mut cluster = cluster();
+    let topology = pipeline(256.0);
+    let scheduler = RStormScheduler::new();
+    let mut state = GlobalState::new(&cluster);
+    let before = scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+    let victim = before.used_nodes().iter().next().unwrap().clone();
+    let after =
+        recover(&scheduler, &mut cluster, &mut state, &topology, victim.as_str()).unwrap();
+
+    let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+    sim.add_topology(&topology, &after);
+    let report = sim.run();
+    assert!(report.steady_throughput("pipeline", 1) > 0.0);
+    // The dead node does no work.
+    assert!(report
+        .node_utilization
+        .iter()
+        .all(|(n, _)| n != victim.as_str()));
+}
+
+#[test]
+fn revived_node_rejoins_the_pool() {
+    let mut cluster = cluster();
+    cluster.kill_node("rack-0-node-0");
+    let state = GlobalState::new(&cluster);
+    assert!(state.remaining("rack-0-node-0").is_none());
+
+    cluster.revive_node("rack-0-node-0");
+    let state = GlobalState::new(&cluster);
+    assert!(state.remaining("rack-0-node-0").is_some());
+}
+
+#[test]
+fn default_scheduler_also_recovers_but_without_guarantees() {
+    let mut cluster = cluster();
+    let topology = pipeline(700.0);
+    let scheduler = EvenScheduler::new();
+    let mut state = GlobalState::new(&cluster);
+    scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+
+    // Kill half the cluster: the even scheduler still "succeeds" — by
+    // over-committing memory, the paper's catastrophic failure mode.
+    for i in 0..4 {
+        let victim = format!("rack-0-node-{i}");
+        cluster.kill_node(&victim);
+        for tid in state.handle_node_failure(&victim) {
+            state.release_topology(tid.as_str());
+        }
+        scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+        state.release_topology("pipeline");
+    }
+    scheduler.schedule(&topology, &cluster, &mut state).unwrap();
+    let violations = verify_plan(state.plan(), &[&topology], &cluster);
+    assert!(
+        violations.iter().any(|v| format!("{v:?}").contains("MemoryOvercommit")),
+        "4 nodes × 2 GB cannot hold 8.4 GB without over-commit: {violations:?}"
+    );
+}

@@ -1,0 +1,167 @@
+//! Regression net over the reproduced paper results: quick-mode versions
+//! of every figure's *shape* (who wins, roughly how). The precise
+//! full-length numbers live in EXPERIMENTS.md; these tests keep the
+//! shapes from silently regressing as the code evolves.
+//!
+//! Runs are shortened (60–90 simulated seconds) so the whole file stays
+//! CI-friendly; thresholds are set loose enough to be stable across the
+//! shorter horizon.
+
+use rstorm::prelude::*;
+use rstorm::workloads::{clusters, micro, yahoo};
+
+fn compare(topology: &Topology, cluster: &Cluster, sim_time_ms: f64) -> (SimReport, SimReport) {
+    let run = |scheduler: &dyn Scheduler| {
+        let mut state = GlobalState::new(cluster);
+        let assignment = scheduler.schedule(topology, cluster, &mut state).unwrap();
+        let mut sim = Simulation::new(
+            cluster.clone(),
+            SimConfig::default().with_sim_time_ms(sim_time_ms),
+        );
+        sim.add_topology(topology, &assignment);
+        sim.run()
+    };
+    (run(&RStormScheduler::new()), run(&EvenScheduler::new()))
+}
+
+fn ratio(topology: &Topology, cluster: &Cluster, sim_time_ms: f64) -> f64 {
+    let (rstorm, even) = compare(topology, cluster, sim_time_ms);
+    let id = topology.id().as_str();
+    rstorm.steady_throughput(id, 2) / even.steady_throughput(id, 2).max(1e-9)
+}
+
+// ---- Figure 8: network-bound throughput -----------------------------------
+
+#[test]
+fn fig8a_linear_network_bound_shape() {
+    let r = ratio(&micro::linear_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    assert!((1.3..2.0).contains(&r), "paper ≈ 1.5, measured {r:.2}");
+}
+
+#[test]
+fn fig8b_diamond_network_bound_shape() {
+    let r = ratio(&micro::diamond_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    assert!((1.1..1.6).contains(&r), "paper ≈ 1.3, measured {r:.2}");
+}
+
+#[test]
+fn fig8c_star_network_bound_shape() {
+    let r = ratio(&micro::star_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    assert!((1.3..2.0).contains(&r), "paper ≈ 1.47, measured {r:.2}");
+}
+
+// ---- Figure 9: CPU-bound throughput and machine counts ---------------------
+
+#[test]
+fn fig9ab_equal_throughput_on_fewer_machines() {
+    let cluster = clusters::emulab_micro();
+    for topology in [micro::linear_cpu_bound(), micro::diamond_cpu_bound()] {
+        let (rstorm, even) = compare(&topology, &cluster, 60_000.0);
+        let id = topology.id().as_str();
+        let r = rstorm.steady_throughput(id, 2);
+        let e = even.steady_throughput(id, 2);
+        assert!(
+            (0.9..1.1).contains(&(r / e)),
+            "{id}: throughput should match, {r:.0} vs {e:.0}"
+        );
+        assert!(
+            rstorm.used_nodes_by_topology[id] + 3 <= even.used_nodes_by_topology[id],
+            "{id}: R-Storm should use far fewer machines"
+        );
+    }
+}
+
+#[test]
+fn fig9c_star_default_is_bottlenecked() {
+    let r = ratio(&micro::star_cpu_bound(), &clusters::emulab_micro(), 90_000.0);
+    assert!(r > 1.15, "R-Storm must clearly win the star, measured {r:.2}");
+}
+
+// ---- Figure 10: CPU utilization --------------------------------------------
+
+#[test]
+fn fig10_utilization_ordering() {
+    let cluster = clusters::emulab_micro();
+    let mut improvements = Vec::new();
+    for topology in [
+        micro::linear_cpu_bound(),
+        micro::diamond_cpu_bound(),
+        micro::star_cpu_bound(),
+    ] {
+        let (rstorm, even) = compare(&topology, &cluster, 60_000.0);
+        improvements.push(
+            rstorm.mean_used_cpu_utilization.mean / even.mean_used_cpu_utilization.mean,
+        );
+    }
+    // Every workload shows a clear utilization win...
+    for (i, imp) in improvements.iter().enumerate() {
+        assert!(*imp > 1.3, "workload {i}: ratio {imp:.2}");
+    }
+    // ...and the paper's ordering (star > diamond > linear) holds.
+    assert!(
+        improvements[2] > improvements[0],
+        "star ({:.2}) should beat linear ({:.2})",
+        improvements[2],
+        improvements[0]
+    );
+}
+
+// ---- Figure 12: Yahoo topologies -------------------------------------------
+
+#[test]
+fn fig12_yahoo_topologies_favor_rstorm() {
+    let cluster = clusters::emulab_micro();
+    let pl = ratio(&yahoo::page_load(), &cluster, 90_000.0);
+    assert!(pl > 1.15, "PageLoad measured {pl:.2}");
+    let pr = ratio(&yahoo::processing(), &cluster, 90_000.0);
+    assert!(pr > 1.2, "Processing measured {pr:.2}");
+}
+
+// ---- Figure 13: multi-topology differential collapse ------------------------
+
+#[test]
+fn fig13_processing_collapses_under_default_only() {
+    let cluster = clusters::emulab_multi();
+    let processing = yahoo::processing();
+    let page_load = yahoo::page_load();
+
+    let run = |scheduler: &dyn Scheduler| {
+        let plan = schedule_all(scheduler, &[&processing, &page_load], &cluster).unwrap();
+        let mut sim = Simulation::new(
+            cluster.clone(),
+            SimConfig::default().with_sim_time_ms(420_000.0),
+        );
+        sim.add_topology(&page_load, plan.assignment("page-load").unwrap());
+        sim.add_topology(&processing, plan.assignment("processing").unwrap());
+        sim.run()
+    };
+
+    let rstorm = run(&RStormScheduler::new());
+    let default = run(&EvenScheduler::new());
+
+    // R-Storm: both topologies healthy, zero timeouts.
+    assert_eq!(rstorm.totals.roots_timed_out, 0);
+    assert!(rstorm.steady_throughput("processing", 2) > 30_000.0);
+
+    // Default: Processing's tuple trees blow the 30 s timeout en masse
+    // and its late windows collapse, while PageLoad merely degrades.
+    assert!(
+        default.totals.roots_timed_out > 10_000,
+        "expected mass timeouts, got {}",
+        default.totals.roots_timed_out
+    );
+    let windows = &default.throughput["processing"].windows;
+    let late = &windows[windows.len() - 6..];
+    let late_mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(
+        late_mean < 0.2 * rstorm.steady_throughput("processing", 2),
+        "processing should have collapsed, late windows {late:?}"
+    );
+    let pl_ratio = default.steady_throughput("page-load", 2)
+        / rstorm.steady_throughput("page-load", 2);
+    assert!(
+        pl_ratio > 0.5,
+        "PageLoad must survive (got {:.0}% of R-Storm)",
+        pl_ratio * 100.0
+    );
+}

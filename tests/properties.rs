@@ -1,0 +1,346 @@
+//! Property-based tests (proptest) over randomly generated topologies and
+//! clusters: the invariants the R-Storm paper promises must hold for
+//! *every* input, not just the bundled workloads.
+
+use proptest::prelude::*;
+use rstorm::cluster::config::StormConfig;
+use rstorm::prelude::*;
+use rstorm::scheduler::rstorm::task_selection;
+use rstorm::topology::{bfs_component_order, ResourceRequest};
+
+// ---------- generators ----------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ComponentSpec {
+    parallelism: u32,
+    cpu: f64,
+    mem: f64,
+    /// Which earlier components this one subscribes to (index offsets).
+    inputs: Vec<usize>,
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    // Component 0 is always a spout; each later component subscribes to
+    // at least one earlier component, forming a connected DAG.
+    let spec = (1u32..=4, 1.0f64..80.0, 16.0f64..512.0, proptest::collection::vec(0usize..8, 1..3));
+    proptest::collection::vec(spec, 2..7).prop_map(|raw| {
+        let specs: Vec<ComponentSpec> = raw
+            .into_iter()
+            .map(|(parallelism, cpu, mem, inputs)| ComponentSpec {
+                parallelism,
+                cpu,
+                mem,
+                inputs,
+            })
+            .collect();
+        let mut b = TopologyBuilder::new("prop");
+        b.set_spout("c0", specs[0].parallelism)
+            .set_cpu_load(specs[0].cpu)
+            .set_memory_load(specs[0].mem);
+        for (i, s) in specs.iter().enumerate().skip(1) {
+            let mut bolt = b.set_bolt(format!("c{i}"), s.parallelism);
+            let mut subscribed = std::collections::BTreeSet::new();
+            for raw in &s.inputs {
+                subscribed.insert(raw % i);
+            }
+            for from in subscribed {
+                bolt.shuffle_grouping(format!("c{from}"));
+            }
+            bolt.set_cpu_load(s.cpu).set_memory_load(s.mem);
+        }
+        b.build().expect("generated topologies are structurally valid")
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = Cluster> {
+    (1u32..=3, 1u32..=4, 100.0f64..400.0, 1024.0f64..8192.0, 1u16..=4).prop_map(
+        |(racks, nodes, cpu, mem, slots)| {
+            ClusterBuilder::new()
+                .homogeneous_racks(racks, nodes, ResourceCapacity::new(cpu, mem, 100.0), slots)
+                .build()
+                .expect("generated clusters are valid")
+        },
+    )
+}
+
+// ---------- scheduling invariants -----------------------------------------
+
+proptest! {
+    /// The paper's property 2: "no hard resource constraints is violated"
+    /// — whenever R-Storm produces a schedule, it is completely clean.
+    #[test]
+    fn rstorm_success_implies_clean_plan(
+        topology in arb_topology(),
+        cluster in arb_cluster(),
+    ) {
+        let mut state = GlobalState::new(&cluster);
+        if let Ok(assignment) =
+            RStormScheduler::new().schedule(&topology, &cluster, &mut state)
+        {
+            prop_assert_eq!(assignment.len() as u32, topology.total_tasks());
+            let violations = verify_plan(state.plan(), &[&topology], &cluster);
+            prop_assert!(violations.is_empty(), "{:?}", violations);
+            for (node, remaining) in state.iter_remaining() {
+                prop_assert!(
+                    remaining.memory_mb >= -1e-9,
+                    "node {} over-committed: {} MB",
+                    node,
+                    remaining.memory_mb
+                );
+            }
+        }
+    }
+
+    /// When R-Storm refuses a topology, the refusal is honest: the
+    /// reported demand really exceeds the best remaining node.
+    #[test]
+    fn rstorm_failure_is_justified(
+        topology in arb_topology(),
+        cluster in arb_cluster(),
+    ) {
+        let mut state = GlobalState::new(&cluster);
+        match RStormScheduler::new().schedule(&topology, &cluster, &mut state) {
+            Err(ScheduleError::InsufficientMemory { needed_mb, best_available_mb, .. }) => {
+                prop_assert!(needed_mb > best_available_mb);
+            }
+            Err(ScheduleError::NoAliveNodes) => {
+                prop_assert_eq!(cluster.alive_nodes().count(), 0);
+            }
+            _ => {}
+        }
+    }
+
+    /// Scheduling is a pure function of its inputs.
+    #[test]
+    fn rstorm_is_deterministic(
+        topology in arb_topology(),
+        cluster in arb_cluster(),
+    ) {
+        let r1 = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut GlobalState::new(&cluster));
+        let r2 = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut GlobalState::new(&cluster));
+        prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        if let (Ok(a1), Ok(a2)) = (r1, r2) {
+            prop_assert_eq!(a1, a2);
+        }
+    }
+
+    /// The even scheduler always places everything, spreads across all
+    /// nodes when slots allow, and never leaves a slot hosting wildly
+    /// more tasks than another (round-robin balance).
+    #[test]
+    fn even_scheduler_places_and_balances(
+        topology in arb_topology(),
+        cluster in arb_cluster(),
+    ) {
+        let mut state = GlobalState::new(&cluster);
+        let assignment = EvenScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .expect("even scheduling never fails on a live cluster");
+        prop_assert_eq!(assignment.len() as u32, topology.total_tasks());
+
+        let slots: usize = cluster.alive_slots().count();
+        let tasks = topology.total_tasks() as usize;
+        let per_node: Vec<usize> = cluster
+            .alive_nodes()
+            .map(|n| assignment.tasks_on_node(n.id().as_str()).len())
+            .collect();
+        let max = per_node.iter().copied().max().unwrap_or(0);
+        let min = per_node.iter().copied().min().unwrap_or(0);
+        // Round-robin over node-interleaved slots: per-node counts differ
+        // by at most ceil(slots_per_node) across a full wrap.
+        let slots_per_node = slots / cluster.alive_nodes().count();
+        prop_assert!(
+            max - min <= slots_per_node.max(1) + tasks / slots.max(1),
+            "imbalance: {:?}",
+            per_node
+        );
+    }
+}
+
+// ---------- ordering invariants --------------------------------------------
+
+proptest! {
+    /// Algorithm 2: the BFS component order visits every component
+    /// exactly once, starting with a spout.
+    #[test]
+    fn bfs_order_is_a_permutation(topology in arb_topology()) {
+        let order = bfs_component_order(&topology);
+        prop_assert_eq!(order.len(), topology.components().len());
+        let unique: std::collections::BTreeSet<_> =
+            order.iter().map(|c| c.as_str().to_owned()).collect();
+        prop_assert_eq!(unique.len(), order.len());
+        prop_assert!(topology.component(order[0].as_str()).unwrap().is_spout());
+    }
+
+    /// Algorithm 3: the task ordering contains every task exactly once,
+    /// whatever the traversal strategy.
+    #[test]
+    fn task_ordering_is_a_permutation(
+        topology in arb_topology(),
+        strategy in prop_oneof![
+            Just(TraversalOrder::Bfs),
+            Just(TraversalOrder::Dfs),
+            Just(TraversalOrder::Declaration),
+        ],
+    ) {
+        let task_set = topology.task_set();
+        let order = task_selection::task_ordering(&topology, &task_set, strategy);
+        prop_assert_eq!(order.len(), task_set.len());
+        let mut ids: Vec<u32> = order.iter().map(|t| t.as_u32()).collect();
+        ids.sort_unstable();
+        let expected: Vec<u32> = (0..task_set.len() as u32).collect();
+        prop_assert_eq!(ids, expected);
+    }
+}
+
+// ---------- metric and model invariants -------------------------------------
+
+proptest! {
+    /// Summary statistics stay within their algebraic bounds.
+    #[test]
+    fn summary_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(values.iter().copied());
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert!(s.stddev <= (s.max - s.min) + 1e-9);
+    }
+
+    /// Windowed counters conserve events.
+    #[test]
+    fn windowed_counter_conserves(
+        events in proptest::collection::vec((0.0f64..1e5, 1u64..100), 0..100),
+    ) {
+        let mut c = rstorm::metrics::WindowedCounter::new(10_000.0);
+        let mut total = 0u64;
+        for (t, n) in &events {
+            c.record(*t, *n);
+            total += n;
+        }
+        prop_assert_eq!(c.total(), total);
+        prop_assert_eq!(c.window_counts().iter().sum::<u64>(), total);
+    }
+
+    /// Resource arithmetic is component-wise and order-independent.
+    #[test]
+    fn resource_request_algebra(
+        a in (0.0f64..1e3, 0.0f64..1e4, 0.0f64..1e2),
+        b in (0.0f64..1e3, 0.0f64..1e4, 0.0f64..1e2),
+        k in 0.0f64..10.0,
+    ) {
+        let ra = ResourceRequest::new(a.0, a.1, a.2);
+        let rb = ResourceRequest::new(b.0, b.1, b.2);
+        prop_assert_eq!(ra.saturating_add(&rb), rb.saturating_add(&ra));
+        let scaled = ra.scaled(k);
+        prop_assert!((scaled.cpu_points - ra.cpu_points * k).abs() < 1e-9);
+        prop_assert!((scaled.memory_mb - ra.memory_mb * k).abs() < 1e-9);
+    }
+
+    /// The storm.yaml subset round-trips through its own serializer.
+    #[test]
+    fn storm_config_roundtrip(
+        mem in 1.0f64..1e6,
+        cpu in 1.0f64..1e4,
+        ports in proptest::collection::vec(1024u16..65535, 1..6),
+    ) {
+        let text = format!(
+            "supervisor.memory.capacity.mb: {mem:?}\n\
+             supervisor.cpu.capacity: {cpu:?}\n\
+             supervisor.slots.ports: [{}]\n\
+             storm.scheduler: \"rstorm\"\n",
+            ports.iter().map(u16::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let parsed = StormConfig::parse(&text).unwrap();
+        let reparsed = StormConfig::parse(&parsed.to_yaml()).unwrap();
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(parsed.get_f64("supervisor.memory.capacity.mb"), Some(mem));
+        prop_assert_eq!(parsed.slot_ports(), ports);
+    }
+}
+
+// ---------- optimality gap (fewer, heavier cases) ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On instances small enough for exact branch-and-bound, the greedy
+    /// R-Storm heuristic must never beat the optimum (sanity of the
+    /// solver) and the optimum must be a valid plan.
+    #[test]
+    fn exhaustive_lower_bounds_greedy(
+        p0 in 1u32..=2, p1 in 1u32..=2, p2 in 1u32..=2,
+        cpu in 5.0f64..60.0,
+        mem in 32.0f64..700.0,
+    ) {
+        use rstorm::scheduler::schedulers::{placement_cost, ExhaustiveScheduler};
+        let mut b = TopologyBuilder::new("opt");
+        b.set_spout("a", p0).set_cpu_load(cpu).set_memory_load(mem);
+        b.set_bolt("b", p1).shuffle_grouping("a").set_cpu_load(cpu).set_memory_load(mem);
+        b.set_bolt("c", p2).shuffle_grouping("b").set_cpu_load(cpu).set_memory_load(mem);
+        let topology = b.build().unwrap();
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(2, 2, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+
+        let optimal = ExhaustiveScheduler::new()
+            .schedule(&topology, &cluster, &mut GlobalState::new(&cluster));
+        let greedy = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut GlobalState::new(&cluster));
+        if let (Ok(optimal), Ok(greedy)) = (optimal, greedy) {
+            let c_opt = placement_cost(&topology, &cluster, &optimal);
+            let c_greedy = placement_cost(&topology, &cluster, &greedy);
+            prop_assert!(
+                c_opt <= c_greedy + 1e-9,
+                "optimum {} must not exceed greedy {}",
+                c_opt,
+                c_greedy
+            );
+            // And the optimum is itself a clean plan.
+            let mut state = GlobalState::new(&cluster);
+            let a = ExhaustiveScheduler::new()
+                .schedule(&topology, &cluster, &mut state)
+                .unwrap();
+            prop_assert_eq!(a.len() as u32, topology.total_tasks());
+            prop_assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
+        }
+    }
+}
+
+// ---------- simulator conservation (fewer, heavier cases) -------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tuple conservation under simulation: completions never exceed
+    /// emissions, sink counts never exceed processing counts, and a
+    /// feasible R-Storm schedule always makes progress.
+    #[test]
+    fn simulation_conserves_tuples(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::new(400.0, 8192.0, 100.0), 4)
+            .build()
+            .unwrap();
+        let mut state = GlobalState::new(&cluster);
+        let Ok(assignment) =
+            RStormScheduler::new().schedule(&topology, &cluster, &mut state)
+        else {
+            return Ok(());
+        };
+        let mut config = SimConfig::quick().with_seed(seed);
+        config.sim_time_ms = 20_000.0;
+        let mut sim = Simulation::new(cluster, config);
+        sim.add_topology(&topology, &assignment);
+        let report = sim.run();
+        let t = &report.totals;
+        prop_assert!(t.roots_completed + t.roots_timed_out <= t.spout_batches);
+        prop_assert!(t.tuples_completed <= t.tuples_processed.max(t.spout_batches * 1000));
+        prop_assert!(t.batches_dropped <= t.batches_delivered);
+        prop_assert!(t.spout_batches > 0, "spouts must make progress");
+    }
+}
