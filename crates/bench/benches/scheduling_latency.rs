@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rstorm_cluster::{Cluster, ClusterBuilder, ResourceCapacity};
 use rstorm_core::schedulers::EvenScheduler;
-use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
+use rstorm_core::{GlobalState, RStormScheduler, ReferenceRStormScheduler, Scheduler};
 use rstorm_topology::{Topology, TopologyBuilder};
 
 /// A linear topology with `stages` components of `parallelism` tasks.
@@ -60,6 +60,18 @@ fn bench_schedulers(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
+            BenchmarkId::new("rstorm-reference", tasks),
+            &(&topology, &cl),
+            |b, (t, cl)| {
+                b.iter(|| {
+                    let mut state = GlobalState::new(cl);
+                    ReferenceRStormScheduler::new()
+                        .schedule(t, cl, &mut state)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
             BenchmarkId::new("even", tasks),
             &(&topology, &cl),
             |b, (t, cl)| {
@@ -94,6 +106,28 @@ fn bench_reschedule_after_failure(c: &mut Criterion) {
                     state.release_topology(t.as_str());
                 }
                 RStormScheduler::new()
+                    .schedule(&topology, &cl, &mut state)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("reschedule_after_node_failure/reference", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = cl.clone();
+                let mut state = GlobalState::new(&cl);
+                ReferenceRStormScheduler::new()
+                    .schedule(&topology, &cl, &mut state)
+                    .unwrap();
+                cl.kill_node("rack-0-node-0");
+                (cl, state)
+            },
+            |(cl, mut state)| {
+                for t in state.handle_node_failure("rack-0-node-0") {
+                    state.release_topology(t.as_str());
+                }
+                ReferenceRStormScheduler::new()
                     .schedule(&topology, &cl, &mut state)
                     .unwrap()
             },

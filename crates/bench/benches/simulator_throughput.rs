@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
 use rstorm_sim::{SimConfig, Simulation};
-use rstorm_workloads::{clusters, micro, yahoo};
 use rstorm_topology::Topology;
+use rstorm_workloads::{clusters, micro, yahoo};
 
 fn bench_simulation(c: &mut Criterion) {
     let cluster = clusters::emulab_micro();

@@ -60,11 +60,17 @@ fn main() {
     let variants: Vec<Variant> = vec![
         (
             "rstorm (bfs, full)",
-            Box::new(rstorm(TraversalOrder::Bfs, SoftConstraintWeights::default())),
+            Box::new(rstorm(
+                TraversalOrder::Bfs,
+                SoftConstraintWeights::default(),
+            )),
         ),
         (
             "rstorm (dfs)",
-            Box::new(rstorm(TraversalOrder::Dfs, SoftConstraintWeights::default())),
+            Box::new(rstorm(
+                TraversalOrder::Dfs,
+                SoftConstraintWeights::default(),
+            )),
         ),
         (
             "rstorm (declaration)",
@@ -102,8 +108,7 @@ fn main() {
         let mut baseline = 0.0;
         for (vname, scheduler) in &variants {
             let topology = make();
-            let report =
-                simulate_single(scheduler.as_ref(), &topology, &cluster, config.clone());
+            let report = simulate_single(scheduler.as_ref(), &topology, &cluster, config.clone());
             let throughput = report.steady_throughput(topology.id().as_str(), WARMUP_WINDOWS);
             if *vname == "rstorm (bfs, full)" {
                 baseline = throughput;
@@ -118,17 +123,20 @@ fn main() {
                 (*vname).to_owned(),
                 format!("{throughput:.0}"),
                 relative,
-                format!(
-                    "{}",
-                    report.used_nodes_by_topology[topology.id().as_str()]
-                ),
+                format!("{}", report.used_nodes_by_topology[topology.id().as_str()]),
             ]);
         }
     }
     println!(
         "{}",
         text_table(
-            &["workload", "variant", "tuples/10s", "vs full r-storm", "machines"],
+            &[
+                "workload",
+                "variant",
+                "tuples/10s",
+                "vs full r-storm",
+                "machines"
+            ],
             &rows
         )
     );

@@ -30,7 +30,11 @@ fn main() {
         let cmp = Comparison::run(&topology, &cluster, config.clone());
         let r = cmp.rstorm.mean_used_cpu_utilization.mean * 100.0;
         let d = cmp.default.mean_used_cpu_utilization.mean * 100.0;
-        let improvement = if d > 0.0 { (r / d - 1.0) * 100.0 } else { f64::INFINITY };
+        let improvement = if d > 0.0 {
+            (r / d - 1.0) * 100.0
+        } else {
+            f64::INFINITY
+        };
         rows.push(vec![
             name.to_owned(),
             format!("{d:.0}% ({} nodes)", cmp.default.used_nodes),
@@ -42,7 +46,13 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["topology", "default util", "r-storm util", "measured", "paper"],
+            &[
+                "topology",
+                "default util",
+                "r-storm util",
+                "measured",
+                "paper"
+            ],
             &rows
         )
     );

@@ -14,9 +14,21 @@ fn main() {
     let cluster = clusters::emulab_micro();
 
     let cases = [
-        ("Fig 8a (Linear, network-bound)", micro::linear_network_bound(), "+50%"),
-        ("Fig 8b (Diamond, network-bound)", micro::diamond_network_bound(), "+30%"),
-        ("Fig 8c (Star, network-bound)", micro::star_network_bound(), "+47%"),
+        (
+            "Fig 8a (Linear, network-bound)",
+            micro::linear_network_bound(),
+            "+50%",
+        ),
+        (
+            "Fig 8b (Diamond, network-bound)",
+            micro::diamond_network_bound(),
+            "+30%",
+        ),
+        (
+            "Fig 8c (Star, network-bound)",
+            micro::star_network_bound(),
+            "+47%",
+        ),
     ];
 
     for (name, topology, paper) in cases {

@@ -22,8 +22,8 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 use rstorm_cluster::Cluster;
-use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
 use rstorm_core::schedulers::EvenScheduler;
+use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
 use rstorm_sim::{SimConfig, SimReport, Simulation};
 use rstorm_topology::Topology;
@@ -67,7 +67,13 @@ pub fn simulate_single(
     let mut state = GlobalState::new(cluster);
     let assignment = scheduler
         .schedule(topology, cluster, &mut state)
-        .unwrap_or_else(|e| panic!("{} cannot schedule {}: {e}", scheduler.name(), topology.id()));
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} cannot schedule {}: {e}",
+                scheduler.name(),
+                topology.id()
+            )
+        });
     let mut sim = Simulation::new(cluster.clone(), config);
     sim.add_topology(topology, &assignment);
     sim.run()
@@ -98,12 +104,14 @@ impl Comparison {
 
     /// Steady-state mean throughput under R-Storm (tuples per window).
     pub fn rstorm_throughput(&self) -> f64 {
-        self.rstorm.steady_throughput(&self.topology, WARMUP_WINDOWS)
+        self.rstorm
+            .steady_throughput(&self.topology, WARMUP_WINDOWS)
     }
 
     /// Steady-state mean throughput under the default scheduler.
     pub fn default_throughput(&self) -> f64 {
-        self.default.steady_throughput(&self.topology, WARMUP_WINDOWS)
+        self.default
+            .steady_throughput(&self.topology, WARMUP_WINDOWS)
     }
 
     /// Relative throughput improvement of R-Storm, as a percentage
@@ -136,7 +144,10 @@ impl Comparison {
                 ]
             })
             .collect();
-        text_table(&["t (s)", "r-storm (tuples/10s)", "default (tuples/10s)"], &rows)
+        text_table(
+            &["t (s)", "r-storm (tuples/10s)", "default (tuples/10s)"],
+            &rows,
+        )
     }
 
     /// One-line summary: throughputs, improvement, machines used.

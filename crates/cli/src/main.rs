@@ -73,25 +73,20 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_owned(), value.clone());
     }
     Ok(flags)
 }
 
 fn load_inputs(flags: &BTreeMap<String, String>) -> Result<(Topology, Cluster), String> {
-    let topology_path = flags
-        .get("topology")
-        .ok_or("--topology FILE is required")?;
+    let topology_path = flags.get("topology").ok_or("--topology FILE is required")?;
     let cluster_path = flags.get("cluster").ok_or("--cluster FILE is required")?;
     let topology_text = std::fs::read_to_string(topology_path)
         .map_err(|e| format!("reading {topology_path}: {e}"))?;
     let cluster_text = std::fs::read_to_string(cluster_path)
         .map_err(|e| format!("reading {cluster_path}: {e}"))?;
-    let topology =
-        parse_topology(&topology_text).map_err(|e| format!("{topology_path}: {e}"))?;
+    let topology = parse_topology(&topology_text).map_err(|e| format!("{topology_path}: {e}"))?;
     let cluster = parse_cluster(&cluster_text).map_err(|e| format!("{cluster_path}: {e}"))?;
     Ok((topology, cluster))
 }
@@ -115,7 +110,9 @@ fn sim_config(flags: &BTreeMap<String, String>) -> Result<SimConfig, String> {
         config = config.with_sim_time_ms(seconds * 1000.0);
     }
     if let Some(seed) = flags.get("seed") {
-        let seed: u64 = seed.parse().map_err(|_| format!("invalid --seed `{seed}`"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("invalid --seed `{seed}`"))?;
         config = config.with_seed(seed);
     }
     Ok(config)

@@ -97,7 +97,11 @@ mod tests {
             .homogeneous_racks(2, 2, ResourceCapacity::emulab_node(), 4)
             .build()
             .unwrap();
-        let names: Vec<_> = c.nodes().iter().map(|n| n.id().as_str().to_owned()).collect();
+        let names: Vec<_> = c
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
         assert_eq!(
             names,
             vec![
@@ -121,7 +125,10 @@ mod tests {
 
     #[test]
     fn empty_cluster_rejected() {
-        assert_eq!(ClusterBuilder::new().build().unwrap_err(), ClusterError::Empty);
+        assert_eq!(
+            ClusterBuilder::new().build().unwrap_err(),
+            ClusterError::Empty
+        );
     }
 
     #[test]

@@ -2,9 +2,11 @@
 
 use crate::error::ClusterError;
 use crate::ids::{NodeId, RackId, WorkerSlot};
+use crate::index::ClusterIndex;
 use crate::network::{NetworkCosts, PlacementRelation};
 use crate::node::{Node, ResourceCapacity};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// An immutable-topology cluster of worker nodes grouped into racks, with
 /// a network cost model and a liveness set (for failure injection).
@@ -13,26 +15,24 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    index: HashMap<NodeId, usize>,
+    positions: HashMap<NodeId, usize>,
     racks: Vec<RackId>,
     rack_members: HashMap<RackId, Vec<NodeId>>,
     costs: NetworkCosts,
     dead: HashSet<NodeId>,
+    index: Arc<ClusterIndex>,
 }
 
 impl Cluster {
-    pub(crate) fn from_parts(
-        nodes: Vec<Node>,
-        costs: NetworkCosts,
-    ) -> Result<Self, ClusterError> {
+    pub(crate) fn from_parts(nodes: Vec<Node>, costs: NetworkCosts) -> Result<Self, ClusterError> {
         if nodes.is_empty() {
             return Err(ClusterError::Empty);
         }
-        let mut index = HashMap::new();
+        let mut positions = HashMap::new();
         let mut racks = Vec::new();
         let mut rack_members: HashMap<RackId, Vec<NodeId>> = HashMap::new();
         for (i, n) in nodes.iter().enumerate() {
-            if index.insert(n.id().clone(), i).is_some() {
+            if positions.insert(n.id().clone(), i).is_some() {
                 return Err(ClusterError::DuplicateNode(n.id().clone()));
             }
             if !rack_members.contains_key(n.rack()) {
@@ -43,14 +43,34 @@ impl Cluster {
                 .or_default()
                 .push(n.id().clone());
         }
+        let rack_index_of_name: HashMap<&str, u32> = racks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.as_str(), i as u32))
+            .collect();
+        let index = Arc::new(ClusterIndex::build(&nodes, &rack_index_of_name, &costs));
         Ok(Self {
             nodes,
-            index,
+            positions,
             racks,
             rack_members,
             costs,
             dead: HashSet::new(),
+            index,
         })
+    }
+
+    /// The dense-index fast-path view of this cluster's immutable layout
+    /// (see [`ClusterIndex`]). Built once at construction.
+    pub fn index(&self) -> &ClusterIndex {
+        &self.index
+    }
+
+    /// The index as a shareable handle — schedulers hold this so state
+    /// keyed by dense indices can verify (via [`Arc::ptr_eq`]) that it
+    /// was built against the same cluster layout.
+    pub fn shared_index(&self) -> Arc<ClusterIndex> {
+        Arc::clone(&self.index)
     }
 
     /// All nodes, in declaration order (dead ones included).
@@ -60,12 +80,14 @@ impl Cluster {
 
     /// All currently alive nodes, in declaration order.
     pub fn alive_nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(move |n| !self.dead.contains(n.id()))
+        self.nodes
+            .iter()
+            .filter(move |n| !self.dead.contains(n.id()))
     }
 
     /// Looks up a node by id.
     pub fn node(&self, id: &str) -> Option<&Node> {
-        self.index.get(id).map(|&i| &self.nodes[i])
+        self.positions.get(id).map(|&i| &self.nodes[i])
     }
 
     /// Rack ids in first-seen order.
@@ -143,9 +165,10 @@ impl Cluster {
     /// Panics if either node is unknown.
     pub fn node_distance(&self, a: &str, b: &str) -> f64 {
         if a == b {
-            return self.costs.distance(PlacementRelation::SameNode).min(
-                self.costs.distance(PlacementRelation::SameWorker),
-            );
+            return self
+                .costs
+                .distance(PlacementRelation::SameNode)
+                .min(self.costs.distance(PlacementRelation::SameWorker));
         }
         let rack_a = self
             .rack_of(a)
@@ -160,10 +183,20 @@ impl Cluster {
         }
     }
 
+    /// Non-panicking variant of [`Cluster::node_distance`]: `None` if
+    /// either node id is unknown (including `a == b` for an id not in the
+    /// cluster). Dead nodes are part of the immutable layout and still
+    /// have a distance — liveness is the scheduler's concern.
+    pub fn try_node_distance(&self, a: &str, b: &str) -> Option<f64> {
+        let ia = self.index.node_index(a)?;
+        let ib = self.index.node_index(b)?;
+        Some(self.index.distance(ia, ib))
+    }
+
     /// Marks a node dead (failure injection). Returns true if the node was
     /// alive. Scheduling and simulation skip dead nodes.
     pub fn kill_node(&mut self, id: &str) -> bool {
-        if self.index.contains_key(id) {
+        if self.positions.contains_key(id) {
             self.dead.insert(NodeId::new(id))
         } else {
             false
@@ -177,7 +210,7 @@ impl Cluster {
 
     /// Returns true if the node exists and is alive.
     pub fn is_alive(&self, id: &str) -> bool {
-        self.index.contains_key(id) && !self.dead.contains(id)
+        self.positions.contains_key(id) && !self.dead.contains(id)
     }
 }
 
@@ -261,5 +294,31 @@ mod tests {
     fn rack_capacity_of_unknown_rack_is_zero() {
         let c = two_racks();
         assert_eq!(c.rack_capacity("rack-9").cpu_points, 0.0);
+    }
+
+    #[test]
+    fn try_node_distance_handles_unknown_and_dead_nodes() {
+        let mut c = two_racks();
+        // Known pairs agree bit-for-bit with the panicking path.
+        assert_eq!(
+            c.try_node_distance("rack-0-node-0", "rack-1-node-0"),
+            Some(c.node_distance("rack-0-node-0", "rack-1-node-0"))
+        );
+        assert_eq!(
+            c.try_node_distance("rack-0-node-0", "rack-0-node-0"),
+            Some(c.node_distance("rack-0-node-0", "rack-0-node-0"))
+        );
+        // Unknown ids yield None instead of panicking — even when a == b,
+        // where the panicking path would have returned the same-node
+        // distance without checking existence.
+        assert_eq!(c.try_node_distance("ghost", "rack-0-node-0"), None);
+        assert_eq!(c.try_node_distance("rack-0-node-0", "ghost"), None);
+        assert_eq!(c.try_node_distance("ghost", "ghost"), None);
+        // Dead nodes keep their place in the layout: distance still known.
+        assert!(c.kill_node("rack-0-node-1"));
+        assert_eq!(
+            c.try_node_distance("rack-0-node-0", "rack-0-node-1"),
+            Some(c.costs().distance(PlacementRelation::SameRack))
+        );
     }
 }

@@ -304,10 +304,9 @@ supervisor.cpu.capacity: 100.0
 
     #[test]
     fn later_duplicates_override() {
-        let c = StormConfig::parse(
-            "supervisor.cpu.capacity: 100.0\nsupervisor.cpu.capacity: 400.0\n",
-        )
-        .unwrap();
+        let c =
+            StormConfig::parse("supervisor.cpu.capacity: 100.0\nsupervisor.cpu.capacity: 400.0\n")
+                .unwrap();
         assert_eq!(c.get_f64(KEY_CPU_CAPACITY), Some(400.0));
     }
 

@@ -38,6 +38,7 @@ mod cluster;
 pub mod config;
 mod error;
 mod ids;
+mod index;
 mod network;
 mod node;
 
@@ -45,5 +46,6 @@ pub use builder::ClusterBuilder;
 pub use cluster::Cluster;
 pub use error::ClusterError;
 pub use ids::{NodeId, RackId, WorkerSlot};
+pub use index::{ClusterIndex, RackRange};
 pub use network::{NetworkCosts, PlacementRelation};
 pub use node::{Node, ResourceCapacity};

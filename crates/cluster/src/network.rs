@@ -133,9 +133,9 @@ impl NetworkCosts {
         let mbps = match relation {
             PlacementRelation::SameWorker | PlacementRelation::SameNode => return 0.0,
             PlacementRelation::SameRack => self.node_bandwidth_mbps,
-            PlacementRelation::InterRack => self
-                .node_bandwidth_mbps
-                .min(self.inter_rack_bandwidth_mbps),
+            PlacementRelation::InterRack => {
+                self.node_bandwidth_mbps.min(self.inter_rack_bandwidth_mbps)
+            }
         };
         // bytes -> megabits, divided by Mbps gives seconds; ×1000 → ms.
         (f64::from(bytes) * 8.0 / 1_000_000.0) / mbps * 1000.0

@@ -193,8 +193,8 @@ mod tests {
 
     #[test]
     fn capacity_addition() {
-        let total = ResourceCapacity::emulab_node()
-            .saturating_add(&ResourceCapacity::emulab_node());
+        let total =
+            ResourceCapacity::emulab_node().saturating_add(&ResourceCapacity::emulab_node());
         assert_eq!(total.cpu_points, 200.0);
         assert_eq!(total.memory_mb, 4096.0);
     }

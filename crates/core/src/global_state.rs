@@ -7,11 +7,29 @@
 //! resource demand information of all tasks." Storm's Nimbus is stateless
 //! between scheduler invocations, so this state is owned by the embedding
 //! application and passed to every [`crate::Scheduler::schedule`] call.
+//!
+//! ## Representation
+//!
+//! Remaining resources live in a dense `Vec` keyed by the cluster's
+//! [`ClusterIndex`] node indices (sorted-id order), with a parallel
+//! liveness vector. The string-keyed API (`remaining`, `iter_remaining`,
+//! `reserve`, ...) is preserved on top and behaves exactly like the
+//! previous `BTreeMap` representation: iteration is in node-id order and
+//! dead nodes are invisible.
+//!
+//! Per-rack aggregates (abundance sum, max remaining memory, alive count)
+//! are maintained on every mutation so the R-Storm node-selection fast
+//! path can pick reference racks and skip memory-infeasible racks without
+//! re-scanning every node. Aggregates are *recomputed* over the affected
+//! rack in node declaration order — never incrementally adjusted — so
+//! they stay bit-identical to a from-scratch scan (incremental float
+//! add/subtract would drift).
 
 use crate::assignment::{Assignment, SchedulingPlan};
-use rstorm_cluster::{Cluster, NodeId, WorkerSlot};
+use rstorm_cluster::{Cluster, ClusterIndex, NodeId, WorkerSlot};
 use rstorm_topology::{ResourceRequest, TopologyId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A node's remaining (unreserved) resources.
 ///
@@ -50,10 +68,76 @@ impl RemainingResources {
     }
 }
 
+/// A reversible record of the mutations one scheduling attempt made to a
+/// [`GlobalState`], so a failed attempt can be rejected in O(tasks placed)
+/// instead of cloning the whole state up front (O(cluster) per call).
+///
+/// Entries store the exact previous values and are replayed in reverse by
+/// [`GlobalState::rollback`], restoring the state bit-for-bit — inverse
+/// arithmetic (`(x - a) + a`) would not, in floating point.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+}
+
+impl UndoLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded mutations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Debug)]
+enum UndoEntry {
+    /// A node's remaining resources were overwritten.
+    Remaining {
+        index: u32,
+        prev: RemainingResources,
+    },
+    /// A per-topology reserved total was created or grown.
+    ReservedTotal {
+        topology: TopologyId,
+        node: NodeId,
+        prev: Option<ResourceRequest>,
+        topology_was_present: bool,
+    },
+    /// A (topology, node) → port mapping was inserted (never overwritten).
+    TopologySlot { topology: TopologyId, node: NodeId },
+    /// A slot's occupancy count was bumped.
+    SlotOccupancy {
+        slot: WorkerSlot,
+        prev: Option<usize>,
+    },
+}
+
 /// Cluster-wide scheduling state shared across scheduler invocations.
 #[derive(Debug, Clone)]
 pub struct GlobalState {
-    remaining: BTreeMap<NodeId, RemainingResources>,
+    /// The immutable layout this state's dense vectors are keyed by.
+    index: Arc<ClusterIndex>,
+    /// Remaining resources by dense node index (meaningful iff alive).
+    dense: Vec<RemainingResources>,
+    /// Liveness by dense node index. Nodes dead at snapshot time or
+    /// failed via [`GlobalState::handle_node_failure`] are invisible to
+    /// the string API, exactly as if they had been removed from a map.
+    alive: Vec<bool>,
+    /// Per-rack abundance sum over alive members, declaration order.
+    rack_abundance: Vec<f64>,
+    /// Per-rack max remaining memory over alive members
+    /// (`NEG_INFINITY` when the rack has no alive member).
+    rack_max_mem: Vec<f64>,
+    /// Per-rack alive-member count.
+    rack_alive: Vec<u32>,
     plan: SchedulingPlan,
     /// Per-topology, per-node reserved totals, for release on unschedule.
     reserved: HashMap<TopologyId, BTreeMap<NodeId, ResourceRequest>>,
@@ -67,36 +151,118 @@ impl GlobalState {
     /// Snapshots the remaining resources of every *alive* node of
     /// `cluster`, with no topologies scheduled.
     pub fn new(cluster: &Cluster) -> Self {
-        let remaining = cluster
-            .alive_nodes()
-            .map(|n| {
-                (
-                    n.id().clone(),
-                    RemainingResources {
-                        cpu_points: n.capacity().cpu_points,
-                        memory_mb: n.capacity().memory_mb,
-                        bandwidth: n.capacity().bandwidth,
-                    },
-                )
-            })
-            .collect();
-        Self {
-            remaining,
+        let index = cluster.shared_index();
+        let n = index.len();
+        let mut dense = Vec::with_capacity(n);
+        let mut alive = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let cap = index.capacity(i);
+            dense.push(RemainingResources {
+                cpu_points: cap.cpu_points,
+                memory_mb: cap.memory_mb,
+                bandwidth: cap.bandwidth,
+            });
+            alive.push(cluster.is_alive(index.node_id(i).as_str()));
+        }
+        let racks = index.rack_count();
+        let mut state = Self {
+            index,
+            dense,
+            alive,
+            rack_abundance: vec![0.0; racks],
+            rack_max_mem: vec![f64::NEG_INFINITY; racks],
+            rack_alive: vec![0; racks],
             plan: SchedulingPlan::new(),
             reserved: HashMap::new(),
             topology_slots: HashMap::new(),
             slot_occupancy: BTreeMap::new(),
+        };
+        for rack in 0..racks as u32 {
+            state.recompute_rack(rack);
         }
+        state
+    }
+
+    /// Recomputes one rack's aggregates from scratch, scanning alive
+    /// members in declaration order (bit-identical to the scan the
+    /// pre-index `find_ref_node` performed per call).
+    fn recompute_rack(&mut self, rack: u32) {
+        let index = Arc::clone(&self.index);
+        let (max_cpu, max_mem) = (index.max_cpu_points(), index.max_memory_mb());
+        let mut abundance = 0.0;
+        let mut best_mem = f64::NEG_INFINITY;
+        let mut alive_count = 0u32;
+        for &i in index.rack_members(rack) {
+            if !self.alive[i as usize] {
+                continue;
+            }
+            let r = &self.dense[i as usize];
+            abundance += r.abundance(max_cpu, max_mem);
+            if r.memory_mb > best_mem {
+                best_mem = r.memory_mb;
+            }
+            alive_count += 1;
+        }
+        self.rack_abundance[rack as usize] = abundance;
+        self.rack_max_mem[rack as usize] = best_mem;
+        self.rack_alive[rack as usize] = alive_count;
+    }
+
+    /// The cluster layout index this state is keyed by. Fast paths that
+    /// consume the dense accessors must verify (via [`Arc::ptr_eq`]) that
+    /// this is the same index as the cluster they were built against.
+    pub fn cluster_index(&self) -> &Arc<ClusterIndex> {
+        &self.index
+    }
+
+    /// Remaining resources by dense node index; entries of dead nodes are
+    /// stale and must be masked with [`GlobalState::alive_dense`].
+    pub fn remaining_dense(&self) -> &[RemainingResources] {
+        &self.dense
+    }
+
+    /// Liveness by dense node index.
+    pub fn alive_dense(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Per-rack abundance sums over alive members (see
+    /// [`RemainingResources::abundance`], normalized by the index's
+    /// capacity maxima).
+    pub fn rack_abundances(&self) -> &[f64] {
+        &self.rack_abundance
+    }
+
+    /// Per-rack max remaining memory over alive members
+    /// (`NEG_INFINITY` for racks with no alive member).
+    pub fn rack_max_memories(&self) -> &[f64] {
+        &self.rack_max_mem
+    }
+
+    /// Per-rack alive-member counts.
+    pub fn rack_alive_counts(&self) -> &[u32] {
+        &self.rack_alive
     }
 
     /// Remaining resources of a node ([`None`] for unknown/dead nodes).
     pub fn remaining(&self, node: &str) -> Option<&RemainingResources> {
-        self.remaining.get(node)
+        let i = self.index.node_index(node)?;
+        if self.alive[i as usize] {
+            Some(&self.dense[i as usize])
+        } else {
+            None
+        }
     }
 
     /// Iterates `(node, remaining)` in node-id order.
     pub fn iter_remaining(&self) -> impl Iterator<Item = (&NodeId, &RemainingResources)> {
-        self.remaining.iter()
+        self.index
+            .node_ids()
+            .iter()
+            .zip(&self.dense)
+            .zip(&self.alive)
+            .filter(|&(_, &alive)| alive)
+            .map(|((id, r), _)| (id, r))
     }
 
     /// Reserves `request` on `node` for `topology`. Soft dimensions may go
@@ -108,17 +274,48 @@ impl GlobalState {
     ///
     /// Panics if `node` is unknown.
     pub fn reserve(&mut self, topology: &TopologyId, node: &NodeId, request: &ResourceRequest) {
-        let remaining = self
-            .remaining
-            .get_mut(node)
+        let mut scratch = UndoLog::new();
+        self.reserve_logged(topology, node, request, &mut scratch);
+    }
+
+    /// [`GlobalState::reserve`], recording the mutation in `log` so it can
+    /// be reverted bit-exactly by [`GlobalState::rollback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn reserve_logged(
+        &mut self,
+        topology: &TopologyId,
+        node: &NodeId,
+        request: &ResourceRequest,
+        log: &mut UndoLog,
+    ) {
+        let i = self
+            .index
+            .node_index(node.as_str())
+            .filter(|&i| self.alive[i as usize])
             .unwrap_or_else(|| panic!("reserve on unknown node `{node}`"));
-        remaining.subtract(request);
-        self.reserved
-            .entry(topology.clone())
-            .or_default()
+        log.entries.push(UndoEntry::Remaining {
+            index: i,
+            prev: self.dense[i as usize],
+        });
+        self.dense[i as usize].subtract(request);
+        let topology_was_present = self.reserved.contains_key(topology);
+        let per_node = self.reserved.entry(topology.clone()).or_default();
+        let prev = per_node.get(node).cloned();
+        per_node
             .entry(node.clone())
             .or_insert_with(ResourceRequest::zero)
             .add_assign(request);
+        log.entries.push(UndoEntry::ReservedTotal {
+            topology: topology.clone(),
+            node: node.clone(),
+            prev,
+            topology_was_present,
+        });
+        let rack = self.index.rack_of(i);
+        self.recompute_rack(rack);
     }
 
     /// The worker slot tasks of `topology` use on `node`.
@@ -137,6 +334,23 @@ impl GlobalState {
         topology: &TopologyId,
         node: &NodeId,
     ) -> WorkerSlot {
+        let mut scratch = UndoLog::new();
+        self.slot_for_logged(cluster, topology, node, &mut scratch)
+    }
+
+    /// [`GlobalState::slot_for`], recording any new slot bookkeeping in
+    /// `log` so it can be reverted by [`GlobalState::rollback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of `cluster`.
+    pub fn slot_for_logged(
+        &mut self,
+        cluster: &Cluster,
+        topology: &TopologyId,
+        node: &NodeId,
+        log: &mut UndoLog,
+    ) -> WorkerSlot {
         if let Some(&port) = self.topology_slots.get(&(topology.clone(), node.clone())) {
             return WorkerSlot::new(node.clone(), port);
         }
@@ -150,10 +364,71 @@ impl GlobalState {
             .min_by_key(|s| self.slot_occupancy.get(*s).copied().unwrap_or(0))
             .expect("nodes always have at least one slot")
             .clone();
+        let prev = self.slot_occupancy.get(&slot).copied();
         *self.slot_occupancy.entry(slot.clone()).or_insert(0) += 1;
         self.topology_slots
             .insert((topology.clone(), node.clone()), slot.port);
+        log.entries.push(UndoEntry::SlotOccupancy {
+            slot: slot.clone(),
+            prev,
+        });
+        log.entries.push(UndoEntry::TopologySlot {
+            topology: topology.clone(),
+            node: node.clone(),
+        });
         slot
+    }
+
+    /// Reverts every mutation recorded in `log`, newest first, restoring
+    /// the state bit-for-bit to what it was when the log was empty.
+    pub fn rollback(&mut self, log: UndoLog) {
+        let index = Arc::clone(&self.index);
+        let mut touched_racks: Vec<u32> = Vec::new();
+        for entry in log.entries.into_iter().rev() {
+            match entry {
+                UndoEntry::Remaining { index: i, prev } => {
+                    self.dense[i as usize] = prev;
+                    let rack = index.rack_of(i);
+                    if !touched_racks.contains(&rack) {
+                        touched_racks.push(rack);
+                    }
+                }
+                UndoEntry::ReservedTotal {
+                    topology,
+                    node,
+                    prev,
+                    topology_was_present,
+                } => {
+                    if let Some(per_node) = self.reserved.get_mut(&topology) {
+                        match prev {
+                            Some(total) => {
+                                per_node.insert(node, total);
+                            }
+                            None => {
+                                per_node.remove(&node);
+                            }
+                        }
+                    }
+                    if !topology_was_present {
+                        self.reserved.remove(&topology);
+                    }
+                }
+                UndoEntry::TopologySlot { topology, node } => {
+                    self.topology_slots.remove(&(topology, node));
+                }
+                UndoEntry::SlotOccupancy { slot, prev } => match prev {
+                    Some(count) => {
+                        self.slot_occupancy.insert(slot, count);
+                    }
+                    None => {
+                        self.slot_occupancy.remove(&slot);
+                    }
+                },
+            }
+        }
+        for rack in touched_racks {
+            self.recompute_rack(rack);
+        }
     }
 
     /// Increments a slot's occupancy count. Used by schedulers that pick
@@ -187,12 +462,23 @@ impl GlobalState {
     /// Releases everything reserved by `topology` and removes its
     /// assignment, returning it (used before rescheduling).
     pub fn release_topology(&mut self, topology: &str) -> Option<Assignment> {
+        let index = Arc::clone(&self.index);
+        let mut touched_racks: Vec<u32> = Vec::new();
         if let Some(per_node) = self.reserved.remove(topology) {
             for (node, total) in per_node {
-                if let Some(rem) = self.remaining.get_mut(&node) {
-                    rem.add(&total);
+                if let Some(i) = index.node_index(node.as_str()) {
+                    if self.alive[i as usize] {
+                        self.dense[i as usize].add(&total);
+                        let rack = index.rack_of(i);
+                        if !touched_racks.contains(&rack) {
+                            touched_racks.push(rack);
+                        }
+                    }
                 }
             }
+        }
+        for rack in touched_racks {
+            self.recompute_rack(rack);
         }
         let keys: Vec<(TopologyId, NodeId)> = self
             .topology_slots
@@ -217,7 +503,13 @@ impl GlobalState {
     /// rescheduling: "if executors are not rescheduled quickly, whole
     /// topologies may be stalled" (§3).
     pub fn handle_node_failure(&mut self, node: &str) -> Vec<TopologyId> {
-        self.remaining.remove(node);
+        if let Some(i) = self.index.node_index(node) {
+            if self.alive[i as usize] {
+                self.alive[i as usize] = false;
+                let rack = self.index.rack_of(i);
+                self.recompute_rack(rack);
+            }
+        }
         self.plan
             .topologies_on_node(node)
             .into_iter()
@@ -345,5 +637,112 @@ mod tests {
             &NodeId::new("ghost"),
             &ResourceRequest::zero(),
         );
+    }
+
+    /// Captures every observable bit of a state for exact comparisons.
+    fn fingerprint(s: &GlobalState) -> Vec<(String, [u64; 3])> {
+        s.iter_remaining()
+            .map(|(n, r)| {
+                (
+                    n.as_str().to_owned(),
+                    [
+                        r.cpu_points.to_bits(),
+                        r.memory_mb.to_bits(),
+                        r.bandwidth.to_bits(),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rollback_restores_bit_identical_state() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t0 = TopologyId::new("t0");
+        let n0 = NodeId::new("rack-0-node-0");
+        // Pre-existing reservations so the log must restore non-trivial
+        // previous values, not just remove entries.
+        s.reserve(&t0, &n0, &ResourceRequest::new(33.3, 123.4, 0.7));
+        s.slot_for(&c, &t0, &n0);
+        let before = format!("{s:?}");
+        let before_fp = fingerprint(&s);
+
+        let t1 = TopologyId::new("t1");
+        let n1 = NodeId::new("rack-0-node-1");
+        let mut log = UndoLog::new();
+        s.reserve_logged(&t1, &n0, &ResourceRequest::new(10.1, 20.2, 30.3), &mut log);
+        s.reserve_logged(&t1, &n1, &ResourceRequest::new(1.0, 2.0, 3.0), &mut log);
+        s.reserve_logged(&t0, &n0, &ResourceRequest::new(5.5, 6.6, 7.7), &mut log);
+        s.slot_for_logged(&c, &t1, &n0, &mut log);
+        s.slot_for_logged(&c, &t1, &n1, &mut log);
+        assert!(!log.is_empty());
+        assert_ne!(fingerprint(&s), before_fp, "mutations took effect");
+
+        s.rollback(log);
+        assert_eq!(fingerprint(&s), before_fp, "bits restored exactly");
+        assert_eq!(format!("{s:?}"), before, "all bookkeeping restored");
+    }
+
+    #[test]
+    fn rack_aggregates_track_mutations() {
+        let c = ClusterBuilder::new()
+            .homogeneous_racks(2, 2, ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap();
+        let mut s = GlobalState::new(&c);
+        let idx = c.index();
+        assert_eq!(s.rack_alive_counts(), &[2, 2]);
+        assert_eq!(s.rack_max_memories(), &[2048.0, 2048.0]);
+        let expected: f64 = (0..2)
+            .map(|i| s.remaining_dense()[i].abundance(idx.max_cpu_points(), idx.max_memory_mb()))
+            .sum();
+        assert_eq!(s.rack_abundances()[0].to_bits(), expected.to_bits());
+
+        let t = TopologyId::new("t");
+        s.reserve(
+            &t,
+            &NodeId::new("rack-0-node-0"),
+            &ResourceRequest::new(50.0, 1500.0, 0.0),
+        );
+        assert_eq!(s.rack_max_memories()[0], 2048.0, "node-1 untouched");
+        s.reserve(
+            &t,
+            &NodeId::new("rack-0-node-1"),
+            &ResourceRequest::new(0.0, 1000.0, 0.0),
+        );
+        assert_eq!(s.rack_max_memories()[0], 1048.0);
+        assert_eq!(s.rack_max_memories()[1], 2048.0, "other rack untouched");
+
+        s.handle_node_failure("rack-0-node-1");
+        assert_eq!(s.rack_alive_counts()[0], 1);
+        assert_eq!(s.rack_max_memories()[0], 548.0);
+        s.handle_node_failure("rack-0-node-0");
+        assert_eq!(s.rack_alive_counts()[0], 0);
+        assert_eq!(s.rack_max_memories()[0], f64::NEG_INFINITY);
+        assert_eq!(s.rack_abundances()[0], 0.0);
+    }
+
+    #[test]
+    fn dense_view_matches_string_api() {
+        let mut c = ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap();
+        c.kill_node("rack-1-node-1");
+        let s = GlobalState::new(&c);
+        let idx = s.cluster_index();
+        assert!(Arc::ptr_eq(idx, &c.shared_index()));
+        for i in 0..idx.len() as u32 {
+            let id = idx.node_id(i).as_str();
+            match s.remaining(id) {
+                Some(r) => {
+                    assert!(s.alive_dense()[i as usize]);
+                    assert_eq!(r, &s.remaining_dense()[i as usize]);
+                }
+                None => assert!(!s.alive_dense()[i as usize]),
+            }
+        }
+        assert_eq!(s.iter_remaining().count(), 5);
     }
 }

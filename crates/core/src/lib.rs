@@ -55,14 +55,14 @@ mod global_state;
 pub mod ndim;
 mod resource;
 pub mod rstorm;
-pub mod schedulers;
 mod scheduler;
+pub mod schedulers;
 mod verify;
 
 pub use assignment::{Assignment, SchedulingPlan};
 pub use error::ScheduleError;
-pub use global_state::{GlobalState, RemainingResources};
+pub use global_state::{GlobalState, RemainingResources, UndoLog};
 pub use resource::{weighted_euclidean, NormalizationContext, SoftConstraintWeights};
-pub use rstorm::{RStormConfig, RStormScheduler};
+pub use rstorm::{RStormConfig, RStormScheduler, ReferenceRStormScheduler};
 pub use scheduler::{schedule_all, Scheduler};
 pub use verify::{verify_plan, Violation};

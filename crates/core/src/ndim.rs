@@ -229,8 +229,8 @@ impl ResourceVector {
         &self.values
     }
 
-    /// Component-wise subtraction saturating soft semantics are the
-    /// caller's concern; this is plain vector arithmetic.
+    /// Component-wise subtraction. Saturating/soft-constraint semantics
+    /// are the caller's concern; this is plain vector arithmetic.
     pub fn minus(&self, other: &ResourceVector) -> ResourceVector {
         assert_eq!(self.values.len(), other.values.len(), "dimension mismatch");
         ResourceVector {
@@ -311,11 +311,23 @@ mod tests {
         let demand = s.vector(vec![1024.0, 4096.0, 200.0, 1000.0]);
         let nodes = vec![
             // Violates hard GPU memory: never eligible.
-            ("no-gpu".to_owned(), s.vector(vec![8192.0, 2048.0, 400.0, 9000.0]), 0.0),
+            (
+                "no-gpu".to_owned(),
+                s.vector(vec![8192.0, 2048.0, 400.0, 9000.0]),
+                0.0,
+            ),
             // Satisfies everything but is far away.
-            ("far".to_owned(), s.vector(vec![2048.0, 8192.0, 400.0, 5000.0]), 5.0),
+            (
+                "far".to_owned(),
+                s.vector(vec![2048.0, 8192.0, 400.0, 5000.0]),
+                5.0,
+            ),
             // Soft CPU shortfall, but perfectly close.
-            ("tight".to_owned(), s.vector(vec![2048.0, 8192.0, 100.0, 5000.0]), 0.0),
+            (
+                "tight".to_owned(),
+                s.vector(vec![2048.0, 8192.0, 100.0, 5000.0]),
+                0.0,
+            ),
         ];
         // First pass prefers the soft-satisfying node despite distance.
         assert_eq!(s.select_node(&demand, &nodes, 1.0), Some("far"));

@@ -215,7 +215,12 @@ mod tests {
     #[test]
     fn normalization_context_from_cluster() {
         let cluster = ClusterBuilder::new()
-            .add_node("small", "r0", ResourceCapacity::new(100.0, 2048.0, 100.0), 1)
+            .add_node(
+                "small",
+                "r0",
+                ResourceCapacity::new(100.0, 2048.0, 100.0),
+                1,
+            )
             .add_node("big", "r1", ResourceCapacity::new(400.0, 16384.0, 100.0), 1)
             .build()
             .unwrap();

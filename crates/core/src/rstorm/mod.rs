@@ -11,14 +11,20 @@
 //!
 //! The assignment is committed atomically: a topology that cannot be fully
 //! placed leaves the [`GlobalState`] untouched and yields a
-//! [`ScheduleError`].
+//! [`ScheduleError`]. [`RStormScheduler`] achieves this with an undo log —
+//! mutations are applied to the live state and reverted bit-exactly on
+//! failure, costing O(tasks placed) on rejection instead of the
+//! O(cluster) clone-per-call the scratch-copy approach paid up front.
+//! [`ReferenceRStormScheduler`] keeps the scratch-copy approach (and the
+//! scan-based node selection) as the executable specification the fast
+//! implementation is tested against.
 
 pub mod node_selection;
 pub mod task_selection;
 
 use crate::assignment::Assignment;
 use crate::error::ScheduleError;
-use crate::global_state::GlobalState;
+use crate::global_state::{GlobalState, UndoLog};
 use crate::resource::SoftConstraintWeights;
 use crate::scheduler::Scheduler;
 use node_selection::NodeSelector;
@@ -83,10 +89,87 @@ impl Scheduler for RStormScheduler {
         let task_set = topology.task_set();
         let ordering = task_selection::task_ordering(topology, &task_set, self.config.traversal);
 
+        // Mutate the live state, journaling every change so a failed
+        // scheduling can be rolled back bit-exactly (atomic commit,
+        // §4.1) in O(tasks placed) — no up-front clone of the state.
+        let mut log = UndoLog::new();
+        let mut selector = NodeSelector::new(cluster, &self.config.weights);
+        let mut slots = BTreeMap::new();
+
+        for task_id in ordering {
+            let request = *task_set
+                .resources(task_id)
+                .expect("ordering only contains tasks of this task set");
+            let node = match selector.select(state, &request) {
+                Ok(node) => node,
+                Err(best_available_mb) => {
+                    state.rollback(log);
+                    return Err(ScheduleError::InsufficientMemory {
+                        topology: topology.id().clone(),
+                        task: task_id,
+                        needed_mb: request.memory_mb,
+                        best_available_mb,
+                    });
+                }
+            };
+            state.reserve_logged(topology.id(), &node, &request, &mut log);
+            let slot = state.slot_for_logged(cluster, topology.id(), &node, &mut log);
+            slots.insert(task_id, slot);
+        }
+
+        let assignment = Assignment::new(topology.id().clone(), slots);
+        state.commit(assignment.clone());
+        Ok(assignment)
+    }
+}
+
+/// The pre-index R-Storm implementation, kept as an executable
+/// specification: node selection scans the string-keyed state API and
+/// atomicity comes from cloning the whole state up front. Produces
+/// byte-identical assignments to [`RStormScheduler`] (enforced by the
+/// parity property test) at O(cluster) higher cost per call.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceRStormScheduler {
+    config: RStormConfig,
+}
+
+impl ReferenceRStormScheduler {
+    /// Creates a reference scheduler with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a reference scheduler with an explicit configuration.
+    pub fn with_config(config: RStormConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Scheduler for ReferenceRStormScheduler {
+    fn name(&self) -> &str {
+        "rstorm-reference"
+    }
+
+    fn schedule(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+    ) -> Result<Assignment, ScheduleError> {
+        if state.is_scheduled(topology.id().as_str()) {
+            return Err(ScheduleError::AlreadyScheduled(topology.id().clone()));
+        }
+        if state.iter_remaining().next().is_none() {
+            return Err(ScheduleError::NoAliveNodes);
+        }
+
+        let task_set = topology.task_set();
+        let ordering = task_selection::task_ordering(topology, &task_set, self.config.traversal);
+
         // Work on a scratch copy so a failed scheduling leaves `state`
         // untouched (atomic commit, §4.1).
         let mut scratch = state.clone();
-        let mut selector = NodeSelector::new(cluster, &self.config.weights);
+        let mut selector = NodeSelector::new_scan_only(cluster, &self.config.weights);
         let mut slots = BTreeMap::new();
 
         for task_id in ordering {
@@ -163,10 +246,7 @@ mod tests {
             .schedule(&t, &cluster, &mut state)
             .unwrap();
         let used = a.used_nodes().len();
-        assert!(
-            used <= 5,
-            "expected tight packing, used {used} of 12 nodes"
-        );
+        assert!(used <= 5, "expected tight packing, used {used} of 12 nodes");
         // And everything stays within one rack when it fits there.
         let racks: std::collections::BTreeSet<_> = a
             .used_nodes()
@@ -272,13 +352,59 @@ mod tests {
     }
 
     #[test]
+    fn reference_scheduler_matches_fast_scheduler() {
+        // Same inputs through the undo-log/indexed scheduler and the
+        // clone/scan reference must give identical assignments and
+        // identical remaining resources, including across successive
+        // topologies and an infeasible rejection in the middle.
+        let pipeline = |name: &str, cpu: f64, mem: f64| {
+            let mut b = TopologyBuilder::new(name);
+            b.set_spout("c0", 4).set_cpu_load(cpu).set_memory_load(mem);
+            b.set_bolt("c1", 4)
+                .shuffle_grouping("c0")
+                .set_cpu_load(cpu)
+                .set_memory_load(mem);
+            b.build().unwrap()
+        };
+        let cluster = emulab(2, 6);
+        let feasible = [pipeline("t0", 20.0, 128.0), pipeline("t1", 40.0, 500.0)];
+        let infeasible = linear(2, 10.0, 4096.0);
+
+        let fast = RStormScheduler::new();
+        let reference = ReferenceRStormScheduler::new();
+        let mut fast_state = GlobalState::new(&cluster);
+        let mut ref_state = GlobalState::new(&cluster);
+
+        for t in &feasible {
+            let a = fast.schedule(t, &cluster, &mut fast_state).unwrap();
+            let b = reference.schedule(t, &cluster, &mut ref_state).unwrap();
+            assert_eq!(a, b);
+        }
+        let ea = fast
+            .schedule(&infeasible, &cluster, &mut fast_state)
+            .unwrap_err();
+        let eb = reference
+            .schedule(&infeasible, &cluster, &mut ref_state)
+            .unwrap_err();
+        assert_eq!(ea, eb);
+        for ((n1, r1), (n2, r2)) in fast_state.iter_remaining().zip(ref_state.iter_remaining()) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.memory_mb.to_bits(), r2.memory_mb.to_bits());
+            assert_eq!(r1.cpu_points.to_bits(), r2.cpu_points.to_bits());
+            assert_eq!(r1.bandwidth.to_bits(), r2.bandwidth.to_bits());
+        }
+    }
+
+    #[test]
     fn second_topology_lands_on_fresh_nodes_when_possible() {
         // Two CPU-hungry topologies, each filling one rack: the second
         // should anchor in the other rack because the first one's rack
         // has fewer remaining resources.
         let hog = |name: &str| {
             let mut b = TopologyBuilder::new(name);
-            b.set_spout("s", 3).set_cpu_load(90.0).set_memory_load(256.0);
+            b.set_spout("s", 3)
+                .set_cpu_load(90.0)
+                .set_memory_load(256.0);
             b.set_bolt("b", 3)
                 .shuffle_grouping("s")
                 .set_cpu_load(90.0)

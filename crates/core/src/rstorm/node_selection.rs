@@ -9,19 +9,39 @@
 //! patched as tightly on or closely around the Ref Node as resource
 //! constraints allow" (§4.2). Nodes whose remaining memory cannot hold the
 //! task are excluded (the hard constraint `H_θ > H_τ`).
+//!
+//! ## Two implementations, one answer
+//!
+//! Selection has an **indexed** fast path and a **scan** reference path.
+//! The fast path works on [`GlobalState`]'s dense vectors keyed by the
+//! cluster's [`ClusterIndex`]: reference racks come from maintained
+//! per-rack aggregates instead of a full-cluster rescan, the three
+//! possible network terms are computed once per call instead of once per
+//! candidate, whole racks failing the hard memory constraint are skipped,
+//! and no strings are hashed or compared anywhere in the loop. The scan
+//! path is the direct transcription of Algorithm 4 over the string API.
+//! Both paths are required to produce **byte-identical** results — same
+//! floating-point operations in the same order, same id-order tie
+//! breaking — which `tests/properties.rs` enforces on randomized inputs.
+//! The fast path engages only when the state was built from this
+//! cluster's index (checked via [`Arc::ptr_eq`]); otherwise selection
+//! silently falls back to the scan.
 
 use crate::global_state::GlobalState;
 use crate::resource::{weighted_euclidean, NormalizationContext, SoftConstraintWeights};
-use rstorm_cluster::{Cluster, NodeId};
+use rstorm_cluster::{Cluster, ClusterIndex, NodeId};
 use rstorm_topology::ResourceRequest;
+use std::sync::Arc;
 
 /// Stateful node selector for scheduling one topology.
 #[derive(Debug)]
 pub struct NodeSelector<'a> {
     cluster: &'a Cluster,
+    index: Arc<ClusterIndex>,
     weights: &'a SoftConstraintWeights,
     norm: NormalizationContext,
     ref_node: Option<NodeId>,
+    force_scan: bool,
 }
 
 impl<'a> NodeSelector<'a> {
@@ -29,9 +49,21 @@ impl<'a> NodeSelector<'a> {
     pub fn new(cluster: &'a Cluster, weights: &'a SoftConstraintWeights) -> Self {
         Self {
             cluster,
+            index: cluster.shared_index(),
             weights,
             norm: NormalizationContext::for_cluster(cluster),
             ref_node: None,
+            force_scan: false,
+        }
+    }
+
+    /// Creates a selector pinned to the scan (reference) path, bypassing
+    /// the indexed fast path even when it would apply. Exists so parity
+    /// tests and benchmarks can compare the two implementations.
+    pub fn new_scan_only(cluster: &'a Cluster, weights: &'a SoftConstraintWeights) -> Self {
+        Self {
+            force_scan: true,
+            ..Self::new(cluster, weights)
         }
     }
 
@@ -55,14 +87,134 @@ impl<'a> NodeSelector<'a> {
         state: &GlobalState,
         request: &ResourceRequest,
     ) -> Result<NodeId, f64> {
+        // The dense vectors are only meaningful if the state was built
+        // from this cluster's own index; the normalization maxima then
+        // agree with the index's by construction.
+        let fast = !self.force_scan && Arc::ptr_eq(state.cluster_index(), &self.index);
         if self.ref_node.is_none() {
-            self.ref_node = self.find_ref_node(state);
+            self.ref_node = if fast {
+                self.find_ref_node_indexed(state)
+            } else {
+                self.find_ref_node_scan(state)
+            };
         }
         let ref_node = match &self.ref_node {
             Some(n) => n.clone(),
             None => return Err(0.0),
         };
+        if fast {
+            self.select_indexed(state, request, &ref_node)
+        } else {
+            self.select_scan(state, request, &ref_node)
+        }
+    }
 
+    /// The indexed fast path: dense scan, precomputed network terms, and
+    /// whole-rack skipping. Byte-identical to [`Self::select_scan`].
+    fn select_indexed(
+        &self,
+        state: &GlobalState,
+        request: &ResourceRequest,
+        ref_node: &NodeId,
+    ) -> Result<NodeId, f64> {
+        let index = &self.index;
+        let ref_idx = index
+            .node_index(ref_node.as_str())
+            .expect("reference node is part of the layout");
+        let ref_rack = index.rack_of(ref_idx);
+
+        // Hard-constraint fail-fast: the scan path's `best_available_mb`
+        // is a running max over alive nodes starting at 0.0, which equals
+        // this fold over the maintained per-rack maxima (max is
+        // associative; NEG_INFINITY rack sentinels lose against 0.0). If
+        // any rack can hold the task, the selection below must succeed
+        // and `best_available_mb` is never reported.
+        let mut best_available_mb: f64 = 0.0;
+        for &m in state.rack_max_memories() {
+            best_available_mb = best_available_mb.max(m);
+        }
+        if best_available_mb < request.memory_mb {
+            return Err(best_available_mb);
+        }
+
+        // The network term only depends on the candidate's relation to
+        // the reference node, so its three possible values are computed
+        // once — with exactly the scan path's operation order.
+        let net_term = |distance: f64| {
+            let db = distance / self.norm.max_network_distance;
+            self.weights.network * db * db
+        };
+        let nt_same = net_term(index.distance_same_node());
+        let nt_rack = net_term(index.distance_same_rack());
+        let nt_inter = net_term(index.distance_inter_rack());
+
+        let dense = state.remaining_dense();
+        let alive = state.alive_dense();
+        let mut best: Option<(f64, u32)> = None;
+        let mut best_relaxed: Option<(f64, u32)> = None;
+        let mut consider = |i: u32| {
+            let r = &dense[i as usize];
+            if !alive[i as usize] || r.memory_mb < request.memory_mb {
+                return;
+            }
+            let nt = if i == ref_idx {
+                nt_same
+            } else if index.rack_of(i) == ref_rack {
+                nt_rack
+            } else {
+                nt_inter
+            };
+            let dm = (request.memory_mb - r.memory_mb) / self.norm.max_memory_mb;
+            let dc = (request.cpu_points - r.cpu_points) / self.norm.max_cpu_points;
+            let d = (self.weights.memory * dm * dm + self.weights.cpu * dc * dc + nt).sqrt();
+            // Strict `<` plus dense (= id) iteration order keeps ties
+            // deterministic: first node in id order wins, as on the scan
+            // path.
+            if r.cpu_points >= request.cpu_points && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, i));
+            }
+            if best_relaxed.is_none_or(|(bd, _)| d < bd) {
+                best_relaxed = Some((d, i));
+            }
+        };
+        match index.rack_ranges() {
+            Some(ranges) => {
+                // Ranges are sorted by start, so visiting them in order
+                // is still a full id-order scan — minus the racks where
+                // every node would fail the hard memory check (the scan
+                // path `continue`s those nodes before either `best`, so
+                // skipping them cannot change the outcome).
+                let rack_max = state.rack_max_memories();
+                for range in ranges {
+                    if rack_max[range.rack as usize] < request.memory_mb {
+                        continue;
+                    }
+                    for i in range.start..range.end {
+                        consider(i);
+                    }
+                }
+            }
+            None => {
+                for i in 0..dense.len() as u32 {
+                    consider(i);
+                }
+            }
+        }
+        match best.or(best_relaxed) {
+            Some((_, i)) => Ok(index.node_id(i).clone()),
+            // Unreachable after the fail-fast, but mirror the scan path.
+            None => Err(best_available_mb),
+        }
+    }
+
+    /// The scan (reference) path: Algorithm 4 transcribed directly over
+    /// the string-keyed state API.
+    fn select_scan(
+        &self,
+        state: &GlobalState,
+        request: &ResourceRequest,
+        ref_node: &NodeId,
+    ) -> Result<NodeId, f64> {
         let mut best: Option<(f64, &NodeId)> = None;
         let mut best_relaxed: Option<(f64, &NodeId)> = None;
         let mut best_available_mb: f64 = 0.0;
@@ -84,9 +236,7 @@ impl<'a> NodeSelector<'a> {
             );
             // Strict `<` plus ordered iteration makes ties deterministic
             // (first node in id order wins).
-            if remaining.cpu_points >= request.cpu_points
-                && best.is_none_or(|(bd, _)| d < bd)
-            {
+            if remaining.cpu_points >= request.cpu_points && best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, node));
             }
             if best_relaxed.is_none_or(|(bd, _)| d < bd) {
@@ -99,24 +249,56 @@ impl<'a> NodeSelector<'a> {
         }
     }
 
-    /// Algorithm 4 lines 6-9: the node with the most resources in the
-    /// rack with the most resources.
-    fn find_ref_node(&self, state: &GlobalState) -> Option<NodeId> {
+    /// Algorithm 4 lines 6-9 on the fast path: the rack comes straight
+    /// from the maintained per-rack aggregates; only the winning rack's
+    /// members are then scanned (in declaration order, like the scan
+    /// path).
+    fn find_ref_node_indexed(&self, state: &GlobalState) -> Option<NodeId> {
+        let abundances = state.rack_abundances();
+        let alive_counts = state.rack_alive_counts();
+        let mut best_rack: Option<(f64, u32)> = None;
+        for rack in 0..self.index.rack_count() as u32 {
+            if alive_counts[rack as usize] == 0 {
+                continue;
+            }
+            let abundance = abundances[rack as usize];
+            if best_rack.is_none_or(|(b, _)| abundance > b) {
+                best_rack = Some((abundance, rack));
+            }
+        }
+        let rack = best_rack?.1;
+
+        let (max_cpu, max_mem) = (self.norm.max_cpu_points, self.norm.max_memory_mb);
+        let dense = state.remaining_dense();
+        let alive = state.alive_dense();
+        let mut best_node: Option<(f64, u32)> = None;
+        for &i in self.index.rack_members(rack) {
+            if !alive[i as usize] {
+                continue;
+            }
+            let abundance = dense[i as usize].abundance(max_cpu, max_mem);
+            if best_node.is_none_or(|(b, _)| abundance > b) {
+                best_node = Some((abundance, i));
+            }
+        }
+        best_node.map(|(_, i)| self.index.node_id(i).clone())
+    }
+
+    /// Algorithm 4 lines 6-9 on the scan path: the node with the most
+    /// resources in the rack with the most resources. One pass per rack
+    /// accumulates the abundance sum and liveness together.
+    fn find_ref_node_scan(&self, state: &GlobalState) -> Option<NodeId> {
         let (max_cpu, max_mem) = (self.norm.max_cpu_points, self.norm.max_memory_mb);
         let mut best_rack: Option<(f64, &str)> = None;
         for rack in self.cluster.racks() {
-            let abundance: f64 = self
-                .cluster
-                .rack_nodes(rack.as_str())
-                .iter()
-                .filter_map(|n| state.remaining(n.as_str()))
-                .map(|r| r.abundance(max_cpu, max_mem))
-                .sum();
-            let has_alive = self
-                .cluster
-                .rack_nodes(rack.as_str())
-                .iter()
-                .any(|n| state.remaining(n.as_str()).is_some());
+            let mut abundance = 0.0;
+            let mut has_alive = false;
+            for node in self.cluster.rack_nodes(rack.as_str()) {
+                if let Some(remaining) = state.remaining(node.as_str()) {
+                    abundance += remaining.abundance(max_cpu, max_mem);
+                    has_alive = true;
+                }
+            }
             if !has_alive {
                 continue;
             }
@@ -256,5 +438,86 @@ mod tests {
         let weights = SoftConstraintWeights::default();
         let mut sel = NodeSelector::new(&c, &weights);
         assert!(sel.select(&state, &ResourceRequest::zero()).is_err());
+    }
+
+    /// Drives the indexed and scan paths in lock-step through a sequence
+    /// of selections and checks every decision (and error value) matches
+    /// to the bit.
+    #[test]
+    fn indexed_and_scan_paths_agree_exactly() {
+        let c = ClusterBuilder::new()
+            .add_node("b2", "east", ResourceCapacity::new(200.0, 4096.0, 100.0), 2)
+            .add_node("a1", "east", ResourceCapacity::new(100.0, 2048.0, 100.0), 2)
+            .add_node("c3", "west", ResourceCapacity::new(300.0, 1024.0, 100.0), 2)
+            .add_node("d4", "west", ResourceCapacity::new(50.0, 8192.0, 100.0), 2)
+            .build()
+            .unwrap();
+        let weights = SoftConstraintWeights::default();
+        let mut state = GlobalState::new(&c);
+        let mut fast = NodeSelector::new(&c, &weights);
+        let mut scan = NodeSelector::new_scan_only(&c, &weights);
+        let t = TopologyId::new("t");
+        let requests = [
+            ResourceRequest::new(40.0, 600.0, 10.0),
+            ResourceRequest::new(90.0, 1500.0, 0.0),
+            ResourceRequest::new(10.0, 100.0, 5.0),
+            ResourceRequest::new(120.0, 3000.0, 0.0),
+            ResourceRequest::new(1.0, 9000.0, 0.0), // infeasible
+        ];
+        for request in &requests {
+            let from_fast = fast.select(&state, request);
+            let from_scan = scan.select(&state, request);
+            match (&from_fast, &from_scan) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                other => panic!("paths diverged: {other:?}"),
+            }
+            assert_eq!(fast.ref_node(), scan.ref_node());
+            if let Ok(node) = from_fast {
+                state.reserve(&t, &node, request);
+            }
+        }
+    }
+
+    /// The east/west naming above sorts as a1 < b2 < c3 < d4 while the
+    /// racks were declared b2-first: member declaration order and sorted
+    /// order differ, and in `indexed_and_scan_paths_agree_exactly` the
+    /// racks are still contiguous. This case fragments them so the
+    /// non-range fallback loop is what must agree.
+    #[test]
+    fn fragmented_rack_layout_still_agrees() {
+        let c = ClusterBuilder::new()
+            .add_node("a", "r0", ResourceCapacity::new(100.0, 2048.0, 100.0), 1)
+            .add_node("b", "r1", ResourceCapacity::new(150.0, 3000.0, 100.0), 1)
+            .add_node("c", "r0", ResourceCapacity::new(120.0, 1024.0, 100.0), 1)
+            .add_node("d", "r1", ResourceCapacity::new(80.0, 4096.0, 100.0), 1)
+            .build()
+            .unwrap();
+        assert!(c.index().rack_ranges().is_none(), "layout must fragment");
+        let weights = SoftConstraintWeights::default();
+        let state = GlobalState::new(&c);
+        let request = ResourceRequest::new(60.0, 900.0, 0.0);
+        let fast = NodeSelector::new(&c, &weights).select(&state, &request);
+        let scan = NodeSelector::new_scan_only(&c, &weights).select(&state, &request);
+        assert_eq!(fast.unwrap(), scan.unwrap());
+    }
+
+    /// A state built from a *different* cluster (even a structurally
+    /// identical one) must not take the fast path — and still work.
+    #[test]
+    fn foreign_state_falls_back_to_scan() {
+        let c1 = cluster();
+        let c2 = cluster();
+        let state = GlobalState::new(&c2);
+        assert!(!Arc::ptr_eq(state.cluster_index(), &c1.shared_index()));
+        let weights = SoftConstraintWeights::default();
+        let mut sel = NodeSelector::new(&c1, &weights);
+        let picked = sel
+            .select(&state, &ResourceRequest::new(10.0, 64.0, 0.0))
+            .unwrap();
+        let expected = NodeSelector::new_scan_only(&c1, &weights)
+            .select(&state, &ResourceRequest::new(10.0, 64.0, 0.0))
+            .unwrap();
+        assert_eq!(picked, expected);
     }
 }

@@ -74,6 +74,10 @@ impl Scheduler for EvenScheduler {
             slots.truncate((workers as usize).max(1));
         }
 
+        // No undo log needed: past this point nothing can fail, so the
+        // loop below never has to be rolled back (unlike R-Storm's
+        // selection loop, which can hit the hard memory constraint
+        // mid-topology).
         let task_set = topology.task_set();
         let mut mapping = BTreeMap::new();
         for (i, task) in task_set.tasks().iter().enumerate() {
@@ -181,7 +185,9 @@ mod tests {
         let mut b = TopologyBuilder::new("packed");
         b.set_num_workers(4);
         b.set_spout("s", 6).set_memory_load(128.0);
-        b.set_bolt("b", 6).shuffle_grouping("s").set_memory_load(128.0);
+        b.set_bolt("b", 6)
+            .shuffle_grouping("s")
+            .set_memory_load(128.0);
         let t = b.build().unwrap();
         let mut state = GlobalState::new(&c);
         let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
@@ -197,10 +203,7 @@ mod tests {
         let t = topology("t", 3, 3);
         let mut state = GlobalState::new(&c);
         let a = EvenScheduler::new().schedule(&t, &c, &mut state).unwrap();
-        assert!(a
-            .used_nodes()
-            .iter()
-            .all(|n| n.as_str() != "rack-0-node-0"));
+        assert!(a.used_nodes().iter().all(|n| n.as_str() != "rack-0-node-0"));
     }
 
     #[test]
@@ -211,7 +214,9 @@ mod tests {
         let t = topology("t", 1, 1);
         let mut state = GlobalState::new(&c);
         assert_eq!(
-            EvenScheduler::new().schedule(&t, &c, &mut state).unwrap_err(),
+            EvenScheduler::new()
+                .schedule(&t, &c, &mut state)
+                .unwrap_err(),
             ScheduleError::NoAliveNodes
         );
     }

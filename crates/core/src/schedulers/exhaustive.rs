@@ -233,11 +233,7 @@ impl Scheduler for ExhaustiveScheduler {
                 .collect(),
             node_cpu: nodes
                 .iter()
-                .map(|n| {
-                    state
-                        .remaining(n)
-                        .map_or(0.0, |r| r.cpu_points)
-                })
+                .map(|n| state.remaining(n).map_or(0.0, |r| r.cpu_points))
                 .collect(),
             node_mem: nodes
                 .iter()
@@ -363,9 +359,12 @@ mod tests {
     fn rstorm_is_near_optimal_on_small_instances() {
         // The point of the solver: quantify the greedy heuristic's gap.
         let cluster = cluster();
-        for (parallelism, cpu, mem) in
-            [(2, 30.0, 256.0), (3, 40.0, 300.0), (2, 60.0, 700.0), (4, 25.0, 128.0)]
-        {
+        for (parallelism, cpu, mem) in [
+            (2, 30.0, 256.0),
+            (3, 40.0, 300.0),
+            (2, 60.0, 700.0),
+            (4, 25.0, 128.0),
+        ] {
             let t = small_chain(parallelism, cpu, mem);
             let optimal = ExhaustiveScheduler::with_max_tasks(12)
                 .schedule(&t, &cluster, &mut GlobalState::new(&cluster))

@@ -52,6 +52,8 @@ impl Scheduler for RandomScheduler {
         if slots.is_empty() {
             return Err(ScheduleError::NoAliveNodes);
         }
+        // Like the even scheduler, nothing past the slot check can fail,
+        // so no undo log is needed for atomicity.
         let task_set = topology.task_set();
         let mut rng = self.rng.lock().expect("rng mutex poisoned");
         let mut mapping = BTreeMap::new();

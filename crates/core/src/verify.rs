@@ -57,7 +57,10 @@ impl fmt::Display for Violation {
                 write!(f, "`{t}`: {task} placed on missing/dead node `{node}`")
             }
             Self::BadPort(t, task, node, port) => {
-                write!(f, "`{t}`: {task} placed on `{node}:{port}` which is not a slot")
+                write!(
+                    f,
+                    "`{t}`: {task} placed on `{node}:{port}` which is not a slot"
+                )
             }
             Self::MemoryOvercommit {
                 node,
@@ -80,10 +83,8 @@ pub fn verify_plan(
     cluster: &Cluster,
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let by_id: HashMap<&str, &Topology> = topologies
-        .iter()
-        .map(|t| (t.id().as_str(), *t))
-        .collect();
+    let by_id: HashMap<&str, &Topology> =
+        topologies.iter().map(|t| (t.id().as_str(), *t)).collect();
 
     for topology in topologies {
         if plan.assignment(topology.id().as_str()).is_none() {
@@ -123,8 +124,9 @@ pub fn verify_plan(
                             slot.port,
                         ));
                     }
-                    *node_memory_demand.entry(node_name.to_owned()).or_insert(0.0) +=
-                        request.memory_mb;
+                    *node_memory_demand
+                        .entry(node_name.to_owned())
+                        .or_insert(0.0) += request.memory_mb;
                 }
                 _ => {
                     violations.push(Violation::BadNode(
@@ -175,7 +177,9 @@ mod tests {
     fn topology(mem: f64) -> Topology {
         let mut b = TopologyBuilder::new("t");
         b.set_spout("s", 4).set_memory_load(mem);
-        b.set_bolt("b", 4).shuffle_grouping("s").set_memory_load(mem);
+        b.set_bolt("b", 4)
+            .shuffle_grouping("s")
+            .set_memory_load(mem);
         b.build().unwrap()
     }
 

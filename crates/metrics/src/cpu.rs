@@ -42,10 +42,7 @@ impl CpuUtilizationTracker {
             busy_core_ms.is_finite() && busy_core_ms >= 0.0,
             "busy time must be non-negative, got {busy_core_ms}"
         );
-        self.nodes
-            .entry(node.to_owned())
-            .or_insert((1.0, 0.0))
-            .1 += busy_core_ms;
+        self.nodes.entry(node.to_owned()).or_insert((1.0, 0.0)).1 += busy_core_ms;
     }
 
     /// Utilization of one node over an elapsed wall time, as a fraction of

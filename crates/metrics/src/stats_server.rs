@@ -86,9 +86,7 @@ impl StatisticServer {
             .processed
             .get(&(topology.to_owned(), component.to_owned()))
             .map(|c| c.complete_window_counts(until_ms))
-            .unwrap_or_else(|| {
-                vec![0; (until_ms / self.window_ms).floor() as usize]
-            })
+            .unwrap_or_else(|| vec![0; (until_ms / self.window_ms).floor() as usize])
     }
 
     /// Total tuples processed by a component.

@@ -167,8 +167,12 @@ mod tests {
             .unwrap();
         let mut b = TopologyBuilder::new("t");
         b.set_spout("s", 2).set_memory_load(100.0);
-        b.set_bolt("m", 3).shuffle_grouping("s").set_memory_load(100.0);
-        b.set_bolt("k", 1).global_grouping("m").set_memory_load(100.0);
+        b.set_bolt("m", 3)
+            .shuffle_grouping("s")
+            .set_memory_load(100.0);
+        b.set_bolt("k", 1)
+            .global_grouping("m")
+            .set_memory_load(100.0);
         let topology = b.build().unwrap();
         let mut state = GlobalState::new(&cluster);
         let assignment = RStormScheduler::new()

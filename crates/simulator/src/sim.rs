@@ -483,10 +483,7 @@ impl Engine {
         // Shed batches whose root already timed out: the real system's
         // queues would be drained of them by the replay mechanism, and
         // processing them would let queues grow without bound.
-        let stale = self
-            .roots
-            .get(&batch.root)
-            .is_none_or(|r| r.failed);
+        let stale = self.roots.get(&batch.root).is_none_or(|r| r.failed);
         if stale {
             self.totals.batches_dropped += 1;
             self.finish_pending(batch.root);
@@ -606,8 +603,8 @@ fn relation_of(a: &SimTaskSpec, b: &SimTaskSpec) -> PlacementRelation {
 mod tests {
     use super::*;
     use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
-    use rstorm_core::{schedule_all, GlobalState, RStormScheduler, Scheduler};
     use rstorm_core::schedulers::EvenScheduler;
+    use rstorm_core::{schedule_all, GlobalState, RStormScheduler, Scheduler};
     use rstorm_topology::{ExecutionProfile, TopologyBuilder};
 
     fn emulab(racks: u32, nodes: u32) -> Cluster {
@@ -711,8 +708,7 @@ mod tests {
         let report = run_with(&RStormScheduler::new(), &t, &cluster, config);
         // The spout can only ever be max_pending roots ahead of the sink.
         assert!(
-            report.totals.spout_batches
-                <= report.totals.roots_completed + 10,
+            report.totals.spout_batches <= report.totals.roots_completed + 10,
             "spout {} vs completed {}",
             report.totals.spout_batches,
             report.totals.roots_completed
@@ -783,13 +779,7 @@ mod tests {
         // work and fat tuples, R-Storm's colocated placement outperforms
         // the round-robin spread.
         let cluster = emulab(2, 6);
-        let t = linear_topology(
-            "net",
-            6,
-            ExecutionProfile::network_bound(400),
-            15.0,
-            128.0,
-        );
+        let t = linear_topology("net", 6, ExecutionProfile::network_bound(400), 15.0, 128.0);
         // In-flight-limited regime (see the fig8 harness): placement
         // quality shows up as end-to-end latency.
         let mut config = SimConfig::quick();
@@ -849,7 +839,10 @@ mod tests {
             thr <= 10_500.0,
             "global grouping must serialize through one task, got {thr:.0}"
         );
-        assert!(thr > 5_000.0, "but the single task should be busy: {thr:.0}");
+        assert!(
+            thr > 5_000.0,
+            "but the single task should be busy: {thr:.0}"
+        );
     }
 
     #[test]
@@ -899,13 +892,7 @@ mod tests {
     #[test]
     fn colocated_placement_has_lower_latency() {
         let cluster = emulab(2, 6);
-        let t = linear_topology(
-            "lat",
-            6,
-            ExecutionProfile::network_bound(400),
-            15.0,
-            128.0,
-        );
+        let t = linear_topology("lat", 6, ExecutionProfile::network_bound(400), 15.0, 128.0);
         let mut config = SimConfig::quick();
         config.max_pending = 4;
         let rstorm = run_with(&RStormScheduler::new(), &t, &cluster, config.clone());

@@ -54,8 +54,14 @@ pub fn parse_topology(text: &str) -> Result<Topology, SpecError> {
                 for key in attrs.keys() {
                     if !matches!(
                         key.as_str(),
-                        "parallelism" | "cpu" | "mem" | "bandwidth" | "work-ms" | "emit"
-                            | "bytes" | "rate"
+                        "parallelism"
+                            | "cpu"
+                            | "mem"
+                            | "bandwidth"
+                            | "work-ms"
+                            | "emit"
+                            | "bytes"
+                            | "rate"
                     ) {
                         return Err(SpecError {
                             line: line_no,
@@ -296,12 +302,21 @@ bolt count parallelism=6 cpu=30 mem=256 work-ms=0.03 emit=0
                 "topology t\nspout s\nbolt b\n  subscribe ghost\n",
                 "undeclared component",
             ),
-            ("topology t\nspout s\n  subscribe s\n", "spouts cannot subscribe"),
+            (
+                "topology t\nspout s\n  subscribe s\n",
+                "spouts cannot subscribe",
+            ),
             ("topology t\nspout s cpu=fast\n", "invalid number"),
             ("topology t\nspout s foo=1\n", "unknown attribute"),
             ("topology t\nnonsense\n", "unknown directive"),
-            ("topology t\nsubscribe x\n", "subscribe before any component"),
-            ("topology t\nspout s\nbolt b\n  subscribe s martian\n", "unknown grouping"),
+            (
+                "topology t\nsubscribe x\n",
+                "subscribe before any component",
+            ),
+            (
+                "topology t\nspout s\nbolt b\n  subscribe s martian\n",
+                "unknown grouping",
+            ),
             ("topology t\nspout s parallelism=0\n", "at least 1"),
             ("topology\n", "needs a name"),
         ];

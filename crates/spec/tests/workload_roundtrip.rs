@@ -17,8 +17,8 @@ fn all_bundled_topologies_roundtrip() {
         yahoo::processing(),
     ] {
         let spec = topology_to_spec(&topology);
-        let reparsed = parse_topology(&spec)
-            .unwrap_or_else(|e| panic!("{}: {e}\n---\n{spec}", topology.id()));
+        let reparsed =
+            parse_topology(&spec).unwrap_or_else(|e| panic!("{}: {e}\n---\n{spec}", topology.id()));
         assert_eq!(
             topology_to_spec(&reparsed),
             spec,

@@ -129,8 +129,7 @@ impl TopologyBuilder {
             .entry(id.clone())
             .or_default()
             .insert(StreamId::default_stream());
-        self.components
-            .push(Component::new(id, kind, parallelism));
+        self.components.push(Component::new(id, kind, parallelism));
         self.components.len() - 1
     }
 }
@@ -323,10 +322,7 @@ mod tests {
             .set_profile(ExecutionProfile::cpu_bound(7.5, 64));
         b.set_bolt("b", 1).shuffle_grouping("s");
         let t = b.build().unwrap();
-        assert_eq!(
-            t.component("s").unwrap().profile().work_ms_per_tuple,
-            7.5
-        );
+        assert_eq!(t.component("s").unwrap().profile().work_ms_per_tuple, 7.5);
     }
 
     #[test]

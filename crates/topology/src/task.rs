@@ -24,7 +24,13 @@ pub struct Task {
 
 impl fmt::Display for Task {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]#{}", self.component, self.instance, self.id.as_u32())
+        write!(
+            f,
+            "{}[{}]#{}",
+            self.component,
+            self.instance,
+            self.id.as_u32()
+        )
     }
 }
 
@@ -93,9 +99,7 @@ impl TaskSet {
 
     /// Task ids belonging to a component, in instance order.
     pub fn tasks_of(&self, component: &str) -> &[TaskId] {
-        self.by_component
-            .get(component)
-            .map_or(&[], Vec::as_slice)
+        self.by_component.get(component).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over `(component, tasks)` pairs in arbitrary order.

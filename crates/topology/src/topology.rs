@@ -184,7 +184,11 @@ impl Topology {
     pub fn neighbor_ids(&self, id: &str) -> Vec<&ComponentId> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for c in self.upstream_ids(id).into_iter().chain(self.downstream_ids(id)) {
+        for c in self
+            .upstream_ids(id)
+            .into_iter()
+            .chain(self.downstream_ids(id))
+        {
             if seen.insert(c) {
                 out.push(c);
             }

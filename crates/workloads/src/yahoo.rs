@@ -161,10 +161,9 @@ mod tests {
         // PageLoad: flat-out light tasks; Processing: rate-limited heavy
         // tasks — the asymmetry behind the §6.5 result.
         let pl = page_load();
-        assert!(pl.spouts().all(|s| s
-            .profile()
-            .max_rate_tuples_per_sec
-            .is_some()));
+        assert!(pl
+            .spouts()
+            .all(|s| s.profile().max_rate_tuples_per_sec.is_some()));
         let pr = processing();
         assert!(pr
             .spouts()

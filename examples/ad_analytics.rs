@@ -39,7 +39,10 @@ fn run(scheduler: &dyn Scheduler) {
     // default scheduler stacks them onto the same machines.
     let a = plan.assignment("processing").unwrap().used_nodes();
     let b = plan.assignment("page-load").unwrap().used_nodes();
-    println!("machines shared by both topologies: {}", a.intersection(&b).count());
+    println!(
+        "machines shared by both topologies: {}",
+        a.intersection(&b).count()
+    );
 
     // Five simulated minutes is enough to see the default schedule's
     // death spiral develop (the paper ran ~15).

@@ -83,10 +83,7 @@ fn main() {
 
     // Invariants after recovery: the dead node is unused, everything is
     // placed, no hard constraint is violated.
-    assert!(!new_assignment
-        .used_nodes()
-        .iter()
-        .any(|n| n == &victim));
+    assert!(!new_assignment.used_nodes().iter().any(|n| n == &victim));
     assert_eq!(new_assignment.len() as u32, topology.total_tasks());
     let violations = verify_plan(state.plan(), &[&topology], &cluster);
     assert!(violations.is_empty(), "unexpected: {violations:?}");

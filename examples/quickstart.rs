@@ -48,7 +48,10 @@ fn main() {
         topology.total_resources(),
     );
 
-    for scheduler in [&RStormScheduler::new() as &dyn Scheduler, &EvenScheduler::new()] {
+    for scheduler in [
+        &RStormScheduler::new() as &dyn Scheduler,
+        &EvenScheduler::new(),
+    ] {
         let mut state = GlobalState::new(&cluster);
         let assignment = scheduler
             .schedule(&topology, &cluster, &mut state)

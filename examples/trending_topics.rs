@@ -61,7 +61,10 @@ fn main() {
     );
 
     let variants: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("r-storm (default weights)", Box::new(RStormScheduler::new())),
+        (
+            "r-storm (default weights)",
+            Box::new(RStormScheduler::new()),
+        ),
         (
             "r-storm (no network term)",
             Box::new(RStormScheduler::with_config(RStormConfig {
@@ -70,7 +73,10 @@ fn main() {
             })),
         ),
         ("default storm", Box::new(EvenScheduler::new())),
-        ("offline linearization", Box::new(OfflineLinearizationScheduler::new())),
+        (
+            "offline linearization",
+            Box::new(OfflineLinearizationScheduler::new()),
+        ),
     ];
 
     for (name, scheduler) in variants {

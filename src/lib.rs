@@ -112,7 +112,7 @@ pub mod prelude {
     };
     pub use rstorm_core::{
         schedule_all, verify_plan, Assignment, GlobalState, RStormConfig, RStormScheduler,
-        ScheduleError, Scheduler, SchedulingPlan, SoftConstraintWeights,
+        ReferenceRStormScheduler, ScheduleError, Scheduler, SchedulingPlan, SoftConstraintWeights,
     };
     pub use rstorm_metrics::{StatisticServer, Summary, ThroughputReport};
     pub use rstorm_sim::{SimConfig, SimReport, Simulation};

@@ -24,11 +24,7 @@ fn rstorm_schedules_every_workload_without_violations() {
         let plan = schedule_all(&RStormScheduler::new(), &[&topology], &cluster)
             .unwrap_or_else(|e| panic!("{}: {e}", topology.id()));
         let violations = verify_plan(&plan, &[&topology], &cluster);
-        assert!(
-            violations.is_empty(),
-            "{}: {violations:?}",
-            topology.id()
-        );
+        assert!(violations.is_empty(), "{}: {violations:?}", topology.id());
         let assignment = plan.assignment(topology.id().as_str()).unwrap();
         assert_eq!(assignment.len() as u32, topology.total_tasks());
     }

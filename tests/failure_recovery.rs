@@ -11,7 +11,9 @@ fn cluster() -> Cluster {
 
 fn pipeline(mem: f64) -> Topology {
     let mut b = TopologyBuilder::new("pipeline");
-    b.set_spout("src", 4).set_cpu_load(40.0).set_memory_load(mem);
+    b.set_spout("src", 4)
+        .set_cpu_load(40.0)
+        .set_memory_load(mem);
     b.set_bolt("mid", 4)
         .shuffle_grouping("src")
         .set_cpu_load(30.0)
@@ -47,8 +49,14 @@ fn reschedule_avoids_the_dead_node() {
     let before = scheduler.schedule(&topology, &cluster, &mut state).unwrap();
     let victim = before.used_nodes().iter().next().unwrap().clone();
 
-    let after = recover(&scheduler, &mut cluster, &mut state, &topology, victim.as_str())
-        .expect("survivors have capacity");
+    let after = recover(
+        &scheduler,
+        &mut cluster,
+        &mut state,
+        &topology,
+        victim.as_str(),
+    )
+    .expect("survivors have capacity");
     assert!(!after.used_nodes().contains(&victim));
     assert_eq!(after.len() as u32, topology.total_tasks());
     assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
@@ -107,8 +115,14 @@ fn simulation_after_recovery_still_flows() {
     let mut state = GlobalState::new(&cluster);
     let before = scheduler.schedule(&topology, &cluster, &mut state).unwrap();
     let victim = before.used_nodes().iter().next().unwrap().clone();
-    let after =
-        recover(&scheduler, &mut cluster, &mut state, &topology, victim.as_str()).unwrap();
+    let after = recover(
+        &scheduler,
+        &mut cluster,
+        &mut state,
+        &topology,
+        victim.as_str(),
+    )
+    .unwrap();
 
     let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
     sim.add_topology(&topology, &after);
@@ -155,7 +169,9 @@ fn default_scheduler_also_recovers_but_without_guarantees() {
     scheduler.schedule(&topology, &cluster, &mut state).unwrap();
     let violations = verify_plan(state.plan(), &[&topology], &cluster);
     assert!(
-        violations.iter().any(|v| format!("{v:?}").contains("MemoryOvercommit")),
+        violations
+            .iter()
+            .any(|v| format!("{v:?}").contains("MemoryOvercommit")),
         "4 nodes × 2 GB cannot hold 8.4 GB without over-commit: {violations:?}"
     );
 }

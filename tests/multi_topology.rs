@@ -9,8 +9,12 @@ fn rstorm_separates_the_yahoo_topologies() {
     let cluster = clusters::emulab_multi();
     let processing = yahoo::processing();
     let page_load = yahoo::page_load();
-    let plan = schedule_all(&RStormScheduler::new(), &[&processing, &page_load], &cluster)
-        .expect("both fit the 24-node cluster");
+    let plan = schedule_all(
+        &RStormScheduler::new(),
+        &[&processing, &page_load],
+        &cluster,
+    )
+    .expect("both fit the 24-node cluster");
 
     assert!(verify_plan(&plan, &[&processing, &page_load], &cluster).is_empty());
 
@@ -71,8 +75,12 @@ fn joint_simulation_runs_both_topologies() {
     let cluster = clusters::emulab_multi();
     let processing = yahoo::processing();
     let page_load = yahoo::page_load();
-    let plan =
-        schedule_all(&RStormScheduler::new(), &[&processing, &page_load], &cluster).unwrap();
+    let plan = schedule_all(
+        &RStormScheduler::new(),
+        &[&processing, &page_load],
+        &cluster,
+    )
+    .unwrap();
 
     let mut sim = Simulation::new(cluster, SimConfig::quick());
     sim.add_topology(&page_load, plan.assignment("page-load").unwrap());
@@ -94,8 +102,7 @@ fn degraded_processing_under_default_schedule() {
     let page_load = yahoo::page_load();
 
     let run = |scheduler: &dyn Scheduler| {
-        let plan =
-            schedule_all(scheduler, &[&processing, &page_load], &cluster).unwrap();
+        let plan = schedule_all(scheduler, &[&processing, &page_load], &cluster).unwrap();
         let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
         sim.add_topology(&page_load, plan.assignment("page-load").unwrap());
         sim.add_topology(&processing, plan.assignment("processing").unwrap());

@@ -34,19 +34,31 @@ fn ratio(topology: &Topology, cluster: &Cluster, sim_time_ms: f64) -> f64 {
 
 #[test]
 fn fig8a_linear_network_bound_shape() {
-    let r = ratio(&micro::linear_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    let r = ratio(
+        &micro::linear_network_bound(),
+        &clusters::emulab_micro(),
+        90_000.0,
+    );
     assert!((1.3..2.0).contains(&r), "paper ≈ 1.5, measured {r:.2}");
 }
 
 #[test]
 fn fig8b_diamond_network_bound_shape() {
-    let r = ratio(&micro::diamond_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    let r = ratio(
+        &micro::diamond_network_bound(),
+        &clusters::emulab_micro(),
+        90_000.0,
+    );
     assert!((1.1..1.6).contains(&r), "paper ≈ 1.3, measured {r:.2}");
 }
 
 #[test]
 fn fig8c_star_network_bound_shape() {
-    let r = ratio(&micro::star_network_bound(), &clusters::emulab_micro(), 90_000.0);
+    let r = ratio(
+        &micro::star_network_bound(),
+        &clusters::emulab_micro(),
+        90_000.0,
+    );
     assert!((1.3..2.0).contains(&r), "paper ≈ 1.47, measured {r:.2}");
 }
 
@@ -73,8 +85,15 @@ fn fig9ab_equal_throughput_on_fewer_machines() {
 
 #[test]
 fn fig9c_star_default_is_bottlenecked() {
-    let r = ratio(&micro::star_cpu_bound(), &clusters::emulab_micro(), 90_000.0);
-    assert!(r > 1.15, "R-Storm must clearly win the star, measured {r:.2}");
+    let r = ratio(
+        &micro::star_cpu_bound(),
+        &clusters::emulab_micro(),
+        90_000.0,
+    );
+    assert!(
+        r > 1.15,
+        "R-Storm must clearly win the star, measured {r:.2}"
+    );
 }
 
 // ---- Figure 10: CPU utilization --------------------------------------------
@@ -89,9 +108,8 @@ fn fig10_utilization_ordering() {
         micro::star_cpu_bound(),
     ] {
         let (rstorm, even) = compare(&topology, &cluster, 60_000.0);
-        improvements.push(
-            rstorm.mean_used_cpu_utilization.mean / even.mean_used_cpu_utilization.mean,
-        );
+        improvements
+            .push(rstorm.mean_used_cpu_utilization.mean / even.mean_used_cpu_utilization.mean);
     }
     // Every workload shows a clear utilization win...
     for (i, imp) in improvements.iter().enumerate() {
@@ -157,8 +175,8 @@ fn fig13_processing_collapses_under_default_only() {
         late_mean < 0.2 * rstorm.steady_throughput("processing", 2),
         "processing should have collapsed, late windows {late:?}"
     );
-    let pl_ratio = default.steady_throughput("page-load", 2)
-        / rstorm.steady_throughput("page-load", 2);
+    let pl_ratio =
+        default.steady_throughput("page-load", 2) / rstorm.steady_throughput("page-load", 2);
     assert!(
         pl_ratio > 0.5,
         "PageLoad must survive (got {:.0}% of R-Storm)",

@@ -22,7 +22,12 @@ struct ComponentSpec {
 fn arb_topology() -> impl Strategy<Value = Topology> {
     // Component 0 is always a spout; each later component subscribes to
     // at least one earlier component, forming a connected DAG.
-    let spec = (1u32..=4, 1.0f64..80.0, 16.0f64..512.0, proptest::collection::vec(0usize..8, 1..3));
+    let spec = (
+        1u32..=4,
+        1.0f64..80.0,
+        16.0f64..512.0,
+        proptest::collection::vec(0usize..8, 1..3),
+    );
     proptest::collection::vec(spec, 2..7).prop_map(|raw| {
         let specs: Vec<ComponentSpec> = raw
             .into_iter()
@@ -48,19 +53,25 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
             }
             bolt.set_cpu_load(s.cpu).set_memory_load(s.mem);
         }
-        b.build().expect("generated topologies are structurally valid")
+        b.build()
+            .expect("generated topologies are structurally valid")
     })
 }
 
 fn arb_cluster() -> impl Strategy<Value = Cluster> {
-    (1u32..=3, 1u32..=4, 100.0f64..400.0, 1024.0f64..8192.0, 1u16..=4).prop_map(
-        |(racks, nodes, cpu, mem, slots)| {
+    (
+        1u32..=3,
+        1u32..=4,
+        100.0f64..400.0,
+        1024.0f64..8192.0,
+        1u16..=4,
+    )
+        .prop_map(|(racks, nodes, cpu, mem, slots)| {
             ClusterBuilder::new()
                 .homogeneous_racks(racks, nodes, ResourceCapacity::new(cpu, mem, 100.0), slots)
                 .build()
                 .expect("generated clusters are valid")
-        },
-    )
+        })
 }
 
 // ---------- scheduling invariants -----------------------------------------
@@ -305,6 +316,102 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(a.len() as u32, topology.total_tasks());
             prop_assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
+        }
+    }
+}
+
+// ---------- indexed/reference scheduler parity ------------------------------
+
+/// Everything a scheduler invocation may observably change, with floats
+/// captured as raw bits: remaining resources per node (in id order), the
+/// plan, and every slot's occupancy. Map iteration order (which is not
+/// observable behaviour) is deliberately excluded.
+type ObservableBits = (Vec<(String, [u64; 3])>, String, Vec<usize>);
+
+fn observable_bits(state: &GlobalState, cluster: &Cluster) -> ObservableBits {
+    let remaining = state
+        .iter_remaining()
+        .map(|(n, r)| {
+            (
+                n.as_str().to_owned(),
+                [
+                    r.cpu_points.to_bits(),
+                    r.memory_mb.to_bits(),
+                    r.bandwidth.to_bits(),
+                ],
+            )
+        })
+        .collect();
+    let plan = format!("{:?}", state.plan());
+    let occupancy = cluster
+        .nodes()
+        .iter()
+        .flat_map(|n| n.slots().iter())
+        .map(|s| state.slot_occupancy(s))
+        .collect();
+    (remaining, plan, occupancy)
+}
+
+proptest! {
+    /// The tentpole's correctness bar: the indexed fast path
+    /// ([`RStormScheduler`]: dense scan, rack aggregates, undo-log
+    /// atomicity) must be **byte-identical** to the pre-index
+    /// implementation ([`ReferenceRStormScheduler`]: string-keyed scan,
+    /// clone-based atomicity) — same assignments, same errors, same
+    /// remaining-resource bits — on arbitrary inputs.
+    #[test]
+    fn indexed_scheduler_matches_reference(
+        topology in arb_topology(),
+        cluster in arb_cluster(),
+    ) {
+        let mut fast_state = GlobalState::new(&cluster);
+        let mut ref_state = GlobalState::new(&cluster);
+        let fast = RStormScheduler::new().schedule(&topology, &cluster, &mut fast_state);
+        let reference =
+            ReferenceRStormScheduler::new().schedule(&topology, &cluster, &mut ref_state);
+        match (fast, reference) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            diverged => prop_assert!(false, "paths diverged: {:?}", diverged),
+        }
+        prop_assert_eq!(
+            observable_bits(&fast_state, &cluster),
+            observable_bits(&ref_state, &cluster)
+        );
+    }
+
+    /// Undo-log atomicity: a rejected topology leaves the state
+    /// bit-identical to before the attempt — including when the rejection
+    /// happens mid-topology on a cluster already carrying reservations
+    /// from an earlier success.
+    #[test]
+    fn failed_schedule_leaves_state_bit_identical(
+        warmup in arb_topology(),
+        heavy_mem in 1500.0f64..6000.0,
+        cluster in arb_cluster(),
+    ) {
+        let scheduler = RStormScheduler::new();
+        let mut state = GlobalState::new(&cluster);
+        // Best-effort warmup so the rollback must preserve non-trivial
+        // existing bookkeeping, not just return to the pristine state.
+        let _ = scheduler.schedule(&warmup, &cluster, &mut state);
+
+        // A topology whose later tasks outgrow every generated node
+        // (node memory < 8192; total demand far above), so rejection
+        // usually happens after some tasks were already placed.
+        let mut b = TopologyBuilder::new("heavy");
+        b.set_spout("light", 2).set_cpu_load(1.0).set_memory_load(8.0);
+        b.set_bolt("heavy", 4)
+            .shuffle_grouping("light")
+            .set_cpu_load(1.0)
+            .set_memory_load(heavy_mem);
+        let heavy = b.build().unwrap();
+
+        let before = observable_bits(&state, &cluster);
+        if let Err(err) = scheduler.schedule(&heavy, &cluster, &mut state) {
+            prop_assert!(matches!(err, ScheduleError::InsufficientMemory { .. }));
+            prop_assert_eq!(observable_bits(&state, &cluster), before);
+            prop_assert!(!state.is_scheduled("heavy"));
         }
     }
 }

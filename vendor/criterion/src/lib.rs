@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the criterion API the workspace's
+//! benches use: `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros. It measures
+//! wall-clock time and reports the median per-iteration latency; it does
+//! no statistical regression analysis.
+//!
+//! The per-benchmark measurement budget defaults to ~1 s and can be
+//! overridden with the `CRITERION_MEASURE_MS` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched setup's cost relates to the routine (accepted for API
+/// compatibility; all variants behave the same here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small relative to the routine.
+    SmallInput,
+    /// Setup output is large relative to the routine.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// A two-part benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1000);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Measures closures and prints their median per-iteration latency.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Median nanoseconds per iteration of the last `iter`/`iter_batched`.
+    median_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            budget,
+            median_ns: f64::NAN,
+            iterations: 0,
+        }
+    }
+
+    /// Benchmarks `routine`, timing each call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed().as_nanos() as f64);
+            if start.elapsed() >= self.budget && samples.len() >= 10 {
+                break;
+            }
+            if samples.len() >= 100_000 {
+                break;
+            }
+        }
+        self.record(samples);
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+            if start.elapsed() >= self.budget && samples.len() >= 10 {
+                break;
+            }
+            if samples.len() >= 100_000 {
+                break;
+            }
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.iterations = samples.len() as u64;
+        self.median_ns = median_of_sorted(&samples);
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: measure_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        println!(
+            "{name:<50} time: [{}]   ({} samples)",
+            human_ns(b.median_ns),
+            b.iterations
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        println!(
+            "{:<50} time: [{}]   ({} samples)",
+            format!("{}/{}", self.name, id),
+            human_ns(b.median_ns),
+            b.iterations
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 4.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert!(median_of_sorted(&[]).is_nan());
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(b.median_ns >= 0.0);
+        assert!(b.iterations >= 10);
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iterations >= 10);
+    }
+}
