@@ -2,15 +2,22 @@
 //! wall-clock second the discrete-event engine delivers on the standard
 //! workloads. Useful for keeping the figure harness fast as the engine
 //! evolves.
+//!
+//! Every workload is measured twice — once on the fast engine
+//! (`Simulation`: dense ids, slab-pooled tuple trees, precomputed
+//! routing) and once on the string-keyed `ReferenceSimulation` it is
+//! bit-for-bit equivalent to — so the fast path's margin is tracked by
+//! the same harness that tracks its absolute cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
-use rstorm_sim::{SimConfig, Simulation};
+use rstorm_sim::{ReferenceSimulation, SimConfig, Simulation};
 use rstorm_topology::Topology;
 use rstorm_workloads::{clusters, micro, yahoo};
+use std::sync::Arc;
 
 fn bench_simulation(c: &mut Criterion) {
-    let cluster = clusters::emulab_micro();
+    let cluster = Arc::new(clusters::emulab_micro());
     let mut group = c.benchmark_group("simulate_10s");
     group.sample_size(10);
 
@@ -26,13 +33,26 @@ fn bench_simulation(c: &mut Criterion) {
         let assignment = RStormScheduler::new()
             .schedule(&topology, &cluster, &mut state)
             .expect("bundled workloads are feasible");
+        let input = (topology, assignment);
         group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(topology, assignment),
+            BenchmarkId::new("fast", name),
+            &input,
             |b, (topology, assignment)| {
                 b.iter(|| {
                     let config = SimConfig::default().with_sim_time_ms(10_000.0);
-                    let mut sim = Simulation::new(cluster.clone(), config);
+                    let mut sim = Simulation::new(Arc::clone(&cluster), config);
+                    sim.add_topology(topology, assignment);
+                    sim.run()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", name),
+            &input,
+            |b, (topology, assignment)| {
+                b.iter(|| {
+                    let config = SimConfig::default().with_sim_time_ms(10_000.0);
+                    let mut sim = ReferenceSimulation::new(Arc::clone(&cluster), config);
                     sim.add_topology(topology, assignment);
                     sim.run()
                 })

@@ -43,7 +43,7 @@ fn interleaved_cluster() -> Cluster {
 
 fn main() {
     let config = config_from_args();
-    let cluster = interleaved_cluster();
+    let cluster = std::sync::Arc::new(interleaved_cluster());
 
     figure_header(
         "Ablation: task ordering × distance metric (network-bound workloads)",

@@ -1,0 +1,162 @@
+//! Benchmark regression guard: fails (exit 1) if any case in the checked
+//! `BENCH_*.json` files reports a `speedup_vs_reference` below 1.0 —
+//! i.e. if either "fast path" (the indexed scheduler, the dense-id
+//! simulator) has regressed to slower than the reference implementation
+//! it is supposed to beat.
+//!
+//! Run after `perf_smoke` and `sim_smoke` have refreshed the files:
+//!
+//! ```text
+//! cargo run --release -p rstorm-bench --bin bench_guard
+//! ```
+//!
+//! Arguments are the files to check; defaults to `BENCH_sched.json` and
+//! `BENCH_sim.json` in the current directory. A missing file is an
+//! error — the guard must never pass because a smoke run silently
+//! produced nothing.
+
+use std::process::ExitCode;
+
+/// One `speedup_vs_reference` reading and the case it belongs to.
+#[derive(Debug, PartialEq)]
+struct Reading {
+    case: String,
+    speedup: f64,
+}
+
+/// Extracts every `speedup_vs_reference` from a `BENCH_*.json` document,
+/// paired with the nearest preceding `"name"` value.
+///
+/// The bench files are written by our own smoke binaries with one case
+/// object per line, so a line-oriented scan is exact for them — and
+/// deliberately dependency-free (the workspace vendors no JSON parser).
+fn extract_speedups(json: &str) -> Vec<Reading> {
+    let mut readings = Vec::new();
+    for line in json.lines() {
+        let Some(speedup) = field(line, "\"speedup_vs_reference\":") else {
+            continue;
+        };
+        let case = field_str(line, "\"name\":")
+            .unwrap_or("<unnamed>")
+            .to_owned();
+        let speedup = speedup
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad speedup_vs_reference {speedup:?}: {e}"));
+        readings.push(Reading { case, speedup });
+    }
+    readings
+}
+
+/// The raw token following `key` on `line` (up to `,`, `}` or space).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// The quoted string following `key` on `line`.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let token = field(line, key)?;
+    token.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path}: {e} (run the matching smoke binary first)"))?;
+    let readings = extract_speedups(&json);
+    if readings.is_empty() {
+        return Err(format!("{path}: no speedup_vs_reference entries found"));
+    }
+    let mut failures = 0;
+    for r in &readings {
+        let verdict = if r.speedup < 1.0 {
+            failures += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("{path}: {:<32} {:>6.2}x  {verdict}", r.case, r.speedup);
+    }
+    if failures > 0 {
+        Err(format!(
+            "{path}: {failures} case(s) slower than the reference implementation"
+        ))
+    } else {
+        Ok(readings.len())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&str> = if args.is_empty() {
+        vec!["BENCH_sched.json", "BENCH_sim.json"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut errors = Vec::new();
+    let mut checked = 0;
+    for file in files {
+        match check_file(file) {
+            Ok(n) => checked += n,
+            Err(e) => errors.push(e),
+        }
+    }
+    if errors.is_empty() {
+        println!("bench_guard: {checked} case(s) at or above 1.0x — pass");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("bench_guard: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_named_speedups() {
+        let json = r#"{
+  "cases": [
+    {"name": "a", "fast_ns": 1, "speedup_vs_reference": 2.50},
+    {"name": "b", "fast_ns": 2, "speedup_vs_reference": 0.91}
+  ]
+}"#;
+        let readings = extract_speedups(json);
+        assert_eq!(
+            readings,
+            vec![
+                Reading {
+                    case: "a".into(),
+                    speedup: 2.5
+                },
+                Reading {
+                    case: "b".into(),
+                    speedup: 0.91
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_lines_without_speedups() {
+        let json = "{\n  \"benchmark\": \"x\",\n  \"unit\": \"ns\"\n}\n";
+        assert!(extract_speedups(json).is_empty());
+    }
+
+    #[test]
+    fn real_bench_sched_shape_parses() {
+        // The exact line shape perf_smoke writes.
+        let line = r#"    {"name": "schedule/40t_12n", "tasks": 40, "nodes": 12, "rstorm_ns": 27598, "rstorm_reference_ns": 48508, "even_ns": 24494, "speedup_vs_reference": 1.76}"#;
+        let readings = extract_speedups(line);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].case, "schedule/40t_12n");
+        assert!((readings[0].speedup - 1.76).abs() < 1e-9);
+    }
+}

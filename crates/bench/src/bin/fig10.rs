@@ -12,7 +12,7 @@ use rstorm_workloads::{clusters, micro};
 
 fn main() {
     let config = config_from_args();
-    let cluster = clusters::emulab_micro();
+    let cluster = std::sync::Arc::new(clusters::emulab_micro());
 
     figure_header(
         "Fig 10 (CPU utilization comparison)",

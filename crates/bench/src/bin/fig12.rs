@@ -10,7 +10,7 @@ use rstorm_workloads::{clusters, yahoo};
 
 fn main() {
     let config = config_from_args();
-    let cluster = clusters::emulab_micro();
+    let cluster = std::sync::Arc::new(clusters::emulab_micro());
 
     let cases = [
         ("Fig 12a (Yahoo PageLoad)", yahoo::page_load(), "+50%"),

@@ -14,19 +14,18 @@ use rstorm_metrics::text_table;
 use rstorm_sim::{SimReport, Simulation};
 use rstorm_workloads::{clusters, yahoo};
 
-fn run(scheduler: &dyn Scheduler) -> SimReport {
-    let cluster = clusters::emulab_multi();
+fn run(scheduler: &dyn Scheduler, cluster: &std::sync::Arc<rstorm_cluster::Cluster>) -> SimReport {
     let page_load = yahoo::page_load();
     let processing = yahoo::processing();
     // Processing was submitted first (schedule order matters to the
     // resource-oblivious baseline: later topologies fill in around it).
-    let plan = schedule_all(scheduler, &[&processing, &page_load], &cluster)
+    let plan = schedule_all(scheduler, &[&processing, &page_load], cluster)
         .unwrap_or_else(|e| panic!("{} failed to schedule: {e}", scheduler.name()));
     // The paper runs this experiment for ~15 minutes; the default
     // scheduler's death spiral needs a few minutes to fully develop.
     let mut config = config_from_args();
     config.sim_time_ms *= 3.0;
-    let mut sim = Simulation::new(cluster, config);
+    let mut sim = Simulation::new(std::sync::Arc::clone(cluster), config);
     sim.add_topology(&page_load, plan.assignment("page-load").unwrap());
     sim.add_topology(&processing, plan.assignment("processing").unwrap());
     sim.run()
@@ -39,8 +38,9 @@ fn main() {
          default: PageLoad 16 695, Processing ~0 (10 tuples/sec)",
     );
 
-    let rstorm = run(&RStormScheduler::new());
-    let default = run(&EvenScheduler::new());
+    let cluster = std::sync::Arc::new(clusters::emulab_multi());
+    let rstorm = run(&RStormScheduler::new(), &cluster);
+    let default = run(&EvenScheduler::new(), &cluster);
 
     let mut rows = Vec::new();
     for topology in ["page-load", "processing"] {

@@ -11,7 +11,7 @@ use rstorm_workloads::{clusters, micro};
 
 fn main() {
     let config = config_from_args();
-    let cluster = clusters::emulab_micro();
+    let cluster = std::sync::Arc::new(clusters::emulab_micro());
 
     let cases = [
         (

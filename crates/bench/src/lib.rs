@@ -27,6 +27,7 @@ use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
 use rstorm_sim::{SimConfig, SimReport, Simulation};
 use rstorm_topology::Topology;
+use std::sync::Arc;
 
 /// The paper runs each experiment for ~15 minutes; five simulated minutes
 /// is comfortably past convergence for every workload here.
@@ -53,7 +54,8 @@ pub fn config_from_args() -> SimConfig {
 }
 
 /// Schedules `topology` with `scheduler` on a fresh state and simulates
-/// it alone on `cluster`.
+/// it alone on `cluster`. The cluster is shared via `Arc` — harness loops
+/// that simulate many schedules never deep-copy it.
 ///
 /// # Panics
 ///
@@ -61,11 +63,26 @@ pub fn config_from_args() -> SimConfig {
 pub fn simulate_single(
     scheduler: &dyn Scheduler,
     topology: &Topology,
-    cluster: &Cluster,
+    cluster: &Arc<Cluster>,
     config: SimConfig,
 ) -> SimReport {
+    let mut sim = Simulation::new(Arc::clone(cluster), config);
+    sim.add_topology(topology, &schedule_fresh(scheduler, topology, cluster));
+    sim.run()
+}
+
+/// Schedules `topology` with `scheduler` on a fresh [`GlobalState`].
+///
+/// # Panics
+///
+/// Panics if scheduling fails — the bundled workloads are all feasible.
+pub fn schedule_fresh(
+    scheduler: &dyn Scheduler,
+    topology: &Topology,
+    cluster: &Cluster,
+) -> rstorm_core::Assignment {
     let mut state = GlobalState::new(cluster);
-    let assignment = scheduler
+    scheduler
         .schedule(topology, cluster, &mut state)
         .unwrap_or_else(|e| {
             panic!(
@@ -73,10 +90,7 @@ pub fn simulate_single(
                 scheduler.name(),
                 topology.id()
             )
-        });
-    let mut sim = Simulation::new(cluster.clone(), config);
-    sim.add_topology(topology, &assignment);
-    sim.run()
+        })
 }
 
 /// R-Storm vs default-Storm runs of the same topology on the same cluster.
@@ -92,7 +106,7 @@ pub struct Comparison {
 
 impl Comparison {
     /// Runs both schedulers on `topology`.
-    pub fn run(topology: &Topology, cluster: &Cluster, config: SimConfig) -> Self {
+    pub fn run(topology: &Topology, cluster: &Arc<Cluster>, config: SimConfig) -> Self {
         let rstorm = simulate_single(&RStormScheduler::new(), topology, cluster, config.clone());
         let default = simulate_single(&EvenScheduler::new(), topology, cluster, config);
         Self {
@@ -182,7 +196,7 @@ mod tests {
 
     #[test]
     fn comparison_runs_and_reports() {
-        let cluster = clusters::emulab_micro();
+        let cluster = Arc::new(clusters::emulab_micro());
         let t = micro::linear_network_bound();
         let c = Comparison::run(
             &t,

@@ -1,18 +1,31 @@
-//! Flattening scheduled topologies into the simulator's task table.
+//! Flattening scheduled topologies into the simulator's task table, and
+//! interning every entity the hot path touches into dense integer ids.
+//!
+//! All naming happens here, once, at build time: tasks, components,
+//! topologies and nodes become dense indices, and per producer task ×
+//! output stream the full routing decision — which consumer tasks can
+//! receive a batch, over which link path, at which fixed latency — is
+//! resolved into a flat [`RoutingTable`]. The steady-state event loop in
+//! [`crate::sim`] then never hashes a `String`, never compares a
+//! `WorkerSlot` and never re-derives a grouping; it only indexes arrays.
 
-use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_cluster::{Cluster, NetworkCosts, PlacementRelation, WorkerSlot};
 use rstorm_core::Assignment;
 use rstorm_topology::{StreamGrouping, Topology};
 use std::collections::HashMap;
 
 /// One downstream subscription of a component, resolved to global
-/// simulator task indices.
+/// simulator task indices (reference-engine routing: the grouping is
+/// re-interpreted per emission).
 #[derive(Debug, Clone)]
 pub(crate) struct ConsumerGroup {
     pub grouping: StreamGrouping,
     /// Global indices of the consuming component's tasks, in task order.
     pub targets: Vec<usize>,
 }
+
+/// Sentinel for "this task's component is not a sink".
+pub(crate) const NO_SINK: u32 = u32::MAX;
 
 /// A task as the simulator sees it: placement, profile and routing table.
 #[derive(Debug, Clone)]
@@ -22,6 +35,13 @@ pub(crate) struct SimTaskSpec {
     pub slot: WorkerSlot,
     pub node_idx: usize,
     pub rack_idx: usize,
+    /// Dense id of the owning topology (order of `add_topology` calls).
+    pub topo_id: u32,
+    /// Dense throughput-counter index if this task's component is a
+    /// declared sink, [`NO_SINK`] otherwise.
+    pub sink_ctr: u32,
+    /// Node-local index into the node's [`crate::servers::DenseCpuServer`].
+    pub cpu_slot: u32,
     pub is_spout: bool,
     pub is_sink: bool,
     pub work_ms_per_tuple: f64,
@@ -30,6 +50,58 @@ pub(crate) struct SimTaskSpec {
     pub max_rate_tuples_per_sec: Option<f64>,
     pub max_spout_pending: Option<u32>,
     pub consumers: Vec<ConsumerGroup>,
+}
+
+/// How a precomputed route group selects targets per emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GroupKind {
+    /// Draw one route uniformly from the group's range (shuffle, fields,
+    /// and local-or-shuffle over its precomputed pool).
+    Pick,
+    /// Send over every route in the range (all-grouping; global grouping
+    /// is stored as a single-route range).
+    All,
+}
+
+/// The physical link class of a precomputed route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkKind {
+    /// Same worker or same node: no NIC serialization, latency only.
+    Local,
+    /// Same rack: producer egress → consumer ingress.
+    SameRack,
+    /// Across racks: egress → shared uplink → ingress.
+    InterRack,
+}
+
+/// One fully resolved producer-task → consumer-task route.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Route {
+    /// Global index of the receiving task.
+    pub to: u32,
+    /// The receiver's node (ingress link server index).
+    pub to_node: u32,
+    pub kind: LinkKind,
+    /// Fixed propagation latency of this route's placement relation.
+    pub latency_ms: f64,
+}
+
+/// A contiguous range of routes with a selection rule.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteGroup {
+    pub kind: GroupKind,
+    pub start: u32,
+    pub len: u32,
+}
+
+/// Flat per-task routing: `task_groups[task]` is a range into `groups`,
+/// each group a range into `routes`.
+#[derive(Debug, Default)]
+pub(crate) struct RoutingTable {
+    pub groups: Vec<RouteGroup>,
+    pub routes: Vec<Route>,
+    /// Per global task: (start, len) into `groups`.
+    pub task_groups: Vec<(u32, u32)>,
 }
 
 /// Index structures over the cluster, shared by all topologies added to a
@@ -71,85 +143,216 @@ impl ClusterIndex {
     }
 }
 
-/// Appends every task of `topology` (placed per `assignment`) to `tasks`,
-/// resolving consumer routing to global indices, and accumulates each
-/// node's memory demand into `node_mem_demand`.
-///
-/// # Panics
-///
-/// Panics if the assignment does not cover every task of the topology or
-/// references a node missing from the cluster — schedulers in this
-/// workspace always produce complete assignments; use
-/// `rstorm_core::verify_plan` to diagnose foreign ones.
-pub(crate) fn append_topology(
-    tasks: &mut Vec<SimTaskSpec>,
-    node_mem_demand: &mut [f64],
-    index: &ClusterIndex,
-    topology: &Topology,
-    assignment: &Assignment,
-) {
-    let task_set = topology.task_set();
-    let base = tasks.len();
-    let sink_ids: Vec<&str> = topology.sinks().map(|c| c.id().as_str()).collect();
+/// Everything `add_topology` accumulates: the flattened task table plus
+/// the dense-id side tables the fast engine runs on.
+#[derive(Debug)]
+pub(crate) struct SimBuild {
+    pub specs: Vec<SimTaskSpec>,
+    pub routing: RoutingTable,
+    pub node_mem_demand: Vec<f64>,
+    /// Per node: global ids of the tasks placed on it, in placement
+    /// order — the `DenseCpuServer` slot layout.
+    pub node_tasks: Vec<Vec<usize>>,
+    /// Dense topology id → name (report boundary only).
+    pub topo_names: Vec<String>,
+    /// Per topology: its sinks' counter indices, in sorted component-name
+    /// order (the reference `StatisticServer` iterates sinks through a
+    /// `BTreeSet<String>`, so the float summation order must match).
+    pub sink_ctrs_by_topo: Vec<Vec<u32>>,
+    /// Total number of sink throughput counters allocated so far.
+    pub sink_counters: usize,
+}
 
-    // First pass: create specs without consumer routing.
-    for task in task_set.tasks() {
-        let component = topology
-            .component(task.component.as_str())
-            .expect("task set components exist in the topology");
-        let slot = assignment
-            .slot_of(task.id)
-            .unwrap_or_else(|| {
-                panic!(
-                    "assignment for `{}` does not place {}",
-                    topology.id(),
-                    task.id
-                )
-            })
-            .clone();
-        let node_idx = *index
-            .node_of
-            .get(slot.node.as_str())
-            .unwrap_or_else(|| panic!("assignment references unknown node `{}`", slot.node));
-        node_mem_demand[node_idx] += component.resources().memory_mb;
-        let profile = component.profile();
-        tasks.push(SimTaskSpec {
-            topology: topology.id().as_str().to_owned(),
-            component: task.component.as_str().to_owned(),
-            slot,
-            node_idx,
-            rack_idx: index.rack_of_node[node_idx],
-            is_spout: component.is_spout(),
-            is_sink: sink_ids.contains(&task.component.as_str()),
-            work_ms_per_tuple: profile.work_ms_per_tuple,
-            emit_factor: profile.emit_factor,
-            tuple_bytes: profile.tuple_bytes,
-            max_rate_tuples_per_sec: profile.max_rate_tuples_per_sec,
-            max_spout_pending: topology.max_spout_pending(),
-            consumers: Vec::new(),
-        });
+impl SimBuild {
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            specs: Vec::new(),
+            routing: RoutingTable::default(),
+            node_mem_demand: vec![0.0; node_count],
+            node_tasks: vec![Vec::new(); node_count],
+            topo_names: Vec::new(),
+            sink_ctrs_by_topo: Vec::new(),
+            sink_counters: 0,
+        }
     }
 
-    // Second pass: resolve each component's consumers to global indices.
-    let global_of: HashMap<&str, Vec<usize>> = task_set
-        .by_component()
-        .map(|(c, ids)| {
-            (
-                c.as_str(),
-                ids.iter().map(|t| base + t.index()).collect::<Vec<_>>(),
-            )
-        })
-        .collect();
-    for task in task_set.tasks() {
-        let groups: Vec<ConsumerGroup> = topology
-            .consumers(task.component.as_str())
+    /// Appends every task of `topology` (placed per `assignment`),
+    /// resolving consumer routing to global indices and precomputing the
+    /// fast path's route table, and accumulates each node's memory demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not cover every task of the topology
+    /// or references a node missing from the cluster — schedulers in this
+    /// workspace always produce complete assignments; use
+    /// `rstorm_core::verify_plan` to diagnose foreign ones.
+    pub fn append_topology(
+        &mut self,
+        index: &ClusterIndex,
+        costs: &NetworkCosts,
+        topology: &Topology,
+        assignment: &Assignment,
+    ) {
+        let task_set = topology.task_set();
+        let base = self.specs.len();
+        let topo_id = self.topo_names.len() as u32;
+        self.topo_names.push(topology.id().as_str().to_owned());
+
+        // Intern this topology's sinks into dense counter ids, in sorted
+        // name order (the `BTreeSet` order the reference stats use).
+        let mut sink_names: Vec<&str> = topology.sinks().map(|c| c.id().as_str()).collect();
+        sink_names.sort_unstable();
+        let ctr_base = self.sink_counters as u32;
+        let ctr_of: HashMap<&str, u32> = sink_names
             .iter()
-            .map(|(consumer, decl)| ConsumerGroup {
-                grouping: decl.grouping.clone(),
-                targets: global_of[consumer.as_str()].clone(),
+            .enumerate()
+            .map(|(k, &s)| (s, ctr_base + k as u32))
+            .collect();
+        self.sink_ctrs_by_topo
+            .push((0..sink_names.len()).map(|k| ctr_base + k as u32).collect());
+        self.sink_counters += sink_names.len();
+
+        // First pass: create specs without consumer routing.
+        for task in task_set.tasks() {
+            let component = topology
+                .component(task.component.as_str())
+                .expect("task set components exist in the topology");
+            let slot = assignment
+                .slot_of(task.id)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "assignment for `{}` does not place {}",
+                        topology.id(),
+                        task.id
+                    )
+                })
+                .clone();
+            let node_idx = *index
+                .node_of
+                .get(slot.node.as_str())
+                .unwrap_or_else(|| panic!("assignment references unknown node `{}`", slot.node));
+            self.node_mem_demand[node_idx] += component.resources().memory_mb;
+            let cpu_slot = self.node_tasks[node_idx].len() as u32;
+            self.node_tasks[node_idx].push(base + task.id.index());
+            let profile = component.profile();
+            let sink_ctr = ctr_of
+                .get(task.component.as_str())
+                .copied()
+                .unwrap_or(NO_SINK);
+            self.specs.push(SimTaskSpec {
+                topology: topology.id().as_str().to_owned(),
+                component: task.component.as_str().to_owned(),
+                slot,
+                node_idx,
+                rack_idx: index.rack_of_node[node_idx],
+                topo_id,
+                sink_ctr,
+                cpu_slot,
+                is_spout: component.is_spout(),
+                is_sink: sink_ctr != NO_SINK,
+                work_ms_per_tuple: profile.work_ms_per_tuple,
+                emit_factor: profile.emit_factor,
+                tuple_bytes: profile.tuple_bytes,
+                max_rate_tuples_per_sec: profile.max_rate_tuples_per_sec,
+                max_spout_pending: topology.max_spout_pending(),
+                consumers: Vec::new(),
+            });
+        }
+
+        // Second pass: resolve each component's consumers to global
+        // indices, and freeze every routing decision that does not depend
+        // on the run — target sets per grouping (including the
+        // local-or-shuffle preference pool) and the link path plus
+        // latency per (producer, consumer) pair.
+        let global_of: HashMap<&str, Vec<usize>> = task_set
+            .by_component()
+            .map(|(c, ids)| {
+                (
+                    c.as_str(),
+                    ids.iter().map(|t| base + t.index()).collect::<Vec<_>>(),
+                )
             })
             .collect();
-        tasks[base + task.id.index()].consumers = groups;
+        for task in task_set.tasks() {
+            let from = base + task.id.index();
+            let groups_start = self.routing.groups.len() as u32;
+            let groups: Vec<ConsumerGroup> = topology
+                .consumers(task.component.as_str())
+                .iter()
+                .map(|(consumer, decl)| ConsumerGroup {
+                    grouping: decl.grouping.clone(),
+                    targets: global_of[consumer.as_str()].clone(),
+                })
+                .collect();
+            for group in &groups {
+                self.push_route_group(costs, from, group);
+            }
+            let len = self.routing.groups.len() as u32 - groups_start;
+            debug_assert_eq!(self.routing.task_groups.len(), from);
+            self.routing.task_groups.push((groups_start, len));
+            self.specs[from].consumers = groups;
+        }
+    }
+
+    fn push_route_group(&mut self, costs: &NetworkCosts, from: usize, group: &ConsumerGroup) {
+        let targets = &group.targets;
+        debug_assert!(!targets.is_empty(), "validated topologies have tasks");
+        let start = self.routing.routes.len() as u32;
+        let (kind, chosen): (GroupKind, Vec<usize>) = match &group.grouping {
+            // Fields grouping with uniformly distributed keys is
+            // statistically identical to shuffle at this granularity, so
+            // both pick uniformly over the full target set.
+            StreamGrouping::Shuffle | StreamGrouping::Fields(_) => {
+                (GroupKind::Pick, targets.clone())
+            }
+            StreamGrouping::All => (GroupKind::All, targets.clone()),
+            StreamGrouping::Global => (GroupKind::All, vec![targets[0]]),
+            StreamGrouping::LocalOrShuffle => {
+                let from_slot = &self.specs[from].slot;
+                let local: Vec<usize> = targets
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.specs[t].slot == *from_slot)
+                    .collect();
+                let pool = if local.is_empty() {
+                    targets.clone()
+                } else {
+                    local
+                };
+                (GroupKind::Pick, pool)
+            }
+        };
+        for to in chosen {
+            let relation = relation_of(&self.specs[from], &self.specs[to]);
+            let link = match relation {
+                PlacementRelation::SameWorker | PlacementRelation::SameNode => LinkKind::Local,
+                PlacementRelation::SameRack => LinkKind::SameRack,
+                PlacementRelation::InterRack => LinkKind::InterRack,
+            };
+            self.routing.routes.push(Route {
+                to: to as u32,
+                to_node: self.specs[to].node_idx as u32,
+                kind: link,
+                latency_ms: costs.latency_ms(relation),
+            });
+        }
+        self.routing.groups.push(RouteGroup {
+            kind,
+            start,
+            len: self.routing.routes.len() as u32 - start,
+        });
+    }
+}
+
+pub(crate) fn relation_of(a: &SimTaskSpec, b: &SimTaskSpec) -> PlacementRelation {
+    if a.slot == b.slot {
+        PlacementRelation::SameWorker
+    } else if a.node_idx == b.node_idx {
+        PlacementRelation::SameNode
+    } else if a.rack_idx == b.rack_idx {
+        PlacementRelation::SameRack
+    } else {
+        PlacementRelation::InterRack
     }
 }
 
@@ -181,6 +384,13 @@ mod tests {
         (cluster, topology, assignment)
     }
 
+    fn build(cluster: &Cluster, topology: &Topology, assignment: &Assignment) -> SimBuild {
+        let idx = ClusterIndex::new(cluster);
+        let mut b = SimBuild::new(cluster.nodes().len());
+        b.append_topology(&idx, cluster.costs(), topology, assignment);
+        b
+    }
+
     #[test]
     fn index_covers_all_nodes() {
         let (cluster, _, _) = setup();
@@ -197,48 +407,112 @@ mod tests {
     #[test]
     fn tasks_flattened_with_routing() {
         let (cluster, topology, assignment) = setup();
-        let idx = ClusterIndex::new(&cluster);
-        let mut tasks = Vec::new();
-        let mut mem = vec![0.0; cluster.nodes().len()];
-        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
-        assert_eq!(tasks.len(), 6);
+        let b = build(&cluster, &topology, &assignment);
+        assert_eq!(b.specs.len(), 6);
         // Spout tasks route to the middle bolt's three tasks.
-        let spout = &tasks[0];
+        let spout = &b.specs[0];
         assert!(spout.is_spout);
         assert!(!spout.is_sink);
         assert_eq!(spout.consumers.len(), 1);
         assert_eq!(spout.consumers[0].targets, vec![2, 3, 4]);
         // Middle bolt routes to the sink.
-        assert_eq!(tasks[2].consumers[0].targets, vec![5]);
-        assert_eq!(tasks[2].consumers[0].grouping, StreamGrouping::Global);
+        assert_eq!(b.specs[2].consumers[0].targets, vec![5]);
+        assert_eq!(b.specs[2].consumers[0].grouping, StreamGrouping::Global);
         // The sink has no consumers and is flagged.
-        assert!(tasks[5].is_sink);
-        assert!(tasks[5].consumers.is_empty());
+        assert!(b.specs[5].is_sink);
+        assert!(b.specs[5].consumers.is_empty());
         // Memory demand accumulated: 6 tasks × 100 MB.
-        assert!((mem.iter().sum::<f64>() - 600.0).abs() < 1e-9);
+        assert!((b.node_mem_demand.iter().sum::<f64>() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_table_mirrors_consumer_groups() {
+        let (cluster, topology, assignment) = setup();
+        let b = build(&cluster, &topology, &assignment);
+        assert_eq!(b.routing.task_groups.len(), 6);
+        // Spout task 0: one shuffle group over the three middle tasks.
+        let (gs, gl) = b.routing.task_groups[0];
+        assert_eq!(gl, 1);
+        let g = b.routing.groups[gs as usize];
+        assert_eq!(g.kind, GroupKind::Pick);
+        assert_eq!(g.len, 3);
+        let tos: Vec<u32> = (g.start..g.start + g.len)
+            .map(|r| b.routing.routes[r as usize].to)
+            .collect();
+        assert_eq!(tos, vec![2, 3, 4]);
+        // Middle task 2: global grouping stored as a single-route All.
+        let (gs2, gl2) = b.routing.task_groups[2];
+        assert_eq!(gl2, 1);
+        let g2 = b.routing.groups[gs2 as usize];
+        assert_eq!(g2.kind, GroupKind::All);
+        assert_eq!(g2.len, 1);
+        assert_eq!(b.routing.routes[g2.start as usize].to, 5);
+        // The sink has no groups.
+        assert_eq!(b.routing.task_groups[5].1, 0);
+        // Every route's link kind is consistent with its latency: a
+        // local route costs at most a same-rack one, etc.
+        let costs = cluster.costs();
+        for r in &b.routing.routes {
+            let expected = match r.kind {
+                LinkKind::Local => {
+                    assert!(
+                        r.latency_ms <= costs.latency_ms(PlacementRelation::SameNode),
+                        "local latency out of range"
+                    );
+                    continue;
+                }
+                LinkKind::SameRack => costs.latency_ms(PlacementRelation::SameRack),
+                LinkKind::InterRack => costs.latency_ms(PlacementRelation::InterRack),
+            };
+            assert_eq!(r.latency_ms, expected);
+        }
+    }
+
+    #[test]
+    fn dense_ids_assigned() {
+        let (cluster, topology, assignment) = setup();
+        let b = build(&cluster, &topology, &assignment);
+        assert_eq!(b.topo_names, vec!["t".to_owned()]);
+        // One sink component ("k") → one counter, owned by topology 0.
+        assert_eq!(b.sink_counters, 1);
+        assert_eq!(b.sink_ctrs_by_topo, vec![vec![0]]);
+        assert_eq!(b.specs[5].sink_ctr, 0);
+        assert_eq!(b.specs[0].sink_ctr, NO_SINK);
+        // cpu slots are dense per node, in placement order.
+        for (node, tasks) in b.node_tasks.iter().enumerate() {
+            for (slot, &gid) in tasks.iter().enumerate() {
+                assert_eq!(b.specs[gid].node_idx, node);
+                assert_eq!(b.specs[gid].cpu_slot as usize, slot);
+            }
+        }
     }
 
     #[test]
     fn second_topology_gets_offset_indices() {
         let (cluster, topology, assignment) = setup();
         let idx = ClusterIndex::new(&cluster);
-        let mut tasks = Vec::new();
-        let mut mem = vec![0.0; cluster.nodes().len()];
-        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
-        append_topology(&mut tasks, &mut mem, &idx, &topology, &assignment);
-        assert_eq!(tasks.len(), 12);
+        let mut b = SimBuild::new(cluster.nodes().len());
+        b.append_topology(&idx, cluster.costs(), &topology, &assignment);
+        b.append_topology(&idx, cluster.costs(), &topology, &assignment);
+        assert_eq!(b.specs.len(), 12);
         // Second copy's spout routes into the second copy's bolts.
-        assert_eq!(tasks[6].consumers[0].targets, vec![8, 9, 10]);
+        assert_eq!(b.specs[6].consumers[0].targets, vec![8, 9, 10]);
+        let (gs, _) = b.routing.task_groups[6];
+        let g = b.routing.groups[gs as usize];
+        let tos: Vec<u32> = (g.start..g.start + g.len)
+            .map(|r| b.routing.routes[r as usize].to)
+            .collect();
+        assert_eq!(tos, vec![8, 9, 10]);
+        // Sink counters are disjoint per topology.
+        assert_eq!(b.sink_ctrs_by_topo, vec![vec![0], vec![1]]);
+        assert_eq!(b.specs[11].sink_ctr, 1);
     }
 
     #[test]
     #[should_panic(expected = "does not place")]
     fn incomplete_assignment_panics() {
         let (cluster, topology, _) = setup();
-        let idx = ClusterIndex::new(&cluster);
         let empty = Assignment::new("t", Default::default());
-        let mut tasks = Vec::new();
-        let mut mem = vec![0.0; cluster.nodes().len()];
-        append_topology(&mut tasks, &mut mem, &idx, &topology, &empty);
+        build(&cluster, &topology, &empty);
     }
 }

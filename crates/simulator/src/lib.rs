@@ -62,10 +62,13 @@
 mod build;
 mod config;
 mod event;
+mod reference;
 mod report;
 mod servers;
 mod sim;
+mod slab;
 
 pub use config::SimConfig;
-pub use report::{SimReport, SimTotals};
+pub use reference::ReferenceSimulation;
+pub use report::{SimDebugStats, SimReport, SimTotals};
 pub use sim::Simulation;

@@ -2,6 +2,7 @@
 
 use rstorm_metrics::{Summary, ThroughputReport};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Aggregate event counts of a run (useful for conservation checks and
 /// diagnosing overload).
@@ -21,6 +22,26 @@ pub struct SimTotals {
     pub tuples_processed: u64,
     /// Tuples of live roots processed at sinks — the throughput numerator.
     pub tuples_completed: u64,
+}
+
+/// Engine-internal counters exposed for observability and performance
+/// regression tests. These describe *how* the engine ran, not *what* the
+/// simulated cluster did, so they are excluded from report equality (the
+/// fast and reference engines must agree on the physics, not on their
+/// internal bookkeeping — the reference engine has no pools).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimDebugStats {
+    /// Events popped and handled by the main loop.
+    pub events: u64,
+    /// Root-slab inserts served from the free-list pool (recycled
+    /// allocations — nonzero once the first tuple tree retires).
+    pub root_pool_hits: u64,
+    /// Root-slab inserts that grew the slab.
+    pub root_pool_misses: u64,
+    /// High-water mark of simultaneously in-flight tuple trees.
+    pub max_live_roots: u64,
+    /// Precomputed routes in the routing table.
+    pub route_entries: u64,
 }
 
 /// The outcome of a simulation run.
@@ -50,6 +71,29 @@ pub struct SimReport {
     pub latency_ms: Summary,
     /// Aggregate event counts.
     pub totals: SimTotals,
+    /// Engine-internal counters (excluded from `==`; see
+    /// [`SimDebugStats`]).
+    pub debug: SimDebugStats,
+}
+
+/// Equality over the simulated outcome only: every physical field takes
+/// part, [`SimReport::debug`] deliberately does not. This is what the
+/// fast/reference parity tests compare — two engines that agree on every
+/// observable of the run are interchangeable even though their internal
+/// counters differ.
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.duration_ms == other.duration_ms
+            && self.window_ms == other.window_ms
+            && self.throughput == other.throughput
+            && self.mean_used_cpu_utilization == other.mean_used_cpu_utilization
+            && self.used_nodes == other.used_nodes
+            && self.used_nodes_by_topology == other.used_nodes_by_topology
+            && self.node_utilization == other.node_utilization
+            && self.inter_rack_mb == other.inter_rack_mb
+            && self.latency_ms == other.latency_ms
+            && self.totals == other.totals
+    }
 }
 
 impl SimReport {
@@ -60,15 +104,100 @@ impl SimReport {
             .get(topology)
             .map_or(0.0, |t| t.steady_state(skip).mean)
     }
+
+    /// Serializes the physical outcome (everything `==` compares; debug
+    /// counters excluded) as deterministic JSON with fixed key order and
+    /// shortest-roundtrip float formatting. Two runs produce the same
+    /// string iff they produced the same report — the golden-report
+    /// regression test pins this string for a fixed seed and workload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"duration_ms\": {:?},", self.duration_ms);
+        let _ = writeln!(out, "  \"window_ms\": {:?},", self.window_ms);
+        out.push_str("  \"throughput\": {\n");
+        for (i, (topo, t)) in self.throughput.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {}: {{\"window_ms\": {:?}, \"windows\": [",
+                json_str(topo),
+                t.window_ms
+            );
+            for (j, w) in t.windows.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{w:?}");
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.throughput.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(
+            out,
+            "  \"mean_used_cpu_utilization\": {},",
+            json_summary(&self.mean_used_cpu_utilization)
+        );
+        let _ = writeln!(out, "  \"used_nodes\": {},", self.used_nodes);
+        out.push_str("  \"used_nodes_by_topology\": {");
+        for (i, (topo, n)) in self.used_nodes_by_topology.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(topo), n);
+        }
+        out.push_str("},\n");
+        out.push_str("  \"node_utilization\": [");
+        for (i, (node, u)) in self.node_utilization.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {:?}]", json_str(node), u);
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"inter_rack_mb\": {:?},", self.inter_rack_mb);
+        let _ = writeln!(out, "  \"latency_ms\": {},", json_summary(&self.latency_ms));
+        let t = &self.totals;
+        let _ = writeln!(
+            out,
+            "  \"totals\": {{\"spout_batches\": {}, \"batches_delivered\": {}, \
+             \"batches_dropped\": {}, \"roots_completed\": {}, \"roots_timed_out\": {}, \
+             \"tuples_processed\": {}, \"tuples_completed\": {}}}",
+            t.spout_batches,
+            t.batches_delivered,
+            t.batches_dropped,
+            t.roots_completed,
+            t.roots_timed_out,
+            t.tuples_processed,
+            t.tuples_completed
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_summary(s: &Summary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {:?}, \"stddev\": {:?}, \"min\": {:?}, \"max\": {:?}}}",
+        s.count, s.mean, s.stddev, s.min, s.max
+    )
+}
+
+fn json_str(s: &str) -> String {
+    // Workload/node names in this workspace are plain identifiers; escape
+    // the two structural characters anyway so the output is always valid.
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn steady_throughput_defaults_to_zero() {
-        let report = SimReport {
+    fn empty_report() -> SimReport {
+        SimReport {
             duration_ms: 1000.0,
             window_ms: 100.0,
             throughput: BTreeMap::new(),
@@ -79,8 +208,13 @@ mod tests {
             inter_rack_mb: 0.0,
             latency_ms: Summary::of([]),
             totals: SimTotals::default(),
-        };
-        assert_eq!(report.steady_throughput("ghost", 0), 0.0);
+            debug: SimDebugStats::default(),
+        }
+    }
+
+    #[test]
+    fn steady_throughput_defaults_to_zero() {
+        assert_eq!(empty_report().steady_throughput("ghost", 0), 0.0);
     }
 
     #[test]
@@ -88,5 +222,41 @@ mod tests {
         let t = SimTotals::default();
         assert_eq!(t.spout_batches, 0);
         assert_eq!(t.roots_completed, 0);
+    }
+
+    #[test]
+    fn equality_ignores_debug_stats() {
+        let a = empty_report();
+        let mut b = empty_report();
+        b.debug.events = 1_000_000;
+        b.debug.root_pool_hits = 42;
+        assert_eq!(a, b);
+        let mut c = empty_report();
+        c.totals.spout_batches = 1;
+        assert_ne!(a, c);
+        let mut d = empty_report();
+        d.inter_rack_mb = 0.5;
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_debug_free() {
+        let mut r = empty_report();
+        r.throughput.insert(
+            "t".to_owned(),
+            ThroughputReport {
+                window_ms: 100.0,
+                windows: vec![1.5, 2.0],
+            },
+        );
+        r.used_nodes_by_topology.insert("t".to_owned(), 3);
+        r.node_utilization.push(("n0".to_owned(), 0.25));
+        let j1 = r.to_json();
+        r.debug.events = 99; // must not affect the serialization
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"windows\": [1.5, 2.0]"));
+        assert!(j1.contains("\"used_nodes_by_topology\": {\"t\": 3}"));
+        assert!(!j1.contains("debug"));
     }
 }

@@ -182,6 +182,144 @@ impl CpuServer {
     }
 }
 
+/// A node's CPU with the same max-min fair model as [`CpuServer`], but
+/// with dense storage: per-task state lives in a `Vec` indexed by a
+/// node-local slot assigned at build time, and the demand scan reuses a
+/// scratch buffer, so steady-state `serve` does no hashing and no heap
+/// allocation.
+///
+/// Given the same sequence of `serve` calls, the completion times are
+/// bit-for-bit identical to [`CpuServer`]'s: the demand update and decay
+/// use the same arithmetic in the same order, and the max-min allocation
+/// sorts candidates by `(demand, global task id)` — a total order — so
+/// the water-filling fold visits the same values in the same order
+/// regardless of how the candidates were gathered. Tasks that have never
+/// submitted work are excluded from the scan, mirroring the reference
+/// server's lazily created map entries.
+#[derive(Debug, Clone)]
+pub struct DenseCpuServer {
+    cores: f64,
+    thrash: f64,
+    tasks: Vec<DenseTaskCpu>,
+    /// Global simulator task index of each local slot — the sort key that
+    /// keeps tie-breaks identical to the reference server's.
+    global_ids: Vec<usize>,
+    /// Local slots that have submitted work at least once, in first-
+    /// submission order.
+    active: Vec<u32>,
+    /// Reused demand buffer for the max-min scan.
+    scratch: Vec<(usize, f64)>,
+    busy_core_ms: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DenseTaskCpu {
+    busy_until: f64,
+    demand_acc: f64,
+    last_update: f64,
+    is_active: bool,
+}
+
+impl DenseCpuServer {
+    /// Creates a server for the tasks whose global ids are `global_ids`;
+    /// local slot `k` corresponds to `global_ids[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive or `thrash` is outside (0, 1].
+    pub fn new(cores: f64, thrash: f64, global_ids: Vec<usize>) -> Self {
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "core count must be positive, got {cores}"
+        );
+        assert!(
+            thrash.is_finite() && thrash > 0.0 && thrash <= 1.0,
+            "thrash factor must be in (0, 1], got {thrash}"
+        );
+        let n = global_ids.len();
+        Self {
+            cores,
+            thrash,
+            tasks: vec![
+                DenseTaskCpu {
+                    busy_until: 0.0,
+                    demand_acc: 0.0,
+                    last_update: 0.0,
+                    is_active: false,
+                };
+                n
+            ],
+            global_ids,
+            active: Vec::with_capacity(n),
+            scratch: Vec::with_capacity(n),
+            busy_core_ms: 0.0,
+        }
+    }
+
+    /// Commits `work_core_ms` of work for the task at local slot `local`
+    /// submitted at `at`; returns the completion time.
+    pub fn serve(&mut self, at: f64, local: usize, work_core_ms: f64) -> f64 {
+        {
+            let entry = &mut self.tasks[local];
+            if !entry.is_active {
+                entry.is_active = true;
+                entry.last_update = at;
+                self.active.push(local as u32);
+            }
+            let dt = (at - entry.last_update).max(0.0);
+            entry.demand_acc = entry.demand_acc * (-dt / DEMAND_TAU_MS).exp() + work_core_ms;
+            entry.last_update = at;
+        }
+
+        // Demands in cores, capped at 1.0 (a task is single-threaded).
+        self.scratch.clear();
+        for &slot in &self.active {
+            let t = &self.tasks[slot as usize];
+            let dt = (at - t.last_update).max(0.0);
+            let d = t.demand_acc * (-dt / DEMAND_TAU_MS).exp() / DEMAND_TAU_MS;
+            self.scratch
+                .push((self.global_ids[slot as usize], d.min(1.0)));
+        }
+
+        let capacity = self.cores * self.thrash;
+        let task_gid = self.global_ids[local];
+        let alloc = max_min_alloc(&mut self.scratch, capacity, task_gid);
+        let demand = self
+            .scratch
+            .iter()
+            .find(|(id, _)| *id == task_gid)
+            .map_or(0.0, |&(_, d)| d);
+        let fair_stretch = if demand > alloc + 1e-9 {
+            (1.0 / alloc.max(1e-6)).max(1.0)
+        } else {
+            1.0
+        };
+        let multiplier = fair_stretch / self.thrash;
+
+        let entry = &mut self.tasks[local];
+        let start = entry.busy_until.max(at);
+        let done = start + work_core_ms * multiplier;
+        entry.busy_until = done;
+        self.busy_core_ms += work_core_ms;
+        done
+    }
+
+    /// Total core-milliseconds of work served.
+    pub fn busy_core_ms(&self) -> f64 {
+        self.busy_core_ms
+    }
+
+    /// The configured core count.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// The thrash multiplier.
+    pub fn thrash(&self) -> f64 {
+        self.thrash
+    }
+}
+
 /// Water-filling max-min fair allocation: returns the share of `task`.
 /// Tasks demanding less than an equal split keep their demand; the
 /// leftover is split among the rest.
@@ -314,5 +452,59 @@ mod tests {
     #[should_panic(expected = "link rate")]
     fn zero_rate_link_rejected() {
         LinkServer::from_mbps(0.0);
+    }
+
+    #[test]
+    fn dense_server_matches_reference_bit_for_bit() {
+        // Same pseudo-random serve sequence through both servers: every
+        // completion time and the busy accounting must be identical down
+        // to the bit pattern.
+        let global_ids = vec![17, 3, 99, 42];
+        let mut reference = CpuServer::new(2.0, 0.8);
+        let mut dense = DenseCpuServer::new(2.0, 0.8, global_ids.clone());
+        let mut t = 0.0;
+        let mut x: u64 = 0x2545F491;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let local = (x >> 33) as usize % 4;
+            let work = 1.0 + ((x >> 7) % 20) as f64;
+            let a = reference.serve(t, global_ids[local], work);
+            let b = dense.serve(t, local, work);
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at t={t}");
+            t += ((x >> 13) % 8) as f64;
+        }
+        assert_eq!(
+            reference.busy_core_ms().to_bits(),
+            dense.busy_core_ms().to_bits()
+        );
+    }
+
+    #[test]
+    fn dense_server_excludes_never_served_tasks() {
+        // A slot that never submits work must not count toward the fair
+        // shares (the reference server has no map entry for it).
+        let mut reference = CpuServer::new(1.0, 1.0);
+        let mut dense = DenseCpuServer::new(1.0, 1.0, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut t = 0.0;
+        for _ in 0..300 {
+            // Only slots 0 and 1 are ever used; 6 idle slots exist.
+            let a0 = reference.serve(t, 0, 10.0);
+            let b0 = dense.serve(t, 0, 10.0);
+            let a1 = reference.serve(t, 1, 10.0);
+            let b1 = dense.serve(t, 1, 10.0);
+            assert_eq!(a0.to_bits(), b0.to_bits());
+            assert_eq!(a1.to_bits(), b1.to_bits());
+            t += 10.0;
+        }
+        assert_eq!(dense.cores(), 1.0);
+        assert_eq!(dense.thrash(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn dense_zero_cores_rejected() {
+        DenseCpuServer::new(0.0, 1.0, vec![]);
     }
 }

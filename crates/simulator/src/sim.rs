@@ -1,85 +1,186 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine (fast path).
+//!
+//! The steady-state event loop touches only dense structures prepared at
+//! build time by [`crate::build`]:
+//!
+//! * routing is a precomputed table — per producer task × output stream,
+//!   the grouping is already resolved to a target pool and each target to
+//!   its link path and latency, so emitting costs one RNG draw (for pick
+//!   groupings) and zero allocation;
+//! * in-flight tuple trees live in a generational slab with a free-list
+//!   pool ([`crate::slab`]), not a `HashMap`;
+//! * per-node CPU contention state is a dense `Vec` indexed by
+//!   build-time slots ([`crate::servers::DenseCpuServer`]);
+//! * throughput counters are a dense `Vec` indexed by interned sink ids —
+//!   no `String` is hashed, cloned or compared between the first and the
+//!   last event.
+//!
+//! [`crate::reference::ReferenceSimulation`] keeps the original
+//! string-keyed implementation; parity tests assert both engines emit
+//! identical [`SimReport`]s, which pins every reordering here to the
+//! reference semantics (same RNG draw sequence, same event order, same
+//! float arithmetic).
 
-use crate::build::{append_topology, ClusterIndex, SimTaskSpec};
+use crate::build::{ClusterIndex, GroupKind, LinkKind, Route, SimBuild, NO_SINK};
 use crate::config::SimConfig;
 use crate::event::EventQueue;
-use crate::report::{SimReport, SimTotals};
-use crate::servers::{CpuServer, LinkServer};
+use crate::report::{SimDebugStats, SimReport, SimTotals};
+use crate::servers::{DenseCpuServer, LinkServer};
+use crate::slab::{RootSlab, RootState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rstorm_cluster::{Cluster, PlacementRelation};
+use rstorm_cluster::Cluster;
 use rstorm_core::Assignment;
-use rstorm_metrics::{CpuUtilizationTracker, StatisticServer};
-use rstorm_topology::{StreamGrouping, Topology};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use rstorm_metrics::{CpuUtilizationTracker, ThroughputReport, WindowedCounter};
+use rstorm_topology::Topology;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A batch of tuples in flight, tagged with the root (spout emission) it
 /// descends from for acking purposes.
 #[derive(Debug, Clone, Copy)]
-struct Batch {
+pub(crate) struct Batch {
+    pub root: u64,
+    pub tuples: u32,
+}
+
+/// The fast engine's heap payload, packed to 16 bytes so a scheduled
+/// event is one 32-byte heap element (`RootTimeout`s live in a sidecar
+/// FIFO — see [`Engine::timeouts`] — and never enter the heap).
+#[derive(Debug, Clone, Copy)]
+struct FastEv {
     root: u64,
+    /// Event tag in the top two bits, global task index below.
+    task_tag: u32,
     tuples: u32,
 }
 
-#[derive(Debug)]
-enum Ev {
-    /// A spout task attempts to emit its next root batch.
-    TrySpout(usize),
-    /// A task finished the CPU work for a batch.
-    WorkDone(usize, Batch),
-    /// A batch arrives at a task's input queue.
-    Deliver(usize, Batch),
-    /// A root's tuple-tree timeout fired.
-    RootTimeout(u64),
-}
+const TAG_SHIFT: u32 = 30;
+const TASK_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const TAG_TRY_SPOUT: u32 = 0 << TAG_SHIFT;
+const TAG_WORK_DONE: u32 = 1 << TAG_SHIFT;
+const TAG_DELIVER: u32 = 2 << TAG_SHIFT;
 
-#[derive(Debug)]
-struct RootState {
-    pending: u32,
-    born: f64,
-    deadline: f64,
-    spout: usize,
-    failed: bool,
+impl FastEv {
+    fn try_spout(task: usize) -> Self {
+        Self {
+            root: 0,
+            task_tag: TAG_TRY_SPOUT | task as u32,
+            tuples: 0,
+        }
+    }
+
+    fn work_done(task: usize, batch: Batch) -> Self {
+        Self {
+            root: batch.root,
+            task_tag: TAG_WORK_DONE | task as u32,
+            tuples: batch.tuples,
+        }
+    }
+
+    fn deliver(task: usize, batch: Batch) -> Self {
+        Self {
+            root: batch.root,
+            task_tag: TAG_DELIVER | task as u32,
+            tuples: batch.tuples,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
-struct TaskRt {
-    queue: VecDeque<Batch>,
-    busy: bool,
-    credits: u32,
-    waiting_for_credit: bool,
-    emit_acc: f64,
+pub(crate) struct TaskRt {
+    pub queue: VecDeque<Batch>,
+    pub busy: bool,
+    pub credits: u32,
+    pub waiting_for_credit: bool,
+    pub emit_acc: f64,
     /// Earliest time a rate-limited spout may emit its next root batch.
-    next_emit_ms: f64,
+    pub next_emit_ms: f64,
+}
+
+/// Streaming accumulator for completed-root latencies (the population is
+/// far too large to retain).
+#[derive(Debug, Default)]
+pub(crate) struct LatencyAccumulator {
+    count: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyAccumulator {
+    pub fn record(&mut self, latency_ms: f64) {
+        if self.count == 0 {
+            self.min = latency_ms;
+            self.max = latency_ms;
+        } else {
+            self.min = self.min.min(latency_ms);
+            self.max = self.max.max(latency_ms);
+        }
+        self.count += 1;
+        self.sum += latency_ms;
+        self.sum_sq += latency_ms * latency_ms;
+    }
+
+    pub fn summary(&self) -> rstorm_metrics::Summary {
+        if self.count == 0 {
+            return rstorm_metrics::Summary::of([]);
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        let variance = (self.sum_sq / n - mean * mean).max(0.0);
+        rstorm_metrics::Summary {
+            count: self.count,
+            mean,
+            stddev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// The per-task constants the hot loop reads, packed densely (the full
+/// [`crate::build::SimTaskSpec`] — strings, slots — is only consulted at
+/// the report boundary).
+#[derive(Debug, Clone, Copy)]
+struct TaskStatic {
+    node: u32,
+    cpu_slot: u32,
+    sink_ctr: u32,
+    tuple_bytes: u32,
+    work_ms_per_tuple: f64,
+    emit_factor: f64,
+    /// Spout pacing rate in tuples/s; negative means unlimited.
+    max_rate: f64,
+    is_spout: bool,
+    is_sink: bool,
 }
 
 /// A configured simulation of one cluster executing any number of
 /// scheduled topologies. See the [crate docs](crate) for the model.
 #[derive(Debug)]
 pub struct Simulation {
-    cluster: Cluster,
+    cluster: Arc<Cluster>,
     config: SimConfig,
     index: ClusterIndex,
-    specs: Vec<SimTaskSpec>,
-    node_mem_demand: Vec<f64>,
-    topologies: Vec<String>,
-    stats: StatisticServer,
+    build: SimBuild,
 }
 
 impl Simulation {
-    /// Creates an empty simulation over `cluster`.
-    pub fn new(cluster: Cluster, config: SimConfig) -> Self {
+    /// Creates an empty simulation over `cluster`. Accepts either an
+    /// owned [`Cluster`] or an `Arc<Cluster>` — harnesses that construct
+    /// many simulations over the same cluster should share one `Arc`
+    /// instead of deep-copying the cluster per run.
+    pub fn new(cluster: impl Into<Arc<Cluster>>, config: SimConfig) -> Self {
+        let cluster = cluster.into();
         let index = ClusterIndex::new(&cluster);
-        let node_count = cluster.nodes().len();
-        let stats = StatisticServer::new(config.window_ms);
+        let build = SimBuild::new(cluster.nodes().len());
         Self {
             cluster,
             config,
             index,
-            specs: Vec::new(),
-            node_mem_demand: vec![0.0; node_count],
-            topologies: Vec::new(),
-            stats,
+            build,
         }
     }
 
@@ -96,18 +197,8 @@ impl Simulation {
             assignment.topology().as_str(),
             "assignment belongs to a different topology"
         );
-        for sink in topology.sinks() {
-            self.stats
-                .declare_sink(topology.id().as_str(), sink.id().as_str());
-        }
-        append_topology(
-            &mut self.specs,
-            &mut self.node_mem_demand,
-            &self.index,
-            topology,
-            assignment,
-        );
-        self.topologies.push(topology.id().as_str().to_owned());
+        self.build
+            .append_topology(&self.index, self.cluster.costs(), topology, assignment);
     }
 
     /// Runs the simulation to completion and reports.
@@ -117,7 +208,7 @@ impl Simulation {
     /// Panics if no topology was added.
     pub fn run(self) -> SimReport {
         assert!(
-            !self.specs.is_empty(),
+            !self.build.specs.is_empty(),
             "add at least one topology before running"
         );
         Engine::new(self).run()
@@ -127,66 +218,31 @@ impl Simulation {
 /// Mutable engine state, split from `Simulation` so the borrow checker
 /// lets us index tasks and servers independently.
 struct Engine {
-    cluster: Cluster,
     config: SimConfig,
-    specs: Vec<SimTaskSpec>,
-    topologies: Vec<String>,
-    stats: StatisticServer,
+    build: SimBuild,
     node_names: Vec<String>,
+    statics: Vec<TaskStatic>,
 
-    queue: EventQueue<Ev>,
-    cpus: Vec<CpuServer>,
+    queue: EventQueue<FastEv>,
+    /// Pending `RootTimeout`s, in firing order. The tuple timeout is a
+    /// fixed delta over a monotone clock, so deadlines arrive already
+    /// sorted — a FIFO replaces ~`max_pending × spouts` heap residents
+    /// with O(1) pushes and pops. Entries are `(key, seq, root)` with
+    /// `seq` drawn from the shared [`EventQueue`] counter, so merging
+    /// this lane with the heap by `(key, seq)` reproduces the exact
+    /// single-queue event order.
+    timeouts: VecDeque<(u64, u64, u64)>,
+    cpus: Vec<DenseCpuServer>,
     egress: Vec<LinkServer>,
     ingress: Vec<LinkServer>,
     uplink: LinkServer,
     tasks: Vec<TaskRt>,
-    roots: HashMap<u64, RootState>,
-    next_root: u64,
+    roots: RootSlab,
+    sink_counters: Vec<WindowedCounter>,
     rng: StdRng,
     totals: SimTotals,
     latency: LatencyAccumulator,
-}
-
-/// Streaming accumulator for completed-root latencies (the population is
-/// far too large to retain).
-#[derive(Debug, Default)]
-struct LatencyAccumulator {
-    count: usize,
-    sum: f64,
-    sum_sq: f64,
-    min: f64,
-    max: f64,
-}
-
-impl LatencyAccumulator {
-    fn record(&mut self, latency_ms: f64) {
-        if self.count == 0 {
-            self.min = latency_ms;
-            self.max = latency_ms;
-        } else {
-            self.min = self.min.min(latency_ms);
-            self.max = self.max.max(latency_ms);
-        }
-        self.count += 1;
-        self.sum += latency_ms;
-        self.sum_sq += latency_ms * latency_ms;
-    }
-
-    fn summary(&self) -> rstorm_metrics::Summary {
-        if self.count == 0 {
-            return rstorm_metrics::Summary::of([]);
-        }
-        let n = self.count as f64;
-        let mean = self.sum / n;
-        let variance = (self.sum_sq / n - mean * mean).max(0.0);
-        rstorm_metrics::Summary {
-            count: self.count,
-            mean,
-            stddev: variance.sqrt(),
-            min: self.min,
-            max: self.max,
-        }
-    }
+    events: u64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -204,26 +260,27 @@ impl Engine {
             cluster,
             config,
             index,
-            specs,
-            node_mem_demand,
-            topologies,
-            stats,
+            mut build,
         } = sim;
 
-        let costs = cluster.costs().clone();
-        let cpus = index
+        // Borrow the cost matrix; nothing here outlives this scope and
+        // the per-route latencies were already baked in at build time.
+        let costs = cluster.costs();
+        let node_tasks = std::mem::take(&mut build.node_tasks);
+        let cpus: Vec<DenseCpuServer> = index
             .cores
             .iter()
-            .zip(&node_mem_demand)
+            .zip(&build.node_mem_demand)
             .zip(&index.memory_mb)
-            .map(|((&cores, &demand), &capacity)| {
+            .zip(node_tasks)
+            .map(|(((&cores, &demand), &capacity), globals)| {
                 let thrash = if demand > capacity && config.oom_thrash_factor < 1.0 {
                     // Over-committed memory: the node pages/crash-loops.
                     config.oom_thrash_factor
                 } else {
                     1.0
                 };
-                CpuServer::new(cores, thrash)
+                DenseCpuServer::new(cores, thrash, globals)
             })
             .collect();
         let egress = (0..index.cores.len())
@@ -234,7 +291,8 @@ impl Engine {
             .collect();
         let uplink = LinkServer::from_mbps(costs.inter_rack_bandwidth_mbps);
 
-        let tasks = specs
+        let tasks = build
+            .specs
             .iter()
             .map(|s| TaskRt {
                 credits: if s.is_spout {
@@ -245,45 +303,88 @@ impl Engine {
                 ..TaskRt::default()
             })
             .collect();
+        let statics = build
+            .specs
+            .iter()
+            .map(|s| TaskStatic {
+                node: s.node_idx as u32,
+                cpu_slot: s.cpu_slot,
+                sink_ctr: s.sink_ctr,
+                tuple_bytes: s.tuple_bytes,
+                work_ms_per_tuple: s.work_ms_per_tuple,
+                emit_factor: s.emit_factor,
+                max_rate: s.max_rate_tuples_per_sec.unwrap_or(-1.0),
+                is_spout: s.is_spout,
+                is_sink: s.is_sink,
+            })
+            .collect();
+        let sink_counters = (0..build.sink_counters)
+            .map(|_| WindowedCounter::new(config.window_ms))
+            .collect();
 
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
-            cluster,
             config,
-            specs,
-            topologies,
-            stats,
+            build,
             node_names: index.node_names,
+            statics,
             queue: EventQueue::new(),
+            timeouts: VecDeque::new(),
             cpus,
             egress,
             ingress,
             uplink,
             tasks,
-            roots: HashMap::new(),
-            next_root: 0,
+            roots: RootSlab::new(),
+            sink_counters,
             rng,
             totals: SimTotals::default(),
             latency: LatencyAccumulator::default(),
+            events: 0,
         }
     }
 
     fn run(mut self) -> SimReport {
-        for i in 0..self.specs.len() {
-            if self.specs[i].is_spout {
-                self.queue.schedule(0.0, Ev::TrySpout(i));
+        for i in 0..self.statics.len() {
+            if self.statics[i].is_spout {
+                self.queue.schedule(0.0, FastEv::try_spout(i));
             }
         }
 
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > self.config.sim_time_ms {
-                break;
-            }
-            match ev {
-                Ev::TrySpout(i) => self.try_spout(i),
-                Ev::WorkDone(i, batch) => self.work_done(i, batch),
-                Ev::Deliver(i, batch) => self.deliver(i, batch),
-                Ev::RootTimeout(root) => self.root_timeout(root),
+        loop {
+            // Merge the heap lane and the timeout FIFO by (key, seq):
+            // whichever head is earlier is the event a single queue
+            // would have popped.
+            let take_timeout = match (self.queue.peek_key(), self.timeouts.front()) {
+                (Some(h), Some(&(tk, ts, _))) => (tk, ts) < h,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            if take_timeout {
+                let (key, _, root) = self.timeouts.pop_front().expect("front checked");
+                let t = self.queue.advance_to(key);
+                if t > self.config.sim_time_ms {
+                    break;
+                }
+                self.events += 1;
+                self.root_timeout(root);
+            } else {
+                let (t, ev) = self.queue.pop().expect("peek checked");
+                if t > self.config.sim_time_ms {
+                    break;
+                }
+                self.events += 1;
+                let task = (ev.task_tag & TASK_MASK) as usize;
+                let batch = Batch {
+                    root: ev.root,
+                    tuples: ev.tuples,
+                };
+                match ev.task_tag & !TASK_MASK {
+                    TAG_TRY_SPOUT => self.try_spout(task),
+                    TAG_WORK_DONE => self.work_done(task, batch),
+                    _ => self.deliver(task, batch),
+                }
             }
         }
 
@@ -301,103 +402,91 @@ impl Engine {
             return;
         }
         let now = self.queue.now();
+        let spec = self.statics[i];
         // A rate-limited source paces its emissions regardless of credit
         // availability (the stream arrives at its own rate).
-        if let Some(rate) = self.specs[i].max_rate_tuples_per_sec {
+        if spec.max_rate >= 0.0 {
             if now + 1e-9 < self.tasks[i].next_emit_ms {
                 let at = self.tasks[i].next_emit_ms;
-                self.queue.schedule(at, Ev::TrySpout(i));
+                self.queue.schedule(at, FastEv::try_spout(i));
                 return;
             }
-            let interval = f64::from(self.config.batch_tuples) / rate * 1000.0;
+            let interval = f64::from(self.config.batch_tuples) / spec.max_rate * 1000.0;
             let base = self.tasks[i].next_emit_ms.max(now);
             self.tasks[i].next_emit_ms = base + interval;
         }
         self.tasks[i].credits -= 1;
-        let root = self.next_root;
-        self.next_root += 1;
         let deadline = now + self.config.tuple_timeout_ms;
-        self.roots.insert(
-            root,
-            RootState {
-                pending: 1,
-                born: now,
-                deadline,
-                spout: i,
-                failed: false,
-            },
+        let root = self.roots.insert(RootState {
+            pending: 1,
+            born: now,
+            deadline,
+            spout: i as u32,
+            failed: false,
+        });
+        let (key, seq) = self.queue.alloc_slot(deadline);
+        debug_assert!(
+            self.timeouts
+                .back()
+                .is_none_or(|&(k, s, _)| (k, s) < (key, seq)),
+            "timeout deadlines must arrive in order"
         );
-        self.queue.schedule(deadline, Ev::RootTimeout(root));
+        self.timeouts.push_back((key, seq, root));
 
         let batch = Batch {
             root,
             tuples: self.config.batch_tuples,
         };
-        let work = f64::from(batch.tuples) * self.specs[i].work_ms_per_tuple;
-        let done = self.cpus[self.specs[i].node_idx].serve(now, i, work);
+        let work = f64::from(batch.tuples) * spec.work_ms_per_tuple;
+        let done = self.cpus[spec.node as usize].serve(now, spec.cpu_slot as usize, work);
         self.tasks[i].busy = true;
-        self.queue.schedule(done, Ev::WorkDone(i, batch));
+        self.queue.schedule(done, FastEv::work_done(i, batch));
     }
 
     // ---- work completion ---------------------------------------------
 
     fn work_done(&mut self, i: usize, batch: Batch) {
         let now = self.queue.now();
-        let spec_is_spout = self.specs[i].is_spout;
-        let spec_is_sink = self.specs[i].is_sink;
+        let spec = self.statics[i];
 
-        if spec_is_spout {
+        if spec.is_spout {
             self.totals.spout_batches += 1;
-            self.stats.record_emitted(
-                &self.specs[i].topology,
-                &self.specs[i].component,
-                now,
-                u64::from(batch.tuples),
-            );
         } else {
             self.totals.tuples_processed += u64::from(batch.tuples);
         }
 
-        if spec_is_sink {
+        if spec.is_sink {
             let alive = self
                 .roots
-                .get(&batch.root)
+                .get(batch.root)
                 .is_some_and(|r| !r.failed && now <= r.deadline);
             if alive {
                 self.totals.tuples_completed += u64::from(batch.tuples);
-                self.stats.record_processed(
-                    &self.specs[i].topology,
-                    &self.specs[i].component,
-                    now,
-                    u64::from(batch.tuples),
-                );
+                debug_assert_ne!(spec.sink_ctr, NO_SINK);
+                self.sink_counters[spec.sink_ctr as usize].record(now, u64::from(batch.tuples));
             }
-        } else if !spec_is_spout {
-            self.stats.record_processed(
-                &self.specs[i].topology,
-                &self.specs[i].component,
-                now,
-                u64::from(batch.tuples),
-            );
         }
 
         // Emission: anchor new copies on the root *before* releasing this
         // batch's own pending slot, so the root cannot complete early.
-        if self.specs[i].emit_factor > 0.0 && !self.specs[i].consumers.is_empty() {
-            self.tasks[i].emit_acc += self.specs[i].emit_factor;
-            let n_out = self.tasks[i].emit_acc.floor() as u32;
-            self.tasks[i].emit_acc -= f64::from(n_out);
-            for _ in 0..n_out {
-                self.emit(i, batch);
+        if spec.emit_factor > 0.0 {
+            let (_, group_len) = self.build.routing.task_groups[i];
+            if group_len > 0 {
+                self.tasks[i].emit_acc += spec.emit_factor;
+                let n_out = self.tasks[i].emit_acc.floor() as u32;
+                self.tasks[i].emit_acc -= f64::from(n_out);
+                for _ in 0..n_out {
+                    self.emit(i, batch);
+                }
             }
         }
 
         self.finish_pending(batch.root);
 
         self.tasks[i].busy = false;
-        if spec_is_spout {
+        if spec.is_spout {
             let now = self.queue.now();
-            self.queue.schedule(now, Ev::TrySpout(i));
+            self.queue.schedule(now, FastEv::try_spout(i));
         } else if let Some(next) = self.tasks[i].queue.pop_front() {
             self.start_processing(i, next);
         }
@@ -405,75 +494,60 @@ impl Engine {
 
     fn start_processing(&mut self, i: usize, batch: Batch) {
         let now = self.queue.now();
-        let work = f64::from(batch.tuples) * self.specs[i].work_ms_per_tuple;
-        let done = self.cpus[self.specs[i].node_idx].serve(now, i, work);
+        let spec = self.statics[i];
+        let work = f64::from(batch.tuples) * spec.work_ms_per_tuple;
+        let done = self.cpus[spec.node as usize].serve(now, spec.cpu_slot as usize, work);
         self.tasks[i].busy = true;
-        self.queue.schedule(done, Ev::WorkDone(i, batch));
+        self.queue.schedule(done, FastEv::work_done(i, batch));
     }
 
     // ---- routing -------------------------------------------------------
 
     fn emit(&mut self, from: usize, batch: Batch) {
-        let group_count = self.specs[from].consumers.len();
-        for g in 0..group_count {
-            let targets = self.pick_targets(from, g);
-            for to in targets {
-                self.transfer(from, to, batch);
+        let (group_start, group_len) = self.build.routing.task_groups[from];
+        for g in group_start..group_start + group_len {
+            let group = self.build.routing.groups[g as usize];
+            match group.kind {
+                GroupKind::Pick => {
+                    let k = self.rng.gen_range(0..group.len as usize);
+                    let route = self.build.routing.routes[group.start as usize + k];
+                    self.transfer(from, route, batch);
+                }
+                GroupKind::All => {
+                    for k in 0..group.len as usize {
+                        let route = self.build.routing.routes[group.start as usize + k];
+                        self.transfer(from, route, batch);
+                    }
+                }
             }
         }
     }
 
-    fn pick_targets(&mut self, from: usize, group: usize) -> Vec<usize> {
-        let group = &self.specs[from].consumers[group];
-        let targets = &group.targets;
-        debug_assert!(!targets.is_empty(), "validated topologies have tasks");
-        match &group.grouping {
-            StreamGrouping::Shuffle | StreamGrouping::Fields(_) => {
-                // Fields grouping with uniformly distributed keys is
-                // statistically identical to shuffle at this granularity.
-                vec![targets[self.rng.gen_range(0..targets.len())]]
-            }
-            StreamGrouping::All => targets.clone(),
-            StreamGrouping::Global => vec![targets[0]],
-            StreamGrouping::LocalOrShuffle => {
-                let from_slot = &self.specs[from].slot;
-                let local: Vec<usize> = targets
-                    .iter()
-                    .copied()
-                    .filter(|&t| self.specs[t].slot == *from_slot)
-                    .collect();
-                let pool = if local.is_empty() { targets } else { &local };
-                vec![pool[self.rng.gen_range(0..pool.len())]]
-            }
-        }
-    }
-
-    fn transfer(&mut self, from: usize, to: usize, batch: Batch) {
+    fn transfer(&mut self, from: usize, route: Route, batch: Batch) {
         let now = self.queue.now();
-        let costs = self.cluster.costs();
-        let relation = relation_of(&self.specs[from], &self.specs[to]);
-        let bytes = self.specs[from].tuple_bytes.saturating_mul(batch.tuples);
-        let latency = costs.latency_ms(relation);
+        let spec = self.statics[from];
+        let bytes = spec.tuple_bytes.saturating_mul(batch.tuples);
 
-        let arrival = match relation {
-            PlacementRelation::SameWorker | PlacementRelation::SameNode => now + latency,
-            PlacementRelation::SameRack => {
-                let t1 = self.egress[self.specs[from].node_idx].serve(now, bytes);
-                let t2 = self.ingress[self.specs[to].node_idx].serve(t1, bytes);
-                t2 + latency
+        let arrival = match route.kind {
+            LinkKind::Local => now + route.latency_ms,
+            LinkKind::SameRack => {
+                let t1 = self.egress[spec.node as usize].serve(now, bytes);
+                let t2 = self.ingress[route.to_node as usize].serve(t1, bytes);
+                t2 + route.latency_ms
             }
-            PlacementRelation::InterRack => {
-                let t1 = self.egress[self.specs[from].node_idx].serve(now, bytes);
+            LinkKind::InterRack => {
+                let t1 = self.egress[spec.node as usize].serve(now, bytes);
                 let t2 = self.uplink.serve(t1, bytes);
-                let t3 = self.ingress[self.specs[to].node_idx].serve(t2, bytes);
-                t3 + latency
+                let t3 = self.ingress[route.to_node as usize].serve(t2, bytes);
+                t3 + route.latency_ms
             }
         };
 
-        if let Some(root) = self.roots.get_mut(&batch.root) {
+        if let Some(root) = self.roots.get_mut(batch.root) {
             root.pending += 1;
         }
-        self.queue.schedule(arrival, Ev::Deliver(to, batch));
+        self.queue
+            .schedule(arrival, FastEv::deliver(route.to as usize, batch));
     }
 
     // ---- delivery ------------------------------------------------------
@@ -483,7 +557,7 @@ impl Engine {
         // Shed batches whose root already timed out: the real system's
         // queues would be drained of them by the replay mechanism, and
         // processing them would let queues grow without bound.
-        let stale = self.roots.get(&batch.root).is_none_or(|r| r.failed);
+        let stale = self.roots.get(batch.root).is_none_or(|r| r.failed);
         if stale {
             self.totals.batches_dropped += 1;
             self.finish_pending(batch.root);
@@ -501,7 +575,7 @@ impl Engine {
     /// Releases one pending slot of `root`, completing it if this was the
     /// last one.
     fn finish_pending(&mut self, root: u64) {
-        let Some(state) = self.roots.get_mut(&root) else {
+        let Some(state) = self.roots.get_mut(root) else {
             return;
         };
         state.pending -= 1;
@@ -509,9 +583,9 @@ impl Engine {
             return;
         }
         let failed = state.failed;
-        let spout = state.spout;
+        let spout = state.spout as usize;
         let born = state.born;
-        self.roots.remove(&root);
+        self.roots.remove(root);
         if !failed {
             self.totals.roots_completed += 1;
             self.latency.record(self.queue.now() - born);
@@ -520,14 +594,14 @@ impl Engine {
     }
 
     fn root_timeout(&mut self, root: u64) {
-        let Some(state) = self.roots.get_mut(&root) else {
+        let Some(state) = self.roots.get_mut(root) else {
             return; // Completed before the deadline.
         };
         if state.failed {
             return;
         }
         state.failed = true;
-        let spout = state.spout;
+        let spout = state.spout as usize;
         self.totals.roots_timed_out += 1;
         // Storm replays the tuple: the credit returns to the spout even
         // though stale descendants may still be in flight.
@@ -539,7 +613,7 @@ impl Engine {
         if self.tasks[spout].waiting_for_credit {
             self.tasks[spout].waiting_for_credit = false;
             let now = self.queue.now();
-            self.queue.schedule(now, Ev::TrySpout(spout));
+            self.queue.schedule(now, FastEv::try_spout(spout));
         }
     }
 
@@ -558,17 +632,50 @@ impl Engine {
             }
         }
 
+        // Used-node counts from dense ids; the String keys of the report
+        // maps are attached only here, at the boundary.
+        let topo_count = self.build.topo_names.len();
+        let node_count = self.node_names.len();
+        let mut seen = vec![false; topo_count * node_count];
+        let mut used_counts = vec![0usize; topo_count];
+        for s in &self.build.specs {
+            let cell = s.topo_id as usize * node_count + s.node_idx;
+            if !seen[cell] {
+                seen[cell] = true;
+                used_counts[s.topo_id as usize] += 1;
+            }
+        }
+
+        // Per-topology throughput from the dense sink counters. The float
+        // arithmetic replicates `StatisticServer::topology_throughput`
+        // exactly: sinks are summed in sorted-component-name order (the
+        // interning order), then averaged.
+        let num_windows = (elapsed / self.config.window_ms).floor() as usize;
         let mut throughput = std::collections::BTreeMap::new();
         let mut used_by_topology = std::collections::BTreeMap::new();
-        for t in &self.topologies {
-            throughput.insert(t.clone(), self.stats.topology_throughput(t, elapsed));
-            let used: BTreeSet<String> = self
-                .specs
-                .iter()
-                .filter(|s| &s.topology == t)
-                .map(|s| s.slot.node.as_str().to_owned())
-                .collect();
-            used_by_topology.insert(t.clone(), used.len());
+        for (tid, name) in self.build.topo_names.iter().enumerate() {
+            let sinks = &self.build.sink_ctrs_by_topo[tid];
+            let mut windows = vec![0.0f64; num_windows];
+            if !sinks.is_empty() {
+                for &ctr in sinks {
+                    let counts = self.sink_counters[ctr as usize].complete_window_counts(elapsed);
+                    for (w, c) in windows.iter_mut().zip(counts) {
+                        *w += c as f64;
+                    }
+                }
+                let n = sinks.len() as f64;
+                for w in &mut windows {
+                    *w /= n;
+                }
+            }
+            throughput.insert(
+                name.clone(),
+                ThroughputReport {
+                    window_ms: self.config.window_ms,
+                    windows,
+                },
+            );
+            used_by_topology.insert(name.clone(), used_counts[tid]);
         }
 
         let node_utilization = tracker.used_node_utilizations(elapsed);
@@ -583,19 +690,14 @@ impl Engine {
             inter_rack_mb: self.uplink.served_bytes() / 1e6,
             latency_ms: self.latency.summary(),
             totals: self.totals,
+            debug: SimDebugStats {
+                events: self.events,
+                root_pool_hits: self.roots.pool_hits,
+                root_pool_misses: self.roots.pool_misses,
+                max_live_roots: self.roots.max_live,
+                route_entries: self.build.routing.routes.len() as u64,
+            },
         }
-    }
-}
-
-fn relation_of(a: &SimTaskSpec, b: &SimTaskSpec) -> PlacementRelation {
-    if a.slot == b.slot {
-        PlacementRelation::SameWorker
-    } else if a.node_idx == b.node_idx {
-        PlacementRelation::SameNode
-    } else if a.rack_idx == b.rack_idx {
-        PlacementRelation::SameRack
-    } else {
-        PlacementRelation::InterRack
     }
 }
 
@@ -605,7 +707,7 @@ mod tests {
     use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
     use rstorm_core::schedulers::EvenScheduler;
     use rstorm_core::{schedule_all, GlobalState, RStormScheduler, Scheduler};
-    use rstorm_topology::{ExecutionProfile, TopologyBuilder};
+    use rstorm_topology::{ExecutionProfile, StreamGrouping, TopologyBuilder};
 
     fn emulab(racks: u32, nodes: u32) -> Cluster {
         ClusterBuilder::new()
@@ -688,6 +790,36 @@ mod tests {
     }
 
     #[test]
+    fn debug_stats_show_pool_reuse_and_routing() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let d = &report.debug;
+        assert!(d.events > 0, "events counted");
+        assert!(d.route_entries > 0, "routes precomputed");
+        // Root slots recycle: far more roots complete than the slab ever
+        // holds at once, so the pool must be hit.
+        assert!(
+            d.root_pool_hits > 0,
+            "root pool reused: {:?} (completed {})",
+            d,
+            report.totals.roots_completed
+        );
+        assert!(
+            d.root_pool_misses <= d.max_live_roots,
+            "slab only grows to the in-flight high-water mark: {d:?}"
+        );
+        // Roots are allocated at emission; a few may still be in flight
+        // when the horizon cuts the run off.
+        assert!(
+            d.root_pool_hits + d.root_pool_misses >= report.totals.spout_batches,
+            "every spout batch allocates a root: {:?} vs {}",
+            d,
+            report.totals.spout_batches
+        );
+    }
+
+    #[test]
     fn backpressure_bounds_inflight_roots() {
         // A tiny, heavily CPU-bound sink limits end-to-end throughput;
         // max_pending must keep spout emission in check rather than let
@@ -712,6 +844,11 @@ mod tests {
             "spout {} vs completed {}",
             report.totals.spout_batches,
             report.totals.roots_completed
+        );
+        assert!(
+            report.debug.max_live_roots <= 10 + 1,
+            "slab high-water mark tracks max_pending: {:?}",
+            report.debug
         );
     }
 
@@ -922,6 +1059,60 @@ mod tests {
         assert!(report.throughput["a"].steady_state(1).mean > 0.0);
         assert!(report.throughput["b"].steady_state(1).mean > 0.0);
         assert_eq!(report.used_nodes_by_topology.len(), 2);
+    }
+
+    #[test]
+    fn shared_arc_cluster_avoids_per_sim_deep_copy() {
+        // Constructing many simulations over one Arc'd cluster must not
+        // clone the cluster (the fig8/fig10 harness pattern).
+        let cluster = Arc::new(emulab(2, 3));
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            let mut sim = Simulation::new(Arc::clone(&cluster), SimConfig::quick());
+            sim.add_topology(&t, &assignment);
+            reports.push(sim.run());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[1], reports[2]);
+    }
+
+    #[test]
+    fn grouping_variants_route_without_string_keys() {
+        // Exercise every grouping through the precomputed routing table
+        // in one topology.
+        let cluster = emulab(2, 3);
+        let mut b = TopologyBuilder::new("mix");
+        b.set_spout("s", 2)
+            .set_profile(ExecutionProfile::new(0.05, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("all", 2)
+            .all_grouping("s")
+            .set_profile(ExecutionProfile::new(0.02, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("fields", 2)
+            .fields_grouping("all", ["k"])
+            .set_profile(ExecutionProfile::new(0.02, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("local", 2)
+            .local_or_shuffle_grouping("fields")
+            .set_profile(ExecutionProfile::new(0.02, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("sink", 1)
+            .global_grouping("local")
+            .set_profile(ExecutionProfile::new(0.02, 0.0, 100))
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            t.consumers("s")[0].1.grouping,
+            StreamGrouping::All
+        ));
+        let report = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        assert!(report.totals.tuples_completed > 0);
     }
 
     #[test]

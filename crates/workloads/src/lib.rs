@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod cases;
 pub mod clusters;
 pub mod micro;
 pub mod yahoo;

@@ -115,7 +115,7 @@ pub mod prelude {
         ReferenceRStormScheduler, ScheduleError, Scheduler, SchedulingPlan, SoftConstraintWeights,
     };
     pub use rstorm_metrics::{StatisticServer, Summary, ThroughputReport};
-    pub use rstorm_sim::{SimConfig, SimReport, Simulation};
+    pub use rstorm_sim::{ReferenceSimulation, SimConfig, SimReport, Simulation};
     pub use rstorm_topology::{
         ExecutionProfile, StreamGrouping, Topology, TopologyBuilder, TraversalOrder,
     };

@@ -450,4 +450,39 @@ proptest! {
         prop_assert!(t.batches_dropped <= t.batches_delivered);
         prop_assert!(t.spout_batches > 0, "spouts must make progress");
     }
+
+    /// The simulator tentpole's correctness bar, as a property: on
+    /// arbitrary feasible topologies the dense-id fast engine and the
+    /// string-keyed reference engine must produce **identical** reports —
+    /// same totals, same per-window counts, same latency bits.
+    #[test]
+    fn fast_simulation_matches_reference(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = std::sync::Arc::new(
+            ClusterBuilder::new()
+                .homogeneous_racks(2, 3, ResourceCapacity::new(400.0, 8192.0, 100.0), 4)
+                .build()
+                .unwrap(),
+        );
+        let Ok(assignment) = RStormScheduler::new().schedule(
+            &topology,
+            &cluster,
+            &mut GlobalState::new(&cluster),
+        ) else {
+            return Ok(());
+        };
+        let config = SimConfig::quick().with_sim_time_ms(8_000.0).with_seed(seed);
+        let mut fast = Simulation::new(std::sync::Arc::clone(&cluster), config.clone());
+        fast.add_topology(&topology, &assignment);
+        let mut reference =
+            ReferenceSimulation::new(std::sync::Arc::clone(&cluster), config);
+        reference.add_topology(&topology, &assignment);
+        let fast_report = fast.run();
+        let reference_report = reference.run();
+        prop_assert_eq!(&fast_report, &reference_report);
+        prop_assert_eq!(fast_report.debug.events, reference_report.debug.events);
+        prop_assert_eq!(fast_report.to_json(), reference_report.to_json());
+    }
 }
