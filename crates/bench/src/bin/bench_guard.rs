@@ -1,21 +1,32 @@
 //! Benchmark regression guard: fails (exit 1) if any case in the checked
-//! `BENCH_*.json` files reports a `speedup_vs_reference` below 1.0 —
-//! i.e. if either "fast path" (the indexed scheduler, the dense-id
-//! simulator) has regressed to slower than the reference implementation
-//! it is supposed to beat.
+//! `BENCH_*.json` files reports a `speedup_vs_reference` below the
+//! threshold — i.e. if either "fast path" (the indexed scheduler, the
+//! dense-id simulator, the fault-injected simulator) has regressed
+//! against the reference implementation it is supposed to beat.
 //!
-//! Run after `perf_smoke` and `sim_smoke` have refreshed the files:
+//! The threshold defaults to 1.0 and can be tuned with the
+//! `BENCH_GUARD_MIN` environment variable (e.g. `BENCH_GUARD_MIN=1.2`
+//! to demand a 20% margin, or `0.9` to tolerate noisy shared runners).
+//!
+//! A failing or missing file gets **one** re-measure: the guard invokes
+//! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`)
+//! through `cargo run --release` and re-checks, so a single noisy sample
+//! on a busy machine does not fail the build. A second miss is a real
+//! regression.
+//!
+//! Run after `perf_smoke`, `sim_smoke` and `chaos_smoke` have refreshed
+//! the files:
 //!
 //! ```text
 //! cargo run --release -p rstorm-bench --bin bench_guard
 //! ```
 //!
-//! Arguments are the files to check; defaults to `BENCH_sched.json` and
-//! `BENCH_sim.json` in the current directory. A missing file is an
-//! error — the guard must never pass because a smoke run silently
-//! produced nothing.
+//! Arguments are the files to check; defaults to `BENCH_sched.json`,
+//! `BENCH_sim.json` and `BENCH_chaos.json` in the current directory. A
+//! missing file that has no matching smoke binary is an error — the
+//! guard must never pass because a smoke run silently produced nothing.
 
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 /// One `speedup_vs_reference` reading and the case it belongs to.
 #[derive(Debug, PartialEq)]
@@ -63,7 +74,47 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     token.strip_prefix('"')?.strip_suffix('"')
 }
 
-fn check_file(path: &str) -> Result<usize, String> {
+/// The minimum acceptable `speedup_vs_reference`, from `BENCH_GUARD_MIN`
+/// (default 1.0).
+fn threshold() -> f64 {
+    match std::env::var("BENCH_GUARD_MIN") {
+        Ok(raw) => raw.parse().unwrap_or_else(|e| {
+            panic!("BENCH_GUARD_MIN must be a number, got {raw:?}: {e}");
+        }),
+        Err(_) => 1.0,
+    }
+}
+
+/// The smoke binary that regenerates `path`, if the guard knows one.
+fn smoke_bin(path: &str) -> Option<&'static str> {
+    if path.ends_with("BENCH_sched.json") {
+        Some("perf_smoke")
+    } else if path.ends_with("BENCH_sim.json") {
+        Some("sim_smoke")
+    } else if path.ends_with("BENCH_chaos.json") {
+        Some("chaos_smoke")
+    } else {
+        None
+    }
+}
+
+/// Re-runs the smoke binary that produces `path`. Returns false if the
+/// run could not be launched or failed.
+fn remeasure(path: &str) -> bool {
+    let Some(bin) = smoke_bin(path) else {
+        return false;
+    };
+    eprintln!(
+        "bench_guard: re-measuring {path} via `cargo run --release -p rstorm-bench --bin {bin}`"
+    );
+    Command::new(env!("CARGO"))
+        .args(["run", "--release", "-p", "rstorm-bench", "--bin", bin])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+fn check_file(path: &str, min: f64) -> Result<usize, String> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| format!("{path}: {e} (run the matching smoke binary first)"))?;
     let readings = extract_speedups(&json);
@@ -72,7 +123,7 @@ fn check_file(path: &str) -> Result<usize, String> {
     }
     let mut failures = 0;
     for r in &readings {
-        let verdict = if r.speedup < 1.0 {
+        let verdict = if r.speedup < min {
             failures += 1;
             "REGRESSION"
         } else {
@@ -82,7 +133,7 @@ fn check_file(path: &str) -> Result<usize, String> {
     }
     if failures > 0 {
         Err(format!(
-            "{path}: {failures} case(s) slower than the reference implementation"
+            "{path}: {failures} case(s) below the {min:.2}x threshold"
         ))
     } else {
         Ok(readings.len())
@@ -92,21 +143,31 @@ fn check_file(path: &str) -> Result<usize, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let files: Vec<&str> = if args.is_empty() {
-        vec!["BENCH_sched.json", "BENCH_sim.json"]
+        vec!["BENCH_sched.json", "BENCH_sim.json", "BENCH_chaos.json"]
     } else {
         args.iter().map(String::as_str).collect()
     };
+    let min = threshold();
 
     let mut errors = Vec::new();
     let mut checked = 0;
     for file in files {
-        match check_file(file) {
+        let result = match check_file(file, min) {
+            Ok(n) => Ok(n),
+            // One retry: refresh the file with its smoke binary and
+            // re-check, so a single noisy sample is not a failure.
+            Err(first) if remeasure(file) => {
+                check_file(file, min).map_err(|second| format!("{second} (first attempt: {first})"))
+            }
+            Err(e) => Err(e),
+        };
+        match result {
             Ok(n) => checked += n,
             Err(e) => errors.push(e),
         }
     }
     if errors.is_empty() {
-        println!("bench_guard: {checked} case(s) at or above 1.0x — pass");
+        println!("bench_guard: {checked} case(s) at or above {min:.2}x — pass");
         ExitCode::SUCCESS
     } else {
         for e in &errors {
@@ -158,5 +219,23 @@ mod tests {
         assert_eq!(readings.len(), 1);
         assert_eq!(readings[0].case, "schedule/40t_12n");
         assert!((readings[0].speedup - 1.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_bench_chaos_shape_parses() {
+        // The exact line shape chaos_smoke writes.
+        let line = r#"    {"name": "page_load", "tasks": 16, "nodes": 24, "sim_ms": 60000, "crash_at_ms": 20000, "time_to_detect_ms": 2000, "time_to_recover_ms": 2000, "tuples_lost": 50, "throughput_dip_depth": 0.679, "reschedule_attempts": 1, "fast_ns": 51740000, "reference_ns": 298390000, "speedup_vs_reference": 5.77}"#;
+        let readings = extract_speedups(line);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].case, "page_load");
+        assert!((readings[0].speedup - 5.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_default_file_has_a_smoke_binary() {
+        for file in ["BENCH_sched.json", "BENCH_sim.json", "BENCH_chaos.json"] {
+            assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
+        }
+        assert_eq!(smoke_bin("BENCH_other.json"), None);
     }
 }

@@ -13,11 +13,12 @@ use rstorm_cluster::Cluster;
 use rstorm_core::schedulers::{EvenScheduler, OfflineLinearizationScheduler, RandomScheduler};
 use rstorm_core::{verify_plan, GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
-use rstorm_sim::{SimConfig, SimReport, Simulation};
+use rstorm_sim::{run_crash_recover, ChaosConfig, SimConfig, SimReport, Simulation};
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 rstorm — resource-aware scheduling for Storm-style topologies
@@ -27,6 +28,8 @@ USAGE:
     rstorm simulate --topology FILE --cluster FILE [--scheduler NAME]
                     [--duration-s N] [--seed N]
     rstorm compare  --topology FILE --cluster FILE [--duration-s N] [--seed N]
+    rstorm chaos    --topology FILE --cluster FILE [--victim NODE]
+                    [--crash-at-s N] [--heal-at-s N] [--duration-s N] [--seed N]
     rstorm example-specs
 
 SCHEDULERS:
@@ -54,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => schedule_cmd(&parse_flags(&args[1..])?),
         "simulate" => simulate_cmd(&parse_flags(&args[1..])?),
         "compare" => compare_cmd(&parse_flags(&args[1..])?),
+        "chaos" => chaos_cmd(&parse_flags(&args[1..])?),
         "example-specs" => {
             print_example_specs();
             Ok(())
@@ -224,6 +228,97 @@ fn compare_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a crash-then-recover chaos scenario: schedules with R-Storm,
+/// crashes the victim node mid-run, and reports detection/recovery
+/// latency plus the data-plane damage.
+fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let config = sim_config(flags)?;
+    let duration_s = config.sim_time_ms / 1000.0;
+
+    let parse_s = |name: &str, default: f64| -> Result<f64, String> {
+        match flags.get(name) {
+            Some(raw) => raw.parse().map_err(|_| format!("invalid --{name} `{raw}`")),
+            None => Ok(default),
+        }
+    };
+    let crash_at_s = parse_s("crash-at-s", duration_s / 3.0)?;
+    let heal_at_s = parse_s("heal-at-s", crash_at_s + duration_s / 4.0)?;
+    if !(crash_at_s >= 0.0 && crash_at_s < heal_at_s) {
+        return Err(format!(
+            "need 0 <= --crash-at-s ({crash_at_s}) < --heal-at-s ({heal_at_s})"
+        ));
+    }
+
+    let cluster = Arc::new(cluster);
+    let victim = match flags.get("victim") {
+        Some(name) => name.clone(),
+        None => {
+            // Default to a node the placement actually uses — crashing an
+            // idle machine demonstrates nothing.
+            let mut state = GlobalState::new(&cluster);
+            let assignment = RStormScheduler::new()
+                .schedule(&topology, &cluster, &mut state)
+                .map_err(|e| e.to_string())?;
+            let host = assignment.iter().next().expect("non-empty assignment");
+            host.1.node.as_str().to_owned()
+        }
+    };
+    if !cluster.nodes().iter().any(|n| n.id().as_str() == victim) {
+        return Err(format!("--victim `{victim}` is not a node of the cluster"));
+    }
+
+    let mut chaos = ChaosConfig::new(victim.clone(), crash_at_s * 1000.0, heal_at_s * 1000.0);
+    chaos.sim = config;
+    let out = run_crash_recover(&cluster, &topology, &chaos);
+
+    println!(
+        "chaos scenario on `{}`: crash {victim} at {crash_at_s:.0} s, heal at {heal_at_s:.0} s \
+         (sim {duration_s:.0} s)\n",
+        topology.id()
+    );
+    for event in &out.events {
+        println!("  {event:?}");
+    }
+    let obs = out.observations;
+    println!();
+    if obs.time_to_detect_ms >= 0.0 {
+        println!(
+            "time to detect: {:.0} ms after the crash",
+            obs.time_to_detect_ms
+        );
+    } else {
+        println!("time to detect: never (within the run)");
+    }
+    if obs.time_to_recover_ms >= 0.0 {
+        println!(
+            "time to full re-placement: {:.0} ms after the crash",
+            obs.time_to_recover_ms
+        );
+    } else {
+        println!("time to full re-placement: never (within the run)");
+    }
+    println!(
+        "tuples lost: {}; throughput dip depth: {:.0}%; reschedule attempts: {}",
+        obs.tuples_lost,
+        obs.throughput_dip_depth * 100.0,
+        obs.reschedule_attempts
+    );
+    println!();
+    print_report(&topology, &out.report);
+
+    let violations = verify_plan(&out.plan, &[&topology], &cluster);
+    if violations.is_empty() {
+        println!("final plan verified: no constraint violations");
+    } else {
+        println!("final plan has {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    Ok(())
+}
+
 fn print_example_specs() {
     println!("# ---- word-count.spec ----------------------------------");
     println!(
@@ -306,5 +401,45 @@ mod tests {
         schedule_cmd(&flags).unwrap();
         simulate_cmd(&flags).unwrap();
         compare_cmd(&flags).unwrap();
+        chaos_cmd(&flags).unwrap();
+    }
+
+    #[test]
+    fn chaos_rejects_bad_inputs() {
+        let dir = std::env::temp_dir().join("rstorm-cli-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("t.spec");
+        let clus = dir.join("c.spec");
+        std::fs::write(
+            &topo,
+            "topology t\nspout s parallelism=1 cpu=20 mem=128\n\
+             bolt k parallelism=1 cpu=20 mem=128 emit=0\n  subscribe s shuffle\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &clus,
+            "cluster\nrack r0\n  node n0 cpu=100 mem=2048 slots=4\n  node n1 cpu=100 mem=2048 slots=4\n",
+        )
+        .unwrap();
+        let base = vec![
+            "--topology".to_owned(),
+            topo.to_string_lossy().into_owned(),
+            "--cluster".to_owned(),
+            clus.to_string_lossy().into_owned(),
+        ];
+        let mut bad_victim = base.clone();
+        bad_victim.extend(["--victim".to_owned(), "ghost".to_owned()]);
+        let err = chaos_cmd(&parse_flags(&bad_victim).unwrap()).unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
+
+        let mut bad_times = base.clone();
+        bad_times.extend([
+            "--crash-at-s".to_owned(),
+            "50".to_owned(),
+            "--heal-at-s".to_owned(),
+            "10".to_owned(),
+        ]);
+        let err = chaos_cmd(&parse_flags(&bad_times).unwrap()).unwrap_err();
+        assert!(err.contains("crash-at-s"), "{err}");
     }
 }

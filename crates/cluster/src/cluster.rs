@@ -134,56 +134,74 @@ impl Cluster {
 
     /// Classifies how two slots relate in the network hierarchy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either slot references an unknown node.
-    pub fn relation(&self, a: &WorkerSlot, b: &WorkerSlot) -> PlacementRelation {
+    /// [`ClusterError::UnknownNode`] if either slot references a node id
+    /// not in the cluster layout (recovery paths may hold assignments
+    /// naming nodes that no longer exist; they must not abort the host).
+    pub fn relation(
+        &self,
+        a: &WorkerSlot,
+        b: &WorkerSlot,
+    ) -> Result<PlacementRelation, ClusterError> {
         if a == b {
-            return PlacementRelation::SameWorker;
+            self.require_known(a.node.as_str())?;
+            return Ok(PlacementRelation::SameWorker);
         }
         if a.node == b.node {
-            return PlacementRelation::SameNode;
+            self.require_known(a.node.as_str())?;
+            return Ok(PlacementRelation::SameNode);
         }
         let rack_a = self
             .rack_of(a.node.as_str())
-            .unwrap_or_else(|| panic!("unknown node `{}`", a.node));
+            .ok_or_else(|| ClusterError::UnknownNode(a.node.clone()))?;
         let rack_b = self
             .rack_of(b.node.as_str())
-            .unwrap_or_else(|| panic!("unknown node `{}`", b.node));
-        if rack_a == rack_b {
+            .ok_or_else(|| ClusterError::UnknownNode(b.node.clone()))?;
+        Ok(if rack_a == rack_b {
             PlacementRelation::SameRack
         } else {
             PlacementRelation::InterRack
-        }
+        })
     }
 
     /// Scheduler network distance between two *nodes* (node granularity,
     /// as used by Algorithm 4's `networkDistance(refNode, θj)`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either node is unknown.
-    pub fn node_distance(&self, a: &str, b: &str) -> f64 {
+    /// [`ClusterError::UnknownNode`] if either node id is not in the
+    /// cluster layout (including `a == b` for an unknown id).
+    pub fn node_distance(&self, a: &str, b: &str) -> Result<f64, ClusterError> {
         if a == b {
-            return self
+            self.require_known(a)?;
+            return Ok(self
                 .costs
                 .distance(PlacementRelation::SameNode)
-                .min(self.costs.distance(PlacementRelation::SameWorker));
+                .min(self.costs.distance(PlacementRelation::SameWorker)));
         }
         let rack_a = self
             .rack_of(a)
-            .unwrap_or_else(|| panic!("unknown node `{a}`"));
+            .ok_or_else(|| ClusterError::UnknownNode(NodeId::new(a)))?;
         let rack_b = self
             .rack_of(b)
-            .unwrap_or_else(|| panic!("unknown node `{b}`"));
-        if rack_a == rack_b {
+            .ok_or_else(|| ClusterError::UnknownNode(NodeId::new(b)))?;
+        Ok(if rack_a == rack_b {
             self.costs.distance(PlacementRelation::SameRack)
         } else {
             self.costs.distance(PlacementRelation::InterRack)
+        })
+    }
+
+    fn require_known(&self, id: &str) -> Result<(), ClusterError> {
+        if self.positions.contains_key(id) {
+            Ok(())
+        } else {
+            Err(ClusterError::UnknownNode(NodeId::new(id)))
         }
     }
 
-    /// Non-panicking variant of [`Cluster::node_distance`]: `None` if
+    /// Index-based variant of [`Cluster::node_distance`]: `None` if
     /// either node id is unknown (including `a == b` for an id not in the
     /// cluster). Dead nodes are part of the immutable layout and still
     /// have a distance — liveness is the scheduler's concern.
@@ -251,29 +269,57 @@ mod tests {
         let s = |n: &str, p: u16| WorkerSlot::new(n, p);
         assert_eq!(
             c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-0", 6700)),
-            PlacementRelation::SameWorker
+            Ok(PlacementRelation::SameWorker)
         );
         assert_eq!(
             c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-0", 6701)),
-            PlacementRelation::SameNode
+            Ok(PlacementRelation::SameNode)
         );
         assert_eq!(
             c.relation(&s("rack-0-node-0", 6700), &s("rack-0-node-1", 6700)),
-            PlacementRelation::SameRack
+            Ok(PlacementRelation::SameRack)
         );
         assert_eq!(
             c.relation(&s("rack-0-node-0", 6700), &s("rack-1-node-0", 6700)),
-            PlacementRelation::InterRack
+            Ok(PlacementRelation::InterRack)
+        );
+    }
+
+    #[test]
+    fn relation_reports_unknown_nodes_as_errors() {
+        let c = two_racks();
+        let s = |n: &str, p: u16| WorkerSlot::new(n, p);
+        // Every arm checks existence, including the same-slot shortcut.
+        assert_eq!(
+            c.relation(&s("ghost", 6700), &s("ghost", 6700)),
+            Err(ClusterError::UnknownNode(NodeId::new("ghost")))
+        );
+        assert_eq!(
+            c.relation(&s("ghost", 6700), &s("ghost", 6701)),
+            Err(ClusterError::UnknownNode(NodeId::new("ghost")))
+        );
+        assert_eq!(
+            c.relation(&s("rack-0-node-0", 6700), &s("ghost", 6700)),
+            Err(ClusterError::UnknownNode(NodeId::new("ghost")))
         );
     }
 
     #[test]
     fn node_distances_follow_hierarchy() {
         let c = two_racks();
-        let same = c.node_distance("rack-0-node-0", "rack-0-node-0");
-        let rack = c.node_distance("rack-0-node-0", "rack-0-node-1");
-        let cross = c.node_distance("rack-0-node-0", "rack-1-node-0");
+        let same = c.node_distance("rack-0-node-0", "rack-0-node-0").unwrap();
+        let rack = c.node_distance("rack-0-node-0", "rack-0-node-1").unwrap();
+        let cross = c.node_distance("rack-0-node-0", "rack-1-node-0").unwrap();
         assert!(same < rack && rack < cross);
+        // Unknown ids yield typed errors instead of aborting the host.
+        assert_eq!(
+            c.node_distance("ghost", "rack-0-node-0"),
+            Err(ClusterError::UnknownNode(NodeId::new("ghost")))
+        );
+        assert_eq!(
+            c.node_distance("ghost", "ghost"),
+            Err(ClusterError::UnknownNode(NodeId::new("ghost")))
+        );
     }
 
     #[test]
@@ -302,15 +348,14 @@ mod tests {
         // Known pairs agree bit-for-bit with the panicking path.
         assert_eq!(
             c.try_node_distance("rack-0-node-0", "rack-1-node-0"),
-            Some(c.node_distance("rack-0-node-0", "rack-1-node-0"))
+            c.node_distance("rack-0-node-0", "rack-1-node-0").ok()
         );
         assert_eq!(
             c.try_node_distance("rack-0-node-0", "rack-0-node-0"),
-            Some(c.node_distance("rack-0-node-0", "rack-0-node-0"))
+            c.node_distance("rack-0-node-0", "rack-0-node-0").ok()
         );
-        // Unknown ids yield None instead of panicking — even when a == b,
-        // where the panicking path would have returned the same-node
-        // distance without checking existence.
+        // Unknown ids yield None, mirroring the Result path's
+        // UnknownNode — even when a == b.
         assert_eq!(c.try_node_distance("ghost", "rack-0-node-0"), None);
         assert_eq!(c.try_node_distance("rack-0-node-0", "ghost"), None);
         assert_eq!(c.try_node_distance("ghost", "ghost"), None);

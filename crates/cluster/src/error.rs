@@ -1,10 +1,10 @@
-//! Errors raised while constructing a cluster.
+//! Errors raised while constructing or querying a cluster.
 
 use crate::ids::NodeId;
 use std::error::Error;
 use std::fmt;
 
-/// Why a cluster failed to validate.
+/// Why a cluster failed to validate, or a query failed to resolve.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ClusterError {
@@ -12,6 +12,10 @@ pub enum ClusterError {
     DuplicateNode(NodeId),
     /// The cluster has no nodes.
     Empty,
+    /// A query referenced a node id not in the cluster layout. Recovery
+    /// paths hit this when an assignment outlives the node it named; it
+    /// must surface as an error, not a process abort.
+    UnknownNode(NodeId),
 }
 
 impl fmt::Display for ClusterError {
@@ -19,6 +23,7 @@ impl fmt::Display for ClusterError {
         match self {
             Self::DuplicateNode(id) => write!(f, "node `{id}` declared more than once"),
             Self::Empty => f.write_str("cluster has no nodes"),
+            Self::UnknownNode(id) => write!(f, "unknown node `{id}`"),
         }
     }
 }
@@ -34,5 +39,7 @@ mod tests {
         let e = ClusterError::DuplicateNode(NodeId::new("n1"));
         assert!(e.to_string().contains("`n1`"));
         assert_eq!(ClusterError::Empty.to_string(), "cluster has no nodes");
+        let e = ClusterError::UnknownNode(NodeId::new("ghost"));
+        assert_eq!(e.to_string(), "unknown node `ghost`");
     }
 }

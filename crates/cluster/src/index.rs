@@ -305,7 +305,7 @@ mod tests {
                 );
                 assert_eq!(
                     idx.distance(ia, ib).to_bits(),
-                    c.node_distance(a.as_str(), b.as_str()).to_bits(),
+                    c.node_distance(a.as_str(), b.as_str()).unwrap().to_bits(),
                     "distance({a}, {b})"
                 );
             }

@@ -6,16 +6,21 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// The schedule of one topology: every task mapped to a worker slot.
 ///
-/// Mirrors Storm's `SchedulerAssignment`. The mapping is total over the
-/// topology's task set — partial schedules are represented as errors, not
-/// as partial assignments, matching the paper's atomic-commit note
-/// ("the actual assignment of task to node is done in an atomic fashion
-/// after the schedule mapping between all tasks to nodes has been
-/// determined", §4.1).
+/// Mirrors Storm's `SchedulerAssignment`. The mapping is normally total
+/// over the topology's task set — partial schedules are represented as
+/// errors, not as partial assignments, matching the paper's atomic-commit
+/// note ("the actual assignment of task to node is done in an atomic
+/// fashion after the schedule mapping between all tasks to nodes has been
+/// determined", §4.1). The one sanctioned exception is graceful
+/// degradation after failures: an assignment may then carry an explicit
+/// [`unplaced`](Assignment::unplaced) set declaring which tasks the
+/// surviving cluster could not fit. A task missing from the slot map
+/// *without* being declared unplaced is still a plan violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     topology: TopologyId,
     slots: BTreeMap<TaskId, WorkerSlot>,
+    unplaced: BTreeSet<TaskId>,
 }
 
 impl Assignment {
@@ -24,12 +29,47 @@ impl Assignment {
         Self {
             topology: topology.into(),
             slots,
+            unplaced: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a degraded assignment that places only part of the task
+    /// set, declaring every task in `unplaced` as deliberately deferred.
+    /// Tasks may not appear in both maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task is both placed and declared unplaced.
+    pub fn with_unplaced(
+        topology: impl Into<TopologyId>,
+        slots: BTreeMap<TaskId, WorkerSlot>,
+        unplaced: BTreeSet<TaskId>,
+    ) -> Self {
+        assert!(
+            unplaced.iter().all(|t| !slots.contains_key(t)),
+            "a task cannot be both placed and declared unplaced"
+        );
+        Self {
+            topology: topology.into(),
+            slots,
+            unplaced,
         }
     }
 
     /// The topology this assignment schedules.
     pub fn topology(&self) -> &TopologyId {
         &self.topology
+    }
+
+    /// Tasks this assignment deliberately left unplaced (graceful
+    /// degradation after failures). Empty for a full schedule.
+    pub fn unplaced(&self) -> &BTreeSet<TaskId> {
+        &self.unplaced
+    }
+
+    /// True if any task is declared unplaced.
+    pub fn is_degraded(&self) -> bool {
+        !self.unplaced.is_empty()
     }
 
     /// The slot a task was placed on.
@@ -181,5 +221,26 @@ mod tests {
         let replaced = plan.insert(sample());
         assert!(replaced.is_some());
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn degraded_assignment_declares_unplaced_tasks() {
+        let mut m = BTreeMap::new();
+        m.insert(TaskId(0), WorkerSlot::new("n0", 6700));
+        let unplaced: BTreeSet<TaskId> = [TaskId(1), TaskId(2)].into();
+        let a = Assignment::with_unplaced("t", m, unplaced);
+        assert!(a.is_degraded());
+        assert_eq!(a.unplaced().len(), 2);
+        assert!(a.unplaced().contains(&TaskId(1)));
+        assert!(!sample().is_degraded());
+        assert!(sample().unplaced().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "both placed and declared unplaced")]
+    fn overlapping_unplaced_rejected() {
+        let mut m = BTreeMap::new();
+        m.insert(TaskId(0), WorkerSlot::new("n0", 6700));
+        Assignment::with_unplaced("t", m, [TaskId(0)].into());
     }
 }

@@ -36,6 +36,14 @@ pub enum ScheduleError {
         /// The solver's task limit.
         limit: usize,
     },
+    /// A reservation or slot lookup named a node that is unknown to the
+    /// cluster layout or no longer alive. Surfacing this as an error
+    /// (instead of the pre-recovery `panic!`) keeps a mid-failure
+    /// reschedule from aborting the host process.
+    UnknownNode {
+        /// The node id that failed to resolve.
+        node: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -58,6 +66,9 @@ impl fmt::Display for ScheduleError {
                 "{tasks} tasks exceed the exact solver's limit of {limit} \
                  (exhaustive search is exponential)"
             ),
+            Self::UnknownNode { node } => {
+                write!(f, "unknown or dead node `{node}`")
+            }
         }
     }
 }

@@ -26,8 +26,9 @@
 //! add/subtract would drift).
 
 use crate::assignment::{Assignment, SchedulingPlan};
+use crate::error::ScheduleError;
 use rstorm_cluster::{Cluster, ClusterIndex, NodeId, WorkerSlot};
-use rstorm_topology::{ResourceRequest, TopologyId};
+use rstorm_topology::{ResourceRequest, Topology, TopologyId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -270,32 +271,42 @@ impl GlobalState {
     /// [`GlobalState::remaining`] first (the R-Storm node-selection loop
     /// does).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is unknown.
-    pub fn reserve(&mut self, topology: &TopologyId, node: &NodeId, request: &ResourceRequest) {
+    /// [`ScheduleError::UnknownNode`] if `node` is unknown or dead — the
+    /// state is left untouched.
+    pub fn reserve(
+        &mut self,
+        topology: &TopologyId,
+        node: &NodeId,
+        request: &ResourceRequest,
+    ) -> Result<(), ScheduleError> {
         let mut scratch = UndoLog::new();
-        self.reserve_logged(topology, node, request, &mut scratch);
+        self.reserve_logged(topology, node, request, &mut scratch)
     }
 
     /// [`GlobalState::reserve`], recording the mutation in `log` so it can
     /// be reverted bit-exactly by [`GlobalState::rollback`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is unknown.
+    /// [`ScheduleError::UnknownNode`] if `node` is unknown or dead —
+    /// neither the state nor `log` is touched, so a partially filled log
+    /// still rolls back everything that *did* happen.
     pub fn reserve_logged(
         &mut self,
         topology: &TopologyId,
         node: &NodeId,
         request: &ResourceRequest,
         log: &mut UndoLog,
-    ) {
+    ) -> Result<(), ScheduleError> {
         let i = self
             .index
             .node_index(node.as_str())
             .filter(|&i| self.alive[i as usize])
-            .unwrap_or_else(|| panic!("reserve on unknown node `{node}`"));
+            .ok_or_else(|| ScheduleError::UnknownNode {
+                node: node.as_str().to_owned(),
+            })?;
         log.entries.push(UndoEntry::Remaining {
             index: i,
             prev: self.dense[i as usize],
@@ -316,6 +327,7 @@ impl GlobalState {
         });
         let rack = self.index.rack_of(i);
         self.recompute_rack(rack);
+        Ok(())
     }
 
     /// The worker slot tasks of `topology` use on `node`.
@@ -325,15 +337,15 @@ impl GlobalState {
     /// topologies prefer distinct slots. The choice is stable for the
     /// lifetime of the assignment.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not part of `cluster`.
+    /// [`ScheduleError::UnknownNode`] if `node` is not part of `cluster`.
     pub fn slot_for(
         &mut self,
         cluster: &Cluster,
         topology: &TopologyId,
         node: &NodeId,
-    ) -> WorkerSlot {
+    ) -> Result<WorkerSlot, ScheduleError> {
         let mut scratch = UndoLog::new();
         self.slot_for_logged(cluster, topology, node, &mut scratch)
     }
@@ -341,22 +353,25 @@ impl GlobalState {
     /// [`GlobalState::slot_for`], recording any new slot bookkeeping in
     /// `log` so it can be reverted by [`GlobalState::rollback`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not part of `cluster`.
+    /// [`ScheduleError::UnknownNode`] if `node` is not part of `cluster` —
+    /// neither the state nor `log` is touched.
     pub fn slot_for_logged(
         &mut self,
         cluster: &Cluster,
         topology: &TopologyId,
         node: &NodeId,
         log: &mut UndoLog,
-    ) -> WorkerSlot {
+    ) -> Result<WorkerSlot, ScheduleError> {
         if let Some(&port) = self.topology_slots.get(&(topology.clone(), node.clone())) {
-            return WorkerSlot::new(node.clone(), port);
+            return Ok(WorkerSlot::new(node.clone(), port));
         }
         let slots = cluster
             .node(node.as_str())
-            .unwrap_or_else(|| panic!("slot_for on unknown node `{node}`"))
+            .ok_or_else(|| ScheduleError::UnknownNode {
+                node: node.as_str().to_owned(),
+            })?
             .slots();
         // Prefer an unoccupied slot; otherwise share the least-occupied.
         let slot = slots
@@ -376,7 +391,7 @@ impl GlobalState {
             topology: topology.clone(),
             node: node.clone(),
         });
-        slot
+        Ok(slot)
     }
 
     /// Reverts every mutation recorded in `log`, newest first, restoring
@@ -516,6 +531,81 @@ impl GlobalState {
             .cloned()
             .collect()
     }
+
+    /// Handles a node rejoining the cluster: marks it alive and sets its
+    /// remaining resources to full capacity minus whatever reservations
+    /// still name it (a topology that was never displaced keeps its claim
+    /// across the outage). Returns `true` if the node was known and dead.
+    ///
+    /// The subtraction walks topologies in id order so the result is
+    /// deterministic and — for exactly representable loads — bit-identical
+    /// to a state rebuilt from scratch (see [`GlobalState::rebuild`]).
+    pub fn handle_node_recovery(&mut self, node: &str) -> bool {
+        let Some(i) = self.index.node_index(node) else {
+            return false;
+        };
+        if self.alive[i as usize] {
+            return false;
+        }
+        let cap = self.index.capacity(i);
+        let mut remaining = RemainingResources {
+            cpu_points: cap.cpu_points,
+            memory_mb: cap.memory_mb,
+            bandwidth: cap.bandwidth,
+        };
+        let mut topologies: Vec<&TopologyId> = self.reserved.keys().collect();
+        topologies.sort();
+        let node_id = NodeId::new(node);
+        for topology in topologies {
+            if let Some(total) = self.reserved[topology].get(&node_id) {
+                remaining.subtract(total);
+            }
+        }
+        self.dense[i as usize] = remaining;
+        self.alive[i as usize] = true;
+        let rack = self.index.rack_of(i);
+        self.recompute_rack(rack);
+        true
+    }
+
+    /// Reconstructs scheduling state from scratch — what a restarted
+    /// Nimbus would do: snapshot the surviving cluster, then replay every
+    /// assignment of `plan` (topologies in id order, tasks in task-id
+    /// order), reserving each placed task's resources on its node and
+    /// re-deriving slot occupancy. Tasks an assignment declares unplaced
+    /// are skipped, and reservations on dead nodes are dropped, exactly as
+    /// the incremental failure path leaves them.
+    ///
+    /// The recovery property test pins the incremental path
+    /// ([`GlobalState::handle_node_failure`] /
+    /// [`GlobalState::handle_node_recovery`]) against this rebuild.
+    pub fn rebuild(cluster: &Cluster, topologies: &[&Topology], plan: &SchedulingPlan) -> Self {
+        let mut state = Self::new(cluster);
+        for assignment in plan.iter() {
+            let tid = assignment.topology();
+            let Some(topology) = topologies.iter().find(|t| t.id() == tid) else {
+                continue;
+            };
+            let task_set = topology.task_set();
+            let mut seen_slots: Vec<WorkerSlot> = Vec::new();
+            for (task, slot) in assignment.iter() {
+                if let Some(request) = task_set.resources(task) {
+                    // Reservations on dead nodes are silently dropped:
+                    // the incremental path never restores them either.
+                    let _ = state.reserve(tid, &slot.node, request);
+                }
+                if !seen_slots.contains(slot) {
+                    seen_slots.push(slot.clone());
+                    state.occupy_slot(slot);
+                    state
+                        .topology_slots
+                        .insert((tid.clone(), slot.node.clone()), slot.port);
+                }
+            }
+            state.commit(assignment.clone());
+        }
+        state
+    }
 }
 
 trait AddAssign {
@@ -566,8 +656,10 @@ mod tests {
         let mut s = GlobalState::new(&c);
         let t = TopologyId::new("t");
         let n = NodeId::new("rack-0-node-0");
-        s.reserve(&t, &n, &ResourceRequest::new(60.0, 1024.0, 0.0));
-        s.reserve(&t, &n, &ResourceRequest::new(60.0, 512.0, 0.0));
+        s.reserve(&t, &n, &ResourceRequest::new(60.0, 1024.0, 0.0))
+            .unwrap();
+        s.reserve(&t, &n, &ResourceRequest::new(60.0, 512.0, 0.0))
+            .unwrap();
         let r = s.remaining("rack-0-node-0").unwrap();
         assert_eq!(r.cpu_points, -20.0, "soft dimension may go negative");
         assert_eq!(r.memory_mb, 512.0);
@@ -588,13 +680,13 @@ mod tests {
         let n = NodeId::new("rack-0-node-0");
         let t1 = TopologyId::new("t1");
         let t2 = TopologyId::new("t2");
-        let s1 = s.slot_for(&c, &t1, &n);
-        let s1_again = s.slot_for(&c, &t1, &n);
+        let s1 = s.slot_for(&c, &t1, &n).unwrap();
+        let s1_again = s.slot_for(&c, &t1, &n).unwrap();
         assert_eq!(s1, s1_again, "slot choice is stable");
-        let s2 = s.slot_for(&c, &t2, &n);
+        let s2 = s.slot_for(&c, &t2, &n).unwrap();
         assert_ne!(s1, s2, "second topology gets its own worker");
         // A third topology shares the least-occupied slot (only 2 exist).
-        let s3 = s.slot_for(&c, &TopologyId::new("t3"), &n);
+        let s3 = s.slot_for(&c, &TopologyId::new("t3"), &n).unwrap();
         assert!(s3 == s1 || s3 == s2);
     }
 
@@ -628,15 +720,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown node")]
-    fn reserving_on_unknown_node_panics() {
+    fn reserving_on_unknown_node_is_a_typed_error() {
         let c = cluster();
         let mut s = GlobalState::new(&c);
-        s.reserve(
-            &TopologyId::new("t"),
-            &NodeId::new("ghost"),
-            &ResourceRequest::zero(),
-        );
+        let before = format!("{s:?}");
+        let err = s
+            .reserve(
+                &TopologyId::new("t"),
+                &NodeId::new("ghost"),
+                &ResourceRequest::zero(),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            &err,
+            crate::error::ScheduleError::UnknownNode { node } if node == "ghost"
+        ));
+        let slot_err = s
+            .slot_for(&c, &TopologyId::new("t"), &NodeId::new("ghost"))
+            .unwrap_err();
+        assert!(matches!(
+            slot_err,
+            crate::error::ScheduleError::UnknownNode { .. }
+        ));
+        assert_eq!(format!("{s:?}"), before, "failed lookups leave no trace");
     }
 
     /// Captures every observable bit of a state for exact comparisons.
@@ -663,19 +769,23 @@ mod tests {
         let n0 = NodeId::new("rack-0-node-0");
         // Pre-existing reservations so the log must restore non-trivial
         // previous values, not just remove entries.
-        s.reserve(&t0, &n0, &ResourceRequest::new(33.3, 123.4, 0.7));
-        s.slot_for(&c, &t0, &n0);
+        s.reserve(&t0, &n0, &ResourceRequest::new(33.3, 123.4, 0.7))
+            .unwrap();
+        s.slot_for(&c, &t0, &n0).unwrap();
         let before = format!("{s:?}");
         let before_fp = fingerprint(&s);
 
         let t1 = TopologyId::new("t1");
         let n1 = NodeId::new("rack-0-node-1");
         let mut log = UndoLog::new();
-        s.reserve_logged(&t1, &n0, &ResourceRequest::new(10.1, 20.2, 30.3), &mut log);
-        s.reserve_logged(&t1, &n1, &ResourceRequest::new(1.0, 2.0, 3.0), &mut log);
-        s.reserve_logged(&t0, &n0, &ResourceRequest::new(5.5, 6.6, 7.7), &mut log);
-        s.slot_for_logged(&c, &t1, &n0, &mut log);
-        s.slot_for_logged(&c, &t1, &n1, &mut log);
+        s.reserve_logged(&t1, &n0, &ResourceRequest::new(10.1, 20.2, 30.3), &mut log)
+            .unwrap();
+        s.reserve_logged(&t1, &n1, &ResourceRequest::new(1.0, 2.0, 3.0), &mut log)
+            .unwrap();
+        s.reserve_logged(&t0, &n0, &ResourceRequest::new(5.5, 6.6, 7.7), &mut log)
+            .unwrap();
+        s.slot_for_logged(&c, &t1, &n0, &mut log).unwrap();
+        s.slot_for_logged(&c, &t1, &n1, &mut log).unwrap();
         assert!(!log.is_empty());
         assert_ne!(fingerprint(&s), before_fp, "mutations took effect");
 
@@ -704,13 +814,15 @@ mod tests {
             &t,
             &NodeId::new("rack-0-node-0"),
             &ResourceRequest::new(50.0, 1500.0, 0.0),
-        );
+        )
+        .unwrap();
         assert_eq!(s.rack_max_memories()[0], 2048.0, "node-1 untouched");
         s.reserve(
             &t,
             &NodeId::new("rack-0-node-1"),
             &ResourceRequest::new(0.0, 1000.0, 0.0),
-        );
+        )
+        .unwrap();
         assert_eq!(s.rack_max_memories()[0], 1048.0);
         assert_eq!(s.rack_max_memories()[1], 2048.0, "other rack untouched");
 
@@ -721,6 +833,66 @@ mod tests {
         assert_eq!(s.rack_alive_counts()[0], 0);
         assert_eq!(s.rack_max_memories()[0], f64::NEG_INFINITY);
         assert_eq!(s.rack_abundances()[0], 0.0);
+    }
+
+    #[test]
+    fn recovery_restores_capacity_minus_surviving_reservations() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t = TopologyId::new("t");
+        let n = NodeId::new("rack-0-node-0");
+        // Integer-valued loads so subtraction order cannot matter.
+        s.reserve(&t, &n, &ResourceRequest::new(40.0, 512.0, 0.0))
+            .unwrap();
+        let mut m = BTreeMap::new();
+        m.insert(TaskId(0), WorkerSlot::new("rack-0-node-0", 6700));
+        s.commit(Assignment::new("t", m));
+        let before = fingerprint(&s);
+
+        assert_eq!(s.handle_node_failure("rack-0-node-0"), vec![t.clone()]);
+        assert!(s.remaining("rack-0-node-0").is_none());
+        assert!(!s.alive_dense()[0]);
+
+        // Reviving without releasing the topology re-derives remaining
+        // capacity from the reservations that are still on the books.
+        assert!(s.handle_node_recovery("rack-0-node-0"));
+        assert!(s.alive_dense()[0]);
+        assert_eq!(fingerprint(&s), before, "crash + recover is a no-op");
+
+        // Idempotence and unknown names.
+        assert!(!s.handle_node_recovery("rack-0-node-0"), "already alive");
+        assert!(!s.handle_node_recovery("ghost"));
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_state() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t = TopologyId::new("t");
+        let n0 = NodeId::new("rack-0-node-0");
+        let mut b = rstorm_topology::TopologyBuilder::new("t");
+        b.set_spout("s", 2)
+            .set_memory_load(256.0)
+            .set_cpu_load(20.0);
+        b.set_bolt("b", 2)
+            .shuffle_grouping("s")
+            .set_memory_load(128.0)
+            .set_cpu_load(10.0);
+        let topology = b.build().unwrap();
+        let task_set = topology.task_set();
+        let mut mapping = BTreeMap::new();
+        for task in task_set.tasks() {
+            let request = task_set.resources(task.id).unwrap();
+            s.reserve(&t, &n0, request).unwrap();
+            let slot = s.slot_for(&c, &t, &n0).unwrap();
+            mapping.insert(task.id, slot);
+        }
+        s.commit(Assignment::new("t", mapping));
+
+        let rebuilt = GlobalState::rebuild(&c, &[&topology], s.plan());
+        assert_eq!(fingerprint(&rebuilt), fingerprint(&s));
+        assert_eq!(rebuilt.alive_dense(), s.alive_dense());
+        assert_eq!(format!("{:?}", rebuilt.plan()), format!("{:?}", s.plan()));
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod assignment;
 mod error;
 mod global_state;
 pub mod ndim;
+pub mod recovery;
 mod resource;
 pub mod rstorm;
 mod scheduler;
@@ -62,6 +63,7 @@ mod verify;
 pub use assignment::{Assignment, SchedulingPlan};
 pub use error::ScheduleError;
 pub use global_state::{GlobalState, RemainingResources, UndoLog};
+pub use recovery::{RecoveryConfig, RecoveryEvent, RecoveryManager};
 pub use resource::{weighted_euclidean, NormalizationContext, SoftConstraintWeights};
 pub use rstorm::{RStormConfig, RStormScheduler, ReferenceRStormScheduler};
 pub use scheduler::{schedule_all, Scheduler};

@@ -1,0 +1,777 @@
+//! The Nimbus-style recovery control loop.
+//!
+//! Storm's Nimbus daemon detects worker/node failures through missed
+//! heartbeats and invokes the configured `IScheduler` to re-place the
+//! displaced executors; the paper motivates doing this *quickly* — "if
+//! executors are not rescheduled quickly, whole topologies may be
+//! stalled" (§3). [`RecoveryManager`] reproduces that loop against this
+//! workspace's scheduling core:
+//!
+//! * **Detection** — callers feed node heartbeats through
+//!   [`RecoveryManager::observe_heartbeat`]; a node silent for
+//!   `miss_threshold × heartbeat_interval_ms` is declared dead on the
+//!   next [`RecoveryManager::tick`], which kills it in the [`Cluster`],
+//!   fails it in [`GlobalState`] and releases every displaced topology.
+//! * **Rescheduling** — displaced topologies are re-placed through the
+//!   live scheduler. An unschedulable topology retries with exponential
+//!   backoff plus deterministic seeded jitter, never busy-looping against
+//!   a cluster that cannot fit it.
+//! * **Graceful degradation** — when the full topology does not fit the
+//!   survivors, the manager places a best-effort subset instead of
+//!   failing: components are considered in BFS order and a component is
+//!   only placed when all its upstream components were placed (a bolt
+//!   without its upstream would never see a tuple), each component
+//!   placed atomically via an [`UndoLog`] so the hard memory constraint
+//!   is never violated by a partial component. The resulting
+//!   [`Assignment`] declares the remainder
+//!   [`unplaced`](Assignment::unplaced) — an explicit, verifiable
+//!   deficit rather than a silent gap — and the manager keeps retrying
+//!   (with backoff) to upgrade it to a full placement, e.g. once the
+//!   node recovers and capacity returns.
+
+use crate::assignment::Assignment;
+use crate::global_state::{GlobalState, UndoLog};
+use crate::resource::SoftConstraintWeights;
+use crate::rstorm::node_selection::NodeSelector;
+use crate::scheduler::Scheduler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_topology::{bfs_component_order, TaskId, Topology, TopologyId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the recovery loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Expected gap between two heartbeats of a healthy node.
+    pub heartbeat_interval_ms: f64,
+    /// Consecutive missed heartbeats before a node is declared dead
+    /// (Storm's `nimbus.task.timeout` analog).
+    pub miss_threshold: u32,
+    /// First retry delay after an unschedulable reschedule attempt.
+    pub backoff_base_ms: f64,
+    /// Ceiling of the exponential backoff.
+    pub backoff_max_ms: f64,
+    /// Seed of the deterministic jitter added to each backoff delay.
+    pub jitter_seed: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval_ms: 1_000.0,
+            miss_threshold: 3,
+            backoff_base_ms: 500.0,
+            backoff_max_ms: 30_000.0,
+            jitter_seed: 42,
+        }
+    }
+}
+
+/// What a [`RecoveryManager::tick`] did, in occurrence order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A node exceeded the heartbeat-miss threshold and was removed from
+    /// the schedulable pool.
+    NodeDeclaredDead {
+        /// The failed node.
+        node: String,
+        /// Tick time of the declaration.
+        at_ms: f64,
+        /// Time since the node's last heartbeat.
+        time_to_detect_ms: f64,
+        /// Topologies that had tasks on the node, now awaiting
+        /// rescheduling.
+        displaced: Vec<TopologyId>,
+    },
+    /// A declared-dead node heartbeated again and rejoined the pool.
+    NodeRecovered {
+        /// The recovered node.
+        node: String,
+        /// Tick time of the recovery.
+        at_ms: f64,
+    },
+    /// A displaced topology was re-placed (fully if `unplaced == 0`,
+    /// degraded otherwise; a degraded topology stays queued for an
+    /// upgrade retry).
+    TopologyRescheduled {
+        /// The re-placed topology.
+        topology: TopologyId,
+        /// Tick time of the placement.
+        at_ms: f64,
+        /// Reschedule attempts this topology has consumed so far.
+        attempts: u32,
+        /// Tasks the surviving cluster could not fit (0 = full).
+        unplaced: usize,
+    },
+    /// Not even a degraded placement fit; the retry was pushed back with
+    /// exponential backoff.
+    RescheduleDeferred {
+        /// The still-unplaced topology.
+        topology: TopologyId,
+        /// Tick time of the attempt.
+        at_ms: f64,
+        /// Reschedule attempts this topology has consumed so far.
+        attempts: u32,
+        /// When the next attempt becomes due.
+        retry_at_ms: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Retry {
+    attempts: u32,
+    next_try_ms: f64,
+}
+
+/// Heartbeat-driven failure detector and rescheduling loop. See the
+/// module docs.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    config: RecoveryConfig,
+    last_heartbeat: BTreeMap<String, f64>,
+    declared_dead: BTreeSet<String>,
+    pending: BTreeMap<TopologyId, Retry>,
+    rng: StdRng,
+    total_reschedule_attempts: u64,
+}
+
+impl RecoveryManager {
+    /// Creates a manager with no heartbeat history.
+    pub fn new(config: RecoveryConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.jitter_seed);
+        Self {
+            config,
+            last_heartbeat: BTreeMap::new(),
+            declared_dead: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            rng,
+            total_reschedule_attempts: 0,
+        }
+    }
+
+    /// Records a heartbeat from `node` at `now_ms`. Only nodes with at
+    /// least one observed heartbeat are subject to failure detection.
+    pub fn observe_heartbeat(&mut self, node: &str, now_ms: f64) {
+        let entry = self.last_heartbeat.entry(node.to_owned()).or_insert(now_ms);
+        *entry = entry.max(now_ms);
+    }
+
+    /// Scheduler invocations spent on recovery rescheduling so far.
+    pub fn reschedule_attempts(&self) -> u64 {
+        self.total_reschedule_attempts
+    }
+
+    /// Nodes currently declared dead, in name order.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = &str> {
+        self.declared_dead.iter().map(String::as_str)
+    }
+
+    /// True if any displaced topology still awaits a (full) placement.
+    pub fn has_pending_reschedules(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Runs one control-loop iteration at `now_ms`: detect newly dead
+    /// nodes, readmit recovered ones, and re-place every displaced
+    /// topology whose retry is due. Returns what happened.
+    ///
+    /// `topologies` must contain every topology the plan may reference;
+    /// displaced topologies missing from it are dropped from the retry
+    /// queue (they can never be re-placed).
+    pub fn tick<S: Scheduler + ?Sized>(
+        &mut self,
+        now_ms: f64,
+        cluster: &mut Cluster,
+        state: &mut GlobalState,
+        scheduler: &S,
+        topologies: &[&Topology],
+    ) -> Vec<RecoveryEvent> {
+        let mut events = Vec::new();
+        self.detect(now_ms, cluster, state, &mut events);
+        self.reschedule_due(now_ms, cluster, state, scheduler, topologies, &mut events);
+        events
+    }
+
+    fn detect(
+        &mut self,
+        now_ms: f64,
+        cluster: &mut Cluster,
+        state: &mut GlobalState,
+        events: &mut Vec<RecoveryEvent>,
+    ) {
+        let window = self.config.heartbeat_interval_ms * f64::from(self.config.miss_threshold);
+        let nodes: Vec<(String, f64)> = self
+            .last_heartbeat
+            .iter()
+            .map(|(n, &t)| (n.clone(), t))
+            .collect();
+        for (node, last) in nodes {
+            let silent = now_ms - last >= window;
+            if silent && !self.declared_dead.contains(&node) {
+                cluster.kill_node(&node);
+                let displaced = state.handle_node_failure(&node);
+                for tid in &displaced {
+                    state.release_topology(tid.as_str());
+                    self.pending.entry(tid.clone()).or_insert(Retry {
+                        attempts: 0,
+                        next_try_ms: now_ms,
+                    });
+                }
+                self.declared_dead.insert(node.clone());
+                events.push(RecoveryEvent::NodeDeclaredDead {
+                    node,
+                    at_ms: now_ms,
+                    time_to_detect_ms: now_ms - last,
+                    displaced,
+                });
+            } else if !silent && self.declared_dead.contains(&node) {
+                cluster.revive_node(&node);
+                state.handle_node_recovery(&node);
+                self.declared_dead.remove(&node);
+                // Fresh capacity: give every degraded topology an
+                // immediate upgrade attempt instead of waiting out its
+                // backoff.
+                let degraded: Vec<TopologyId> = state
+                    .plan()
+                    .iter()
+                    .filter(|a| a.is_degraded())
+                    .map(|a| a.topology().clone())
+                    .collect();
+                for tid in degraded {
+                    let retry = self.pending.entry(tid).or_insert(Retry {
+                        attempts: 0,
+                        next_try_ms: now_ms,
+                    });
+                    retry.next_try_ms = retry.next_try_ms.min(now_ms);
+                }
+                events.push(RecoveryEvent::NodeRecovered {
+                    node,
+                    at_ms: now_ms,
+                });
+            }
+        }
+    }
+
+    fn reschedule_due<S: Scheduler + ?Sized>(
+        &mut self,
+        now_ms: f64,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+        scheduler: &S,
+        topologies: &[&Topology],
+        events: &mut Vec<RecoveryEvent>,
+    ) {
+        let due: Vec<TopologyId> = self
+            .pending
+            .iter()
+            .filter(|(_, r)| r.next_try_ms <= now_ms)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for tid in due {
+            let Some(topology) = topologies.iter().find(|t| t.id() == &tid) else {
+                self.pending.remove(&tid);
+                continue;
+            };
+            // A degraded placement from an earlier attempt is released so
+            // this attempt can try for a strictly better one.
+            let previous = if state
+                .plan()
+                .assignment(tid.as_str())
+                .is_some_and(Assignment::is_degraded)
+            {
+                state.release_topology(tid.as_str())
+            } else {
+                None
+            };
+            self.total_reschedule_attempts += 1;
+            let attempts = {
+                let retry = self.pending.get_mut(&tid).expect("due came from pending");
+                retry.attempts += 1;
+                retry.attempts
+            };
+            match scheduler.schedule(topology, cluster, state) {
+                Ok(assignment) => {
+                    self.pending.remove(&tid);
+                    events.push(RecoveryEvent::TopologyRescheduled {
+                        topology: tid,
+                        at_ms: now_ms,
+                        attempts,
+                        unplaced: assignment.unplaced().len(),
+                    });
+                }
+                Err(_) => {
+                    let degraded = place_degraded(topology, cluster, state);
+                    let retry_at = self.next_backoff(now_ms, attempts);
+                    match degraded {
+                        Some(assignment) => {
+                            // Partially running beats not running; keep
+                            // the topology queued for an upgrade.
+                            self.pending
+                                .get_mut(&tid)
+                                .expect("still pending")
+                                .next_try_ms = retry_at;
+                            events.push(RecoveryEvent::TopologyRescheduled {
+                                topology: tid,
+                                at_ms: now_ms,
+                                attempts,
+                                unplaced: assignment.unplaced().len(),
+                            });
+                        }
+                        None => {
+                            // Nothing fit at all. If this attempt had
+                            // released a previous degraded placement,
+                            // restore it — shrinking to zero would be a
+                            // regression, not degradation.
+                            if let Some(prev) = previous {
+                                restore_assignment(topology, &prev, cluster, state);
+                            }
+                            self.pending
+                                .get_mut(&tid)
+                                .expect("still pending")
+                                .next_try_ms = retry_at;
+                            events.push(RecoveryEvent::RescheduleDeferred {
+                                topology: tid,
+                                at_ms: now_ms,
+                                attempts,
+                                retry_at_ms: retry_at,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `now + min(base·2^(attempts-1), max) + jitter`, jitter uniform in
+    /// `[0, base)` from the seeded generator — deterministic for a given
+    /// config and call sequence, yet de-synchronized across topologies.
+    fn next_backoff(&mut self, now_ms: f64, attempts: u32) -> f64 {
+        let exponent = i32::try_from(attempts.saturating_sub(1).min(30)).expect("capped at 30");
+        let delay = (self.config.backoff_base_ms * f64::powi(2.0, exponent))
+            .min(self.config.backoff_max_ms);
+        let jitter = self
+            .rng
+            .gen_range(0.0..self.config.backoff_base_ms.max(1.0));
+        now_ms + delay + jitter
+    }
+}
+
+/// Best-effort placement of `topology` on the surviving cluster.
+///
+/// Components are visited in BFS order (the same order the full
+/// scheduler uses) and a component is eligible only when every upstream
+/// component was itself placed — a tuple must have a complete path from
+/// a spout to reach it. Each component's tasks are placed through the
+/// ordinary Algorithm-4 node selection (which enforces the hard memory
+/// constraint) and reserved under an [`UndoLog`]; if any task of the
+/// component does not fit, the whole component rolls back bit-exactly
+/// and is declared unplaced. Returns `None` when not a single component
+/// fit, leaving `state` untouched.
+fn place_degraded(
+    topology: &Topology,
+    cluster: &Cluster,
+    state: &mut GlobalState,
+) -> Option<Assignment> {
+    let tid = topology.id().clone();
+    let weights = SoftConstraintWeights::default();
+    let mut selector = NodeSelector::new(cluster, &weights);
+    let task_set = topology.task_set();
+    let mut placed_components: BTreeSet<String> = BTreeSet::new();
+    let mut slots: BTreeMap<TaskId, WorkerSlot> = BTreeMap::new();
+    let mut unplaced: BTreeSet<TaskId> = BTreeSet::new();
+
+    for component in bfs_component_order(topology) {
+        let component = component.as_str();
+        let upstream_complete = topology
+            .upstream_ids(component)
+            .iter()
+            .all(|u| placed_components.contains(u.as_str()));
+        let tasks = task_set.tasks_of(component);
+        if !upstream_complete {
+            unplaced.extend(tasks.iter().copied());
+            continue;
+        }
+        let mut log = UndoLog::new();
+        let mut component_slots: BTreeMap<TaskId, WorkerSlot> = BTreeMap::new();
+        let mut fits = true;
+        for &task in tasks {
+            let Some(request) = task_set.resources(task) else {
+                fits = false;
+                break;
+            };
+            let Ok(node) = selector.select(state, request) else {
+                fits = false;
+                break;
+            };
+            if state
+                .reserve_logged(&tid, &node, request, &mut log)
+                .is_err()
+            {
+                fits = false;
+                break;
+            }
+            match state.slot_for_logged(cluster, &tid, &node, &mut log) {
+                Ok(slot) => {
+                    component_slots.insert(task, slot);
+                }
+                Err(_) => {
+                    fits = false;
+                    break;
+                }
+            }
+        }
+        if fits {
+            placed_components.insert(component.to_owned());
+            slots.append(&mut component_slots);
+        } else {
+            state.rollback(log);
+            unplaced.extend(tasks.iter().copied());
+        }
+    }
+
+    if slots.is_empty() {
+        return None;
+    }
+    let assignment = Assignment::with_unplaced(tid, slots, unplaced);
+    state.commit(assignment.clone());
+    Some(assignment)
+}
+
+/// Re-reserves and re-commits a previously released (degraded)
+/// assignment. Reservations on nodes that died in the meantime are
+/// dropped, exactly as [`GlobalState::rebuild`] treats them.
+fn restore_assignment(
+    topology: &Topology,
+    assignment: &Assignment,
+    cluster: &Cluster,
+    state: &mut GlobalState,
+) {
+    let tid = assignment.topology().clone();
+    let task_set = topology.task_set();
+    for (task, slot) in assignment.iter() {
+        if let Some(request) = task_set.resources(task) {
+            let _ = state.reserve(&tid, &slot.node, request);
+        }
+        let _ = state.slot_for(cluster, &tid, &slot.node);
+    }
+    state.commit(assignment.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rstorm::RStormScheduler;
+    use crate::verify::{verify_plan, Violation};
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyBuilder;
+
+    fn two_node_cluster(memory_mb: f64) -> Cluster {
+        ClusterBuilder::new()
+            .add_node(
+                "n0",
+                "r0",
+                ResourceCapacity::new(400.0, memory_mb, 100.0),
+                4,
+            )
+            .add_node(
+                "n1",
+                "r0",
+                ResourceCapacity::new(400.0, memory_mb, 100.0),
+                4,
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn linear(name: &str, parallelism: u32, mem: f64) -> Topology {
+        let mut b = TopologyBuilder::new(name);
+        b.set_spout("s", parallelism)
+            .set_cpu_load(10.0)
+            .set_memory_load(mem);
+        b.set_bolt("k", parallelism)
+            .shuffle_grouping("s")
+            .set_cpu_load(10.0)
+            .set_memory_load(mem);
+        b.build().unwrap()
+    }
+
+    struct Harness {
+        cluster: Cluster,
+        state: GlobalState,
+        scheduler: RStormScheduler,
+        manager: RecoveryManager,
+    }
+
+    fn harness(cluster: Cluster, topology: &Topology, config: RecoveryConfig) -> Harness {
+        let mut state = GlobalState::new(&cluster);
+        let scheduler = RStormScheduler::new();
+        scheduler.schedule(topology, &cluster, &mut state).unwrap();
+        Harness {
+            cluster,
+            state,
+            scheduler,
+            manager: RecoveryManager::new(config),
+        }
+    }
+
+    /// One heartbeat round + tick: every node except those in `down`
+    /// heartbeats at `t`.
+    fn step(h: &mut Harness, topology: &Topology, t: f64, down: &[&str]) -> Vec<RecoveryEvent> {
+        let names: Vec<String> = h
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
+        for name in names {
+            if !down.contains(&name.as_str()) {
+                h.manager.observe_heartbeat(&name, t);
+            }
+        }
+        h.manager
+            .tick(t, &mut h.cluster, &mut h.state, &h.scheduler, &[topology])
+    }
+
+    #[test]
+    fn silence_is_detected_after_the_miss_threshold() {
+        // The small topology colocates entirely on n0, so n0 is the
+        // victim whose loss displaces it.
+        let t = linear("t", 2, 128.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        assert!(step(&mut h, &t, 0.0, &[]).is_empty());
+        // n0 goes silent after t=0; threshold is 3 × 1000 ms.
+        assert!(step(&mut h, &t, 1_000.0, &["n0"]).is_empty());
+        assert!(step(&mut h, &t, 2_000.0, &["n0"]).is_empty());
+        let events = step(&mut h, &t, 3_000.0, &["n0"]);
+        match &events[0] {
+            RecoveryEvent::NodeDeclaredDead {
+                node,
+                at_ms,
+                time_to_detect_ms,
+                displaced,
+            } => {
+                assert_eq!(node, "n0");
+                assert_eq!(*at_ms, 3_000.0);
+                assert_eq!(*time_to_detect_ms, 3_000.0);
+                assert_eq!(displaced.len(), 1, "the topology lived on n0");
+            }
+            other => panic!("expected NodeDeclaredDead, got {other:?}"),
+        }
+        assert!(!h.cluster.is_alive("n0"));
+        assert_eq!(h.manager.dead_nodes().collect::<Vec<_>>(), ["n0"]);
+    }
+
+    #[test]
+    fn displaced_topology_is_rescheduled_onto_survivors() {
+        // The small topology colocates on n0; kill n0 and it must be
+        // fully re-placed on the survivor.
+        let t = linear("t", 2, 128.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..3 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n0"]);
+        }
+        let events = step(&mut h, &t, 3_000.0, &["n0"]);
+        // Detection and the full re-placement happen in the same tick:
+        // the survivor has room for all four tasks.
+        assert!(matches!(
+            events[1],
+            RecoveryEvent::TopologyRescheduled {
+                attempts: 1,
+                unplaced: 0,
+                ..
+            }
+        ));
+        let assignment = h.state.plan().assignment("t").unwrap();
+        assert_eq!(assignment.len(), 4);
+        assert!(assignment
+            .iter()
+            .all(|(_, slot)| slot.node.as_str() == "n1"));
+        assert!(!h.manager.has_pending_reschedules());
+        assert!(verify_plan(h.state.plan(), &[&t], &h.cluster).is_empty());
+    }
+
+    #[test]
+    fn degraded_placement_respects_memory_and_upstream_order() {
+        // 2 + 2 tasks × 700 MB: fits two 2048 MB nodes, not one. After
+        // n1 dies only the spout component fits the survivor.
+        let t = linear("t", 2, 700.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..3 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n1"]);
+        }
+        let events = step(&mut h, &t, 3_000.0, &["n1"]);
+        let Some(RecoveryEvent::TopologyRescheduled { unplaced, .. }) = events.get(1) else {
+            panic!("expected a degraded TopologyRescheduled, got {events:?}");
+        };
+        assert_eq!(*unplaced, 2, "the bolt component is deferred");
+        let assignment = h.state.plan().assignment("t").unwrap();
+        assert!(assignment.is_degraded());
+        let task_set = t.task_set();
+        for &task in task_set.tasks_of("s") {
+            assert!(assignment.slot_of(task).is_some(), "spouts are placed");
+        }
+        for &task in task_set.tasks_of("k") {
+            assert!(assignment.unplaced().contains(&task), "bolts are declared");
+        }
+        // The explicit deficit passes verification; memory is not
+        // overcommitted.
+        let violations = verify_plan(h.state.plan(), &[&t], &h.cluster);
+        assert!(
+            violations.is_empty(),
+            "degraded plan must verify cleanly: {violations:?}"
+        );
+        assert!(h.manager.has_pending_reschedules(), "upgrade still queued");
+    }
+
+    #[test]
+    fn node_recovery_upgrades_a_degraded_placement() {
+        let t = linear("t", 2, 700.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..4 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n1"]);
+        }
+        assert!(h.state.plan().assignment("t").unwrap().is_degraded());
+        // n1 heartbeats again: readmitted, and the pending upgrade
+        // becomes due immediately.
+        let events = step(&mut h, &t, 4_000.0, &[]);
+        assert!(matches!(
+            events[0],
+            RecoveryEvent::NodeRecovered { ref node, .. } if node == "n1"
+        ));
+        assert!(matches!(
+            events[1],
+            RecoveryEvent::TopologyRescheduled { unplaced: 0, .. }
+        ));
+        let assignment = h.state.plan().assignment("t").unwrap();
+        assert!(!assignment.is_degraded());
+        assert_eq!(assignment.len(), 4);
+        assert!(!h.manager.has_pending_reschedules());
+        assert!(h.cluster.is_alive("n1"));
+        assert!(verify_plan(h.state.plan(), &[&t], &h.cluster).is_empty());
+    }
+
+    #[test]
+    fn unschedulable_topology_backs_off_exponentially() {
+        // The spout component alone (2 × 1600 MB) exceeds the surviving
+        // 3000 MB node, so after the failure not even a degraded
+        // placement fits: every attempt is a total failure and must be
+        // deferred with exponentially growing delays.
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("s", 2)
+            .set_cpu_load(10.0)
+            .set_memory_load(1_600.0);
+        b.set_bolt("k", 2)
+            .shuffle_grouping("s")
+            .set_cpu_load(10.0)
+            .set_memory_load(100.0);
+        let t = b.build().unwrap();
+        let mut h = harness(two_node_cluster(3_000.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..3 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n1"]);
+        }
+        let mut retries = Vec::new();
+        let mut now = 3_000.0;
+        for _ in 0..4 {
+            let events = step(&mut h, &t, now, &["n1"]);
+            // Jump straight to the scheduled retry so every loop
+            // iteration performs exactly one more attempt.
+            let mut next = now + 1.0;
+            for e in events {
+                if let RecoveryEvent::RescheduleDeferred {
+                    retry_at_ms, at_ms, ..
+                } = e
+                {
+                    retries.push(retry_at_ms - at_ms);
+                    next = next.max(retry_at_ms);
+                }
+            }
+            now = next;
+        }
+        assert_eq!(retries.len(), 4, "every attempt defers: {retries:?}");
+        for (i, gap) in retries.iter().enumerate() {
+            // Attempt n waits base·2^(n-1) + jitter, jitter ∈ [0, base).
+            let floor = 500.0 * f64::powi(2.0, i32::try_from(i).unwrap());
+            assert!(
+                *gap >= floor && *gap < floor + 500.0,
+                "retry {i} gap {gap} outside [{floor}, {floor} + 500)"
+            );
+        }
+        assert!(
+            h.state.plan().assignment("t").is_none(),
+            "nothing could be placed"
+        );
+        assert!(h.manager.has_pending_reschedules(), "still queued");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let mut a = RecoveryManager::new(RecoveryConfig::default());
+        let mut b = RecoveryManager::new(RecoveryConfig::default());
+        let mut c = RecoveryManager::new(RecoveryConfig {
+            jitter_seed: 7,
+            ..RecoveryConfig::default()
+        });
+        let seq_a: Vec<f64> = (1..6).map(|n| a.next_backoff(0.0, n)).collect();
+        let seq_b: Vec<f64> = (1..6).map(|n| b.next_backoff(0.0, n)).collect();
+        let seq_c: Vec<f64> = (1..6).map(|n| c.next_backoff(0.0, n)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same jitter sequence");
+        assert_ne!(seq_a, seq_c, "different seed decorrelates");
+        // The exponential delay is capped at backoff_max_ms.
+        let mut m = RecoveryManager::new(RecoveryConfig::default());
+        let capped = m.next_backoff(0.0, 30);
+        assert!(capped <= 30_000.0 + 500.0, "cap applies: {capped}");
+    }
+
+    #[test]
+    fn tick_without_failures_is_a_no_op() {
+        let t = linear("t", 2, 128.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        let before = format!("{:?}", h.state.plan());
+        for ms in 0..10 {
+            assert!(step(&mut h, &t, f64::from(ms) * 1_000.0, &[]).is_empty());
+        }
+        assert_eq!(format!("{:?}", h.state.plan()), before);
+        assert_eq!(h.manager.reschedule_attempts(), 0);
+    }
+
+    #[test]
+    fn degraded_memory_never_exceeds_survivor_capacity() {
+        // Wide topology: only a prefix of components can fit; whatever
+        // is placed must respect the hard constraint exactly.
+        let mut b = TopologyBuilder::new("wide");
+        b.set_spout("s", 3).set_cpu_load(5.0).set_memory_load(500.0);
+        b.set_bolt("k1", 3)
+            .shuffle_grouping("s")
+            .set_cpu_load(5.0)
+            .set_memory_load(500.0);
+        b.set_bolt("k2", 3)
+            .shuffle_grouping("k1")
+            .set_cpu_load(5.0)
+            .set_memory_load(500.0);
+        let t = b.build().unwrap();
+        let mut h = harness(two_node_cluster(4096.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..4 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n1"]);
+        }
+        let assignment = h.state.plan().assignment("wide").unwrap();
+        assert!(assignment.is_degraded());
+        let placed_mb = assignment.len() as f64 * 500.0;
+        assert!(
+            placed_mb <= 4096.0,
+            "placed {placed_mb} MB exceeds the survivor"
+        );
+        let violations = verify_plan(h.state.plan(), &[&t], &h.cluster);
+        assert!(
+            !violations
+                .iter()
+                .any(|v| matches!(v, Violation::MemoryOvercommit { .. })),
+            "hard constraint violated: {violations:?}"
+        );
+    }
+}

@@ -112,8 +112,22 @@ impl Scheduler for RStormScheduler {
                     });
                 }
             };
-            state.reserve_logged(topology.id(), &node, &request, &mut log);
-            let slot = state.slot_for_logged(cluster, topology.id(), &node, &mut log);
+            // Node selection only yields alive cluster members, but the
+            // cluster can mutate between selection rounds in recovery
+            // scenarios — propagate instead of crashing, undoing every
+            // task placed so far (atomicity holds on this path too).
+            let reserved = state.reserve_logged(topology.id(), &node, &request, &mut log);
+            if let Err(e) = reserved {
+                state.rollback(log);
+                return Err(e);
+            }
+            let slot = match state.slot_for_logged(cluster, topology.id(), &node, &mut log) {
+                Ok(slot) => slot,
+                Err(e) => {
+                    state.rollback(log);
+                    return Err(e);
+                }
+            };
             slots.insert(task_id, slot);
         }
 
@@ -184,8 +198,10 @@ impl Scheduler for ReferenceRStormScheduler {
                     needed_mb: request.memory_mb,
                     best_available_mb,
                 })?;
-            scratch.reserve(topology.id(), &node, &request);
-            let slot = scratch.slot_for(cluster, topology.id(), &node);
+            // The scratch copy is discarded on error, so plain
+            // propagation preserves atomicity here.
+            scratch.reserve(topology.id(), &node, &request)?;
+            let slot = scratch.slot_for(cluster, topology.id(), &node)?;
             slots.insert(task_id, slot);
         }
 

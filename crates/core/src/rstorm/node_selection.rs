@@ -224,7 +224,13 @@ impl<'a> NodeSelector<'a> {
             if remaining.memory_mb < request.memory_mb {
                 continue;
             }
-            let network_distance = self.cluster.node_distance(ref_node.as_str(), node.as_str());
+            // A node in scheduler state but absent from the cluster layout
+            // can only appear via a foreign-state fallback after layout
+            // churn; skip it rather than crash the scheduling loop.
+            let Ok(network_distance) = self.cluster.node_distance(ref_node.as_str(), node.as_str())
+            else {
+                continue;
+            };
             let d = weighted_euclidean(
                 self.weights,
                 &self.norm,
@@ -340,17 +346,21 @@ mod tests {
         let c = cluster();
         let mut state = GlobalState::new(&c);
         // Drain rack-0 a bit so rack-1 is the most abundant.
-        state.reserve(
-            &TopologyId::new("x"),
-            &NodeId::new("rack-0-node-0"),
-            &ResourceRequest::new(50.0, 1024.0, 0.0),
-        );
+        state
+            .reserve(
+                &TopologyId::new("x"),
+                &NodeId::new("rack-0-node-0"),
+                &ResourceRequest::new(50.0, 1024.0, 0.0),
+            )
+            .unwrap();
         // Drain rack-1-node-0 so node-1 is the most abundant there.
-        state.reserve(
-            &TopologyId::new("x"),
-            &NodeId::new("rack-1-node-0"),
-            &ResourceRequest::new(10.0, 128.0, 0.0),
-        );
+        state
+            .reserve(
+                &TopologyId::new("x"),
+                &NodeId::new("rack-1-node-0"),
+                &ResourceRequest::new(10.0, 128.0, 0.0),
+            )
+            .unwrap();
         let weights = SoftConstraintWeights::default();
         let mut sel = NodeSelector::new(&c, &weights);
         let node = sel
@@ -369,11 +379,13 @@ mod tests {
         // Fill every node except one below the task's demand.
         for node in c.nodes() {
             if node.id().as_str() != "rack-1-node-2" {
-                state.reserve(
-                    &TopologyId::new("x"),
-                    node.id(),
-                    &ResourceRequest::new(0.0, 1900.0, 0.0),
-                );
+                state
+                    .reserve(
+                        &TopologyId::new("x"),
+                        node.id(),
+                        &ResourceRequest::new(0.0, 1900.0, 0.0),
+                    )
+                    .unwrap();
             }
         }
         let weights = SoftConstraintWeights::default();
@@ -389,11 +401,13 @@ mod tests {
         let c = cluster();
         let mut state = GlobalState::new(&c);
         for node in c.nodes() {
-            state.reserve(
-                &TopologyId::new("x"),
-                node.id(),
-                &ResourceRequest::new(0.0, 1500.0, 0.0),
-            );
+            state
+                .reserve(
+                    &TopologyId::new("x"),
+                    node.id(),
+                    &ResourceRequest::new(0.0, 1500.0, 0.0),
+                )
+                .unwrap();
         }
         let weights = SoftConstraintWeights::default();
         let mut sel = NodeSelector::new(&c, &weights);
@@ -414,7 +428,7 @@ mod tests {
         let mut nodes = Vec::new();
         for _ in 0..6 {
             let n = sel.select(&state, &req).unwrap();
-            state.reserve(&t, &n, &req);
+            state.reserve(&t, &n, &req).unwrap();
             nodes.push(n);
         }
         let ref_rack = c.rack_of(sel.ref_node().unwrap().as_str()).unwrap();
@@ -474,7 +488,7 @@ mod tests {
             }
             assert_eq!(fast.ref_node(), scan.ref_node());
             if let Ok(node) = from_fast {
-                state.reserve(&t, &node, request);
+                state.reserve(&t, &node, request).unwrap();
             }
         }
     }

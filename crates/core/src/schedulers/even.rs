@@ -86,7 +86,9 @@ impl Scheduler for EvenScheduler {
                 .resources(task.id)
                 .expect("task set provides resources for its own tasks");
             // Resource-oblivious: reserve without any feasibility check.
-            state.reserve(topology.id(), &slot.node, request);
+            // Slots come from the cluster's own alive list, so the
+            // reservation only fails on a state keyed to another cluster.
+            state.reserve(topology.id(), &slot.node, request)?;
             state.occupy_slot(&slot);
             mapping.insert(task.id, slot);
         }

@@ -81,7 +81,10 @@ pub fn placement_cost(topology: &Topology, cluster: &Cluster, assignment: &Assig
                         assignment.node_of(p).expect("complete assignment"),
                         assignment.node_of(c).expect("complete assignment"),
                     );
-                    cost += weight * cluster.node_distance(np.as_str(), nc.as_str());
+                    cost += weight
+                        * cluster
+                            .node_distance(np.as_str(), nc.as_str())
+                            .expect("assignment nodes are cluster members");
                 }
             }
         }
@@ -148,7 +151,8 @@ impl Search<'_> {
                 delta += weight
                     * self
                         .cluster
-                        .node_distance(&self.nodes[n], &self.nodes[other_node]);
+                        .node_distance(&self.nodes[n], &self.nodes[other_node])
+                        .expect("search nodes come from the cluster's own list");
             }
             let before = (cpu_used[n] - self.node_cpu[n]).max(0.0);
             let after = (cpu_used[n] + self.task_cpu[pos] - self.node_cpu[n]).max(0.0);
@@ -272,8 +276,8 @@ impl Scheduler for ExhaustiveScheduler {
             let task = search.order[pos];
             let node = rstorm_cluster::NodeId::new(search.nodes[node_idx].clone());
             let request = task_set.resources(task).expect("known task");
-            state.reserve(topology.id(), &node, request);
-            let slot = state.slot_for(cluster, topology.id(), &node);
+            state.reserve(topology.id(), &node, request)?;
+            let slot = state.slot_for(cluster, topology.id(), &node)?;
             slots.insert(task, slot);
         }
         let assignment = Assignment::new(topology.id().clone(), slots);

@@ -65,8 +65,8 @@ impl Scheduler for OfflineLinearizationScheduler {
             let request = task_set
                 .resources(*task_id)
                 .expect("ordering only contains tasks of this task set");
-            state.reserve(topology.id(), node.id(), request);
-            let slot = state.slot_for(cluster, topology.id(), node.id());
+            state.reserve(topology.id(), node.id(), request)?;
+            let slot = state.slot_for(cluster, topology.id(), node.id())?;
             mapping.insert(*task_id, slot);
         }
         let assignment = Assignment::new(topology.id().clone(), mapping);

@@ -62,7 +62,7 @@ impl Scheduler for RandomScheduler {
             let request = task_set
                 .resources(task.id)
                 .expect("task set provides resources for its own tasks");
-            state.reserve(topology.id(), &slot.node, request);
+            state.reserve(topology.id(), &slot.node, request)?;
             state.occupy_slot(&slot);
             mapping.insert(task.id, slot);
         }

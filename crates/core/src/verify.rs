@@ -4,10 +4,16 @@
 //! Invariants checked:
 //!
 //! 1. every task of every topology is placed exactly once (no missing or
-//!    phantom tasks),
+//!    phantom tasks) — unless the assignment *explicitly* declares the
+//!    task unplaced (degraded mode after a failure; see
+//!    [`crate::assignment::Assignment::unplaced`]). A task that is
+//!    silently absent — neither placed nor declared — is still a
+//!    [`Violation::UnplacedTask`],
 //! 2. every slot refers to an existing, alive node and a real port,
 //! 3. no node's **memory** (the hard constraint) is over-committed by the
-//!    sum of its placed tasks' demands.
+//!    sum of its placed tasks' demands. Degraded assignments get no
+//!    exemption here: declared-unplaced tasks reserve nothing, and what
+//!    *is* placed must still fit.
 //!
 //! Note that a valid plan from the resource-oblivious baselines may well
 //! violate (3) — that is the paper's point — so verification returns the
@@ -103,8 +109,13 @@ pub fn verify_plan(
         let task_set = topology.task_set();
 
         for task in task_set.tasks() {
-            if assignment.slot_of(task.id).is_none() {
+            if assignment.slot_of(task.id).is_none() && !assignment.unplaced().contains(&task.id) {
                 violations.push(Violation::UnplacedTask(tid.clone(), task.id));
+            }
+        }
+        for task_id in assignment.unplaced() {
+            if task_set.resources(*task_id).is_none() {
+                violations.push(Violation::PhantomTask(tid.clone(), *task_id));
             }
         }
 
@@ -272,6 +283,71 @@ mod tests {
         let violations = verify_plan(&plan, &[&t], &c);
         assert!(violations.contains(&Violation::UnknownTopology(TopologyId::new("ghost"))));
         assert!(violations.contains(&Violation::MissingAssignment(TopologyId::new("t"))));
+    }
+
+    #[test]
+    fn declared_unplaced_tasks_are_exempt_but_silent_gaps_are_not() {
+        let c = cluster();
+        let t = topology(64.0);
+        // Place tasks 0-5, declare 6 unplaced, and say nothing about 7:
+        // only the silent gap is a violation.
+        let mut m = BTreeMap::new();
+        for task in t.task_set().tasks().iter().take(6) {
+            m.insert(task.id, WorkerSlot::new("rack-0-node-0", 6700));
+        }
+        let mut unplaced = std::collections::BTreeSet::new();
+        unplaced.insert(TaskId(6));
+        let mut plan = SchedulingPlan::new();
+        plan.insert(Assignment::with_unplaced("t", m, unplaced));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(
+            !violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnplacedTask(_, TaskId(6)))),
+            "declared-unplaced task must be exempt, got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnplacedTask(_, TaskId(7)))),
+            "silently missing task must still be flagged, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_assignments_still_face_the_memory_hard_constraint() {
+        let c = cluster();
+        let t = topology(1500.0); // 8 × 1500 MB on 2048 MB nodes
+        let task_set = t.task_set();
+        // Cram tasks 0-3 onto one node (6000 MB demanded) and declare the
+        // rest unplaced: degraded mode must not excuse the over-commit.
+        let mut m = BTreeMap::new();
+        let mut unplaced = std::collections::BTreeSet::new();
+        for task in task_set.tasks() {
+            if task.id.0 < 4 {
+                m.insert(task.id, WorkerSlot::new("rack-0-node-0", 6700));
+            } else {
+                unplaced.insert(task.id);
+            }
+        }
+        let mut plan = SchedulingPlan::new();
+        plan.insert(Assignment::with_unplaced("t", m, unplaced));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::MemoryOvercommit { .. })),
+            "expected over-commit, got {violations:?}"
+        );
+        // A declared-unplaced id the topology lacks is a phantom.
+        let mut ghost = std::collections::BTreeSet::new();
+        ghost.insert(TaskId(99));
+        let mut plan = SchedulingPlan::new();
+        plan.insert(Assignment::with_unplaced("t", BTreeMap::new(), ghost));
+        let violations = verify_plan(&plan, &[&t], &c);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PhantomTask(_, TaskId(99)))));
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! The chaos harness: one crash-then-recover scenario, end to end.
+//!
+//! [`run_crash_recover`] wires the workspace's two fault halves together
+//! for a single topology:
+//!
+//! * **Control plane** — a [`RecoveryManager`] replay. The harness clones
+//!   the cluster, schedules the topology with [`RStormScheduler`], then
+//!   steps simulated time one heartbeat interval at a time. Every node
+//!   heartbeats except the victim while it is down
+//!   (`[crash_at_ms, heal_at_ms)`); the manager's ticks detect the
+//!   failure, re-place the displaced topology on the survivors (degraded
+//!   if it must) and upgrade the placement once the victim heals. The
+//!   collected [`RecoveryEvent`]s yield time-to-detect and
+//!   time-to-recover.
+//! * **Data plane** — a fault-injected [`Simulation`] of the *original*
+//!   assignment. The [`FaultPlan`] crashes the victim at `crash_at_ms`
+//!   and revives it when the control plane first re-placed the topology —
+//!   modelling Storm handing the displaced executors to replacement
+//!   workers at that moment. (The simulator replays one fixed assignment,
+//!   so "recovery" is the original workers coming back rather than a
+//!   mid-run re-placement; detection and re-placement latency still come
+//!   from the control-plane replay.) The run yields tuples lost and the
+//!   throughput-dip depth.
+//!
+//! Both halves are deterministic, so the whole [`ChaosOutcome`] — report
+//! bits included — is a pure function of `(cluster, topology, config)`.
+
+use crate::config::SimConfig;
+use crate::faults::FaultPlan;
+use crate::report::{RecoveryObservations, SimReport};
+use crate::sim::Simulation;
+use rstorm_cluster::Cluster;
+use rstorm_core::{
+    GlobalState, RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager, Scheduler,
+    SchedulingPlan,
+};
+use rstorm_topology::Topology;
+use std::sync::Arc;
+
+/// One crash-then-recover scenario: which node dies, when, and for how
+/// long, plus the simulation and recovery-loop knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// The node to crash. Must exist in the cluster.
+    pub victim: String,
+    /// Simulation time of the crash, in milliseconds.
+    pub crash_at_ms: f64,
+    /// Simulation time the victim starts heartbeating again. Use a value
+    /// past `sim.sim_time_ms` for a crash that never heals.
+    pub heal_at_ms: f64,
+    /// Data-plane simulation parameters.
+    pub sim: SimConfig,
+    /// Control-plane recovery-loop parameters.
+    pub recovery: RecoveryConfig,
+}
+
+impl ChaosConfig {
+    /// A scenario with default simulation and recovery knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= crash_at_ms < heal_at_ms` and both are finite.
+    pub fn new(victim: impl Into<String>, crash_at_ms: f64, heal_at_ms: f64) -> Self {
+        assert!(
+            crash_at_ms.is_finite() && heal_at_ms.is_finite() && crash_at_ms >= 0.0,
+            "chaos times must be finite and non-negative, got crash={crash_at_ms} heal={heal_at_ms}"
+        );
+        assert!(
+            crash_at_ms < heal_at_ms,
+            "the victim must heal after it crashes, got crash={crash_at_ms} heal={heal_at_ms}"
+        );
+        Self {
+            victim: victim.into(),
+            crash_at_ms,
+            heal_at_ms,
+            sim: SimConfig::default(),
+            recovery: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// Everything a crash-then-recover run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The fault-injected data-plane report, with
+    /// [`SimReport::recovery`] populated.
+    pub report: SimReport,
+    /// The control-plane recovery events, in occurrence order.
+    pub events: Vec<RecoveryEvent>,
+    /// The control plane's final scheduling plan — what the cluster runs
+    /// after detection, rescheduling and (if the victim healed in time)
+    /// the post-recovery upgrade.
+    pub plan: SchedulingPlan,
+    /// The derived recovery metrics (also embedded in `report`).
+    pub observations: RecoveryObservations,
+}
+
+/// Runs the crash-then-recover scenario described by `cfg` for one
+/// topology. See the module docs for the two-plane structure.
+///
+/// # Panics
+///
+/// Panics if the topology does not fit the healthy cluster (the scenario
+/// needs a valid initial placement to disrupt) or if `cfg.victim` names
+/// an unknown node.
+pub fn run_crash_recover(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+) -> ChaosOutcome {
+    assert!(
+        cluster
+            .nodes()
+            .iter()
+            .any(|n| n.id().as_str() == cfg.victim),
+        "chaos victim `{}` is not a node of the cluster",
+        cfg.victim
+    );
+
+    // -- Control plane: replay the recovery loop over heartbeat ticks. --
+    let mut control = (**cluster).clone();
+    let mut state = GlobalState::new(&control);
+    let scheduler = RStormScheduler::new();
+    let initial = scheduler
+        .schedule(topology, &control, &mut state)
+        .expect("chaos scenario requires an initial placement on the healthy cluster");
+    let mut manager = RecoveryManager::new(cfg.recovery.clone());
+    let mut events = Vec::new();
+
+    let interval = cfg.recovery.heartbeat_interval_ms;
+    let names: Vec<String> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .collect();
+    let mut t = 0.0;
+    while t <= cfg.sim.sim_time_ms {
+        for name in &names {
+            let victim_down = *name == cfg.victim && t >= cfg.crash_at_ms && t < cfg.heal_at_ms;
+            if !victim_down {
+                manager.observe_heartbeat(name, t);
+            }
+        }
+        events.extend(manager.tick(t, &mut control, &mut state, &scheduler, &[topology]));
+        t += interval;
+    }
+
+    let mut detect_at = None;
+    let mut first_resched = None;
+    let mut recovered_at = None;
+    for event in &events {
+        match event {
+            RecoveryEvent::NodeDeclaredDead { at_ms, .. } => {
+                detect_at.get_or_insert(*at_ms);
+            }
+            RecoveryEvent::TopologyRescheduled {
+                at_ms, unplaced, ..
+            } => {
+                first_resched.get_or_insert(*at_ms);
+                if *unplaced == 0 {
+                    recovered_at.get_or_insert(*at_ms);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -- Data plane: the same outage injected into the simulator. --
+    let mut plan = FaultPlan::new().crash_node(cfg.crash_at_ms, &cfg.victim);
+    if let Some(at) = first_resched {
+        // The victim's workers come back the moment the control plane
+        // first re-placed the topology (replacement workers taking over).
+        if at > cfg.crash_at_ms {
+            plan = plan.recover_node(at, &cfg.victim);
+        }
+    }
+    let mut sim = Simulation::new(Arc::clone(cluster), cfg.sim.clone());
+    sim.add_topology(topology, &initial);
+    sim.set_fault_plan(plan);
+    let mut report = sim.run();
+
+    // -- Derived observations. --
+    let outage_end = first_resched.unwrap_or(cfg.sim.sim_time_ms);
+    let dip = report
+        .throughput
+        .get(topology.id().as_str())
+        .map_or(0.0, |t| {
+            dip_depth(
+                &t.windows,
+                t.window_ms,
+                cfg.crash_at_ms,
+                outage_end + t.window_ms,
+            )
+        });
+    let observations = RecoveryObservations {
+        crash_at_ms: cfg.crash_at_ms,
+        time_to_detect_ms: detect_at.map_or(-1.0, |at| at - cfg.crash_at_ms),
+        time_to_recover_ms: recovered_at.map_or(-1.0, |at| at - cfg.crash_at_ms),
+        tuples_lost: report.totals.tuples_lost,
+        throughput_dip_depth: dip,
+        reschedule_attempts: manager.reschedule_attempts(),
+    };
+    report.recovery = Some(observations);
+
+    ChaosOutcome {
+        report,
+        events,
+        plan: state.plan().clone(),
+        observations,
+    }
+}
+
+/// Depth of the throughput dip: `1 - worst_outage_window / steady_mean`,
+/// clamped to `[0, 1]`. The steady mean averages the windows that ended
+/// before the crash (window 0 is skipped as warm-up); the outage windows
+/// are those overlapping `[crash_at_ms, outage_end_ms)`. Returns 0 when
+/// either set is empty or the pre-crash throughput was zero.
+fn dip_depth(windows: &[f64], window_ms: f64, crash_at_ms: f64, outage_end_ms: f64) -> f64 {
+    let mut steady_sum = 0.0;
+    let mut steady_n = 0u32;
+    let mut outage_min = f64::INFINITY;
+    for (i, &w) in windows.iter().enumerate() {
+        let start = i as f64 * window_ms;
+        let end = start + window_ms;
+        if i > 0 && end <= crash_at_ms {
+            steady_sum += w;
+            steady_n += 1;
+        }
+        if start < outage_end_ms && end > crash_at_ms {
+            outage_min = outage_min.min(w);
+        }
+    }
+    if steady_n == 0 || outage_min.is_infinite() {
+        return 0.0;
+    }
+    let steady_mean = steady_sum / f64::from(steady_n);
+    if steady_mean <= 0.0 {
+        return 0.0;
+    }
+    ((steady_mean - outage_min) / steady_mean).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_cluster::{ClusterBuilder, ResourceCapacity};
+    use rstorm_core::verify_plan;
+    use rstorm_topology::{ExecutionProfile, TopologyBuilder};
+
+    fn topology() -> Topology {
+        let mut b = TopologyBuilder::new("chaos-t");
+        b.set_spout("src", 2)
+            .set_profile(ExecutionProfile::network_bound(100))
+            .set_cpu_load(25.0)
+            .set_memory_load(256.0);
+        b.set_bolt("sink", 2)
+            .shuffle_grouping("src")
+            .set_profile(ExecutionProfile::network_bound(100).into_sink())
+            .set_cpu_load(25.0)
+            .set_memory_load(256.0);
+        b.build().unwrap()
+    }
+
+    fn cluster() -> Arc<Cluster> {
+        Arc::new(
+            ClusterBuilder::new()
+                .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// The node R-Storm colocates the topology on — crashing anything
+    /// else would displace nothing.
+    fn host_node(cluster: &Cluster, t: &Topology) -> String {
+        let mut state = GlobalState::new(cluster);
+        let a = RStormScheduler::new()
+            .schedule(t, cluster, &mut state)
+            .unwrap();
+        let host = a.iter().next().unwrap().1.node.as_str().to_owned();
+        host
+    }
+
+    fn scenario(victim: String) -> ChaosConfig {
+        let mut cfg = ChaosConfig::new(victim, 20_000.0, 35_000.0);
+        cfg.sim = SimConfig::quick();
+        cfg
+    }
+
+    #[test]
+    fn crash_is_detected_and_topology_fully_recovers() {
+        let cluster = cluster();
+        let t = topology();
+        let cfg = scenario(host_node(&cluster, &t));
+        let out = run_crash_recover(&cluster, &t, &cfg);
+
+        let obs = out.observations;
+        // Detection takes at least the miss window measured from the
+        // victim's last heartbeat — which precedes the crash by at most
+        // one interval.
+        let window = cfg.recovery.heartbeat_interval_ms * f64::from(cfg.recovery.miss_threshold);
+        assert!(
+            obs.time_to_detect_ms >= window - cfg.recovery.heartbeat_interval_ms
+                && obs.time_to_detect_ms <= window + cfg.recovery.heartbeat_interval_ms,
+            "detected after {} ms, window is {} ms",
+            obs.time_to_detect_ms,
+            window
+        );
+        // Full recovery happened, after (or at) detection.
+        assert!(
+            obs.time_to_recover_ms >= obs.time_to_detect_ms,
+            "recover {} ms < detect {} ms",
+            obs.time_to_recover_ms,
+            obs.time_to_detect_ms
+        );
+        assert!(obs.reschedule_attempts >= 1);
+        // The outage destroyed work and dented sink throughput.
+        assert!(obs.tuples_lost > 0, "a crashed worker loses queued tuples");
+        assert!(
+            obs.throughput_dip_depth > 0.0 && obs.throughput_dip_depth <= 1.0,
+            "dip depth {} out of range",
+            obs.throughput_dip_depth
+        );
+        // The final control-plane plan is complete and verifiable.
+        let assignment = out.plan.assignment(t.id().as_str()).expect("re-placed");
+        assert!(!assignment.is_degraded());
+        assert!(verify_plan(&out.plan, &[&t], &cluster).is_empty());
+        // The report embeds the same observations.
+        assert_eq!(out.report.recovery, Some(obs));
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let cluster = cluster();
+        let t = topology();
+        let cfg = scenario(host_node(&cluster, &t));
+        let a = run_crash_recover(&cluster, &t, &cfg);
+        let b = run_crash_recover(&cluster, &t, &cfg);
+        assert_eq!(a.report, b.report, "same scenario, same bits");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.report.to_json(), b.report.to_json());
+    }
+
+    #[test]
+    fn unhealed_crash_reports_sentinels_when_nothing_fits() {
+        // A topology that only fits with every node alive: killing one
+        // node leaves survivors that can hold part of it at best.
+        let cluster = Arc::new(
+            ClusterBuilder::new()
+                .homogeneous_racks(1, 2, ResourceCapacity::new(400.0, 3_000.0, 100.0), 4)
+                .build()
+                .unwrap(),
+        );
+        let mut b = TopologyBuilder::new("big");
+        b.set_spout("src", 2)
+            .set_profile(ExecutionProfile::network_bound(100))
+            .set_cpu_load(10.0)
+            .set_memory_load(1_400.0);
+        b.set_bolt("sink", 2)
+            .shuffle_grouping("src")
+            .set_profile(ExecutionProfile::network_bound(100).into_sink())
+            .set_cpu_load(10.0)
+            .set_memory_load(1_400.0);
+        let t = b.build().unwrap();
+
+        let victim = cluster.nodes()[0].id().as_str().to_owned();
+        let mut cfg = ChaosConfig::new(victim, 10_000.0, 120_000.0); // never heals in a quick run
+        cfg.sim = SimConfig::quick();
+        let out = run_crash_recover(&cluster, &t, &cfg);
+
+        assert!(out.observations.time_to_detect_ms > 0.0, "crash detected");
+        assert!(
+            out.observations.time_to_recover_ms < 0.0,
+            "full recovery is impossible while the victim is down"
+        );
+        // Whatever the control plane managed is degraded at best, and
+        // never overcommits memory.
+        if let Some(a) = out.plan.assignment(t.id().as_str()) {
+            assert!(a.is_degraded());
+        }
+        assert!(!verify_plan(&out.plan, &[&t], &cluster)
+            .iter()
+            .any(|v| matches!(v, rstorm_core::Violation::MemoryOvercommit { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a node")]
+    fn unknown_victim_is_rejected() {
+        run_crash_recover(
+            &cluster(),
+            &topology(),
+            &ChaosConfig::new("ghost", 1.0, 2.0),
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] is an explicit list of timed events — node crashes,
+//! node recoveries, link degradations — that the fast engine injects into
+//! its event queue alongside the workload's own events. The plan is plain
+//! data: replaying the same plan against the same [`crate::SimConfig`]
+//! (in particular the same seed) reproduces the run bit-for-bit, which is
+//! what lets chaos scenarios be golden-tested like any other simulation.
+//!
+//! Crash semantics (see `crate::sim` for the implementation):
+//!
+//! * batches queued at, in flight toward, or being processed on a crashed
+//!   node are **lost** — their tuple trees can no longer complete and
+//!   fail through the ordinary tuple-timeout path, counted in
+//!   [`crate::SimTotals::tuples_lost`];
+//! * spouts on a crashed node stop emitting until the node recovers;
+//! * while a link degradation is active, every same-rack and inter-rack
+//!   transfer pays the extra latency on arrival.
+//!
+//! An **empty** plan leaves the engine's arithmetic untouched, so the
+//! fast/reference parity guarantee is unchanged for fault-free runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One timed fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The node's worker processes die at `at_ms`.
+    NodeCrash {
+        /// Simulation time of the crash in milliseconds.
+        at_ms: f64,
+        /// Cluster node id.
+        node: String,
+    },
+    /// The node's workers come back at `at_ms` (spouts resume; bolts
+    /// accept deliveries again).
+    NodeRecover {
+        /// Simulation time of the recovery in milliseconds.
+        at_ms: f64,
+        /// Cluster node id.
+        node: String,
+    },
+    /// Every same-rack and inter-rack transfer arriving in
+    /// `[at_ms, until_ms)` pays `extra_latency_ms` on top of its route
+    /// latency.
+    LinkDegrade {
+        /// Start of the degradation window in milliseconds.
+        at_ms: f64,
+        /// End of the degradation window in milliseconds.
+        until_ms: f64,
+        /// Additional per-transfer latency in milliseconds.
+        extra_latency_ms: f64,
+    },
+}
+
+impl FaultEvent {
+    fn at_ms(&self) -> f64 {
+        match self {
+            Self::NodeCrash { at_ms, .. }
+            | Self::NodeRecover { at_ms, .. }
+            | Self::LinkDegrade { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+/// A deterministic schedule of fault events (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; the engine behaves exactly as without
+    /// fault support).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node crash at `at_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is not a finite non-negative time.
+    pub fn crash_node(mut self, at_ms: f64, node: impl Into<String>) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "invalid fault time");
+        self.events.push(FaultEvent::NodeCrash {
+            at_ms,
+            node: node.into(),
+        });
+        self
+    }
+
+    /// Adds a node recovery at `at_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` is not a finite non-negative time.
+    pub fn recover_node(mut self, at_ms: f64, node: impl Into<String>) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "invalid fault time");
+        self.events.push(FaultEvent::NodeRecover {
+            at_ms,
+            node: node.into(),
+        });
+        self
+    }
+
+    /// Adds a link-degradation window `[at_ms, until_ms)` during which
+    /// every non-local transfer pays `extra_latency_ms` extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times, `until_ms <= at_ms`, or negative
+    /// extra latency.
+    pub fn degrade_links(mut self, at_ms: f64, until_ms: f64, extra_latency_ms: f64) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "invalid fault time");
+        assert!(
+            until_ms.is_finite() && until_ms > at_ms,
+            "degradation window must end after it starts"
+        );
+        assert!(
+            extra_latency_ms.is_finite() && extra_latency_ms >= 0.0,
+            "extra latency must be a finite non-negative delay"
+        );
+        self.events.push(FaultEvent::LinkDegrade {
+            at_ms,
+            until_ms,
+            extra_latency_ms,
+        });
+        self
+    }
+
+    /// Generates a crash/recover sequence deterministically from `seed`:
+    /// `count` crashes against nodes drawn uniformly from `nodes`, at
+    /// times uniform over `[start_ms, end_ms)`, each recovering
+    /// `outage_ms` later. The same arguments always produce the same
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty or the time window is invalid.
+    pub fn seeded_crashes(
+        seed: u64,
+        nodes: &[&str],
+        count: usize,
+        start_ms: f64,
+        end_ms: f64,
+        outage_ms: f64,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node to crash");
+        assert!(
+            start_ms.is_finite() && start_ms >= 0.0 && end_ms > start_ms,
+            "invalid crash window"
+        );
+        assert!(
+            outage_ms.is_finite() && outage_ms > 0.0,
+            "outage must last a positive duration"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::new();
+        for _ in 0..count {
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            let at = rng.gen_range(start_ms..end_ms);
+            plan = plan.crash_node(at, node).recover_node(at + outage_ms, node);
+        }
+        plan
+    }
+
+    /// The events in insertion order. The engine orders them by time
+    /// (ties by insertion order) when it schedules them.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The earliest event time, if any (useful for harnesses aligning
+    /// measurement windows with the first fault).
+    pub fn first_event_ms(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .map(FaultEvent::at_ms)
+            .min_by(|a, b| a.partial_cmp(b).expect("fault times are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let plan = FaultPlan::new()
+            .crash_node(1_000.0, "n0")
+            .recover_node(5_000.0, "n0")
+            .degrade_links(2_000.0, 3_000.0, 4.0);
+        assert_eq!(plan.events().len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.first_event_ms(), Some(1_000.0));
+        assert_eq!(
+            plan.events()[0],
+            FaultEvent::NodeCrash {
+                at_ms: 1_000.0,
+                node: "n0".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let nodes = ["a", "b", "c"];
+        let p1 = FaultPlan::seeded_crashes(7, &nodes, 4, 1_000.0, 50_000.0, 5_000.0);
+        let p2 = FaultPlan::seeded_crashes(7, &nodes, 4, 1_000.0, 50_000.0, 5_000.0);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.events().len(), 8, "each crash pairs with a recovery");
+        let p3 = FaultPlan::seeded_crashes(8, &nodes, 4, 1_000.0, 50_000.0, 5_000.0);
+        assert_ne!(p1, p3, "different seeds draw different schedules");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must end after")]
+    fn inverted_degrade_window_rejected() {
+        let _ = FaultPlan::new().degrade_links(5.0, 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault time")]
+    fn negative_crash_time_rejected() {
+        let _ = FaultPlan::new().crash_node(-1.0, "n");
+    }
+}

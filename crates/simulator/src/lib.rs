@@ -60,15 +60,19 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod build;
+pub mod chaos;
 mod config;
 mod event;
+pub mod faults;
 mod reference;
 mod report;
 mod servers;
 mod sim;
 mod slab;
 
+pub use chaos::{run_crash_recover, ChaosConfig, ChaosOutcome};
 pub use config::SimConfig;
+pub use faults::{FaultEvent, FaultPlan};
 pub use reference::ReferenceSimulation;
-pub use report::{SimDebugStats, SimReport, SimTotals};
+pub use report::{RecoveryObservations, SimDebugStats, SimReport, SimTotals};
 pub use sim::Simulation;

@@ -530,6 +530,9 @@ impl RefEngine {
             inter_rack_mb: self.uplink.served_bytes() / 1e6,
             latency_ms: self.latency.summary(),
             totals: self.totals,
+            // The reference engine models no faults; parity runs compare
+            // against fault-free fast runs, where this is `None` too.
+            recovery: None,
             // The reference engine has no pools or precomputed routes;
             // only the event count is meaningful here.
             debug: SimDebugStats {

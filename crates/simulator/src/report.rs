@@ -22,6 +22,9 @@ pub struct SimTotals {
     pub tuples_processed: u64,
     /// Tuples of live roots processed at sinks — the throughput numerator.
     pub tuples_completed: u64,
+    /// Tuples destroyed by injected node crashes (queued, in service, or
+    /// in flight toward a crashed worker). Zero for fault-free runs.
+    pub tuples_lost: u64,
 }
 
 /// Engine-internal counters exposed for observability and performance
@@ -42,6 +45,32 @@ pub struct SimDebugStats {
     pub max_live_roots: u64,
     /// Precomputed routes in the routing table.
     pub route_entries: u64,
+}
+
+/// Recovery observability derived from a crash-then-recover scenario by
+/// the chaos harness (`crate::chaos`). Attached to [`SimReport::recovery`]
+/// only for such runs; plain simulations leave it `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryObservations {
+    /// When the injected crash happened, in simulation milliseconds.
+    pub crash_at_ms: f64,
+    /// Crash until the control loop declared the node dead (includes the
+    /// configured heartbeat-miss window). Negative if never detected
+    /// within the run.
+    pub time_to_detect_ms: f64,
+    /// Crash until the displaced topology was fully re-placed (no
+    /// unplaced tasks). Negative if full recovery never happened within
+    /// the run.
+    pub time_to_recover_ms: f64,
+    /// Tuples destroyed by the outage (mirrors
+    /// [`SimTotals::tuples_lost`]).
+    pub tuples_lost: u64,
+    /// Depth of the throughput dip: `1 - worst_outage_window /
+    /// steady_pre_crash_mean`, clamped to `[0, 1]`. Zero means the
+    /// outage was invisible in sink throughput.
+    pub throughput_dip_depth: f64,
+    /// Scheduler invocations the recovery loop spent re-placing work.
+    pub reschedule_attempts: u64,
 }
 
 /// The outcome of a simulation run.
@@ -71,6 +100,8 @@ pub struct SimReport {
     pub latency_ms: Summary,
     /// Aggregate event counts.
     pub totals: SimTotals,
+    /// Recovery metrics, present only for chaos-harness runs.
+    pub recovery: Option<RecoveryObservations>,
     /// Engine-internal counters (excluded from `==`; see
     /// [`SimDebugStats`]).
     pub debug: SimDebugStats,
@@ -93,6 +124,7 @@ impl PartialEq for SimReport {
             && self.inter_rack_mb == other.inter_rack_mb
             && self.latency_ms == other.latency_ms
             && self.totals == other.totals
+            && self.recovery == other.recovery
     }
 }
 
@@ -161,20 +193,35 @@ impl SimReport {
         let _ = writeln!(out, "  \"inter_rack_mb\": {:?},", self.inter_rack_mb);
         let _ = writeln!(out, "  \"latency_ms\": {},", json_summary(&self.latency_ms));
         let t = &self.totals;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  \"totals\": {{\"spout_batches\": {}, \"batches_delivered\": {}, \
              \"batches_dropped\": {}, \"roots_completed\": {}, \"roots_timed_out\": {}, \
-             \"tuples_processed\": {}, \"tuples_completed\": {}}}",
+             \"tuples_processed\": {}, \"tuples_completed\": {}, \"tuples_lost\": {}}}",
             t.spout_batches,
             t.batches_delivered,
             t.batches_dropped,
             t.roots_completed,
             t.roots_timed_out,
             t.tuples_processed,
-            t.tuples_completed
+            t.tuples_completed,
+            t.tuples_lost
         );
-        out.push_str("}\n");
+        if let Some(r) = &self.recovery {
+            let _ = write!(
+                out,
+                ",\n  \"recovery\": {{\"crash_at_ms\": {:?}, \"time_to_detect_ms\": {:?}, \
+                 \"time_to_recover_ms\": {:?}, \"tuples_lost\": {}, \
+                 \"throughput_dip_depth\": {:?}, \"reschedule_attempts\": {}}}",
+                r.crash_at_ms,
+                r.time_to_detect_ms,
+                r.time_to_recover_ms,
+                r.tuples_lost,
+                r.throughput_dip_depth,
+                r.reschedule_attempts
+            );
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -208,6 +255,7 @@ mod tests {
             inter_rack_mb: 0.0,
             latency_ms: Summary::of([]),
             totals: SimTotals::default(),
+            recovery: None,
             debug: SimDebugStats::default(),
         }
     }
@@ -258,5 +306,25 @@ mod tests {
         assert!(j1.contains("\"windows\": [1.5, 2.0]"));
         assert!(j1.contains("\"used_nodes_by_topology\": {\"t\": 3}"));
         assert!(!j1.contains("debug"));
+    }
+
+    #[test]
+    fn recovery_observations_participate_in_equality_and_json() {
+        let a = empty_report();
+        let mut b = empty_report();
+        b.recovery = Some(RecoveryObservations {
+            crash_at_ms: 10_000.0,
+            time_to_detect_ms: 3_000.0,
+            time_to_recover_ms: 4_000.0,
+            tuples_lost: 42,
+            throughput_dip_depth: 0.5,
+            reschedule_attempts: 2,
+        });
+        assert_ne!(a, b, "recovery metrics are part of the outcome");
+        assert!(!a.to_json().contains("recovery"));
+        let j = b.to_json();
+        assert!(j.contains("\"recovery\": {\"crash_at_ms\": 10000.0"));
+        assert!(j.contains("\"reschedule_attempts\": 2"));
+        assert!(j.contains("\"tuples_lost\": 42"));
     }
 }

@@ -24,6 +24,7 @@
 use crate::build::{ClusterIndex, GroupKind, LinkKind, Route, SimBuild, NO_SINK};
 use crate::config::SimConfig;
 use crate::event::EventQueue;
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::report::{SimDebugStats, SimReport, SimTotals};
 use crate::servers::{DenseCpuServer, LinkServer};
 use crate::slab::{RootSlab, RootState};
@@ -60,6 +61,16 @@ const TASK_MASK: u32 = (1 << TAG_SHIFT) - 1;
 const TAG_TRY_SPOUT: u32 = 0 << TAG_SHIFT;
 const TAG_WORK_DONE: u32 = 1 << TAG_SHIFT;
 const TAG_DELIVER: u32 = 2 << TAG_SHIFT;
+const TAG_FAULT: u32 = 3 << TAG_SHIFT;
+
+/// A fault event resolved to dense engine indices at build time (the
+/// heap payload only carries an index into [`Engine::fault_actions`]).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash(u32),
+    Recover(u32),
+    SetLinkExtra(f64),
+}
 
 impl FastEv {
     fn try_spout(task: usize) -> Self {
@@ -85,6 +96,14 @@ impl FastEv {
             tuples: batch.tuples,
         }
     }
+
+    fn fault(action: usize) -> Self {
+        Self {
+            root: 0,
+            task_tag: TAG_FAULT | action as u32,
+            tuples: 0,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -96,6 +115,10 @@ pub(crate) struct TaskRt {
     pub emit_acc: f64,
     /// Earliest time a rate-limited spout may emit its next root batch.
     pub next_emit_ms: f64,
+    /// Set when this task's node crashed while a batch was being served:
+    /// the already-scheduled `WorkDone` belongs to the dead worker and
+    /// must be discarded (its batch is lost) instead of emitting.
+    pub drop_next_work_done: bool,
 }
 
 /// Streaming accumulator for completed-root latencies (the population is
@@ -165,6 +188,7 @@ pub struct Simulation {
     config: SimConfig,
     index: ClusterIndex,
     build: SimBuild,
+    faults: FaultPlan,
 }
 
 impl Simulation {
@@ -181,7 +205,23 @@ impl Simulation {
             config,
             index,
             build,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Injects a fault plan (see [`FaultPlan`]). Replaces any previously
+    /// set plan; an empty plan restores fault-free behavior bit-for-bit.
+    ///
+    /// Node names are resolved against the cluster when the simulation
+    /// runs; unknown names panic there, consistent with
+    /// [`Self::add_topology`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The currently configured fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Adds a scheduled topology to the simulation.
@@ -243,6 +283,18 @@ struct Engine {
     totals: SimTotals,
     latency: LatencyAccumulator,
     events: u64,
+
+    /// Liveness per dense node id; flipped by fault events only.
+    node_down: Vec<bool>,
+    /// Global task indices hosted on each node (for crash draining and
+    /// recovery re-kicks).
+    node_tasks: Vec<Vec<usize>>,
+    /// Extra per-transfer latency while a link degradation is active.
+    link_extra_ms: f64,
+    /// Fault actions resolved to dense ids, referenced by heap events.
+    fault_actions: Vec<FaultAction>,
+    /// `(at_ms, action index)` pairs scheduled into the queue by `run`.
+    fault_schedule: Vec<(f64, usize)>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -261,6 +313,7 @@ impl Engine {
             config,
             index,
             mut build,
+            faults,
         } = sim;
 
         // Borrow the cost matrix; nothing here outlives this scope and
@@ -272,7 +325,7 @@ impl Engine {
             .iter()
             .zip(&build.node_mem_demand)
             .zip(&index.memory_mb)
-            .zip(node_tasks)
+            .zip(&node_tasks)
             .map(|(((&cores, &demand), &capacity), globals)| {
                 let thrash = if demand > capacity && config.oom_thrash_factor < 1.0 {
                     // Over-committed memory: the node pages/crash-loops.
@@ -280,9 +333,44 @@ impl Engine {
                 } else {
                     1.0
                 };
-                DenseCpuServer::new(cores, thrash, globals)
+                DenseCpuServer::new(cores, thrash, globals.clone())
             })
             .collect();
+
+        // Resolve the fault plan to dense node ids now so the hot loop
+        // never touches a string. Unknown names panic, consistent with
+        // `add_topology`.
+        let resolve = |node: &str| -> u32 {
+            *index
+                .node_of
+                .get(node)
+                .unwrap_or_else(|| panic!("fault plan references unknown node `{node}`"))
+                as u32
+        };
+        let mut fault_actions = Vec::new();
+        let mut fault_schedule = Vec::new();
+        for ev in faults.events() {
+            match ev {
+                FaultEvent::NodeCrash { at_ms, node } => {
+                    fault_schedule.push((*at_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::Crash(resolve(node)));
+                }
+                FaultEvent::NodeRecover { at_ms, node } => {
+                    fault_schedule.push((*at_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::Recover(resolve(node)));
+                }
+                FaultEvent::LinkDegrade {
+                    at_ms,
+                    until_ms,
+                    extra_latency_ms,
+                } => {
+                    fault_schedule.push((*at_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::SetLinkExtra(*extra_latency_ms));
+                    fault_schedule.push((*until_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::SetLinkExtra(0.0));
+                }
+            }
+        }
         let egress = (0..index.cores.len())
             .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
             .collect();
@@ -323,6 +411,7 @@ impl Engine {
             .collect();
 
         let rng = StdRng::seed_from_u64(config.seed);
+        let node_down = vec![false; index.cores.len()];
         Self {
             config,
             build,
@@ -341,6 +430,11 @@ impl Engine {
             totals: SimTotals::default(),
             latency: LatencyAccumulator::default(),
             events: 0,
+            node_down,
+            node_tasks,
+            link_extra_ms: 0.0,
+            fault_actions,
+            fault_schedule,
         }
     }
 
@@ -349,6 +443,10 @@ impl Engine {
             if self.statics[i].is_spout {
                 self.queue.schedule(0.0, FastEv::try_spout(i));
             }
+        }
+        let fault_schedule = std::mem::take(&mut self.fault_schedule);
+        for (at_ms, action) in fault_schedule {
+            self.queue.schedule(at_ms, FastEv::fault(action));
         }
 
         loop {
@@ -383,7 +481,8 @@ impl Engine {
                 match ev.task_tag & !TASK_MASK {
                     TAG_TRY_SPOUT => self.try_spout(task),
                     TAG_WORK_DONE => self.work_done(task, batch),
-                    _ => self.deliver(task, batch),
+                    TAG_DELIVER => self.deliver(task, batch),
+                    _ => self.apply_fault(task),
                 }
             }
         }
@@ -394,6 +493,9 @@ impl Engine {
     // ---- spout production --------------------------------------------
 
     fn try_spout(&mut self, i: usize) {
+        if self.node_down[self.statics[i].node as usize] {
+            return; // Crashed worker: the recovery event re-kicks spouts.
+        }
         if self.tasks[i].busy {
             return; // WorkDone will retry.
         }
@@ -423,6 +525,7 @@ impl Engine {
             deadline,
             spout: i as u32,
             failed: false,
+            lost: 0,
         });
         let (key, seq) = self.queue.alloc_slot(deadline);
         debug_assert!(
@@ -446,6 +549,16 @@ impl Engine {
     // ---- work completion ---------------------------------------------
 
     fn work_done(&mut self, i: usize, batch: Batch) {
+        if self.tasks[i].drop_next_work_done {
+            // The worker serving this batch died mid-service; the batch
+            // is lost and nothing downstream of it ever happens. `busy`
+            // guarantees exactly one WorkDone was in flight, so clearing
+            // both flags fully resets the task.
+            self.tasks[i].drop_next_work_done = false;
+            self.tasks[i].busy = false;
+            self.lose_batch(batch);
+            return;
+        }
         let now = self.queue.now();
         let spec = self.statics[i];
 
@@ -528,18 +641,20 @@ impl Engine {
         let spec = self.statics[from];
         let bytes = spec.tuple_bytes.saturating_mul(batch.tuples);
 
+        // `link_extra_ms` is 0.0 outside degradation windows; adding it
+        // is then bit-neutral, preserving fault-free reference parity.
         let arrival = match route.kind {
             LinkKind::Local => now + route.latency_ms,
             LinkKind::SameRack => {
                 let t1 = self.egress[spec.node as usize].serve(now, bytes);
                 let t2 = self.ingress[route.to_node as usize].serve(t1, bytes);
-                t2 + route.latency_ms
+                t2 + route.latency_ms + self.link_extra_ms
             }
             LinkKind::InterRack => {
                 let t1 = self.egress[spec.node as usize].serve(now, bytes);
                 let t2 = self.uplink.serve(t1, bytes);
                 let t3 = self.ingress[route.to_node as usize].serve(t2, bytes);
-                t3 + route.latency_ms
+                t3 + route.latency_ms + self.link_extra_ms
             }
         };
 
@@ -561,6 +676,12 @@ impl Engine {
         if stale {
             self.totals.batches_dropped += 1;
             self.finish_pending(batch.root);
+            return;
+        }
+        if self.node_down[self.statics[i].node as usize] {
+            // Arrived at a crashed worker: the batch is lost and its
+            // root will fail through the timeout path.
+            self.lose_batch(batch);
             return;
         }
         if self.tasks[i].busy {
@@ -602,6 +723,17 @@ impl Engine {
         }
         state.failed = true;
         let spout = state.spout as usize;
+        // Pending slots held by crash-lost batches can never be released
+        // by processing (the batches no longer exist); the timeout drains
+        // them so the slab slot is reclaimed. A live root always has
+        // `pending >= 1`, and `pending` only reaches zero here when every
+        // outstanding descendant was lost.
+        state.pending -= state.lost;
+        state.lost = 0;
+        let fully_drained = state.pending == 0;
+        if fully_drained {
+            self.roots.remove(root);
+        }
         self.totals.roots_timed_out += 1;
         // Storm replays the tuple: the credit returns to the spout even
         // though stale descendants may still be in flight.
@@ -614,6 +746,71 @@ impl Engine {
             self.tasks[spout].waiting_for_credit = false;
             let now = self.queue.now();
             self.queue.schedule(now, FastEv::try_spout(spout));
+        }
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    fn apply_fault(&mut self, action: usize) {
+        match self.fault_actions[action] {
+            FaultAction::Crash(node) => self.crash_node(node as usize),
+            FaultAction::Recover(node) => self.recover_node(node as usize),
+            FaultAction::SetLinkExtra(extra_ms) => self.link_extra_ms = extra_ms,
+        }
+    }
+
+    /// Kills every worker on `node`: queued and in-service batches are
+    /// lost, spouts go dormant, future deliveries are lost on arrival
+    /// (see [`Self::deliver`]). Idempotent.
+    fn crash_node(&mut self, node: usize) {
+        if self.node_down[node] {
+            return;
+        }
+        self.node_down[node] = true;
+        let tasks = self.node_tasks[node].clone();
+        for i in tasks {
+            while let Some(batch) = self.tasks[i].queue.pop_front() {
+                self.lose_batch(batch);
+            }
+            if self.tasks[i].busy {
+                self.tasks[i].drop_next_work_done = true;
+            }
+        }
+    }
+
+    /// Brings `node` back: deliveries succeed again and dormant spouts
+    /// are re-kicked (a spout that still has credit resumes immediately;
+    /// `try_spout` re-checks `busy`/credits, so the kick is always safe).
+    /// Idempotent.
+    fn recover_node(&mut self, node: usize) {
+        if !self.node_down[node] {
+            return;
+        }
+        self.node_down[node] = false;
+        let now = self.queue.now();
+        let tasks = self.node_tasks[node].clone();
+        for i in tasks {
+            if self.statics[i].is_spout {
+                self.queue.schedule(now, FastEv::try_spout(i));
+            }
+        }
+    }
+
+    /// Accounts for a batch destroyed by a crash. A live root keeps the
+    /// batch's pending slot occupied but remembers it as `lost`, so the
+    /// tuple tree fails through the ordinary timeout path and the slot is
+    /// drained there (see [`Self::root_timeout`]). Stale batches behave
+    /// exactly as in [`Self::deliver`].
+    fn lose_batch(&mut self, batch: Batch) {
+        match self.roots.get_mut(batch.root) {
+            Some(root) if !root.failed => {
+                root.lost += 1;
+                self.totals.tuples_lost += u64::from(batch.tuples);
+            }
+            _ => {
+                self.totals.batches_dropped += 1;
+                self.finish_pending(batch.root);
+            }
         }
     }
 
@@ -690,6 +887,7 @@ impl Engine {
             inter_rack_mb: self.uplink.served_bytes() / 1e6,
             latency_ms: self.latency.summary(),
             totals: self.totals,
+            recovery: None,
             debug: SimDebugStats {
                 events: self.events,
                 root_pool_hits: self.roots.pool_hits,
@@ -1134,5 +1332,154 @@ mod tests {
     fn empty_simulation_rejected() {
         let cluster = emulab(1, 1);
         Simulation::new(cluster, SimConfig::quick()).run();
+    }
+
+    // ---- fault injection ----
+
+    fn assigned(topology: &Topology, cluster: &Cluster) -> Assignment {
+        let mut state = GlobalState::new(cluster);
+        RStormScheduler::new()
+            .schedule(topology, cluster, &mut state)
+            .unwrap()
+    }
+
+    fn run_faulted(
+        topology: &Topology,
+        cluster: &Cluster,
+        assignment: &Assignment,
+        plan: FaultPlan,
+    ) -> SimReport {
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(topology, assignment);
+        sim.set_fault_plan(plan);
+        sim.run()
+    }
+
+    /// A node of the assignment that hosts tasks (R-Storm colocates, so
+    /// crashing an arbitrary node could miss the topology entirely).
+    fn host_of(assignment: &Assignment) -> String {
+        let host = assignment.iter().next().unwrap().1.node.as_str().to_owned();
+        host
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let plain = run_with(&RStormScheduler::new(), &t, &cluster, SimConfig::quick());
+        let faulted = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        assert_eq!(plain, faulted, "an empty plan is bit-identical");
+        assert_eq!(faulted.totals.tuples_lost, 0);
+    }
+
+    #[test]
+    fn node_crash_destroys_tuples_and_halts_its_tasks() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let healthy = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let crashed = run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().crash_node(20_000.0, &victim),
+        );
+        assert!(crashed.totals.tuples_lost > 0, "queued work was destroyed");
+        assert!(
+            crashed.totals.roots_timed_out > healthy.totals.roots_timed_out,
+            "in-flight trees fail through the timeout path"
+        );
+        assert!(
+            crashed.totals.tuples_completed < healthy.totals.tuples_completed,
+            "the outage costs throughput"
+        );
+        // Every window after the crash (+ timeout drain) is dead if the
+        // whole topology lived on the victim; at minimum the tail is no
+        // better than healthy.
+        let w = &crashed.throughput["t"].windows;
+        assert!(
+            *w.last().unwrap() <= *healthy.throughput["t"].windows.last().unwrap(),
+            "no recovery was scheduled: {w:?}"
+        );
+    }
+
+    #[test]
+    fn node_recovery_restores_flow() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let plan = FaultPlan::new()
+            .crash_node(20_000.0, &victim)
+            .recover_node(30_000.0, &victim);
+        let report = run_faulted(&t, &cluster, &a, plan);
+        let windows = &report.throughput["t"].windows;
+        // Window 2 covers [20 s, 30 s): the outage. The final window runs
+        // well after recovery plus the 30 s tuple-timeout drain... which
+        // the quick 60 s horizon does not reach for timed-out roots, but
+        // fresh spout emissions restart immediately at recovery.
+        assert!(
+            *windows.last().unwrap() > 0.0,
+            "flow resumed after recovery: {windows:?}"
+        );
+        assert!(report.totals.tuples_lost > 0);
+    }
+
+    #[test]
+    fn link_degradation_inflates_latency() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        // Spread the topology across nodes so batches actually cross the
+        // degraded links.
+        let mut state = GlobalState::new(&cluster);
+        let a = EvenScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        let healthy = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let degraded = run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().degrade_links(0.0, 60_000.0, 25.0),
+        );
+        assert!(
+            degraded.latency_ms.mean > healthy.latency_ms.mean,
+            "degraded {} ms <= healthy {} ms",
+            degraded.latency_ms.mean,
+            healthy.latency_ms.mean
+        );
+        assert_eq!(degraded.totals.tuples_lost, 0, "latency, not loss");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let plan = FaultPlan::new()
+            .crash_node(15_000.0, &victim)
+            .recover_node(25_000.0, &victim)
+            .degrade_links(30_000.0, 40_000.0, 10.0);
+        let r1 = run_faulted(&t, &cluster, &a, plan.clone());
+        let r2 = run_faulted(&t, &cluster, &a, plan);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.to_json(), r2.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn fault_plan_with_unknown_node_rejected() {
+        let cluster = emulab(1, 2);
+        let t = linear_topology("t", 1, ExecutionProfile::default(), 10.0, 64.0);
+        let a = assigned(&t, &cluster);
+        run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().crash_node(1_000.0, "ghost"),
+        );
     }
 }

@@ -27,6 +27,10 @@ pub(crate) struct RootState {
     pub spout: u32,
     /// True once the tuple timeout fired.
     pub failed: bool,
+    /// Of `pending`, the slots held by batches destroyed by a node
+    /// crash. They can never be released by processing; the timeout
+    /// drains them (see the engine's `root_timeout`).
+    pub lost: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -119,6 +123,7 @@ mod tests {
             deadline: 100.0,
             spout,
             failed: false,
+            lost: 0,
         }
     }
 

@@ -112,10 +112,14 @@ pub mod prelude {
     };
     pub use rstorm_core::{
         schedule_all, verify_plan, Assignment, GlobalState, RStormConfig, RStormScheduler,
-        ReferenceRStormScheduler, ScheduleError, Scheduler, SchedulingPlan, SoftConstraintWeights,
+        RecoveryConfig, RecoveryEvent, RecoveryManager, ReferenceRStormScheduler, ScheduleError,
+        Scheduler, SchedulingPlan, SoftConstraintWeights,
     };
     pub use rstorm_metrics::{StatisticServer, Summary, ThroughputReport};
-    pub use rstorm_sim::{ReferenceSimulation, SimConfig, SimReport, Simulation};
+    pub use rstorm_sim::{
+        run_crash_recover, ChaosConfig, ChaosOutcome, FaultEvent, FaultPlan, ReferenceSimulation,
+        SimConfig, SimReport, Simulation,
+    };
     pub use rstorm_topology::{
         ExecutionProfile, StreamGrouping, Topology, TopologyBuilder, TraversalOrder,
     };

@@ -1,0 +1,104 @@
+//! Chaos-harness integration: crash-then-recover scenarios on the
+//! paper's workloads, exercised through the public facade.
+//!
+//! These pin the PR's acceptance criteria: the same fault plan and seed
+//! produce bit-identical reports, and a crash-then-recover on the Yahoo
+//! PageLoad topology ends with the full topology re-placed and zero
+//! memory-overcommit violations.
+
+use rstorm::prelude::*;
+use rstorm::workloads::{clusters, micro, yahoo};
+use std::sync::Arc;
+
+/// The node the initial R-Storm placement put tasks on — the only kind
+/// of victim whose crash actually displaces the topology.
+fn host_node(cluster: &Cluster, topology: &Topology) -> String {
+    let mut state = GlobalState::new(cluster);
+    let a = RStormScheduler::new()
+        .schedule(topology, cluster, &mut state)
+        .unwrap();
+    let host = a.iter().next().unwrap().1.node.as_str().to_owned();
+    host
+}
+
+fn quick_scenario(victim: String, crash_at_ms: f64, heal_at_ms: f64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(victim, crash_at_ms, heal_at_ms);
+    cfg.sim = SimConfig::quick();
+    cfg
+}
+
+#[test]
+fn same_fault_plan_and_seed_are_bit_identical() {
+    let cluster = Arc::new(clusters::emulab_micro());
+    let topology = micro::linear_network_bound();
+    let cfg = quick_scenario(host_node(&cluster, &topology), 20_000.0, 35_000.0);
+    let a = rstorm::sim::run_crash_recover(&cluster, &topology, &cfg);
+    let b = rstorm::sim::run_crash_recover(&cluster, &topology, &cfg);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.plan, b.plan);
+}
+
+#[test]
+fn seeded_fault_plans_replay_identically_in_the_simulator() {
+    let cluster = clusters::emulab_micro();
+    let topology = micro::linear_network_bound();
+    let mut state = GlobalState::new(&cluster);
+    let assignment = RStormScheduler::new()
+        .schedule(&topology, &cluster, &mut state)
+        .unwrap();
+    let nodes: Vec<String> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .collect();
+    let names: Vec<&str> = nodes.iter().map(String::as_str).collect();
+    let plan = FaultPlan::seeded_crashes(7, &names, 2, 10_000.0, 40_000.0, 5_000.0);
+
+    let run = |plan: FaultPlan| {
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&topology, &assignment);
+        sim.set_fault_plan(plan);
+        sim.run()
+    };
+    let r1 = run(plan.clone());
+    let r2 = run(plan.clone());
+    assert_eq!(r1, r2, "same plan, same seed, same bits");
+    // And a different seed is a genuinely different plan.
+    assert_ne!(
+        plan,
+        FaultPlan::seeded_crashes(8, &names, 2, 10_000.0, 40_000.0, 5_000.0)
+    );
+}
+
+#[test]
+fn yahoo_page_load_crash_then_recover_replaces_everything() {
+    let cluster = Arc::new(clusters::emulab_multi());
+    let topology = yahoo::page_load();
+    let cfg = quick_scenario(host_node(&cluster, &topology), 15_000.0, 30_000.0);
+    let out = rstorm::sim::run_crash_recover(&cluster, &topology, &cfg);
+
+    // The outage was seen and fully recovered from.
+    let obs = out.observations;
+    assert!(obs.time_to_detect_ms > 0.0, "crash detected: {obs:?}");
+    assert!(
+        obs.time_to_recover_ms >= obs.time_to_detect_ms,
+        "fully re-placed after detection: {obs:?}"
+    );
+    assert!(obs.reschedule_attempts >= 1);
+
+    // The final plan places every task and violates nothing — in
+    // particular zero memory overcommit.
+    let assignment = out
+        .plan
+        .assignment(topology.id().as_str())
+        .expect("topology re-placed");
+    assert!(!assignment.is_degraded(), "no unplaced tasks remain");
+    let violations = verify_plan(&out.plan, &[&topology], &cluster);
+    assert!(violations.is_empty(), "clean plan, got {violations:?}");
+
+    // The recovery metrics ride along in the report and its JSON.
+    assert_eq!(out.report.recovery, Some(obs));
+    assert!(out.report.to_json().contains("\"recovery\""));
+}

@@ -416,6 +416,102 @@ proptest! {
     }
 }
 
+// ---------- failure/recovery state parity -----------------------------------
+
+/// Observables masked to the *alive* part of the cluster: remaining
+/// resources and slot occupancy of alive nodes (float bits), plus the
+/// whole plan. Dead nodes are out of the schedulable pool, so their
+/// stale bookkeeping is not observable behaviour.
+type AliveBits = (Vec<(String, [u64; 3])>, String, Vec<usize>);
+
+fn alive_observable_bits(state: &GlobalState, cluster: &Cluster) -> AliveBits {
+    let remaining = state
+        .iter_remaining()
+        .filter(|(n, _)| cluster.is_alive(n.as_str()))
+        .map(|(n, r)| {
+            (
+                n.as_str().to_owned(),
+                [
+                    r.cpu_points.to_bits(),
+                    r.memory_mb.to_bits(),
+                    r.bandwidth.to_bits(),
+                ],
+            )
+        })
+        .collect();
+    let plan = format!("{:?}", state.plan());
+    let occupancy = cluster
+        .alive_nodes()
+        .flat_map(|n| n.slots().iter())
+        .map(|s| state.slot_occupancy(s))
+        .collect();
+    (remaining, plan, occupancy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The recovery tentpole's bookkeeping bar: after ANY interleaving of
+    /// node failures and recoveries, the incrementally maintained
+    /// [`GlobalState`] must be bit-identical (on alive-masked
+    /// observables) to one rebuilt from scratch out of the surviving
+    /// cluster and the same plan. Integer resource loads keep the
+    /// reserve/release float arithmetic exactly representable, so "bit
+    /// identical" is a fair bar.
+    #[test]
+    fn incremental_failure_recovery_matches_rebuild(
+        spout_par in 1u32..=3,
+        bolt_par in 1u32..=4,
+        cpu_units in 1u32..40,
+        mem_units in 1u32..48,
+        ops in proptest::collection::vec((0usize..6, 0u32..3), 1..10),
+    ) {
+        let mut b = TopologyBuilder::new("fr");
+        b.set_spout("s", spout_par)
+            .set_cpu_load(f64::from(cpu_units))
+            .set_memory_load(f64::from(mem_units * 16));
+        b.set_bolt("k", bolt_par)
+            .shuffle_grouping("s")
+            .set_cpu_load(f64::from(cpu_units))
+            .set_memory_load(f64::from(mem_units * 16));
+        let topology = b.build().unwrap();
+
+        let mut cluster = ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::new(400.0, 4096.0, 100.0), 4)
+            .build()
+            .unwrap();
+        let node_names: Vec<String> = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
+
+        let mut state = GlobalState::new(&cluster);
+        let Ok(_) = RStormScheduler::new().schedule(&topology, &cluster, &mut state) else {
+            return Ok(());
+        };
+
+        for &(pick, op) in &ops {
+            let node = &node_names[pick % node_names.len()];
+            // Two-thirds kills, one-third recoveries: failure churn with
+            // occasional rejoins, in arbitrary order.
+            if op > 0 {
+                cluster.kill_node(node);
+                let _displaced = state.handle_node_failure(node);
+            } else {
+                cluster.revive_node(node);
+                state.handle_node_recovery(node);
+            }
+        }
+
+        let rebuilt = GlobalState::rebuild(&cluster, &[&topology], state.plan());
+        prop_assert_eq!(
+            alive_observable_bits(&state, &cluster),
+            alive_observable_bits(&rebuilt, &cluster)
+        );
+    }
+}
+
 // ---------- simulator conservation (fewer, heavier cases) -------------------
 
 proptest! {
