@@ -9,20 +9,22 @@
 //! to demand a 20% margin, or `0.9` to tolerate noisy shared runners).
 //!
 //! A failing or missing file gets **one** re-measure: the guard invokes
-//! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`)
+//! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
+//! `adaptive_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
 //!
-//! Run after `perf_smoke`, `sim_smoke` and `chaos_smoke` have refreshed
-//! the files:
+//! Run after `perf_smoke`, `sim_smoke`, `chaos_smoke` and
+//! `adaptive_smoke` have refreshed the files:
 //!
 //! ```text
 //! cargo run --release -p rstorm-bench --bin bench_guard
 //! ```
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
-//! `BENCH_sim.json` and `BENCH_chaos.json` in the current directory. A
+//! `BENCH_sim.json`, `BENCH_chaos.json` and `BENCH_adaptive.json` in the
+//! current directory. A
 //! missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
@@ -93,6 +95,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("sim_smoke")
     } else if path.ends_with("BENCH_chaos.json") {
         Some("chaos_smoke")
+    } else if path.ends_with("BENCH_adaptive.json") {
+        Some("adaptive_smoke")
     } else {
         None
     }
@@ -143,7 +147,12 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let files: Vec<&str> = if args.is_empty() {
-        vec!["BENCH_sched.json", "BENCH_sim.json", "BENCH_chaos.json"]
+        vec![
+            "BENCH_sched.json",
+            "BENCH_sim.json",
+            "BENCH_chaos.json",
+            "BENCH_adaptive.json",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -233,7 +242,12 @@ mod tests {
 
     #[test]
     fn every_default_file_has_a_smoke_binary() {
-        for file in ["BENCH_sched.json", "BENCH_sim.json", "BENCH_chaos.json"] {
+        for file in [
+            "BENCH_sched.json",
+            "BENCH_sim.json",
+            "BENCH_chaos.json",
+            "BENCH_adaptive.json",
+        ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }
         assert_eq!(smoke_bin("BENCH_other.json"), None);

@@ -13,7 +13,10 @@ use rstorm_cluster::Cluster;
 use rstorm_core::schedulers::{EvenScheduler, OfflineLinearizationScheduler, RandomScheduler};
 use rstorm_core::{verify_plan, GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
-use rstorm_sim::{run_crash_recover, ChaosConfig, SimConfig, SimReport, Simulation};
+use rstorm_sim::{
+    run_adaptive_rebalance, run_crash_recover, AdaptiveConfig, ChaosConfig, SimConfig, SimReport,
+    Simulation,
+};
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
 use std::collections::BTreeMap;
@@ -30,6 +33,9 @@ USAGE:
     rstorm compare  --topology FILE --cluster FILE [--duration-s N] [--seed N]
     rstorm chaos    --topology FILE --cluster FILE [--victim NODE]
                     [--crash-at-s N] [--heal-at-s N] [--duration-s N] [--seed N]
+    rstorm rebalance --topology FILE --cluster FILE [--observe-s N]
+                    [--rebalance-at-s N] [--pause-ms N] [--alpha X]
+                    [--duration-s N] [--seed N]
     rstorm example-specs
 
 SCHEDULERS:
@@ -58,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => simulate_cmd(&parse_flags(&args[1..])?),
         "compare" => compare_cmd(&parse_flags(&args[1..])?),
         "chaos" => chaos_cmd(&parse_flags(&args[1..])?),
+        "rebalance" => rebalance_cmd(&parse_flags(&args[1..])?),
         "example-specs" => {
             print_example_specs();
             Ok(())
@@ -319,6 +326,119 @@ fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the adaptive rebalance plane end to end: profiles the R-Storm
+/// placement, detects declaration drift, plans a minimal-move migration
+/// and reports the static / adaptive / full-reschedule comparison.
+fn rebalance_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let config = sim_config(flags)?;
+    let duration_s = config.sim_time_ms / 1000.0;
+
+    let parse_f = |name: &str, default: f64| -> Result<f64, String> {
+        match flags.get(name) {
+            Some(raw) => raw.parse().map_err(|_| format!("invalid --{name} `{raw}`")),
+            None => Ok(default),
+        }
+    };
+    let mut adaptive = AdaptiveConfig::default();
+    // Defaults scale with the horizon so short runs still observe,
+    // rebalance and then measure the effect.
+    adaptive.observe_ms = parse_f("observe-s", duration_s / 3.0)? * 1000.0;
+    adaptive.stats_interval_ms = (adaptive.observe_ms / 10.0).max(1.0);
+    adaptive.rebalance_at_ms = parse_f("rebalance-at-s", duration_s / 3.0)? * 1000.0;
+    adaptive.pause_ms = parse_f("pause-ms", adaptive.pause_ms)?;
+    adaptive.alpha = parse_f("alpha", adaptive.alpha)?;
+    if !(adaptive.observe_ms > 0.0 && adaptive.observe_ms.is_finite()) {
+        return Err(format!(
+            "--observe-s must be positive, got {}",
+            adaptive.observe_ms / 1000.0
+        ));
+    }
+    if !(adaptive.alpha > 0.0 && adaptive.alpha <= 1.0) {
+        return Err(format!("--alpha must be in (0, 1], got {}", adaptive.alpha));
+    }
+    if !(adaptive.pause_ms >= 0.0 && adaptive.pause_ms.is_finite()) {
+        return Err(format!(
+            "--pause-ms must be non-negative, got {}",
+            adaptive.pause_ms
+        ));
+    }
+    adaptive.sim = config;
+
+    let cluster = Arc::new(cluster);
+    let out = run_adaptive_rebalance(&cluster, &topology, &adaptive);
+
+    println!(
+        "adaptive rebalance on `{}`: profiled {:.0} s, rebalance at {:.0} s, \
+         pause {:.0} ms/task (sim {:.0} s)\n",
+        topology.id(),
+        adaptive.observe_ms / 1000.0,
+        adaptive.rebalance_at_ms / 1000.0,
+        adaptive.pause_ms,
+        adaptive.sim.sim_time_ms / 1000.0
+    );
+
+    if out.drift.is_clean() {
+        println!("no declaration drift detected; placement left untouched");
+    } else {
+        println!("drifted components:");
+        let rows: Vec<Vec<String>> = out
+            .drift
+            .drifted
+            .iter()
+            .map(|d| {
+                vec![
+                    d.component.clone(),
+                    format!("{:.1}", d.declared_cpu_points),
+                    format!("{:.1}", d.observed_cpu_points),
+                    format!("{:.2}x", d.ratio),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["component", "declared", "observed", "ratio"], &rows)
+        );
+        println!(
+            "saturated nodes: {:?}; starved nodes: {:?}",
+            out.drift.saturated_nodes, out.drift.starved_nodes
+        );
+    }
+    println!();
+    if out.plan.is_empty() {
+        println!("migration plan: empty (simulation stays bit-identical to static)");
+    } else {
+        println!(
+            "migration plan: {} move(s) (a full reschedule would move {}):",
+            out.plan.len(),
+            out.rescheduled_moves
+        );
+        for m in &out.plan.moves {
+            println!(
+                "  {} ({}) {} -> {}",
+                m.task,
+                m.component,
+                m.from.as_str(),
+                m.to.as_str()
+            );
+        }
+    }
+    println!();
+    println!("net tuples completed over the full horizon:");
+    let rows = vec![
+        vec!["static".to_owned(), out.static_net().to_string()],
+        vec!["adaptive".to_owned(), out.adaptive_net().to_string()],
+        vec![
+            "full reschedule".to_owned(),
+            out.rescheduled_net().to_string(),
+        ],
+    ];
+    println!("{}", text_table(&["strategy", "tuples"], &rows));
+    println!("=== adaptive run ===");
+    print_report(&topology, &out.adaptive_report);
+    Ok(())
+}
+
 fn print_example_specs() {
     println!("# ---- word-count.spec ----------------------------------");
     println!(
@@ -402,6 +522,13 @@ mod tests {
         simulate_cmd(&flags).unwrap();
         compare_cmd(&flags).unwrap();
         chaos_cmd(&flags).unwrap();
+        rebalance_cmd(&flags).unwrap();
+
+        // An honest two-component topology must be rejected-free but also
+        // reject nonsense rebalance knobs.
+        let mut bad = flags.clone();
+        bad.insert("alpha".into(), "3".into());
+        assert!(rebalance_cmd(&bad).unwrap_err().contains("alpha"));
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Minimal-move migration planning on the live scheduling state.
+
+use crate::adaptive::drift::DriftReport;
+use crate::adaptive::refiner::ProfileRefiner;
+use crate::assignment::Assignment;
+use crate::error::ScheduleError;
+use crate::global_state::{GlobalState, UndoLog};
+use rstorm_cluster::{Cluster, NodeId};
+use rstorm_topology::{TaskId, Topology, TopologyId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One task relocation of a migration plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationMove {
+    /// The relocated task.
+    pub task: TaskId,
+    /// The component the task instantiates.
+    pub component: String,
+    /// Where the task ran before the move.
+    pub from: NodeId,
+    /// Where the task runs after the move.
+    pub to: NodeId,
+}
+
+/// The delta scheduler's output: which tasks move where, plus the full
+/// assignment after applying the moves. An empty plan means the live
+/// state was left bit-identical to how it was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// The rebalanced topology.
+    pub topology: TopologyId,
+    /// The moves, in planning order.
+    pub moves: Vec<MigrationMove>,
+    /// The assignment after the moves (identical to the input assignment
+    /// when `moves` is empty).
+    pub updated: Assignment,
+}
+
+impl MigrationPlan {
+    /// True when nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Number of task moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+}
+
+/// Computes a **minimal-move** migration plan from a drift report,
+/// mutating the live [`GlobalState`] bookkeeping as it goes instead of
+/// rescheduling the topology from scratch.
+///
+/// Only tasks of *drifted* components placed on *saturated* nodes are
+/// candidates, heaviest (by refined load) first, and a node sheds
+/// candidates only until its refined CPU load fits its capacity again —
+/// everything else keeps its placement, its routes and its warm state.
+/// Each move is applied through the same [`UndoLog`]-logged reserve
+/// machinery the schedulers use: the old node releases the *declared*
+/// reservation, the target reserves the *refined* one (hard memory
+/// constraint enforced, dead and explicitly forbidden nodes never
+/// considered), and a move that cannot complete rolls back bit-exactly
+/// and is skipped. A clean drift report therefore yields an empty plan
+/// and an untouched state.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaScheduler;
+
+impl DeltaScheduler {
+    /// Creates a delta scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Plans (and bookkeeps) the migration of `topology` on the live
+    /// `state`. `forbidden` nodes are never chosen as targets even when
+    /// the state still believes they are alive — pass the
+    /// [`RecoveryManager::dead_nodes`](crate::RecoveryManager::dead_nodes)
+    /// view here so the adaptive plane composes with the crash-recovery
+    /// plane instead of racing it.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NotScheduled`] if the state holds no assignment
+    /// for `topology` — the state is left untouched.
+    pub fn plan(
+        &self,
+        topology: &Topology,
+        cluster: &Cluster,
+        state: &mut GlobalState,
+        drift: &DriftReport,
+        refiner: &ProfileRefiner,
+        forbidden: &BTreeSet<NodeId>,
+    ) -> Result<MigrationPlan, ScheduleError> {
+        let tid = topology.id().clone();
+        let assignment = state
+            .plan()
+            .assignment(tid.as_str())
+            .ok_or_else(|| ScheduleError::NotScheduled(tid.clone()))?
+            .clone();
+        if drift.is_clean() || drift.saturated_nodes.is_empty() {
+            return Ok(MigrationPlan {
+                topology: tid,
+                moves: Vec::new(),
+                updated: assignment,
+            });
+        }
+
+        let index = state.cluster_index().clone();
+        let mut saturated = vec![false; index.len()];
+        for node in &drift.saturated_nodes {
+            if let Some(i) = index.node_index(node.as_str()) {
+                saturated[i as usize] = true;
+            }
+        }
+
+        let tname = tid.as_str().to_owned();
+        let task_set = topology.task_set();
+        let refined_cpu_of = |task: TaskId| -> f64 {
+            let component = &task_set.task(task).expect("task exists").component;
+            let declared = task_set.resources(task).expect("task has resources");
+            refiner
+                .refined_request(&tname, component.as_str(), declared)
+                .cpu_points
+        };
+
+        let mut slots: BTreeMap<_, _> = assignment.iter().map(|(t, s)| (t, s.clone())).collect();
+        let mut plan_log = UndoLog::new();
+        let mut moves: Vec<MigrationMove> = Vec::new();
+
+        for node in &drift.saturated_nodes {
+            let Some(i) = index.node_index(node.as_str()) else {
+                continue;
+            };
+            if !state.alive_dense()[i as usize] {
+                continue; // crashed since the report: the recovery plane owns it
+            }
+            let capacity = index.capacity(i).cpu_points;
+            let mut refined_load: f64 = slots
+                .iter()
+                .filter(|(_, slot)| slot.node == *node)
+                .map(|(&task, _)| refined_cpu_of(task))
+                .sum();
+
+            // Candidates: drifted-component tasks on this node, heaviest
+            // refined load first (ties by task id) so saturation clears
+            // in as few moves as possible.
+            let mut candidates: Vec<(TaskId, f64)> = drift
+                .drifted
+                .iter()
+                .flat_map(|d| task_set.tasks_of(&d.component))
+                .filter(|t| slots.get(t).is_some_and(|slot| slot.node == *node))
+                .map(|&t| (t, refined_cpu_of(t)))
+                .collect();
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+            for (task, refined_cpu) in candidates {
+                if refined_load <= capacity {
+                    break; // node fits again: minimal moves achieved
+                }
+                let declared = *task_set.resources(task).expect("task has resources");
+                let component = task_set.task(task).expect("task exists").component.clone();
+                let refined = refiner.refined_request(&tname, component.as_str(), &declared);
+                let Some(target) = pick_target(state, &saturated, forbidden, i, &refined) else {
+                    continue;
+                };
+                let mut step = UndoLog::new();
+                if state
+                    .unreserve_logged(&tid, node, &declared, &mut step)
+                    .is_err()
+                {
+                    state.rollback(step);
+                    continue;
+                }
+                if state
+                    .reserve_logged(&tid, &target, &refined, &mut step)
+                    .is_err()
+                {
+                    state.rollback(step);
+                    continue;
+                }
+                let slot = match state.slot_for_logged(cluster, &tid, &target, &mut step) {
+                    Ok(slot) => slot,
+                    Err(_) => {
+                        state.rollback(step);
+                        continue;
+                    }
+                };
+                plan_log.absorb(step);
+                slots.insert(task, slot);
+                moves.push(MigrationMove {
+                    task,
+                    component: component.as_str().to_owned(),
+                    from: node.clone(),
+                    to: target,
+                });
+                refined_load -= refined_cpu;
+            }
+        }
+
+        if moves.is_empty() {
+            debug_assert!(plan_log.is_empty());
+            return Ok(MigrationPlan {
+                topology: tid,
+                moves,
+                updated: assignment,
+            });
+        }
+        let updated = Assignment::with_unplaced(tid.clone(), slots, assignment.unplaced().clone());
+        state.commit(updated.clone());
+        Ok(MigrationPlan {
+            topology: tid,
+            moves,
+            updated,
+        })
+    }
+}
+
+/// The best migration target for one refined request: among alive,
+/// non-saturated, non-forbidden nodes (excluding the source) whose
+/// remaining memory covers the hard constraint and whose remaining CPU
+/// covers the refined demand, the one with the most CPU headroom (first
+/// in dense node-id order on ties). `None` when nothing qualifies — the
+/// task then stays put rather than trading one hot spot for another.
+fn pick_target(
+    state: &GlobalState,
+    saturated: &[bool],
+    forbidden: &BTreeSet<NodeId>,
+    from: u32,
+    refined: &rstorm_topology::ResourceRequest,
+) -> Option<NodeId> {
+    let index = state.cluster_index();
+    let remaining = state.remaining_dense();
+    let alive = state.alive_dense();
+    let mut best: Option<(u32, f64)> = None;
+    for j in 0..index.len() as u32 {
+        if j == from || !alive[j as usize] || saturated[j as usize] {
+            continue;
+        }
+        let r = &remaining[j as usize];
+        if r.memory_mb < refined.memory_mb || r.cpu_points < refined.cpu_points {
+            continue;
+        }
+        if forbidden.contains(index.node_id(j)) {
+            continue;
+        }
+        match best {
+            Some((_, score)) if r.cpu_points <= score => {}
+            _ => best = Some((j, r.cpu_points)),
+        }
+    }
+    best.map(|(j, _)| index.node_id(j).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::drift::{DriftConfig, DriftDetector};
+    use crate::rstorm::RStormScheduler;
+    use crate::scheduler::Scheduler;
+    use crate::verify::verify_plan;
+    use rstorm_cluster::{Cluster, ClusterBuilder, ResourceCapacity};
+    use rstorm_topology::TopologyBuilder;
+
+    /// Two racks of three 100-point nodes.
+    fn cluster() -> Cluster {
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap()
+    }
+
+    /// A topology whose `worker` bolt declares 10 CPU points per task
+    /// but actually burns far more, so R-Storm co-locates all of them.
+    fn drifting_topology() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("spout", 1).set_cpu_load(20.0);
+        b.set_bolt("worker", 4)
+            .shuffle_grouping("spout")
+            .set_cpu_load(10.0);
+        b.set_bolt("sink", 1).shuffle_grouping("worker");
+        b.build().unwrap()
+    }
+
+    fn schedule(topology: &Topology, cluster: &Cluster) -> (GlobalState, Assignment) {
+        let mut state = GlobalState::new(cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(topology, cluster, &mut state)
+            .unwrap();
+        (state, assignment)
+    }
+
+    fn drifted_report(
+        topology: &Topology,
+        assignment: &Assignment,
+        observed_cpu: f64,
+    ) -> (ProfileRefiner, DriftReport) {
+        let mut refiner = ProfileRefiner::new(1.0);
+        refiner.observe("t", "worker", 10.0, observed_cpu);
+        // The node hosting the workers reports saturated; others idle.
+        let hot = assignment.node_of(TaskId(1)).unwrap().clone();
+        let utils = vec![(hot.as_str().to_owned(), 1.0)];
+        let report = DriftDetector::new(DriftConfig::default()).detect(topology, &refiner, &utils);
+        (refiner, report)
+    }
+
+    #[test]
+    fn saturated_under_declared_tasks_spread_out() {
+        let cluster = cluster();
+        let topology = drifting_topology();
+        let (mut state, assignment) = schedule(&topology, &cluster);
+        let hot = assignment.node_of(TaskId(1)).unwrap().clone();
+        // All four workers landed together (they fit by declared load).
+        assert!((1..=4).all(|i| assignment.node_of(TaskId(i)) == Some(&hot)));
+
+        let (refiner, report) = drifted_report(&topology, &assignment, 60.0);
+        let plan = DeltaScheduler::new()
+            .plan(
+                &topology,
+                &cluster,
+                &mut state,
+                &report,
+                &refiner,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert!(!plan.is_empty());
+        // Refined load on the hot node was 4×60 (+ colocated spout/sink);
+        // shedding until it fits 100 points moves 3 workers, not all 4.
+        assert_eq!(plan.len(), 3, "minimal moves, not a full reshuffle");
+        for m in &plan.moves {
+            assert_eq!(m.component, "worker");
+            assert_eq!(m.from, hot);
+            assert_ne!(m.to, hot);
+            assert_eq!(plan.updated.node_of(m.task), Some(&m.to));
+        }
+        // The committed plan stays verifiable against the cluster.
+        assert_eq!(state.plan().assignment("t").unwrap(), &plan.updated);
+        assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
+    }
+
+    #[test]
+    fn clean_report_leaves_state_bit_identical() {
+        let cluster = cluster();
+        let topology = drifting_topology();
+        let (mut state, assignment) = schedule(&topology, &cluster);
+        let before = format!("{state:?}");
+
+        let refiner = ProfileRefiner::default();
+        let report = DriftDetector::default().detect(&topology, &refiner, &[]);
+        assert!(report.is_clean());
+        let plan = DeltaScheduler::new()
+            .plan(
+                &topology,
+                &cluster,
+                &mut state,
+                &report,
+                &refiner,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.updated, assignment);
+        assert_eq!(format!("{state:?}"), before, "empty plan touches nothing");
+    }
+
+    #[test]
+    fn forbidden_and_dead_nodes_are_never_targets() {
+        let cluster = cluster();
+        let topology = drifting_topology();
+        let (mut state, assignment) = schedule(&topology, &cluster);
+        let hot = assignment.node_of(TaskId(1)).unwrap().clone();
+
+        // Kill one node outright and forbid every other candidate except
+        // one, so the only legal target is unambiguous.
+        let all: Vec<NodeId> = state.cluster_index().node_ids().to_vec();
+        let dead = all.iter().find(|n| **n != hot).unwrap().clone();
+        state.handle_node_failure(dead.as_str());
+        let allowed = all
+            .iter()
+            .find(|n| **n != hot && **n != dead)
+            .unwrap()
+            .clone();
+        let forbidden: BTreeSet<NodeId> = all
+            .iter()
+            .filter(|n| **n != hot && **n != dead && **n != allowed)
+            .cloned()
+            .collect();
+
+        let (refiner, report) = drifted_report(&topology, &assignment, 60.0);
+        let plan = DeltaScheduler::new()
+            .plan(
+                &topology, &cluster, &mut state, &report, &refiner, &forbidden,
+            )
+            .unwrap();
+        assert!(!plan.is_empty());
+        for m in &plan.moves {
+            assert_ne!(m.to, dead, "dead node must never be a target");
+            assert!(!forbidden.contains(&m.to), "forbidden node chosen");
+            assert_eq!(m.to, allowed);
+        }
+    }
+
+    #[test]
+    fn unscheduled_topology_is_a_typed_error() {
+        let cluster = cluster();
+        let topology = drifting_topology();
+        let mut state = GlobalState::new(&cluster);
+        let refiner = ProfileRefiner::default();
+        let report = DriftDetector::default().detect(&topology, &refiner, &[]);
+        let err = DeltaScheduler::new()
+            .plan(
+                &topology,
+                &cluster,
+                &mut state,
+                &report,
+                &refiner,
+                &BTreeSet::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NotScheduled(t) if t.as_str() == "t"));
+    }
+}

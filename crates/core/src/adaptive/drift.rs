@@ -1,0 +1,222 @@
+//! Detecting when declared resource loads no longer match reality.
+
+use crate::adaptive::refiner::ProfileRefiner;
+use rstorm_cluster::NodeId;
+use rstorm_topology::{Topology, TopologyId};
+
+/// Thresholds of the drift detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Minimum relative divergence `|observed - declared| / max(declared,
+    /// 1)` for a component to count as drifted.
+    pub ratio_threshold: f64,
+    /// Minimum absolute divergence in CPU points, so a 1-point component
+    /// observing 2 points does not trip the relative threshold.
+    pub min_cpu_points: f64,
+    /// A node at or above this mean utilization is *saturated*: its
+    /// tasks are CPU-starved and candidates for migration off it.
+    pub saturated_utilization: f64,
+    /// A used node at or below this mean utilization is *starved*
+    /// (packed work it is not receiving): a preferred migration target.
+    pub starved_utilization: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            ratio_threshold: 0.5,
+            min_cpu_points: 5.0,
+            saturated_utilization: 0.9,
+            starved_utilization: 0.15,
+        }
+    }
+}
+
+/// One component whose observed load diverged from its declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDrift {
+    /// The drifted component.
+    pub component: String,
+    /// Per-task CPU points the author declared.
+    pub declared_cpu_points: f64,
+    /// Per-task CPU points the refiner currently estimates.
+    pub observed_cpu_points: f64,
+    /// `observed / max(declared, 1)` — above 1 the component was
+    /// under-declared, below 1 over-declared.
+    pub ratio: f64,
+}
+
+/// Everything the detector found in one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// The inspected topology.
+    pub topology: TopologyId,
+    /// Drifted components, sorted by component name.
+    pub drifted: Vec<ComponentDrift>,
+    /// Nodes running at or above the saturation threshold, in the input
+    /// (name-sorted) order.
+    pub saturated_nodes: Vec<NodeId>,
+    /// Used nodes running at or below the starvation threshold, in the
+    /// input (name-sorted) order.
+    pub starved_nodes: Vec<NodeId>,
+}
+
+impl DriftReport {
+    /// True when no component drifted — the delta scheduler will produce
+    /// an empty migration plan for a clean report.
+    pub fn is_clean(&self) -> bool {
+        self.drifted.is_empty()
+    }
+}
+
+/// Flags components whose observed load diverged from their declaration
+/// and nodes that run saturated or starved, from the same per-node
+/// utilization series the simulator's report carries (one source of
+/// truth with the paper's Fig. 10 comparison).
+#[derive(Debug, Clone, Default)]
+pub struct DriftDetector {
+    config: DriftConfig,
+}
+
+impl DriftDetector {
+    /// Creates a detector with the given thresholds.
+    pub fn new(config: DriftConfig) -> Self {
+        Self { config }
+    }
+
+    /// The detector's thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Compares each component's refined estimate against its declared
+    /// load and classifies `node_utilization` (fractions in `[0, 1]`,
+    /// as in `SimReport::node_utilization`) into saturated and starved
+    /// nodes.
+    pub fn detect(
+        &self,
+        topology: &Topology,
+        refiner: &ProfileRefiner,
+        node_utilization: &[(String, f64)],
+    ) -> DriftReport {
+        let tname = topology.id().as_str();
+        let mut drifted: Vec<ComponentDrift> = Vec::new();
+        for component in topology.components() {
+            let declared = component.resources().cpu_points;
+            let Some(observed) = refiner.estimate(tname, component.id().as_str()) else {
+                continue;
+            };
+            let divergence = (observed - declared).abs();
+            if divergence < self.config.min_cpu_points {
+                continue;
+            }
+            if divergence / declared.max(1.0) <= self.config.ratio_threshold {
+                continue;
+            }
+            drifted.push(ComponentDrift {
+                component: component.id().as_str().to_owned(),
+                declared_cpu_points: declared,
+                observed_cpu_points: observed,
+                ratio: observed / declared.max(1.0),
+            });
+        }
+        drifted.sort_by(|a, b| a.component.cmp(&b.component));
+
+        let mut saturated_nodes = Vec::new();
+        let mut starved_nodes = Vec::new();
+        for (node, util) in node_utilization {
+            if *util >= self.config.saturated_utilization {
+                saturated_nodes.push(NodeId::new(node.as_str()));
+            } else if *util <= self.config.starved_utilization {
+                starved_nodes.push(NodeId::new(node.as_str()));
+            }
+        }
+
+        DriftReport {
+            topology: topology.id().clone(),
+            drifted,
+            saturated_nodes,
+            starved_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_topology::TopologyBuilder;
+
+    fn topology() -> Topology {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("spout", 2).set_cpu_load(50.0);
+        b.set_bolt("heavy", 2)
+            .shuffle_grouping("spout")
+            .set_cpu_load(10.0);
+        b.set_bolt("light", 2)
+            .shuffle_grouping("heavy")
+            .set_cpu_load(10.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn under_declared_component_is_flagged() {
+        let topology = topology();
+        let mut refiner = ProfileRefiner::new(1.0);
+        refiner.observe("t", "heavy", 10.0, 80.0);
+        refiner.observe("t", "light", 10.0, 11.0); // within thresholds
+        let report = DriftDetector::default().detect(&topology, &refiner, &[]);
+        assert!(!report.is_clean());
+        assert_eq!(report.drifted.len(), 1);
+        let d = &report.drifted[0];
+        assert_eq!(d.component, "heavy");
+        assert_eq!(d.declared_cpu_points, 10.0);
+        assert_eq!(d.observed_cpu_points, 80.0);
+        assert_eq!(d.ratio, 8.0);
+    }
+
+    #[test]
+    fn accurate_declarations_produce_a_clean_report() {
+        let topology = topology();
+        let mut refiner = ProfileRefiner::default();
+        for c in ["spout", "heavy", "light"] {
+            let declared = topology.component(c).unwrap().resources().cpu_points;
+            refiner.observe("t", c, declared, declared);
+        }
+        let report = DriftDetector::default().detect(&topology, &refiner, &[]);
+        assert!(report.is_clean());
+        // Unobserved components never drift either.
+        let empty = ProfileRefiner::default();
+        assert!(DriftDetector::default()
+            .detect(&topology, &empty, &[])
+            .is_clean());
+    }
+
+    #[test]
+    fn node_utilization_classifies_saturated_and_starved() {
+        let topology = topology();
+        let refiner = ProfileRefiner::default();
+        let utils = vec![
+            ("n0".to_owned(), 0.97),
+            ("n1".to_owned(), 0.5),
+            ("n2".to_owned(), 0.05),
+        ];
+        let report = DriftDetector::default().detect(&topology, &refiner, &utils);
+        assert_eq!(report.saturated_nodes, vec![NodeId::new("n0")]);
+        assert_eq!(report.starved_nodes, vec![NodeId::new("n2")]);
+    }
+
+    #[test]
+    fn small_absolute_drift_is_ignored() {
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("spout", 2).set_cpu_load(50.0);
+        b.set_bolt("heavy", 2)
+            .shuffle_grouping("spout")
+            .set_cpu_load(1.0);
+        let topology = b.build().unwrap();
+        let mut refiner = ProfileRefiner::new(1.0);
+        // 300% relative drift but under the 5-point absolute floor.
+        refiner.observe("t", "heavy", 1.0, 4.0);
+        let report = DriftDetector::default().detect(&topology, &refiner, &[]);
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,148 @@
+//! EWMA blending of observed against declared resource loads.
+
+use rstorm_topology::ResourceRequest;
+use std::collections::BTreeMap;
+
+/// Maintains, per `(topology, component)`, an exponentially weighted
+/// moving average of the *observed* per-task CPU load, seeded from the
+/// *declared* load so an unobserved component is trusted as declared.
+///
+/// The estimate converges toward what the stats-export hook actually
+/// measured while damping single-window noise: with smoothing factor
+/// `alpha`, each observation contributes `alpha` of itself and keeps
+/// `1 - alpha` of the history (whose oldest term is the declaration).
+#[derive(Debug, Clone)]
+pub struct ProfileRefiner {
+    alpha: f64,
+    /// (topology, component) -> blended observed CPU points per task.
+    blended: BTreeMap<(String, String), f64>,
+}
+
+impl ProfileRefiner {
+    /// Default smoothing factor: observations dominate after a few
+    /// windows but one outlier window cannot flip the estimate.
+    pub const DEFAULT_ALPHA: f64 = 0.5;
+
+    /// Creates a refiner with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            blended: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one observation of a component's per-task CPU load (in the
+    /// paper's points; 100 = one core). The first observation blends
+    /// against the declared load; later ones against the running
+    /// estimate. Returns the updated estimate.
+    pub fn observe(
+        &mut self,
+        topology: &str,
+        component: &str,
+        declared_cpu_points: f64,
+        observed_cpu_points: f64,
+    ) -> f64 {
+        let key = (topology.to_owned(), component.to_owned());
+        let prior = *self.blended.get(&key).unwrap_or(&declared_cpu_points);
+        let blended = self.alpha * observed_cpu_points + (1.0 - self.alpha) * prior;
+        self.blended.insert(key, blended);
+        blended
+    }
+
+    /// The current blended estimate of a component's per-task CPU load,
+    /// or `None` if the component was never observed.
+    pub fn estimate(&self, topology: &str, component: &str) -> Option<f64> {
+        self.blended
+            .get(&(topology.to_owned(), component.to_owned()))
+            .copied()
+    }
+
+    /// The declared request with its CPU dimension replaced by the
+    /// blended estimate (when one exists). Memory stays declared —
+    /// memory is the hard constraint and the simulator does not observe
+    /// it — as does bandwidth.
+    pub fn refined_request(
+        &self,
+        topology: &str,
+        component: &str,
+        declared: &ResourceRequest,
+    ) -> ResourceRequest {
+        match self.estimate(topology, component) {
+            Some(cpu) => ResourceRequest {
+                cpu_points: cpu.max(0.0),
+                memory_mb: declared.memory_mb,
+                bandwidth: declared.bandwidth,
+            },
+            None => *declared,
+        }
+    }
+
+    /// Number of `(topology, component)` pairs with an estimate.
+    pub fn len(&self) -> usize {
+        self.blended.len()
+    }
+
+    /// True if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.blended.is_empty()
+    }
+}
+
+impl Default for ProfileRefiner {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_ALPHA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_blends_against_declaration() {
+        let mut r = ProfileRefiner::new(0.5);
+        assert!(r.is_empty());
+        // Declared 20 points, observed 100: first estimate is halfway.
+        assert_eq!(r.observe("t", "bolt", 20.0, 100.0), 60.0);
+        // Second identical observation pulls further toward observed.
+        assert_eq!(r.observe("t", "bolt", 20.0, 100.0), 80.0);
+        assert_eq!(r.estimate("t", "bolt"), Some(80.0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn refined_request_overrides_only_cpu() {
+        let mut r = ProfileRefiner::new(1.0);
+        let declared = ResourceRequest::new(10.0, 512.0, 3.0);
+        // Unobserved: declared passes through untouched.
+        assert_eq!(r.refined_request("t", "bolt", &declared), declared);
+        r.observe("t", "bolt", 10.0, 90.0);
+        let refined = r.refined_request("t", "bolt", &declared);
+        assert_eq!(refined.cpu_points, 90.0);
+        assert_eq!(refined.memory_mb, 512.0);
+        assert_eq!(refined.bandwidth, 3.0);
+    }
+
+    #[test]
+    fn accurate_declarations_stay_fixed() {
+        let mut r = ProfileRefiner::default();
+        for _ in 0..10 {
+            r.observe("t", "spout", 50.0, 50.0);
+        }
+        assert_eq!(r.estimate("t", "spout"), Some(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn zero_alpha_rejected() {
+        ProfileRefiner::new(0.0);
+    }
+}

@@ -44,6 +44,10 @@ pub enum ScheduleError {
         /// The node id that failed to resolve.
         node: String,
     },
+    /// An operation that refines an *existing* placement (the adaptive
+    /// delta scheduler) was asked about a topology the
+    /// [`crate::GlobalState`] has no assignment for.
+    NotScheduled(TopologyId),
 }
 
 impl fmt::Display for ScheduleError {
@@ -68,6 +72,9 @@ impl fmt::Display for ScheduleError {
             ),
             Self::UnknownNode { node } => {
                 write!(f, "unknown or dead node `{node}`")
+            }
+            Self::NotScheduled(t) => {
+                write!(f, "topology `{t}` has no assignment to rebalance")
             }
         }
     }

@@ -96,6 +96,15 @@ impl UndoLog {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Appends every entry of `other` (preserving order) so several
+    /// per-step logs can be merged into one atomic unit: the delta
+    /// scheduler validates each task move against its own small log,
+    /// then absorbs it into the plan-wide log that guards the whole
+    /// migration.
+    pub fn absorb(&mut self, mut other: UndoLog) {
+        self.entries.append(&mut other.entries);
+    }
 }
 
 #[derive(Debug)]
@@ -324,6 +333,72 @@ impl GlobalState {
             node: node.clone(),
             prev,
             topology_was_present,
+        });
+        let rack = self.index.rack_of(i);
+        self.recompute_rack(rack);
+        Ok(())
+    }
+
+    /// Releases `request` — previously reserved on `node` for `topology`
+    /// — back to the node, recording the mutation in `log`. This is the
+    /// partial inverse of [`GlobalState::reserve_logged`]: where
+    /// [`GlobalState::release_topology`] frees everything a topology
+    /// holds, this frees one task's worth, so the delta scheduler can
+    /// move a single reservation between nodes without tearing down the
+    /// rest of the placement.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::UnknownNode`] if `node` is unknown or dead —
+    /// neither the state nor `log` is touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology` has no reservation on `node` (releasing what
+    /// was never reserved is a caller bug, not a runtime condition).
+    pub fn unreserve_logged(
+        &mut self,
+        topology: &TopologyId,
+        node: &NodeId,
+        request: &ResourceRequest,
+        log: &mut UndoLog,
+    ) -> Result<(), ScheduleError> {
+        let i = self
+            .index
+            .node_index(node.as_str())
+            .filter(|&i| self.alive[i as usize])
+            .ok_or_else(|| ScheduleError::UnknownNode {
+                node: node.as_str().to_owned(),
+            })?;
+        let per_node = self
+            .reserved
+            .get_mut(topology)
+            .unwrap_or_else(|| panic!("topology `{topology}` has no reservations to release"));
+        let prev = per_node
+            .get(node)
+            .cloned()
+            .unwrap_or_else(|| panic!("topology `{topology}` reserved nothing on `{node}`"));
+        log.entries.push(UndoEntry::Remaining {
+            index: i,
+            prev: self.dense[i as usize],
+        });
+        self.dense[i as usize].add(request);
+        // Shrink the reserved total; clamp at zero so a release computed
+        // from a refined (observed) profile can never drive the books
+        // negative.
+        per_node.insert(
+            node.clone(),
+            ResourceRequest {
+                cpu_points: (prev.cpu_points - request.cpu_points).max(0.0),
+                memory_mb: (prev.memory_mb - request.memory_mb).max(0.0),
+                bandwidth: (prev.bandwidth - request.bandwidth).max(0.0),
+            },
+        );
+        log.entries.push(UndoEntry::ReservedTotal {
+            topology: topology.clone(),
+            node: node.clone(),
+            prev: Some(prev),
+            topology_was_present: true,
         });
         let rack = self.index.rack_of(i);
         self.recompute_rack(rack);
@@ -792,6 +867,62 @@ mod tests {
         s.rollback(log);
         assert_eq!(fingerprint(&s), before_fp, "bits restored exactly");
         assert_eq!(format!("{s:?}"), before, "all bookkeeping restored");
+    }
+
+    #[test]
+    fn unreserve_moves_one_reservation_and_rolls_back_bit_exactly() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t = TopologyId::new("t");
+        let n0 = NodeId::new("rack-0-node-0");
+        let n1 = NodeId::new("rack-0-node-1");
+        let req = ResourceRequest::new(30.0, 256.0, 1.0);
+        s.reserve(&t, &n0, &req).unwrap();
+        s.reserve(&t, &n0, &req).unwrap();
+        let before = format!("{s:?}");
+        let before_fp = fingerprint(&s);
+
+        // Move one of the two reservations to the other node, merging the
+        // per-step logs the way the delta scheduler does.
+        let mut plan_log = UndoLog::new();
+        let mut step = UndoLog::new();
+        s.unreserve_logged(&t, &n0, &req, &mut step).unwrap();
+        s.reserve_logged(&t, &n1, &req, &mut step).unwrap();
+        plan_log.absorb(step);
+        assert_eq!(plan_log.len(), 4);
+        assert_eq!(s.remaining("rack-0-node-0").unwrap().cpu_points, 70.0);
+        assert_eq!(s.remaining("rack-0-node-1").unwrap().cpu_points, 70.0);
+
+        s.rollback(plan_log);
+        assert_eq!(fingerprint(&s), before_fp, "bits restored exactly");
+        assert_eq!(format!("{s:?}"), before, "all bookkeeping restored");
+
+        // Unknown/dead nodes are typed errors and leave no trace.
+        let err = s
+            .unreserve_logged(&t, &NodeId::new("ghost"), &req, &mut UndoLog::new())
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::UnknownNode { .. }));
+        assert_eq!(format!("{s:?}"), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved nothing")]
+    fn unreserve_without_reservation_is_a_caller_bug() {
+        let c = cluster();
+        let mut s = GlobalState::new(&c);
+        let t = TopologyId::new("t");
+        s.reserve(
+            &t,
+            &NodeId::new("rack-0-node-0"),
+            &ResourceRequest::new(1.0, 1.0, 0.0),
+        )
+        .unwrap();
+        let _ = s.unreserve_logged(
+            &t,
+            &NodeId::new("rack-0-node-1"),
+            &ResourceRequest::zero(),
+            &mut UndoLog::new(),
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod adaptive;
 mod assignment;
 mod error;
 mod global_state;
@@ -60,6 +61,10 @@ mod scheduler;
 pub mod schedulers;
 mod verify;
 
+pub use adaptive::{
+    ComponentDrift, DeltaScheduler, DriftConfig, DriftDetector, DriftReport, MigrationMove,
+    MigrationPlan, ProfileRefiner,
+};
 pub use assignment::{Assignment, SchedulingPlan};
 pub use error::ScheduleError;
 pub use global_state::{GlobalState, RemainingResources, UndoLog};

@@ -50,8 +50,23 @@ impl WindowedCounter {
 
     /// Counts per window, from the first window to the last one that saw
     /// an event (intermediate empty windows are included as zero).
-    pub fn window_counts(&self) -> Vec<u64> {
-        self.counts.clone()
+    pub fn window_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean events per *second* over the complete windows in
+    /// `[0, until_ms)`; `0.0` if no window has completed yet.
+    ///
+    /// This is the drift detector's view of a counter: a window-aligned
+    /// rate that ignores the ragged final window, so two counters sampled
+    /// at the same `until_ms` are directly comparable.
+    pub fn rate_per_sec(&self, until_ms: f64) -> f64 {
+        let counts = self.complete_window_counts(until_ms);
+        if counts.is_empty() {
+            return 0.0;
+        }
+        let elapsed_s = counts.len() as f64 * self.window_ms / 1000.0;
+        counts.iter().sum::<u64>() as f64 / elapsed_s
     }
 
     /// Counts per window truncated to full windows within `[0, until_ms)`.
@@ -111,6 +126,17 @@ mod tests {
         c.record(35_000.0, 2);
         assert_eq!(c.window_counts(), vec![2, 5, 0, 2]);
         assert_eq!(c.total(), 9);
+    }
+
+    #[test]
+    fn rate_per_sec_uses_complete_windows_only() {
+        let mut c = WindowedCounter::new(10_000.0);
+        c.record(1_000.0, 100);
+        c.record(11_000.0, 300);
+        c.record(21_000.0, 1_000_000); // partial window: ignored
+        assert_eq!(c.rate_per_sec(25_000.0), 400.0 / 20.0);
+        assert_eq!(c.rate_per_sec(5_000.0), 0.0);
+        assert_eq!(WindowedCounter::new(10.0).rate_per_sec(1_000.0), 0.0);
     }
 
     #[test]

@@ -20,6 +20,11 @@ struct Inner {
     processed: HashMap<(String, String), WindowedCounter>,
     /// (topology, component) -> emitted-tuple counter.
     emitted: HashMap<(String, String), WindowedCounter>,
+    /// (topology, component) -> observed CPU busy-time, in microseconds
+    /// of core time (integer so it fits the windowed counter).
+    busy_us: HashMap<(String, String), WindowedCounter>,
+    /// (topology, component) -> (summed queue-depth samples, sample count).
+    queue_depth: HashMap<(String, String), (u64, u64)>,
     /// topology -> declared sink components.
     sinks: HashMap<String, BTreeSet<String>>,
 }
@@ -77,6 +82,79 @@ impl StatisticServer {
             .entry((topology.to_owned(), component.to_owned()))
             .or_insert_with(|| WindowedCounter::new(window))
             .record(at_ms, count);
+    }
+
+    /// Records `busy_us` microseconds of observed CPU busy core-time for
+    /// `component` at `at_ms`. The simulator's stats-export hook feeds
+    /// this on every snapshot tick; the profile refiner reads it back as
+    /// observed CPU points via
+    /// [`StatisticServer::observed_cpu_points`].
+    pub fn record_busy_us(&self, topology: &str, component: &str, at_ms: f64, busy_us: u64) {
+        let mut inner = self.inner.lock();
+        let window = self.window_ms;
+        inner
+            .busy_us
+            .entry((topology.to_owned(), component.to_owned()))
+            .or_insert_with(|| WindowedCounter::new(window))
+            .record(at_ms, busy_us);
+    }
+
+    /// Records one queue-depth sample (`depth` tuples waiting across the
+    /// component's tasks) taken at a stats-snapshot tick.
+    pub fn record_queue_depth(&self, topology: &str, component: &str, depth: u64) {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .queue_depth
+            .entry((topology.to_owned(), component.to_owned()))
+            .or_insert((0, 0));
+        entry.0 += depth;
+        entry.1 += 1;
+    }
+
+    /// Total observed CPU busy core-time of a component in milliseconds.
+    pub fn component_busy_core_ms(&self, topology: &str, component: &str) -> f64 {
+        self.inner
+            .lock()
+            .busy_us
+            .get(&(topology.to_owned(), component.to_owned()))
+            .map_or(0.0, |c| c.total() as f64 / 1000.0)
+    }
+
+    /// Observed CPU load of a component in the paper's *points* (100 =
+    /// one full core), summed across the component's tasks: busy core
+    /// time divided by elapsed wall time. Divide by the component's
+    /// parallelism for a per-task figure comparable to `setCPULoad`.
+    pub fn observed_cpu_points(&self, topology: &str, component: &str, elapsed_ms: f64) -> f64 {
+        if elapsed_ms <= 0.0 {
+            return 0.0;
+        }
+        self.component_busy_core_ms(topology, component) / elapsed_ms * 100.0
+    }
+
+    /// Mean queue depth over all recorded snapshot samples; `0.0` when no
+    /// sample was taken.
+    pub fn mean_queue_depth(&self, topology: &str, component: &str) -> f64 {
+        self.inner
+            .lock()
+            .queue_depth
+            .get(&(topology.to_owned(), component.to_owned()))
+            .map_or(0.0, |(sum, n)| {
+                if *n == 0 {
+                    0.0
+                } else {
+                    *sum as f64 / *n as f64
+                }
+            })
+    }
+
+    /// Tuples *processed* per second by a component over complete windows
+    /// in `[0, until_ms)` (see [`WindowedCounter::rate_per_sec`]).
+    pub fn component_rate_per_sec(&self, topology: &str, component: &str, until_ms: f64) -> f64 {
+        self.inner
+            .lock()
+            .processed
+            .get(&(topology.to_owned(), component.to_owned()))
+            .map_or(0.0, |c| c.rate_per_sec(until_ms))
     }
 
     /// Tuples processed per complete window by one component.
@@ -226,5 +304,35 @@ mod tests {
     fn component_windows_for_unknown_component_are_zero() {
         let s = StatisticServer::new(10_000.0);
         assert_eq!(s.component_windows("t", "c", 25_000.0), vec![0, 0]);
+    }
+
+    #[test]
+    fn busy_time_converts_to_observed_cpu_points() {
+        let s = StatisticServer::new(10_000.0);
+        // 5 s of busy core-time over a 20 s run = 25 points.
+        s.record_busy_us("t", "bolt", 1_000.0, 2_500_000);
+        s.record_busy_us("t", "bolt", 11_000.0, 2_500_000);
+        assert_eq!(s.component_busy_core_ms("t", "bolt"), 5_000.0);
+        assert_eq!(s.observed_cpu_points("t", "bolt", 20_000.0), 25.0);
+        assert_eq!(s.observed_cpu_points("t", "ghost", 20_000.0), 0.0);
+        assert_eq!(s.observed_cpu_points("t", "bolt", 0.0), 0.0);
+    }
+
+    #[test]
+    fn queue_depth_samples_average() {
+        let s = StatisticServer::new(10_000.0);
+        s.record_queue_depth("t", "bolt", 4);
+        s.record_queue_depth("t", "bolt", 8);
+        assert_eq!(s.mean_queue_depth("t", "bolt"), 6.0);
+        assert_eq!(s.mean_queue_depth("t", "ghost"), 0.0);
+    }
+
+    #[test]
+    fn processed_rate_per_sec() {
+        let s = StatisticServer::new(10_000.0);
+        s.record_processed("t", "sink", 1_000.0, 400);
+        s.record_processed("t", "sink", 11_000.0, 600);
+        assert_eq!(s.component_rate_per_sec("t", "sink", 20_000.0), 50.0);
+        assert_eq!(s.component_rate_per_sec("t", "ghost", 20_000.0), 0.0);
     }
 }

@@ -49,6 +49,9 @@ pub(crate) struct SimTaskSpec {
     pub tuple_bytes: u32,
     pub max_rate_tuples_per_sec: Option<f64>,
     pub max_spout_pending: Option<u32>,
+    /// Declared per-task memory, needed to re-derive a node's memory
+    /// demand (and thus its thrash state) when the task migrates.
+    pub memory_mb: f64,
     pub consumers: Vec<ConsumerGroup>,
 }
 
@@ -255,6 +258,7 @@ impl SimBuild {
                 tuple_bytes: profile.tuple_bytes,
                 max_rate_tuples_per_sec: profile.max_rate_tuples_per_sec,
                 max_spout_pending: topology.max_spout_pending(),
+                memory_mb: component.resources().memory_mb,
                 consumers: Vec::new(),
             });
         }
@@ -291,6 +295,29 @@ impl SimBuild {
             debug_assert_eq!(self.routing.task_groups.len(), from);
             self.routing.task_groups.push((groups_start, len));
             self.specs[from].consumers = groups;
+        }
+    }
+
+    /// Recomputes the whole routing table from the current task specs.
+    ///
+    /// Live migration moves tasks between worker slots, which invalidates
+    /// every placement-derived routing decision: link kinds, per-route
+    /// latencies and the local-or-shuffle preference pools. The consumer
+    /// groups (grouping + target task sets) are placement-independent, so
+    /// replaying them through the same [`Self::push_route_group`] logic
+    /// reproduces exactly the table a fresh build of the new placement
+    /// would produce — tasks that did not move get bit-identical routes.
+    pub fn rebuild_routing(&mut self, costs: &NetworkCosts) {
+        self.routing = RoutingTable::default();
+        for from in 0..self.specs.len() {
+            let groups_start = self.routing.groups.len() as u32;
+            let groups = std::mem::take(&mut self.specs[from].consumers);
+            for group in &groups {
+                self.push_route_group(costs, from, group);
+            }
+            self.specs[from].consumers = groups;
+            let len = self.routing.groups.len() as u32 - groups_start;
+            self.routing.task_groups.push((groups_start, len));
         }
     }
 
@@ -506,6 +533,37 @@ mod tests {
         // Sink counters are disjoint per topology.
         assert_eq!(b.sink_ctrs_by_topo, vec![vec![0], vec![1]]);
         assert_eq!(b.specs[11].sink_ctr, 1);
+    }
+
+    #[test]
+    fn rebuild_without_moves_reproduces_the_table() {
+        let (cluster, topology, assignment) = setup();
+        let mut b = build(&cluster, &topology, &assignment);
+        let before = format!("{:?}", b.routing);
+        b.rebuild_routing(cluster.costs());
+        assert_eq!(before, format!("{:?}", b.routing));
+    }
+
+    #[test]
+    fn rebuild_tracks_a_moved_task() {
+        let (cluster, topology, assignment) = setup();
+        let mut b = build(&cluster, &topology, &assignment);
+        let idx = ClusterIndex::new(&cluster);
+        // Move the sink (global task 5) to a node hosting nothing else.
+        let dest = (0..idx.node_names.len())
+            .find(|&n| b.specs.iter().all(|s| s.node_idx != n))
+            .expect("6 nodes, 6 colocated tasks: some node is free");
+        b.specs[5].node_idx = dest;
+        b.specs[5].rack_idx = idx.rack_of_node[dest];
+        b.specs[5].slot = rstorm_cluster::WorkerSlot::new(idx.node_names[dest].as_str(), 9000);
+        b.rebuild_routing(cluster.costs());
+        // The middle bolt's single global route now points at the new node.
+        let (gs, _) = b.routing.task_groups[2];
+        let g = b.routing.groups[gs as usize];
+        let r = b.routing.routes[g.start as usize];
+        assert_eq!(r.to, 5);
+        assert_eq!(r.to_node, dest as u32);
+        assert_ne!(r.kind, LinkKind::Local, "the sink left its producers");
     }
 
     #[test]

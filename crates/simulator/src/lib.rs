@@ -64,6 +64,7 @@ pub mod chaos;
 mod config;
 mod event;
 pub mod faults;
+pub mod rebalance;
 mod reference;
 mod report;
 mod servers;
@@ -73,6 +74,7 @@ mod slab;
 pub use chaos::{run_crash_recover, ChaosConfig, ChaosOutcome};
 pub use config::SimConfig;
 pub use faults::{FaultEvent, FaultPlan};
+pub use rebalance::{refined_clone, run_adaptive_rebalance, AdaptiveConfig, AdaptiveOutcome};
 pub use reference::ReferenceSimulation;
 pub use report::{RecoveryObservations, SimDebugStats, SimReport, SimTotals};
 pub use sim::Simulation;

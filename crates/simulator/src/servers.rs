@@ -318,6 +318,45 @@ impl DenseCpuServer {
     pub fn thrash(&self) -> f64 {
         self.thrash
     }
+
+    /// Grows the server by one slot for a task migrating onto this node;
+    /// returns the new local slot. The task starts with no demand history
+    /// (a restarted executor is cold).
+    pub fn add_task(&mut self, global_id: usize) -> u32 {
+        let slot = self.tasks.len() as u32;
+        self.tasks.push(DenseTaskCpu {
+            busy_until: 0.0,
+            demand_acc: 0.0,
+            last_update: 0.0,
+            is_active: false,
+        });
+        self.global_ids.push(global_id);
+        slot
+    }
+
+    /// Removes a migrated-away task's slot from the fair-share scan. The
+    /// slot itself stays allocated (dense indices never shift) but no
+    /// longer competes for capacity. Idempotent.
+    pub fn deactivate(&mut self, local: usize) {
+        if self.tasks[local].is_active {
+            self.tasks[local].is_active = false;
+            self.active.retain(|&s| s as usize != local);
+        }
+    }
+
+    /// Updates the thrash multiplier (a migration changing a node's
+    /// memory demand moves it across the over-commit boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thrash` is outside (0, 1].
+    pub fn set_thrash(&mut self, thrash: f64) {
+        assert!(
+            thrash.is_finite() && thrash > 0.0 && thrash <= 1.0,
+            "thrash factor must be in (0, 1], got {thrash}"
+        );
+        self.thrash = thrash;
+    }
 }
 
 /// Water-filling max-min fair allocation: returns the share of `task`.
@@ -506,5 +545,45 @@ mod tests {
     #[should_panic(expected = "core count")]
     fn dense_zero_cores_rejected() {
         DenseCpuServer::new(0.0, 1.0, vec![]);
+    }
+
+    #[test]
+    fn migrated_task_stops_competing_and_restarts_cold() {
+        // Two heavy tasks share a 1-core node; deactivating one must give
+        // the survivor the whole core again, and the migrant must compete
+        // on its destination as a fresh (zero-demand) task.
+        let mut src = DenseCpuServer::new(1.0, 1.0, vec![0, 1]);
+        let mut dst = DenseCpuServer::new(1.0, 1.0, vec![2]);
+        let mut t = 0.0;
+        for _ in 0..600 {
+            src.serve(t, 0, 10.0);
+            src.serve(t, 1, 10.0);
+            t += 10.0;
+        }
+        src.deactivate(1);
+        let slot = dst.add_task(1);
+        assert_eq!(slot, 1);
+        // Survivor: a fresh probe window is served at ~full speed once
+        // the fair share covers its demand again... its demand is ~1.0
+        // core, so with the neighbor gone it is no longer stretched.
+        let start = t + 10_000.0; // let history decay
+        let done = src.serve(start, 0, 10.0);
+        assert!(
+            done - start < 15.0,
+            "survivor should get the core back, stretched to {}",
+            done - start
+        );
+        // Migrant on the destination: cold start, served immediately.
+        let done = dst.serve(start, slot as usize, 10.0);
+        assert!((done - start - 10.0).abs() < 1e-9);
+        src.deactivate(1); // idempotent
+        dst.set_thrash(0.5);
+        assert_eq!(dst.thrash(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "thrash factor")]
+    fn dense_bad_set_thrash_rejected() {
+        DenseCpuServer::new(1.0, 1.0, vec![0]).set_thrash(0.0);
     }
 }

@@ -30,9 +30,9 @@ use crate::servers::{DenseCpuServer, LinkServer};
 use crate::slab::{RootSlab, RootState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rstorm_cluster::Cluster;
-use rstorm_core::Assignment;
-use rstorm_metrics::{CpuUtilizationTracker, ThroughputReport, WindowedCounter};
+use rstorm_cluster::{Cluster, WorkerSlot};
+use rstorm_core::{Assignment, MigrationPlan};
+use rstorm_metrics::{CpuUtilizationTracker, StatisticServer, ThroughputReport, WindowedCounter};
 use rstorm_topology::Topology;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -63,13 +63,21 @@ const TAG_WORK_DONE: u32 = 1 << TAG_SHIFT;
 const TAG_DELIVER: u32 = 2 << TAG_SHIFT;
 const TAG_FAULT: u32 = 3 << TAG_SHIFT;
 
-/// A fault event resolved to dense engine indices at build time (the
+/// A control event resolved to dense engine indices at build time (the
 /// heap payload only carries an index into [`Engine::fault_actions`]).
+/// The heap's two tag bits are exhausted, so every control-plane event —
+/// faults, stats-export ticks and live migrations — rides the
+/// [`TAG_FAULT`] lane and dispatches through this side table.
 #[derive(Debug, Clone, Copy)]
 enum FaultAction {
     Crash(u32),
     Recover(u32),
     SetLinkExtra(f64),
+    /// Snapshot per-component stats into the exported
+    /// [`StatisticServer`] and reschedule the next tick.
+    StatsTick,
+    /// Apply the migration at this index of [`Engine::migrations`].
+    Migrate(u32),
 }
 
 impl FastEv {
@@ -119,6 +127,19 @@ pub(crate) struct TaskRt {
     /// the already-scheduled `WorkDone` belongs to the dead worker and
     /// must be discarded (its batch is lost) instead of emitting.
     pub drop_next_work_done: bool,
+    /// Earliest time this task may start serving a batch again — set by a
+    /// live migration to `now + pause_ms` (the pause/drain/restore cost).
+    /// Zero when the task never migrated, making the start-time clamp
+    /// `now.max(resume_at_ms)` bit-neutral for untouched runs.
+    pub resume_at_ms: f64,
+    /// Total core-milliseconds of work this task has submitted — the
+    /// stats-export hook's observed-CPU source. Write-only unless a
+    /// [`StatisticServer`] is attached, so it cannot perturb the run.
+    pub work_acc_ms: f64,
+    /// Tuples this (bolt) task has processed, for stats export.
+    pub processed_acc: u64,
+    /// Tuples this task has emitted downstream, for stats export.
+    pub emitted_acc: u64,
 }
 
 /// Streaming accumulator for completed-root latencies (the population is
@@ -180,6 +201,39 @@ struct TaskStatic {
     is_sink: bool,
 }
 
+/// A migration request as handed to [`Simulation::schedule_migration`],
+/// kept in source form until [`Engine::new`] resolves names to dense ids.
+#[derive(Debug, Clone)]
+struct PendingMigration {
+    topology: String,
+    at_ms: f64,
+    pause_ms: f64,
+    /// (task index within the topology, destination worker slot).
+    moves: Vec<(u32, WorkerSlot)>,
+}
+
+/// A migration resolved to global task and dense node indices.
+#[derive(Debug, Clone, Default)]
+struct ResolvedMigration {
+    pause_ms: f64,
+    /// (global task index, destination dense node, destination slot).
+    moves: Vec<(usize, usize, WorkerSlot)>,
+}
+
+/// Engine-side state of the stats-export hook.
+#[derive(Debug)]
+struct StatsState {
+    server: Arc<StatisticServer>,
+    interval_ms: f64,
+    /// The `FaultAction::StatsTick` index, for self-rescheduling.
+    action: usize,
+    /// Per-task accumulator values at the previous tick, so each tick
+    /// records only the delta into the windowed counters.
+    last_work_ms: Vec<f64>,
+    last_processed: Vec<u64>,
+    last_emitted: Vec<u64>,
+}
+
 /// A configured simulation of one cluster executing any number of
 /// scheduled topologies. See the [crate docs](crate) for the model.
 #[derive(Debug)]
@@ -189,6 +243,8 @@ pub struct Simulation {
     index: ClusterIndex,
     build: SimBuild,
     faults: FaultPlan,
+    stats: Option<(Arc<StatisticServer>, f64)>,
+    migrations: Vec<PendingMigration>,
 }
 
 impl Simulation {
@@ -206,7 +262,71 @@ impl Simulation {
             index,
             build,
             faults: FaultPlan::new(),
+            stats: None,
+            migrations: Vec::new(),
         }
+    }
+
+    /// Attaches a [`StatisticServer`] and snapshots per-component stats
+    /// into it every `interval_ms` of simulated time: observed CPU
+    /// busy-time, processed/emitted tuple counts and input-queue depth.
+    ///
+    /// The export is a pure observer — it draws no randomness and mutates
+    /// no engine state — so an exporting run produces the same
+    /// [`SimReport`] as a plain one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interval_ms` is positive and finite.
+    pub fn export_stats(&mut self, server: Arc<StatisticServer>, interval_ms: f64) {
+        assert!(
+            interval_ms.is_finite() && interval_ms > 0.0,
+            "stats interval must be positive, got {interval_ms}"
+        );
+        self.stats = Some((server, interval_ms));
+    }
+
+    /// Schedules a live migration: at `at_ms`, every task in `plan.moves`
+    /// relocates to its slot in `plan.updated`, paying a
+    /// pause/drain/restore cost — the batch in service drains on the old
+    /// node, carried queue contents and all future batches wait out a
+    /// `pause_ms` service freeze on the destination.
+    ///
+    /// An empty plan schedules nothing, keeping the run bit-identical to
+    /// an untouched one. Names are resolved when the simulation runs;
+    /// unknown topologies or nodes panic there, consistent with
+    /// [`Self::add_topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are negative or non-finite, or if the plan
+    /// omits the destination slot of a moved task.
+    pub fn schedule_migration(&mut self, plan: &MigrationPlan, at_ms: f64, pause_ms: f64) {
+        assert!(
+            at_ms.is_finite() && at_ms >= 0.0 && pause_ms.is_finite() && pause_ms >= 0.0,
+            "migration times must be finite and non-negative, got at={at_ms} pause={pause_ms}"
+        );
+        if plan.is_empty() {
+            return;
+        }
+        let moves = plan
+            .moves
+            .iter()
+            .map(|m| {
+                let slot = plan
+                    .updated
+                    .slot_of(m.task)
+                    .unwrap_or_else(|| panic!("migration plan does not place {}", m.task))
+                    .clone();
+                (m.task.index() as u32, slot)
+            })
+            .collect();
+        self.migrations.push(PendingMigration {
+            topology: plan.topology.as_str().to_owned(),
+            at_ms,
+            pause_ms,
+            moves,
+        });
     }
 
     /// Injects a fault plan (see [`FaultPlan`]). Replaces any previously
@@ -260,7 +380,10 @@ impl Simulation {
 struct Engine {
     config: SimConfig,
     build: SimBuild,
-    node_names: Vec<String>,
+    /// Kept alive for migrations, which re-derive routing from the cost
+    /// matrix when placement changes mid-run.
+    cluster: Arc<Cluster>,
+    index: ClusterIndex,
     statics: Vec<TaskStatic>,
 
     queue: EventQueue<FastEv>,
@@ -295,6 +418,10 @@ struct Engine {
     fault_actions: Vec<FaultAction>,
     /// `(at_ms, action index)` pairs scheduled into the queue by `run`.
     fault_schedule: Vec<(f64, usize)>,
+    /// Stats-export hook, `None` unless a server was attached.
+    stats: Option<StatsState>,
+    /// Scheduled migrations resolved to dense ids.
+    migrations: Vec<ResolvedMigration>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -314,6 +441,8 @@ impl Engine {
             index,
             mut build,
             faults,
+            stats: sim_stats,
+            migrations: sim_migrations,
         } = sim;
 
         // Borrow the cost matrix; nothing here outlives this scope and
@@ -371,6 +500,49 @@ impl Engine {
                 }
             }
         }
+
+        // Stats export and migrations share the fault lane (see
+        // `FaultAction`). The first stats tick fires one interval in;
+        // later ticks self-reschedule.
+        let stats = sim_stats.map(|(server, interval_ms)| {
+            let action = fault_actions.len();
+            fault_actions.push(FaultAction::StatsTick);
+            fault_schedule.push((interval_ms, action));
+            StatsState {
+                server,
+                interval_ms,
+                action,
+                last_work_ms: vec![0.0; build.specs.len()],
+                last_processed: vec![0; build.specs.len()],
+                last_emitted: vec![0; build.specs.len()],
+            }
+        });
+        let mut migrations = Vec::new();
+        for m in sim_migrations {
+            let base = build
+                .specs
+                .iter()
+                .position(|s| s.topology == m.topology)
+                .unwrap_or_else(|| {
+                    panic!("migration references unknown topology `{}`", m.topology)
+                });
+            let moves = m
+                .moves
+                .iter()
+                .map(|(task, slot)| {
+                    let node = *index.node_of.get(slot.node.as_str()).unwrap_or_else(|| {
+                        panic!("migration references unknown node `{}`", slot.node)
+                    });
+                    (base + *task as usize, node, slot.clone())
+                })
+                .collect();
+            fault_schedule.push((m.at_ms, fault_actions.len()));
+            fault_actions.push(FaultAction::Migrate(migrations.len() as u32));
+            migrations.push(ResolvedMigration {
+                pause_ms: m.pause_ms,
+                moves,
+            });
+        }
         let egress = (0..index.cores.len())
             .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
             .collect();
@@ -415,7 +587,8 @@ impl Engine {
         Self {
             config,
             build,
-            node_names: index.node_names,
+            cluster,
+            index,
             statics,
             queue: EventQueue::new(),
             timeouts: VecDeque::new(),
@@ -435,6 +608,8 @@ impl Engine {
             link_extra_ms: 0.0,
             fault_actions,
             fault_schedule,
+            stats,
+            migrations,
         }
     }
 
@@ -541,7 +716,11 @@ impl Engine {
             tuples: self.config.batch_tuples,
         };
         let work = f64::from(batch.tuples) * spec.work_ms_per_tuple;
-        let done = self.cpus[spec.node as usize].serve(now, spec.cpu_slot as usize, work);
+        self.tasks[i].work_acc_ms += work;
+        // `resume_at_ms` is 0.0 unless the task just migrated, so the
+        // clamp is bit-neutral for untouched runs.
+        let start = now.max(self.tasks[i].resume_at_ms);
+        let done = self.cpus[spec.node as usize].serve(start, spec.cpu_slot as usize, work);
         self.tasks[i].busy = true;
         self.queue.schedule(done, FastEv::work_done(i, batch));
     }
@@ -566,6 +745,7 @@ impl Engine {
             self.totals.spout_batches += 1;
         } else {
             self.totals.tuples_processed += u64::from(batch.tuples);
+            self.tasks[i].processed_acc += u64::from(batch.tuples);
         }
 
         if spec.is_sink {
@@ -588,6 +768,7 @@ impl Engine {
                 self.tasks[i].emit_acc += spec.emit_factor;
                 let n_out = self.tasks[i].emit_acc.floor() as u32;
                 self.tasks[i].emit_acc -= f64::from(n_out);
+                self.tasks[i].emitted_acc += u64::from(n_out) * u64::from(batch.tuples);
                 for _ in 0..n_out {
                     self.emit(i, batch);
                 }
@@ -609,7 +790,10 @@ impl Engine {
         let now = self.queue.now();
         let spec = self.statics[i];
         let work = f64::from(batch.tuples) * spec.work_ms_per_tuple;
-        let done = self.cpus[spec.node as usize].serve(now, spec.cpu_slot as usize, work);
+        self.tasks[i].work_acc_ms += work;
+        // Bit-neutral unless the task just migrated (see `try_spout`).
+        let start = now.max(self.tasks[i].resume_at_ms);
+        let done = self.cpus[spec.node as usize].serve(start, spec.cpu_slot as usize, work);
         self.tasks[i].busy = true;
         self.queue.schedule(done, FastEv::work_done(i, batch));
     }
@@ -756,7 +940,118 @@ impl Engine {
             FaultAction::Crash(node) => self.crash_node(node as usize),
             FaultAction::Recover(node) => self.recover_node(node as usize),
             FaultAction::SetLinkExtra(extra_ms) => self.link_extra_ms = extra_ms,
+            FaultAction::StatsTick => self.stats_tick(),
+            FaultAction::Migrate(m) => self.apply_migration(m as usize),
         }
+    }
+
+    /// Flushes the write-only per-task accumulators into the statistic
+    /// server as window deltas and re-arms the next tick. Reads never
+    /// feed back into the simulation, so an exporting run stays
+    /// bit-identical to a plain one.
+    fn stats_tick(&mut self) {
+        let Some(mut stats) = self.stats.take() else {
+            return;
+        };
+        let now = self.queue.now();
+        // Attribute the delta to the middle of the elapsed interval so
+        // the windowed counters bucket it where the work happened.
+        let at_ms = now - 0.5 * stats.interval_ms;
+        for i in 0..self.statics.len() {
+            let spec = &self.build.specs[i];
+            let rt = &self.tasks[i];
+            let busy_delta = rt.work_acc_ms - stats.last_work_ms[i];
+            if busy_delta > 0.0 {
+                stats.server.record_busy_us(
+                    &spec.topology,
+                    &spec.component,
+                    at_ms,
+                    (busy_delta * 1000.0).round() as u64,
+                );
+                stats.last_work_ms[i] = rt.work_acc_ms;
+            }
+            let processed_delta = rt.processed_acc - stats.last_processed[i];
+            if processed_delta > 0 {
+                stats.server.record_processed(
+                    &spec.topology,
+                    &spec.component,
+                    at_ms,
+                    processed_delta,
+                );
+                stats.last_processed[i] = rt.processed_acc;
+            }
+            let emitted_delta = rt.emitted_acc - stats.last_emitted[i];
+            if emitted_delta > 0 {
+                stats
+                    .server
+                    .record_emitted(&spec.topology, &spec.component, at_ms, emitted_delta);
+                stats.last_emitted[i] = rt.emitted_acc;
+            }
+            stats
+                .server
+                .record_queue_depth(&spec.topology, &spec.component, rt.queue.len() as u64);
+        }
+        let next = now + stats.interval_ms;
+        if next <= self.config.sim_time_ms {
+            self.queue.schedule(next, FastEv::fault(stats.action));
+        }
+        self.stats = Some(stats);
+    }
+
+    /// Executes a migration plan: each moved task's CPU slot deactivates
+    /// on its old node (in-flight work completes there — `work_done`
+    /// never consults the node), its queued batches carry over, and the
+    /// task cold-starts on the destination once its pause window ends
+    /// (`resume_at_ms` clamps the next service start). Memory demand and
+    /// thrash follow the task; the routing table is rebuilt over the
+    /// updated placement.
+    fn apply_migration(&mut self, m: usize) {
+        let migration = std::mem::take(&mut self.migrations[m]);
+        let now = self.queue.now();
+        let mut touched = false;
+        for &(task, dest, ref slot) in &migration.moves {
+            let old = self.statics[task].node as usize;
+            if old == dest {
+                continue;
+            }
+            debug_assert!(
+                !self.node_down[dest],
+                "migration targets a dead node (the adaptive plane must exclude them)"
+            );
+            self.cpus[old].deactivate(self.statics[task].cpu_slot as usize);
+            let new_local = self.cpus[dest].add_task(task);
+            self.node_tasks[old].retain(|&t| t != task);
+            self.node_tasks[dest].push(task);
+            let mem = self.build.specs[task].memory_mb;
+            self.build.node_mem_demand[old] -= mem;
+            self.build.node_mem_demand[dest] += mem;
+            let spec = &mut self.build.specs[task];
+            spec.node_idx = dest;
+            spec.rack_idx = self.index.rack_of_node[dest];
+            spec.slot = slot.clone();
+            self.statics[task].node = dest as u32;
+            self.statics[task].cpu_slot = new_local;
+            self.tasks[task].resume_at_ms = now + migration.pause_ms;
+            self.refresh_thrash(old);
+            self.refresh_thrash(dest);
+            touched = true;
+        }
+        if touched {
+            self.build.rebuild_routing(self.cluster.costs());
+        }
+    }
+
+    /// Recomputes a node's thrash factor after memory demand changed,
+    /// mirroring the build-time rule.
+    fn refresh_thrash(&mut self, node: usize) {
+        let demand = self.build.node_mem_demand[node];
+        let capacity = self.index.memory_mb[node];
+        let thrash = if demand > capacity && self.config.oom_thrash_factor < 1.0 {
+            self.config.oom_thrash_factor
+        } else {
+            1.0
+        };
+        self.cpus[node].set_thrash(thrash);
     }
 
     /// Kills every worker on `node`: queued and in-service batches are
@@ -820,19 +1115,19 @@ impl Engine {
         let elapsed = self.config.sim_time_ms;
         let mut tracker = CpuUtilizationTracker::new();
         for (i, cpu) in self.cpus.iter().enumerate() {
-            tracker.register_node(self.node_names[i].clone(), cpu.cores());
+            tracker.register_node(self.index.node_names[i].clone(), cpu.cores());
             if cpu.busy_core_ms() > 0.0 {
                 // Work committed past the horizon is clamped so that
                 // utilization stays within physical capacity.
                 let capacity = cpu.cores() * cpu.thrash() * elapsed;
-                tracker.add_busy(&self.node_names[i], cpu.busy_core_ms().min(capacity));
+                tracker.add_busy(&self.index.node_names[i], cpu.busy_core_ms().min(capacity));
             }
         }
 
         // Used-node counts from dense ids; the String keys of the report
         // maps are attached only here, at the boundary.
         let topo_count = self.build.topo_names.len();
-        let node_count = self.node_names.len();
+        let node_count = self.index.node_names.len();
         let mut seen = vec![false; topo_count * node_count];
         let mut used_counts = vec![0usize; topo_count];
         for s in &self.build.specs {
@@ -1481,5 +1776,120 @@ mod tests {
             &a,
             FaultPlan::new().crash_node(1_000.0, "ghost"),
         );
+    }
+
+    #[test]
+    fn stats_export_is_a_pure_observer() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let plain = run_faulted(&t, &cluster, &a, FaultPlan::new());
+
+        let server = Arc::new(StatisticServer::new(SimConfig::quick().window_ms));
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&t, &a);
+        sim.export_stats(server.clone(), 5_000.0);
+        let exported = sim.run();
+
+        assert_eq!(plain, exported, "the export hook never perturbs the run");
+        // ... while the server really did see the workload.
+        let elapsed = SimConfig::quick().sim_time_ms;
+        for c in ["c0", "c1", "c2", "c3"] {
+            assert!(
+                server.observed_cpu_points("t", c, elapsed) > 0.0,
+                "{c} observed busy time"
+            );
+        }
+        assert!(server.component_total("t", "c1") > 0, "processed counted");
+        assert!(
+            server.component_emitted_total("t", "c0") > 0,
+            "emits counted"
+        );
+    }
+
+    #[test]
+    fn migration_relocates_work_and_stays_deterministic() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+
+        // Move every task off the busiest node onto a node the
+        // assignment does not use at all.
+        let used = a.used_nodes();
+        let from = host_of(&a);
+        let dest = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .find(|n| !used.contains(&rstorm_cluster::NodeId::new(n.as_str())))
+            .expect("an idle node exists");
+        let moved: Vec<rstorm_topology::TaskId> = a.tasks_on_node(&from);
+        assert!(!moved.is_empty());
+        let mut slots: std::collections::BTreeMap<_, _> =
+            a.iter().map(|(task, slot)| (task, slot.clone())).collect();
+        for &task in &moved {
+            slots.insert(task, WorkerSlot::new(dest.as_str(), 6700));
+        }
+        let plan = MigrationPlan {
+            topology: t.id().clone(),
+            moves: moved
+                .iter()
+                .map(|&task| rstorm_core::MigrationMove {
+                    task,
+                    component: "c".to_owned(),
+                    from: rstorm_cluster::NodeId::new(from.as_str()),
+                    to: rstorm_cluster::NodeId::new(dest.as_str()),
+                })
+                .collect(),
+            updated: Assignment::new(t.id().clone(), slots),
+        };
+
+        let run = |plan: &MigrationPlan| {
+            let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+            sim.add_topology(&t, &a);
+            sim.schedule_migration(plan, 20_000.0, 500.0);
+            sim.run()
+        };
+        let r1 = run(&plan);
+        let r2 = run(&plan);
+        assert_eq!(r1, r2, "migration runs are deterministic");
+
+        // Work flows both before and after the cut-over, and the report's
+        // placement-derived stats reflect the move.
+        let plain = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        assert!(r1.totals.tuples_completed > 0);
+        assert!(
+            r1.used_nodes > plain.used_nodes,
+            "the idle destination shows up as used: {} vs {}",
+            r1.used_nodes,
+            plain.used_nodes
+        );
+        assert!(
+            r1.node_utilization
+                .iter()
+                .any(|(n, u)| *n == dest && *u > 0.0),
+            "destination accrued busy time: {:?}",
+            r1.node_utilization
+        );
+    }
+
+    #[test]
+    fn empty_migration_plan_is_bit_identical() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let plain = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let empty = MigrationPlan {
+            topology: t.id().clone(),
+            moves: Vec::new(),
+            updated: Assignment::new(t.id().clone(), std::collections::BTreeMap::new()),
+        };
+        let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+        sim.add_topology(&t, &a);
+        sim.schedule_migration(&empty, 10_000.0, 500.0);
+        let report = sim.run();
+        assert_eq!(plain, report);
+        // Even the event count matches: an empty plan schedules nothing.
+        assert_eq!(plain.debug.events, report.debug.events);
     }
 }

@@ -2,7 +2,7 @@
 //! benchmark harnesses, the parity tests and the criterion benches so
 //! they all measure the same workloads.
 
-use crate::{clusters, micro, yahoo};
+use crate::{clusters, drifted, micro, yahoo};
 use rstorm_cluster::Cluster;
 use rstorm_topology::Topology;
 
@@ -57,6 +57,23 @@ pub fn yahoo_cases() -> Vec<WorkloadCase> {
     ]
 }
 
+/// The drifted-declaration cases exercised by the adaptive rebalance
+/// plane (and its `adaptive_smoke` benchmark) on the micro cluster.
+pub fn drifted_cases() -> Vec<WorkloadCase> {
+    vec![
+        WorkloadCase {
+            name: "drift_linear",
+            topology: drifted::under_declared_linear(),
+            cluster: clusters::emulab_micro(),
+        },
+        WorkloadCase {
+            name: "drift_star",
+            topology: drifted::under_declared_star(),
+            cluster: clusters::emulab_micro(),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,11 +81,15 @@ mod tests {
     #[test]
     fn case_names_are_unique_and_topologies_valid() {
         let mut names = std::collections::BTreeSet::new();
-        for case in fig8_cases().into_iter().chain(yahoo_cases()) {
+        for case in fig8_cases()
+            .into_iter()
+            .chain(yahoo_cases())
+            .chain(drifted_cases())
+        {
             assert!(names.insert(case.name), "duplicate case {}", case.name);
             assert!(!case.topology.task_set().tasks().is_empty());
             assert!(!case.cluster.nodes().is_empty());
         }
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 7);
     }
 }

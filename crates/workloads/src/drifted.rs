@@ -1,0 +1,151 @@
+//! Drifted workloads: topologies whose declared resource profiles are
+//! deliberately wrong.
+//!
+//! R-Storm schedules from *declared* loads (the user's profiling hints,
+//! §4.1 of the paper). When a component's real cost diverges from its
+//! hint — stale profiling, data-dependent work, a code change nobody
+//! re-measured — the scheduler packs by fiction: a bolt declaring 5 CPU
+//! points while burning most of a core gets colocated with its whole
+//! neighbourhood, and the hosting node saturates while the rest of the
+//! cluster idles.
+//!
+//! These workloads reproduce that failure mode on the micro cluster.
+//! Each *under-declares* one hot component so the R-Storm placement —
+//! correct for the declarations — is wrong for the actual behaviour.
+//! They are the test cases of the adaptive rebalance plane: profiling
+//! detects the drift, the delta scheduler sheds the hot node with
+//! minimal moves, and net throughput (migration cost included) must beat
+//! the static placement.
+
+use rstorm_topology::{ExecutionProfile, Topology, TopologyBuilder};
+
+/// Tuple payload of the drifted workloads (small records; the failure
+/// mode is CPU, not network).
+pub const DRIFT_TUPLE_BYTES: u32 = 120;
+
+/// Actual per-tuple cost of the under-declared hot bolts, in ms.
+pub const HOT_WORK_MS: f64 = 8.0;
+
+/// The CPU points the hot bolts *declare* — the stale fiction R-Storm
+/// schedules by. Low enough that a whole pipeline packs onto one worker.
+pub const HOT_DECLARED_POINTS: f64 = 5.0;
+
+/// Linear pipeline with an under-declared middle stage:
+/// `feed → crunch → sink` where every `crunch` task declares
+/// [`HOT_DECLARED_POINTS`] but costs [`HOT_WORK_MS`] per tuple.
+///
+/// Declared demand (70 points) fits one Emulab worker, so R-Storm packs
+/// all ten tasks onto a single core and the crunch stage saturates it.
+pub fn under_declared_linear() -> Topology {
+    let mut b = TopologyBuilder::new("drift-linear");
+    b.set_spout("feed", 2)
+        .set_profile(ExecutionProfile::new(0.2, 1.0, DRIFT_TUPLE_BYTES))
+        .set_cpu_load(10.0)
+        .set_memory_load(128.0);
+    b.set_bolt("crunch", 6)
+        .shuffle_grouping("feed")
+        .set_profile(ExecutionProfile::new(HOT_WORK_MS, 1.0, DRIFT_TUPLE_BYTES))
+        .set_cpu_load(HOT_DECLARED_POINTS)
+        .set_memory_load(128.0);
+    b.set_bolt("sink", 2)
+        .shuffle_grouping("crunch")
+        .set_profile(ExecutionProfile::new(0.2, 0.0, DRIFT_TUPLE_BYTES).into_sink())
+        .set_cpu_load(10.0)
+        .set_memory_load(128.0);
+    b.build().expect("static workload is valid")
+}
+
+/// Star with an under-declared hub: two light spouts feed a `center`
+/// whose tasks declare [`HOT_DECLARED_POINTS`] but cost half of
+/// [`HOT_WORK_MS`] per tuple, fanning out to two sinks.
+///
+/// Declared demand (80 points) again fits one worker; the hub's real
+/// appetite saturates it while eleven machines idle.
+pub fn under_declared_star() -> Topology {
+    let mut b = TopologyBuilder::new("drift-star");
+    for s in ["feed-1", "feed-2"] {
+        b.set_spout(s, 1)
+            .set_profile(ExecutionProfile::new(0.2, 1.0, DRIFT_TUPLE_BYTES))
+            .set_cpu_load(10.0)
+            .set_memory_load(128.0);
+    }
+    b.set_bolt("center", 8)
+        .shuffle_grouping("feed-1")
+        .shuffle_grouping("feed-2")
+        .set_profile(ExecutionProfile::new(
+            HOT_WORK_MS / 2.0,
+            1.0,
+            DRIFT_TUPLE_BYTES,
+        ))
+        .set_cpu_load(HOT_DECLARED_POINTS)
+        .set_memory_load(128.0);
+    for k in ["sink-1", "sink-2"] {
+        b.set_bolt(k, 1)
+            .shuffle_grouping("center")
+            .set_profile(ExecutionProfile::new(0.2, 0.0, DRIFT_TUPLE_BYTES).into_sink())
+            .set_cpu_load(10.0)
+            .set_memory_load(128.0);
+    }
+    b.build().expect("static workload is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::emulab_micro;
+    use rstorm_core::{GlobalState, RStormScheduler, Scheduler};
+
+    fn all() -> Vec<Topology> {
+        vec![under_declared_linear(), under_declared_star()]
+    }
+
+    #[test]
+    fn declarations_are_fiction() {
+        // The point of the family: each hot component's work-implied
+        // steady load is far above its declaration (the drift detector's
+        // default thresholds would flag a fraction of this gap).
+        for (t, hot) in [
+            (under_declared_linear(), "crunch"),
+            (under_declared_star(), "center"),
+        ] {
+            let c = t.component(hot).unwrap();
+            assert_eq!(c.resources().cpu_points, HOT_DECLARED_POINTS);
+            // At even 50 tuples/s per task, the implied load is already
+            // multiples of the declaration.
+            let implied = c.profile().work_ms_per_tuple * 50.0 / 10.0; // points
+            assert!(
+                implied > 2.0 * HOT_DECLARED_POINTS,
+                "{}/{hot}: implied {implied} points vs declared {HOT_DECLARED_POINTS}",
+                t.id()
+            );
+        }
+    }
+
+    #[test]
+    fn rstorm_packs_each_pipeline_onto_one_worker() {
+        // The declared totals fit a single Emulab core, so R-Storm's
+        // min-distance packing concentrates the whole pipeline — the
+        // saturation the adaptive plane must later undo.
+        let cluster = emulab_micro();
+        for t in all() {
+            assert!(t.total_resources().cpu_points <= 100.0);
+            let mut state = GlobalState::new(&cluster);
+            let a = RStormScheduler::new()
+                .schedule(&t, &cluster, &mut state)
+                .unwrap();
+            assert_eq!(a.used_nodes().len(), 1, "{} should colocate", t.id());
+        }
+    }
+
+    #[test]
+    fn variants_are_valid_and_distinct() {
+        let mut names = std::collections::BTreeSet::new();
+        for t in all() {
+            assert!(names.insert(t.id().to_string()));
+            assert!(t.sinks().count() >= 1);
+            for s in t.sinks() {
+                assert!(s.profile().is_sink(), "{}/{}", t.id(), s.id());
+            }
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`yahoo`] — the PageLoad and Processing topologies modeled after the
 //!   production layouts of Figure 11 (event-level advertising data
 //!   pipelines for near-real-time analytical reporting).
+//! * [`drifted`] — topologies whose declared profiles are deliberately
+//!   wrong, the test cases of the adaptive rebalance plane.
 //! * [`clusters`] — the Emulab cluster presets of §6.1: two racks
 //!   ("VLANs") of six or twelve single-core 2 GB workers on 100 Mbps
 //!   NICs with a 4 ms inter-rack RTT.
@@ -22,5 +24,6 @@
 
 pub mod cases;
 pub mod clusters;
+pub mod drifted;
 pub mod micro;
 pub mod yahoo;

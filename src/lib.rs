@@ -111,14 +111,15 @@ pub mod prelude {
         EvenScheduler, OfflineLinearizationScheduler, RandomScheduler,
     };
     pub use rstorm_core::{
-        schedule_all, verify_plan, Assignment, GlobalState, RStormConfig, RStormScheduler,
-        RecoveryConfig, RecoveryEvent, RecoveryManager, ReferenceRStormScheduler, ScheduleError,
-        Scheduler, SchedulingPlan, SoftConstraintWeights,
+        schedule_all, verify_plan, Assignment, DeltaScheduler, DriftConfig, DriftDetector,
+        DriftReport, GlobalState, MigrationMove, MigrationPlan, ProfileRefiner, RStormConfig,
+        RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager, ReferenceRStormScheduler,
+        ScheduleError, Scheduler, SchedulingPlan, SoftConstraintWeights,
     };
     pub use rstorm_metrics::{StatisticServer, Summary, ThroughputReport};
     pub use rstorm_sim::{
-        run_crash_recover, ChaosConfig, ChaosOutcome, FaultEvent, FaultPlan, ReferenceSimulation,
-        SimConfig, SimReport, Simulation,
+        run_adaptive_rebalance, run_crash_recover, AdaptiveConfig, AdaptiveOutcome, ChaosConfig,
+        ChaosOutcome, FaultEvent, FaultPlan, ReferenceSimulation, SimConfig, SimReport, Simulation,
     };
     pub use rstorm_topology::{
         ExecutionProfile, StreamGrouping, Topology, TopologyBuilder, TraversalOrder,

@@ -73,6 +73,91 @@ fn seeded_fault_plans_replay_identically_in_the_simulator() {
 }
 
 #[test]
+fn adaptive_rebalance_never_targets_a_dead_node() {
+    use rstorm::cluster::NodeId;
+    use rstorm::workloads::drifted;
+    use std::collections::BTreeSet;
+
+    let mut cluster = clusters::emulab_micro();
+    let topology = drifted::under_declared_linear();
+    let mut state = GlobalState::new(&cluster);
+    let assignment = RStormScheduler::new()
+        .schedule(&topology, &cluster, &mut state)
+        .unwrap();
+    let host = assignment.iter().next().unwrap().1.node.as_str().to_owned();
+
+    // An idle node goes silent: it displaces nothing (the drifted
+    // pipeline is packed on `host`), but being empty it has maximal CPU
+    // headroom — exactly the node a naive target pick would migrate onto.
+    let victim = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .find(|n| *n != host)
+        .unwrap();
+    let mut manager = RecoveryManager::new(RecoveryConfig::default());
+    for node in cluster.nodes() {
+        manager.observe_heartbeat(node.id().as_str(), 0.0);
+    }
+    let names: Vec<String> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .collect();
+    for node in &names {
+        if *node != victim {
+            manager.observe_heartbeat(node, 10_000.0);
+        }
+    }
+    let scheduler = RStormScheduler::new();
+    let events = manager.tick(10_000.0, &mut cluster, &mut state, &scheduler, &[&topology]);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::NodeDeclaredDead { node, .. } if *node == victim)),
+        "victim declared dead: {events:?}"
+    );
+    let forbidden: BTreeSet<NodeId> = manager.dead_nodes().map(NodeId::new).collect();
+    assert!(forbidden.contains(&NodeId::new(victim.as_str())));
+
+    // The drift the adaptive plane would see: the hot bolt grossly
+    // under-declared, the hosting node saturated, everything else starved
+    // (the dead node's last observation included).
+    let mut refiner = ProfileRefiner::new(1.0);
+    refiner.observe(
+        topology.id().as_str(),
+        "crunch",
+        drifted::HOT_DECLARED_POINTS,
+        30.0,
+    );
+    let utils: Vec<(String, f64)> = names
+        .iter()
+        .map(|n| (n.clone(), if *n == host { 0.97 } else { 0.02 }))
+        .collect();
+    let drift = DriftDetector::default().detect(&topology, &refiner, &utils);
+    assert!(!drift.is_clean());
+
+    let plan = DeltaScheduler::new()
+        .plan(
+            &topology, &cluster, &mut state, &drift, &refiner, &forbidden,
+        )
+        .unwrap();
+    assert!(!plan.is_empty(), "the saturated host sheds tasks");
+    for m in &plan.moves {
+        assert!(
+            !forbidden.contains(&m.to),
+            "move {m:?} targets the dead node {victim}"
+        );
+    }
+    for (task, slot) in plan.updated.iter() {
+        assert!(
+            slot.node.as_str() != victim,
+            "task {task} placed on the dead node {victim}"
+        );
+    }
+}
+
+#[test]
 fn yahoo_page_load_crash_then_recover_replaces_everything() {
     let cluster = Arc::new(clusters::emulab_multi());
     let topology = yahoo::page_load();

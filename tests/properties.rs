@@ -547,6 +547,64 @@ proptest! {
         prop_assert!(t.spout_batches > 0, "spouts must make progress");
     }
 
+    /// The adaptive plane's zero-drift bar, as a property: observations
+    /// that match the declarations yield a clean drift report, an empty
+    /// migration plan, an untouched scheduling state — and an empty plan
+    /// handed to the simulator keeps the run bit-identical to one that
+    /// never heard of the rebalance plane.
+    #[test]
+    fn zero_drift_keeps_everything_bit_identical(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = std::sync::Arc::new(
+            ClusterBuilder::new()
+                .homogeneous_racks(2, 3, ResourceCapacity::new(400.0, 8192.0, 100.0), 4)
+                .build()
+                .unwrap(),
+        );
+        let mut state = GlobalState::new(&cluster);
+        let Ok(assignment) =
+            RStormScheduler::new().schedule(&topology, &cluster, &mut state)
+        else {
+            return Ok(());
+        };
+
+        // A refiner that observed exactly the declarations.
+        let mut refiner = ProfileRefiner::new(1.0);
+        for c in topology.components() {
+            let declared = c.resources().cpu_points;
+            refiner.observe("prop", c.id().as_str(), declared, declared);
+        }
+        let drift = DriftDetector::default().detect(&topology, &refiner, &[]);
+        prop_assert!(drift.is_clean());
+
+        let before = observable_bits(&state, &cluster);
+        let plan = DeltaScheduler::new()
+            .plan(
+                &topology,
+                &cluster,
+                &mut state,
+                &drift,
+                &refiner,
+                &std::collections::BTreeSet::new(),
+            )
+            .unwrap();
+        prop_assert!(plan.is_empty());
+        prop_assert_eq!(observable_bits(&state, &cluster), before);
+
+        let config = SimConfig::quick().with_sim_time_ms(8_000.0).with_seed(seed);
+        let mut plain = Simulation::new(std::sync::Arc::clone(&cluster), config.clone());
+        plain.add_topology(&topology, &assignment);
+        let mut adaptive = Simulation::new(std::sync::Arc::clone(&cluster), config);
+        adaptive.add_topology(&topology, &assignment);
+        adaptive.schedule_migration(&plan, 4_000.0, 1_000.0);
+        let plain_report = plain.run();
+        let adaptive_report = adaptive.run();
+        prop_assert_eq!(&plain_report, &adaptive_report);
+        prop_assert_eq!(plain_report.debug.events, adaptive_report.debug.events);
+    }
+
     /// The simulator tentpole's correctness bar, as a property: on
     /// arbitrary feasible topologies the dense-id fast engine and the
     /// string-keyed reference engine must produce **identical** reports —
