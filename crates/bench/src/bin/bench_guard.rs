@@ -8,37 +8,45 @@
 //! `BENCH_GUARD_MIN` environment variable (e.g. `BENCH_GUARD_MIN=1.2`
 //! to demand a 20% margin, or `0.9` to tolerate noisy shared runners).
 //!
+//! Cases that report a `zero_loss_ratio` (the replay smoke) are
+//! additionally held to exactly 1.0: guaranteed processing is a
+//! correctness property, not a performance number, so no environment
+//! variable can relax it.
+//!
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
-//! `adaptive_smoke`)
+//! `adaptive_smoke`, `replay_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
 //!
-//! Run after `perf_smoke`, `sim_smoke`, `chaos_smoke` and
-//! `adaptive_smoke` have refreshed the files:
+//! Run after `perf_smoke`, `sim_smoke`, `chaos_smoke`, `adaptive_smoke`
+//! and `replay_smoke` have refreshed the files:
 //!
 //! ```text
 //! cargo run --release -p rstorm-bench --bin bench_guard
 //! ```
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
-//! `BENCH_sim.json`, `BENCH_chaos.json` and `BENCH_adaptive.json` in the
-//! current directory. A
+//! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json` and
+//! `BENCH_replay.json` in the current directory. A
 //! missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
 use std::process::{Command, ExitCode};
 
-/// One `speedup_vs_reference` reading and the case it belongs to.
+/// One `speedup_vs_reference` reading and the case it belongs to. Replay
+/// cases also carry their `zero_loss_ratio`.
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
     speedup: f64,
+    zero_loss_ratio: Option<f64>,
 }
 
 /// Extracts every `speedup_vs_reference` from a `BENCH_*.json` document,
-/// paired with the nearest preceding `"name"` value.
+/// paired with the nearest preceding `"name"` value and, when present on
+/// the same line, the case's `zero_loss_ratio`.
 ///
 /// The bench files are written by our own smoke binaries with one case
 /// object per line, so a line-oriented scan is exact for them — and
@@ -55,7 +63,15 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
         let speedup = speedup
             .parse::<f64>()
             .unwrap_or_else(|e| panic!("bad speedup_vs_reference {speedup:?}: {e}"));
-        readings.push(Reading { case, speedup });
+        let zero_loss_ratio = field(line, "\"zero_loss_ratio\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad zero_loss_ratio {raw:?}: {e}"))
+        });
+        readings.push(Reading {
+            case,
+            speedup,
+            zero_loss_ratio,
+        });
     }
     readings
 }
@@ -97,6 +113,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("chaos_smoke")
     } else if path.ends_with("BENCH_adaptive.json") {
         Some("adaptive_smoke")
+    } else if path.ends_with("BENCH_replay.json") {
+        Some("replay_smoke")
     } else {
         None
     }
@@ -127,17 +145,29 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
     }
     let mut failures = 0;
     for r in &readings {
-        let verdict = if r.speedup < min {
+        // zero_loss_ratio is a correctness gate, pinned at exactly 1.0
+        // regardless of BENCH_GUARD_MIN.
+        let lossy = r.zero_loss_ratio.is_some_and(|z| z != 1.0);
+        let verdict = if lossy {
+            failures += 1;
+            "TUPLE LOSS"
+        } else if r.speedup < min {
             failures += 1;
             "REGRESSION"
         } else {
             "ok"
         };
-        println!("{path}: {:<32} {:>6.2}x  {verdict}", r.case, r.speedup);
+        match r.zero_loss_ratio {
+            Some(z) => println!(
+                "{path}: {:<32} {:>6.2}x  zero_loss {z:.3}  {verdict}",
+                r.case, r.speedup
+            ),
+            None => println!("{path}: {:<32} {:>6.2}x  {verdict}", r.case, r.speedup),
+        }
     }
     if failures > 0 {
         Err(format!(
-            "{path}: {failures} case(s) below the {min:.2}x threshold"
+            "{path}: {failures} case(s) below the {min:.2}x threshold or losing tuples"
         ))
     } else {
         Ok(readings.len())
@@ -152,6 +182,7 @@ fn main() -> ExitCode {
             "BENCH_sim.json",
             "BENCH_chaos.json",
             "BENCH_adaptive.json",
+            "BENCH_replay.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -204,11 +235,13 @@ mod tests {
             vec![
                 Reading {
                     case: "a".into(),
-                    speedup: 2.5
+                    speedup: 2.5,
+                    zero_loss_ratio: None
                 },
                 Reading {
                     case: "b".into(),
-                    speedup: 0.91
+                    speedup: 0.91,
+                    zero_loss_ratio: None
                 },
             ]
         );
@@ -241,12 +274,24 @@ mod tests {
     }
 
     #[test]
+    fn real_bench_replay_shape_parses() {
+        // The exact line shape replay_smoke writes.
+        let line = r#"    {"name": "page_load", "tasks": 16, "nodes": 24, "sim_ms": 60000, "max_replays": 8, "roots_emitted": 39968, "roots_replayed": 5, "tuples_quarantined": 0, "zero_loss_ratio": 1.000, "fast_ns": 46880000, "reference_ns": 282080000, "speedup_vs_reference": 6.02}"#;
+        let readings = extract_speedups(line);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].case, "page_load");
+        assert!((readings[0].speedup - 6.02).abs() < 1e-9);
+        assert_eq!(readings[0].zero_loss_ratio, Some(1.0));
+    }
+
+    #[test]
     fn every_default_file_has_a_smoke_binary() {
         for file in [
             "BENCH_sched.json",
             "BENCH_sim.json",
             "BENCH_chaos.json",
             "BENCH_adaptive.json",
+            "BENCH_replay.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }

@@ -1,0 +1,252 @@
+//! Quick guaranteed-processing (replay plane) smoke test.
+//!
+//! Runs the PR 3 crash-then-recover scenario (crash a tasked node a
+//! third of the way in, heal it 15 s later) with spout replay enabled
+//! (`max_replays = 8`) on the fig8 Linear/network micro case and the
+//! Yahoo PageLoad layout, gates on replay correctness, and writes the
+//! zero-loss metrics plus wall-time numbers to `BENCH_replay.json` in
+//! the current directory.
+//!
+//! Three gates run per case before anything is timed:
+//!
+//! * **Parity** — a replay-*disabled* run with an empty [`FaultPlan`]
+//!   must be bit-identical to the fault-free `ReferenceSimulation` (the
+//!   replay hooks must cost nothing when unused, in bits as well as
+//!   time).
+//! * **Zero loss** — with replay enabled, the survivable outage must
+//!   quarantine nothing: every root that settled within the run acked,
+//!   i.e. `zero_loss_ratio == 1.0`.
+//! * **Replay exercised** — the scenario must actually replay roots
+//!   (`roots_replayed > 0`), so the gate cannot pass vacuously.
+//!
+//! The timed comparison pits the replay-enabled fault-injected fast run
+//! against the fault-free reference run: the reference engine models
+//! neither faults nor replay, so this measures what guaranteed
+//! processing under an outage costs relative to the baseline engine on
+//! the same workload. `bench_guard` enforces `speedup_vs_reference ≥
+//! 1.0` and `zero_loss_ratio == 1.0` on the emitted file.
+//!
+//! Run with `cargo run --release -p rstorm-bench --bin replay_smoke`.
+
+use rstorm_bench::schedule_fresh;
+use rstorm_core::RStormScheduler;
+use rstorm_sim::{FaultPlan, ReferenceSimulation, SimConfig, Simulation};
+use rstorm_workloads::cases::{fig8_cases, yahoo_cases, WorkloadCase};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_REPLAYS: u32 = 8;
+const CRASH_AT_MS: f64 = 20_000.0;
+const RECOVER_AT_MS: f64 = 35_000.0;
+
+/// Median wall time of `timed` with untimed per-sample `setup`; at least
+/// 3 samples, up to 50, until `budget` is spent.
+fn median_ns<T>(mut setup: impl FnMut() -> T, mut timed: impl FnMut(T), budget: Duration) -> u64 {
+    const MIN_ITERS: usize = 3;
+    const MAX_ITERS: usize = 50;
+    timed(setup());
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while samples.len() < MAX_ITERS && (samples.len() < MIN_ITERS || started.elapsed() < budget) {
+        let input = setup();
+        let t0 = Instant::now();
+        timed(input);
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct CaseResult {
+    name: String,
+    tasks: u32,
+    nodes: u32,
+    sim_ms: f64,
+    max_replays: u32,
+    roots_emitted: u64,
+    roots_replayed: u64,
+    tuples_quarantined: u64,
+    zero_loss_ratio: f64,
+    fast_ns: u64,
+    reference_ns: u64,
+}
+
+fn run_case(case: &WorkloadCase, budget: Duration) -> CaseResult {
+    let cluster = Arc::new(case.cluster.clone());
+    let assignment = schedule_fresh(&RStormScheduler::new(), &case.topology, &cluster);
+    let config = SimConfig::quick();
+
+    // Parity gate: replay disabled + no faults must be bit-free.
+    let mut faultless = Simulation::new(Arc::clone(&cluster), config.clone());
+    faultless.add_topology(&case.topology, &assignment);
+    faultless.set_fault_plan(FaultPlan::new());
+    let mut reference = ReferenceSimulation::new(Arc::clone(&cluster), config.clone());
+    reference.add_topology(&case.topology, &assignment);
+    assert_eq!(
+        faultless.run(),
+        reference.run(),
+        "{}: replay-disabled run diverges from the reference engine",
+        case.name
+    );
+
+    // The survivable outage: crash the node hosting tasks a third of the
+    // way in, heal it 15 s later — inside the 30 s tuple timeout, so one
+    // replay per interrupted root suffices.
+    let victim = assignment.iter().next().unwrap().1.node.as_str().to_owned();
+    let plan = FaultPlan::new()
+        .crash_node(CRASH_AT_MS, &victim)
+        .recover_node(RECOVER_AT_MS, &victim);
+    let replay_config = config.clone().with_max_replays(MAX_REPLAYS);
+
+    let mut sim = Simulation::new(Arc::clone(&cluster), replay_config.clone());
+    sim.add_topology(&case.topology, &assignment);
+    sim.set_fault_plan(plan.clone());
+    let report = sim.run();
+    let totals = &report.totals;
+
+    // Zero-loss gate: a survivable fault must quarantine nothing, and
+    // every settled root must have acked.
+    assert!(
+        totals.roots_replayed > 0,
+        "{}: the outage scenario exercised no replays",
+        case.name
+    );
+    assert_eq!(
+        report.tuples_quarantined(),
+        0,
+        "{}: survivable fault quarantined tuples",
+        case.name
+    );
+    let zero_loss_ratio = report.zero_loss_ratio();
+    assert!(
+        zero_loss_ratio == 1.0,
+        "{}: zero-loss ratio {zero_loss_ratio} != 1.0",
+        case.name
+    );
+
+    let fast_ns = median_ns(
+        || {
+            let mut sim = Simulation::new(Arc::clone(&cluster), replay_config.clone());
+            sim.add_topology(&case.topology, &assignment);
+            sim.set_fault_plan(plan.clone());
+            sim
+        },
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+    let reference_ns = median_ns(
+        || {
+            let mut sim = ReferenceSimulation::new(Arc::clone(&cluster), config.clone());
+            sim.add_topology(&case.topology, &assignment);
+            sim
+        },
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+
+    CaseResult {
+        name: case.name.to_string(),
+        tasks: case.topology.task_set().len() as u32,
+        nodes: cluster.nodes().len() as u32,
+        sim_ms: config.sim_time_ms,
+        max_replays: MAX_REPLAYS,
+        roots_emitted: totals.roots_emitted,
+        roots_replayed: totals.roots_replayed,
+        tuples_quarantined: totals.tuples_quarantined,
+        zero_loss_ratio,
+        fast_ns,
+        reference_ns,
+    }
+}
+
+fn write_json(results: &[CaseResult]) -> String {
+    let mut out = String::from(
+        "{\n  \"benchmark\": \"spout replay under crash-then-recover (quick sim)\",\n  \
+         \"unit\": \"ns\",\n  \"cases\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        let speedup = r.reference_ns as f64 / r.fast_ns as f64;
+        write!(
+            out,
+            "    {{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
+             \"max_replays\": {}, \"roots_emitted\": {}, \"roots_replayed\": {}, \
+             \"tuples_quarantined\": {}, \"zero_loss_ratio\": {:.3}, \
+             \"fast_ns\": {}, \"reference_ns\": {}, \"speedup_vs_reference\": {speedup:.2}}}",
+            r.name,
+            r.tasks,
+            r.nodes,
+            r.sim_ms,
+            r.max_replays,
+            r.roots_emitted,
+            r.roots_replayed,
+            r.tuples_quarantined,
+            r.zero_loss_ratio,
+            r.fast_ns,
+            r.reference_ns
+        )
+        .unwrap();
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let budget = Duration::from_millis(900);
+    let started = Instant::now();
+
+    let mut results = Vec::new();
+    let linear = fig8_cases()
+        .into_iter()
+        .find(|c| c.name == "linear_net")
+        .expect("linear_net case exists");
+    results.push(run_case(&linear, budget));
+    let yahoo = yahoo_cases();
+    let page_load = yahoo
+        .iter()
+        .find(|c| c.name == "page_load")
+        .expect("page_load case exists");
+    results.push(run_case(page_load, budget));
+
+    println!(
+        "{:<12} {:>6} {:>6} {:>9} {:>9} {:>11} {:>9} {:>9} {:>12} {:>9}",
+        "case",
+        "tasks",
+        "nodes",
+        "emitted",
+        "replayed",
+        "quarantine",
+        "zeroloss",
+        "fast",
+        "reference",
+        "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>6} {:>6} {:>9} {:>9} {:>11} {:>9.3} {:>6.2}ms {:>9.2}ms {:>8.2}x",
+            r.name,
+            r.tasks,
+            r.nodes,
+            r.roots_emitted,
+            r.roots_replayed,
+            r.tuples_quarantined,
+            r.zero_loss_ratio,
+            r.fast_ns as f64 / 1e6,
+            r.reference_ns as f64 / 1e6,
+            r.reference_ns as f64 / r.fast_ns as f64,
+        );
+    }
+
+    let json = write_json(&results);
+    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
+    println!(
+        "\nwrote BENCH_replay.json ({} cases) in {:.1} s",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

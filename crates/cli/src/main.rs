@@ -33,6 +33,7 @@ USAGE:
     rstorm compare  --topology FILE --cluster FILE [--duration-s N] [--seed N]
     rstorm chaos    --topology FILE --cluster FILE [--victim NODE]
                     [--crash-at-s N] [--heal-at-s N] [--duration-s N] [--seed N]
+                    [--replay] [--max-replays N]
     rstorm rebalance --topology FILE --cluster FILE [--observe-s N]
                     [--rebalance-at-s N] [--pause-ms N] [--alpha X]
                     [--duration-s N] [--seed N]
@@ -77,6 +78,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Flags that take no value: their presence means `"true"`.
+const BOOLEAN_FLAGS: &[&str] = &["replay"];
+
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
@@ -84,6 +88,10 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_owned(), value.clone());
     }
@@ -275,14 +283,29 @@ fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
         return Err(format!("--victim `{victim}` is not a node of the cluster"));
     }
 
+    // `--replay` turns on guaranteed processing with a default budget of
+    // 3 re-emissions per root; `--max-replays` sets the budget exactly.
+    let max_replays: u32 = match flags.get("max-replays") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid --max-replays `{raw}`"))?,
+        None if flags.contains_key("replay") => 3,
+        None => 0,
+    };
+
     let mut chaos = ChaosConfig::new(victim.clone(), crash_at_s * 1000.0, heal_at_s * 1000.0);
-    chaos.sim = config;
+    chaos.sim = config.with_max_replays(max_replays);
     let out = run_crash_recover(&cluster, &topology, &chaos);
 
     println!(
         "chaos scenario on `{}`: crash {victim} at {crash_at_s:.0} s, heal at {heal_at_s:.0} s \
-         (sim {duration_s:.0} s)\n",
-        topology.id()
+         (sim {duration_s:.0} s{})\n",
+        topology.id(),
+        if max_replays > 0 {
+            format!(", replay budget {max_replays}")
+        } else {
+            String::new()
+        }
     );
     for event in &out.events {
         println!("  {event:?}");
@@ -311,6 +334,16 @@ fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
         obs.throughput_dip_depth * 100.0,
         obs.reschedule_attempts
     );
+    if max_replays > 0 {
+        println!(
+            "replay: {} roots re-emitted; {} tuples quarantined; zero-loss ratio {:.3}; \
+             {} flap(s) suppressed",
+            obs.roots_replayed,
+            obs.tuples_quarantined,
+            out.report.zero_loss_ratio(),
+            obs.suppressed_flaps
+        );
+    }
     println!();
     print_report(&topology, &out.report);
 
@@ -477,6 +510,17 @@ mod tests {
     }
 
     #[test]
+    fn boolean_flags_take_no_value() {
+        // `--replay` alone is complete…
+        let flags = parse_flags(&["--replay".into()]).unwrap();
+        assert_eq!(flags["replay"], "true");
+        // …and does not swallow the following flag.
+        let flags = parse_flags(&["--replay".into(), "--seed".into(), "9".into()]).unwrap();
+        assert_eq!(flags["replay"], "true");
+        assert_eq!(flags["seed"], "9");
+    }
+
+    #[test]
     fn scheduler_selection() {
         let mut flags = BTreeMap::new();
         assert_eq!(make_scheduler(&flags).unwrap().name(), "rstorm");
@@ -523,6 +567,15 @@ mod tests {
         compare_cmd(&flags).unwrap();
         chaos_cmd(&flags).unwrap();
         rebalance_cmd(&flags).unwrap();
+
+        // Replay-enabled chaos, both spellings.
+        let mut replay = flags.clone();
+        replay.insert("replay".into(), "true".into());
+        chaos_cmd(&replay).unwrap();
+        replay.insert("max-replays".into(), "5".into());
+        chaos_cmd(&replay).unwrap();
+        replay.insert("max-replays".into(), "-1".into());
+        assert!(chaos_cmd(&replay).unwrap_err().contains("max-replays"));
 
         // An honest two-component topology must be rejected-free but also
         // reject nonsense rebalance knobs.

@@ -54,6 +54,19 @@ pub struct RecoveryConfig {
     pub backoff_max_ms: f64,
     /// Seed of the deterministic jitter added to each backoff delay.
     pub jitter_seed: u64,
+    /// Consecutive heartbeats a declared-dead node must deliver before it
+    /// is trusted and readmitted — the "M beats to trust" half of the
+    /// suspicion hysteresis (`miss_threshold` is the "K misses to
+    /// declare" half). A single missed beat resets the count. The default
+    /// of 1 readmits on the first returning beat, the pre-hysteresis
+    /// behavior.
+    pub trust_threshold: u32,
+    /// Minimum interval between two full reschedules of the same
+    /// topology. A reschedule falling due earlier is deferred (and
+    /// counted in [`RecoveryManager::suppressed_flaps`]) so a flapping
+    /// node cannot thrash the scheduler. The default of 0 disables the
+    /// limiter.
+    pub min_reschedule_interval_ms: f64,
 }
 
 impl Default for RecoveryConfig {
@@ -64,6 +77,8 @@ impl Default for RecoveryConfig {
             backoff_base_ms: 500.0,
             backoff_max_ms: 30_000.0,
             jitter_seed: 42,
+            trust_threshold: 1,
+            min_reschedule_interval_ms: 0.0,
         }
     }
 }
@@ -131,9 +146,18 @@ pub struct RecoveryManager {
     config: RecoveryConfig,
     last_heartbeat: BTreeMap<String, f64>,
     declared_dead: BTreeSet<String>,
+    /// Consecutive beats each declared-dead node has delivered since its
+    /// last miss — the trust-hysteresis counter. Entries exist only for
+    /// dead nodes and are dropped on readmission.
+    consecutive_beats: BTreeMap<String, u32>,
     pending: BTreeMap<TopologyId, Retry>,
+    /// When each topology was last actually handed to the scheduler, for
+    /// the churn limiter.
+    last_reschedule_ms: BTreeMap<TopologyId, f64>,
     rng: StdRng,
     total_reschedule_attempts: u64,
+    suppressed_readmissions: u64,
+    suppressed_reschedules: u64,
 }
 
 impl RecoveryManager {
@@ -144,9 +168,13 @@ impl RecoveryManager {
             config,
             last_heartbeat: BTreeMap::new(),
             declared_dead: BTreeSet::new(),
+            consecutive_beats: BTreeMap::new(),
             pending: BTreeMap::new(),
+            last_reschedule_ms: BTreeMap::new(),
             rng,
             total_reschedule_attempts: 0,
+            suppressed_readmissions: 0,
+            suppressed_reschedules: 0,
         }
     }
 
@@ -155,11 +183,22 @@ impl RecoveryManager {
     pub fn observe_heartbeat(&mut self, node: &str, now_ms: f64) {
         let entry = self.last_heartbeat.entry(node.to_owned()).or_insert(now_ms);
         *entry = entry.max(now_ms);
+        if self.declared_dead.contains(node) {
+            *self.consecutive_beats.entry(node.to_owned()).or_insert(0) += 1;
+        }
     }
 
     /// Scheduler invocations spent on recovery rescheduling so far.
     pub fn reschedule_attempts(&self) -> u64 {
         self.total_reschedule_attempts
+    }
+
+    /// Flap events the manager absorbed instead of acting on:
+    /// readmissions withheld by the trust hysteresis plus reschedules
+    /// deferred by the churn limiter. Zero with the default (neutral)
+    /// configuration.
+    pub fn suppressed_flaps(&self) -> u64 {
+        self.suppressed_readmissions + self.suppressed_reschedules
     }
 
     /// Nodes currently declared dead, in name order.
@@ -226,6 +265,24 @@ impl RecoveryManager {
                     displaced,
                 });
             } else if !silent && self.declared_dead.contains(&node) {
+                // Trust hysteresis (active when `trust_threshold > 1`; 1
+                // keeps the legacy readmit-on-first-beat behavior): a
+                // returning node must deliver `trust_threshold`
+                // consecutive beats before it rejoins the pool, and a
+                // single miss restarts the streak — a flapper stays out.
+                if self.config.trust_threshold > 1 {
+                    if now_ms - last >= self.config.heartbeat_interval_ms {
+                        // It went quiet again since its last beat.
+                        self.consecutive_beats.insert(node.clone(), 0);
+                        continue;
+                    }
+                    let beats = self.consecutive_beats.get(&node).copied().unwrap_or(0);
+                    if beats < self.config.trust_threshold {
+                        self.suppressed_readmissions += 1;
+                        continue;
+                    }
+                }
+                self.consecutive_beats.remove(&node);
                 cluster.revive_node(&node);
                 state.handle_node_recovery(&node);
                 self.declared_dead.remove(&node);
@@ -249,6 +306,10 @@ impl RecoveryManager {
                     node,
                     at_ms: now_ms,
                 });
+            } else if silent {
+                // Still dead and silent for a full window again: any
+                // partial trust streak is broken.
+                self.consecutive_beats.remove(&node);
             }
         }
     }
@@ -273,6 +334,29 @@ impl RecoveryManager {
                 self.pending.remove(&tid);
                 continue;
             };
+            // Churn limiter: a topology rescheduled less than
+            // `min_reschedule_interval_ms` ago is deferred, not re-placed
+            // — a flapping node pulling retries forward on every return
+            // beat cannot thrash the scheduler. The deferred attempt
+            // stays queued for when the quiet period ends.
+            if self.config.min_reschedule_interval_ms > 0.0 {
+                if let Some(&last) = self.last_reschedule_ms.get(&tid) {
+                    let earliest = last + self.config.min_reschedule_interval_ms;
+                    if now_ms < earliest {
+                        let retry = self.pending.get_mut(&tid).expect("due came from pending");
+                        retry.next_try_ms = earliest;
+                        let attempts = retry.attempts;
+                        self.suppressed_reschedules += 1;
+                        events.push(RecoveryEvent::RescheduleDeferred {
+                            topology: tid,
+                            at_ms: now_ms,
+                            attempts,
+                            retry_at_ms: earliest,
+                        });
+                        continue;
+                    }
+                }
+            }
             // A degraded placement from an earlier attempt is released so
             // this attempt can try for a strictly better one.
             let previous = if state
@@ -285,6 +369,7 @@ impl RecoveryManager {
                 None
             };
             self.total_reschedule_attempts += 1;
+            self.last_reschedule_ms.insert(tid.clone(), now_ms);
             let attempts = {
                 let retry = self.pending.get_mut(&tid).expect("due came from pending");
                 retry.attempts += 1;
@@ -736,6 +821,103 @@ mod tests {
             assert!(step(&mut h, &t, f64::from(ms) * 1_000.0, &[]).is_empty());
         }
         assert_eq!(format!("{:?}", h.state.plan()), before);
+        assert_eq!(h.manager.reschedule_attempts(), 0);
+    }
+
+    /// Flap injection: n1 beats on even ticks and misses on odd ones.
+    /// With a 1-miss suspicion threshold each miss re-declares it and
+    /// each beat pulls the degraded topology's upgrade retry forward —
+    /// exactly the thrash pattern the churn limiter absorbs.
+    #[test]
+    fn flapping_node_triggers_at_most_one_reschedule_under_the_churn_limiter() {
+        // 2 + 2 tasks × 700 MB span both 2048 MB nodes, so losing n1
+        // degrades the topology and every readmission queues an upgrade
+        // that would land work right back on the flapper.
+        let t = linear("t", 2, 700.0);
+        let config = RecoveryConfig {
+            miss_threshold: 1,
+            trust_threshold: 1,
+            min_reschedule_interval_ms: 60_000.0,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config);
+        step(&mut h, &t, 0.0, &[]);
+        let mut rescheduled = 0u32;
+        let mut deferred = 0u32;
+        for tick in 1..12 {
+            let down: &[&str] = if tick % 2 == 1 { &["n1"] } else { &[] };
+            for e in step(&mut h, &t, f64::from(tick) * 1_000.0, down) {
+                match e {
+                    RecoveryEvent::TopologyRescheduled { .. } => rescheduled += 1,
+                    RecoveryEvent::RescheduleDeferred { .. } => deferred += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(
+            rescheduled, 1,
+            "the flapper gets exactly the initial re-placement"
+        );
+        assert_eq!(h.manager.reschedule_attempts(), 1, "one scheduler call");
+        assert!(deferred >= 2, "later flap cycles defer: {deferred}");
+        assert_eq!(h.manager.suppressed_flaps(), u64::from(deferred));
+    }
+
+    #[test]
+    fn trust_hysteresis_keeps_a_flapper_out_and_readmits_after_a_streak() {
+        let t = linear("t", 2, 128.0);
+        let config = RecoveryConfig {
+            miss_threshold: 1,
+            trust_threshold: 3,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config);
+        step(&mut h, &t, 0.0, &[]);
+        // One miss declares n0 dead (threshold 1).
+        let events = step(&mut h, &t, 1_000.0, &["n0"]);
+        assert!(matches!(events[0], RecoveryEvent::NodeDeclaredDead { .. }));
+        // Strict alternation: single beats never reach the 3-beat trust
+        // streak, so the flapper is never readmitted.
+        for tick in 2..10 {
+            let down: &[&str] = if tick % 2 == 1 { &["n0"] } else { &[] };
+            let events = step(&mut h, &t, f64::from(tick) * 1_000.0, down);
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e, RecoveryEvent::NodeRecovered { .. })),
+                "flapper readmitted at tick {tick}: {events:?}"
+            );
+        }
+        assert!(h.manager.dead_nodes().any(|n| n == "n0"));
+        assert!(h.manager.suppressed_flaps() > 0, "withheld readmissions");
+        // Three consecutive beats rebuild trust and readmit.
+        let mut recovered = false;
+        for tick in 10..14 {
+            let events = step(&mut h, &t, f64::from(tick) * 1_000.0, &[]);
+            recovered |= events.iter().any(
+                |e| matches!(e, RecoveryEvent::NodeRecovered { ref node, .. } if node == "n0"),
+            );
+        }
+        assert!(recovered, "a steady streak earns readmission");
+        assert!(h.cluster.is_alive("n0"));
+    }
+
+    #[test]
+    fn hysteresis_never_declares_a_steadily_beating_node_dead() {
+        let t = linear("t", 2, 128.0);
+        let config = RecoveryConfig {
+            miss_threshold: 2,
+            trust_threshold: 3,
+            min_reschedule_interval_ms: 30_000.0,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config);
+        for tick in 0..50 {
+            let events = step(&mut h, &t, f64::from(tick) * 1_000.0, &[]);
+            assert!(events.is_empty(), "tick {tick} acted on a healthy node");
+        }
+        assert_eq!(h.manager.dead_nodes().count(), 0);
+        assert_eq!(h.manager.suppressed_flaps(), 0);
         assert_eq!(h.manager.reschedule_attempts(), 0);
     }
 

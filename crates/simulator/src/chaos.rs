@@ -199,6 +199,9 @@ pub fn run_crash_recover(
         tuples_lost: report.totals.tuples_lost,
         throughput_dip_depth: dip,
         reschedule_attempts: manager.reschedule_attempts(),
+        roots_replayed: report.totals.roots_replayed,
+        tuples_quarantined: report.totals.tuples_quarantined,
+        suppressed_flaps: manager.suppressed_flaps(),
     };
     report.recovery = Some(observations);
 

@@ -28,6 +28,12 @@ pub struct SimConfig {
     /// of an over-committed worker ("catastrophic failure", §3). 1.0
     /// disables the effect.
     pub oom_thrash_factor: f64,
+    /// Per-root retry budget for failed tuple trees (Storm's at-least-once
+    /// spout replay). On root timeout or crash-induced tree failure the
+    /// spout re-emits the root up to this many times; roots failing beyond
+    /// the budget are quarantined as poison tuples. `0` disables replay
+    /// entirely and preserves bit-identical legacy (at-most-once) behavior.
+    pub max_replays: u32,
 }
 
 impl SimConfig {
@@ -55,6 +61,13 @@ impl SimConfig {
         self.sim_time_ms = sim_time_ms;
         self
     }
+
+    /// Returns the configuration with a per-root replay budget (0 keeps
+    /// replay disabled).
+    pub fn with_max_replays(mut self, max_replays: u32) -> Self {
+        self.max_replays = max_replays;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -67,6 +80,7 @@ impl Default for SimConfig {
             window_ms: 10_000.0,
             seed: 42,
             oom_thrash_factor: 0.05,
+            max_replays: 0,
         }
     }
 }
@@ -90,9 +104,19 @@ mod tests {
 
     #[test]
     fn with_helpers() {
-        let c = SimConfig::default().with_seed(7).with_sim_time_ms(1000.0);
+        let c = SimConfig::default()
+            .with_seed(7)
+            .with_sim_time_ms(1000.0)
+            .with_max_replays(3);
         assert_eq!(c.seed, 7);
         assert_eq!(c.sim_time_ms, 1000.0);
+        assert_eq!(c.max_replays, 3);
+    }
+
+    #[test]
+    fn replay_is_off_by_default() {
+        assert_eq!(SimConfig::default().max_replays, 0);
+        assert_eq!(SimConfig::quick().max_replays, 0);
     }
 
     #[test]

@@ -23,8 +23,27 @@ pub struct SimTotals {
     /// Tuples of live roots processed at sinks — the throughput numerator.
     pub tuples_completed: u64,
     /// Tuples destroyed by injected node crashes (queued, in service, or
-    /// in flight toward a crashed worker). Zero for fault-free runs.
+    /// in flight toward a crashed worker). Zero for fault-free runs. In
+    /// replay mode only quarantined roots charge this counter — a
+    /// replayed-then-acked root retransmitted its crash-destroyed data,
+    /// so it is not lost.
     pub tuples_lost: u64,
+    /// Logical roots admitted through the spout-pending window. Zero
+    /// unless replay is enabled (`SimConfig::max_replays > 0`); subject
+    /// to the drain invariant
+    /// `roots_emitted == roots_completed + roots_quarantined + roots_in_flight`.
+    pub roots_emitted: u64,
+    /// Spout re-emissions of failed roots (replay mode only). Counts
+    /// attempts, so one root replayed twice contributes 2.
+    pub roots_replayed: u64,
+    /// Logical roots that failed beyond their retry budget and were
+    /// quarantined as poison tuples (replay mode only).
+    pub roots_quarantined: u64,
+    /// Tuples carried by quarantined roots (replay mode only).
+    pub tuples_quarantined: u64,
+    /// Logical roots still un-settled — live or awaiting replay — when
+    /// the horizon cut the run off (replay mode only).
+    pub roots_in_flight: u64,
 }
 
 /// Engine-internal counters exposed for observability and performance
@@ -71,6 +90,16 @@ pub struct RecoveryObservations {
     pub throughput_dip_depth: f64,
     /// Scheduler invocations the recovery loop spent re-placing work.
     pub reschedule_attempts: u64,
+    /// Spout re-emissions of failed roots during the scenario (mirrors
+    /// [`SimTotals::roots_replayed`]; zero when replay is disabled).
+    pub roots_replayed: u64,
+    /// Tuples quarantined beyond the retry budget (mirrors
+    /// [`SimTotals::tuples_quarantined`]; zero for a survivable fault).
+    pub tuples_quarantined: u64,
+    /// Flap events the control plane absorbed: readmissions withheld by
+    /// the trust hysteresis plus reschedules deferred by the churn
+    /// limiter (`RecoveryManager::suppressed_flaps`).
+    pub suppressed_flaps: u64,
 }
 
 /// The outcome of a simulation run.
@@ -137,6 +166,27 @@ impl SimReport {
             .map_or(0.0, |t| t.steady_state(skip).mean)
     }
 
+    /// Fraction of settled logical roots that acked:
+    /// `roots_completed / (roots_emitted - roots_in_flight)`. Roots the
+    /// horizon cut off mid-flight are excluded — they are neither
+    /// delivered nor lost. `1.0` when nothing settled (vacuously
+    /// lossless) and, by the drain invariant, exactly `1.0` iff no root
+    /// quarantined. Meaningful for replay-enabled runs; a replay-disabled
+    /// run reports `1.0` because the legacy counters stay zero.
+    pub fn zero_loss_ratio(&self) -> f64 {
+        let settled = self.totals.roots_emitted - self.totals.roots_in_flight;
+        if settled == 0 {
+            return 1.0;
+        }
+        self.totals.roots_completed as f64 / settled as f64
+    }
+
+    /// Tuples carried by roots that failed beyond their retry budget
+    /// (see [`SimTotals::tuples_quarantined`]).
+    pub fn tuples_quarantined(&self) -> u64 {
+        self.totals.tuples_quarantined
+    }
+
     /// Serializes the physical outcome (everything `==` compares; debug
     /// counters excluded) as deterministic JSON with fixed key order and
     /// shortest-roundtrip float formatting. Two runs produce the same
@@ -197,7 +247,7 @@ impl SimReport {
             out,
             "  \"totals\": {{\"spout_batches\": {}, \"batches_delivered\": {}, \
              \"batches_dropped\": {}, \"roots_completed\": {}, \"roots_timed_out\": {}, \
-             \"tuples_processed\": {}, \"tuples_completed\": {}, \"tuples_lost\": {}}}",
+             \"tuples_processed\": {}, \"tuples_completed\": {}, \"tuples_lost\": {}",
             t.spout_batches,
             t.batches_delivered,
             t.batches_dropped,
@@ -207,18 +257,40 @@ impl SimReport {
             t.tuples_completed,
             t.tuples_lost
         );
+        // The replay-plane counters appear only for replay-enabled runs
+        // (`roots_emitted` counts every admitted root there, so it is
+        // nonzero whenever a spout emitted at all). Replay-disabled runs
+        // keep the legacy byte layout, which the golden-report test pins.
+        if t.roots_emitted > 0 {
+            let _ = write!(
+                out,
+                ", \"roots_emitted\": {}, \"roots_replayed\": {}, \"roots_quarantined\": {}, \
+                 \"tuples_quarantined\": {}, \"roots_in_flight\": {}",
+                t.roots_emitted,
+                t.roots_replayed,
+                t.roots_quarantined,
+                t.tuples_quarantined,
+                t.roots_in_flight
+            );
+        }
+        out.push('}');
         if let Some(r) = &self.recovery {
             let _ = write!(
                 out,
                 ",\n  \"recovery\": {{\"crash_at_ms\": {:?}, \"time_to_detect_ms\": {:?}, \
                  \"time_to_recover_ms\": {:?}, \"tuples_lost\": {}, \
-                 \"throughput_dip_depth\": {:?}, \"reschedule_attempts\": {}}}",
+                 \"throughput_dip_depth\": {:?}, \"reschedule_attempts\": {}, \
+                 \"roots_replayed\": {}, \"tuples_quarantined\": {}, \
+                 \"suppressed_flaps\": {}}}",
                 r.crash_at_ms,
                 r.time_to_detect_ms,
                 r.time_to_recover_ms,
                 r.tuples_lost,
                 r.throughput_dip_depth,
-                r.reschedule_attempts
+                r.reschedule_attempts,
+                r.roots_replayed,
+                r.tuples_quarantined,
+                r.suppressed_flaps
             );
         }
         out.push_str("\n}\n");
@@ -319,6 +391,9 @@ mod tests {
             tuples_lost: 42,
             throughput_dip_depth: 0.5,
             reschedule_attempts: 2,
+            roots_replayed: 7,
+            tuples_quarantined: 0,
+            suppressed_flaps: 3,
         });
         assert_ne!(a, b, "recovery metrics are part of the outcome");
         assert!(!a.to_json().contains("recovery"));
@@ -326,5 +401,46 @@ mod tests {
         assert!(j.contains("\"recovery\": {\"crash_at_ms\": 10000.0"));
         assert!(j.contains("\"reschedule_attempts\": 2"));
         assert!(j.contains("\"tuples_lost\": 42"));
+        assert!(j.contains("\"roots_replayed\": 7"));
+        assert!(j.contains("\"suppressed_flaps\": 3"));
+    }
+
+    #[test]
+    fn replay_totals_serialize_only_when_replay_ran() {
+        let legacy = empty_report();
+        let j = legacy.to_json();
+        assert!(
+            !j.contains("roots_emitted") && !j.contains("quarantined"),
+            "replay-disabled runs keep the legacy totals layout: {j}"
+        );
+        assert!(j.contains("\"tuples_lost\": 0}"), "totals still close: {j}");
+
+        let mut replay = empty_report();
+        replay.totals.roots_emitted = 10;
+        replay.totals.roots_completed = 8;
+        replay.totals.roots_replayed = 3;
+        replay.totals.roots_quarantined = 1;
+        replay.totals.tuples_quarantined = 10;
+        replay.totals.roots_in_flight = 1;
+        let j = replay.to_json();
+        assert!(j.contains("\"roots_emitted\": 10"));
+        assert!(j.contains("\"tuples_quarantined\": 10"));
+        assert!(j.contains("\"roots_in_flight\": 1}"));
+        assert_ne!(legacy, replay, "replay counters are part of the outcome");
+    }
+
+    #[test]
+    fn zero_loss_ratio_excludes_in_flight_roots() {
+        let mut r = empty_report();
+        assert_eq!(r.zero_loss_ratio(), 1.0, "vacuously lossless when idle");
+        r.totals.roots_emitted = 10;
+        r.totals.roots_completed = 8;
+        r.totals.roots_in_flight = 2;
+        assert_eq!(r.zero_loss_ratio(), 1.0, "cut-off roots are not losses");
+        r.totals.roots_in_flight = 1;
+        r.totals.roots_quarantined = 1;
+        r.totals.tuples_quarantined = 10;
+        assert!(r.zero_loss_ratio() < 1.0, "a quarantine shows up");
+        assert_eq!(r.tuples_quarantined(), 10);
     }
 }

@@ -140,6 +140,16 @@ pub(crate) struct TaskRt {
     pub processed_acc: u64,
     /// Tuples this task has emitted downstream, for stats export.
     pub emitted_acc: u64,
+    /// The spout's replay buffer (replay mode only — always empty when
+    /// `max_replays == 0`): failed logical roots awaiting re-emission as
+    /// `(attempt, lost_tuples)` where `attempt` is the upcoming attempt
+    /// number and `lost_tuples` carries crash-destroyed tuples from all
+    /// prior attempts. Entries hold their original spout credit, so
+    /// replays drain through the same `max_spout_pending` window as
+    /// fresh emits — backpressure, not amplification. Crash draining
+    /// must never touch this buffer: in Storm the pending buffer lives
+    /// with the spout's acker ledger and survives worker restarts.
+    pub replay_queue: VecDeque<(u32, u64)>,
 }
 
 /// Streaming accumulator for completed-root latencies (the population is
@@ -407,6 +417,16 @@ struct Engine {
     latency: LatencyAccumulator,
     events: u64,
 
+    /// `config.max_replays > 0`. Every replay-plane branch and counter is
+    /// gated on this so a replay-disabled run stays bit-identical to the
+    /// legacy at-most-once engine (and to the reference oracle).
+    replay_enabled: bool,
+    /// Logical roots emitted but not yet settled (acked or quarantined):
+    /// each is either a live unfailed slab attempt or a `replay_queue`
+    /// entry. Maintains the drain invariant
+    /// `roots_emitted == roots_completed + roots_quarantined + live_logical`.
+    live_logical: u64,
+
     /// Liveness per dense node id; flipped by fault events only.
     node_down: Vec<bool>,
     /// Global task indices hosted on each node (for crash draining and
@@ -584,6 +604,7 @@ impl Engine {
 
         let rng = StdRng::seed_from_u64(config.seed);
         let node_down = vec![false; index.cores.len()];
+        let replay_enabled = config.max_replays > 0;
         Self {
             config,
             build,
@@ -603,6 +624,8 @@ impl Engine {
             totals: SimTotals::default(),
             latency: LatencyAccumulator::default(),
             events: 0,
+            replay_enabled,
+            live_logical: 0,
             node_down,
             node_tasks,
             link_extra_ms: 0.0,
@@ -674,6 +697,17 @@ impl Engine {
         if self.tasks[i].busy {
             return; // WorkDone will retry.
         }
+        // Replays drain first: the failed logical root still holds the
+        // credit it took at first emission, so it bypasses the credit
+        // gate and the pacing clock (a re-send is not a fresh arrival),
+        // while fresh emits stay throttled by the shrunken window.
+        if self.replay_enabled {
+            if let Some((attempt, carried)) = self.tasks[i].replay_queue.pop_front() {
+                self.totals.roots_replayed += 1;
+                self.emit_root(i, attempt, carried);
+                return;
+            }
+        }
         if self.tasks[i].credits == 0 {
             self.tasks[i].waiting_for_credit = true;
             return;
@@ -693,6 +727,20 @@ impl Engine {
             self.tasks[i].next_emit_ms = base + interval;
         }
         self.tasks[i].credits -= 1;
+        if self.replay_enabled {
+            self.totals.roots_emitted += 1;
+            self.live_logical += 1;
+        }
+        self.emit_root(i, 0, 0);
+    }
+
+    /// Emits one root batch from spout `i` — attempt 0 for a fresh
+    /// emission, attempt n with the carried `lost_tuples` tally for a
+    /// replay. The caller has already settled admission (credit, pacing);
+    /// the operation order below is the legacy `try_spout` tail, bit-for-bit.
+    fn emit_root(&mut self, i: usize, attempt: u32, lost_tuples: u64) {
+        let now = self.queue.now();
+        let spec = self.statics[i];
         let deadline = now + self.config.tuple_timeout_ms;
         let root = self.roots.insert(RootState {
             pending: 1,
@@ -701,6 +749,8 @@ impl Engine {
             spout: i as u32,
             failed: false,
             lost: 0,
+            attempt,
+            lost_tuples,
         });
         let (key, seq) = self.queue.alloc_slot(deadline);
         debug_assert!(
@@ -894,6 +944,14 @@ impl Engine {
         if !failed {
             self.totals.roots_completed += 1;
             self.latency.record(self.queue.now() - born);
+            if self.replay_enabled {
+                // The logical root settles as acked. Any `lost_tuples`
+                // carried from prior attempts die here uncharged: the
+                // replay retransmitted that data, so nothing was lost
+                // (an attempt with its own crash-lost batch can never
+                // ack — only a later attempt can).
+                self.live_logical -= 1;
+            }
             self.return_credit(spout);
         }
     }
@@ -907,6 +965,8 @@ impl Engine {
         }
         state.failed = true;
         let spout = state.spout as usize;
+        let attempt = state.attempt;
+        let carried = state.lost_tuples;
         // Pending slots held by crash-lost batches can never be released
         // by processing (the batches no longer exist); the timeout drains
         // them so the slab slot is reclaimed. A live root always has
@@ -919,9 +979,36 @@ impl Engine {
             self.roots.remove(root);
         }
         self.totals.roots_timed_out += 1;
-        // Storm replays the tuple: the credit returns to the spout even
-        // though stale descendants may still be in flight.
-        self.return_credit(spout);
+        if !self.replay_enabled {
+            // Legacy at-most-once mode: the tuple is dropped and the
+            // credit returns to the spout even though stale descendants
+            // may still be in flight.
+            self.return_credit(spout);
+            return;
+        }
+        if attempt < self.config.max_replays {
+            // At-least-once: queue the root on its spout's replay buffer.
+            // The credit is NOT returned — the logical root keeps the one
+            // it took at first emission until it acks or quarantines, so
+            // replay pressure flows through the `max_spout_pending`
+            // window instead of amplifying the emit rate.
+            self.tasks[spout]
+                .replay_queue
+                .push_back((attempt + 1, carried));
+            let now = self.queue.now();
+            // Safe no-op if the spout is busy or its node is down; the
+            // spout's WorkDone / node recovery re-kick it then.
+            self.queue.schedule(now, FastEv::try_spout(spout));
+        } else {
+            // Retry budget exhausted: quarantine the poison tuple. Only
+            // now do the crash-destroyed tuples of every attempt count as
+            // lost — no replay will retransmit them.
+            self.totals.roots_quarantined += 1;
+            self.totals.tuples_quarantined += u64::from(self.config.batch_tuples);
+            self.totals.tuples_lost += carried;
+            self.live_logical -= 1;
+            self.return_credit(spout);
+        }
     }
 
     fn return_credit(&mut self, spout: usize) {
@@ -1100,7 +1187,15 @@ impl Engine {
         match self.roots.get_mut(batch.root) {
             Some(root) if !root.failed => {
                 root.lost += 1;
-                self.totals.tuples_lost += u64::from(batch.tuples);
+                if self.replay_enabled {
+                    // Defer the loss to the root's settlement: a replayed
+                    // -then-acked root retransmitted this data, so
+                    // charging `tuples_lost` here would double-count it
+                    // as both lost and processed. Quarantine charges it.
+                    root.lost_tuples += u64::from(batch.tuples);
+                } else {
+                    self.totals.tuples_lost += u64::from(batch.tuples);
+                }
             }
             _ => {
                 self.totals.batches_dropped += 1;
@@ -1111,7 +1206,25 @@ impl Engine {
 
     // ---- reporting ------------------------------------------------------
 
-    fn report(self) -> SimReport {
+    fn report(mut self) -> SimReport {
+        if self.replay_enabled {
+            self.totals.roots_in_flight = self.live_logical;
+            #[cfg(debug_assertions)]
+            {
+                let queued: u64 = self.tasks.iter().map(|t| t.replay_queue.len() as u64).sum();
+                debug_assert_eq!(
+                    self.live_logical,
+                    self.roots.unfailed_live() + queued,
+                    "every un-settled logical root is exactly one live \
+                     attempt or one replay-buffer entry"
+                );
+                debug_assert_eq!(
+                    self.totals.roots_emitted,
+                    self.totals.roots_completed + self.totals.roots_quarantined + self.live_logical,
+                    "drain invariant: emitted == acked + quarantined + in_flight"
+                );
+            }
+        }
         let elapsed = self.config.sim_time_ms;
         let mut tracker = CpuUtilizationTracker::new();
         for (i, cpu) in self.cpus.iter().enumerate() {
@@ -1891,5 +2004,188 @@ mod tests {
         assert_eq!(plain, report);
         // Even the event count matches: an empty plan schedules nothing.
         assert_eq!(plain.debug.events, report.debug.events);
+    }
+
+    // ---- guaranteed processing (spout replay) -------------------------
+
+    fn run_replay(
+        topology: &Topology,
+        cluster: &Cluster,
+        assignment: &Assignment,
+        plan: FaultPlan,
+        max_replays: u32,
+    ) -> SimReport {
+        let mut sim = Simulation::new(
+            cluster.clone(),
+            SimConfig::quick().with_max_replays(max_replays),
+        );
+        sim.add_topology(topology, assignment);
+        sim.set_fault_plan(plan);
+        sim.run()
+    }
+
+    #[test]
+    fn replay_mode_only_adds_counters_on_a_healthy_run() {
+        // Without faults nothing ever fails, so enabling replay must not
+        // change the physics — every legacy observable matches the
+        // replay-disabled run; only the new admission counters appear.
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let off = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let on = run_replay(&t, &cluster, &a, FaultPlan::new(), 3);
+        assert_eq!(off.throughput, on.throughput);
+        assert_eq!(off.latency_ms, on.latency_ms);
+        assert_eq!(off.inter_rack_mb, on.inter_rack_mb);
+        assert_eq!(off.totals.spout_batches, on.totals.spout_batches);
+        assert_eq!(off.totals.roots_completed, on.totals.roots_completed);
+        assert_eq!(off.totals.tuples_completed, on.totals.tuples_completed);
+        assert_eq!(on.totals.roots_replayed, 0);
+        assert_eq!(on.totals.roots_quarantined, 0);
+        assert!(on.totals.roots_emitted > 0, "admissions are now counted");
+        assert_eq!(on.zero_loss_ratio(), 1.0);
+        // The disabled run keeps every replay counter at zero.
+        assert_eq!(off.totals.roots_emitted, 0);
+        assert_eq!(off.zero_loss_ratio(), 1.0, "vacuous without admissions");
+    }
+
+    #[test]
+    fn replay_recovers_every_root_of_a_survivable_crash() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let plan = FaultPlan::new()
+            .crash_node(20_000.0, &victim)
+            .recover_node(25_000.0, &victim);
+        let dropped = run_faulted(&t, &cluster, &a, plan.clone());
+        assert!(dropped.totals.tuples_lost > 0, "the outage destroys work");
+
+        let replayed = run_replay(&t, &cluster, &a, plan, 8);
+        assert!(replayed.totals.roots_replayed > 0, "failed roots re-emit");
+        assert_eq!(
+            replayed.totals.roots_quarantined, 0,
+            "a healed outage never exhausts an 8-replay budget"
+        );
+        assert_eq!(replayed.tuples_quarantined(), 0);
+        assert_eq!(
+            replayed.totals.tuples_lost, 0,
+            "replayed-then-acked roots retransmitted their lost tuples"
+        );
+        assert_eq!(replayed.zero_loss_ratio(), 1.0);
+        // The drain invariant the engine debug-asserts, re-checked here
+        // in release builds too: emitted == acked + quarantined + in_flight.
+        let tot = &replayed.totals;
+        assert_eq!(
+            tot.roots_emitted,
+            tot.roots_completed + tot.roots_quarantined + tot.roots_in_flight
+        );
+    }
+
+    /// Places every task of `spout_component` on node 0 and everything
+    /// else on node 1 — a hand-built split so a test can kill the bolt
+    /// side while the spouts keep running.
+    fn split_assignment(t: &Topology, cluster: &Cluster, spout_component: &str) -> Assignment {
+        let spout_node = cluster.nodes()[0].id().as_str().to_owned();
+        let bolt_node = cluster.nodes()[1].id().as_str().to_owned();
+        let task_set = t.task_set();
+        let spouts: std::collections::BTreeSet<_> =
+            task_set.tasks_of(spout_component).iter().copied().collect();
+        let slots = task_set
+            .tasks()
+            .iter()
+            .map(|task| {
+                let node = if spouts.contains(&task.id) {
+                    spout_node.as_str()
+                } else {
+                    bolt_node.as_str()
+                };
+                (task.id, WorkerSlot::new(node, 6700))
+            })
+            .collect();
+        Assignment::new(t.id().clone(), slots)
+    }
+
+    #[test]
+    fn replay_budget_exhaustion_quarantines_poison_roots() {
+        // Spread the stages so a mid-pipeline node can die while the
+        // spouts stay alive: their replays then keep re-failing until the
+        // budget runs out and the roots quarantine.
+        let cluster = emulab(1, 2);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = split_assignment(&t, &cluster, "c0");
+        let victim = cluster.nodes()[1].id().as_str().to_owned();
+        let mut config = SimConfig::quick().with_max_replays(1);
+        config.tuple_timeout_ms = 5_000.0; // fail fast enough to exhaust
+        let mut sim = Simulation::new(cluster.clone(), config);
+        sim.add_topology(&t, &a);
+        sim.set_fault_plan(FaultPlan::new().crash_node(10_000.0, &victim));
+        let report = sim.run();
+        assert!(
+            report.totals.roots_quarantined > 0,
+            "an unhealed outage defeats a 1-replay budget: {:?}",
+            report.totals
+        );
+        assert!(report.tuples_quarantined() > 0);
+        assert!(report.zero_loss_ratio() < 1.0);
+        let tot = &report.totals;
+        assert_eq!(
+            tot.roots_emitted,
+            tot.roots_completed + tot.roots_quarantined + tot.roots_in_flight
+        );
+    }
+
+    #[test]
+    fn replays_ride_the_spout_pending_window() {
+        // Backpressure, not amplification: replays spend the credit the
+        // root took at first emission, so in-flight logical roots — fresh
+        // and replayed together — never exceed max_pending per spout,
+        // even while a dead sink fails every tree.
+        let cluster = emulab(1, 2);
+        let mut b = TopologyBuilder::new("bp");
+        b.set_spout("src", 1)
+            .set_profile(ExecutionProfile::new(0.01, 1.0, 100))
+            .set_memory_load(64.0);
+        b.set_bolt("sink", 1)
+            .shuffle_grouping("src")
+            .set_profile(ExecutionProfile::new(0.05, 0.0, 100).into_sink())
+            .set_memory_load(64.0);
+        let t = b.build().unwrap();
+        let a = split_assignment(&t, &cluster, "src");
+        let sink_node = cluster.nodes()[1].id().as_str().to_owned();
+        let mut config = SimConfig::quick().with_max_replays(3);
+        config.max_pending = 10;
+        config.tuple_timeout_ms = 2_000.0;
+        let mut sim = Simulation::new(cluster.clone(), config);
+        sim.add_topology(&t, &a);
+        sim.set_fault_plan(FaultPlan::new().crash_node(5_000.0, &sink_node));
+        let report = sim.run();
+        let tot = &report.totals;
+        assert!(tot.roots_replayed > 0, "the dead sink forces replays");
+        assert!(
+            tot.roots_emitted <= tot.roots_completed + tot.roots_quarantined + 10,
+            "fresh admissions stall until replays settle: {tot:?}"
+        );
+        assert_eq!(
+            tot.roots_emitted,
+            tot.roots_completed + tot.roots_quarantined + tot.roots_in_flight
+        );
+        assert!(tot.roots_in_flight <= 10, "window bounds in-flight roots");
+    }
+
+    #[test]
+    fn replay_runs_are_deterministic() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let plan = FaultPlan::new()
+            .crash_node(20_000.0, &victim)
+            .recover_node(25_000.0, &victim);
+        let r1 = run_replay(&t, &cluster, &a, plan.clone(), 4);
+        let r2 = run_replay(&t, &cluster, &a, plan, 4);
+        assert_eq!(r1, r2, "same plan, same seed, same bits");
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert!(r1.to_json().contains("\"roots_replayed\""));
     }
 }

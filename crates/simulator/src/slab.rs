@@ -31,6 +31,14 @@ pub(crate) struct RootState {
     /// crash. They can never be released by processing; the timeout
     /// drains them (see the engine's `root_timeout`).
     pub lost: u32,
+    /// Replay attempt number: 0 for a fresh emission, n for the n-th
+    /// spout re-emission of this logical root (replay mode only).
+    pub attempt: u32,
+    /// Tuples destroyed by crashes across this attempt and all prior
+    /// attempts of the same logical root. Charged to `tuples_lost` only
+    /// if the root quarantines — a replayed-then-acked root retransmitted
+    /// the data, so nothing was lost (replay mode only).
+    pub lost_tuples: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -110,6 +118,17 @@ impl RootSlab {
         self.free.push(idx as u32);
         self.live -= 1;
     }
+
+    /// Number of live roots whose tuple timeout has not fired — the
+    /// attempts that can still ack. Used by the replay plane's drain
+    /// invariant; O(slots), debug-assert use only.
+    #[cfg(debug_assertions)]
+    pub fn unfailed_live(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.occupied && !s.state.failed)
+            .count() as u64
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +143,22 @@ mod tests {
             spout,
             failed: false,
             lost: 0,
+            attempt: 0,
+            lost_tuples: 0,
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn unfailed_live_skips_timed_out_roots() {
+        let mut slab = RootSlab::new();
+        let a = slab.insert(root(0));
+        let _b = slab.insert(root(1));
+        assert_eq!(slab.unfailed_live(), 2);
+        slab.get_mut(a).unwrap().failed = true;
+        assert_eq!(slab.unfailed_live(), 1);
+        slab.remove(a);
+        assert_eq!(slab.unfailed_live(), 1);
     }
 
     #[test]
