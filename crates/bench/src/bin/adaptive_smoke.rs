@@ -22,11 +22,10 @@
 //!
 //! Run with `cargo run --release -p rstorm-bench --bin adaptive_smoke`.
 
+use rstorm_bench::harness::BenchReport;
 use rstorm_sim::{run_adaptive_rebalance, AdaptiveConfig};
 use rstorm_workloads::cases::{drifted_cases, WorkloadCase};
-use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
 
 struct CaseResult {
     name: String,
@@ -92,39 +91,31 @@ fn run_case(case: &WorkloadCase) -> CaseResult {
     }
 }
 
-fn write_json(results: &[CaseResult]) -> String {
-    let mut out = String::from(
-        "{\n  \"benchmark\": \"adaptive rebalance vs static placement (quick sim)\",\n  \
-         \"unit\": \"tuples\",\n  \"cases\": [\n",
-    );
-    for (i, r) in results.iter().enumerate() {
-        let speedup = r.adaptive_net as f64 / r.static_net as f64;
-        write!(
-            out,
-            "    {{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
-             \"drifted_components\": {}, \"plan_moves\": {}, \"reschedule_moves\": {}, \
-             \"static_net\": {}, \"adaptive_net\": {}, \"rescheduled_net\": {}, \
-             \"speedup_vs_reference\": {speedup:.2}}}",
-            r.name,
-            r.tasks,
-            r.nodes,
-            r.sim_ms,
-            r.drifted_components,
-            r.plan_moves,
-            r.reschedule_moves,
-            r.static_net,
-            r.adaptive_net,
-            r.rescheduled_net
-        )
-        .unwrap();
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn json_line(r: &CaseResult) -> String {
+    let speedup = r.adaptive_net as f64 / r.static_net as f64;
+    format!(
+        "{{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
+         \"drifted_components\": {}, \"plan_moves\": {}, \"reschedule_moves\": {}, \
+         \"static_net\": {}, \"adaptive_net\": {}, \"rescheduled_net\": {}, \
+         \"speedup_vs_reference\": {speedup:.2}}}",
+        r.name,
+        r.tasks,
+        r.nodes,
+        r.sim_ms,
+        r.drifted_components,
+        r.plan_moves,
+        r.reschedule_moves,
+        r.static_net,
+        r.adaptive_net,
+        r.rescheduled_net
+    )
 }
 
 fn main() {
-    let started = Instant::now();
+    let mut report = BenchReport::new(
+        "adaptive rebalance vs static placement (quick sim)",
+        "tuples",
+    );
     let results: Vec<CaseResult> = drifted_cases().iter().map(run_case).collect();
 
     println!(
@@ -156,11 +147,8 @@ fn main() {
         );
     }
 
-    let json = write_json(&results);
-    std::fs::write("BENCH_adaptive.json", &json).expect("write BENCH_adaptive.json");
-    println!(
-        "\nwrote BENCH_adaptive.json ({} cases) in {:.1} s",
-        results.len(),
-        started.elapsed().as_secs_f64()
-    );
+    for r in &results {
+        report.push_case(json_line(r));
+    }
+    report.write("BENCH_adaptive.json");
 }

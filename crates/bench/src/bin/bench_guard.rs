@@ -8,45 +8,48 @@
 //! `BENCH_GUARD_MIN` environment variable (e.g. `BENCH_GUARD_MIN=1.2`
 //! to demand a 20% margin, or `0.9` to tolerate noisy shared runners).
 //!
-//! Cases that report a `zero_loss_ratio` (the replay smoke) are
-//! additionally held to exactly 1.0: guaranteed processing is a
-//! correctness property, not a performance number, so no environment
-//! variable can relax it.
+//! Cases that report a `zero_loss_ratio` (the replay smoke and every
+//! survivable sweep group) are additionally held to exactly 1.0:
+//! guaranteed processing is a correctness property, not a performance
+//! number, so no environment variable can relax it. Sweep groups carry
+//! no speedup — only the sweep's `sweep/parallel_speedup` case does,
+//! and the shared threshold enforces "parallel at least as fast as
+//! serial" on it.
 //!
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
-//! `adaptive_smoke`, `replay_smoke`)
+//! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
 //!
-//! Run after `perf_smoke`, `sim_smoke`, `chaos_smoke`, `adaptive_smoke`
-//! and `replay_smoke` have refreshed the files:
+//! Run after the smoke binaries have refreshed the files:
 //!
 //! ```text
 //! cargo run --release -p rstorm-bench --bin bench_guard
 //! ```
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
-//! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json` and
-//! `BENCH_replay.json` in the current directory. A
-//! missing file that has no matching smoke binary is an error — the
+//! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json`,
+//! `BENCH_replay.json` and `BENCH_sweep.json` in the current directory.
+//! A missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
 use std::process::{Command, ExitCode};
 
-/// One `speedup_vs_reference` reading and the case it belongs to. Replay
-/// cases also carry their `zero_loss_ratio`.
+/// One gated case: its `speedup_vs_reference` (absent on sweep group
+/// lines, which are pure correctness gates) and its `zero_loss_ratio`
+/// (present on replay cases and survivable sweep groups).
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
-    speedup: f64,
+    speedup: Option<f64>,
     zero_loss_ratio: Option<f64>,
 }
 
-/// Extracts every `speedup_vs_reference` from a `BENCH_*.json` document,
-/// paired with the nearest preceding `"name"` value and, when present on
-/// the same line, the case's `zero_loss_ratio`.
+/// Extracts every gated case from a `BENCH_*.json` document: any line
+/// carrying a `speedup_vs_reference` and/or a `zero_loss_ratio`, paired
+/// with the line's `"name"` value.
 ///
 /// The bench files are written by our own smoke binaries with one case
 /// object per line, so a line-oriented scan is exact for them — and
@@ -54,19 +57,20 @@ struct Reading {
 fn extract_speedups(json: &str) -> Vec<Reading> {
     let mut readings = Vec::new();
     for line in json.lines() {
-        let Some(speedup) = field(line, "\"speedup_vs_reference\":") else {
-            continue;
-        };
-        let case = field_str(line, "\"name\":")
-            .unwrap_or("<unnamed>")
-            .to_owned();
-        let speedup = speedup
-            .parse::<f64>()
-            .unwrap_or_else(|e| panic!("bad speedup_vs_reference {speedup:?}: {e}"));
+        let speedup = field(line, "\"speedup_vs_reference\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad speedup_vs_reference {raw:?}: {e}"))
+        });
         let zero_loss_ratio = field(line, "\"zero_loss_ratio\":").map(|raw| {
             raw.parse::<f64>()
                 .unwrap_or_else(|e| panic!("bad zero_loss_ratio {raw:?}: {e}"))
         });
+        if speedup.is_none() && zero_loss_ratio.is_none() {
+            continue;
+        }
+        let case = field_str(line, "\"name\":")
+            .unwrap_or("<unnamed>")
+            .to_owned();
         readings.push(Reading {
             case,
             speedup,
@@ -115,6 +119,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("adaptive_smoke")
     } else if path.ends_with("BENCH_replay.json") {
         Some("replay_smoke")
+    } else if path.ends_with("BENCH_sweep.json") {
+        Some("sweep_smoke")
     } else {
         None
     }
@@ -151,18 +157,22 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         let verdict = if lossy {
             failures += 1;
             "TUPLE LOSS"
-        } else if r.speedup < min {
+        } else if r.speedup.is_some_and(|s| s < min) {
             failures += 1;
             "REGRESSION"
         } else {
             "ok"
         };
+        let speedup = match r.speedup {
+            Some(s) => format!("{s:>6.2}x"),
+            None => format!("{:>7}", "-"),
+        };
         match r.zero_loss_ratio {
             Some(z) => println!(
-                "{path}: {:<32} {:>6.2}x  zero_loss {z:.3}  {verdict}",
-                r.case, r.speedup
+                "{path}: {:<40} {speedup}  zero_loss {z:.3}  {verdict}",
+                r.case
             ),
-            None => println!("{path}: {:<32} {:>6.2}x  {verdict}", r.case, r.speedup),
+            None => println!("{path}: {:<40} {speedup}  {verdict}", r.case),
         }
     }
     if failures > 0 {
@@ -183,6 +193,7 @@ fn main() -> ExitCode {
             "BENCH_chaos.json",
             "BENCH_adaptive.json",
             "BENCH_replay.json",
+            "BENCH_sweep.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -235,12 +246,12 @@ mod tests {
             vec![
                 Reading {
                     case: "a".into(),
-                    speedup: 2.5,
+                    speedup: Some(2.5),
                     zero_loss_ratio: None
                 },
                 Reading {
                     case: "b".into(),
-                    speedup: 0.91,
+                    speedup: Some(0.91),
                     zero_loss_ratio: None
                 },
             ]
@@ -260,7 +271,7 @@ mod tests {
         let readings = extract_speedups(line);
         assert_eq!(readings.len(), 1);
         assert_eq!(readings[0].case, "schedule/40t_12n");
-        assert!((readings[0].speedup - 1.76).abs() < 1e-9);
+        assert!((readings[0].speedup.unwrap() - 1.76).abs() < 1e-9);
     }
 
     #[test]
@@ -270,7 +281,7 @@ mod tests {
         let readings = extract_speedups(line);
         assert_eq!(readings.len(), 1);
         assert_eq!(readings[0].case, "page_load");
-        assert!((readings[0].speedup - 5.77).abs() < 1e-9);
+        assert!((readings[0].speedup.unwrap() - 5.77).abs() < 1e-9);
     }
 
     #[test]
@@ -280,8 +291,36 @@ mod tests {
         let readings = extract_speedups(line);
         assert_eq!(readings.len(), 1);
         assert_eq!(readings[0].case, "page_load");
-        assert!((readings[0].speedup - 6.02).abs() < 1e-9);
+        assert!((readings[0].speedup.unwrap() - 6.02).abs() < 1e-9);
         assert_eq!(readings[0].zero_loss_ratio, Some(1.0));
+    }
+
+    #[test]
+    fn real_bench_sweep_shapes_parse() {
+        // The exact line shapes sweep_smoke writes: one speedup case,
+        // then one correctness-only line per group (no speedup, and
+        // `zero_loss_ratio` only on survivable groups).
+        let json = r#"    {"name": "sweep/parallel_speedup", "jobs": 64, "workers": 8, "serial_ns": 8000000000, "parallel_ns": 1100000000, "speedup_vs_reference": 7.27},
+    {"name": "linear_net/rstorm/crash_recover", "seeds": 8, "survivable": true, "net_mean": 1234.5, "net_stdev": 6.7, "detect_p50_ms": 2000.0, "detect_p90_ms": 2000.0, "detect_p99_ms": 2000.0, "recover_p50_ms": 2000.0, "recover_p90_ms": 2000.0, "recover_p99_ms": 2000.0, "lost_hist": [0, 8, 0, 0, 0, 0, 0, 0], "zero_loss_ratio": 1.0},
+    {"name": "linear_net/rstorm/crash_lasting", "seeds": 8, "survivable": false, "net_mean": 900.0, "net_stdev": 12.0, "detect_p50_ms": 2000.0, "detect_p90_ms": 2000.0, "detect_p99_ms": 2000.0, "recover_p50_ms": -1.0, "recover_p90_ms": -1.0, "recover_p99_ms": -1.0, "lost_hist": [0, 0, 8, 0, 0, 0, 0, 0]}"#;
+        let readings = extract_speedups(json);
+        assert_eq!(readings.len(), 2, "the unsurvivable group line is ungated");
+        assert_eq!(
+            readings[0],
+            Reading {
+                case: "sweep/parallel_speedup".into(),
+                speedup: Some(7.27),
+                zero_loss_ratio: None
+            }
+        );
+        assert_eq!(
+            readings[1],
+            Reading {
+                case: "linear_net/rstorm/crash_recover".into(),
+                speedup: None,
+                zero_loss_ratio: Some(1.0)
+            }
+        );
     }
 
     #[test]
@@ -292,6 +331,7 @@ mod tests {
             "BENCH_chaos.json",
             "BENCH_adaptive.json",
             "BENCH_replay.json",
+            "BENCH_sweep.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }

@@ -21,33 +21,15 @@
 //!
 //! Run with `cargo run --release -p rstorm-bench --bin chaos_smoke`.
 
+use rstorm_bench::harness::{median_ns, BenchReport};
 use rstorm_bench::schedule_fresh;
 use rstorm_core::{verify_plan, RStormScheduler, RecoveryConfig};
 use rstorm_sim::{
     run_crash_recover, ChaosConfig, FaultPlan, ReferenceSimulation, SimConfig, Simulation,
 };
 use rstorm_workloads::cases::{fig8_cases, yahoo_cases, WorkloadCase};
-use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// Median wall time of `timed` with untimed per-sample `setup`; at least
-/// 3 samples, up to 50, until `budget` is spent.
-fn median_ns<T>(mut setup: impl FnMut() -> T, mut timed: impl FnMut(T), budget: Duration) -> u64 {
-    const MIN_ITERS: usize = 3;
-    const MAX_ITERS: usize = 50;
-    timed(setup());
-    let mut samples = Vec::new();
-    let started = Instant::now();
-    while samples.len() < MAX_ITERS && (samples.len() < MIN_ITERS || started.elapsed() < budget) {
-        let input = setup();
-        let t0 = Instant::now();
-        timed(input);
-        samples.push(t0.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
+use std::time::Duration;
 
 struct CaseResult {
     name: String,
@@ -159,43 +141,32 @@ fn sim_plan(cfg: &ChaosConfig, time_to_detect_ms: f64) -> FaultPlan {
     plan
 }
 
-fn write_json(results: &[CaseResult]) -> String {
-    let mut out = String::from(
-        "{\n  \"benchmark\": \"crash-then-recover chaos scenario (quick sim)\",\n  \
-         \"unit\": \"ns\",\n  \"cases\": [\n",
-    );
-    for (i, r) in results.iter().enumerate() {
-        let speedup = r.reference_ns as f64 / r.fast_ns as f64;
-        write!(
-            out,
-            "    {{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
-             \"crash_at_ms\": {:.0}, \"time_to_detect_ms\": {:.0}, \
-             \"time_to_recover_ms\": {:.0}, \"tuples_lost\": {}, \
-             \"throughput_dip_depth\": {:.3}, \"reschedule_attempts\": {}, \
-             \"fast_ns\": {}, \"reference_ns\": {}, \"speedup_vs_reference\": {speedup:.2}}}",
-            r.name,
-            r.tasks,
-            r.nodes,
-            r.sim_ms,
-            r.crash_at_ms,
-            r.time_to_detect_ms,
-            r.time_to_recover_ms,
-            r.tuples_lost,
-            r.throughput_dip_depth,
-            r.reschedule_attempts,
-            r.fast_ns,
-            r.reference_ns
-        )
-        .unwrap();
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn json_line(r: &CaseResult) -> String {
+    let speedup = r.reference_ns as f64 / r.fast_ns as f64;
+    format!(
+        "{{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
+         \"crash_at_ms\": {:.0}, \"time_to_detect_ms\": {:.0}, \
+         \"time_to_recover_ms\": {:.0}, \"tuples_lost\": {}, \
+         \"throughput_dip_depth\": {:.3}, \"reschedule_attempts\": {}, \
+         \"fast_ns\": {}, \"reference_ns\": {}, \"speedup_vs_reference\": {speedup:.2}}}",
+        r.name,
+        r.tasks,
+        r.nodes,
+        r.sim_ms,
+        r.crash_at_ms,
+        r.time_to_detect_ms,
+        r.time_to_recover_ms,
+        r.tuples_lost,
+        r.throughput_dip_depth,
+        r.reschedule_attempts,
+        r.fast_ns,
+        r.reference_ns
+    )
 }
 
 fn main() {
     let budget = Duration::from_millis(900);
-    let started = Instant::now();
+    let mut report = BenchReport::new("crash-then-recover chaos scenario (quick sim)", "ns");
 
     let mut results = Vec::new();
     let linear = fig8_cases()
@@ -241,11 +212,8 @@ fn main() {
         );
     }
 
-    let json = write_json(&results);
-    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
-    println!(
-        "\nwrote BENCH_chaos.json ({} cases) in {:.1} s",
-        results.len(),
-        started.elapsed().as_secs_f64()
-    );
+    for r in &results {
+        report.push_case(json_line(r));
+    }
+    report.write("BENCH_chaos.json");
 }

@@ -28,35 +28,17 @@
 //!
 //! Run with `cargo run --release -p rstorm-bench --bin replay_smoke`.
 
+use rstorm_bench::harness::{median_ns, BenchReport};
 use rstorm_bench::schedule_fresh;
 use rstorm_core::RStormScheduler;
 use rstorm_sim::{FaultPlan, ReferenceSimulation, SimConfig, Simulation};
 use rstorm_workloads::cases::{fig8_cases, yahoo_cases, WorkloadCase};
-use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const MAX_REPLAYS: u32 = 8;
 const CRASH_AT_MS: f64 = 20_000.0;
 const RECOVER_AT_MS: f64 = 35_000.0;
-
-/// Median wall time of `timed` with untimed per-sample `setup`; at least
-/// 3 samples, up to 50, until `budget` is spent.
-fn median_ns<T>(mut setup: impl FnMut() -> T, mut timed: impl FnMut(T), budget: Duration) -> u64 {
-    const MIN_ITERS: usize = 3;
-    const MAX_ITERS: usize = 50;
-    timed(setup());
-    let mut samples = Vec::new();
-    let started = Instant::now();
-    while samples.len() < MAX_ITERS && (samples.len() < MIN_ITERS || started.elapsed() < budget) {
-        let input = setup();
-        let t0 = Instant::now();
-        timed(input);
-        samples.push(t0.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
 
 struct CaseResult {
     name: String,
@@ -164,41 +146,30 @@ fn run_case(case: &WorkloadCase, budget: Duration) -> CaseResult {
     }
 }
 
-fn write_json(results: &[CaseResult]) -> String {
-    let mut out = String::from(
-        "{\n  \"benchmark\": \"spout replay under crash-then-recover (quick sim)\",\n  \
-         \"unit\": \"ns\",\n  \"cases\": [\n",
-    );
-    for (i, r) in results.iter().enumerate() {
-        let speedup = r.reference_ns as f64 / r.fast_ns as f64;
-        write!(
-            out,
-            "    {{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
-             \"max_replays\": {}, \"roots_emitted\": {}, \"roots_replayed\": {}, \
-             \"tuples_quarantined\": {}, \"zero_loss_ratio\": {:.3}, \
-             \"fast_ns\": {}, \"reference_ns\": {}, \"speedup_vs_reference\": {speedup:.2}}}",
-            r.name,
-            r.tasks,
-            r.nodes,
-            r.sim_ms,
-            r.max_replays,
-            r.roots_emitted,
-            r.roots_replayed,
-            r.tuples_quarantined,
-            r.zero_loss_ratio,
-            r.fast_ns,
-            r.reference_ns
-        )
-        .unwrap();
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn json_line(r: &CaseResult) -> String {
+    let speedup = r.reference_ns as f64 / r.fast_ns as f64;
+    format!(
+        "{{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
+         \"max_replays\": {}, \"roots_emitted\": {}, \"roots_replayed\": {}, \
+         \"tuples_quarantined\": {}, \"zero_loss_ratio\": {:.3}, \
+         \"fast_ns\": {}, \"reference_ns\": {}, \"speedup_vs_reference\": {speedup:.2}}}",
+        r.name,
+        r.tasks,
+        r.nodes,
+        r.sim_ms,
+        r.max_replays,
+        r.roots_emitted,
+        r.roots_replayed,
+        r.tuples_quarantined,
+        r.zero_loss_ratio,
+        r.fast_ns,
+        r.reference_ns
+    )
 }
 
 fn main() {
     let budget = Duration::from_millis(900);
-    let started = Instant::now();
+    let mut report = BenchReport::new("spout replay under crash-then-recover (quick sim)", "ns");
 
     let mut results = Vec::new();
     let linear = fig8_cases()
@@ -242,11 +213,8 @@ fn main() {
         );
     }
 
-    let json = write_json(&results);
-    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
-    println!(
-        "\nwrote BENCH_replay.json ({} cases) in {:.1} s",
-        results.len(),
-        started.elapsed().as_secs_f64()
-    );
+    for r in &results {
+        report.push_case(json_line(r));
+    }
+    report.write("BENCH_replay.json");
 }

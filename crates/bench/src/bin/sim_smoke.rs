@@ -13,37 +13,15 @@
 //!
 //! Run with `cargo run --release -p rstorm-bench --bin sim_smoke`.
 
+use rstorm_bench::harness::{median_ns, BenchReport};
 use rstorm_bench::schedule_fresh;
 use rstorm_cluster::Cluster;
 use rstorm_core::{Assignment, RStormScheduler};
 use rstorm_sim::{ReferenceSimulation, SimConfig, Simulation};
 use rstorm_topology::Topology;
 use rstorm_workloads::cases::{fig8_cases, yahoo_cases, WorkloadCase};
-use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// Median wall time of `timed`, with per-sample state built by `setup`
-/// outside the timed region. Runs at least `MIN_ITERS` samples and keeps
-/// sampling until `budget` is spent (whichever is later), capped at
-/// `MAX_ITERS`.
-fn median_ns<T>(mut setup: impl FnMut() -> T, mut timed: impl FnMut(T), budget: Duration) -> u64 {
-    const MIN_ITERS: usize = 3;
-    const MAX_ITERS: usize = 50;
-    // One untimed warmup to populate allocator caches and branch
-    // predictors.
-    timed(setup());
-    let mut samples = Vec::new();
-    let started = Instant::now();
-    while samples.len() < MAX_ITERS && (samples.len() < MIN_ITERS || started.elapsed() < budget) {
-        let input = setup();
-        let t0 = Instant::now();
-        timed(input);
-        samples.push(t0.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
+use std::time::Duration;
 
 struct CaseResult {
     name: String,
@@ -121,33 +99,22 @@ fn run_case(case: &WorkloadCase, config: &SimConfig, budget: Duration, suffix: &
     )
 }
 
-fn write_json(results: &[CaseResult]) -> String {
-    let mut out = String::from(
-        "{\n  \"benchmark\": \"simulation wall time (median per full run)\",\n  \
-         \"unit\": \"ns\",\n  \"cases\": [\n",
-    );
-    for (i, r) in results.iter().enumerate() {
-        let speedup = r.reference_ns as f64 / r.fast_ns as f64;
-        let ns_per_sim_s = r.fast_ns as f64 / (r.sim_ms / 1000.0);
-        write!(
-            out,
-            "    {{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
-             \"events\": {}, \"fast_ns\": {}, \"reference_ns\": {}, \
-             \"fast_ns_per_sim_second\": {:.0}, \"speedup_vs_reference\": {speedup:.2}}}",
-            r.name, r.tasks, r.nodes, r.sim_ms, r.events, r.fast_ns, r.reference_ns, ns_per_sim_s
-        )
-        .unwrap();
-        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+fn json_line(r: &CaseResult) -> String {
+    let speedup = r.reference_ns as f64 / r.fast_ns as f64;
+    let ns_per_sim_s = r.fast_ns as f64 / (r.sim_ms / 1000.0);
+    format!(
+        "{{\"name\": \"{}\", \"tasks\": {}, \"nodes\": {}, \"sim_ms\": {:.0}, \
+         \"events\": {}, \"fast_ns\": {}, \"reference_ns\": {}, \
+         \"fast_ns_per_sim_second\": {:.0}, \"speedup_vs_reference\": {speedup:.2}}}",
+        r.name, r.tasks, r.nodes, r.sim_ms, r.events, r.fast_ns, r.reference_ns, ns_per_sim_s
+    )
 }
 
 fn main() {
     // Per-engine-per-case sampling budget; 6 cases × 2 engines keeps the
     // whole run under ~30 s in release.
     let budget = Duration::from_millis(900);
-    let started = Instant::now();
+    let mut report = BenchReport::new("simulation wall time (median per full run)", "ns");
     let quick = SimConfig::quick();
     // One long-horizon case: steady state dominates, which is where the
     // pooled slab and precomputed routes pay off most.
@@ -188,11 +155,8 @@ fn main() {
         );
     }
 
-    let json = write_json(&results);
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!(
-        "\nwrote BENCH_sim.json ({} cases) in {:.1} s",
-        results.len(),
-        started.elapsed().as_secs_f64()
-    );
+    for r in &results {
+        report.push_case(json_line(r));
+    }
+    report.write("BENCH_sim.json");
 }

@@ -1,0 +1,121 @@
+//! Quick Monte-Carlo sweep-fleet smoke test.
+//!
+//! Runs the quick scenario grid (2 workloads × 2 schedulers ×
+//! healthy/crash-recover × 8 seeds, 60 s sims) twice — once on a single
+//! worker, once on `min(8, available cores)` workers — and writes the
+//! aggregated distributions plus the parallel speedup to
+//! `BENCH_sweep.json` in the current directory.
+//!
+//! Gates, before anything is written:
+//!
+//! * **Determinism under parallelism** — the aggregated JSON payload of
+//!   the two runs must be byte-identical: worker count must never leak
+//!   into results.
+//! * **Zero loss** — every group of the quick grid is survivable, so
+//!   every group must report `zero_loss_ratio == 1.0` across all seeds.
+//! * **Detection** — every crash group must have measured real detect
+//!   and recover latencies (no sentinel leaking into a crash group).
+//!
+//! The `sweep/parallel_speedup` case reports serial-vs-parallel wall
+//! time. On a single-core machine the pool degenerates to one worker
+//! both times, so the speedup is reported as exactly 1.0 (same
+//! configuration twice — measuring it would only report scheduler
+//! noise); `bench_guard` enforces ≥ 1.0 either way. On an 8-core runner
+//! the quick grid targets ≥ 6x.
+//!
+//! Run with `cargo run --release -p rstorm-bench --bin sweep_smoke`.
+
+use rstorm_bench::harness::BenchReport;
+use rstorm_sim::sweep::run_sweep;
+use rstorm_sim::SeedRange;
+use rstorm_workloads::sweep::quick_grid;
+
+/// Workers on the parallel side: all cores, capped at the 8 the
+/// acceptance target is quoted for.
+fn parallel_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn main() {
+    let mut report = BenchReport::new("Monte-Carlo scenario sweep (quick grid)", "ns");
+    let grid = quick_grid(SeedRange::new(0, 8).expect("0..8 is a valid range"));
+    let workers = parallel_workers();
+
+    let serial = run_sweep(&grid, 1);
+    let parallel = run_sweep(&grid, workers);
+
+    // Determinism gate: worker count must never leak into the payload.
+    let payload = serial.summary.to_json();
+    assert_eq!(
+        payload,
+        parallel.summary.to_json(),
+        "aggregated sweep payload differs between 1 and {} workers",
+        parallel.workers
+    );
+
+    // Zero-loss and detection gates over every group of the quick grid.
+    for g in &serial.summary.groups {
+        assert!(g.survivable, "the quick grid must stay survivable");
+        assert_eq!(
+            g.zero_loss_min, 1.0,
+            "{}: a survivable scenario lost settled roots",
+            g.name
+        );
+        if g.name.ends_with("/crash_recover") {
+            assert!(g.detect_ms.p99 > 0.0, "{}: crash undetected", g.name);
+            assert!(
+                g.recover_ms.p99 >= g.detect_ms.p50,
+                "{}: not fully re-placed",
+                g.name
+            );
+        }
+    }
+
+    let serial_ns = serial.wall.as_nanos() as u64;
+    let parallel_ns = parallel.wall.as_nanos() as u64;
+    // One worker on both sides is the same configuration twice; timing
+    // noise is not a speedup, so the degenerate case pins 1.0.
+    let speedup = if parallel.workers == 1 {
+        1.0
+    } else {
+        serial_ns as f64 / parallel_ns as f64
+    };
+
+    println!(
+        "{:<32} {:>6} {:>8} {:>12} {:>12} {:>9}",
+        "grid", "jobs", "workers", "serial", "parallel", "speedup"
+    );
+    println!(
+        "{:<32} {:>6} {:>8} {:>9.2} s {:>9.2} s {:>8.2}x",
+        "quick",
+        serial.summary.jobs,
+        parallel.workers,
+        serial_ns as f64 / 1e9,
+        parallel_ns as f64 / 1e9,
+        speedup
+    );
+    println!(
+        "\n{:<40} {:>9} {:>9} {:>10} {:>9}",
+        "group", "detect", "recover", "net", "zeroloss"
+    );
+    for g in &serial.summary.groups {
+        println!(
+            "{:<40} {:>7.0}ms {:>7.0}ms {:>10.0} {:>9.3}",
+            g.name, g.detect_ms.p50, g.recover_ms.p50, g.net_mean, g.zero_loss_min
+        );
+    }
+
+    report.push_case(format!(
+        "{{\"name\": \"sweep/parallel_speedup\", \"jobs\": {}, \"workers\": {}, \
+         \"serial_ns\": {serial_ns}, \"parallel_ns\": {parallel_ns}, \
+         \"speedup_vs_reference\": {speedup:.2}}}",
+        serial.summary.jobs, parallel.workers
+    ));
+    for g in &serial.summary.groups {
+        report.push_case(g.json_line());
+    }
+    report.write("BENCH_sweep.json");
+}

@@ -1,0 +1,152 @@
+//! Shared plumbing of the smoke benchmark binaries.
+//!
+//! Every smoke bin used to reimplement the same three pieces: a
+//! median-of-samples wall timer, the `BENCH_*.json` writer and the
+//! "wrote ... in ... s" footer. They live here once; each bin keeps only
+//! its scenario, its gates and its case-line schema.
+//!
+//! The JSON layout is load-bearing: `bench_guard` scans the files
+//! line-by-line (the workspace vendors no JSON parser), so the report is
+//! one header, one pretty-printed case object per line and one footer —
+//! [`BenchReport::to_json`] preserves that byte layout exactly.
+
+use std::time::{Duration, Instant};
+
+/// Median wall time of `timed`, with per-sample state built by `setup`
+/// outside the timed region. One untimed warmup populates allocator
+/// caches and branch predictors, then at least `MIN_ITERS` samples are
+/// taken and sampling continues until `budget` is spent (whichever is
+/// later), capped at `MAX_ITERS`.
+pub fn median_ns<T>(
+    mut setup: impl FnMut() -> T,
+    mut timed: impl FnMut(T),
+    budget: Duration,
+) -> u64 {
+    const MIN_ITERS: usize = 3;
+    const MAX_ITERS: usize = 50;
+    timed(setup());
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while samples.len() < MAX_ITERS && (samples.len() < MIN_ITERS || started.elapsed() < budget) {
+        let input = setup();
+        let t0 = Instant::now();
+        timed(input);
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A `BENCH_*.json` report under construction: a benchmark title, a unit
+/// and one pre-rendered JSON object line per case.
+#[derive(Debug)]
+pub struct BenchReport {
+    benchmark: String,
+    unit: String,
+    cases: Vec<String>,
+    started: Instant,
+}
+
+impl BenchReport {
+    /// Starts a report (and the wall clock the footer reports).
+    pub fn new(benchmark: impl Into<String>, unit: impl Into<String>) -> Self {
+        Self {
+            benchmark: benchmark.into(),
+            unit: unit.into(),
+            cases: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Appends one case, already rendered as a single-line JSON object
+    /// (`{"name": ..., ...}`).
+    pub fn push_case(&mut self, line: String) {
+        debug_assert!(
+            line.starts_with('{') && line.ends_with('}') && !line.contains('\n'),
+            "a case must be a one-line JSON object, got: {line}"
+        );
+        self.cases.push(line);
+    }
+
+    /// Number of cases pushed so far.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// True before the first case is pushed.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Renders the report in the layout `bench_guard` scans: header,
+    /// one indented case object per line, footer.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"unit\": \"{}\",\n  \"cases\": [\n",
+            self.benchmark, self.unit
+        );
+        for (i, line) in self.cases.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push_str(if i + 1 < self.cases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path` and prints the standard
+    /// `wrote <path> (<n> cases) in <t> s` footer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "\nwrote {path} ({} cases) in {:.1} s",
+            self.cases.len(),
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive_and_warms_up() {
+        let mut calls = 0u32;
+        let ns = median_ns(
+            || {
+                calls += 1;
+            },
+            |()| std::hint::black_box(()),
+            Duration::ZERO,
+        );
+        // Warmup + MIN_ITERS samples; the median of real timings is
+        // positive on any clock with ns resolution (0 allowed on coarse
+        // clocks, so only sanity-check the shape).
+        assert_eq!(calls, 4, "one warmup plus three samples at zero budget");
+        let _ = ns;
+    }
+
+    #[test]
+    fn report_layout_matches_the_guard_contract() {
+        let mut report = BenchReport::new("demo bench", "ns");
+        assert!(report.is_empty());
+        report.push_case("{\"name\": \"a\", \"speedup_vs_reference\": 2.00}".to_owned());
+        report.push_case("{\"name\": \"b\", \"speedup_vs_reference\": 1.50}".to_owned());
+        assert_eq!(report.len(), 2);
+        assert_eq!(
+            report.to_json(),
+            "{\n  \"benchmark\": \"demo bench\",\n  \"unit\": \"ns\",\n  \"cases\": [\n    \
+             {\"name\": \"a\", \"speedup_vs_reference\": 2.00},\n    \
+             {\"name\": \"b\", \"speedup_vs_reference\": 1.50}\n  ]\n}\n"
+        );
+    }
+}

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod harness;
+
 use rstorm_cluster::Cluster;
 use rstorm_core::schedulers::EvenScheduler;
 use rstorm_core::{GlobalState, RStormScheduler, Scheduler};

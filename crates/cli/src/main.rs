@@ -6,16 +6,17 @@
 //! rstorm schedule --topology topo.spec --cluster cluster.spec [--scheduler NAME]
 //! rstorm simulate --topology topo.spec --cluster cluster.spec [--duration-s N] [--seed N]
 //! rstorm compare  --topology topo.spec --cluster cluster.spec [--duration-s N]
+//! rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N] [--out FILE]
 //! rstorm example-specs
 //! ```
 
 use rstorm_cluster::Cluster;
-use rstorm_core::schedulers::{EvenScheduler, OfflineLinearizationScheduler, RandomScheduler};
-use rstorm_core::{verify_plan, GlobalState, RStormScheduler, Scheduler};
+use rstorm_core::schedulers::EvenScheduler;
+use rstorm_core::{schedulers, verify_plan, GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
 use rstorm_sim::{
-    run_adaptive_rebalance, run_crash_recover, AdaptiveConfig, ChaosConfig, SimConfig, SimReport,
-    Simulation,
+    run_adaptive_rebalance, run_crash_recover, run_sweep, AdaptiveConfig, ChaosConfig, SeedRange,
+    SimConfig, SimReport, Simulation,
 };
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
@@ -37,10 +38,13 @@ USAGE:
     rstorm rebalance --topology FILE --cluster FILE [--observe-s N]
                     [--rebalance-at-s N] [--pause-ms N] [--alpha X]
                     [--duration-s N] [--seed N]
+    rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N]
+                    [--out FILE]
     rstorm example-specs
 
 SCHEDULERS:
-    rstorm (default), default (Storm's round-robin), offline, random
+    rstorm (default), default (Storm's round-robin), offline, random,
+    exhaustive
 ";
 
 fn main() -> ExitCode {
@@ -66,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "compare" => compare_cmd(&parse_flags(&args[1..])?),
         "chaos" => chaos_cmd(&parse_flags(&args[1..])?),
         "rebalance" => rebalance_cmd(&parse_flags(&args[1..])?),
+        "sweep" => sweep_cmd(&parse_flags(&args[1..])?),
         "example-specs" => {
             print_example_specs();
             Ok(())
@@ -111,13 +116,13 @@ fn load_inputs(flags: &BTreeMap<String, String>) -> Result<(Topology, Cluster), 
 }
 
 fn make_scheduler(flags: &BTreeMap<String, String>) -> Result<Box<dyn Scheduler>, String> {
-    match flags.get("scheduler").map(String::as_str) {
-        None | Some("rstorm") => Ok(Box::new(RStormScheduler::new())),
-        Some("default") | Some("even") => Ok(Box::new(EvenScheduler::new())),
-        Some("offline") => Ok(Box::new(OfflineLinearizationScheduler::new())),
-        Some("random") => Ok(Box::new(RandomScheduler::default())),
-        Some(other) => Err(format!("unknown scheduler `{other}`")),
-    }
+    let name = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("rstorm");
+    let scheduler: Box<dyn Scheduler> =
+        schedulers::by_name(name).ok_or_else(|| format!("unknown scheduler `{name}`"))?;
+    Ok(scheduler)
 }
 
 fn sim_config(flags: &BTreeMap<String, String>) -> Result<SimConfig, String> {
@@ -472,6 +477,72 @@ fn rebalance_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the Monte-Carlo scenario sweep: a preset grid of (workload ×
+/// scheduler × fault × seed) runs fanned across a worker pool, with
+/// per-group distributions printed and, with `--out`, the deterministic
+/// aggregated JSON written to a file.
+fn sweep_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let seeds: SeedRange = match flags.get("seeds") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| format!("invalid --seeds `{raw}`: {e}"))?,
+        None => SeedRange::new(0, 8).expect("the default seed range is valid"),
+    };
+    let grid = match flags.get("grid").map(String::as_str) {
+        None | Some("quick") => rstorm_workloads::sweep::quick_grid(seeds),
+        Some("full") => rstorm_workloads::sweep::full_grid(seeds),
+        Some(other) => return Err(format!("unknown --grid `{other}` (expected quick or full)")),
+    };
+    let workers: usize = match flags.get("workers") {
+        Some(raw) => {
+            let n = raw
+                .parse()
+                .map_err(|_| format!("invalid --workers `{raw}`"))?;
+            if n == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            n
+        }
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+
+    println!(
+        "sweeping {} jobs ({} cases x {} schedulers x {} faults x {} seeds) on {} worker(s)...",
+        grid.job_count(),
+        grid.cases.len(),
+        grid.schedulers.len(),
+        grid.faults.len(),
+        seeds.len(),
+        workers
+    );
+    let out = run_sweep(&grid, workers);
+
+    println!(
+        "\n{:<40} {:>9} {:>9} {:>10} {:>8} {:>9}",
+        "group", "detect", "recover", "net", "±stdev", "zeroloss"
+    );
+    for g in &out.summary.groups {
+        println!(
+            "{:<40} {:>7.0}ms {:>7.0}ms {:>10.0} {:>8.0} {:>9.3}",
+            g.name, g.detect_ms.p50, g.recover_ms.p50, g.net_mean, g.net_stdev, g.zero_loss_min
+        );
+    }
+    println!(
+        "\n{} jobs on {} worker(s) in {:.2} s",
+        out.summary.jobs,
+        out.workers,
+        out.wall.as_secs_f64()
+    );
+
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, out.summary.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn print_example_specs() {
     println!("# ---- word-count.spec ----------------------------------");
     println!(
@@ -582,6 +653,34 @@ mod tests {
         let mut bad = flags.clone();
         bad.insert("alpha".into(), "3".into());
         assert!(rebalance_cmd(&bad).unwrap_err().contains("alpha"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_arguments_with_typed_errors() {
+        // Inverted and empty ranges surface the typed ParseRangeError
+        // message instead of panicking.
+        let mut flags = BTreeMap::new();
+        flags.insert("seeds".into(), "9..2".into());
+        let err = sweep_cmd(&flags).unwrap_err();
+        assert!(err.contains("no seeds"), "{err}");
+        flags.insert("seeds".into(), "5..5".into());
+        let err = sweep_cmd(&flags).unwrap_err();
+        assert!(err.contains("no seeds"), "{err}");
+        flags.insert("seeds".into(), "abc".into());
+        let err = sweep_cmd(&flags).unwrap_err();
+        assert!(err.contains("start..end"), "{err}");
+        flags.insert("seeds".into(), "0..x".into());
+        let err = sweep_cmd(&flags).unwrap_err();
+        assert!(err.contains("not a non-negative integer"), "{err}");
+
+        flags.insert("seeds".into(), "0..4".into());
+        flags.insert("grid".into(), "medium".into());
+        assert!(sweep_cmd(&flags).unwrap_err().contains("--grid"));
+        flags.insert("grid".into(), "quick".into());
+        flags.insert("workers".into(), "0".into());
+        assert!(sweep_cmd(&flags).unwrap_err().contains("--workers"));
+        flags.insert("workers".into(), "two".into());
+        assert!(sweep_cmd(&flags).unwrap_err().contains("--workers"));
     }
 
     #[test]

@@ -19,3 +19,48 @@ pub use even::EvenScheduler;
 pub use exhaustive::{placement_cost, ExhaustiveScheduler};
 pub use offline::OfflineLinearizationScheduler;
 pub use random::RandomScheduler;
+
+use crate::rstorm::RStormScheduler;
+use crate::Scheduler;
+
+/// The scheduler names [`by_name`] accepts, one per distinct scheduler
+/// (aliases not listed). Stable, so harnesses can enumerate the roster.
+pub const NAMES: &[&str] = &["rstorm", "even", "offline", "random", "exhaustive"];
+
+/// Constructs a scheduler from its configuration-file name, or `None`
+/// for an unknown name. `"default"` is an alias for `"even"` (Storm's
+/// stock round-robin scheduler). Every scheduler returned is `Send +
+/// Sync`, so sweep harnesses can resolve names inside worker threads or
+/// share one instance across them.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler + Send + Sync>> {
+    match name {
+        "rstorm" => Some(Box::new(RStormScheduler::new())),
+        "even" | "default" => Some(Box::new(EvenScheduler::new())),
+        "offline" => Some(Box::new(OfflineLinearizationScheduler::new())),
+        "random" => Some(Box::new(RandomScheduler::default())),
+        "exhaustive" => Some(Box::new(ExhaustiveScheduler::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod by_name_tests {
+    use super::*;
+
+    #[test]
+    fn every_roster_name_resolves_to_a_distinct_scheduler() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &name in NAMES {
+            let s = by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(seen.insert(s.name().to_owned()), "duplicate {}", s.name());
+        }
+        assert_eq!(seen.len(), NAMES.len());
+    }
+
+    #[test]
+    fn default_is_an_alias_for_even() {
+        assert_eq!(by_name("default").unwrap().name(), "default");
+        assert_eq!(by_name("even").unwrap().name(), "default");
+        assert!(by_name("martian").is_none());
+    }
+}

@@ -98,6 +98,10 @@ pub struct ChaosOutcome {
 /// Runs the crash-then-recover scenario described by `cfg` for one
 /// topology. See the module docs for the two-plane structure.
 ///
+/// Both the initial placement and the control plane's re-placements use
+/// [`RStormScheduler`]; [`run_crash_recover_with`] accepts any scheduler
+/// (the sweep harness grids over them).
+///
 /// # Panics
 ///
 /// Panics if the topology does not fit the healthy cluster (the scenario
@@ -107,6 +111,22 @@ pub fn run_crash_recover(
     cluster: &Arc<Cluster>,
     topology: &Topology,
     cfg: &ChaosConfig,
+) -> ChaosOutcome {
+    run_crash_recover_with(cluster, topology, cfg, &RStormScheduler::new())
+}
+
+/// [`run_crash_recover`] with an explicit scheduler: `scheduler` computes
+/// both the initial placement and every control-plane re-placement, so a
+/// scenario grid can compare recovery behavior across schedulers.
+///
+/// # Panics
+///
+/// As [`run_crash_recover`].
+pub fn run_crash_recover_with(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+    scheduler: &(dyn Scheduler + '_),
 ) -> ChaosOutcome {
     assert!(
         cluster
@@ -120,7 +140,6 @@ pub fn run_crash_recover(
     // -- Control plane: replay the recovery loop over heartbeat ticks. --
     let mut control = (**cluster).clone();
     let mut state = GlobalState::new(&control);
-    let scheduler = RStormScheduler::new();
     let initial = scheduler
         .schedule(topology, &control, &mut state)
         .expect("chaos scenario requires an initial placement on the healthy cluster");
@@ -141,7 +160,7 @@ pub fn run_crash_recover(
                 manager.observe_heartbeat(name, t);
             }
         }
-        events.extend(manager.tick(t, &mut control, &mut state, &scheduler, &[topology]));
+        events.extend(manager.tick(t, &mut control, &mut state, scheduler, &[topology]));
         t += interval;
     }
 

@@ -70,11 +70,16 @@ mod report;
 mod servers;
 mod sim;
 mod slab;
+pub mod sweep;
 
-pub use chaos::{run_crash_recover, ChaosConfig, ChaosOutcome};
+pub use chaos::{run_crash_recover, run_crash_recover_with, ChaosConfig, ChaosOutcome};
 pub use config::SimConfig;
 pub use faults::{FaultEvent, FaultPlan};
 pub use rebalance::{refined_clone, run_adaptive_rebalance, AdaptiveConfig, AdaptiveOutcome};
 pub use reference::ReferenceSimulation;
 pub use report::{RecoveryObservations, SimDebugStats, SimReport, SimTotals};
 pub use sim::Simulation;
+pub use sweep::{
+    run_sweep, FaultSpec, ParseRangeError, SeedRange, SweepCase, SweepGrid, SweepJob, SweepOutcome,
+    SweepRow, SweepSummary,
+};

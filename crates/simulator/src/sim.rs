@@ -1107,7 +1107,13 @@ impl Engine {
             );
             self.cpus[old].deactivate(self.statics[task].cpu_slot as usize);
             let new_local = self.cpus[dest].add_task(task);
-            self.node_tasks[old].retain(|&t| t != task);
+            let pos = self.node_tasks[old]
+                .iter()
+                .position(|&t| t == task)
+                .expect("a migrating task lives on its source node");
+            // O(1) removal; the membership lists are unordered sets
+            // (crash/recover sort before iterating).
+            self.node_tasks[old].swap_remove(pos);
             self.node_tasks[dest].push(task);
             let mem = self.build.specs[task].memory_mb;
             self.build.node_mem_demand[old] -= mem;
@@ -1149,7 +1155,11 @@ impl Engine {
             return;
         }
         self.node_down[node] = true;
-        let tasks = self.node_tasks[node].clone();
+        // `node_tasks` order is arbitrary after migrations (swap_remove);
+        // iterate in global-task order so the drain sequence — and with
+        // it event seq allocation — is independent of migration history.
+        let mut tasks = self.node_tasks[node].clone();
+        tasks.sort_unstable();
         for i in tasks {
             while let Some(batch) = self.tasks[i].queue.pop_front() {
                 self.lose_batch(batch);
@@ -1170,7 +1180,10 @@ impl Engine {
         }
         self.node_down[node] = false;
         let now = self.queue.now();
-        let tasks = self.node_tasks[node].clone();
+        // Sorted for the same reason as in `crash_node`: spout re-kicks
+        // must enqueue in a migration-independent order.
+        let mut tasks = self.node_tasks[node].clone();
+        tasks.sort_unstable();
         for i in tasks {
             if self.statics[i].is_spout {
                 self.queue.schedule(now, FastEv::try_spout(i));
@@ -2004,6 +2017,69 @@ mod tests {
         assert_eq!(plain, report);
         // Even the event count matches: an empty plan schedules nothing.
         assert_eq!(plain.debug.events, report.debug.events);
+    }
+
+    #[test]
+    fn migration_bookkeeping_is_move_order_insensitive() {
+        // `apply_migration` removes tasks with swap_remove, so the
+        // membership lists end up in a move-order-dependent order. A
+        // later crash/recover of a migration-touched node must still
+        // produce identical results whatever order the moves were listed
+        // in — the engine sorts before draining.
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+
+        let used = a.used_nodes();
+        let from = host_of(&a);
+        let dest = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .find(|n| !used.contains(&rstorm_cluster::NodeId::new(n.as_str())))
+            .expect("an idle node exists");
+        let moved: Vec<rstorm_topology::TaskId> = a.tasks_on_node(&from);
+        assert!(moved.len() >= 2, "need several moves to permute");
+        let mut slots: std::collections::BTreeMap<_, _> =
+            a.iter().map(|(task, slot)| (task, slot.clone())).collect();
+        for &task in &moved {
+            slots.insert(task, WorkerSlot::new(dest.as_str(), 6700));
+        }
+        let plan_with = |order: Vec<rstorm_topology::TaskId>| MigrationPlan {
+            topology: t.id().clone(),
+            moves: order
+                .into_iter()
+                .map(|task| rstorm_core::MigrationMove {
+                    task,
+                    component: "c".to_owned(),
+                    from: rstorm_cluster::NodeId::new(from.as_str()),
+                    to: rstorm_cluster::NodeId::new(dest.as_str()),
+                })
+                .collect(),
+            updated: Assignment::new(t.id().clone(), slots.clone()),
+        };
+        let forward = plan_with(moved.clone());
+        let reversed = plan_with(moved.iter().rev().copied().collect());
+
+        // Crash the destination after the cut-over, then heal it: both
+        // the drain and the spout re-kick iterate the perturbed list.
+        let faults = FaultPlan::new()
+            .crash_node(40_000.0, dest.as_str())
+            .recover_node(50_000.0, dest.as_str());
+        let run = |plan: &MigrationPlan| {
+            let mut sim = Simulation::new(cluster.clone(), SimConfig::quick());
+            sim.add_topology(&t, &a);
+            sim.schedule_migration(plan, 20_000.0, 500.0);
+            sim.set_fault_plan(faults.clone());
+            sim.run()
+        };
+        let r_fwd = run(&forward);
+        let r_rev = run(&reversed);
+        assert_eq!(r_fwd, r_rev, "move order must not leak into the run");
+        assert!(
+            r_fwd.totals.tuples_lost > 0,
+            "the post-migration crash actually destroyed work"
+        );
     }
 
     // ---- guaranteed processing (spout replay) -------------------------

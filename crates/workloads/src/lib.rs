@@ -13,6 +13,8 @@
 //! * [`clusters`] — the Emulab cluster presets of §6.1: two racks
 //!   ("VLANs") of six or twelve single-core 2 GB workers on 100 Mbps
 //!   NICs with a 4 ms inter-rack RTT.
+//! * [`sweep`] — the quick/full scenario-grid presets of the Monte-Carlo
+//!   sweep fleet (`rstorm sweep`).
 //!
 //! Component execution profiles (per-tuple CPU cost, fan-out, tuple size)
 //! and resource hints are calibrated so that the simulated experiments
@@ -26,4 +28,5 @@ pub mod cases;
 pub mod clusters;
 pub mod drifted;
 pub mod micro;
+pub mod sweep;
 pub mod yahoo;

@@ -1,0 +1,115 @@
+//! The scenario-grid presets of the Monte-Carlo sweep fleet
+//! (`rstorm sweep --grid quick|full`).
+//!
+//! Both grids crash the victim at t=20 s — after warm-up, with plenty of
+//! horizon left — matching the chaos and replay smoke scenarios so sweep
+//! distributions are directly comparable to the existing point estimates.
+//! Replay budgets are generous (`max_replays = 8`): on the survivable
+//! scenarios a root would need more than eight failures to be
+//! quarantined, which the crash/heal timing cannot produce, so
+//! `zero_loss_ratio == 1.0` is a hard correctness gate on every
+//! survivable group (and `bench_guard` pins it).
+
+use crate::{cases, clusters, micro, yahoo};
+use rstorm_sim::{FaultSpec, SeedRange, SimConfig, SweepCase, SweepGrid};
+use std::sync::Arc;
+
+/// Crash time shared by both grids (milliseconds).
+const CRASH_AT_MS: f64 = 20_000.0;
+/// Heal time of the survivable outage (milliseconds).
+const HEAL_AT_MS: f64 = 35_000.0;
+/// Replay budget: far above what a single survivable outage can consume.
+const MAX_REPLAYS: u32 = 8;
+
+/// The quick grid: 2 cases × 2 schedulers × 2 faults × seeds, 60 s sims.
+/// Small enough for CI smoke runs; every fault spec is survivable, so
+/// the whole grid is zero-loss-gated.
+pub fn quick_grid(seeds: SeedRange) -> SweepGrid {
+    SweepGrid {
+        cases: vec![
+            SweepCase {
+                name: "linear_net".to_owned(),
+                topology: micro::linear_network_bound(),
+                cluster: Arc::new(clusters::emulab_micro()),
+            },
+            SweepCase {
+                name: "page_load".to_owned(),
+                topology: yahoo::page_load(),
+                cluster: Arc::new(clusters::emulab_multi()),
+            },
+        ],
+        schedulers: vec!["rstorm".to_owned(), "even".to_owned()],
+        faults: vec![
+            FaultSpec::Healthy,
+            FaultSpec::CrashRecover {
+                crash_at_ms: CRASH_AT_MS,
+                heal_at_ms: HEAL_AT_MS,
+            },
+        ],
+        seeds,
+        sim: SimConfig::quick().with_max_replays(MAX_REPLAYS),
+    }
+}
+
+/// The full grid: all five benchmark workloads × 3 schedulers × 3 faults
+/// × seeds at the paper's 300 s horizon — the production-scale
+/// validation sweep. Includes the non-survivable lasting-crash
+/// scenario, whose groups are exempt from the zero-loss pin.
+pub fn full_grid(seeds: SeedRange) -> SweepGrid {
+    let cases = cases::fig8_cases()
+        .into_iter()
+        .chain(cases::yahoo_cases())
+        .map(|c| SweepCase {
+            name: c.name.to_owned(),
+            topology: c.topology,
+            cluster: Arc::new(c.cluster),
+        })
+        .collect();
+    SweepGrid {
+        cases,
+        schedulers: vec!["rstorm".to_owned(), "even".to_owned(), "offline".to_owned()],
+        faults: vec![
+            FaultSpec::Healthy,
+            FaultSpec::CrashRecover {
+                crash_at_ms: CRASH_AT_MS,
+                heal_at_ms: HEAL_AT_MS,
+            },
+            FaultSpec::CrashLasting {
+                crash_at_ms: CRASH_AT_MS,
+            },
+        ],
+        seeds,
+        sim: SimConfig::default().with_max_replays(MAX_REPLAYS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstorm_core::{schedulers, GlobalState};
+
+    #[test]
+    fn quick_grid_is_fully_survivable() {
+        let grid = quick_grid(SeedRange::new(0, 4).unwrap());
+        assert!(grid.faults.iter().all(FaultSpec::survivable));
+        assert_eq!(grid.job_count(), 2 * 2 * 2 * 4);
+    }
+
+    /// Every (case, scheduler) pair of the full grid must place: a
+    /// scheduler that cannot place a grid case would panic a sweep
+    /// worker mid-run.
+    #[test]
+    fn full_grid_pairs_are_schedulable() {
+        let grid = full_grid(SeedRange::new(0, 1).unwrap());
+        for case in &grid.cases {
+            for name in &grid.schedulers {
+                let s = schedulers::by_name(name).unwrap();
+                let mut state = GlobalState::new(&case.cluster);
+                let a = s
+                    .schedule(&case.topology, &case.cluster, &mut state)
+                    .unwrap_or_else(|e| panic!("{name} cannot place {}: {e}", case.name));
+                assert!(a.iter().next().is_some(), "{name}/{}", case.name);
+            }
+        }
+    }
+}
