@@ -11,14 +11,17 @@
 //! Cases that report a `zero_loss_ratio` (the replay smoke and every
 //! survivable sweep group) are additionally held to exactly 1.0:
 //! guaranteed processing is a correctness property, not a performance
-//! number, so no environment variable can relax it. Sweep groups carry
+//! number, so no environment variable can relax it. The same goes for
+//! `routing_parity` (the scale smoke's churn case): an incrementally
+//! patched routing table that is not bit-identical to a full rebuild is
+//! a correctness failure, whatever the speedup says. Sweep groups carry
 //! no speedup — only the sweep's `sweep/parallel_speedup` case does,
 //! and the shared threshold enforces "parallel at least as fast as
 //! serial" on it.
 //!
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
-//! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`)
+//! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`, `scale_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
@@ -31,20 +34,23 @@
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
 //! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json`,
-//! `BENCH_replay.json` and `BENCH_sweep.json` in the current directory.
+//! `BENCH_replay.json`, `BENCH_sweep.json` and `BENCH_scale.json` in
+//! the current directory.
 //! A missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
 use std::process::{Command, ExitCode};
 
 /// One gated case: its `speedup_vs_reference` (absent on sweep group
-/// lines, which are pure correctness gates) and its `zero_loss_ratio`
-/// (present on replay cases and survivable sweep groups).
+/// lines, which are pure correctness gates), its `zero_loss_ratio`
+/// (present on replay cases and survivable sweep groups) and its
+/// `routing_parity` (present on the scale smoke's churn case).
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
     speedup: Option<f64>,
     zero_loss_ratio: Option<f64>,
+    routing_parity: Option<f64>,
 }
 
 /// Extracts every gated case from a `BENCH_*.json` document: any line
@@ -65,7 +71,11 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             raw.parse::<f64>()
                 .unwrap_or_else(|e| panic!("bad zero_loss_ratio {raw:?}: {e}"))
         });
-        if speedup.is_none() && zero_loss_ratio.is_none() {
+        let routing_parity = field(line, "\"routing_parity\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad routing_parity {raw:?}: {e}"))
+        });
+        if speedup.is_none() && zero_loss_ratio.is_none() && routing_parity.is_none() {
             continue;
         }
         let case = field_str(line, "\"name\":")
@@ -75,6 +85,7 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             case,
             speedup,
             zero_loss_ratio,
+            routing_parity,
         });
     }
     readings
@@ -121,6 +132,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("replay_smoke")
     } else if path.ends_with("BENCH_sweep.json") {
         Some("sweep_smoke")
+    } else if path.ends_with("BENCH_scale.json") {
+        Some("scale_smoke")
     } else {
         None
     }
@@ -151,12 +164,16 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
     }
     let mut failures = 0;
     for r in &readings {
-        // zero_loss_ratio is a correctness gate, pinned at exactly 1.0
-        // regardless of BENCH_GUARD_MIN.
+        // zero_loss_ratio and routing_parity are correctness gates,
+        // pinned at exactly 1.0 regardless of BENCH_GUARD_MIN.
         let lossy = r.zero_loss_ratio.is_some_and(|z| z != 1.0);
+        let unparity = r.routing_parity.is_some_and(|p| p != 1.0);
         let verdict = if lossy {
             failures += 1;
             "TUPLE LOSS"
+        } else if unparity {
+            failures += 1;
+            "PARITY"
         } else if r.speedup.is_some_and(|s| s < min) {
             failures += 1;
             "REGRESSION"
@@ -167,13 +184,14 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
             Some(s) => format!("{s:>6.2}x"),
             None => format!("{:>7}", "-"),
         };
-        match r.zero_loss_ratio {
-            Some(z) => println!(
-                "{path}: {:<40} {speedup}  zero_loss {z:.3}  {verdict}",
-                r.case
-            ),
-            None => println!("{path}: {:<40} {speedup}  {verdict}", r.case),
+        let mut gates = String::new();
+        if let Some(z) = r.zero_loss_ratio {
+            gates.push_str(&format!("zero_loss {z:.3}  "));
         }
+        if let Some(p) = r.routing_parity {
+            gates.push_str(&format!("routing_parity {p:.3}  "));
+        }
+        println!("{path}: {:<40} {speedup}  {gates}{verdict}", r.case);
     }
     if failures > 0 {
         Err(format!(
@@ -194,6 +212,7 @@ fn main() -> ExitCode {
             "BENCH_adaptive.json",
             "BENCH_replay.json",
             "BENCH_sweep.json",
+            "BENCH_scale.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -247,12 +266,14 @@ mod tests {
                 Reading {
                     case: "a".into(),
                     speedup: Some(2.5),
-                    zero_loss_ratio: None
+                    zero_loss_ratio: None,
+                    routing_parity: None
                 },
                 Reading {
                     case: "b".into(),
                     speedup: Some(0.91),
-                    zero_loss_ratio: None
+                    zero_loss_ratio: None,
+                    routing_parity: None
                 },
             ]
         );
@@ -310,7 +331,8 @@ mod tests {
             Reading {
                 case: "sweep/parallel_speedup".into(),
                 speedup: Some(7.27),
-                zero_loss_ratio: None
+                zero_loss_ratio: None,
+                routing_parity: None
             }
         );
         assert_eq!(
@@ -318,9 +340,49 @@ mod tests {
             Reading {
                 case: "linear_net/rstorm/crash_recover".into(),
                 speedup: None,
-                zero_loss_ratio: Some(1.0)
+                zero_loss_ratio: Some(1.0),
+                routing_parity: None
             }
         );
+    }
+
+    #[test]
+    fn real_bench_scale_shapes_parse() {
+        // The exact line shapes scale_smoke writes: the base case gated
+        // on speedup only, the churn case on speedup + routing parity.
+        let json = r#"    {"name": "scale/base", "tasks": 10000, "nodes": 1000, "sim_ms": 60000, "events": 121100, "fast_ns": 36640000, "reference_ns": 57310000, "speedup_vs_reference": 1.56},
+    {"name": "scale/churn", "tasks": 10000, "nodes": 1000, "sim_ms": 60000, "migrations": 800, "patched_ns": 40750000, "full_ns": 960080000, "routing_parity": 1.000, "speedup_vs_reference": 23.56}"#;
+        let readings = extract_speedups(json);
+        assert_eq!(readings.len(), 2);
+        assert_eq!(
+            readings[0],
+            Reading {
+                case: "scale/base".into(),
+                speedup: Some(1.56),
+                zero_loss_ratio: None,
+                routing_parity: None
+            }
+        );
+        assert_eq!(
+            readings[1],
+            Reading {
+                case: "scale/churn".into(),
+                speedup: Some(23.56),
+                zero_loss_ratio: None,
+                routing_parity: Some(1.0)
+            }
+        );
+    }
+
+    #[test]
+    fn broken_routing_parity_fails_even_when_fast() {
+        let readings = extract_speedups(
+            r#"    {"name": "scale/churn", "routing_parity": 0.000, "speedup_vs_reference": 99.0}"#,
+        );
+        assert_eq!(readings[0].routing_parity, Some(0.0));
+        // check_file's gate: parity != 1.0 counts as a failure; pin the
+        // predicate the gate uses.
+        assert!(readings[0].routing_parity.is_some_and(|p| p != 1.0));
     }
 
     #[test]
@@ -332,6 +394,7 @@ mod tests {
             "BENCH_adaptive.json",
             "BENCH_replay.json",
             "BENCH_sweep.json",
+            "BENCH_scale.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }

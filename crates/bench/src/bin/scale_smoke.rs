@@ -1,0 +1,165 @@
+//! Scale-plane smoke benchmark: the 10k-task / 1k-node case.
+//!
+//! Two cases, written to `BENCH_scale.json`:
+//!
+//! * **`scale/base`** — the plain scale topology, fast engine vs the
+//!   string-keyed `ReferenceSimulation` (identical reports asserted
+//!   before timing), reported as `speedup_vs_reference` like the other
+//!   smoke bins.
+//! * **`scale/churn`** — the migration-churn variant: ~100 composed
+//!   `DeltaScheduler` plans applied across the run. The fast engine runs
+//!   twice — incremental routing patches on vs off (full rebuild per
+//!   migration) — with bit-identical reports asserted (`routing_parity`)
+//!   before timing. The full-vs-patched ratio is reported under the
+//!   `speedup_vs_reference` key so `bench_guard`'s ≥ 1.0 gate applies
+//!   to it unchanged; the acceptance target for this row is ≥ 5x.
+//!
+//! `SCALE_SMOKE_HORIZON_MS` trims the simulated horizon (default
+//! 60 000 ms — one tenth of the workload's full 10-minute case — so the
+//! reference engine stays affordable; CI trims further). The reference
+//! engine is skipped entirely for the churn case: the incremental-vs-full
+//! comparison is internal to the fast engine.
+//!
+//! Run with `cargo run --release -p rstorm-bench --bin scale_smoke`.
+
+use rstorm_bench::harness::{median_ns, BenchReport};
+use rstorm_bench::schedule_fresh;
+use rstorm_core::RStormScheduler;
+use rstorm_sim::{ReferenceSimulation, SimConfig, Simulation};
+use rstorm_workloads::scale::{
+    churn_plans, scale_cluster, scale_topology, schedule_churn, SCALE_CHURN_ROUNDS, SCALE_NODES,
+    SCALE_TASKS,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn horizon_ms() -> f64 {
+    std::env::var("SCALE_SMOKE_HORIZON_MS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|h| h.is_finite() && *h > 0.0)
+        .unwrap_or(60_000.0)
+}
+
+fn main() {
+    let horizon = horizon_ms();
+    let budget = Duration::from_millis(1500);
+    let topology = scale_topology(SCALE_TASKS);
+    let cluster = Arc::new(scale_cluster(SCALE_NODES));
+    let config = SimConfig::default().with_sim_time_ms(horizon);
+    let mut report = BenchReport::new("scale plane wall time (median per full run)", "ns");
+
+    // ---- scale/base: fast engine vs reference oracle ------------------
+    let assignment = schedule_fresh(&RStormScheduler::new(), &topology, &cluster);
+    let build_fast = || {
+        let mut sim = Simulation::new(Arc::clone(&cluster), config.clone());
+        sim.add_topology(&topology, &assignment);
+        sim
+    };
+    let build_reference = || {
+        let mut sim = ReferenceSimulation::new(Arc::clone(&cluster), config.clone());
+        sim.add_topology(&topology, &assignment);
+        sim
+    };
+    let fast_report = build_fast().run();
+    let reference_report = build_reference().run();
+    assert_eq!(
+        fast_report, reference_report,
+        "scale/base: fast and reference engines disagree"
+    );
+    let fast_ns = median_ns(
+        build_fast,
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+    let reference_ns = median_ns(
+        build_reference,
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+    let base_speedup = reference_ns as f64 / fast_ns as f64;
+    println!(
+        "scale/base   {} tasks on {} nodes, {:.0} sim-s, {} events: \
+         fast {:.2} ms vs reference {:.2} ms ({base_speedup:.2}x)",
+        SCALE_TASKS,
+        SCALE_NODES,
+        horizon / 1000.0,
+        fast_report.debug.events,
+        fast_ns as f64 / 1e6,
+        reference_ns as f64 / 1e6,
+    );
+    report.push_case(format!(
+        "{{\"name\": \"scale/base\", \"tasks\": {SCALE_TASKS}, \"nodes\": {SCALE_NODES}, \
+         \"sim_ms\": {horizon:.0}, \"events\": {}, \"fast_ns\": {fast_ns}, \
+         \"reference_ns\": {reference_ns}, \"speedup_vs_reference\": {base_speedup:.2}}}",
+        fast_report.debug.events
+    ));
+
+    // ---- scale/churn: incremental patches vs full rebuilds ------------
+    let (churn_assignment, plans) = churn_plans(&topology, &cluster, SCALE_CHURN_ROUNDS);
+    let migrations: usize = plans.iter().map(|p| p.len()).sum();
+    assert!(
+        plans.len() >= SCALE_CHURN_ROUNDS as usize / 2,
+        "churn generation collapsed: only {} of {SCALE_CHURN_ROUNDS} rounds moved tasks",
+        plans.len()
+    );
+    let build_churn = |incremental: bool| {
+        let cluster = Arc::clone(&cluster);
+        let topology = &topology;
+        let assignment = &churn_assignment;
+        let plans = &plans;
+        move || {
+            let mut sim = Simulation::new(
+                Arc::clone(&cluster),
+                SimConfig::default()
+                    .with_sim_time_ms(horizon)
+                    .with_incremental_routing(incremental),
+            );
+            sim.add_topology(topology, assignment);
+            schedule_churn(&mut sim, plans, horizon);
+            sim
+        }
+    };
+    let patched_report = build_churn(true)().run();
+    let full_report = build_churn(false)().run();
+    assert_eq!(
+        patched_report, full_report,
+        "scale/churn: patched and fully-rebuilt runs disagree"
+    );
+    assert_eq!(patched_report.debug.events, full_report.debug.events);
+    let patched_ns = median_ns(
+        build_churn(true),
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+    let full_ns = median_ns(
+        build_churn(false),
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        budget,
+    );
+    let churn_speedup = full_ns as f64 / patched_ns as f64;
+    println!(
+        "scale/churn  {} migrations over {} plans: \
+         patched {:.2} ms vs full rebuild {:.2} ms ({churn_speedup:.2}x)",
+        migrations,
+        plans.len(),
+        patched_ns as f64 / 1e6,
+        full_ns as f64 / 1e6,
+    );
+    report.push_case(format!(
+        "{{\"name\": \"scale/churn\", \"tasks\": {SCALE_TASKS}, \"nodes\": {SCALE_NODES}, \
+         \"sim_ms\": {horizon:.0}, \"migrations\": {migrations}, \"patched_ns\": {patched_ns}, \
+         \"full_ns\": {full_ns}, \"routing_parity\": 1.000, \
+         \"speedup_vs_reference\": {churn_speedup:.2}}}"
+    ));
+
+    report.write("BENCH_scale.json");
+}

@@ -7,6 +7,7 @@
 //! rstorm simulate --topology topo.spec --cluster cluster.spec [--duration-s N] [--seed N]
 //! rstorm compare  --topology topo.spec --cluster cluster.spec [--duration-s N]
 //! rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N] [--out FILE]
+//! rstorm scale    [--tasks N] [--nodes N] [--horizon-ms N] [--seed N] [--churn]
 //! rstorm example-specs
 //! ```
 
@@ -40,6 +41,8 @@ USAGE:
                     [--duration-s N] [--seed N]
     rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N]
                     [--out FILE]
+    rstorm scale    [--tasks N] [--nodes N] [--horizon-ms N] [--seed N]
+                    [--churn]
     rstorm example-specs
 
 SCHEDULERS:
@@ -71,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "chaos" => chaos_cmd(&parse_flags(&args[1..])?),
         "rebalance" => rebalance_cmd(&parse_flags(&args[1..])?),
         "sweep" => sweep_cmd(&parse_flags(&args[1..])?),
+        "scale" => scale_cmd(&parse_flags(&args[1..])?),
         "example-specs" => {
             print_example_specs();
             Ok(())
@@ -84,7 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// Flags that take no value: their presence means `"true"`.
-const BOOLEAN_FLAGS: &[&str] = &["replay"];
+const BOOLEAN_FLAGS: &[&str] = &["replay", "churn"];
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut flags = BTreeMap::new();
@@ -543,6 +547,85 @@ fn sweep_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the scale plane from the CLI: a √tasks-wide chain of exactly
+/// `--tasks` tasks on a `--nodes`-node cluster, optionally with the
+/// migration-churn variant (`--churn`) that drives the composed
+/// `DeltaScheduler` plans through the run — exercising the incremental
+/// routing patch path at whatever size fits the terminal's patience.
+fn scale_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use rstorm_workloads::scale;
+
+    let parse_u32 = |name: &str, default: u32| -> Result<u32, String> {
+        match flags.get(name) {
+            Some(raw) => raw.parse().map_err(|_| format!("invalid --{name} `{raw}`")),
+            None => Ok(default),
+        }
+    };
+    let tasks = parse_u32("tasks", scale::SCALE_TASKS)?;
+    if tasks < 2 {
+        return Err(format!("--tasks must be at least 2, got {tasks}"));
+    }
+    let nodes = parse_u32("nodes", scale::SCALE_NODES)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    let horizon_ms: f64 = match flags.get("horizon-ms") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid --horizon-ms `{raw}`"))?,
+        None => scale::SCALE_HORIZON_MS,
+    };
+    if !(horizon_ms > 0.0 && horizon_ms.is_finite()) {
+        return Err(format!("--horizon-ms must be positive, got {horizon_ms}"));
+    }
+    let mut config = SimConfig::default().with_sim_time_ms(horizon_ms);
+    if let Some(seed) = flags.get("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("invalid --seed `{seed}`"))?;
+        config = config.with_seed(seed);
+    }
+    let churn = flags.contains_key("churn");
+
+    let topology = scale::scale_topology(tasks);
+    let cluster = scale::scale_cluster(nodes);
+    // Validate schedulability up front so an undersized cluster is a
+    // typed error, not a panic out of `churn_plans`.
+    let mut state = GlobalState::new(&cluster);
+    let assignment = RStormScheduler::new()
+        .schedule(&topology, &cluster, &mut state)
+        .map_err(|e| format!("{tasks} tasks do not fit on {nodes} nodes: {e}"))?;
+
+    println!(
+        "scale plane: {} tasks in {} components on {} nodes, horizon {:.0} s{}",
+        tasks,
+        topology.components().len(),
+        cluster.nodes().len(),
+        horizon_ms / 1000.0,
+        if churn { ", with migration churn" } else { "" }
+    );
+
+    let mut sim = Simulation::new(cluster.clone(), config);
+    if churn {
+        let (churn_assignment, plans) =
+            scale::churn_plans(&topology, &cluster, scale::SCALE_CHURN_ROUNDS);
+        let migrations: usize = plans.iter().map(|p| p.len()).sum();
+        println!(
+            "churn: {} migrations over {} plans via the incremental routing patch path",
+            migrations,
+            plans.len()
+        );
+        sim.add_topology(&topology, &churn_assignment);
+        scale::schedule_churn(&mut sim, &plans, horizon_ms);
+    } else {
+        sim.add_topology(&topology, &assignment);
+    }
+    println!();
+    let report = sim.run();
+    print_report(&topology, &report);
+    Ok(())
+}
+
 fn print_example_specs() {
     println!("# ---- word-count.spec ----------------------------------");
     println!(
@@ -720,5 +803,53 @@ mod tests {
         ]);
         let err = chaos_cmd(&parse_flags(&bad_times).unwrap()).unwrap_err();
         assert!(err.contains("crash-at-s"), "{err}");
+    }
+
+    #[test]
+    fn scale_runs_small_cases_end_to_end() {
+        let args = |extra: &[&str]| {
+            let mut v = vec![
+                "--tasks".to_owned(),
+                "50".to_owned(),
+                "--nodes".to_owned(),
+                "6".to_owned(),
+                "--horizon-ms".to_owned(),
+                "5000".to_owned(),
+            ];
+            v.extend(extra.iter().map(|s| (*s).to_owned()));
+            parse_flags(&v).unwrap()
+        };
+        scale_cmd(&args(&[])).unwrap();
+        scale_cmd(&args(&["--churn"])).unwrap();
+        scale_cmd(&args(&["--seed", "7"])).unwrap();
+    }
+
+    #[test]
+    fn scale_rejects_bad_arguments_with_typed_errors() {
+        let with = |pairs: &[(&str, &str)]| {
+            let mut flags = BTreeMap::new();
+            for (k, v) in pairs {
+                flags.insert((*k).to_owned(), (*v).to_owned());
+            }
+            flags
+        };
+        let err = scale_cmd(&with(&[("tasks", "1")])).unwrap_err();
+        assert!(err.contains("--tasks"), "{err}");
+        let err = scale_cmd(&with(&[("tasks", "lots")])).unwrap_err();
+        assert!(err.contains("--tasks"), "{err}");
+        let err = scale_cmd(&with(&[("tasks", "4"), ("nodes", "0")])).unwrap_err();
+        assert!(err.contains("--nodes"), "{err}");
+        let err = scale_cmd(&with(&[
+            ("tasks", "4"),
+            ("nodes", "1"),
+            ("horizon-ms", "-5"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--horizon-ms"), "{err}");
+        let err = scale_cmd(&with(&[("tasks", "4"), ("nodes", "1"), ("seed", "x")])).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        // An honestly undersized cluster is a typed error, not a panic.
+        let err = scale_cmd(&with(&[("tasks", "500"), ("nodes", "1")])).unwrap_err();
+        assert!(err.contains("do not fit"), "{err}");
     }
 }

@@ -152,6 +152,20 @@ impl ClusterIndex {
 pub(crate) struct SimBuild {
     pub specs: Vec<SimTaskSpec>,
     pub routing: RoutingTable,
+    /// Producer task of each route, parallel to `routing.routes` — the
+    /// reverse edge [`Self::patch_routing`] needs to re-derive a single
+    /// route without replaying its whole group.
+    pub route_from: Vec<u32>,
+    /// Per global task: indices into `routing.routes` of every route that
+    /// *targets* the task, so a moved consumer's inbound rows are
+    /// reachable in O(degree) instead of a full-table scan.
+    pub incoming: Vec<Vec<u32>>,
+    /// Per global task: true when the task produces or can receive a
+    /// local-or-shuffle group. Moving such a task can change the group's
+    /// precomputed preference *pool* (and with it the table's shape), so
+    /// [`Self::patch_routing`] refuses and the caller falls back to a
+    /// full rebuild.
+    pub los_member: Vec<bool>,
     pub node_mem_demand: Vec<f64>,
     /// Per node: global ids of the tasks placed on it, in placement
     /// order — the `DenseCpuServer` slot layout.
@@ -171,6 +185,9 @@ impl SimBuild {
         Self {
             specs: Vec::new(),
             routing: RoutingTable::default(),
+            route_from: Vec::new(),
+            incoming: Vec::new(),
+            los_member: Vec::new(),
             node_mem_demand: vec![0.0; node_count],
             node_tasks: vec![Vec::new(); node_count],
             topo_names: Vec::new(),
@@ -268,6 +285,8 @@ impl SimBuild {
         // on the run — target sets per grouping (including the
         // local-or-shuffle preference pool) and the link path plus
         // latency per (producer, consumer) pair.
+        self.incoming.resize(self.specs.len(), Vec::new());
+        self.los_member.resize(self.specs.len(), false);
         let global_of: HashMap<&str, Vec<usize>> = task_set
             .by_component()
             .map(|(c, ids)| {
@@ -307,8 +326,20 @@ impl SimBuild {
     /// replaying them through the same [`Self::push_route_group`] logic
     /// reproduces exactly the table a fresh build of the new placement
     /// would produce — tasks that did not move get bit-identical routes.
+    ///
+    /// The existing buffers are reused (`clear()` + refill) rather than
+    /// reallocated: the table's capacity is already exactly right from
+    /// the previous build, so repeated rebuilds stop churning the
+    /// allocator.
     pub fn rebuild_routing(&mut self, costs: &NetworkCosts) {
-        self.routing = RoutingTable::default();
+        self.routing.groups.clear();
+        self.routing.routes.clear();
+        self.routing.task_groups.clear();
+        self.route_from.clear();
+        for list in &mut self.incoming {
+            list.clear();
+        }
+        self.los_member.fill(false);
         for from in 0..self.specs.len() {
             let groups_start = self.routing.groups.len() as u32;
             let groups = std::mem::take(&mut self.specs[from].consumers);
@@ -321,9 +352,74 @@ impl SimBuild {
         }
     }
 
+    /// Patches the routing table in place after the tasks in `moved`
+    /// changed placement, recomputing only the route rows whose producer
+    /// or consumer moved — O(moved · degree) instead of the full
+    /// O(tasks · fan-out) rebuild.
+    ///
+    /// Sound because for shuffle, fields, all and global groupings the
+    /// *shape* of the table (group ranges, target order, route count) is
+    /// placement-independent: a from-scratch rebuild after the same moves
+    /// would produce the identical layout with only the affected rows'
+    /// link kind, latency and destination node changed — exactly the rows
+    /// patched here. Re-deriving a row is idempotent, so a route whose
+    /// two endpoints both moved is simply recomputed twice.
+    ///
+    /// Returns `false` — leaving the table untouched — when any moved
+    /// task participates in a local-or-shuffle group: its precomputed
+    /// preference pool (and with it the table's shape) depends on
+    /// placement, so the caller must fall back to
+    /// [`Self::rebuild_routing`].
+    pub fn patch_routing(&mut self, costs: &NetworkCosts, moved: &[usize]) -> bool {
+        if moved.iter().any(|&t| self.los_member[t]) {
+            return false;
+        }
+        for &t in moved {
+            // Rows the moved task produces: every route of its groups.
+            let (gs, gl) = self.routing.task_groups[t];
+            for g in gs..gs + gl {
+                let group = self.routing.groups[g as usize];
+                for r in group.start..group.start + group.len {
+                    self.repatch_route(costs, t, r as usize);
+                }
+            }
+            // Rows the moved task consumes: every route targeting it.
+            for k in 0..self.incoming[t].len() {
+                let r = self.incoming[t][k] as usize;
+                let from = self.route_from[r] as usize;
+                self.repatch_route(costs, from, r);
+            }
+        }
+        true
+    }
+
+    /// Recomputes one route's placement-derived fields from the current
+    /// specs of its (unchanged) endpoints.
+    fn repatch_route(&mut self, costs: &NetworkCosts, from: usize, r: usize) {
+        let to = self.routing.routes[r].to as usize;
+        let relation = relation_of(&self.specs[from], &self.specs[to]);
+        let link = match relation {
+            PlacementRelation::SameWorker | PlacementRelation::SameNode => LinkKind::Local,
+            PlacementRelation::SameRack => LinkKind::SameRack,
+            PlacementRelation::InterRack => LinkKind::InterRack,
+        };
+        self.routing.routes[r] = Route {
+            to: to as u32,
+            to_node: self.specs[to].node_idx as u32,
+            kind: link,
+            latency_ms: costs.latency_ms(relation),
+        };
+    }
+
     fn push_route_group(&mut self, costs: &NetworkCosts, from: usize, group: &ConsumerGroup) {
         let targets = &group.targets;
         debug_assert!(!targets.is_empty(), "validated topologies have tasks");
+        if matches!(group.grouping, StreamGrouping::LocalOrShuffle) {
+            self.los_member[from] = true;
+            for &t in targets {
+                self.los_member[t] = true;
+            }
+        }
         let start = self.routing.routes.len() as u32;
         let (kind, chosen): (GroupKind, Vec<usize>) = match &group.grouping {
             // Fields grouping with uniformly distributed keys is
@@ -356,6 +452,8 @@ impl SimBuild {
                 PlacementRelation::SameRack => LinkKind::SameRack,
                 PlacementRelation::InterRack => LinkKind::InterRack,
             };
+            self.incoming[to].push(self.routing.routes.len() as u32);
+            self.route_from.push(from as u32);
             self.routing.routes.push(Route {
                 to: to as u32,
                 to_node: self.specs[to].node_idx as u32,
@@ -572,5 +670,141 @@ mod tests {
         let (cluster, topology, _) = setup();
         let empty = Assignment::new("t", Default::default());
         build(&cluster, &topology, &empty);
+    }
+
+    /// Everything the patch path may touch, in one comparable blob: the
+    /// routing table plus the side indexes that must stay in lockstep.
+    fn fingerprint(b: &SimBuild) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            b.routing, b.route_from, b.incoming, b.los_member
+        )
+    }
+
+    /// Applies the placement part of a migration directly to the specs,
+    /// the way `apply_migration` does before refreshing the routes.
+    fn relocate(b: &mut SimBuild, idx: &ClusterIndex, task: usize, dest: usize) {
+        b.specs[task].node_idx = dest;
+        b.specs[task].rack_idx = idx.rack_of_node[dest];
+        b.specs[task].slot = rstorm_cluster::WorkerSlot::new(idx.node_names[dest].as_str(), 9000);
+    }
+
+    #[test]
+    fn patch_with_no_moves_is_a_noop() {
+        let (cluster, topology, assignment) = setup();
+        let mut b = build(&cluster, &topology, &assignment);
+        let before = fingerprint(&b);
+        assert!(b.patch_routing(cluster.costs(), &[]));
+        assert_eq!(before, fingerprint(&b));
+    }
+
+    #[test]
+    fn patch_matches_full_rebuild_for_moved_tasks() {
+        let (cluster, topology, assignment) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        let mut patched = build(&cluster, &topology, &assignment);
+        let mut rebuilt = build(&cluster, &topology, &assignment);
+        // Move a producer (spout task 0) and a consumer (sink task 5) to
+        // a free node — exercises both the outgoing and incoming rows,
+        // including a task that is both endpoints of a crossing route.
+        let dest = (0..idx.node_names.len())
+            .find(|&n| patched.specs.iter().all(|s| s.node_idx != n))
+            .expect("6 nodes, 6 colocated tasks: some node is free");
+        for b in [&mut patched, &mut rebuilt] {
+            relocate(b, &idx, 0, dest);
+            relocate(b, &idx, 5, dest);
+        }
+        assert!(patched.patch_routing(cluster.costs(), &[0, 5]));
+        rebuilt.rebuild_routing(cluster.costs());
+        assert_eq!(fingerprint(&patched), fingerprint(&rebuilt));
+        // The move is visible: spout 0's routes now leave `dest`.
+        let (gs, _) = patched.routing.task_groups[0];
+        let g = patched.routing.groups[gs as usize];
+        assert_ne!(
+            patched.routing.routes[g.start as usize].kind,
+            LinkKind::Local,
+            "the spout left its consumers"
+        );
+    }
+
+    #[test]
+    fn local_or_shuffle_members_force_full_rebuild() {
+        let cluster = ClusterBuilder::new()
+            .homogeneous_racks(2, 3, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .unwrap();
+        let mut tb = TopologyBuilder::new("los");
+        tb.set_spout("s", 2).set_memory_load(100.0);
+        tb.set_bolt("m", 3)
+            .shuffle_grouping("s")
+            .set_memory_load(100.0);
+        tb.set_bolt("k", 2)
+            .local_or_shuffle_grouping("m")
+            .set_memory_load(100.0);
+        let topology = tb.build().unwrap();
+        let mut state = GlobalState::new(&cluster);
+        let assignment = RStormScheduler::new()
+            .schedule(&topology, &cluster, &mut state)
+            .unwrap();
+        let b = build(&cluster, &topology, &assignment);
+        // Producers (m: 2..5) and targets (k: 5..7) of the LoS group are
+        // flagged; the spout tasks are not.
+        assert!(!b.los_member[0] && !b.los_member[1]);
+        assert!((2..7).all(|t| b.los_member[t]));
+        // A LoS member declines the patch and leaves the table untouched…
+        let mut declined = build(&cluster, &topology, &assignment);
+        let before = fingerprint(&declined);
+        assert!(!declined.patch_routing(cluster.costs(), &[0, 3]));
+        assert_eq!(before, fingerprint(&declined));
+        // …while a move of only the (non-member) spout still patches and
+        // matches the full rebuild.
+        let idx = ClusterIndex::new(&cluster);
+        let mut patched = build(&cluster, &topology, &assignment);
+        let mut rebuilt = build(&cluster, &topology, &assignment);
+        let dest = (patched.specs[0].node_idx + 1) % idx.node_names.len();
+        relocate(&mut patched, &idx, 0, dest);
+        relocate(&mut rebuilt, &idx, 0, dest);
+        assert!(patched.patch_routing(cluster.costs(), &[0]));
+        rebuilt.rebuild_routing(cluster.costs());
+        assert_eq!(fingerprint(&patched), fingerprint(&rebuilt));
+    }
+
+    #[test]
+    fn node_task_lists_are_sorted_by_global_id() {
+        let (cluster, topology, assignment) = setup();
+        let idx = ClusterIndex::new(&cluster);
+        let mut b = SimBuild::new(cluster.nodes().len());
+        b.append_topology(&idx, cluster.costs(), &topology, &assignment);
+        b.append_topology(&idx, cluster.costs(), &topology, &assignment);
+        // The engine's sorted-membership invariant starts here: appending
+        // walks tasks in increasing global id, so every per-node list is
+        // born sorted and `apply_migration` keeps it that way.
+        for tasks in &b.node_tasks {
+            assert!(tasks.windows(2).all(|w| w[0] < w[1]), "{tasks:?}");
+        }
+    }
+
+    proptest::proptest! {
+        /// For any random move set — empty, partial or a full shuffle of
+        /// every task — the patched table and side indexes are
+        /// bit-identical to a from-scratch rebuild.
+        #[test]
+        fn patch_is_bit_identical_to_rebuild(
+            moves in proptest::collection::vec((0usize..6, 0usize..6), 0..7),
+        ) {
+            let (cluster, topology, assignment) = setup();
+            let idx = ClusterIndex::new(&cluster);
+            let mut patched = build(&cluster, &topology, &assignment);
+            let mut rebuilt = build(&cluster, &topology, &assignment);
+            let mut moved = Vec::new();
+            for &(task, dest) in &moves {
+                relocate(&mut patched, &idx, task, dest);
+                relocate(&mut rebuilt, &idx, task, dest);
+                moved.push(task);
+            }
+            proptest::prop_assert!(patched.patch_routing(cluster.costs(), &moved));
+            rebuilt.rebuild_routing(cluster.costs());
+            proptest::prop_assert_eq!(fingerprint(&patched), fingerprint(&rebuilt));
+        }
     }
 }

@@ -34,6 +34,13 @@ pub struct SimConfig {
     /// the budget are quarantined as poison tuples. `0` disables replay
     /// entirely and preserves bit-identical legacy (at-most-once) behavior.
     pub max_replays: u32,
+    /// When true (the default), migrations patch only the routing-table
+    /// rows whose producer or consumer moved instead of rebuilding the
+    /// whole table — O(moved·degree) instead of O(tasks²). The patched
+    /// table is bit-identical to a full rebuild (pinned by property
+    /// tests), so this knob changes wall-clock cost only; `false` forces
+    /// the legacy full rebuild on every migration.
+    pub incremental_routing: bool,
 }
 
 impl SimConfig {
@@ -68,6 +75,14 @@ impl SimConfig {
         self.max_replays = max_replays;
         self
     }
+
+    /// Returns the configuration with incremental routing patches
+    /// enabled or disabled (`false` forces a full rebuild per migration;
+    /// results are bit-identical either way).
+    pub fn with_incremental_routing(mut self, incremental_routing: bool) -> Self {
+        self.incremental_routing = incremental_routing;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -81,6 +96,7 @@ impl Default for SimConfig {
             seed: 42,
             oom_thrash_factor: 0.05,
             max_replays: 0,
+            incremental_routing: true,
         }
     }
 }
@@ -107,16 +123,24 @@ mod tests {
         let c = SimConfig::default()
             .with_seed(7)
             .with_sim_time_ms(1000.0)
-            .with_max_replays(3);
+            .with_max_replays(3)
+            .with_incremental_routing(false);
         assert_eq!(c.seed, 7);
         assert_eq!(c.sim_time_ms, 1000.0);
         assert_eq!(c.max_replays, 3);
+        assert!(!c.incremental_routing);
     }
 
     #[test]
     fn replay_is_off_by_default() {
         assert_eq!(SimConfig::default().max_replays, 0);
         assert_eq!(SimConfig::quick().max_replays, 0);
+    }
+
+    #[test]
+    fn incremental_routing_is_on_by_default() {
+        assert!(SimConfig::default().incremental_routing);
+        assert!(SimConfig::quick().incremental_routing);
     }
 
     #[test]

@@ -1090,12 +1090,13 @@ impl Engine {
     /// never consults the node), its queued batches carry over, and the
     /// task cold-starts on the destination once its pause window ends
     /// (`resume_at_ms` clamps the next service start). Memory demand and
-    /// thrash follow the task; the routing table is rebuilt over the
-    /// updated placement.
+    /// thrash follow the task; the routing table is patched over the
+    /// moved tasks' rows (full rebuild when the patch declines or
+    /// [`SimConfig::incremental_routing`] is off).
     fn apply_migration(&mut self, m: usize) {
         let migration = std::mem::take(&mut self.migrations[m]);
         let now = self.queue.now();
-        let mut touched = false;
+        let mut moved = Vec::new();
         for &(task, dest, ref slot) in &migration.moves {
             let old = self.statics[task].node as usize;
             if old == dest {
@@ -1108,13 +1109,16 @@ impl Engine {
             self.cpus[old].deactivate(self.statics[task].cpu_slot as usize);
             let new_local = self.cpus[dest].add_task(task);
             let pos = self.node_tasks[old]
-                .iter()
-                .position(|&t| t == task)
+                .binary_search(&task)
                 .expect("a migrating task lives on its source node");
-            // O(1) removal; the membership lists are unordered sets
-            // (crash/recover sort before iterating).
-            self.node_tasks[old].swap_remove(pos);
-            self.node_tasks[dest].push(task);
+            // The membership lists stay sorted by global task id (the
+            // build appends in id order), so crash/recover can iterate
+            // them directly without re-sorting a clone.
+            self.node_tasks[old].remove(pos);
+            let ins = self.node_tasks[dest]
+                .binary_search(&task)
+                .expect_err("a migrating task cannot already live on its destination");
+            self.node_tasks[dest].insert(ins, task);
             let mem = self.build.specs[task].memory_mb;
             self.build.node_mem_demand[old] -= mem;
             self.build.node_mem_demand[dest] += mem;
@@ -1127,10 +1131,14 @@ impl Engine {
             self.tasks[task].resume_at_ms = now + migration.pause_ms;
             self.refresh_thrash(old);
             self.refresh_thrash(dest);
-            touched = true;
+            moved.push(task);
         }
-        if touched {
-            self.build.rebuild_routing(self.cluster.costs());
+        if !moved.is_empty() {
+            let patched = self.config.incremental_routing
+                && self.build.patch_routing(self.cluster.costs(), &moved);
+            if !patched {
+                self.build.rebuild_routing(self.cluster.costs());
+            }
         }
     }
 
@@ -1155,12 +1163,11 @@ impl Engine {
             return;
         }
         self.node_down[node] = true;
-        // `node_tasks` order is arbitrary after migrations (swap_remove);
-        // iterate in global-task order so the drain sequence — and with
-        // it event seq allocation — is independent of migration history.
-        let mut tasks = self.node_tasks[node].clone();
-        tasks.sort_unstable();
-        for i in tasks {
+        // `node_tasks` is kept sorted by global task id (`apply_migration`
+        // inserts in order), so iterating it directly drains in a
+        // migration-independent order — no clone-and-sort on the hot path.
+        for k in 0..self.node_tasks[node].len() {
+            let i = self.node_tasks[node][k];
             while let Some(batch) = self.tasks[i].queue.pop_front() {
                 self.lose_batch(batch);
             }
@@ -1180,11 +1187,10 @@ impl Engine {
         }
         self.node_down[node] = false;
         let now = self.queue.now();
-        // Sorted for the same reason as in `crash_node`: spout re-kicks
-        // must enqueue in a migration-independent order.
-        let mut tasks = self.node_tasks[node].clone();
-        tasks.sort_unstable();
-        for i in tasks {
+        // Sorted membership (see `crash_node`) keeps spout re-kicks in a
+        // migration-independent enqueue order.
+        for k in 0..self.node_tasks[node].len() {
+            let i = self.node_tasks[node][k];
             if self.statics[i].is_spout {
                 self.queue.schedule(now, FastEv::try_spout(i));
             }
@@ -2021,11 +2027,10 @@ mod tests {
 
     #[test]
     fn migration_bookkeeping_is_move_order_insensitive() {
-        // `apply_migration` removes tasks with swap_remove, so the
-        // membership lists end up in a move-order-dependent order. A
-        // later crash/recover of a migration-touched node must still
-        // produce identical results whatever order the moves were listed
-        // in — the engine sorts before draining.
+        // `apply_migration` keeps the membership lists sorted by global
+        // task id, so a later crash/recover of a migration-touched node
+        // must still produce identical results whatever order the moves
+        // were listed in — the drain order never depends on move order.
         let cluster = emulab(2, 3);
         let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
         let a = assigned(&t, &cluster);
@@ -2080,6 +2085,63 @@ mod tests {
             r_fwd.totals.tuples_lost > 0,
             "the post-migration crash actually destroyed work"
         );
+    }
+
+    #[test]
+    fn incremental_routing_gate_is_bit_identical() {
+        // The same migrated-and-crashed scenario, run once through the
+        // patch path and once through the legacy full rebuild: every
+        // observable — including the event count — must match, which is
+        // what licenses the patch path as the default.
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let from = host_of(&a);
+        let dest = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .find(|n| {
+                !a.used_nodes()
+                    .contains(&rstorm_cluster::NodeId::new(n.as_str()))
+            })
+            .expect("an idle node exists");
+        let moved: Vec<rstorm_topology::TaskId> = a.tasks_on_node(&from);
+        let mut slots: std::collections::BTreeMap<_, _> =
+            a.iter().map(|(task, slot)| (task, slot.clone())).collect();
+        for &task in &moved {
+            slots.insert(task, WorkerSlot::new(dest.as_str(), 6700));
+        }
+        let plan = MigrationPlan {
+            topology: t.id().clone(),
+            moves: moved
+                .iter()
+                .map(|&task| rstorm_core::MigrationMove {
+                    task,
+                    component: "c".to_owned(),
+                    from: rstorm_cluster::NodeId::new(from.as_str()),
+                    to: rstorm_cluster::NodeId::new(dest.as_str()),
+                })
+                .collect(),
+            updated: Assignment::new(t.id().clone(), slots),
+        };
+        let faults = FaultPlan::new()
+            .crash_node(40_000.0, dest.as_str())
+            .recover_node(50_000.0, dest.as_str());
+        let run = |incremental: bool| {
+            let mut sim = Simulation::new(
+                cluster.clone(),
+                SimConfig::quick().with_incremental_routing(incremental),
+            );
+            sim.add_topology(&t, &a);
+            sim.schedule_migration(&plan, 20_000.0, 500.0);
+            sim.set_fault_plan(faults.clone());
+            sim.run()
+        };
+        let patched = run(true);
+        let rebuilt = run(false);
+        assert_eq!(patched, rebuilt, "the gate must not change any physics");
+        assert_eq!(patched.debug.events, rebuilt.debug.events);
     }
 
     // ---- guaranteed processing (spout replay) -------------------------

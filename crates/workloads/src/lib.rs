@@ -15,6 +15,9 @@
 //!   NICs with a 4 ms inter-rack RTT.
 //! * [`sweep`] — the quick/full scenario-grid presets of the Monte-Carlo
 //!   sweep fleet (`rstorm sweep`).
+//! * [`scale`] — the 10k-task / 1k-node stress case plus its
+//!   migration-churn variant (`rstorm scale`, `BENCH_scale.json`);
+//!   sized to expose asymptotic engine costs, not to mirror the paper.
 //!
 //! Component execution profiles (per-tuple CPU cost, fan-out, tuple size)
 //! and resource hints are calibrated so that the simulated experiments
@@ -28,5 +31,6 @@ pub mod cases;
 pub mod clusters;
 pub mod drifted;
 pub mod micro;
+pub mod scale;
 pub mod sweep;
 pub mod yahoo;
