@@ -14,14 +14,18 @@
 //! number, so no environment variable can relax it. The same goes for
 //! `routing_parity` (the scale smoke's churn case): an incrementally
 //! patched routing table that is not bit-identical to a full rebuild is
-//! a correctness failure, whatever the speedup says. Sweep groups carry
+//! a correctness failure, whatever the speedup says. So does
+//! `fuzz_violations` (the fuzz smoke's campaign cases), pinned at
+//! exactly 0: a fixed-seed fuzz campaign that trips an oracle found a
+//! real robustness bug. Sweep groups carry
 //! no speedup — only the sweep's `sweep/parallel_speedup` case does,
 //! and the shared threshold enforces "parallel at least as fast as
 //! serial" on it.
 //!
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
-//! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`, `scale_smoke`)
+//! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`, `scale_smoke`,
+//! `fuzz_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
@@ -34,8 +38,8 @@
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
 //! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json`,
-//! `BENCH_replay.json`, `BENCH_sweep.json` and `BENCH_scale.json` in
-//! the current directory.
+//! `BENCH_replay.json`, `BENCH_sweep.json`, `BENCH_scale.json` and
+//! `BENCH_fuzz.json` in the current directory.
 //! A missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
@@ -43,14 +47,16 @@ use std::process::{Command, ExitCode};
 
 /// One gated case: its `speedup_vs_reference` (absent on sweep group
 /// lines, which are pure correctness gates), its `zero_loss_ratio`
-/// (present on replay cases and survivable sweep groups) and its
-/// `routing_parity` (present on the scale smoke's churn case).
+/// (present on replay cases and survivable sweep groups), its
+/// `routing_parity` (present on the scale smoke's churn case) and its
+/// `fuzz_violations` (present on the fuzz smoke's campaign cases).
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
     speedup: Option<f64>,
     zero_loss_ratio: Option<f64>,
     routing_parity: Option<f64>,
+    fuzz_violations: Option<f64>,
 }
 
 /// Extracts every gated case from a `BENCH_*.json` document: any line
@@ -75,7 +81,15 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             raw.parse::<f64>()
                 .unwrap_or_else(|e| panic!("bad routing_parity {raw:?}: {e}"))
         });
-        if speedup.is_none() && zero_loss_ratio.is_none() && routing_parity.is_none() {
+        let fuzz_violations = field(line, "\"fuzz_violations\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad fuzz_violations {raw:?}: {e}"))
+        });
+        if speedup.is_none()
+            && zero_loss_ratio.is_none()
+            && routing_parity.is_none()
+            && fuzz_violations.is_none()
+        {
             continue;
         }
         let case = field_str(line, "\"name\":")
@@ -86,6 +100,7 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             speedup,
             zero_loss_ratio,
             routing_parity,
+            fuzz_violations,
         });
     }
     readings
@@ -134,6 +149,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("sweep_smoke")
     } else if path.ends_with("BENCH_scale.json") {
         Some("scale_smoke")
+    } else if path.ends_with("BENCH_fuzz.json") {
+        Some("fuzz_smoke")
     } else {
         None
     }
@@ -168,12 +185,16 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         // pinned at exactly 1.0 regardless of BENCH_GUARD_MIN.
         let lossy = r.zero_loss_ratio.is_some_and(|z| z != 1.0);
         let unparity = r.routing_parity.is_some_and(|p| p != 1.0);
+        let fuzzed = r.fuzz_violations.is_some_and(|v| v != 0.0);
         let verdict = if lossy {
             failures += 1;
             "TUPLE LOSS"
         } else if unparity {
             failures += 1;
             "PARITY"
+        } else if fuzzed {
+            failures += 1;
+            "ORACLE VIOLATION"
         } else if r.speedup.is_some_and(|s| s < min) {
             failures += 1;
             "REGRESSION"
@@ -190,6 +211,9 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         }
         if let Some(p) = r.routing_parity {
             gates.push_str(&format!("routing_parity {p:.3}  "));
+        }
+        if let Some(v) = r.fuzz_violations {
+            gates.push_str(&format!("fuzz_violations {v:.0}  "));
         }
         println!("{path}: {:<40} {speedup}  {gates}{verdict}", r.case);
     }
@@ -213,6 +237,7 @@ fn main() -> ExitCode {
             "BENCH_replay.json",
             "BENCH_sweep.json",
             "BENCH_scale.json",
+            "BENCH_fuzz.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -267,13 +292,15 @@ mod tests {
                     case: "a".into(),
                     speedup: Some(2.5),
                     zero_loss_ratio: None,
-                    routing_parity: None
+                    routing_parity: None,
+                    fuzz_violations: None
                 },
                 Reading {
                     case: "b".into(),
                     speedup: Some(0.91),
                     zero_loss_ratio: None,
-                    routing_parity: None
+                    routing_parity: None,
+                    fuzz_violations: None
                 },
             ]
         );
@@ -332,7 +359,8 @@ mod tests {
                 case: "sweep/parallel_speedup".into(),
                 speedup: Some(7.27),
                 zero_loss_ratio: None,
-                routing_parity: None
+                routing_parity: None,
+                fuzz_violations: None
             }
         );
         assert_eq!(
@@ -341,7 +369,8 @@ mod tests {
                 case: "linear_net/rstorm/crash_recover".into(),
                 speedup: None,
                 zero_loss_ratio: Some(1.0),
-                routing_parity: None
+                routing_parity: None,
+                fuzz_violations: None
             }
         );
     }
@@ -360,7 +389,8 @@ mod tests {
                 case: "scale/base".into(),
                 speedup: Some(1.56),
                 zero_loss_ratio: None,
-                routing_parity: None
+                routing_parity: None,
+                fuzz_violations: None
             }
         );
         assert_eq!(
@@ -369,7 +399,8 @@ mod tests {
                 case: "scale/churn".into(),
                 speedup: Some(23.56),
                 zero_loss_ratio: None,
-                routing_parity: Some(1.0)
+                routing_parity: Some(1.0),
+                fuzz_violations: None
             }
         );
     }
@@ -395,6 +426,7 @@ mod tests {
             "BENCH_replay.json",
             "BENCH_sweep.json",
             "BENCH_scale.json",
+            "BENCH_fuzz.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }

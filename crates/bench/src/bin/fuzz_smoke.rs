@@ -1,0 +1,215 @@
+//! Invariant-directed chaos-fuzzer smoke test.
+//!
+//! Runs two fixed-seed campaigns over the split workload (two
+//! components at 1.4 GB each on 2 GB nodes, so the tuple path always
+//! crosses nodes and every fault atom can disturb it) and writes
+//! `BENCH_fuzz.json` in the current directory:
+//!
+//! * **Clean campaign** — the production engine, generous replay
+//!   budget. Gates, before anything is written: zero oracle violations,
+//!   and a byte-identical campaign log on 1 worker vs `min(8, cores)`
+//!   workers (worker count must never leak into fuzz results).
+//! * **Planted campaign** — `planted_quarantine_bug` breaks the drain
+//!   invariant on the first quarantine, with a replay budget tight
+//!   enough that generated plans can reach it. Gates: the fuzzer finds
+//!   the planted violation within the smoke budget, shrinks it to at
+//!   most [`MAX_SHRUNK_EVENTS`] events, and the shrunk plan still trips
+//!   the same oracle.
+//!
+//! Both case lines carry `fuzz_violations` — the count of *unexpected*
+//! oracle violations (any violation on the clean campaign; any
+//! non-planted oracle on the planted campaign) — which `bench_guard`
+//! pins at exactly 0 with no environment-variable relaxation.
+//!
+//! Run with `cargo run --release -p rstorm-bench --bin fuzz_smoke`.
+
+use rstorm_bench::harness::BenchReport;
+use rstorm_cluster::{Cluster, ClusterBuilder, ResourceCapacity};
+use rstorm_core::{schedulers, RecoveryConfig};
+use rstorm_sim::{check_fault_plan, run_fuzz_campaign, FuzzConfig, OracleKind, SimConfig};
+use rstorm_topology::{ExecutionProfile, Topology, TopologyBuilder};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Iterations of the clean campaign.
+const CLEAN_ITERATIONS: u32 = 24;
+/// Iterations of the planted campaign — enough for the generator to hit
+/// a sink-node outage long enough to exhaust the tight replay budget.
+const PLANTED_ITERATIONS: u32 = 12;
+/// The planted reproducer must shrink to at most this many events.
+const MAX_SHRUNK_EVENTS: usize = 6;
+
+/// Two racks of two Emulab-profile nodes: enough topology for rack
+/// partitions and crash bursts to differ, small enough to stay fast.
+fn cluster() -> Arc<Cluster> {
+    Arc::new(
+        ClusterBuilder::new()
+            .homogeneous_racks(2, 2, ResourceCapacity::emulab_node(), 4)
+            .build()
+            .expect("2x2 emulab cluster builds"),
+    )
+}
+
+/// A topology whose two components cannot colocate (1.4 GB each on 2 GB
+/// nodes): the spout-to-sink path always crosses nodes, so node faults
+/// genuinely disturb the data plane.
+fn split_topology() -> Topology {
+    let mut b = TopologyBuilder::new("fuzz-smoke");
+    b.set_spout("src", 1)
+        .set_profile(ExecutionProfile::network_bound(100))
+        .set_cpu_load(20.0)
+        .set_memory_load(1_400.0);
+    b.set_bolt("sink", 1)
+        .shuffle_grouping("src")
+        .set_profile(ExecutionProfile::network_bound(100).into_sink())
+        .set_cpu_load(20.0)
+        .set_memory_load(1_400.0);
+    b.build().expect("split topology builds")
+}
+
+/// The clean campaign: 30 s horizon, replay budget far past what any
+/// generated outage can consume, all oracles armed.
+fn clean_cfg() -> FuzzConfig {
+    FuzzConfig {
+        iterations: CLEAN_ITERATIONS,
+        seed: 42,
+        max_atoms: 3,
+        sim: SimConfig::quick()
+            .with_sim_time_ms(30_000.0)
+            .with_max_replays(8),
+        recovery: RecoveryConfig::default(),
+    }
+}
+
+/// The planted campaign: a tight replay budget and short tuple timeout
+/// make quarantine reachable, and the planted hook breaks the drain
+/// invariant on the first quarantine.
+fn planted_cfg() -> FuzzConfig {
+    let mut sim = SimConfig::quick()
+        .with_sim_time_ms(30_000.0)
+        .with_max_replays(1)
+        .with_planted_quarantine_bug(true);
+    sim.tuple_timeout_ms = 3_000.0;
+    FuzzConfig {
+        iterations: PLANTED_ITERATIONS,
+        seed: 42,
+        max_atoms: 3,
+        sim,
+        recovery: RecoveryConfig::default(),
+    }
+}
+
+/// Workers on the parallel side: all cores, capped at 8 like the other
+/// smoke pools.
+fn parallel_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn main() {
+    let mut report = BenchReport::new("Invariant-directed chaos fuzzer", "ns");
+    let cluster = cluster();
+    let topology = split_topology();
+    let scheduler = schedulers::by_name("rstorm").expect("rstorm scheduler exists");
+    let workers = parallel_workers();
+
+    // Clean campaign: no oracle may trip, and the campaign log must be
+    // byte-identical whatever the worker count.
+    let cfg = clean_cfg();
+    let t0 = Instant::now();
+    let clean = run_fuzz_campaign(&cluster, &topology, &*scheduler, &cfg, workers);
+    let clean_ns = t0.elapsed().as_nanos() as u64;
+    let serial = run_fuzz_campaign(&cluster, &topology, &*scheduler, &cfg, 1);
+    assert_eq!(
+        clean.campaign_log(),
+        serial.campaign_log(),
+        "fuzz campaign log differs between 1 and {workers} workers"
+    );
+    assert!(
+        clean.is_clean(),
+        "clean campaign tripped oracles:\n{}",
+        clean.campaign_log()
+    );
+
+    // Planted campaign: the drain-invariant bug must be found and must
+    // shrink to a small reproducer that still trips the same oracle.
+    let planted_oracle = OracleKind::Invariant("drain_imbalance".to_owned());
+    let cfg = planted_cfg();
+    let t0 = Instant::now();
+    let planted = run_fuzz_campaign(&cluster, &topology, &*scheduler, &cfg, workers);
+    let planted_ns = t0.elapsed().as_nanos() as u64;
+    let found: Vec<_> = planted
+        .reproducers
+        .iter()
+        .filter(|r| r.oracle == planted_oracle)
+        .collect();
+    assert!(
+        !found.is_empty(),
+        "planted drain-invariant bug not found in {PLANTED_ITERATIONS} iterations:\n{}",
+        planted.campaign_log()
+    );
+    let unexpected = planted
+        .reproducers
+        .iter()
+        .filter(|r| r.oracle != planted_oracle)
+        .count();
+    let smallest = found
+        .iter()
+        .min_by_key(|r| r.plan.events().len())
+        .expect("found is non-empty");
+    assert!(
+        smallest.plan.events().len() <= MAX_SHRUNK_EVENTS,
+        "shrunk reproducer still has {} events (> {MAX_SHRUNK_EVENTS}):\n{}",
+        smallest.plan.events().len(),
+        smallest.to_text()
+    );
+    assert_eq!(
+        check_fault_plan(&cluster, &topology, &*scheduler, &cfg, &smallest.plan).as_ref(),
+        Some(&planted_oracle),
+        "shrunk reproducer no longer trips the planted oracle"
+    );
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>8}",
+        "campaign", "iterations", "violations", "wall", "workers"
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>9.2} s {:>8}",
+        "clean",
+        CLEAN_ITERATIONS,
+        clean.reproducers.len(),
+        clean_ns as f64 / 1e9,
+        workers
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>9.2} s {:>8}",
+        "planted",
+        PLANTED_ITERATIONS,
+        planted.reproducers.len(),
+        planted_ns as f64 / 1e9,
+        workers
+    );
+    println!(
+        "planted reproducer: {} -> {} events ({})",
+        smallest.original.events().len(),
+        smallest.plan.events().len(),
+        smallest.oracle
+    );
+
+    report.push_case(format!(
+        "{{\"name\": \"fuzz/clean\", \"iterations\": {CLEAN_ITERATIONS}, \"seed\": 42, \
+         \"workers\": {workers}, \"wall_ns\": {clean_ns}, \"fuzz_violations\": {}}}",
+        clean.reproducers.len()
+    ));
+    report.push_case(format!(
+        "{{\"name\": \"fuzz/planted\", \"iterations\": {PLANTED_ITERATIONS}, \"seed\": 42, \
+         \"workers\": {workers}, \"wall_ns\": {planted_ns}, \"planted_found\": {}, \
+         \"original_events\": {}, \"shrunk_events\": {}, \"fuzz_violations\": {unexpected}}}",
+        found.len(),
+        smallest.original.events().len(),
+        smallest.plan.events().len()
+    ));
+    report.write("BENCH_fuzz.json");
+}

@@ -7,6 +7,7 @@
 //! rstorm simulate --topology topo.spec --cluster cluster.spec [--duration-s N] [--seed N]
 //! rstorm compare  --topology topo.spec --cluster cluster.spec [--duration-s N]
 //! rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N] [--out FILE]
+//! rstorm fuzz     --topology topo.spec --cluster cluster.spec [--iterations N] [--seed N]
 //! rstorm scale    [--tasks N] [--nodes N] [--horizon-ms N] [--seed N] [--churn]
 //! rstorm example-specs
 //! ```
@@ -16,8 +17,8 @@ use rstorm_core::schedulers::EvenScheduler;
 use rstorm_core::{schedulers, verify_plan, GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
 use rstorm_sim::{
-    run_adaptive_rebalance, run_crash_recover, run_sweep, AdaptiveConfig, ChaosConfig, SeedRange,
-    SimConfig, SimReport, Simulation,
+    run_adaptive_rebalance, run_crash_recover, run_fuzz_campaign, run_sweep, AdaptiveConfig,
+    ChaosConfig, FuzzConfig, SeedRange, SimConfig, SimReport, Simulation,
 };
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
@@ -40,6 +41,10 @@ USAGE:
                     [--rebalance-at-s N] [--pause-ms N] [--alpha X]
                     [--duration-s N] [--seed N]
     rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N]
+                    [--out FILE]
+    rstorm fuzz     --topology FILE --cluster FILE [--iterations N]
+                    [--seed N] [--max-atoms N] [--duration-s N]
+                    [--scheduler NAME] [--workers N] [--corpus-dir DIR]
                     [--out FILE]
     rstorm scale    [--tasks N] [--nodes N] [--horizon-ms N] [--seed N]
                     [--churn]
@@ -74,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "chaos" => chaos_cmd(&parse_flags(&args[1..])?),
         "rebalance" => rebalance_cmd(&parse_flags(&args[1..])?),
         "sweep" => sweep_cmd(&parse_flags(&args[1..])?),
+        "fuzz" => fuzz_cmd(&parse_flags(&args[1..])?),
         "scale" => scale_cmd(&parse_flags(&args[1..])?),
         "example-specs" => {
             print_example_specs();
@@ -547,6 +553,95 @@ fn sweep_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs an invariant-directed chaos-fuzz campaign against the given
+/// workload: seeded fault plans sampled from the crash / flap / burst /
+/// partition / degrade grammar, each checked against the oracle set
+/// (accounting invariants, zero loss, detection liveness, routing
+/// parity, determinism), with violating plans shrunk to minimal
+/// reproducers. `--corpus-dir` writes each reproducer as a replayable
+/// `.plan` file; a campaign that finds violations exits non-zero.
+fn fuzz_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let (topology, cluster) = load_inputs(flags)?;
+    let cluster = Arc::new(cluster);
+    let name = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("rstorm");
+    let scheduler =
+        schedulers::by_name(name).ok_or_else(|| format!("unknown scheduler `{name}`"))?;
+
+    let mut cfg = FuzzConfig::default();
+    if let Some(raw) = flags.get("iterations") {
+        cfg.iterations = raw
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid --iterations `{raw}` (need a positive integer)"))?;
+    }
+    if let Some(raw) = flags.get("seed") {
+        cfg.seed = raw.parse().map_err(|_| format!("invalid --seed `{raw}`"))?;
+    }
+    if let Some(raw) = flags.get("max-atoms") {
+        cfg.max_atoms = raw
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid --max-atoms `{raw}` (need a positive integer)"))?;
+    }
+    if let Some(raw) = flags.get("duration-s") {
+        let seconds: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid --duration-s `{raw}`"))?;
+        cfg.sim = cfg.sim.with_sim_time_ms(seconds * 1000.0);
+    }
+    let workers: usize = match flags.get("workers") {
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid --workers `{raw}` (need a positive integer)"))?,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+
+    println!(
+        "fuzzing `{}` under the {} scheduler: {} iterations, seed {}, horizon {:.0} s, \
+         {} worker(s), oracles on\n",
+        topology.id(),
+        name,
+        cfg.iterations,
+        cfg.seed,
+        cfg.sim.sim_time_ms / 1000.0,
+        workers
+    );
+    let out = run_fuzz_campaign(&cluster, &topology, &*scheduler, &cfg, workers);
+    print!("{}", out.campaign_log());
+
+    if let Some(dir) = flags.get("corpus-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for r in &out.reproducers {
+            let path = format!("{dir}/fuzz-{}-{:04}.plan", r.seed, r.iteration);
+            std::fs::write(&path, r.to_text()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, out.campaign_log()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if out.is_clean() {
+        println!("\ncampaign clean: no oracle violated");
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz campaign tripped {} oracle violation(s); see the shrunk reproducers above",
+            out.reproducers.len()
+        ))
+    }
+}
+
 /// Runs the scale plane from the CLI: a √tasks-wide chain of exactly
 /// `--tasks` tasks on a `--nodes`-node cluster, optionally with the
 /// migration-churn variant (`--churn`) that drives the composed
@@ -803,6 +898,87 @@ mod tests {
         ]);
         let err = chaos_cmd(&parse_flags(&bad_times).unwrap()).unwrap_err();
         assert!(err.contains("crash-at-s"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_runs_a_tiny_clean_campaign() {
+        let dir = std::env::temp_dir().join("rstorm-cli-fuzz-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("t.spec");
+        let clus = dir.join("c.spec");
+        std::fs::write(
+            &topo,
+            "topology t\nspout s parallelism=1 cpu=20 mem=128\n\
+             bolt k parallelism=1 cpu=20 mem=128 emit=0\n  subscribe s shuffle\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &clus,
+            "cluster\nrack r0\n  node n0 cpu=100 mem=2048 slots=4\n  node n1 cpu=100 mem=2048 slots=4\n",
+        )
+        .unwrap();
+        let log = dir.join("campaign.log");
+        let flags = parse_flags(&[
+            "--topology".into(),
+            topo.to_string_lossy().into_owned(),
+            "--cluster".into(),
+            clus.to_string_lossy().into_owned(),
+            "--iterations".into(),
+            "3".into(),
+            "--duration-s".into(),
+            "20".into(),
+            "--workers".into(),
+            "2".into(),
+            "--out".into(),
+            log.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        fuzz_cmd(&flags).unwrap();
+        let written = std::fs::read_to_string(&log).unwrap();
+        assert!(written.contains("violations=0"), "{written}");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_arguments_with_typed_errors() {
+        let with = |pairs: &[(&str, &str)]| {
+            let mut flags = BTreeMap::new();
+            for (k, v) in pairs {
+                flags.insert((*k).to_owned(), (*v).to_owned());
+            }
+            flags
+        };
+        // Input validation fires before the specs are even needed only
+        // for missing files; flag errors need the inputs loaded first.
+        let dir = std::env::temp_dir().join("rstorm-cli-fuzz-bad-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("t.spec");
+        let clus = dir.join("c.spec");
+        std::fs::write(
+            &topo,
+            "topology t\nspout s parallelism=1 cpu=20 mem=128\n\
+             bolt k parallelism=1 cpu=20 mem=128 emit=0\n  subscribe s shuffle\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &clus,
+            "cluster\nrack r0\n  node n0 cpu=100 mem=2048 slots=4\n",
+        )
+        .unwrap();
+        let t = topo.to_string_lossy().into_owned();
+        let c = clus.to_string_lossy().into_owned();
+        let base: &[(&str, &str)] = &[("topology", t.as_str()), ("cluster", c.as_str())];
+        let mut bad = with(base);
+        bad.insert("iterations".into(), "0".into());
+        assert!(fuzz_cmd(&bad).unwrap_err().contains("--iterations"));
+        let mut bad = with(base);
+        bad.insert("max-atoms".into(), "none".into());
+        assert!(fuzz_cmd(&bad).unwrap_err().contains("--max-atoms"));
+        let mut bad = with(base);
+        bad.insert("workers".into(), "0".into());
+        assert!(fuzz_cmd(&bad).unwrap_err().contains("--workers"));
+        let mut bad = with(base);
+        bad.insert("scheduler".into(), "martian".into());
+        assert!(fuzz_cmd(&bad).unwrap_err().contains("martian"));
     }
 
     #[test]

@@ -31,16 +31,70 @@
 //! liveness flips.
 
 use crate::config::SimConfig;
-use crate::faults::FaultPlan;
-use crate::report::{RecoveryObservations, SimReport};
-use crate::sim::Simulation;
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::report::{InvariantViolation, RecoveryObservations, SimReport};
+use crate::sim::{CheckedReport, Simulation};
 use rstorm_cluster::Cluster;
 use rstorm_core::{
-    GlobalState, RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager, Scheduler,
-    SchedulingPlan,
+    GlobalState, RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager, ScheduleError,
+    Scheduler, SchedulingPlan,
 };
 use rstorm_topology::Topology;
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a chaos scenario or fault-plan run could not start. Fuzzed
+/// clusters and plans routinely hit these (an unschedulable topology, a
+/// generated name that resolves nowhere); surfacing them as values lets
+/// a campaign record the outcome and move on instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// The scenario's victim names no node of the cluster.
+    UnknownVictim {
+        /// The configured victim.
+        victim: String,
+    },
+    /// A fault-plan event names no node of the cluster.
+    UnknownNode {
+        /// The unresolvable node name.
+        node: String,
+    },
+    /// A fault-plan partition names no rack of the cluster.
+    UnknownRack {
+        /// The unresolvable rack name.
+        rack: String,
+    },
+    /// The topology does not fit the healthy cluster — the scenario
+    /// needs a valid initial placement to disrupt.
+    InitialPlacement {
+        /// The topology that failed to place.
+        topology: String,
+        /// The scheduler's reason.
+        error: ScheduleError,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownVictim { victim } => {
+                write!(f, "chaos victim `{victim}` is not a node of the cluster")
+            }
+            Self::UnknownNode { node } => {
+                write!(f, "fault plan references unknown node `{node}`")
+            }
+            Self::UnknownRack { rack } => {
+                write!(f, "fault plan references unknown rack `{rack}`")
+            }
+            Self::InitialPlacement { topology, error } => write!(
+                f,
+                "no initial placement for `{topology}` on the healthy cluster: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
 
 /// One crash-then-recover scenario: which node dies, when, and for how
 /// long, plus the simulation and recovery-loop knobs.
@@ -100,6 +154,23 @@ pub struct ChaosOutcome {
     pub observations: RecoveryObservations,
 }
 
+/// Everything a generalized fault-plan run produced (see
+/// [`run_fault_plan_with`]).
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The fault-injected data-plane report, with
+    /// [`SimReport::recovery`] populated.
+    pub report: SimReport,
+    /// Invariant violations the checked engine observed — always empty
+    /// unless `sim_cfg.check_invariants` was on (the fuzzer's oracle
+    /// input).
+    pub violations: Vec<InvariantViolation>,
+    /// The control-plane recovery events, in occurrence order.
+    pub events: Vec<RecoveryEvent>,
+    /// The derived recovery metrics (also embedded in `report`).
+    pub observations: RecoveryObservations,
+}
+
 /// Runs the crash-then-recover scenario described by `cfg` for one
 /// topology. See the module docs for the two-plane structure.
 ///
@@ -126,28 +197,59 @@ pub fn run_crash_recover(
 ///
 /// # Panics
 ///
-/// As [`run_crash_recover`].
+/// As [`run_crash_recover`]. [`try_run_crash_recover_with`] returns the
+/// same failures as typed [`ChaosError`]s instead.
 pub fn run_crash_recover_with(
     cluster: &Arc<Cluster>,
     topology: &Topology,
     cfg: &ChaosConfig,
     scheduler: &(dyn Scheduler + '_),
 ) -> ChaosOutcome {
-    assert!(
-        cluster
-            .nodes()
-            .iter()
-            .any(|n| n.id().as_str() == cfg.victim),
-        "chaos victim `{}` is not a node of the cluster",
-        cfg.victim
-    );
+    match try_run_crash_recover_with(cluster, topology, cfg, scheduler) {
+        Ok(out) => out,
+        Err(ChaosError::UnknownVictim { victim }) => {
+            panic!("chaos victim `{victim}` is not a node of the cluster")
+        }
+        Err(ChaosError::InitialPlacement { .. }) => {
+            panic!("chaos scenario requires an initial placement on the healthy cluster")
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_crash_recover_with`], with start-up failures — an unknown
+/// victim, a topology that cannot place on the healthy cluster — as
+/// typed [`ChaosError`]s instead of panics. The chaos fuzzer calls this
+/// so generated scenarios surface as results, not aborts.
+///
+/// # Errors
+///
+/// [`ChaosError::UnknownVictim`] and [`ChaosError::InitialPlacement`].
+pub fn try_run_crash_recover_with(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    cfg: &ChaosConfig,
+    scheduler: &(dyn Scheduler + '_),
+) -> Result<ChaosOutcome, ChaosError> {
+    if !cluster
+        .nodes()
+        .iter()
+        .any(|n| n.id().as_str() == cfg.victim)
+    {
+        return Err(ChaosError::UnknownVictim {
+            victim: cfg.victim.clone(),
+        });
+    }
 
     // -- Control plane: replay the recovery loop over heartbeat ticks. --
     let mut control = (**cluster).clone();
     let mut state = GlobalState::new(&control);
     let initial = scheduler
         .schedule(topology, &control, &mut state)
-        .expect("chaos scenario requires an initial placement on the healthy cluster");
+        .map_err(|error| ChaosError::InitialPlacement {
+            topology: topology.id().as_str().to_owned(),
+            error,
+        })?;
     let mut manager = RecoveryManager::new(cfg.recovery.clone());
     let mut events = Vec::new();
 
@@ -229,12 +331,172 @@ pub fn run_crash_recover_with(
     };
     report.recovery = Some(observations);
 
-    ChaosOutcome {
+    Ok(ChaosOutcome {
         report,
         events,
         plan: state.plan().clone(),
         observations,
+    })
+}
+
+/// Runs an arbitrary [`FaultPlan`] — crashes, recovers, flap storms,
+/// crash bursts, link degradations and rack partitions — through both
+/// planes, the generalization of [`run_crash_recover_with`] the chaos
+/// fuzzer drives:
+///
+/// * **Control plane** — the [`RecoveryManager`] replay, where a node
+///   misses heartbeats while it is crashed (per
+///   [`FaultPlan::node_down_windows`]) *or* while its rack is
+///   partitioned (per [`FaultPlan::rack_partition_windows`] — heartbeats
+///   cross racks to reach the control loop), exercising detection, trust
+///   hysteresis and the churn limiter under correlated loss.
+/// * **Data plane** — the full plan injected into a checked simulation
+///   ([`Simulation::run_checked`]), so `sim_cfg.check_invariants = true`
+///   surfaces accounting violations in the outcome.
+///
+/// The derived [`RecoveryObservations`] anchor on the plan's earliest
+/// fault (detection/recovery latencies are measured from there).
+///
+/// # Errors
+///
+/// [`ChaosError::UnknownNode`] / [`ChaosError::UnknownRack`] when the
+/// plan references names the cluster does not have, and
+/// [`ChaosError::InitialPlacement`] when the topology cannot place.
+pub fn run_fault_plan_with(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    plan: &FaultPlan,
+    sim_cfg: &SimConfig,
+    recovery: &RecoveryConfig,
+    scheduler: &(dyn Scheduler + '_),
+) -> Result<PlanOutcome, ChaosError> {
+    // Resolve every name the plan references up front so fuzzed plans
+    // surface as typed errors here instead of engine panics mid-run.
+    for ev in plan.events() {
+        match ev {
+            FaultEvent::NodeCrash { node, .. } | FaultEvent::NodeRecover { node, .. } => {
+                if !cluster.nodes().iter().any(|n| n.id().as_str() == node) {
+                    return Err(ChaosError::UnknownNode { node: node.clone() });
+                }
+            }
+            FaultEvent::RackPartition { rack, .. } => {
+                if !cluster.racks().iter().any(|r| r.as_str() == rack) {
+                    return Err(ChaosError::UnknownRack { rack: rack.clone() });
+                }
+            }
+            FaultEvent::LinkDegrade { .. } => {}
+        }
     }
+
+    // -- Control plane: replay the recovery loop over heartbeat ticks. --
+    let mut control = (**cluster).clone();
+    let mut state = GlobalState::new(&control);
+    let initial = scheduler
+        .schedule(topology, &control, &mut state)
+        .map_err(|error| ChaosError::InitialPlacement {
+            topology: topology.id().as_str().to_owned(),
+            error,
+        })?;
+    let mut manager = RecoveryManager::new(recovery.clone());
+    let mut events = Vec::new();
+
+    // A node is silent while any of its own down windows or its rack's
+    // partition windows covers the tick.
+    let node_windows = plan.node_down_windows();
+    let rack_windows = plan.rack_partition_windows();
+    let down_windows: Vec<(String, Vec<(f64, f64)>)> = cluster
+        .nodes()
+        .iter()
+        .map(|n| {
+            let name = n.id().as_str().to_owned();
+            let mut windows: Vec<(f64, f64)> =
+                node_windows.get(name.as_str()).cloned().unwrap_or_default();
+            if let Some(rw) = rack_windows.get(n.rack().as_str()) {
+                windows.extend(rw.iter().copied());
+            }
+            (name, windows)
+        })
+        .collect();
+
+    let interval = recovery.heartbeat_interval_ms;
+    let mut t = 0.0;
+    while t <= sim_cfg.sim_time_ms {
+        for (name, windows) in &down_windows {
+            let down = windows.iter().any(|&(at, until)| t >= at && t < until);
+            if !down {
+                manager.observe_heartbeat(name, t);
+            }
+        }
+        events.extend(manager.tick(t, &mut control, &mut state, scheduler, &[topology]));
+        t += interval;
+    }
+
+    let mut detect_at = None;
+    let mut first_resched = None;
+    let mut recovered_at = None;
+    for event in &events {
+        match event {
+            RecoveryEvent::NodeDeclaredDead { at_ms, .. } => {
+                detect_at.get_or_insert(*at_ms);
+            }
+            RecoveryEvent::TopologyRescheduled {
+                at_ms, unplaced, ..
+            } => {
+                first_resched.get_or_insert(*at_ms);
+                if *unplaced == 0 {
+                    recovered_at.get_or_insert(*at_ms);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -- Data plane: the full plan injected into a checked simulation. --
+    let mut sim = Simulation::new(Arc::clone(cluster), sim_cfg.clone());
+    sim.add_topology(topology, &initial);
+    sim.set_fault_plan(plan.clone());
+    let CheckedReport {
+        mut report,
+        violations,
+    } = sim.run_checked();
+
+    // -- Derived observations, anchored on the earliest fault. --
+    let first_fault = plan
+        .events()
+        .iter()
+        .map(FaultEvent::at_ms)
+        .fold(f64::INFINITY, f64::min);
+    let anchor = if first_fault.is_finite() {
+        first_fault
+    } else {
+        0.0
+    };
+    let outage_end = first_resched.unwrap_or(sim_cfg.sim_time_ms);
+    let dip = report
+        .throughput
+        .get(topology.id().as_str())
+        .map_or(0.0, |t| {
+            dip_depth(&t.windows, t.window_ms, anchor, outage_end + t.window_ms)
+        });
+    let observations = RecoveryObservations {
+        crash_at_ms: anchor,
+        time_to_detect_ms: detect_at.map_or(-1.0, |at| at - anchor),
+        time_to_recover_ms: recovered_at.map_or(-1.0, |at| at - anchor),
+        tuples_lost: report.totals.tuples_lost,
+        throughput_dip_depth: dip,
+        reschedule_attempts: manager.reschedule_attempts(),
+        roots_replayed: report.totals.roots_replayed,
+        tuples_quarantined: report.totals.tuples_quarantined,
+        suppressed_flaps: manager.suppressed_flaps(),
+    };
+    report.recovery = Some(observations);
+
+    Ok(PlanOutcome {
+        report,
+        violations,
+        events,
+        observations,
+    })
 }
 
 /// Depth of the throughput dip: `1 - worst_outage_window / steady_mean`,
@@ -418,5 +680,142 @@ mod tests {
             &topology(),
             &ChaosConfig::new("ghost", 1.0, 2.0),
         );
+    }
+
+    #[test]
+    fn try_variant_reports_unknown_victim_as_value() {
+        let err = try_run_crash_recover_with(
+            &cluster(),
+            &topology(),
+            &ChaosConfig::new("ghost", 1.0, 2.0),
+            &RStormScheduler::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownVictim {
+                victim: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn unschedulable_topology_surfaces_as_typed_error() {
+        // A topology no node can hold: the scenario cannot start, and a
+        // fuzzed cluster must learn that as a result, not an abort.
+        let cluster = cluster();
+        let mut b = TopologyBuilder::new("huge");
+        b.set_spout("src", 1)
+            .set_profile(ExecutionProfile::network_bound(100))
+            .set_cpu_load(10.0)
+            .set_memory_load(1e9);
+        b.set_bolt("sink", 1)
+            .shuffle_grouping("src")
+            .set_profile(ExecutionProfile::network_bound(100).into_sink())
+            .set_cpu_load(10.0)
+            .set_memory_load(1e9);
+        let t = b.build().unwrap();
+        let victim = cluster.nodes()[0].id().as_str().to_owned();
+        let cfg = ChaosConfig::new(victim, 1_000.0, 2_000.0);
+        let err =
+            try_run_crash_recover_with(&cluster, &t, &cfg, &RStormScheduler::new()).unwrap_err();
+        assert!(
+            matches!(err, ChaosError::InitialPlacement { ref topology, .. } if topology == "huge"),
+            "got {err:?}"
+        );
+        // The same failure keeps panicking through the legacy entry point.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_crash_recover(&cluster, &t, &cfg)
+        }));
+        assert!(caught.is_err(), "the panicking wrapper still panics");
+    }
+
+    #[test]
+    fn fault_plan_runner_validates_names() {
+        let cluster = cluster();
+        let t = topology();
+        let bad_node = FaultPlan::new().crash_node(1_000.0, "ghost");
+        let err = run_fault_plan_with(
+            &cluster,
+            &t,
+            &bad_node,
+            &SimConfig::quick(),
+            &RecoveryConfig::default(),
+            &RStormScheduler::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownNode {
+                node: "ghost".into()
+            }
+        );
+
+        let bad_rack = FaultPlan::new().partition_rack(1_000.0, 2_000.0, "ghost-rack");
+        let err = run_fault_plan_with(
+            &cluster,
+            &t,
+            &bad_rack,
+            &SimConfig::quick(),
+            &RecoveryConfig::default(),
+            &RStormScheduler::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownRack {
+                rack: "ghost-rack".into()
+            }
+        );
+    }
+
+    #[test]
+    fn partition_silences_heartbeats_and_is_detected() {
+        // Partition the rack hosting the topology: workers keep running
+        // and all traffic is intra-rack (R-Storm colocates), so the data
+        // plane is untouched — but heartbeats cross racks, so the control
+        // plane must declare the rack's nodes dead within the window.
+        let cluster = cluster();
+        let t = topology();
+        let host = host_node(&cluster, &t);
+        let rack = cluster.rack_of(&host).unwrap().as_str().to_owned();
+        let plan = FaultPlan::new().partition_rack(20_000.0, 45_000.0, &rack);
+        let sim_cfg = SimConfig::quick();
+        let recovery = RecoveryConfig::default();
+        let out = run_fault_plan_with(
+            &cluster,
+            &t,
+            &plan,
+            &sim_cfg,
+            &recovery,
+            &RStormScheduler::new(),
+        )
+        .unwrap();
+        assert!(
+            out.events.iter().any(
+                |e| matches!(e, RecoveryEvent::NodeDeclaredDead { node, .. } if *node == host)
+            ),
+            "the partitioned host must miss enough heartbeats: {:?}",
+            out.events
+        );
+        assert!(out.observations.time_to_detect_ms > 0.0);
+        assert_eq!(
+            out.report.totals.tuples_lost, 0,
+            "intra-rack traffic is unaffected by the partition"
+        );
+        // Deterministic end to end.
+        let again = run_fault_plan_with(
+            &cluster,
+            &t,
+            &plan,
+            &sim_cfg,
+            &recovery,
+            &RStormScheduler::new(),
+        )
+        .unwrap();
+        assert_eq!(out.report, again.report);
+        assert_eq!(out.report.to_json(), again.report.to_json());
+        assert_eq!(out.events, again.events);
     }
 }

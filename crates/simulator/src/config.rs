@@ -41,6 +41,27 @@ pub struct SimConfig {
     /// tests), so this knob changes wall-clock cost only; `false` forces
     /// the legacy full rebuild on every migration.
     pub incremental_routing: bool,
+    /// When true, the engine evaluates its accounting invariants — the
+    /// replay-plane drain invariant
+    /// `emitted == acked + quarantined + in_flight`, the live-root
+    /// ledger, and report counter sanity — **in every build profile**
+    /// and surfaces failures as typed
+    /// [`crate::InvariantViolation`]s through
+    /// [`crate::sim::Simulation::run_checked`] instead of
+    /// `debug_assert!`ing. Off by default: a default run is bit-identical
+    /// to the legacy engine and keeps the debug-only assertions. The
+    /// chaos fuzzer forces this on so release-build campaigns actually
+    /// check.
+    pub check_invariants: bool,
+    /// **Fuzzer self-test hook — never set this outside the planted-bug
+    /// gate.** When true, quarantine accounting deliberately skips the
+    /// `roots_quarantined` increment, breaking the drain invariant the
+    /// first time a root exhausts its replay budget. The fuzz smoke and
+    /// test suite use it to prove the campaign finds and shrinks a real
+    /// violation; with the hook off (always, in real use) the branch is
+    /// a single predictable-false comparison.
+    #[doc(hidden)]
+    pub planted_quarantine_bug: bool,
 }
 
 impl SimConfig {
@@ -83,6 +104,23 @@ impl SimConfig {
         self.incremental_routing = incremental_routing;
         self
     }
+
+    /// Returns the configuration with release-build invariant checking
+    /// enabled or disabled (see [`SimConfig::check_invariants`]). The
+    /// report bits of a run are identical either way — only whether
+    /// violations are *collected* changes.
+    pub fn with_check_invariants(mut self, check_invariants: bool) -> Self {
+        self.check_invariants = check_invariants;
+        self
+    }
+
+    /// Fuzzer self-test hook (see
+    /// [`SimConfig::planted_quarantine_bug`]).
+    #[doc(hidden)]
+    pub fn with_planted_quarantine_bug(mut self, planted: bool) -> Self {
+        self.planted_quarantine_bug = planted;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -97,6 +135,8 @@ impl Default for SimConfig {
             oom_thrash_factor: 0.05,
             max_replays: 0,
             incremental_routing: true,
+            check_invariants: false,
+            planted_quarantine_bug: false,
         }
     }
 }
@@ -141,6 +181,15 @@ mod tests {
     fn incremental_routing_is_on_by_default() {
         assert!(SimConfig::default().incremental_routing);
         assert!(SimConfig::quick().incremental_routing);
+    }
+
+    #[test]
+    fn invariant_checking_is_off_by_default() {
+        assert!(!SimConfig::default().check_invariants);
+        assert!(!SimConfig::quick().check_invariants);
+        assert!(!SimConfig::default().planted_quarantine_bug);
+        let c = SimConfig::default().with_check_invariants(true);
+        assert!(c.check_invariants);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod chaos;
 mod config;
 mod event;
 pub mod faults;
+pub mod fuzz;
 pub mod rebalance;
 mod reference;
 mod report;
@@ -72,13 +73,20 @@ mod sim;
 mod slab;
 pub mod sweep;
 
-pub use chaos::{run_crash_recover, run_crash_recover_with, ChaosConfig, ChaosOutcome};
+pub use chaos::{
+    run_crash_recover, run_crash_recover_with, run_fault_plan_with, try_run_crash_recover_with,
+    ChaosConfig, ChaosError, ChaosOutcome, PlanOutcome,
+};
 pub use config::SimConfig;
-pub use faults::{FaultEvent, FaultPlan};
+pub use faults::{FaultEvent, FaultPlan, ParsePlanError};
+pub use fuzz::{
+    check_fault_plan, run_fuzz_campaign, shrink_fault_plan, FuzzConfig, FuzzOutcome,
+    FuzzReproducer, FuzzVerdict, OracleKind,
+};
 pub use rebalance::{refined_clone, run_adaptive_rebalance, AdaptiveConfig, AdaptiveOutcome};
 pub use reference::ReferenceSimulation;
-pub use report::{RecoveryObservations, SimDebugStats, SimReport, SimTotals};
-pub use sim::Simulation;
+pub use report::{InvariantViolation, RecoveryObservations, SimDebugStats, SimReport, SimTotals};
+pub use sim::{CheckedReport, Simulation};
 pub use sweep::{
     run_sweep, FaultSpec, ParseRangeError, SeedRange, SweepCase, SweepGrid, SweepJob, SweepOutcome,
     SweepRow, SweepSummary,

@@ -2,7 +2,120 @@
 
 use rstorm_metrics::{Summary, ThroughputReport};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A broken engine invariant, surfaced as data instead of a
+/// `debug_assert!` so release-build fuzz campaigns can check every run
+/// (see [`crate::SimConfig::check_invariants`] and
+/// [`crate::sim::Simulation::run_checked`]). An empty violation list is
+/// the oracle the chaos fuzzer hunts against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// The replay-plane drain invariant
+    /// `emitted == completed + quarantined + in_flight` failed: a
+    /// logical root was double-settled or leaked.
+    DrainImbalance {
+        /// Roots admitted through the spout-pending window.
+        emitted: u64,
+        /// Roots settled as acked.
+        completed: u64,
+        /// Roots settled as poison.
+        quarantined: u64,
+        /// Roots still unsettled at the horizon.
+        in_flight: u64,
+    },
+    /// The live-root ledger failed: the engine's `live_logical` count
+    /// disagrees with the sum of unfailed slab residents and queued
+    /// replays.
+    LedgerMismatch {
+        /// The engine's running count of unsettled logical roots.
+        live_logical: u64,
+        /// Live unfailed attempts in the root slab.
+        slab_live: u64,
+        /// Entries waiting in spout replay queues.
+        replay_queued: u64,
+    },
+    /// A reported metric is NaN or infinite.
+    NonFiniteMetric {
+        /// Which metric (a stable dotted path into the report).
+        metric: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A reported metric that must be non-negative is below zero.
+    NegativeMetric {
+        /// Which metric (a stable dotted path into the report).
+        metric: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A monotone counter is implausibly close to `u64::MAX` — the
+    /// signature of wrapping arithmetic, far beyond what any simulated
+    /// horizon can legitimately produce.
+    CounterOverflow {
+        /// Which counter.
+        counter: String,
+        /// The suspect value.
+        value: u64,
+    },
+}
+
+impl InvariantViolation {
+    /// Stable machine-readable kind label (the shrinker preserves the
+    /// kind of the oracle a plan trips).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::DrainImbalance { .. } => "drain_imbalance",
+            Self::LedgerMismatch { .. } => "ledger_mismatch",
+            Self::NonFiniteMetric { .. } => "non_finite_metric",
+            Self::NegativeMetric { .. } => "negative_metric",
+            Self::CounterOverflow { .. } => "counter_overflow",
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DrainImbalance {
+                emitted,
+                completed,
+                quarantined,
+                in_flight,
+            } => write!(
+                f,
+                "drain invariant: emitted {emitted} != completed {completed} \
+                 + quarantined {quarantined} + in_flight {in_flight}"
+            ),
+            Self::LedgerMismatch {
+                live_logical,
+                slab_live,
+                replay_queued,
+            } => write!(
+                f,
+                "root ledger: live_logical {live_logical} != slab_live {slab_live} \
+                 + replay_queued {replay_queued}"
+            ),
+            Self::NonFiniteMetric { metric, value } => {
+                write!(f, "metric {metric} is not finite ({value})")
+            }
+            Self::NegativeMetric { metric, value } => {
+                write!(f, "metric {metric} is negative ({value})")
+            }
+            Self::CounterOverflow { counter, value } => {
+                write!(
+                    f,
+                    "counter {counter} is implausibly large ({value}), likely wrapped"
+                )
+            }
+        }
+    }
+}
+
+/// Counters this close to `u64::MAX` can only come from wrapping
+/// subtraction — no simulated horizon emits 2^63 of anything.
+const OVERFLOW_CANARY: u64 = u64::MAX / 2;
 
 /// Aggregate event counts of a run (useful for conservation checks and
 /// diagnosing overload).
@@ -185,6 +298,101 @@ impl SimReport {
     /// (see [`SimTotals::tuples_quarantined`]).
     pub fn tuples_quarantined(&self) -> u64 {
         self.totals.tuples_quarantined
+    }
+
+    /// Counter-sanity sweep over the report: every float metric must be
+    /// finite, the non-negative ones non-negative, and every monotone
+    /// counter far from the wrap-around canary. A pure function of the
+    /// report, so harnesses can check any run after the fact; the engine
+    /// folds these into [`crate::sim::Simulation::run_checked`] when
+    /// [`crate::SimConfig::check_invariants`] is on.
+    pub fn sanity_violations(&self) -> Vec<InvariantViolation> {
+        fn float(out: &mut Vec<InvariantViolation>, metric: &str, value: f64, non_negative: bool) {
+            if !value.is_finite() {
+                out.push(InvariantViolation::NonFiniteMetric {
+                    metric: metric.to_owned(),
+                    value,
+                });
+            } else if non_negative && value < 0.0 {
+                out.push(InvariantViolation::NegativeMetric {
+                    metric: metric.to_owned(),
+                    value,
+                });
+            }
+        }
+        let mut out = Vec::new();
+        float(&mut out, "duration_ms", self.duration_ms, true);
+        float(&mut out, "window_ms", self.window_ms, true);
+        float(&mut out, "inter_rack_mb", self.inter_rack_mb, true);
+        for (topo, t) in &self.throughput {
+            for (i, &w) in t.windows.iter().enumerate() {
+                float(&mut out, &format!("throughput.{topo}[{i}]"), w, true);
+            }
+        }
+        for (node, u) in &self.node_utilization {
+            float(&mut out, &format!("node_utilization.{node}"), *u, true);
+        }
+        float(&mut out, "latency_ms.mean", self.latency_ms.mean, true);
+        float(&mut out, "latency_ms.stddev", self.latency_ms.stddev, true);
+        if self.totals.roots_in_flight <= self.totals.roots_emitted {
+            float(&mut out, "zero_loss_ratio", self.zero_loss_ratio(), true);
+        } else {
+            // More in flight than ever emitted: the drain accounting
+            // wrapped; computing the ratio would underflow.
+            out.push(InvariantViolation::DrainImbalance {
+                emitted: self.totals.roots_emitted,
+                completed: self.totals.roots_completed,
+                quarantined: self.totals.roots_quarantined,
+                in_flight: self.totals.roots_in_flight,
+            });
+        }
+        if let Some(r) = &self.recovery {
+            float(&mut out, "recovery.crash_at_ms", r.crash_at_ms, true);
+            // Detect/recover latencies use -1.0 sentinels, so only
+            // finiteness is required of them.
+            float(
+                &mut out,
+                "recovery.time_to_detect_ms",
+                r.time_to_detect_ms,
+                false,
+            );
+            float(
+                &mut out,
+                "recovery.time_to_recover_ms",
+                r.time_to_recover_ms,
+                false,
+            );
+            float(
+                &mut out,
+                "recovery.throughput_dip_depth",
+                r.throughput_dip_depth,
+                true,
+            );
+        }
+        let t = &self.totals;
+        for (counter, value) in [
+            ("spout_batches", t.spout_batches),
+            ("batches_delivered", t.batches_delivered),
+            ("batches_dropped", t.batches_dropped),
+            ("roots_completed", t.roots_completed),
+            ("roots_timed_out", t.roots_timed_out),
+            ("tuples_processed", t.tuples_processed),
+            ("tuples_completed", t.tuples_completed),
+            ("tuples_lost", t.tuples_lost),
+            ("roots_emitted", t.roots_emitted),
+            ("roots_replayed", t.roots_replayed),
+            ("roots_quarantined", t.roots_quarantined),
+            ("tuples_quarantined", t.tuples_quarantined),
+            ("roots_in_flight", t.roots_in_flight),
+        ] {
+            if value > OVERFLOW_CANARY {
+                out.push(InvariantViolation::CounterOverflow {
+                    counter: counter.to_owned(),
+                    value,
+                });
+            }
+        }
+        out
     }
 
     /// Serializes the physical outcome (everything `==` compares; debug
@@ -427,6 +635,34 @@ mod tests {
         assert!(j.contains("\"tuples_quarantined\": 10"));
         assert!(j.contains("\"roots_in_flight\": 1}"));
         assert_ne!(legacy, replay, "replay counters are part of the outcome");
+    }
+
+    #[test]
+    fn sanity_sweep_flags_bad_metrics_and_passes_clean_reports() {
+        let clean = empty_report();
+        assert!(clean.sanity_violations().is_empty());
+
+        let mut bad = empty_report();
+        bad.inter_rack_mb = f64::NAN;
+        bad.node_utilization.push(("n0".to_owned(), -0.5));
+        bad.totals.tuples_processed = u64::MAX - 3;
+        let violations = bad.sanity_violations();
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        let kinds: Vec<&str> = violations.iter().map(InvariantViolation::kind).collect();
+        assert!(kinds.contains(&"non_finite_metric"));
+        assert!(kinds.contains(&"negative_metric"));
+        assert!(kinds.contains(&"counter_overflow"));
+        for v in &violations {
+            assert!(!v.to_string().is_empty());
+        }
+
+        // Wrapped drain accounting is caught instead of underflowing.
+        let mut wrapped = empty_report();
+        wrapped.totals.roots_emitted = 2;
+        wrapped.totals.roots_in_flight = 5;
+        let violations = wrapped.sanity_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind(), "drain_imbalance");
     }
 
     #[test]

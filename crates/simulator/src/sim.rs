@@ -25,7 +25,7 @@ use crate::build::{ClusterIndex, GroupKind, LinkKind, Route, SimBuild, NO_SINK};
 use crate::config::SimConfig;
 use crate::event::EventQueue;
 use crate::faults::{FaultEvent, FaultPlan};
-use crate::report::{SimDebugStats, SimReport, SimTotals};
+use crate::report::{InvariantViolation, SimDebugStats, SimReport, SimTotals};
 use crate::servers::{DenseCpuServer, LinkServer};
 use crate::slab::{RootSlab, RootState};
 use rand::rngs::StdRng;
@@ -73,6 +73,11 @@ enum FaultAction {
     Crash(u32),
     Recover(u32),
     SetLinkExtra(f64),
+    /// Start dropping inter-rack transfers whose producer or consumer
+    /// lives on this dense rack id (see [`FaultEvent::RackPartition`]).
+    PartitionRack(u32),
+    /// End the partition window for this dense rack id.
+    HealRack(u32),
     /// Snapshot per-component stats into the exported
     /// [`StatisticServer`] and reschedule the next tick.
     StatsTick,
@@ -377,12 +382,39 @@ impl Simulation {
     ///
     /// Panics if no topology was added.
     pub fn run(self) -> SimReport {
+        self.run_checked().report
+    }
+
+    /// Runs the simulation to completion and reports, together with any
+    /// [`InvariantViolation`]s detected when
+    /// [`SimConfig::check_invariants`] is on. With checking off (the
+    /// default) the violation list is always empty and the report is
+    /// bit-identical to [`Self::run`] — checking never perturbs the run,
+    /// it only *collects* what the debug build would have asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no topology was added.
+    pub fn run_checked(self) -> CheckedReport {
         assert!(
             !self.build.specs.is_empty(),
             "add at least one topology before running"
         );
-        Engine::new(self).run()
+        let (report, violations) = Engine::new(self).run();
+        CheckedReport { report, violations }
     }
+}
+
+/// The outcome of [`Simulation::run_checked`]: the ordinary report plus
+/// every invariant violation the checked engine observed (empty unless
+/// [`SimConfig::check_invariants`] was on and something is actually
+/// broken — the chaos fuzzer's oracle input).
+#[derive(Debug, Clone)]
+pub struct CheckedReport {
+    /// The report, bit-identical to what [`Simulation::run`] returns.
+    pub report: SimReport,
+    /// Typed accounting/sanity violations, in detection order.
+    pub violations: Vec<InvariantViolation>,
 }
 
 /// Mutable engine state, split from `Simulation` so the borrow checker
@@ -429,6 +461,13 @@ struct Engine {
 
     /// Liveness per dense node id; flipped by fault events only.
     node_down: Vec<bool>,
+    /// Partition state per dense rack id; flipped by fault events only.
+    rack_down: Vec<bool>,
+    /// Count of currently partitioned racks. The hot transfer path
+    /// checks this single integer; a plan with no partitions keeps it at
+    /// zero forever, so fault-free and crash-only runs stay bit-identical
+    /// to the legacy engine.
+    racks_partitioned: u32,
     /// Global task indices hosted on each node (for crash draining and
     /// recovery re-kicks).
     node_tasks: Vec<Vec<usize>>,
@@ -518,6 +557,24 @@ impl Engine {
                     fault_schedule.push((*until_ms, fault_actions.len()));
                     fault_actions.push(FaultAction::SetLinkExtra(0.0));
                 }
+                FaultEvent::RackPartition {
+                    at_ms,
+                    until_ms,
+                    rack,
+                } => {
+                    // `cluster.racks()` order is the dense rack-index
+                    // order used by `ClusterIndex::rack_of_node`.
+                    let r = cluster
+                        .racks()
+                        .iter()
+                        .position(|id| id.as_str() == rack)
+                        .unwrap_or_else(|| panic!("fault plan references unknown rack `{rack}`"))
+                        as u32;
+                    fault_schedule.push((*at_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::PartitionRack(r));
+                    fault_schedule.push((*until_ms, fault_actions.len()));
+                    fault_actions.push(FaultAction::HealRack(r));
+                }
             }
         }
 
@@ -604,6 +661,7 @@ impl Engine {
 
         let rng = StdRng::seed_from_u64(config.seed);
         let node_down = vec![false; index.cores.len()];
+        let rack_down = vec![false; cluster.racks().len()];
         let replay_enabled = config.max_replays > 0;
         Self {
             config,
@@ -627,6 +685,8 @@ impl Engine {
             replay_enabled,
             live_logical: 0,
             node_down,
+            rack_down,
+            racks_partitioned: 0,
             node_tasks,
             link_extra_ms: 0.0,
             fault_actions,
@@ -636,7 +696,7 @@ impl Engine {
         }
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> (SimReport, Vec<InvariantViolation>) {
         for i in 0..self.statics.len() {
             if self.statics[i].is_spout {
                 self.queue.schedule(0.0, FastEv::try_spout(i));
@@ -875,6 +935,27 @@ impl Engine {
         let spec = self.statics[from];
         let bytes = spec.tuple_bytes.saturating_mul(batch.tuples);
 
+        // An active rack partition severs new inter-rack sends touching
+        // the partitioned rack *before* any link server is consulted:
+        // the dropped transfer consumes no egress/uplink/ingress
+        // capacity, exactly as if the consumer's node had crashed. The
+        // guard is a single integer compare when no partition is active,
+        // keeping partition-free runs bit-identical.
+        if self.racks_partitioned > 0 && matches!(route.kind, LinkKind::InterRack) {
+            let src = self.index.rack_of_node[spec.node as usize];
+            let dst = self.index.rack_of_node[route.to_node as usize];
+            if self.rack_down[src] || self.rack_down[dst] {
+                // Mirror the crashed-consumer path: the batch takes its
+                // pending slot (as every transfer does) and is then lost,
+                // so the tuple tree fails through the ordinary timeout.
+                if let Some(root) = self.roots.get_mut(batch.root) {
+                    root.pending += 1;
+                }
+                self.lose_batch(batch);
+                return;
+            }
+        }
+
         // `link_extra_ms` is 0.0 outside degradation windows; adding it
         // is then bit-neutral, preserving fault-free reference parity.
         let arrival = match route.kind {
@@ -1002,8 +1083,12 @@ impl Engine {
         } else {
             // Retry budget exhausted: quarantine the poison tuple. Only
             // now do the crash-destroyed tuples of every attempt count as
-            // lost — no replay will retransmit them.
-            self.totals.roots_quarantined += 1;
+            // lost — no replay will retransmit them. The planted-bug hook
+            // (fuzzer self-test only) skips the settled-roots increment,
+            // breaking the drain invariant on the first quarantine.
+            if !self.config.planted_quarantine_bug {
+                self.totals.roots_quarantined += 1;
+            }
             self.totals.tuples_quarantined += u64::from(self.config.batch_tuples);
             self.totals.tuples_lost += carried;
             self.live_logical -= 1;
@@ -1027,6 +1112,8 @@ impl Engine {
             FaultAction::Crash(node) => self.crash_node(node as usize),
             FaultAction::Recover(node) => self.recover_node(node as usize),
             FaultAction::SetLinkExtra(extra_ms) => self.link_extra_ms = extra_ms,
+            FaultAction::PartitionRack(rack) => self.partition_rack(rack as usize),
+            FaultAction::HealRack(rack) => self.heal_rack(rack as usize),
             FaultAction::StatsTick => self.stats_tick(),
             FaultAction::Migrate(m) => self.apply_migration(m as usize),
         }
@@ -1197,6 +1284,29 @@ impl Engine {
         }
     }
 
+    /// Starts a partition window on `rack`: from now until the matching
+    /// [`Self::heal_rack`], inter-rack transfers whose producer or
+    /// consumer lives on this rack are dropped at send time (see
+    /// [`Self::transfer`]). Workers keep running and intra-rack/local
+    /// traffic is unaffected; transfers already in flight still arrive —
+    /// the uplink queue drains, new sends are severed. Idempotent.
+    fn partition_rack(&mut self, rack: usize) {
+        if self.rack_down[rack] {
+            return;
+        }
+        self.rack_down[rack] = true;
+        self.racks_partitioned += 1;
+    }
+
+    /// Ends the partition window on `rack`. Idempotent.
+    fn heal_rack(&mut self, rack: usize) {
+        if !self.rack_down[rack] {
+            return;
+        }
+        self.rack_down[rack] = false;
+        self.racks_partitioned -= 1;
+    }
+
     /// Accounts for a batch destroyed by a crash. A live root keeps the
     /// batch's pending slot occupied but remembers it as `lost`, so the
     /// tuple tree fails through the ordinary timeout path and the slot is
@@ -1225,23 +1335,54 @@ impl Engine {
 
     // ---- reporting ------------------------------------------------------
 
-    fn report(mut self) -> SimReport {
+    fn report(mut self) -> (SimReport, Vec<InvariantViolation>) {
+        let mut violations = Vec::new();
         if self.replay_enabled {
             self.totals.roots_in_flight = self.live_logical;
-            #[cfg(debug_assertions)]
-            {
+            if self.config.check_invariants {
+                // Checked mode: the same accounting identities the debug
+                // build asserts, evaluated in every profile and surfaced
+                // as typed violations instead of aborts.
                 let queued: u64 = self.tasks.iter().map(|t| t.replay_queue.len() as u64).sum();
-                debug_assert_eq!(
-                    self.live_logical,
-                    self.roots.unfailed_live() + queued,
-                    "every un-settled logical root is exactly one live \
-                     attempt or one replay-buffer entry"
-                );
-                debug_assert_eq!(
-                    self.totals.roots_emitted,
-                    self.totals.roots_completed + self.totals.roots_quarantined + self.live_logical,
-                    "drain invariant: emitted == acked + quarantined + in_flight"
-                );
+                let slab_live = self.roots.unfailed_live();
+                if self.live_logical != slab_live + queued {
+                    violations.push(InvariantViolation::LedgerMismatch {
+                        live_logical: self.live_logical,
+                        slab_live,
+                        replay_queued: queued,
+                    });
+                }
+                let settled = self
+                    .totals
+                    .roots_completed
+                    .checked_add(self.totals.roots_quarantined)
+                    .and_then(|s| s.checked_add(self.live_logical));
+                if settled != Some(self.totals.roots_emitted) {
+                    violations.push(InvariantViolation::DrainImbalance {
+                        emitted: self.totals.roots_emitted,
+                        completed: self.totals.roots_completed,
+                        quarantined: self.totals.roots_quarantined,
+                        in_flight: self.live_logical,
+                    });
+                }
+            } else if !self.config.planted_quarantine_bug {
+                #[cfg(debug_assertions)]
+                {
+                    let queued: u64 = self.tasks.iter().map(|t| t.replay_queue.len() as u64).sum();
+                    debug_assert_eq!(
+                        self.live_logical,
+                        self.roots.unfailed_live() + queued,
+                        "every un-settled logical root is exactly one live \
+                         attempt or one replay-buffer entry"
+                    );
+                    debug_assert_eq!(
+                        self.totals.roots_emitted,
+                        self.totals.roots_completed
+                            + self.totals.roots_quarantined
+                            + self.live_logical,
+                        "drain invariant: emitted == acked + quarantined + in_flight"
+                    );
+                }
             }
         }
         let elapsed = self.config.sim_time_ms;
@@ -1303,7 +1444,7 @@ impl Engine {
         }
 
         let node_utilization = tracker.used_node_utilizations(elapsed);
-        SimReport {
+        let report = SimReport {
             duration_ms: elapsed,
             window_ms: self.config.window_ms,
             throughput,
@@ -1322,7 +1463,11 @@ impl Engine {
                 max_live_roots: self.roots.max_live,
                 route_entries: self.build.routing.routes.len() as u64,
             },
+        };
+        if self.config.check_invariants {
+            violations.extend(report.sanity_violations());
         }
+        (report, violations)
     }
 }
 
@@ -1911,6 +2056,113 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unknown rack")]
+    fn fault_plan_with_unknown_rack_rejected() {
+        let cluster = emulab(1, 2);
+        let t = linear_topology("t", 1, ExecutionProfile::default(), 10.0, 64.0);
+        let a = assigned(&t, &cluster);
+        run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().partition_rack(1_000.0, 2_000.0, "ghost-rack"),
+        );
+    }
+
+    #[test]
+    fn rack_partition_severs_cross_rack_traffic_then_heals() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        // Spread the pipeline across nodes (and racks) so batches really
+        // cross the uplink the partition severs.
+        let mut state = GlobalState::new(&cluster);
+        let a = EvenScheduler::new()
+            .schedule(&t, &cluster, &mut state)
+            .unwrap();
+        let healthy = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        assert!(
+            healthy.inter_rack_mb > 0.0,
+            "the spread placement must exercise the uplink"
+        );
+        let rack = cluster.racks()[0].as_str().to_owned();
+        let partitioned = run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().partition_rack(20_000.0, 35_000.0, &rack),
+        );
+        assert!(
+            partitioned.totals.tuples_lost > 0,
+            "cross-rack sends die during the window"
+        );
+        assert!(
+            partitioned.totals.roots_timed_out > healthy.totals.roots_timed_out,
+            "severed trees fail through the timeout path"
+        );
+        assert!(
+            partitioned.inter_rack_mb < healthy.inter_rack_mb,
+            "dropped sends consume no uplink capacity: {} vs {}",
+            partitioned.inter_rack_mb,
+            healthy.inter_rack_mb
+        );
+        // Flow resumes once the window closes (fresh emissions cross
+        // again well before the horizon).
+        let windows = &partitioned.throughput["t"].windows;
+        assert!(
+            *windows.last().unwrap() > 0.0,
+            "flow resumed after the heal: {windows:?}"
+        );
+    }
+
+    #[test]
+    fn partition_of_an_untouched_rack_changes_nothing() {
+        // R-Storm colocates this topology onto one rack; partitioning
+        // the *other* rack severs no route the run ever takes, so the
+        // report must stay bit-identical to the healthy one.
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let host = host_of(&a);
+        let host_rack = cluster.rack_of(&host).unwrap().as_str().to_owned();
+        let other = cluster
+            .racks()
+            .iter()
+            .find(|r| r.as_str() != host_rack)
+            .expect("a second rack exists")
+            .as_str()
+            .to_owned();
+        let healthy = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let partitioned = run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().partition_rack(10_000.0, 50_000.0, &other),
+        );
+        assert_eq!(healthy, partitioned, "no exercised route was severed");
+        assert_eq!(healthy.to_json(), partitioned.to_json());
+    }
+
+    #[test]
+    fn flap_storm_loses_and_recovers_repeatedly() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = assigned(&t, &cluster);
+        let victim = host_of(&a);
+        let flapped = run_faulted(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().flap_storm(15_000.0, &victim, 3, 2_000.0, 8_000.0),
+        );
+        assert!(flapped.totals.tuples_lost > 0, "each dip destroys work");
+        let windows = &flapped.throughput["t"].windows;
+        assert!(
+            *windows.last().unwrap() > 0.0,
+            "the storm ends healed: {windows:?}"
+        );
+    }
+
+    #[test]
     fn stats_export_is_a_pure_observer() {
         let cluster = emulab(2, 3);
         let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
@@ -2325,5 +2577,63 @@ mod tests {
         assert_eq!(r1, r2, "same plan, same seed, same bits");
         assert_eq!(r1.to_json(), r2.to_json());
         assert!(r1.to_json().contains("\"roots_replayed\""));
+    }
+
+    // ---- checked invariants (the fuzzer's oracle mode) -----------------
+
+    /// The quarantine scenario of
+    /// `replay_budget_exhaustion_quarantines_poison_roots`, runnable with
+    /// invariant checking and/or the planted accounting bug.
+    fn quarantine_run(check: bool, planted: bool) -> CheckedReport {
+        let cluster = emulab(1, 2);
+        let t = linear_topology("t", 2, ExecutionProfile::new(0.1, 1.0, 100), 20.0, 128.0);
+        let a = split_assignment(&t, &cluster, "c0");
+        let victim = cluster.nodes()[1].id().as_str().to_owned();
+        let mut config = SimConfig::quick()
+            .with_max_replays(1)
+            .with_check_invariants(check)
+            .with_planted_quarantine_bug(planted);
+        config.tuple_timeout_ms = 5_000.0;
+        let mut sim = Simulation::new(cluster.clone(), config);
+        sim.add_topology(&t, &a);
+        sim.set_fault_plan(FaultPlan::new().crash_node(10_000.0, &victim));
+        sim.run_checked()
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_bit_identical() {
+        let unchecked = quarantine_run(false, false);
+        let checked = quarantine_run(true, false);
+        assert!(
+            unchecked.violations.is_empty(),
+            "checking off never collects"
+        );
+        assert!(
+            checked.violations.is_empty(),
+            "a correct engine has nothing to report: {:?}",
+            checked.violations
+        );
+        assert_eq!(
+            unchecked.report, checked.report,
+            "checking only observes, never perturbs"
+        );
+        assert_eq!(unchecked.report.to_json(), checked.report.to_json());
+        assert!(
+            checked.report.totals.roots_quarantined > 0,
+            "the scenario really exercises the quarantine path"
+        );
+    }
+
+    #[test]
+    fn planted_quarantine_bug_trips_the_drain_invariant() {
+        let broken = quarantine_run(true, true);
+        assert!(
+            broken
+                .violations
+                .iter()
+                .any(|v| v.kind() == "drain_imbalance"),
+            "the planted bug must surface as a typed violation: {:?}",
+            broken.violations
+        );
     }
 }

@@ -121,8 +121,9 @@ impl RootSlab {
 
     /// Number of live roots whose tuple timeout has not fired — the
     /// attempts that can still ack. Used by the replay plane's drain
-    /// invariant; O(slots), debug-assert use only.
-    #[cfg(debug_assertions)]
+    /// invariant: debug builds assert it, checked mode
+    /// (`SimConfig::check_invariants`) evaluates it in every profile.
+    /// O(slots), so it only runs on those paths.
     pub fn unfailed_live(&self) -> u64 {
         self.slots
             .iter()

@@ -34,12 +34,13 @@
 //! guarantee: if a future change smuggles non-`Send` state into
 //! [`Simulation`], this module stops compiling.
 
-use crate::chaos::{run_crash_recover_with, ChaosConfig};
+use crate::chaos::{run_crash_recover_with, run_fault_plan_with, ChaosConfig};
 use crate::config::SimConfig;
+use crate::faults::FaultPlan;
 use crate::report::SimReport;
 use crate::sim::Simulation;
 use rstorm_cluster::Cluster;
-use rstorm_core::{schedulers, GlobalState, Scheduler};
+use rstorm_core::{schedulers, GlobalState, RecoveryConfig, Scheduler};
 use rstorm_metrics::Summary;
 use rstorm_topology::Topology;
 use std::fmt;
@@ -203,6 +204,31 @@ pub enum FaultSpec {
         /// Simulation time of the crash in milliseconds.
         crash_at_ms: f64,
     },
+    /// Partition the host node's rack over `[at_ms, until_ms)`: every
+    /// inter-rack transfer to or from the rack is dropped and the rack's
+    /// heartbeats go silent, then the window heals (see
+    /// [`crate::faults::FaultEvent::RackPartition`]). Survivable — the
+    /// partition ends, so replay can settle every root.
+    Partition {
+        /// Start of the partition window in milliseconds.
+        at_ms: f64,
+        /// End of the partition window in milliseconds.
+        until_ms: f64,
+    },
+    /// A flap storm on the host node: `flaps` crash/recover cycles
+    /// starting at `first_at_ms` (see [`crate::faults::FaultPlan::flap_storm`]),
+    /// stressing the control plane's trust hysteresis and churn limiter.
+    /// Survivable — every outage heals.
+    Flap {
+        /// Simulation time of the first crash in milliseconds.
+        first_at_ms: f64,
+        /// Number of crash/recover cycles.
+        flaps: u32,
+        /// Length of each outage in milliseconds.
+        down_ms: f64,
+        /// Up time between cycles in milliseconds.
+        up_ms: f64,
+    },
 }
 
 impl FaultSpec {
@@ -212,6 +238,8 @@ impl FaultSpec {
             Self::Healthy => "healthy",
             Self::CrashRecover { .. } => "crash_recover",
             Self::CrashLasting { .. } => "crash_lasting",
+            Self::Partition { .. } => "partition",
+            Self::Flap { .. } => "flap",
         }
     }
 
@@ -356,6 +384,31 @@ fn run_job(grid: &SweepGrid, job: &SweepJob) -> SweepRow {
             let never = grid.sim.sim_time_ms * 10.0;
             run_fault_job(case, &*scheduler, &assignment, sim_cfg, crash_at_ms, never)
         }
+        FaultSpec::Partition { at_ms, until_ms } => {
+            let rack = case
+                .cluster
+                .rack_of(&host_node(&assignment))
+                .expect("assigned node belongs to a rack")
+                .as_str()
+                .to_owned();
+            let plan = FaultPlan::new().partition_rack(at_ms, until_ms, rack);
+            run_plan_job(case, &*scheduler, &plan, sim_cfg)
+        }
+        FaultSpec::Flap {
+            first_at_ms,
+            flaps,
+            down_ms,
+            up_ms,
+        } => {
+            let plan = FaultPlan::new().flap_storm(
+                first_at_ms,
+                host_node(&assignment),
+                flaps,
+                down_ms,
+                up_ms,
+            );
+            run_plan_job(case, &*scheduler, &plan, sim_cfg)
+        }
     };
 
     SweepRow {
@@ -381,19 +434,48 @@ fn run_fault_job(
     crash_at_ms: f64,
     heal_at_ms: f64,
 ) -> (SimReport, f64, f64) {
-    let victim = assignment
+    let mut cfg = ChaosConfig::new(host_node(assignment), crash_at_ms, heal_at_ms);
+    cfg.sim = sim_cfg;
+    let out = run_crash_recover_with(&case.cluster, &case.topology, &cfg, scheduler);
+    let obs = out.observations;
+    (out.report, obs.time_to_detect_ms, obs.time_to_recover_ms)
+}
+
+/// The fault-plan half of [`run_job`] — the partition and flap specs run
+/// through [`run_fault_plan_with`], the same two-plane harness the chaos
+/// fuzzer drives, under default recovery knobs (matching
+/// [`ChaosConfig::new`]).
+fn run_plan_job(
+    case: &SweepCase,
+    scheduler: &dyn Scheduler,
+    plan: &FaultPlan,
+    sim_cfg: SimConfig,
+) -> (SimReport, f64, f64) {
+    let out = run_fault_plan_with(
+        &case.cluster,
+        &case.topology,
+        plan,
+        &sim_cfg,
+        &RecoveryConfig::default(),
+        scheduler,
+    )
+    .unwrap_or_else(|e| panic!("fault-plan job failed on sweep case {}: {e}", case.name));
+    let obs = out.observations;
+    (out.report, obs.time_to_detect_ms, obs.time_to_recover_ms)
+}
+
+/// Victim selection, shared by every fault spec: the host of the first
+/// assigned task — crashing (or partitioning) an idle machine
+/// demonstrates nothing.
+fn host_node(assignment: &rstorm_core::Assignment) -> String {
+    assignment
         .iter()
         .next()
         .expect("non-empty assignment")
         .1
         .node
         .as_str()
-        .to_owned();
-    let mut cfg = ChaosConfig::new(victim, crash_at_ms, heal_at_ms);
-    cfg.sim = sim_cfg;
-    let out = run_crash_recover_with(&case.cluster, &case.topology, &cfg, scheduler);
-    let obs = out.observations;
-    (out.report, obs.time_to_detect_ms, obs.time_to_recover_ms)
+        .to_owned()
 }
 
 /// Everything a sweep produced: the per-job rows in job-index order, the
@@ -831,6 +913,61 @@ mod tests {
                 assert!(g.recover_ms.p99 >= g.detect_ms.p50);
             }
         }
+    }
+
+    #[test]
+    fn partition_and_flap_specs_sweep_clean() {
+        // A grid over the two new mixed-fault specs: a rack partition
+        // long enough to be detected, and a sub-miss-window flap storm.
+        let grid = SweepGrid {
+            cases: vec![SweepCase {
+                name: "mixed".to_owned(),
+                topology: topology("mixed"),
+                cluster: cluster(),
+            }],
+            schedulers: vec!["rstorm".to_owned()],
+            faults: vec![
+                FaultSpec::Partition {
+                    at_ms: 3_000.0,
+                    until_ms: 8_000.0,
+                },
+                FaultSpec::Flap {
+                    first_at_ms: 2_000.0,
+                    flaps: 2,
+                    down_ms: 1_500.0,
+                    up_ms: 1_500.0,
+                },
+            ],
+            seeds: SeedRange::new(0, 2).unwrap(),
+            sim: SimConfig::quick()
+                .with_sim_time_ms(10_000.0)
+                .with_max_replays(4),
+        };
+        let serial = run_sweep(&grid, 1);
+        let parallel = run_sweep(&grid, 4);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.summary.groups.len(), 2);
+        let partition = &serial.summary.groups[0];
+        let flap = &serial.summary.groups[1];
+        assert_eq!(partition.name, "mixed/rstorm/partition");
+        assert_eq!(flap.name, "mixed/rstorm/flap");
+        for g in &serial.summary.groups {
+            assert!(g.survivable, "{}: both new specs heal", g.name);
+            assert_eq!(g.zero_loss_min, 1.0, "{}: lost settled roots", g.name);
+            assert!(
+                g.json_line().contains("zero_loss_ratio"),
+                "survivable groups expose the zero-loss pin"
+            );
+        }
+        // The 5 s partition exceeds the 3-miss heartbeat window, so the
+        // silenced rack is declared dead; each 1.5 s flap outage is far
+        // below it, so the flap group keeps the -1 sentinel.
+        assert!(partition.detect_ms.p50 > 0.0, "partition undetected");
+        assert_eq!(
+            flap.detect_ms.p50, -1.0,
+            "sub-window flaps must not be declared"
+        );
     }
 
     #[test]

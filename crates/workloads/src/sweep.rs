@@ -51,10 +51,25 @@ pub fn quick_grid(seeds: SeedRange) -> SweepGrid {
     }
 }
 
-/// The full grid: all five benchmark workloads × 3 schedulers × 3 faults
+/// Partition window of the full grid's mixed-fault specs (milliseconds):
+/// 15 s of severed inter-rack traffic and silenced heartbeats, well past
+/// the detection window, healing with most of the horizon left.
+const PARTITION_UNTIL_MS: f64 = 35_000.0;
+/// Flap-storm shape of the full grid: three 4 s outages 8 s apart —
+/// each long enough to be declared dead, short enough to exercise the
+/// recovery plane's trust hysteresis and churn limiter.
+const FLAP_DOWN_MS: f64 = 4_000.0;
+/// Up time between flap outages (milliseconds).
+const FLAP_UP_MS: f64 = 8_000.0;
+/// Number of flap cycles.
+const FLAPS: u32 = 3;
+
+/// The full grid: all five benchmark workloads × 3 schedulers × 5 faults
 /// × seeds at the paper's 300 s horizon — the production-scale
 /// validation sweep. Includes the non-survivable lasting-crash
-/// scenario, whose groups are exempt from the zero-loss pin.
+/// scenario, whose groups are exempt from the zero-loss pin, plus the
+/// mixed-fault vocabulary (rack partition, flap storm) of the chaos
+/// fuzzer — both survivable, so zero-loss-gated.
 pub fn full_grid(seeds: SeedRange) -> SweepGrid {
     let cases = cases::fig8_cases()
         .into_iter()
@@ -77,6 +92,16 @@ pub fn full_grid(seeds: SeedRange) -> SweepGrid {
             FaultSpec::CrashLasting {
                 crash_at_ms: CRASH_AT_MS,
             },
+            FaultSpec::Partition {
+                at_ms: CRASH_AT_MS,
+                until_ms: PARTITION_UNTIL_MS,
+            },
+            FaultSpec::Flap {
+                first_at_ms: CRASH_AT_MS,
+                flaps: FLAPS,
+                down_ms: FLAP_DOWN_MS,
+                up_ms: FLAP_UP_MS,
+            },
         ],
         seeds,
         sim: SimConfig::default().with_max_replays(MAX_REPLAYS),
@@ -93,6 +118,32 @@ mod tests {
         let grid = quick_grid(SeedRange::new(0, 4).unwrap());
         assert!(grid.faults.iter().all(FaultSpec::survivable));
         assert_eq!(grid.job_count(), 2 * 2 * 2 * 4);
+    }
+
+    #[test]
+    fn full_grid_covers_the_mixed_fault_vocabulary() {
+        let grid = full_grid(SeedRange::new(0, 1).unwrap());
+        let labels: Vec<&str> = grid.faults.iter().map(FaultSpec::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "healthy",
+                "crash_recover",
+                "crash_lasting",
+                "partition",
+                "flap"
+            ]
+        );
+        // Everything but the lasting crash is survivable and therefore
+        // zero-loss-gated — including both new mixed-fault specs.
+        for fault in &grid.faults {
+            assert_eq!(
+                fault.survivable(),
+                fault.label() != "crash_lasting",
+                "{}",
+                fault.label()
+            );
+        }
     }
 
     /// Every (case, scheduler) pair of the full grid must place: a
