@@ -17,7 +17,12 @@
 //! a correctness failure, whatever the speedup says. So does
 //! `fuzz_violations` (the fuzz smoke's campaign cases), pinned at
 //! exactly 0: a fixed-seed fuzz campaign that trips an oracle found a
-//! real robustness bug. Sweep groups carry
+//! real robustness bug. And `rstorm_beats_even_on_trunk` (the
+//! congestion smoke's contention case) is pinned at ≥ 1.0: the fair
+//! network plane is deterministic, so proximity packing losing to the
+//! spread baseline under trunk saturation is a modeling bug, not
+//! measurement noise, and no environment variable can excuse it.
+//! Sweep groups carry
 //! no speedup — only the sweep's `sweep/parallel_speedup` case does,
 //! and the shared threshold enforces "parallel at least as fast as
 //! serial" on it.
@@ -25,7 +30,7 @@
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
 //! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`, `scale_smoke`,
-//! `fuzz_smoke`)
+//! `fuzz_smoke`, `congestion_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
@@ -38,8 +43,8 @@
 //!
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
 //! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json`,
-//! `BENCH_replay.json`, `BENCH_sweep.json`, `BENCH_scale.json` and
-//! `BENCH_fuzz.json` in the current directory.
+//! `BENCH_replay.json`, `BENCH_sweep.json`, `BENCH_scale.json`,
+//! `BENCH_fuzz.json` and `BENCH_network.json` in the current directory.
 //! A missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
@@ -48,8 +53,10 @@ use std::process::{Command, ExitCode};
 /// One gated case: its `speedup_vs_reference` (absent on sweep group
 /// lines, which are pure correctness gates), its `zero_loss_ratio`
 /// (present on replay cases and survivable sweep groups), its
-/// `routing_parity` (present on the scale smoke's churn case) and its
-/// `fuzz_violations` (present on the fuzz smoke's campaign cases).
+/// `routing_parity` (present on the scale smoke's churn case), its
+/// `fuzz_violations` (present on the fuzz smoke's campaign cases) and
+/// its `rstorm_beats_even_on_trunk` (present on the congestion smoke's
+/// contention case).
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
@@ -57,6 +64,7 @@ struct Reading {
     zero_loss_ratio: Option<f64>,
     routing_parity: Option<f64>,
     fuzz_violations: Option<f64>,
+    trunk_win: Option<f64>,
 }
 
 /// Extracts every gated case from a `BENCH_*.json` document: any line
@@ -85,10 +93,15 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             raw.parse::<f64>()
                 .unwrap_or_else(|e| panic!("bad fuzz_violations {raw:?}: {e}"))
         });
+        let trunk_win = field(line, "\"rstorm_beats_even_on_trunk\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad rstorm_beats_even_on_trunk {raw:?}: {e}"))
+        });
         if speedup.is_none()
             && zero_loss_ratio.is_none()
             && routing_parity.is_none()
             && fuzz_violations.is_none()
+            && trunk_win.is_none()
         {
             continue;
         }
@@ -101,6 +114,7 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             zero_loss_ratio,
             routing_parity,
             fuzz_violations,
+            trunk_win,
         });
     }
     readings
@@ -151,6 +165,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("scale_smoke")
     } else if path.ends_with("BENCH_fuzz.json") {
         Some("fuzz_smoke")
+    } else if path.ends_with("BENCH_network.json") {
+        Some("congestion_smoke")
     } else {
         None
     }
@@ -186,6 +202,7 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         let lossy = r.zero_loss_ratio.is_some_and(|z| z != 1.0);
         let unparity = r.routing_parity.is_some_and(|p| p != 1.0);
         let fuzzed = r.fuzz_violations.is_some_and(|v| v != 0.0);
+        let congested = r.trunk_win.is_some_and(|t| t < 1.0);
         let verdict = if lossy {
             failures += 1;
             "TUPLE LOSS"
@@ -195,6 +212,9 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         } else if fuzzed {
             failures += 1;
             "ORACLE VIOLATION"
+        } else if congested {
+            failures += 1;
+            "PACKING LOST"
         } else if r.speedup.is_some_and(|s| s < min) {
             failures += 1;
             "REGRESSION"
@@ -214,6 +234,9 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         }
         if let Some(v) = r.fuzz_violations {
             gates.push_str(&format!("fuzz_violations {v:.0}  "));
+        }
+        if let Some(t) = r.trunk_win {
+            gates.push_str(&format!("trunk_win {t:.2}x  "));
         }
         println!("{path}: {:<40} {speedup}  {gates}{verdict}", r.case);
     }
@@ -238,6 +261,7 @@ fn main() -> ExitCode {
             "BENCH_sweep.json",
             "BENCH_scale.json",
             "BENCH_fuzz.json",
+            "BENCH_network.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -293,14 +317,16 @@ mod tests {
                     speedup: Some(2.5),
                     zero_loss_ratio: None,
                     routing_parity: None,
-                    fuzz_violations: None
+                    fuzz_violations: None,
+                    trunk_win: None
                 },
                 Reading {
                     case: "b".into(),
                     speedup: Some(0.91),
                     zero_loss_ratio: None,
                     routing_parity: None,
-                    fuzz_violations: None
+                    fuzz_violations: None,
+                    trunk_win: None
                 },
             ]
         );
@@ -360,7 +386,8 @@ mod tests {
                 speedup: Some(7.27),
                 zero_loss_ratio: None,
                 routing_parity: None,
-                fuzz_violations: None
+                fuzz_violations: None,
+                trunk_win: None
             }
         );
         assert_eq!(
@@ -370,7 +397,8 @@ mod tests {
                 speedup: None,
                 zero_loss_ratio: Some(1.0),
                 routing_parity: None,
-                fuzz_violations: None
+                fuzz_violations: None,
+                trunk_win: None
             }
         );
     }
@@ -390,7 +418,8 @@ mod tests {
                 speedup: Some(1.56),
                 zero_loss_ratio: None,
                 routing_parity: None,
-                fuzz_violations: None
+                fuzz_violations: None,
+                trunk_win: None
             }
         );
         assert_eq!(
@@ -400,7 +429,8 @@ mod tests {
                 speedup: Some(23.56),
                 zero_loss_ratio: None,
                 routing_parity: Some(1.0),
-                fuzz_violations: None
+                fuzz_violations: None,
+                trunk_win: None
             }
         );
     }
@@ -417,6 +447,50 @@ mod tests {
     }
 
     #[test]
+    fn real_bench_network_shapes_parse() {
+        // The exact line shapes congestion_smoke writes: the contention
+        // case gated on the packing-wins ratio (no speedup), the legacy
+        // case on speedup only.
+        let json = r#"    {"name": "network/trunk_contention", "tasks": 24, "nodes": 12, "sim_ms": 60000, "rstorm_net": 390180.0, "even_net": 232310.0, "rstorm_trunk_mb": 0.0, "even_trunk_mb": 1670.9, "even_trunk_saturated_windows": 6, "even_trunk_peak_utilization": 0.990, "rstorm_beats_even_on_trunk": 1.68},
+    {"name": "network/legacy_engine", "tasks": 24, "nodes": 12, "sim_ms": 60000, "fast_ns": 218600000, "reference_ns": 661200000, "speedup_vs_reference": 3.02}"#;
+        let readings = extract_speedups(json);
+        assert_eq!(readings.len(), 2);
+        assert_eq!(
+            readings[0],
+            Reading {
+                case: "network/trunk_contention".into(),
+                speedup: None,
+                zero_loss_ratio: None,
+                routing_parity: None,
+                fuzz_violations: None,
+                trunk_win: Some(1.68)
+            }
+        );
+        assert_eq!(
+            readings[1],
+            Reading {
+                case: "network/legacy_engine".into(),
+                speedup: Some(3.02),
+                zero_loss_ratio: None,
+                routing_parity: None,
+                fuzz_violations: None,
+                trunk_win: None
+            }
+        );
+    }
+
+    #[test]
+    fn losing_to_even_on_the_trunk_fails_even_when_fast() {
+        let readings = extract_speedups(
+            r#"    {"name": "network/trunk_contention", "rstorm_beats_even_on_trunk": 0.97}"#,
+        );
+        assert_eq!(readings[0].trunk_win, Some(0.97));
+        // check_file's gate: a ratio below 1.0 counts as a failure; pin
+        // the predicate the gate uses.
+        assert!(readings[0].trunk_win.is_some_and(|t| t < 1.0));
+    }
+
+    #[test]
     fn every_default_file_has_a_smoke_binary() {
         for file in [
             "BENCH_sched.json",
@@ -427,6 +501,7 @@ mod tests {
             "BENCH_sweep.json",
             "BENCH_scale.json",
             "BENCH_fuzz.json",
+            "BENCH_network.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }

@@ -1,0 +1,200 @@
+//! Trunk-contention smoke test of the fair-share network plane.
+//!
+//! Runs the network-bound Linear micro-benchmark (24 tasks, fat tuples)
+//! on the two-rack Emulab cluster with a 4:1 oversubscribed fabric
+//! (150 Mbps rack trunks) under `NetworkModel::Fair` twice: once
+//! placed by R-Storm (proximity packing — the chain fits one rack) and
+//! once by the even round-robin scheduler (which spreads it across both
+//! racks and pushes every hop through the rack uplinks). The fair plane
+//! makes the spread placement pay for trunk contention, so R-Storm must
+//! win on steady-state throughput — the
+//! `rstorm_beats_even_on_trunk` metric, gated ≥ 1.0 by `bench_guard`.
+//!
+//! Gates, before anything is written:
+//!
+//! * **Trunk saturation** — the even placement must actually saturate a
+//!   rack uplink (saturated telemetry windows > 0); a workload that
+//!   never contends demonstrates nothing.
+//! * **Packing wins** — R-Storm's steady-state throughput must be at
+//!   least the even scheduler's under trunk contention.
+//! * **Legacy bit-identity** — `network_model = Legacy` (the default)
+//!   must produce the exact report the default-configured engine does.
+//!
+//! The second case times the legacy path against the string-keyed
+//! `ReferenceSimulation` (median wall time), reported as
+//! `speedup_vs_reference` — the fair plane must not have slowed the
+//! default engine down.
+//!
+//! Run with `cargo run --release -p rstorm-bench --bin congestion_smoke`.
+
+use rstorm_bench::harness::{median_ns, BenchReport};
+use rstorm_cluster::Cluster;
+use rstorm_core::{schedulers, Assignment, GlobalState};
+use rstorm_sim::{NetworkModel, ReferenceSimulation, SimConfig, SimReport, Simulation};
+use rstorm_topology::Topology;
+use rstorm_workloads::{clusters, micro};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Simulation horizon: long enough for a stable steady state.
+const SIM_MS: f64 = 60_000.0;
+/// Warm-up windows skipped when averaging steady-state throughput.
+const WARMUP_WINDOWS: usize = 2;
+/// Wall-time budget per timed side of the legacy case.
+const BUDGET: Duration = Duration::from_secs(2);
+
+fn place(name: &str, topology: &Topology, cluster: &Arc<Cluster>) -> Assignment {
+    let scheduler = schedulers::by_name(name).expect("known scheduler");
+    scheduler
+        .schedule(topology, cluster, &mut GlobalState::new(cluster))
+        .unwrap_or_else(|e| panic!("{name} cannot place the congestion workload: {e}"))
+}
+
+fn run_with(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    assignment: &Assignment,
+    config: SimConfig,
+) -> SimReport {
+    let mut sim = Simulation::new(Arc::clone(cluster), config);
+    sim.add_topology(topology, assignment);
+    sim.run()
+}
+
+/// Uplink-trunk telemetry of a fair-plane report: total saturated
+/// windows, total MB carried and the worst mean utilization.
+fn trunk_stats(report: &SimReport) -> (u64, f64, f64) {
+    let network = report
+        .network
+        .as_ref()
+        .expect("fair-plane runs export link telemetry");
+    let mut windows = 0;
+    let mut mb = 0.0;
+    let mut peak = 0.0f64;
+    for link in &network.links {
+        if link.link.ends_with(".uplink") {
+            windows += link.saturated_windows;
+            mb += link.mb_carried;
+            peak = peak.max(link.mean_utilization);
+        }
+    }
+    (windows, mb, peak)
+}
+
+fn main() {
+    let mut report = BenchReport::new("fair-share network plane (trunk contention)", "ns");
+    let cluster = Arc::new(clusters::emulab_oversubscribed());
+    let topology = micro::linear_network_bound();
+    let tname = topology.id().as_str().to_owned();
+    let tasks = topology.task_set().len();
+    let nodes = cluster.nodes().len();
+
+    let rstorm_assignment = place("rstorm", &topology, &cluster);
+    let even_assignment = place("even", &topology, &cluster);
+
+    // -- Case 1: trunk contention under the fair plane. --
+    let fair = SimConfig::quick()
+        .with_sim_time_ms(SIM_MS)
+        .with_network_model(NetworkModel::Fair);
+    let rstorm_report = run_with(&cluster, &topology, &rstorm_assignment, fair.clone());
+    let even_report = run_with(&cluster, &topology, &even_assignment, fair);
+    let rstorm_net = rstorm_report.steady_throughput(&tname, WARMUP_WINDOWS);
+    let even_net = even_report.steady_throughput(&tname, WARMUP_WINDOWS);
+    let (even_windows, even_trunk_mb, even_peak) = trunk_stats(&even_report);
+    let (_, rstorm_trunk_mb, _) = trunk_stats(&rstorm_report);
+
+    assert!(
+        even_windows > 0,
+        "the spread placement must saturate a rack uplink (peak utilization {even_peak:.3})"
+    );
+    assert!(
+        even_net > 0.0,
+        "the even placement must still make progress under contention"
+    );
+    let ratio = rstorm_net / even_net;
+    assert!(
+        ratio >= 1.0,
+        "proximity packing must beat spreading under trunk saturation: \
+         rstorm {rstorm_net:.0} vs even {even_net:.0} tuples/window"
+    );
+
+    // -- Case 2: the legacy path — bit-identical and not slower. --
+    let legacy = SimConfig::quick().with_sim_time_ms(SIM_MS);
+    let default_report = run_with(&cluster, &topology, &rstorm_assignment, legacy.clone());
+    let explicit_report = run_with(
+        &cluster,
+        &topology,
+        &rstorm_assignment,
+        legacy.clone().with_network_model(NetworkModel::Legacy),
+    );
+    assert_eq!(
+        default_report, explicit_report,
+        "explicit Legacy must be the default engine bit for bit"
+    );
+    assert!(
+        default_report.network.is_none(),
+        "the legacy path must not export fair-plane telemetry"
+    );
+
+    let build_fast = || {
+        let mut sim = Simulation::new(Arc::clone(&cluster), legacy.clone());
+        sim.add_topology(&topology, &rstorm_assignment);
+        sim
+    };
+    let build_reference = || {
+        let mut sim = ReferenceSimulation::new(Arc::clone(&cluster), legacy.clone());
+        sim.add_topology(&topology, &rstorm_assignment);
+        sim
+    };
+    let fast_ns = median_ns(
+        build_fast,
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        BUDGET,
+    );
+    let reference_ns = median_ns(
+        build_reference,
+        |sim| {
+            std::hint::black_box(sim.run());
+        },
+        BUDGET,
+    );
+    let speedup = reference_ns as f64 / fast_ns as f64;
+
+    println!(
+        "{:<26} {:>12} {:>12} {:>8}",
+        "placement", "net (t/win)", "trunk MB", "sat win"
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.1} {:>8}",
+        "rstorm (packed)", rstorm_net, rstorm_trunk_mb, 0
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.1} {:>8}",
+        "even (spread)", even_net, even_trunk_mb, even_windows
+    );
+    println!(
+        "\nrstorm_beats_even_on_trunk: {ratio:.2}x  (even peak trunk utilization {even_peak:.3})"
+    );
+    println!(
+        "legacy engine: fast {:.1} ms vs reference {:.1} ms ({speedup:.2}x)",
+        fast_ns as f64 / 1e6,
+        reference_ns as f64 / 1e6
+    );
+
+    report.push_case(format!(
+        "{{\"name\": \"network/trunk_contention\", \"tasks\": {tasks}, \"nodes\": {nodes}, \
+         \"sim_ms\": {SIM_MS}, \"rstorm_net\": {rstorm_net:.1}, \"even_net\": {even_net:.1}, \
+         \"rstorm_trunk_mb\": {rstorm_trunk_mb:.1}, \"even_trunk_mb\": {even_trunk_mb:.1}, \
+         \"even_trunk_saturated_windows\": {even_windows}, \
+         \"even_trunk_peak_utilization\": {even_peak:.3}, \
+         \"rstorm_beats_even_on_trunk\": {ratio:.2}}}"
+    ));
+    report.push_case(format!(
+        "{{\"name\": \"network/legacy_engine\", \"tasks\": {tasks}, \"nodes\": {nodes}, \
+         \"sim_ms\": {SIM_MS}, \"fast_ns\": {fast_ns}, \"reference_ns\": {reference_ns}, \
+         \"speedup_vs_reference\": {speedup:.2}}}"
+    ));
+    report.write("BENCH_network.json");
+}

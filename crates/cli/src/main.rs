@@ -18,7 +18,7 @@ use rstorm_core::{schedulers, verify_plan, GlobalState, RStormScheduler, Schedul
 use rstorm_metrics::text_table;
 use rstorm_sim::{
     run_adaptive_rebalance, run_crash_recover, run_fuzz_campaign, run_sweep, AdaptiveConfig,
-    ChaosConfig, FuzzConfig, SeedRange, SimConfig, SimReport, Simulation,
+    ChaosConfig, FuzzConfig, NetworkModel, SeedRange, SimConfig, SimReport, Simulation,
 };
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
@@ -36,12 +36,12 @@ USAGE:
     rstorm compare  --topology FILE --cluster FILE [--duration-s N] [--seed N]
     rstorm chaos    --topology FILE --cluster FILE [--victim NODE]
                     [--crash-at-s N] [--heal-at-s N] [--duration-s N] [--seed N]
-                    [--replay] [--max-replays N]
+                    [--replay] [--max-replays N] [--network fair|legacy]
     rstorm rebalance --topology FILE --cluster FILE [--observe-s N]
                     [--rebalance-at-s N] [--pause-ms N] [--alpha X]
                     [--duration-s N] [--seed N]
     rstorm sweep    [--grid quick|full] [--seeds A..B] [--workers N]
-                    [--out FILE]
+                    [--out FILE] [--network fair|legacy]
     rstorm fuzz     --topology FILE --cluster FILE [--iterations N]
                     [--seed N] [--max-atoms N] [--duration-s N]
                     [--scheduler NAME] [--workers N] [--corpus-dir DIR]
@@ -150,6 +150,22 @@ fn sim_config(flags: &BTreeMap<String, String>) -> Result<SimConfig, String> {
         config = config.with_seed(seed);
     }
     Ok(config)
+}
+
+/// Applies `--network fair|legacy` to `config`. Absent, the config is
+/// returned untouched (the default `Legacy` model); an unknown word is
+/// a typed error carrying [`NetworkModel::parse`]'s message.
+fn apply_network_flag(
+    flags: &BTreeMap<String, String>,
+    config: SimConfig,
+) -> Result<SimConfig, String> {
+    match flags.get("network") {
+        Some(raw) => {
+            let model = NetworkModel::parse(raw).map_err(|e| format!("invalid --network: {e}"))?;
+            Ok(config.with_network_model(model))
+        }
+        None => Ok(config),
+    }
 }
 
 fn schedule_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
@@ -263,7 +279,7 @@ fn compare_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
 /// latency plus the data-plane damage.
 fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let (topology, cluster) = load_inputs(flags)?;
-    let config = sim_config(flags)?;
+    let config = apply_network_flag(flags, sim_config(flags)?)?;
     let duration_s = config.sim_time_ms / 1000.0;
 
     let parse_s = |name: &str, default: f64| -> Result<f64, String> {
@@ -498,11 +514,15 @@ fn sweep_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("invalid --seeds `{raw}`: {e}"))?,
         None => SeedRange::new(0, 8).expect("the default seed range is valid"),
     };
-    let grid = match flags.get("grid").map(String::as_str) {
+    let mut grid = match flags.get("grid").map(String::as_str) {
         None | Some("quick") => rstorm_workloads::sweep::quick_grid(seeds),
         Some("full") => rstorm_workloads::sweep::full_grid(seeds),
         Some(other) => return Err(format!("unknown --grid `{other}` (expected quick or full)")),
     };
+    // `--network fair` runs the whole grid on the fair-share plane
+    // (congestion specs use it regardless; this flag extends it to every
+    // job). `--network legacy` is the explicit default spelling.
+    grid.sim = apply_network_flag(flags, grid.sim)?;
     let workers: usize = match flags.get("workers") {
         Some(raw) => {
             let n = raw
@@ -826,6 +846,17 @@ mod tests {
         replay.insert("max-replays".into(), "-1".into());
         assert!(chaos_cmd(&replay).unwrap_err().contains("max-replays"));
 
+        // Chaos on both network planes: the legacy spelling and the
+        // fair-share flow model end to end.
+        let mut network = flags.clone();
+        network.insert("network".into(), "legacy".into());
+        chaos_cmd(&network).unwrap();
+        network.insert("network".into(), "fair".into());
+        chaos_cmd(&network).unwrap();
+        network.insert("network".into(), "warp".into());
+        let err = chaos_cmd(&network).unwrap_err();
+        assert!(err.contains("--network") && err.contains("warp"), "{err}");
+
         // An honest two-component topology must be rejected-free but also
         // reject nonsense rebalance knobs.
         let mut bad = flags.clone();
@@ -859,6 +890,10 @@ mod tests {
         assert!(sweep_cmd(&flags).unwrap_err().contains("--workers"));
         flags.insert("workers".into(), "two".into());
         assert!(sweep_cmd(&flags).unwrap_err().contains("--workers"));
+        flags.insert("workers".into(), "2".into());
+        flags.insert("network".into(), "warp".into());
+        let err = sweep_cmd(&flags).unwrap_err();
+        assert!(err.contains("--network") && err.contains("warp"), "{err}");
     }
 
     #[test]

@@ -56,6 +56,11 @@ impl MigrationPlan {
 /// candidates, heaviest (by refined load) first, and a node sheds
 /// candidates only until its refined CPU load fits its capacity again —
 /// everything else keeps its placement, its routes and its warm state.
+/// On nodes whose rack the drift report flags as *congested* (trunk
+/// utilization fed from the simulator's fair network plane), tasks with
+/// a declared bandwidth demand also become candidates, and the node
+/// keeps shedding until at least half its declared bandwidth load has
+/// moved off the rack's trunk.
 /// Each move is applied through the same [`UndoLog`]-logged reserve
 /// machinery the schedulers use: the old node releases the *declared*
 /// reservation, the target reserves the *refined* one (hard memory
@@ -135,27 +140,59 @@ impl DeltaScheduler {
             if !state.alive_dense()[i as usize] {
                 continue; // crashed since the report: the recovery plane owns it
             }
+            let congested = cluster
+                .rack_of(node.as_str())
+                .is_some_and(|r| drift.congested_racks.iter().any(|c| c == r.as_str()));
             let capacity = index.capacity(i).cpu_points;
             let mut refined_load: f64 = slots
                 .iter()
                 .filter(|(_, slot)| slot.node == *node)
                 .map(|(&task, _)| refined_cpu_of(task))
                 .sum();
+            let mut bw_load: f64 = slots
+                .iter()
+                .filter(|(_, slot)| slot.node == *node)
+                .map(|(&task, _)| {
+                    task_set
+                        .resources(task)
+                        .expect("task has resources")
+                        .bandwidth
+                })
+                .sum();
+            let bw_target = bw_load / 2.0;
 
-            // Candidates: drifted-component tasks on this node, heaviest
-            // refined load first (ties by task id) so saturation clears
-            // in as few moves as possible.
-            let mut candidates: Vec<(TaskId, f64)> = drift
+            // Candidates: drifted-component tasks on this node — plus, on
+            // a congested rack, any task declaring bandwidth demand —
+            // heaviest refined load first (ties by task id) so saturation
+            // clears in as few moves as possible.
+            let mut candidate_set: BTreeSet<TaskId> = drift
                 .drifted
                 .iter()
                 .flat_map(|d| task_set.tasks_of(&d.component))
                 .filter(|t| slots.get(t).is_some_and(|slot| slot.node == *node))
-                .map(|&t| (t, refined_cpu_of(t)))
+                .copied()
+                .collect();
+            if congested {
+                for (&task, slot) in &slots {
+                    if slot.node == *node
+                        && task_set
+                            .resources(task)
+                            .expect("task has resources")
+                            .bandwidth
+                            > 0.0
+                    {
+                        candidate_set.insert(task);
+                    }
+                }
+            }
+            let mut candidates: Vec<(TaskId, f64)> = candidate_set
+                .into_iter()
+                .map(|t| (t, refined_cpu_of(t)))
                 .collect();
             candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
 
             for (task, refined_cpu) in candidates {
-                if refined_load <= capacity {
+                if refined_load <= capacity && (!congested || bw_load <= bw_target) {
                     break; // node fits again: minimal moves achieved
                 }
                 let declared = *task_set.resources(task).expect("task has resources");
@@ -195,6 +232,7 @@ impl DeltaScheduler {
                     to: target,
                 });
                 refined_load -= refined_cpu;
+                bw_load -= declared.bandwidth;
             }
         }
 
@@ -399,6 +437,74 @@ mod tests {
             assert!(!forbidden.contains(&m.to), "forbidden node chosen");
             assert_eq!(m.to, allowed);
         }
+    }
+
+    #[test]
+    fn congested_rack_sheds_bandwidth_heavy_tasks_to_another_rack() {
+        let cluster = cluster();
+        // Accurate CPU declarations but heavy bandwidth demand: nothing
+        // drifts, only the trunk congests.
+        let mut b = TopologyBuilder::new("t");
+        b.set_spout("spout", 1).set_cpu_load(10.0);
+        b.set_bolt("pump", 4)
+            .shuffle_grouping("spout")
+            .set_cpu_load(10.0)
+            .set_bandwidth_load(50.0);
+        b.set_bolt("sink", 1).shuffle_grouping("pump");
+        let topology = b.build().unwrap();
+        let (mut state, assignment) = schedule(&topology, &cluster);
+        let hot = assignment.node_of(TaskId(1)).unwrap().clone();
+        let hot_rack = cluster.rack_of(hot.as_str()).unwrap().clone();
+
+        let refiner = ProfileRefiner::default();
+        let report = DriftDetector::default().detect_with_network(
+            &topology,
+            &refiner,
+            &[],
+            &[(hot_rack.as_str().to_owned(), 0.99)],
+            &cluster,
+        );
+        assert!(report.drifted.is_empty());
+        assert_eq!(report.congested_racks, vec![hot_rack.as_str().to_owned()]);
+
+        let plan = DeltaScheduler::new()
+            .plan(
+                &topology,
+                &cluster,
+                &mut state,
+                &report,
+                &refiner,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert!(!plan.is_empty(), "congestion alone must trigger relief");
+        for m in &plan.moves {
+            let to_rack = cluster.rack_of(m.to.as_str()).unwrap();
+            assert_ne!(to_rack, &hot_rack, "target must leave the congested rack");
+            let bw = topology
+                .component(&m.component)
+                .unwrap()
+                .resources()
+                .bandwidth;
+            assert!(bw > 0.0, "only bandwidth-demanding tasks shed");
+        }
+        // At least half the declared bandwidth load left each shedding node.
+        let mut shed: BTreeMap<&NodeId, f64> = BTreeMap::new();
+        for m in &plan.moves {
+            *shed.entry(&m.from).or_default() += 50.0;
+        }
+        for (node, moved) in shed {
+            let before: f64 = assignment
+                .iter()
+                .filter(|(_, slot)| slot.node == *node)
+                .map(|(t, _)| topology.task_set().resources(t).unwrap().bandwidth)
+                .sum();
+            assert!(
+                moved * 2.0 >= before,
+                "{node:?} kept over half its bandwidth"
+            );
+        }
+        assert!(verify_plan(state.plan(), &[&topology], &cluster).is_empty());
     }
 
     #[test]

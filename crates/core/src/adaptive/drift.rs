@@ -19,6 +19,11 @@ pub struct DriftConfig {
     /// A used node at or below this mean utilization is *starved*
     /// (packed work it is not receiving): a preferred migration target.
     pub starved_utilization: f64,
+    /// A rack whose uplink trunk runs at or above this mean utilization
+    /// is *congested*: its nodes are excluded as migration targets and
+    /// their bandwidth-heavy tasks become shed candidates (fed from the
+    /// simulator's fair-plane telemetry, `SimReport::network`).
+    pub congested_trunk_utilization: f64,
 }
 
 impl Default for DriftConfig {
@@ -28,6 +33,7 @@ impl Default for DriftConfig {
             min_cpu_points: 5.0,
             saturated_utilization: 0.9,
             starved_utilization: 0.15,
+            congested_trunk_utilization: 0.9,
         }
     }
 }
@@ -59,13 +65,18 @@ pub struct DriftReport {
     /// Used nodes running at or below the starvation threshold, in the
     /// input (name-sorted) order.
     pub starved_nodes: Vec<NodeId>,
+    /// Racks whose uplink trunk ran at or above the congestion threshold,
+    /// in the input order. Empty unless the detector was fed network
+    /// telemetry (see [`DriftDetector::detect_with_network`]).
+    pub congested_racks: Vec<String>,
 }
 
 impl DriftReport {
-    /// True when no component drifted — the delta scheduler will produce
-    /// an empty migration plan for a clean report.
+    /// True when no component drifted and no trunk is congested — the
+    /// delta scheduler will produce an empty migration plan for a clean
+    /// report.
     pub fn is_clean(&self) -> bool {
-        self.drifted.is_empty()
+        self.drifted.is_empty() && self.congested_racks.is_empty()
     }
 }
 
@@ -137,7 +148,49 @@ impl DriftDetector {
             drifted,
             saturated_nodes,
             starved_nodes,
+            congested_racks: Vec::new(),
         }
+    }
+
+    /// [`Self::detect`] plus network awareness: racks whose uplink trunk
+    /// utilization (from the simulator's fair-plane telemetry) is at or
+    /// above [`DriftConfig::congested_trunk_utilization`] are reported
+    /// congested, and every node of a congested rack is marked saturated —
+    /// excluding it as a migration target and making its bandwidth-heavy
+    /// tasks shed candidates, so the delta scheduler relieves the trunk.
+    pub fn detect_with_network(
+        &self,
+        topology: &Topology,
+        refiner: &ProfileRefiner,
+        node_utilization: &[(String, f64)],
+        trunk_utilization: &[(String, f64)],
+        cluster: &rstorm_cluster::Cluster,
+    ) -> DriftReport {
+        let mut report = self.detect(topology, refiner, node_utilization);
+        for (rack, util) in trunk_utilization {
+            if *util >= self.config.congested_trunk_utilization {
+                report.congested_racks.push(rack.clone());
+            }
+        }
+        if !report.congested_racks.is_empty() {
+            for node in cluster.nodes() {
+                let Some(rack) = cluster.rack_of(node.id().as_str()) else {
+                    continue;
+                };
+                if report
+                    .congested_racks
+                    .iter()
+                    .any(|r| r.as_str() == rack.as_str())
+                {
+                    report.saturated_nodes.push(node.id().clone());
+                }
+            }
+            report
+                .saturated_nodes
+                .sort_by(|a, b| a.as_str().cmp(b.as_str()));
+            report.saturated_nodes.dedup();
+        }
+        report
     }
 }
 
@@ -203,6 +256,66 @@ mod tests {
         let report = DriftDetector::default().detect(&topology, &refiner, &utils);
         assert_eq!(report.saturated_nodes, vec![NodeId::new("n0")]);
         assert_eq!(report.starved_nodes, vec![NodeId::new("n2")]);
+    }
+
+    #[test]
+    fn congested_trunks_saturate_their_racks_nodes() {
+        let topology = topology();
+        let refiner = ProfileRefiner::default();
+        let cluster = rstorm_cluster::ClusterBuilder::new()
+            .homogeneous_racks(2, 2, rstorm_cluster::ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap();
+        let trunks = vec![("rack-0".to_owned(), 0.96), ("rack-1".to_owned(), 0.3)];
+        let report = DriftDetector::default().detect_with_network(
+            &topology,
+            &refiner,
+            &[],
+            &trunks,
+            &cluster,
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.congested_racks, vec!["rack-0".to_owned()]);
+        assert_eq!(
+            report.saturated_nodes,
+            vec![NodeId::new("rack-0-node-0"), NodeId::new("rack-0-node-1"),]
+        );
+        // Idle trunks leave the report exactly as plain detect() built it.
+        let calm = DriftDetector::default().detect_with_network(
+            &topology,
+            &refiner,
+            &[],
+            &[("rack-0".to_owned(), 0.2)],
+            &cluster,
+        );
+        assert_eq!(
+            calm,
+            DriftDetector::default().detect(&topology, &refiner, &[])
+        );
+    }
+
+    #[test]
+    fn congestion_saturation_merges_with_cpu_saturation() {
+        let topology = topology();
+        let refiner = ProfileRefiner::default();
+        let cluster = rstorm_cluster::ClusterBuilder::new()
+            .homogeneous_racks(2, 2, rstorm_cluster::ResourceCapacity::emulab_node(), 2)
+            .build()
+            .unwrap();
+        // rack-0-node-1 is already CPU-saturated; congestion on rack-0 must
+        // not duplicate it and keeps the list name-sorted.
+        let utils = vec![("rack-0-node-1".to_owned(), 0.97)];
+        let report = DriftDetector::default().detect_with_network(
+            &topology,
+            &refiner,
+            &utils,
+            &[("rack-0".to_owned(), 0.9)],
+            &cluster,
+        );
+        assert_eq!(
+            report.saturated_nodes,
+            vec![NodeId::new("rack-0-node-0"), NodeId::new("rack-0-node-1"),]
+        );
     }
 
     #[test]

@@ -1,5 +1,45 @@
 //! Simulation parameters.
 
+/// Which network contention model serves `transfer()`.
+///
+/// The network plane (`crate::network`) is strictly opt-in: the default
+/// [`NetworkModel::Legacy`] keeps every run bit-identical to the
+/// pre-plane engine (pinned by the golden report, the parity property
+/// suite, and the gate test), exactly like replay and incremental
+/// routing were introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkModel {
+    /// Per-resource FIFO `LinkServer`s: each transfer serializes through
+    /// its egress NIC, (for inter-rack hops) a single global uplink, and
+    /// its ingress NIC, one after another. Concurrent flows queue; they
+    /// never share a link's capacity. Bit-identical to the engine before
+    /// the network plane existed.
+    Legacy,
+    /// Flow-level max-min fair sharing over a hierarchical link graph:
+    /// per-NIC duplex links, per-rack uplink/downlink trunks and a core
+    /// switch. Concurrent flows on a shared link split its capacity
+    /// max-min fairly; completion times are recomputed on every flow
+    /// start/finish (dslab-style progressive filling).
+    Fair,
+}
+
+impl NetworkModel {
+    /// Parses the CLI spelling (`legacy` / `fair`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending word when it names no model.
+    pub fn parse(word: &str) -> Result<Self, String> {
+        match word {
+            "legacy" => Ok(Self::Legacy),
+            "fair" => Ok(Self::Fair),
+            other => Err(format!(
+                "unknown network model {other:?} (expected \"fair\" or \"legacy\")"
+            )),
+        }
+    }
+}
+
 /// Knobs of a simulation run. Defaults mirror the paper's experimental
 //  conventions where one exists.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +102,12 @@ pub struct SimConfig {
     /// a single predictable-false comparison.
     #[doc(hidden)]
     pub planted_quarantine_bug: bool,
+    /// Which contention model serves `transfer()` (see [`NetworkModel`]).
+    /// Defaults to [`NetworkModel::Legacy`], which is bit-identical to
+    /// the engine before the network plane existed; `Fair` routes every
+    /// non-local transfer through the flow-level fair-share plane and
+    /// unlocks the `network` section of the report.
+    pub network_model: NetworkModel,
 }
 
 impl SimConfig {
@@ -121,6 +167,13 @@ impl SimConfig {
         self.planted_quarantine_bug = planted;
         self
     }
+
+    /// Returns the configuration with a different network contention
+    /// model ([`NetworkModel::Legacy`] keeps the pre-plane behaviour).
+    pub fn with_network_model(mut self, network_model: NetworkModel) -> Self {
+        self.network_model = network_model;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -137,6 +190,7 @@ impl Default for SimConfig {
             incremental_routing: true,
             check_invariants: false,
             planted_quarantine_bug: false,
+            network_model: NetworkModel::Legacy,
         }
     }
 }
@@ -196,5 +250,22 @@ mod tests {
     #[should_panic(expected = "sim time")]
     fn non_positive_time_rejected() {
         SimConfig::default().with_sim_time_ms(0.0);
+    }
+
+    #[test]
+    fn network_model_defaults_to_legacy() {
+        assert_eq!(SimConfig::default().network_model, NetworkModel::Legacy);
+        assert_eq!(SimConfig::quick().network_model, NetworkModel::Legacy);
+        let c = SimConfig::default().with_network_model(NetworkModel::Fair);
+        assert_eq!(c.network_model, NetworkModel::Fair);
+    }
+
+    #[test]
+    fn network_model_parses_with_typed_errors() {
+        assert_eq!(NetworkModel::parse("fair"), Ok(NetworkModel::Fair));
+        assert_eq!(NetworkModel::parse("legacy"), Ok(NetworkModel::Legacy));
+        let err = NetworkModel::parse("bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("fair"), "{err}");
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! [`run_fuzz_campaign`] samples structured [`FaultPlan`]s from the fault
 //! grammar — crash/recover pairs, lasting crashes, flap storms, correlated
-//! crash bursts, rack partitions and link degradations — runs each plan
+//! crash bursts, rack partitions, link degradations and background-traffic
+//! burst trains — runs each plan
 //! through both planes of [`crate::chaos::run_fault_plan_with`], and
 //! checks an **oracle set** per run (see [`OracleKind`]):
 //!
@@ -415,9 +416,12 @@ fn has_undetected_outage(
 
 /// Samples one structured plan from the fault grammar: 1..=`max_atoms`
 /// atoms, each a crash/recover pair, a lasting crash, a flap storm, a
-/// correlated crash burst, a rack partition or a link degradation, with
-/// every instant and duration on the [`QUANTUM_MS`] grid inside the
-/// first ~80% of the horizon. Pure in `(rng state, cluster, cfg)`.
+/// correlated crash burst, a rack partition, a link degradation or a
+/// background-traffic burst train (a sequence of short degradation
+/// windows, the shape a periodic bulk transfer leaves on the fair
+/// network plane), with every instant and duration on the
+/// [`QUANTUM_MS`] grid inside the first ~80% of the horizon. Pure in
+/// `(rng state, cluster, cfg)`.
 fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> FaultPlan {
     let nodes: Vec<&str> = cluster.nodes().iter().map(|n| n.id().as_str()).collect();
     let racks: Vec<&str> = cluster.racks().iter().map(|r| r.as_str()).collect();
@@ -429,7 +433,7 @@ fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> Fault
     let mut plan = FaultPlan::new();
     for _ in 0..atoms {
         let at = grid(rng);
-        match rng.gen_range(0u8..6) {
+        match rng.gen_range(0u8..7) {
             0 => {
                 let node = nodes[rng.gen_range(0..nodes.len())];
                 let outage = QUANTUM_MS * rng.gen_range(1u64..=20) as f64;
@@ -458,10 +462,25 @@ fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> Fault
                 let until = at + QUANTUM_MS * rng.gen_range(1u64..=20) as f64;
                 plan = plan.partition_rack(at, until, rack);
             }
-            _ => {
+            5 => {
                 let until = at + QUANTUM_MS * rng.gen_range(1u64..=10) as f64;
                 let extra = QUANTUM_MS * rng.gen_range(1u64..=4) as f64;
                 plan = plan.degrade_links(at, until, extra);
+            }
+            _ => {
+                // Background-traffic burst train: 2..=4 short degradation
+                // windows with gaps, the on/off pattern a periodic bulk
+                // transfer imposes (under the fair network plane each
+                // window squeezes capacity rather than padding latency).
+                let bursts = rng.gen_range(2u64..=4);
+                let len = QUANTUM_MS * rng.gen_range(1u64..=4) as f64;
+                let gap = QUANTUM_MS * rng.gen_range(1u64..=2) as f64;
+                let extra = QUANTUM_MS * rng.gen_range(1u64..=4) as f64;
+                let mut t = at;
+                for _ in 0..bursts {
+                    plan = plan.degrade_links(t, t + len, extra);
+                    t += len + gap;
+                }
             }
         }
     }
@@ -778,6 +797,25 @@ mod tests {
             p1,
             "different iterations draw different plans"
         );
+    }
+
+    #[test]
+    fn grammar_covers_background_traffic_burst_trains() {
+        let cluster = cluster();
+        let cfg = clean_cfg(1);
+        // Only the burst-train atom can put more degradation windows in a
+        // plan than it has atoms, so this signature pins its presence.
+        let trains = (0..64).any(|k| {
+            let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, k));
+            let plan = generate_plan(&mut rng, &cluster, &cfg);
+            let degrades = plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::LinkDegrade { .. }))
+                .count();
+            degrades > cfg.max_atoms as usize
+        });
+        assert!(trains, "64 draws never produced a burst train");
     }
 
     #[test]

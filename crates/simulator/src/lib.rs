@@ -65,6 +65,7 @@ mod config;
 mod event;
 pub mod faults;
 pub mod fuzz;
+pub mod network;
 pub mod rebalance;
 mod reference;
 mod report;
@@ -77,15 +78,19 @@ pub use chaos::{
     run_crash_recover, run_crash_recover_with, run_fault_plan_with, try_run_crash_recover_with,
     ChaosConfig, ChaosError, ChaosOutcome, PlanOutcome,
 };
-pub use config::SimConfig;
+pub use config::{NetworkModel, SimConfig};
 pub use faults::{FaultEvent, FaultPlan, ParsePlanError};
 pub use fuzz::{
     check_fault_plan, run_fuzz_campaign, shrink_fault_plan, FuzzConfig, FuzzOutcome,
     FuzzReproducer, FuzzVerdict, OracleKind,
 };
+pub use network::LinkClass;
 pub use rebalance::{refined_clone, run_adaptive_rebalance, AdaptiveConfig, AdaptiveOutcome};
 pub use reference::ReferenceSimulation;
-pub use report::{InvariantViolation, RecoveryObservations, SimDebugStats, SimReport, SimTotals};
+pub use report::{
+    InvariantViolation, LinkUtilization, NetworkObservations, RecoveryObservations, SimDebugStats,
+    SimReport, SimTotals,
+};
 pub use sim::{CheckedReport, Simulation};
 pub use sweep::{
     run_sweep, FaultSpec, ParseRangeError, SeedRange, SweepCase, SweepGrid, SweepJob, SweepOutcome,

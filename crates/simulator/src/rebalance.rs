@@ -181,10 +181,17 @@ pub fn run_adaptive_rebalance(
             per_task,
         );
     }
-    let drift = DriftDetector::new(cfg.drift.clone()).detect(
+    let trunk_utilization = profile_report
+        .network
+        .as_ref()
+        .map(|n| n.trunk_utilization())
+        .unwrap_or_default();
+    let drift = DriftDetector::new(cfg.drift.clone()).detect_with_network(
         topology,
         &refiner,
         &profile_report.node_utilization,
+        &trunk_utilization,
+        cluster,
     );
 
     // -- Stage 3: minimal-move plan on the live state. --
@@ -457,6 +464,38 @@ mod tests {
             out.static_report, out.adaptive_report,
             "an empty plan keeps the run bit-identical"
         );
+    }
+
+    #[test]
+    fn fair_network_profile_feeds_trunk_telemetry_into_detection() {
+        let cluster = cluster();
+        let t = honest_topology();
+        let mut cfg = AdaptiveConfig::quick();
+        cfg.sim = cfg
+            .sim
+            .with_network_model(crate::config::NetworkModel::Fair);
+        let out = run_adaptive_rebalance(&cluster, &t, &cfg);
+        let network = out
+            .profile_report
+            .network
+            .as_ref()
+            .expect("fair-plane profiling exports link telemetry");
+        let trunks = network.trunk_utilization();
+        assert_eq!(trunks.len(), cluster.racks().len());
+        // Every congested rack the detector reports really crossed the
+        // threshold in the profiling telemetry.
+        for rack in &out.drift.congested_racks {
+            let (_, util) = trunks
+                .iter()
+                .find(|(r, _)| r == rack)
+                .expect("congested rack has a trunk");
+            assert!(*util >= cfg.drift.congested_trunk_utilization);
+        }
+        // The honest workload is light: calm trunks, clean report, and
+        // the empty plan keeps the fair-plane runs bit-identical too.
+        assert!(out.drift.congested_racks.is_empty(), "{trunks:?}");
+        assert!(out.plan.is_empty());
+        assert_eq!(out.static_report, out.adaptive_report);
     }
 
     #[test]

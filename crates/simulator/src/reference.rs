@@ -14,7 +14,7 @@ use crate::build::{relation_of, ClusterIndex, SimBuild};
 use crate::config::SimConfig;
 use crate::event::EventQueue;
 use crate::report::{SimDebugStats, SimReport, SimTotals};
-use crate::servers::{CpuServer, LinkServer};
+use crate::servers::{legacy_link_fabric, CpuServer, LinkServer};
 use crate::sim::{Batch, LatencyAccumulator, TaskRt};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,13 +168,11 @@ impl RefEngine {
                 CpuServer::new(cores, thrash)
             })
             .collect();
-        let egress = (0..index.cores.len())
-            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
-            .collect();
-        let ingress = (0..index.cores.len())
-            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
-            .collect();
-        let uplink = LinkServer::from_mbps(costs.inter_rack_bandwidth_mbps);
+        let (egress, ingress, uplink) = legacy_link_fabric(
+            index.cores.len(),
+            costs.node_bandwidth_mbps,
+            costs.inter_rack_bandwidth_mbps,
+        );
 
         let tasks = build
             .specs
@@ -530,9 +528,11 @@ impl RefEngine {
             inter_rack_mb: self.uplink.served_bytes() / 1e6,
             latency_ms: self.latency.summary(),
             totals: self.totals,
-            // The reference engine models no faults; parity runs compare
-            // against fault-free fast runs, where this is `None` too.
+            // The reference engine models no faults and only the legacy
+            // network; parity runs compare against fast runs where both
+            // sections are `None` too.
             recovery: None,
+            network: None,
             // The reference engine has no pools or precomputed routes;
             // only the event count is meaningful here.
             debug: SimDebugStats {

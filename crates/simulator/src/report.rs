@@ -215,6 +215,46 @@ pub struct RecoveryObservations {
     pub suppressed_flaps: u64,
 }
 
+/// Telemetry of one fabric link under the fair-share network plane
+/// (`SimConfig::network_model == NetworkModel::Fair`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilization {
+    /// Stable link name: `"{node}.egress"`, `"{node}.ingress"`,
+    /// `"{rack}.uplink"`, `"{rack}.downlink"` or `"core"`.
+    pub link: String,
+    /// Base capacity in Mbps (before any degradation window).
+    pub capacity_mbps: f64,
+    /// Mean utilization over the run, in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Complete report windows in which the link ran at ≥ 95 % of its
+    /// effective capacity (see `crate::network::SATURATION_THRESHOLD`).
+    pub saturated_windows: u64,
+    /// Megabytes the link carried.
+    pub mb_carried: f64,
+}
+
+/// The `network` section of a report: per-link utilization and
+/// saturation, present only when the fair-share plane served the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkObservations {
+    /// Every fabric link in id order (node NICs, rack trunks, core).
+    pub links: Vec<LinkUtilization>,
+}
+
+impl NetworkObservations {
+    /// `(rack, mean_utilization)` of every rack uplink trunk — the
+    /// congestion signal the adaptive plane feeds to `DriftDetector`.
+    pub fn trunk_utilization(&self) -> Vec<(String, f64)> {
+        self.links
+            .iter()
+            .filter_map(|l| {
+                let rack = l.link.strip_suffix(".uplink")?;
+                Some((rack.to_owned(), l.mean_utilization))
+            })
+            .collect()
+    }
+}
+
 /// The outcome of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -244,6 +284,10 @@ pub struct SimReport {
     pub totals: SimTotals,
     /// Recovery metrics, present only for chaos-harness runs.
     pub recovery: Option<RecoveryObservations>,
+    /// Per-link network telemetry, present only when the fair-share
+    /// network plane served the run (`None` under the legacy model, which
+    /// keeps the report layout byte-identical to the pre-plane engine).
+    pub network: Option<NetworkObservations>,
     /// Engine-internal counters (excluded from `==`; see
     /// [`SimDebugStats`]).
     pub debug: SimDebugStats,
@@ -267,6 +311,7 @@ impl PartialEq for SimReport {
             && self.latency_ms == other.latency_ms
             && self.totals == other.totals
             && self.recovery == other.recovery
+            && self.network == other.network
     }
 }
 
@@ -368,6 +413,30 @@ impl SimReport {
                 r.throughput_dip_depth,
                 true,
             );
+        }
+        if let Some(n) = &self.network {
+            for l in &n.links {
+                let path = format!("network.{}", l.link);
+                float(
+                    &mut out,
+                    &format!("{path}.capacity_mbps"),
+                    l.capacity_mbps,
+                    true,
+                );
+                float(
+                    &mut out,
+                    &format!("{path}.mean_utilization"),
+                    l.mean_utilization,
+                    true,
+                );
+                float(&mut out, &format!("{path}.mb_carried"), l.mb_carried, true);
+                if l.saturated_windows > OVERFLOW_CANARY {
+                    out.push(InvariantViolation::CounterOverflow {
+                        counter: format!("{path}.saturated_windows"),
+                        value: l.saturated_windows,
+                    });
+                }
+            }
         }
         let t = &self.totals;
         for (counter, value) in [
@@ -501,6 +570,27 @@ impl SimReport {
                 r.suppressed_flaps
             );
         }
+        // The network section exists only for fair-plane runs; legacy
+        // runs keep the pre-plane byte layout the golden test pins.
+        if let Some(n) = &self.network {
+            out.push_str(",\n  \"network\": {\"links\": [");
+            for (i, l) in n.links.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"link\": {}, \"capacity_mbps\": {:?}, \"mean_utilization\": {:?}, \
+                     \"saturated_windows\": {}, \"mb_carried\": {:?}}}",
+                    json_str(&l.link),
+                    l.capacity_mbps,
+                    l.mean_utilization,
+                    l.saturated_windows,
+                    l.mb_carried
+                );
+            }
+            out.push_str("]}");
+        }
         out.push_str("\n}\n");
         out
     }
@@ -536,7 +626,18 @@ mod tests {
             latency_ms: Summary::of([]),
             totals: SimTotals::default(),
             recovery: None,
+            network: None,
             debug: SimDebugStats::default(),
+        }
+    }
+
+    fn uplink(rack: &str, utilization: f64) -> LinkUtilization {
+        LinkUtilization {
+            link: format!("{rack}.uplink"),
+            capacity_mbps: 600.0,
+            mean_utilization: utilization,
+            saturated_windows: 0,
+            mb_carried: 1.0,
         }
     }
 
@@ -663,6 +764,77 @@ mod tests {
         let violations = wrapped.sanity_violations();
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].kind(), "drain_imbalance");
+    }
+
+    #[test]
+    fn network_section_serializes_only_for_fair_plane_runs() {
+        let legacy = empty_report();
+        assert!(!legacy.to_json().contains("network"));
+
+        let mut fair = empty_report();
+        fair.network = Some(NetworkObservations {
+            links: vec![
+                LinkUtilization {
+                    link: "node0.egress".to_owned(),
+                    capacity_mbps: 100.0,
+                    mean_utilization: 0.25,
+                    saturated_windows: 2,
+                    mb_carried: 12.5,
+                },
+                uplink("rack0", 0.97),
+            ],
+        });
+        assert_ne!(legacy, fair, "network telemetry is part of the outcome");
+        let j = fair.to_json();
+        assert!(j.contains("\"network\": {\"links\": ["));
+        assert!(j.contains("{\"link\": \"node0.egress\", \"capacity_mbps\": 100.0"));
+        assert!(j.contains("\"saturated_windows\": 2"));
+        assert!(j.contains("\"mb_carried\": 12.5"));
+        // Still valid deterministic output with the recovery tail too.
+        fair.recovery = Some(RecoveryObservations::default());
+        let j = fair.to_json();
+        assert!(j.contains("\"recovery\": {"));
+        assert!(j.ends_with("]}\n}\n"), "network closes the object: {j}");
+    }
+
+    #[test]
+    fn trunk_utilization_filters_uplinks_only() {
+        let net = NetworkObservations {
+            links: vec![
+                LinkUtilization {
+                    link: "node0.egress".to_owned(),
+                    capacity_mbps: 100.0,
+                    mean_utilization: 0.9,
+                    saturated_windows: 0,
+                    mb_carried: 0.0,
+                },
+                uplink("rack0", 0.97),
+                uplink("rack1", 0.10),
+                LinkUtilization {
+                    link: "rack0.downlink".to_owned(),
+                    capacity_mbps: 600.0,
+                    mean_utilization: 0.99,
+                    saturated_windows: 3,
+                    mb_carried: 1.0,
+                },
+            ],
+        };
+        assert_eq!(
+            net.trunk_utilization(),
+            vec![("rack0".to_owned(), 0.97), ("rack1".to_owned(), 0.10)]
+        );
+    }
+
+    #[test]
+    fn sanity_sweep_covers_the_network_section() {
+        let mut r = empty_report();
+        r.network = Some(NetworkObservations {
+            links: vec![uplink("rack0", f64::NAN)],
+        });
+        let violations = r.sanity_violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].kind(), "non_finite_metric");
+        assert!(violations[0].to_string().contains("rack0.uplink"));
     }
 
     #[test]

@@ -18,9 +18,23 @@ pub struct LinkServer {
 impl LinkServer {
     /// Creates a server from a rate in megabits per second.
     ///
+    /// # Zero-bandwidth contract
+    ///
+    /// A link with no capacity cannot serialize any byte, and a FIFO
+    /// server has no way to express "this transfer never completes"
+    /// except by returning a meaningless `+inf`/`NaN` completion time
+    /// that would silently poison every downstream latency statistic.
+    /// The constructor therefore refuses the configuration outright:
+    /// `mbps` must be finite and strictly positive, and zero, negative,
+    /// infinite and `NaN` rates all panic here — at build time, with the
+    /// offending value in the message — instead of surfacing as a
+    /// division hazard mid-run. Severed connectivity is modeled by the
+    /// fault plane (rack partitions drop the batches), never by a
+    /// zero-rate link.
+    ///
     /// # Panics
     ///
-    /// Panics if `mbps` is not strictly positive.
+    /// Panics if `mbps` is not finite or not strictly positive.
     pub fn from_mbps(mbps: f64) -> Self {
         assert!(
             mbps.is_finite() && mbps > 0.0,
@@ -54,6 +68,26 @@ impl LinkServer {
     pub fn busy_until(&self) -> f64 {
         self.busy_until
     }
+}
+
+/// The legacy per-node link fabric shared by the fast engine and the
+/// reference oracle: one egress and one ingress NIC server per node at
+/// `node_mbps`, plus a single global inter-rack uplink at `uplink_mbps`.
+/// Both engines must build their servers through this one helper so the
+/// fabric can never drift between them.
+pub fn legacy_link_fabric(
+    nodes: usize,
+    node_mbps: f64,
+    uplink_mbps: f64,
+) -> (Vec<LinkServer>, Vec<LinkServer>, LinkServer) {
+    let egress = (0..nodes)
+        .map(|_| LinkServer::from_mbps(node_mbps))
+        .collect();
+    let ingress = (0..nodes)
+        .map(|_| LinkServer::from_mbps(node_mbps))
+        .collect();
+    let uplink = LinkServer::from_mbps(uplink_mbps);
+    (egress, ingress, uplink)
 }
 
 /// A node's CPU under **max-min fair processor sharing** (the behaviour
@@ -491,6 +525,41 @@ mod tests {
     #[should_panic(expected = "link rate")]
     fn zero_rate_link_rejected() {
         LinkServer::from_mbps(0.0);
+    }
+
+    #[test]
+    fn zero_bandwidth_contract_rejects_every_degenerate_rate() {
+        // The contract is "finite and strictly positive": each
+        // degenerate spelling of "no usable capacity" must be refused at
+        // construction instead of producing inf/NaN completion times.
+        for bad in [
+            0.0,
+            -0.0,
+            -100.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            let res = std::panic::catch_unwind(|| LinkServer::from_mbps(bad));
+            assert!(res.is_err(), "rate {bad} must be rejected");
+        }
+        // And the boundary of the contract: any strictly positive finite
+        // rate is accepted and serves finite completion times.
+        let mut l = LinkServer::from_mbps(f64::MIN_POSITIVE);
+        let done = l.serve(0.0, 1);
+        assert!(done.is_finite() && done > 0.0);
+    }
+
+    #[test]
+    fn legacy_fabric_is_one_nic_pair_per_node_plus_one_uplink() {
+        let (egress, ingress, uplink) = legacy_link_fabric(3, 100.0, 600.0);
+        assert_eq!(egress.len(), 3);
+        assert_eq!(ingress.len(), 3);
+        let mut nic = egress[0].clone();
+        // 100 Mbps = 12_500 bytes/ms.
+        assert!((nic.serve(0.0, 12_500) - 1.0).abs() < 1e-9);
+        let mut trunk = uplink.clone();
+        assert!((trunk.serve(0.0, 75_000) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! float arithmetic).
 
 use crate::build::{ClusterIndex, GroupKind, LinkKind, Route, SimBuild, NO_SINK};
-use crate::config::SimConfig;
+use crate::config::{NetworkModel, SimConfig};
 use crate::event::EventQueue;
 use crate::faults::{FaultEvent, FaultPlan};
-use crate::report::{InvariantViolation, SimDebugStats, SimReport, SimTotals};
-use crate::servers::{DenseCpuServer, LinkServer};
+use crate::network::{CompletedFlow, FairNetwork, LinkClass};
+use crate::report::{
+    InvariantViolation, LinkUtilization, NetworkObservations, SimDebugStats, SimReport, SimTotals,
+};
+use crate::servers::{legacy_link_fabric, DenseCpuServer, LinkServer};
 use crate::slab::{RootSlab, RootState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +65,13 @@ const TAG_TRY_SPOUT: u32 = 0 << TAG_SHIFT;
 const TAG_WORK_DONE: u32 = 1 << TAG_SHIFT;
 const TAG_DELIVER: u32 = 2 << TAG_SHIFT;
 const TAG_FAULT: u32 = 3 << TAG_SHIFT;
+
+/// Sentinel task index marking a [`TAG_DELIVER`] event as a fair-plane
+/// wake-up rather than a batch delivery (both tag bits are taken, so the
+/// wake rides the deliver lane; real task indices never reach the mask).
+/// The event's `root` field carries the plane's generation counter —
+/// stale wake-ups are discarded.
+const NET_WAKE_TASK: u32 = TASK_MASK;
 
 /// A control event resolved to dense engine indices at build time (the
 /// heap payload only carries an index into [`Engine::fault_actions`]).
@@ -473,6 +483,11 @@ struct Engine {
     node_tasks: Vec<Vec<usize>>,
     /// Extra per-transfer latency while a link degradation is active.
     link_extra_ms: f64,
+    /// The fair-share network plane, present only when
+    /// `config.network_model == NetworkModel::Fair`. `None` keeps every
+    /// legacy run bit-identical to the pre-plane engine: all fair-plane
+    /// branches are `is_some()` checks that never fire.
+    network: Option<FairNetwork>,
     /// Fault actions resolved to dense ids, referenced by heap events.
     fault_actions: Vec<FaultAction>,
     /// `(at_ms, action index)` pairs scheduled into the queue by `run`.
@@ -620,13 +635,22 @@ impl Engine {
                 moves,
             });
         }
-        let egress = (0..index.cores.len())
-            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
-            .collect();
-        let ingress = (0..index.cores.len())
-            .map(|_| LinkServer::from_mbps(costs.node_bandwidth_mbps))
-            .collect();
-        let uplink = LinkServer::from_mbps(costs.inter_rack_bandwidth_mbps);
+        let (egress, ingress, uplink) = legacy_link_fabric(
+            index.cores.len(),
+            costs.node_bandwidth_mbps,
+            costs.inter_rack_bandwidth_mbps,
+        );
+        let network = match config.network_model {
+            NetworkModel::Legacy => None,
+            NetworkModel::Fair => Some(FairNetwork::new(
+                index.cores.len(),
+                cluster.racks().len(),
+                costs.node_bandwidth_mbps,
+                costs.inter_rack_bandwidth_mbps,
+                config.window_ms,
+                config.sim_time_ms,
+            )),
+        };
 
         let tasks = build
             .specs
@@ -689,6 +713,7 @@ impl Engine {
             racks_partitioned: 0,
             node_tasks,
             link_extra_ms: 0.0,
+            network,
             fault_actions,
             fault_schedule,
             stats,
@@ -739,6 +764,7 @@ impl Engine {
                 match ev.task_tag & !TASK_MASK {
                     TAG_TRY_SPOUT => self.try_spout(task),
                     TAG_WORK_DONE => self.work_done(task, batch),
+                    TAG_DELIVER if task == NET_WAKE_TASK as usize => self.net_wake(ev.root),
                     TAG_DELIVER => self.deliver(task, batch),
                     _ => self.apply_fault(task),
                 }
@@ -956,6 +982,37 @@ impl Engine {
             }
         }
 
+        // The fair-share plane (opt-in) turns every non-local transfer
+        // into a flow that shares link capacity max-min fairly with all
+        // concurrent flows; delivery is scheduled when the plane hands
+        // the serialized batch back. Under the plane a degradation
+        // shapes *capacity*, so `link_extra_ms` is not added here.
+        if self.network.is_some() && !matches!(route.kind, LinkKind::Local) {
+            let src_node = spec.node as usize;
+            let dst_node = route.to_node as usize;
+            let src_rack = self.index.rack_of_node[src_node];
+            let dst_rack = self.index.rack_of_node[dst_node];
+            if let Some(root) = self.roots.get_mut(batch.root) {
+                root.pending += 1;
+            }
+            let net = self.network.as_mut().expect("checked above");
+            let done = net.admit(
+                now,
+                src_node,
+                dst_node,
+                src_rack,
+                dst_rack,
+                matches!(route.kind, LinkKind::InterRack),
+                f64::from(bytes),
+                route.latency_ms,
+                route.to,
+                batch.root,
+                batch.tuples,
+            );
+            self.finish_net_transition(done);
+            return;
+        }
+
         // `link_extra_ms` is 0.0 outside degradation windows; adding it
         // is then bit-neutral, preserving fault-free reference parity.
         let arrival = match route.kind {
@@ -978,6 +1035,56 @@ impl Engine {
         }
         self.queue
             .schedule(arrival, FastEv::deliver(route.to as usize, batch));
+    }
+
+    // ---- fair-share network plane ---------------------------------------
+
+    /// Handles a fair-plane wake-up event: if it carries the current
+    /// generation, advance every flow to now, deliver the completed ones
+    /// and re-arm; a stale generation means a later transition already
+    /// superseded this wake-up.
+    fn net_wake(&mut self, generation: u64) {
+        let Some(net) = self.network.as_mut() else {
+            return;
+        };
+        if generation != net.generation() {
+            return;
+        }
+        let now = self.queue.now();
+        let done = net.advance(now);
+        self.finish_net_transition(done);
+    }
+
+    /// The tail of every fair-plane transition: schedule a delivery for
+    /// each flow the plane just completed (serialization finished at the
+    /// transition instant; propagation latency is added on top) and
+    /// re-arm the single wake-up at the new earliest completion time.
+    fn finish_net_transition(&mut self, done: Vec<CompletedFlow>) {
+        let now = self.queue.now();
+        for f in done {
+            self.queue.schedule(
+                now + f.latency_ms,
+                FastEv::deliver(
+                    f.to_task as usize,
+                    Batch {
+                        root: f.root,
+                        tuples: f.tuples,
+                    },
+                ),
+            );
+        }
+        let net = self.network.as_mut().expect("transition implies a plane");
+        if let Some(at) = net.arm_wake() {
+            let generation = net.generation();
+            self.queue.schedule(
+                at,
+                FastEv {
+                    root: generation,
+                    task_tag: TAG_DELIVER | NET_WAKE_TASK,
+                    tuples: 0,
+                },
+            );
+        }
     }
 
     // ---- delivery ------------------------------------------------------
@@ -1111,7 +1218,21 @@ impl Engine {
         match self.fault_actions[action] {
             FaultAction::Crash(node) => self.crash_node(node as usize),
             FaultAction::Recover(node) => self.recover_node(node as usize),
-            FaultAction::SetLinkExtra(extra_ms) => self.link_extra_ms = extra_ms,
+            FaultAction::SetLinkExtra(extra_ms) => {
+                self.link_extra_ms = extra_ms;
+                // Under the fair plane the same knob degrades *capacity*
+                // (a transition: flows slow down mid-transfer) instead of
+                // adding per-transfer latency.
+                if self.network.is_some() {
+                    let now = self.queue.now();
+                    let done = self
+                        .network
+                        .as_mut()
+                        .expect("checked above")
+                        .set_degrade(now, extra_ms);
+                    self.finish_net_transition(done);
+                }
+            }
             FaultAction::PartitionRack(rack) => self.partition_rack(rack as usize),
             FaultAction::HealRack(rack) => self.heal_rack(rack as usize),
             FaultAction::StatsTick => self.stats_tick(),
@@ -1296,6 +1417,26 @@ impl Engine {
         }
         self.rack_down[rack] = true;
         self.racks_partitioned += 1;
+        // Under the fair plane the partition also cuts the rack's trunks
+        // *mid-transfer*: in-flight flows crossing them are severed and
+        // their batches lost (each already holds its root's pending slot
+        // from admission, so the tree fails through the timeout path,
+        // exactly like the legacy send-time drop).
+        if self.network.is_some() {
+            let now = self.queue.now();
+            let (done, severed) = self
+                .network
+                .as_mut()
+                .expect("checked above")
+                .sever_rack(now, rack);
+            for f in severed {
+                self.lose_batch(Batch {
+                    root: f.root,
+                    tuples: f.tuples,
+                });
+            }
+            self.finish_net_transition(done);
+        }
     }
 
     /// Ends the partition window on `rack`. Idempotent.
@@ -1444,6 +1585,44 @@ impl Engine {
         }
 
         let node_utilization = tracker.used_node_utilizations(elapsed);
+        // Under the fair plane, inter-rack traffic is what the per-rack
+        // uplink trunks carried; the legacy path keeps its single global
+        // uplink counter. Link names are attached only here, at the
+        // boundary — the plane itself knows only dense ids.
+        let (inter_rack_mb, network) = match &self.network {
+            Some(net) => {
+                let links = net
+                    .link_stats(elapsed)
+                    .into_iter()
+                    .map(|l| LinkUtilization {
+                        link: match l.class {
+                            LinkClass::Egress => {
+                                format!("{}.egress", self.index.node_names[l.owner])
+                            }
+                            LinkClass::Ingress => {
+                                format!("{}.ingress", self.index.node_names[l.owner])
+                            }
+                            LinkClass::Uplink => {
+                                format!("{}.uplink", self.cluster.racks()[l.owner].as_str())
+                            }
+                            LinkClass::Downlink => {
+                                format!("{}.downlink", self.cluster.racks()[l.owner].as_str())
+                            }
+                            LinkClass::Core => "core".to_owned(),
+                        },
+                        capacity_mbps: l.capacity_mbps,
+                        mean_utilization: l.mean_utilization,
+                        saturated_windows: l.saturated_windows,
+                        mb_carried: l.carried_bytes / 1e6,
+                    })
+                    .collect();
+                (
+                    net.uplink_bytes() / 1e6,
+                    Some(NetworkObservations { links }),
+                )
+            }
+            None => (self.uplink.served_bytes() / 1e6, None),
+        };
         let report = SimReport {
             duration_ms: elapsed,
             window_ms: self.config.window_ms,
@@ -1452,10 +1631,11 @@ impl Engine {
             used_nodes: tracker.used_node_count(),
             used_nodes_by_topology: used_by_topology,
             node_utilization,
-            inter_rack_mb: self.uplink.served_bytes() / 1e6,
+            inter_rack_mb,
             latency_ms: self.latency.summary(),
             totals: self.totals,
             recovery: None,
+            network,
             debug: SimDebugStats {
                 events: self.events,
                 root_pool_hits: self.roots.pool_hits,
@@ -2634,6 +2814,178 @@ mod tests {
                 .any(|v| v.kind() == "drain_imbalance"),
             "the planted bug must surface as a typed violation: {:?}",
             broken.violations
+        );
+    }
+
+    // ---- fair-share network plane --------------------------------------
+
+    /// An even (spread) placement of a network-bound pipeline: the
+    /// traffic pattern that actually exercises NICs and trunks.
+    fn spread_net_assignment(topology: &Topology, cluster: &Cluster) -> Assignment {
+        let mut state = GlobalState::new(cluster);
+        EvenScheduler::new()
+            .schedule(topology, cluster, &mut state)
+            .unwrap()
+    }
+
+    fn run_faulted_with(
+        topology: &Topology,
+        cluster: &Cluster,
+        assignment: &Assignment,
+        plan: FaultPlan,
+        config: SimConfig,
+    ) -> SimReport {
+        let mut sim = Simulation::new(cluster.clone(), config);
+        sim.add_topology(topology, assignment);
+        sim.set_fault_plan(plan);
+        sim.run()
+    }
+
+    #[test]
+    fn network_gate_default_is_bit_identical_to_explicit_legacy() {
+        // `network_model` defaults to Legacy; spelling it out must change
+        // nothing, down to the engine's event count — the same license
+        // the replay and incremental-routing gates carry.
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::network_bound(400), 15.0, 128.0);
+        let a = spread_net_assignment(&t, &cluster);
+        let default_run = run_faulted(&t, &cluster, &a, FaultPlan::new());
+        let explicit = run_faulted_with(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new(),
+            SimConfig::quick().with_network_model(NetworkModel::Legacy),
+        );
+        assert_eq!(default_run, explicit);
+        assert_eq!(default_run.to_json(), explicit.to_json());
+        assert_eq!(default_run.debug.events, explicit.debug.events);
+        assert!(default_run.network.is_none(), "legacy exports no telemetry");
+    }
+
+    #[test]
+    fn fair_plane_delivers_tuples_and_exports_link_telemetry() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::network_bound(400), 15.0, 128.0);
+        let a = spread_net_assignment(&t, &cluster);
+        let mut fair = SimConfig::quick().with_network_model(NetworkModel::Fair);
+        fair.max_pending = 8; // bound concurrent flows; debug builds stay fast
+        let r = run_faulted_with(&t, &cluster, &a, FaultPlan::new(), fair.clone());
+        assert!(r.throughput["t"].steady_state(1).mean > 0.0);
+        assert_eq!(r.totals.tuples_lost, 0, "a healthy fair run loses nothing");
+        let net = r.network.as_ref().expect("fair runs export telemetry");
+        // 6 NIC pairs + 2 trunk pairs + core for emulab(2, 3).
+        assert_eq!(net.links.len(), 2 * 6 + 2 * 2 + 1);
+        assert!(net.links.iter().any(|l| l.link.ends_with(".uplink")));
+        assert!(
+            net.links
+                .iter()
+                .filter(|l| l.link.ends_with(".uplink"))
+                .any(|l| l.mb_carried > 0.0),
+            "the spread placement pushes traffic through a trunk"
+        );
+        assert_eq!(net.trunk_utilization().len(), 2, "one entry per rack");
+        assert!(
+            r.inter_rack_mb > 0.0,
+            "trunk bytes feed the inter_rack_mb metric"
+        );
+        // Determinism: the fair plane is driven by the same event queue.
+        let r2 = run_faulted_with(&t, &cluster, &a, FaultPlan::new(), fair);
+        assert_eq!(r, r2);
+        assert_eq!(r.to_json(), r2.to_json());
+    }
+
+    #[test]
+    fn fair_degradation_throttles_capacity_not_just_latency() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::network_bound(400), 15.0, 128.0);
+        let a = spread_net_assignment(&t, &cluster);
+        let mut fair = SimConfig::quick().with_network_model(NetworkModel::Fair);
+        fair.max_pending = 8;
+        let healthy = run_faulted_with(&t, &cluster, &a, FaultPlan::new(), fair.clone());
+        // extra = 400 ms → capacity factor 0.2 for the whole run.
+        let degraded = run_faulted_with(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().degrade_links(0.0, 60_000.0, 400.0),
+            fair,
+        );
+        assert!(
+            degraded.totals.tuples_completed < healthy.totals.tuples_completed,
+            "a 5x capacity cut costs throughput: {} vs {}",
+            degraded.totals.tuples_completed,
+            healthy.totals.tuples_completed
+        );
+        assert_eq!(degraded.totals.tuples_lost, 0, "congestion, not loss");
+    }
+
+    #[test]
+    fn fair_partition_severs_flows_mid_transfer_then_heals() {
+        let cluster = emulab(2, 3);
+        let t = linear_topology("t", 2, ExecutionProfile::network_bound(400), 15.0, 128.0);
+        let a = spread_net_assignment(&t, &cluster);
+        let mut fair = SimConfig::quick().with_network_model(NetworkModel::Fair);
+        fair.max_pending = 8;
+        let healthy = run_faulted_with(&t, &cluster, &a, FaultPlan::new(), fair.clone());
+        assert!(healthy.inter_rack_mb > 0.0, "the trunk is exercised");
+        let rack = cluster.racks()[0].as_str().to_owned();
+        let partitioned = run_faulted_with(
+            &t,
+            &cluster,
+            &a,
+            FaultPlan::new().partition_rack(20_000.0, 35_000.0, &rack),
+            fair,
+        );
+        assert!(
+            partitioned.totals.tuples_lost > 0,
+            "in-flight trunk flows are severed, not drained"
+        );
+        assert!(
+            partitioned.totals.roots_timed_out > healthy.totals.roots_timed_out,
+            "severed trees fail through the timeout path"
+        );
+        assert!(partitioned.inter_rack_mb < healthy.inter_rack_mb);
+        let windows = &partitioned.throughput["t"].windows;
+        assert!(
+            *windows.last().unwrap() > 0.0,
+            "flow resumed after the heal: {windows:?}"
+        );
+    }
+
+    #[test]
+    fn fair_colocation_beats_spreading_for_network_bound_work() {
+        // The paper's Figure-8 argument at the network layer: under the
+        // fair plane, R-Storm's proximity packing avoids the shared
+        // trunks and NIC contention that an even spread pays for.
+        let cluster = emulab(2, 6);
+        let t = linear_topology("net", 6, ExecutionProfile::network_bound(400), 15.0, 128.0);
+        let mut config = SimConfig::quick().with_network_model(NetworkModel::Fair);
+        config.max_pending = 4;
+        let r = run_with(&RStormScheduler::new(), &t, &cluster, config.clone());
+        let e = run_with(&EvenScheduler::new(), &t, &cluster, config);
+        let rt = r.throughput["net"].steady_state(2).mean;
+        let et = e.throughput["net"].steady_state(2).mean;
+        assert!(
+            rt > et * 1.2,
+            "proximity packing wins under contention: rstorm {rt} vs even {et}"
+        );
+        // The even spread pays in trunk traffic too.
+        let trunk = |rep: &SimReport| {
+            rep.network
+                .as_ref()
+                .unwrap()
+                .links
+                .iter()
+                .filter(|l| l.link.ends_with(".uplink"))
+                .map(|l| l.mb_carried)
+                .sum::<f64>()
+        };
+        assert!(
+            trunk(&e) > trunk(&r),
+            "spreading crosses racks more: even {} MB vs rstorm {} MB",
+            trunk(&e),
+            trunk(&r)
         );
     }
 }

@@ -215,6 +215,23 @@ pub enum FaultSpec {
         /// End of the partition window in milliseconds.
         until_ms: f64,
     },
+    /// A background-traffic congestion window over `[at_ms, until_ms)`:
+    /// the job runs on the fair network plane
+    /// ([`crate::config::NetworkModel::Fair`]) and every link loses
+    /// capacity for the window's duration (`link_extra_ms` degrades
+    /// bandwidth under the fair plane — see
+    /// [`crate::network::DEGRADE_REF_MS`]), emulating a bulk transfer
+    /// competing for the same trunks. Survivable — the window ends and
+    /// no tuples are destroyed, only delayed.
+    Congestion {
+        /// Start of the congestion window in milliseconds.
+        at_ms: f64,
+        /// End of the congestion window in milliseconds.
+        until_ms: f64,
+        /// Degradation knob: capacity shrinks by
+        /// `DEGRADE_REF_MS / (DEGRADE_REF_MS + extra_ms)`.
+        extra_ms: f64,
+    },
     /// A flap storm on the host node: `flaps` crash/recover cycles
     /// starting at `first_at_ms` (see [`crate::faults::FaultPlan::flap_storm`]),
     /// stressing the control plane's trust hysteresis and churn limiter.
@@ -239,6 +256,7 @@ impl FaultSpec {
             Self::CrashRecover { .. } => "crash_recover",
             Self::CrashLasting { .. } => "crash_lasting",
             Self::Partition { .. } => "partition",
+            Self::Congestion { .. } => "congestion",
             Self::Flap { .. } => "flap",
         }
     }
@@ -393,6 +411,19 @@ fn run_job(grid: &SweepGrid, job: &SweepJob) -> SweepRow {
                 .to_owned();
             let plan = FaultPlan::new().partition_rack(at_ms, until_ms, rack);
             run_plan_job(case, &*scheduler, &plan, sim_cfg)
+        }
+        FaultSpec::Congestion {
+            at_ms,
+            until_ms,
+            extra_ms,
+        } => {
+            // Congestion is only meaningful on the fair network plane:
+            // under it `link_extra_ms` shrinks capacity instead of
+            // padding latency, so the window behaves like competing
+            // background traffic on every link.
+            let fair_cfg = sim_cfg.with_network_model(crate::config::NetworkModel::Fair);
+            let plan = FaultPlan::new().degrade_links(at_ms, until_ms, extra_ms);
+            run_plan_job(case, &*scheduler, &plan, fair_cfg)
         }
         FaultSpec::Flap {
             first_at_ms,
@@ -967,6 +998,55 @@ mod tests {
         assert_eq!(
             flap.detect_ms.p50, -1.0,
             "sub-window flaps must not be declared"
+        );
+    }
+
+    #[test]
+    fn congestion_spec_runs_on_the_fair_plane_and_stays_lossless() {
+        let grid = SweepGrid {
+            cases: vec![SweepCase {
+                name: "cong".to_owned(),
+                topology: topology("cong"),
+                cluster: cluster(),
+            }],
+            // `even` spreads the tasks, so transfers actually cross the
+            // network and the capacity squeeze has something to squeeze.
+            schedulers: vec!["even".to_owned()],
+            faults: vec![
+                FaultSpec::Healthy,
+                FaultSpec::Congestion {
+                    at_ms: 4_000.0,
+                    until_ms: 16_000.0,
+                    extra_ms: 400.0,
+                },
+            ],
+            seeds: SeedRange::new(0, 2).unwrap(),
+            sim: {
+                let mut sim = SimConfig::quick()
+                    .with_sim_time_ms(20_000.0)
+                    .with_max_replays(4);
+                sim.window_ms = 2_000.0;
+                sim
+            },
+        };
+        let serial = run_sweep(&grid, 1);
+        let parallel = run_sweep(&grid, 4);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        let healthy = &serial.summary.groups[0];
+        let congested = &serial.summary.groups[1];
+        assert_eq!(congested.name, "cong/even/congestion");
+        assert!(congested.survivable, "background traffic destroys nothing");
+        assert_eq!(congested.zero_loss_min, 1.0, "congestion lost tuples");
+        assert_eq!(
+            congested.detect_ms.p50, -1.0,
+            "no node dies, so nothing is detected"
+        );
+        assert!(congested.net_mean > 0.0, "traffic still flows");
+        assert!(
+            congested.net_mean < healthy.net_mean,
+            "a 12 s capacity squeeze must cost throughput: {} vs {}",
+            congested.net_mean,
+            healthy.net_mean
         );
     }
 

@@ -169,6 +169,7 @@ pub fn churn_plans(
             drifted: drifted.clone(),
             saturated_nodes: vec![hot],
             starved_nodes: Vec::new(),
+            congested_racks: Vec::new(),
         };
         let plan = DeltaScheduler::new()
             .plan(

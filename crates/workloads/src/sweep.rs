@@ -63,13 +63,20 @@ const FLAP_DOWN_MS: f64 = 4_000.0;
 const FLAP_UP_MS: f64 = 8_000.0;
 /// Number of flap cycles.
 const FLAPS: u32 = 3;
+/// Congestion window end of the full grid (milliseconds): 15 s of
+/// background traffic squeezing every link on the fair network plane.
+const CONGESTION_UNTIL_MS: f64 = 35_000.0;
+/// Congestion severity: capacity shrinks to
+/// `100 / (100 + 400) = 20 %` for the window's duration.
+const CONGESTION_EXTRA_MS: f64 = 400.0;
 
-/// The full grid: all five benchmark workloads × 3 schedulers × 5 faults
+/// The full grid: all five benchmark workloads × 3 schedulers × 6 faults
 /// × seeds at the paper's 300 s horizon — the production-scale
 /// validation sweep. Includes the non-survivable lasting-crash
 /// scenario, whose groups are exempt from the zero-loss pin, plus the
-/// mixed-fault vocabulary (rack partition, flap storm) of the chaos
-/// fuzzer — both survivable, so zero-loss-gated.
+/// mixed-fault vocabulary (rack partition, flap storm, background-traffic
+/// congestion on the fair network plane) of the chaos fuzzer — all
+/// survivable, so zero-loss-gated.
 pub fn full_grid(seeds: SeedRange) -> SweepGrid {
     let cases = cases::fig8_cases()
         .into_iter()
@@ -102,6 +109,11 @@ pub fn full_grid(seeds: SeedRange) -> SweepGrid {
                 down_ms: FLAP_DOWN_MS,
                 up_ms: FLAP_UP_MS,
             },
+            FaultSpec::Congestion {
+                at_ms: CRASH_AT_MS,
+                until_ms: CONGESTION_UNTIL_MS,
+                extra_ms: CONGESTION_EXTRA_MS,
+            },
         ],
         seeds,
         sim: SimConfig::default().with_max_replays(MAX_REPLAYS),
@@ -131,7 +143,8 @@ mod tests {
                 "crash_recover",
                 "crash_lasting",
                 "partition",
-                "flap"
+                "flap",
+                "congestion"
             ]
         );
         // Everything but the lasting crash is survivable and therefore

@@ -715,4 +715,107 @@ proptest! {
         prop_assert_eq!(&patched, &rebuilt);
         prop_assert_eq!(patched.debug.events, rebuilt.debug.events);
     }
+
+    /// The network-plane gate's correctness bar, as a property: leaving
+    /// `network_model` at its default and setting it to `Legacy`
+    /// explicitly must be the same engine bit for bit — same report,
+    /// same JSON, same debug event count — across random migration plans
+    /// *and* random fault plans (crashes, partitions, degradations), the
+    /// transitions where a half-gated fair-plane branch would first leak.
+    #[test]
+    fn legacy_network_model_is_bit_identical_to_the_default_engine(
+        topology in arb_topology(),
+        raw_moves in proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+        fault_atoms in proptest::collection::vec(
+            (0u8..4, 1u64..10, 1u64..8, 0usize..64),
+            0..4,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let cluster = std::sync::Arc::new(
+            ClusterBuilder::new()
+                .homogeneous_racks(2, 3, ResourceCapacity::new(400.0, 8192.0, 100.0), 4)
+                .build()
+                .unwrap(),
+        );
+        let Ok(assignment) = RStormScheduler::new().schedule(
+            &topology,
+            &cluster,
+            &mut GlobalState::new(&cluster),
+        ) else {
+            return Ok(());
+        };
+        let tasks: Vec<_> = assignment.iter().map(|(t, _)| t).collect();
+        let nodes: Vec<String> = cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
+        let racks: Vec<String> = cluster
+            .racks()
+            .iter()
+            .map(|r| r.as_str().to_owned())
+            .collect();
+
+        // A random scatter of task relocations, as in the routing property.
+        let mut slots: std::collections::BTreeMap<_, _> =
+            assignment.iter().map(|(t, s)| (t, s.clone())).collect();
+        let mut moves = Vec::new();
+        for &(t, n) in &raw_moves {
+            let task = tasks[t % tasks.len()];
+            let node = &nodes[n % nodes.len()];
+            let old = slots[&task].node.clone();
+            slots.insert(task, WorkerSlot::new(node.as_str(), 6700));
+            moves.push(MigrationMove {
+                task,
+                component: "c".to_owned(),
+                from: old,
+                to: rstorm::cluster::NodeId::new(node.as_str()),
+            });
+        }
+        let plan = MigrationPlan {
+            topology: topology.id().clone(),
+            moves,
+            updated: Assignment::new(topology.id().clone(), slots),
+        };
+
+        // A random fault plan on the 500 ms grid inside the 8 s horizon.
+        let mut faults = FaultPlan::new();
+        for &(kind, at_slot, len_slot, pick) in &fault_atoms {
+            let at = 500.0 * at_slot as f64;
+            let len = 500.0 * len_slot as f64;
+            match kind {
+                0 => {
+                    let node = &nodes[pick % nodes.len()];
+                    faults = faults.crash_node(at, node).recover_node(at + len, node);
+                }
+                1 => {
+                    faults = faults.crash_node(at, &nodes[pick % nodes.len()]);
+                }
+                2 => {
+                    faults = faults.partition_rack(at, at + len, &racks[pick % racks.len()]);
+                }
+                _ => {
+                    faults = faults.degrade_links(at, at + len, 25.0);
+                }
+            }
+        }
+
+        let run = |explicit_legacy: bool| {
+            let mut config = SimConfig::quick().with_sim_time_ms(8_000.0).with_seed(seed);
+            if explicit_legacy {
+                config = config.with_network_model(NetworkModel::Legacy);
+            }
+            let mut sim = Simulation::new(std::sync::Arc::clone(&cluster), config);
+            sim.add_topology(&topology, &assignment);
+            sim.schedule_migration(&plan, 3_000.0, 500.0);
+            sim.set_fault_plan(faults.clone());
+            sim.run()
+        };
+        let default_report = run(false);
+        let legacy_report = run(true);
+        prop_assert_eq!(&default_report, &legacy_report);
+        prop_assert_eq!(default_report.to_json(), legacy_report.to_json());
+        prop_assert_eq!(default_report.debug.events, legacy_report.debug.events);
+    }
 }
