@@ -22,6 +22,12 @@
 //! network plane is deterministic, so proximity packing losing to the
 //! spread baseline under trunk saturation is a modeling bug, not
 //! measurement noise, and no environment variable can excuse it.
+//! `failover_zero_loss` and `reconciliation_convergence` (the control
+//! smoke's Nimbus-outage cases) are pinned at exactly 1.0: a journaled
+//! failover that loses roots on a survivable plan, or a successor whose
+//! reconciled assignment diverges from a from-scratch reschedule, is a
+//! control-plane correctness bug, unrelaxable by any environment
+//! variable.
 //! Sweep groups carry
 //! no speedup — only the sweep's `sweep/parallel_speedup` case does,
 //! and the shared threshold enforces "parallel at least as fast as
@@ -30,7 +36,7 @@
 //! A failing or missing file gets **one** re-measure: the guard invokes
 //! the matching smoke binary (`perf_smoke`, `sim_smoke`, `chaos_smoke`,
 //! `adaptive_smoke`, `replay_smoke`, `sweep_smoke`, `scale_smoke`,
-//! `fuzz_smoke`, `congestion_smoke`)
+//! `fuzz_smoke`, `congestion_smoke`, `control_smoke`)
 //! through `cargo run --release` and re-checks, so a single noisy sample
 //! on a busy machine does not fail the build. A second miss is a real
 //! regression.
@@ -44,7 +50,8 @@
 //! Arguments are the files to check; defaults to `BENCH_sched.json`,
 //! `BENCH_sim.json`, `BENCH_chaos.json`, `BENCH_adaptive.json`,
 //! `BENCH_replay.json`, `BENCH_sweep.json`, `BENCH_scale.json`,
-//! `BENCH_fuzz.json` and `BENCH_network.json` in the current directory.
+//! `BENCH_fuzz.json`, `BENCH_network.json` and `BENCH_control.json` in
+//! the current directory.
 //! A missing file that has no matching smoke binary is an error — the
 //! guard must never pass because a smoke run silently produced nothing.
 
@@ -54,9 +61,11 @@ use std::process::{Command, ExitCode};
 /// lines, which are pure correctness gates), its `zero_loss_ratio`
 /// (present on replay cases and survivable sweep groups), its
 /// `routing_parity` (present on the scale smoke's churn case), its
-/// `fuzz_violations` (present on the fuzz smoke's campaign cases) and
-/// its `rstorm_beats_even_on_trunk` (present on the congestion smoke's
-/// contention case).
+/// `fuzz_violations` (present on the fuzz smoke's campaign cases), its
+/// `rstorm_beats_even_on_trunk` (present on the congestion smoke's
+/// contention case), and its `failover_zero_loss` /
+/// `reconciliation_convergence` (present on the control smoke's
+/// Nimbus-outage cases).
 #[derive(Debug, PartialEq)]
 struct Reading {
     case: String,
@@ -65,6 +74,8 @@ struct Reading {
     routing_parity: Option<f64>,
     fuzz_violations: Option<f64>,
     trunk_win: Option<f64>,
+    failover_zero_loss: Option<f64>,
+    reconciliation_convergence: Option<f64>,
 }
 
 /// Extracts every gated case from a `BENCH_*.json` document: any line
@@ -97,11 +108,22 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             raw.parse::<f64>()
                 .unwrap_or_else(|e| panic!("bad rstorm_beats_even_on_trunk {raw:?}: {e}"))
         });
+        let failover_zero_loss = field(line, "\"failover_zero_loss\":").map(|raw| {
+            raw.parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad failover_zero_loss {raw:?}: {e}"))
+        });
+        let reconciliation_convergence =
+            field(line, "\"reconciliation_convergence\":").map(|raw| {
+                raw.parse::<f64>()
+                    .unwrap_or_else(|e| panic!("bad reconciliation_convergence {raw:?}: {e}"))
+            });
         if speedup.is_none()
             && zero_loss_ratio.is_none()
             && routing_parity.is_none()
             && fuzz_violations.is_none()
             && trunk_win.is_none()
+            && failover_zero_loss.is_none()
+            && reconciliation_convergence.is_none()
         {
             continue;
         }
@@ -115,6 +137,8 @@ fn extract_speedups(json: &str) -> Vec<Reading> {
             routing_parity,
             fuzz_violations,
             trunk_win,
+            failover_zero_loss,
+            reconciliation_convergence,
         });
     }
     readings
@@ -167,6 +191,8 @@ fn smoke_bin(path: &str) -> Option<&'static str> {
         Some("fuzz_smoke")
     } else if path.ends_with("BENCH_network.json") {
         Some("congestion_smoke")
+    } else if path.ends_with("BENCH_control.json") {
+        Some("control_smoke")
     } else {
         None
     }
@@ -203,6 +229,8 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         let unparity = r.routing_parity.is_some_and(|p| p != 1.0);
         let fuzzed = r.fuzz_violations.is_some_and(|v| v != 0.0);
         let congested = r.trunk_win.is_some_and(|t| t < 1.0);
+        let failover_lossy = r.failover_zero_loss.is_some_and(|z| z != 1.0);
+        let diverged = r.reconciliation_convergence.is_some_and(|c| c != 1.0);
         let verdict = if lossy {
             failures += 1;
             "TUPLE LOSS"
@@ -215,6 +243,12 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         } else if congested {
             failures += 1;
             "PACKING LOST"
+        } else if failover_lossy {
+            failures += 1;
+            "FAILOVER LOSS"
+        } else if diverged {
+            failures += 1;
+            "RECONCILE DIVERGED"
         } else if r.speedup.is_some_and(|s| s < min) {
             failures += 1;
             "REGRESSION"
@@ -237,6 +271,12 @@ fn check_file(path: &str, min: f64) -> Result<usize, String> {
         }
         if let Some(t) = r.trunk_win {
             gates.push_str(&format!("trunk_win {t:.2}x  "));
+        }
+        if let Some(z) = r.failover_zero_loss {
+            gates.push_str(&format!("failover_zero_loss {z:.3}  "));
+        }
+        if let Some(c) = r.reconciliation_convergence {
+            gates.push_str(&format!("reconcile {c:.3}  "));
         }
         println!("{path}: {:<40} {speedup}  {gates}{verdict}", r.case);
     }
@@ -262,6 +302,7 @@ fn main() -> ExitCode {
             "BENCH_scale.json",
             "BENCH_fuzz.json",
             "BENCH_network.json",
+            "BENCH_control.json",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -318,7 +359,9 @@ mod tests {
                     zero_loss_ratio: None,
                     routing_parity: None,
                     fuzz_violations: None,
-                    trunk_win: None
+                    trunk_win: None,
+                    failover_zero_loss: None,
+                    reconciliation_convergence: None
                 },
                 Reading {
                     case: "b".into(),
@@ -326,7 +369,9 @@ mod tests {
                     zero_loss_ratio: None,
                     routing_parity: None,
                     fuzz_violations: None,
-                    trunk_win: None
+                    trunk_win: None,
+                    failover_zero_loss: None,
+                    reconciliation_convergence: None
                 },
             ]
         );
@@ -387,7 +432,9 @@ mod tests {
                 zero_loss_ratio: None,
                 routing_parity: None,
                 fuzz_violations: None,
-                trunk_win: None
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
         assert_eq!(
@@ -398,7 +445,9 @@ mod tests {
                 zero_loss_ratio: Some(1.0),
                 routing_parity: None,
                 fuzz_violations: None,
-                trunk_win: None
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
     }
@@ -419,7 +468,9 @@ mod tests {
                 zero_loss_ratio: None,
                 routing_parity: None,
                 fuzz_violations: None,
-                trunk_win: None
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
         assert_eq!(
@@ -430,7 +481,9 @@ mod tests {
                 zero_loss_ratio: None,
                 routing_parity: Some(1.0),
                 fuzz_violations: None,
-                trunk_win: None
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
     }
@@ -463,7 +516,9 @@ mod tests {
                 zero_loss_ratio: None,
                 routing_parity: None,
                 fuzz_violations: None,
-                trunk_win: Some(1.68)
+                trunk_win: Some(1.68),
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
         assert_eq!(
@@ -474,7 +529,9 @@ mod tests {
                 zero_loss_ratio: None,
                 routing_parity: None,
                 fuzz_violations: None,
-                trunk_win: None
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: None
             }
         );
     }
@@ -502,9 +559,64 @@ mod tests {
             "BENCH_scale.json",
             "BENCH_fuzz.json",
             "BENCH_network.json",
+            "BENCH_control.json",
         ] {
             assert!(smoke_bin(file).is_some(), "{file} has no re-measure path");
         }
         assert_eq!(smoke_bin("BENCH_other.json"), None);
+    }
+
+    #[test]
+    fn real_bench_control_shapes_parse() {
+        // The exact line shapes control_smoke writes: the failover case
+        // gated on the journaled zero-loss pin, the replay case on
+        // reconciliation convergence. Neither carries a speedup.
+        let json = r#"    {"name": "control/failover", "wall_ns": 121451108, "time_to_reassume_ms": 10000.0, "journaled_zero_loss": 1.0, "cold_zero_loss": 0.998668326819232, "failover_zero_loss": 1.0},
+    {"name": "control/replay", "wall_ns": 69087966, "time_to_reassume_ms": 8000.0, "decisions_replayed": 3, "reconciliation_convergence": 1.0}"#;
+        let readings = extract_speedups(json);
+        assert_eq!(readings.len(), 2);
+        assert_eq!(
+            readings[0],
+            Reading {
+                case: "control/failover".into(),
+                speedup: None,
+                zero_loss_ratio: None,
+                routing_parity: None,
+                fuzz_violations: None,
+                trunk_win: None,
+                failover_zero_loss: Some(1.0),
+                reconciliation_convergence: None
+            }
+        );
+        assert_eq!(
+            readings[1],
+            Reading {
+                case: "control/replay".into(),
+                speedup: None,
+                zero_loss_ratio: None,
+                routing_parity: None,
+                fuzz_violations: None,
+                trunk_win: None,
+                failover_zero_loss: None,
+                reconciliation_convergence: Some(1.0)
+            }
+        );
+    }
+
+    #[test]
+    fn lossy_failover_fails_even_without_a_speedup() {
+        // check_file's gates: both control pins demand exactly 1.0; pin
+        // the predicates the gates use.
+        let readings =
+            extract_speedups(r#"    {"name": "control/failover", "failover_zero_loss": 0.998}"#);
+        assert_eq!(readings[0].failover_zero_loss, Some(0.998));
+        assert!(readings[0].failover_zero_loss.is_some_and(|z| z != 1.0));
+        let readings = extract_speedups(
+            r#"    {"name": "control/replay", "reconciliation_convergence": 0.5}"#,
+        );
+        assert_eq!(readings[0].reconciliation_convergence, Some(0.5));
+        assert!(readings[0]
+            .reconciliation_convergence
+            .is_some_and(|c| c != 1.0));
     }
 }

@@ -17,8 +17,9 @@ use rstorm_core::schedulers::EvenScheduler;
 use rstorm_core::{schedulers, verify_plan, GlobalState, RStormScheduler, Scheduler};
 use rstorm_metrics::text_table;
 use rstorm_sim::{
-    run_adaptive_rebalance, run_crash_recover, run_fuzz_campaign, run_sweep, AdaptiveConfig,
-    ChaosConfig, FuzzConfig, NetworkModel, SeedRange, SimConfig, SimReport, Simulation,
+    run_adaptive_rebalance, run_control_outage, run_crash_recover, run_fuzz_campaign, run_sweep,
+    AdaptiveConfig, ChaosConfig, ControlOutageConfig, FuzzConfig, NetworkModel, SeedRange,
+    SimConfig, SimReport, Simulation,
 };
 use rstorm_spec::{parse_cluster, parse_topology};
 use rstorm_topology::Topology;
@@ -37,6 +38,7 @@ USAGE:
     rstorm chaos    --topology FILE --cluster FILE [--victim NODE]
                     [--crash-at-s N] [--heal-at-s N] [--duration-s N] [--seed N]
                     [--replay] [--max-replays N] [--network fair|legacy]
+                    [--nimbus-down-ms N] [--journal on|off]
     rstorm rebalance --topology FILE --cluster FILE [--observe-s N]
                     [--rebalance-at-s N] [--pause-ms N] [--alpha X]
                     [--duration-s N] [--seed N]
@@ -45,7 +47,7 @@ USAGE:
     rstorm fuzz     --topology FILE --cluster FILE [--iterations N]
                     [--seed N] [--max-atoms N] [--duration-s N]
                     [--scheduler NAME] [--workers N] [--corpus-dir DIR]
-                    [--out FILE]
+                    [--out FILE] [--journal on|off]
     rstorm scale    [--tasks N] [--nodes N] [--horizon-ms N] [--seed N]
                     [--churn]
     rstorm example-specs
@@ -123,6 +125,18 @@ fn load_inputs(flags: &BTreeMap<String, String>) -> Result<(Topology, Cluster), 
     let topology = parse_topology(&topology_text).map_err(|e| format!("{topology_path}: {e}"))?;
     let cluster = parse_cluster(&cluster_text).map_err(|e| format!("{cluster_path}: {e}"))?;
     Ok((topology, cluster))
+}
+
+/// Parses `--journal on|off`; `default` applies when the flag is absent.
+fn journal_flag(flags: &BTreeMap<String, String>, default: bool) -> Result<bool, String> {
+    match flags.get("journal").map(String::as_str) {
+        None => Ok(default),
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(format!(
+            "invalid --journal `{other}` (expected `on` or `off`)"
+        )),
+    }
 }
 
 fn make_scheduler(flags: &BTreeMap<String, String>) -> Result<Box<dyn Scheduler>, String> {
@@ -276,7 +290,11 @@ fn compare_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
 
 /// Runs a crash-then-recover chaos scenario: schedules with R-Storm,
 /// crashes the victim node mid-run, and reports detection/recovery
-/// latency plus the data-plane damage.
+/// latency plus the data-plane damage. With `--nimbus-down-ms N` the
+/// control plane itself goes dark 2 s before the crash for N ms, and a
+/// successor reassumes afterwards — journaled by default, cold with
+/// `--journal off` — reporting time-to-reassume and the journal
+/// decisions replayed alongside the usual recovery metrics.
 fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let (topology, cluster) = load_inputs(flags)?;
     let config = apply_network_flag(flags, sim_config(flags)?)?;
@@ -323,6 +341,96 @@ fn chaos_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
         None if flags.contains_key("replay") => 3,
         None => 0,
     };
+
+    // `--nimbus-down-ms` switches to the control-plane outage scenario:
+    // Nimbus goes dark 2 s before the crash, so the victim's silence
+    // starts while nobody is watching.
+    if let Some(raw) = flags.get("nimbus-down-ms") {
+        let nimbus_down_ms: f64 = raw
+            .parse()
+            .ok()
+            .filter(|ms: &f64| ms.is_finite() && *ms > 0.0)
+            .ok_or_else(|| {
+                format!("invalid --nimbus-down-ms `{raw}` (need a positive duration)")
+            })?;
+        let journal = journal_flag(flags, true)?;
+        let mut outage = ControlOutageConfig::new(
+            victim.clone(),
+            crash_at_s * 1000.0,
+            heal_at_s * 1000.0,
+            (crash_at_s * 1000.0 - 2_000.0).max(0.0),
+            nimbus_down_ms,
+        );
+        outage.sim = config.with_max_replays(max_replays);
+        outage.recovery.journal = journal;
+        let out = run_control_outage(&cluster, &topology, &outage).map_err(|e| e.to_string())?;
+
+        println!(
+            "control outage on `{}`: crash {victim} at {crash_at_s:.0} s, Nimbus down \
+             {:.0}..{:.0} s, journal {} (sim {duration_s:.0} s{})\n",
+            topology.id(),
+            outage.nimbus_down_at_ms / 1000.0,
+            (outage.nimbus_down_at_ms + nimbus_down_ms) / 1000.0,
+            if journal { "on" } else { "off" },
+            if max_replays > 0 {
+                format!(", replay budget {max_replays}")
+            } else {
+                String::new()
+            }
+        );
+        for event in &out.events {
+            println!("  {event:?}");
+        }
+        println!();
+        if out.time_to_reassume_ms >= 0.0 {
+            println!(
+                "time to reassume: {:.0} ms after Nimbus went down",
+                out.time_to_reassume_ms
+            );
+        } else {
+            println!("time to reassume: never (the outage outlived the run)");
+        }
+        println!("journal decisions replayed: {}", out.decisions_replayed);
+        let obs = out.observations;
+        if obs.time_to_detect_ms >= 0.0 {
+            println!(
+                "time to detect: {:.0} ms after the crash",
+                obs.time_to_detect_ms
+            );
+        } else {
+            println!("time to detect: never (within the run)");
+        }
+        if obs.time_to_recover_ms >= 0.0 {
+            println!(
+                "time to full re-placement: {:.0} ms after the crash",
+                obs.time_to_recover_ms
+            );
+        } else {
+            println!("time to full re-placement: never (within the run)");
+        }
+        if max_replays > 0 {
+            println!(
+                "replay: {} roots re-emitted; {} tuples quarantined; zero-loss ratio {:.3}",
+                obs.roots_replayed,
+                obs.tuples_quarantined,
+                out.report.zero_loss_ratio()
+            );
+        }
+        println!();
+        print_report(&topology, &out.report);
+
+        let violations = verify_plan(&out.plan, &[&topology], &cluster);
+        if violations.is_empty() {
+            println!("final plan verified: no constraint violations");
+            return Ok(());
+        }
+        let mut lines = vec![format!("final plan has {} violation(s):", violations.len())];
+        lines.extend(violations.iter().map(|v| format!("  - {v}")));
+        return Err(lines.join("\n"));
+    }
+    if flags.contains_key("journal") {
+        return Err("--journal requires --nimbus-down-ms".into());
+    }
 
     let mut chaos = ChaosConfig::new(victim.clone(), crash_at_s * 1000.0, heal_at_s * 1000.0);
     chaos.sim = config.with_max_replays(max_replays);
@@ -575,9 +683,10 @@ fn sweep_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
 
 /// Runs an invariant-directed chaos-fuzz campaign against the given
 /// workload: seeded fault plans sampled from the crash / flap / burst /
-/// partition / degrade grammar, each checked against the oracle set
-/// (accounting invariants, zero loss, detection liveness, routing
-/// parity, determinism), with violating plans shrunk to minimal
+/// partition / degrade / Nimbus-outage / control-loss grammar, each
+/// checked against the oracle set (accounting invariants, zero loss,
+/// detection liveness, routing parity, reconciliation convergence and
+/// placement, determinism), with violating plans shrunk to minimal
 /// reproducers. `--corpus-dir` writes each reproducer as a replayable
 /// `.plan` file; a campaign that finds violations exits non-zero.
 fn fuzz_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
@@ -614,6 +723,9 @@ fn fuzz_cmd(flags: &BTreeMap<String, String>) -> Result<(), String> {
             .map_err(|_| format!("invalid --duration-s `{raw}`"))?;
         cfg.sim = cfg.sim.with_sim_time_ms(seconds * 1000.0);
     }
+    // Journaled failover is the fuzz default (Nimbus-outage atoms are in
+    // the grammar); `--journal off` fuzzes the cold-successor plane.
+    cfg.recovery.journal = journal_flag(flags, cfg.recovery.journal)?;
     let workers: usize = match flags.get("workers") {
         Some(raw) => raw
             .parse()
@@ -857,6 +969,15 @@ mod tests {
         let err = chaos_cmd(&network).unwrap_err();
         assert!(err.contains("--network") && err.contains("warp"), "{err}");
 
+        // A Nimbus outage bridged by the journaled successor, then the
+        // cold-failover variant.
+        let mut nimbus = flags.clone();
+        nimbus.insert("replay".into(), "true".into());
+        nimbus.insert("nimbus-down-ms".into(), "4000".into());
+        chaos_cmd(&nimbus).unwrap();
+        nimbus.insert("journal".into(), "off".into());
+        chaos_cmd(&nimbus).unwrap();
+
         // An honest two-component topology must be rejected-free but also
         // reject nonsense rebalance knobs.
         let mut bad = flags.clone();
@@ -933,6 +1054,29 @@ mod tests {
         ]);
         let err = chaos_cmd(&parse_flags(&bad_times).unwrap()).unwrap_err();
         assert!(err.contains("crash-at-s"), "{err}");
+
+        // Control-outage flags: a non-positive duration, a --journal
+        // value that is neither on nor off, and --journal without the
+        // outage all surface typed errors.
+        let mut bad_nimbus = base.clone();
+        bad_nimbus.extend(["--nimbus-down-ms".to_owned(), "-5".to_owned()]);
+        let err = chaos_cmd(&parse_flags(&bad_nimbus).unwrap()).unwrap_err();
+        assert!(err.contains("--nimbus-down-ms"), "{err}");
+
+        let mut bad_journal = base.clone();
+        bad_journal.extend([
+            "--nimbus-down-ms".to_owned(),
+            "4000".to_owned(),
+            "--journal".to_owned(),
+            "maybe".to_owned(),
+        ]);
+        let err = chaos_cmd(&parse_flags(&bad_journal).unwrap()).unwrap_err();
+        assert!(err.contains("--journal") && err.contains("maybe"), "{err}");
+
+        let mut stray_journal = base.clone();
+        stray_journal.extend(["--journal".to_owned(), "on".to_owned()]);
+        let err = chaos_cmd(&parse_flags(&stray_journal).unwrap()).unwrap_err();
+        assert!(err.contains("--nimbus-down-ms"), "{err}");
     }
 
     #[test]
@@ -1014,6 +1158,13 @@ mod tests {
         let mut bad = with(base);
         bad.insert("scheduler".into(), "martian".into());
         assert!(fuzz_cmd(&bad).unwrap_err().contains("martian"));
+        let mut bad = with(base);
+        bad.insert("journal".into(), "sometimes".into());
+        let err = fuzz_cmd(&bad).unwrap_err();
+        assert!(
+            err.contains("--journal") && err.contains("sometimes"),
+            "{err}"
+        );
     }
 
     #[test]

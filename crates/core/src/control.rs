@@ -1,0 +1,389 @@
+//! The control-plane write-ahead journal.
+//!
+//! Storm's Nimbus is fail-fast: it crashes rather than limping along,
+//! and a successor recovers by replaying durable state (ZooKeeper in
+//! real Storm). [`ControlJournal`] is this workspace's analog — an
+//! append-only log of every control decision the
+//! [`RecoveryManager`](crate::RecoveryManager) takes, written *before*
+//! the decision mutates cluster state, so a successor that lost the
+//! in-memory manager can rebuild exactly what its predecessor knew:
+//!
+//! * **Records** ([`ControlRecord`]) cover dead/alive declarations,
+//!   reschedules (full and degraded), total-failure deferrals with
+//!   their backoff deadlines, and flap suppressions (withheld
+//!   readmissions, churn-limited reschedules).
+//! * **Idempotency keys** ([`ControlRecord::idempotency_key`]) make
+//!   every append and every replay step exactly-once: a record whose
+//!   key was already applied is a duplicate or a stale retry of the
+//!   same action racing the outage, and is suppressed rather than
+//!   double-applied.
+//! * **Replay** ([`ControlJournal::replay`]) folds the log into a
+//!   [`ReplayState`] — the dead set, the pending-retry queue with
+//!   attempt counts (so exponential backoff continues where it left
+//!   off instead of restarting), the churn-limiter timestamps and the
+//!   suppression counters. `RecoveryManager::reassume` seeds a
+//!   successor from it and reconciles against live heartbeats.
+//!
+//! The journal is strictly opt-in
+//! ([`RecoveryConfig::journal`](crate::RecoveryConfig::journal),
+//! default off) and strictly passive: appending never changes what the
+//! live manager decides, so a journaled run is bit-identical to an
+//! unjournaled one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which flap-absorption path suppressed a control action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlapKind {
+    /// The trust hysteresis withheld a readmission (the returning node
+    /// had not yet delivered `trust_threshold` consecutive beats).
+    Readmission,
+    /// The churn limiter deferred a reschedule (the topology was
+    /// re-placed less than `min_reschedule_interval_ms` ago).
+    Reschedule,
+}
+
+impl FlapKind {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Readmission => "readmission",
+            Self::Reschedule => "reschedule",
+        }
+    }
+}
+
+/// One durable control decision, journaled before it is acted on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRecord {
+    /// A node exceeded the heartbeat-miss threshold and is about to be
+    /// removed from the schedulable pool.
+    DeclareDead {
+        /// Decision time.
+        at_ms: f64,
+        /// The node being declared dead.
+        node: String,
+    },
+    /// A declared-dead node earned readmission and is about to rejoin
+    /// the pool.
+    DeclareAlive {
+        /// Decision time.
+        at_ms: f64,
+        /// The node being readmitted.
+        node: String,
+    },
+    /// A displaced topology was handed to the scheduler and placed
+    /// (fully if `unplaced == 0`, degraded otherwise — a degraded
+    /// placement stays queued for an upgrade).
+    Reschedule {
+        /// Decision time.
+        at_ms: f64,
+        /// The re-placed topology.
+        topology: String,
+        /// Reschedule attempts consumed so far, for backoff continuity.
+        attempts: u32,
+        /// Tasks the surviving cluster could not fit (0 = full).
+        unplaced: usize,
+    },
+    /// A reschedule attempt placed nothing at all and was pushed back
+    /// with exponential backoff.
+    Defer {
+        /// Decision time.
+        at_ms: f64,
+        /// The still-unplaced topology.
+        topology: String,
+        /// Reschedule attempts consumed so far.
+        attempts: u32,
+        /// Backoff deadline of the next attempt.
+        retry_at_ms: f64,
+    },
+    /// The flap-absorption machinery suppressed an action instead of
+    /// taking it.
+    SuppressFlap {
+        /// Decision time.
+        at_ms: f64,
+        /// The node (readmission) or topology (reschedule) concerned.
+        subject: String,
+        /// Which absorption path fired.
+        kind: FlapKind,
+    },
+}
+
+impl ControlRecord {
+    /// Decision time of the record.
+    pub fn at_ms(&self) -> f64 {
+        match self {
+            Self::DeclareDead { at_ms, .. }
+            | Self::DeclareAlive { at_ms, .. }
+            | Self::Reschedule { at_ms, .. }
+            | Self::Defer { at_ms, .. }
+            | Self::SuppressFlap { at_ms, .. } => *at_ms,
+        }
+    }
+
+    /// The per-action idempotency key: two records describe the same
+    /// control action exactly when their keys are equal. Appending or
+    /// replaying a key twice is a duplicate (or a stale retry racing an
+    /// outage) and is suppressed.
+    pub fn idempotency_key(&self) -> String {
+        match self {
+            Self::DeclareDead { at_ms, node } => format!("dead:{node}@{at_ms:?}"),
+            Self::DeclareAlive { at_ms, node } => format!("alive:{node}@{at_ms:?}"),
+            Self::Reschedule {
+                at_ms,
+                topology,
+                attempts,
+                ..
+            } => format!("resched:{topology}@{at_ms:?}#{attempts}"),
+            Self::Defer {
+                at_ms,
+                topology,
+                attempts,
+                ..
+            } => format!("defer:{topology}@{at_ms:?}#{attempts}"),
+            Self::SuppressFlap {
+                at_ms,
+                subject,
+                kind,
+            } => format!("flap:{}:{subject}@{at_ms:?}", kind.label()),
+        }
+    }
+}
+
+/// What a journal replay reconstructed: the successor's starting
+/// bookkeeping. See [`ControlJournal::replay`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayState {
+    /// Nodes declared dead and not since readmitted.
+    pub dead: BTreeSet<String>,
+    /// Topologies still awaiting a (full) placement: name →
+    /// `(attempts consumed, retry deadline)`.
+    pub pending: BTreeMap<String, (u32, f64)>,
+    /// When each topology was last handed to the scheduler, for churn-
+    /// limiter continuity.
+    pub last_reschedule_ms: BTreeMap<String, f64>,
+    /// Scheduler invocations the predecessor spent on recovery.
+    pub reschedule_attempts: u64,
+    /// Readmissions the trust hysteresis withheld.
+    pub suppressed_readmissions: u64,
+    /// Reschedules the churn limiter deferred.
+    pub suppressed_reschedules: u64,
+    /// Records applied — the successor's decisions-replayed metric.
+    pub applied: u64,
+    /// Records skipped because their idempotency key was already
+    /// applied (duplicate or stale).
+    pub duplicates: u64,
+}
+
+impl ReplayState {
+    /// Flap events absorbed instead of acted on — the journal-side
+    /// mirror of `RecoveryManager::suppressed_flaps`.
+    pub fn suppressed_flaps(&self) -> u64 {
+        self.suppressed_readmissions + self.suppressed_reschedules
+    }
+}
+
+/// Append-only write-ahead log of control decisions. See the module
+/// docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlJournal {
+    records: Vec<ControlRecord>,
+    keys: BTreeSet<String>,
+    suppressed_appends: u64,
+}
+
+impl ControlJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `record` unless its idempotency key was already
+    /// journaled. Returns whether the record was accepted; a rejected
+    /// append is counted in [`ControlJournal::suppressed_appends`].
+    pub fn append(&mut self, record: ControlRecord) -> bool {
+        if self.keys.insert(record.idempotency_key()) {
+            self.records.push(record);
+            true
+        } else {
+            self.suppressed_appends += 1;
+            false
+        }
+    }
+
+    /// The journaled records, in append order.
+    pub fn records(&self) -> &[ControlRecord] {
+        &self.records
+    }
+
+    /// Number of journaled records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends rejected because their key was already journaled.
+    pub fn suppressed_appends(&self) -> u64 {
+        self.suppressed_appends
+    }
+
+    /// Folds the log into the successor's starting bookkeeping,
+    /// applying each idempotency key at most once (keys seen twice are
+    /// counted in [`ReplayState::duplicates`], not re-applied).
+    pub fn replay(&self) -> ReplayState {
+        let mut state = ReplayState::default();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for record in &self.records {
+            if !seen.insert(record.idempotency_key()) {
+                state.duplicates += 1;
+                continue;
+            }
+            state.applied += 1;
+            match record {
+                ControlRecord::DeclareDead { node, .. } => {
+                    state.dead.insert(node.clone());
+                }
+                ControlRecord::DeclareAlive { node, .. } => {
+                    state.dead.remove(node);
+                }
+                ControlRecord::Reschedule {
+                    at_ms,
+                    topology,
+                    attempts,
+                    unplaced,
+                } => {
+                    state.reschedule_attempts += 1;
+                    state.last_reschedule_ms.insert(topology.clone(), *at_ms);
+                    if *unplaced > 0 {
+                        // Degraded: the upgrade retry stays queued and
+                        // becomes due as soon as the successor ticks.
+                        state.pending.insert(topology.clone(), (*attempts, *at_ms));
+                    } else {
+                        state.pending.remove(topology);
+                    }
+                }
+                ControlRecord::Defer {
+                    topology,
+                    attempts,
+                    retry_at_ms,
+                    ..
+                } => {
+                    state.reschedule_attempts += 1;
+                    state
+                        .pending
+                        .insert(topology.clone(), (*attempts, *retry_at_ms));
+                }
+                ControlRecord::SuppressFlap { kind, .. } => match kind {
+                    FlapKind::Readmission => state.suppressed_readmissions += 1,
+                    FlapKind::Reschedule => state.suppressed_reschedules += 1,
+                },
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dead(at_ms: f64, node: &str) -> ControlRecord {
+        ControlRecord::DeclareDead {
+            at_ms,
+            node: node.to_owned(),
+        }
+    }
+
+    fn alive(at_ms: f64, node: &str) -> ControlRecord {
+        ControlRecord::DeclareAlive {
+            at_ms,
+            node: node.to_owned(),
+        }
+    }
+
+    #[test]
+    fn replay_folds_declarations_into_the_dead_set() {
+        let mut j = ControlJournal::new();
+        assert!(j.append(dead(3_000.0, "n0")));
+        assert!(j.append(dead(3_000.0, "n1")));
+        assert!(j.append(alive(9_000.0, "n0")));
+        let state = j.replay();
+        assert_eq!(state.dead.iter().collect::<Vec<_>>(), ["n1"]);
+        assert_eq!(state.applied, 3);
+        assert_eq!(state.duplicates, 0);
+    }
+
+    #[test]
+    fn duplicate_keys_are_suppressed_at_append_time() {
+        let mut j = ControlJournal::new();
+        assert!(j.append(dead(3_000.0, "n0")));
+        assert!(!j.append(dead(3_000.0, "n0")), "same action, same key");
+        assert!(j.append(dead(4_000.0, "n0")), "a later death is distinct");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.suppressed_appends(), 1);
+    }
+
+    #[test]
+    fn reschedule_records_track_the_pending_queue_and_backoff_continuity() {
+        let mut j = ControlJournal::new();
+        j.append(ControlRecord::Defer {
+            at_ms: 3_000.0,
+            topology: "t".into(),
+            attempts: 1,
+            retry_at_ms: 3_700.0,
+        });
+        j.append(ControlRecord::Reschedule {
+            at_ms: 3_700.0,
+            topology: "t".into(),
+            attempts: 2,
+            unplaced: 4,
+        });
+        let degraded = j.replay();
+        assert_eq!(degraded.pending.get("t"), Some(&(2, 3_700.0)));
+        assert_eq!(degraded.reschedule_attempts, 2);
+
+        j.append(ControlRecord::Reschedule {
+            at_ms: 8_000.0,
+            topology: "t".into(),
+            attempts: 3,
+            unplaced: 0,
+        });
+        let full = j.replay();
+        assert!(full.pending.is_empty(), "a full placement clears the queue");
+        assert_eq!(full.last_reschedule_ms.get("t"), Some(&8_000.0));
+    }
+
+    #[test]
+    fn suppression_records_mirror_the_flap_counters() {
+        let mut j = ControlJournal::new();
+        for tick in 1..4 {
+            j.append(ControlRecord::SuppressFlap {
+                at_ms: f64::from(tick) * 1_000.0,
+                subject: "n0".into(),
+                kind: FlapKind::Readmission,
+            });
+        }
+        j.append(ControlRecord::SuppressFlap {
+            at_ms: 5_000.0,
+            subject: "t".into(),
+            kind: FlapKind::Reschedule,
+        });
+        let state = j.replay();
+        assert_eq!(state.suppressed_readmissions, 3);
+        assert_eq!(state.suppressed_reschedules, 1);
+        assert_eq!(state.suppressed_flaps(), 4);
+    }
+
+    #[test]
+    fn idempotency_keys_distinguish_actions_not_representations() {
+        let a = dead(3_000.0, "n0");
+        let b = dead(3_000.0, "n0");
+        let c = alive(3_000.0, "n0");
+        assert_eq!(a.idempotency_key(), b.idempotency_key());
+        assert_ne!(a.idempotency_key(), c.idempotency_key());
+        assert_eq!(a.at_ms(), 3_000.0);
+    }
+}

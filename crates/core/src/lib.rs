@@ -51,6 +51,7 @@
 
 pub mod adaptive;
 mod assignment;
+pub mod control;
 mod error;
 mod global_state;
 pub mod ndim;
@@ -66,6 +67,7 @@ pub use adaptive::{
     MigrationPlan, ProfileRefiner,
 };
 pub use assignment::{Assignment, SchedulingPlan};
+pub use control::{ControlJournal, ControlRecord, FlapKind, ReplayState};
 pub use error::ScheduleError;
 pub use global_state::{GlobalState, RemainingResources, UndoLog};
 pub use recovery::{RecoveryConfig, RecoveryEvent, RecoveryManager};

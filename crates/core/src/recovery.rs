@@ -30,6 +30,7 @@
 //!   node recovers and capacity returns.
 
 use crate::assignment::Assignment;
+use crate::control::{ControlJournal, ControlRecord, FlapKind};
 use crate::global_state::{GlobalState, UndoLog};
 use crate::resource::SoftConstraintWeights;
 use crate::rstorm::node_selection::NodeSelector;
@@ -67,6 +68,13 @@ pub struct RecoveryConfig {
     /// node cannot thrash the scheduler. The default of 0 disables the
     /// limiter.
     pub min_reschedule_interval_ms: f64,
+    /// Attach a [`ControlJournal`] and append every control decision to
+    /// it before acting — the durable state a successor replays after a
+    /// Nimbus outage ([`RecoveryManager::reassume`]). Journaling is
+    /// strictly passive: it never changes what the live manager
+    /// decides, so the default of `false` (no journal) is behaviorally
+    /// identical, not just bit-identical.
+    pub journal: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -79,7 +87,26 @@ impl Default for RecoveryConfig {
             jitter_seed: 42,
             trust_threshold: 1,
             min_reschedule_interval_ms: 0.0,
+            journal: false,
         }
+    }
+}
+
+impl RecoveryConfig {
+    /// The silence that declares a node dead:
+    /// `miss_threshold × heartbeat_interval_ms`. The detector uses this
+    /// exact expression, so oracles built on it cannot drift from it.
+    pub fn detection_window_ms(&self) -> f64 {
+        self.heartbeat_interval_ms * f64::from(self.miss_threshold)
+    }
+
+    /// The outage length beyond which a missing dead declaration is a
+    /// detection-liveness bug: the detection window plus
+    /// [`RecoveryManager::DETECTION_SLACK_INTERVALS`] intervals of
+    /// slack for tick alignment.
+    pub fn detection_slack_ms(&self) -> f64 {
+        f64::from(self.miss_threshold + RecoveryManager::DETECTION_SLACK_INTERVALS)
+            * self.heartbeat_interval_ms
     }
 }
 
@@ -158,12 +185,22 @@ pub struct RecoveryManager {
     total_reschedule_attempts: u64,
     suppressed_readmissions: u64,
     suppressed_reschedules: u64,
+    journal: Option<ControlJournal>,
 }
 
 impl RecoveryManager {
+    /// Extra heartbeat intervals of slack granted on top of the
+    /// detection window before a missing dead declaration counts as a
+    /// liveness bug: one interval for tick alignment of the last beat,
+    /// one for the declaration tick itself. Shared by the detector
+    /// ([`RecoveryConfig::detection_slack_ms`]) and the fuzz oracle so
+    /// the two cannot drift apart.
+    pub const DETECTION_SLACK_INTERVALS: u32 = 2;
+
     /// Creates a manager with no heartbeat history.
     pub fn new(config: RecoveryConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.jitter_seed);
+        let journal = config.journal.then(ControlJournal::new);
         Self {
             config,
             last_heartbeat: BTreeMap::new(),
@@ -175,6 +212,94 @@ impl RecoveryManager {
             total_reschedule_attempts: 0,
             suppressed_readmissions: 0,
             suppressed_reschedules: 0,
+            journal,
+        }
+    }
+
+    /// A successor taking over at `now_ms` after the predecessor
+    /// crashed — the Nimbus failover path.
+    ///
+    /// With a journal, the successor replays it (idempotency keys
+    /// applied at most once) and **reconciles** against the live
+    /// cluster:
+    ///
+    /// * assignments already committed to [`GlobalState`] are adopted
+    ///   as-is — no from-scratch reschedule of healthy topologies;
+    /// * every journal-known-alive node in `roster` is seeded with a
+    ///   handoff heartbeat one interval old, so a node that died while
+    ///   the control plane was down (state diverged from the journal's
+    ///   belief) is re-declared dead within the ordinary detection
+    ///   window instead of never;
+    /// * pending retries resume with their journaled attempt counts, so
+    ///   exponential backoff continues rather than restarting, and
+    ///   deadlines that expired during the outage become due at the
+    ///   first tick.
+    ///
+    /// Without a journal the successor is cold: no roster, no dead set,
+    /// no pending queue. It learns only from post-failover heartbeats,
+    /// so a node that went silent during the outage is never observed
+    /// and never declared — the blind spot the journal exists to close.
+    ///
+    /// Returns the successor and the number of journal decisions
+    /// replayed.
+    pub fn reassume(
+        config: RecoveryConfig,
+        journal: Option<ControlJournal>,
+        now_ms: f64,
+        roster: &[String],
+    ) -> (Self, u64) {
+        let mut successor = Self::new(config);
+        let Some(journal) = journal else {
+            return (successor, 0);
+        };
+        let replayed = journal.replay();
+        for node in roster {
+            if !replayed.dead.contains(node) {
+                successor.last_heartbeat.insert(
+                    node.clone(),
+                    now_ms - successor.config.heartbeat_interval_ms,
+                );
+            }
+        }
+        successor.declared_dead = replayed.dead;
+        for (topology, (attempts, retry_at_ms)) in &replayed.pending {
+            successor.pending.insert(
+                TopologyId::new(topology.clone()),
+                Retry {
+                    attempts: *attempts,
+                    next_try_ms: retry_at_ms.max(now_ms),
+                },
+            );
+        }
+        for (topology, at_ms) in &replayed.last_reschedule_ms {
+            successor
+                .last_reschedule_ms
+                .insert(TopologyId::new(topology.clone()), *at_ms);
+        }
+        successor.total_reschedule_attempts = replayed.reschedule_attempts;
+        successor.suppressed_readmissions = replayed.suppressed_readmissions;
+        successor.suppressed_reschedules = replayed.suppressed_reschedules;
+        let applied = replayed.applied;
+        successor.journal = Some(journal);
+        (successor, applied)
+    }
+
+    /// The attached write-ahead journal, when
+    /// [`RecoveryConfig::journal`] is enabled.
+    pub fn journal(&self) -> Option<&ControlJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches and returns the journal — what a crashing predecessor
+    /// leaves behind for [`RecoveryManager::reassume`].
+    pub fn take_journal(&mut self) -> Option<ControlJournal> {
+        self.journal.take()
+    }
+
+    /// Appends to the journal when one is attached; a no-op otherwise.
+    fn log(&mut self, record: ControlRecord) {
+        if let Some(journal) = &mut self.journal {
+            journal.append(record);
         }
     }
 
@@ -239,7 +364,7 @@ impl RecoveryManager {
         state: &mut GlobalState,
         events: &mut Vec<RecoveryEvent>,
     ) {
-        let window = self.config.heartbeat_interval_ms * f64::from(self.config.miss_threshold);
+        let window = self.config.detection_window_ms();
         let nodes: Vec<(String, f64)> = self
             .last_heartbeat
             .iter()
@@ -248,6 +373,10 @@ impl RecoveryManager {
         for (node, last) in nodes {
             let silent = now_ms - last >= window;
             if silent && !self.declared_dead.contains(&node) {
+                self.log(ControlRecord::DeclareDead {
+                    at_ms: now_ms,
+                    node: node.clone(),
+                });
                 cluster.kill_node(&node);
                 let displaced = state.handle_node_failure(&node);
                 for tid in &displaced {
@@ -279,10 +408,19 @@ impl RecoveryManager {
                     let beats = self.consecutive_beats.get(&node).copied().unwrap_or(0);
                     if beats < self.config.trust_threshold {
                         self.suppressed_readmissions += 1;
+                        self.log(ControlRecord::SuppressFlap {
+                            at_ms: now_ms,
+                            subject: node.clone(),
+                            kind: FlapKind::Readmission,
+                        });
                         continue;
                     }
                 }
                 self.consecutive_beats.remove(&node);
+                self.log(ControlRecord::DeclareAlive {
+                    at_ms: now_ms,
+                    node: node.clone(),
+                });
                 cluster.revive_node(&node);
                 state.handle_node_recovery(&node);
                 self.declared_dead.remove(&node);
@@ -343,10 +481,20 @@ impl RecoveryManager {
                 if let Some(&last) = self.last_reschedule_ms.get(&tid) {
                     let earliest = last + self.config.min_reschedule_interval_ms;
                     if now_ms < earliest {
-                        let retry = self.pending.get_mut(&tid).expect("due came from pending");
+                        // A topology that left the queue since `due`
+                        // was computed has nothing to defer: skip it
+                        // instead of panicking on the stale lookup.
+                        let Some(retry) = self.pending.get_mut(&tid) else {
+                            continue;
+                        };
                         retry.next_try_ms = earliest;
                         let attempts = retry.attempts;
                         self.suppressed_reschedules += 1;
+                        self.log(ControlRecord::SuppressFlap {
+                            at_ms: now_ms,
+                            subject: tid.as_str().to_owned(),
+                            kind: FlapKind::Reschedule,
+                        });
                         events.push(RecoveryEvent::RescheduleDeferred {
                             topology: tid,
                             at_ms: now_ms,
@@ -357,6 +505,15 @@ impl RecoveryManager {
                     }
                 }
             }
+            // A stale entry that left the queue since `due` was
+            // computed is skipped, not unwrapped.
+            let attempts = {
+                let Some(retry) = self.pending.get_mut(&tid) else {
+                    continue;
+                };
+                retry.attempts += 1;
+                retry.attempts
+            };
             // A degraded placement from an earlier attempt is released so
             // this attempt can try for a strictly better one.
             let previous = if state
@@ -370,13 +527,14 @@ impl RecoveryManager {
             };
             self.total_reschedule_attempts += 1;
             self.last_reschedule_ms.insert(tid.clone(), now_ms);
-            let attempts = {
-                let retry = self.pending.get_mut(&tid).expect("due came from pending");
-                retry.attempts += 1;
-                retry.attempts
-            };
             match scheduler.schedule(topology, cluster, state) {
                 Ok(assignment) => {
+                    self.log(ControlRecord::Reschedule {
+                        at_ms: now_ms,
+                        topology: tid.as_str().to_owned(),
+                        attempts,
+                        unplaced: assignment.unplaced().len(),
+                    });
                     self.pending.remove(&tid);
                     events.push(RecoveryEvent::TopologyRescheduled {
                         topology: tid,
@@ -392,10 +550,15 @@ impl RecoveryManager {
                         Some(assignment) => {
                             // Partially running beats not running; keep
                             // the topology queued for an upgrade.
-                            self.pending
-                                .get_mut(&tid)
-                                .expect("still pending")
-                                .next_try_ms = retry_at;
+                            self.log(ControlRecord::Reschedule {
+                                at_ms: now_ms,
+                                topology: tid.as_str().to_owned(),
+                                attempts,
+                                unplaced: assignment.unplaced().len(),
+                            });
+                            if let Some(retry) = self.pending.get_mut(&tid) {
+                                retry.next_try_ms = retry_at;
+                            }
                             events.push(RecoveryEvent::TopologyRescheduled {
                                 topology: tid,
                                 at_ms: now_ms,
@@ -411,10 +574,15 @@ impl RecoveryManager {
                             if let Some(prev) = previous {
                                 restore_assignment(topology, &prev, cluster, state);
                             }
-                            self.pending
-                                .get_mut(&tid)
-                                .expect("still pending")
-                                .next_try_ms = retry_at;
+                            self.log(ControlRecord::Defer {
+                                at_ms: now_ms,
+                                topology: tid.as_str().to_owned(),
+                                attempts,
+                                retry_at_ms: retry_at,
+                            });
+                            if let Some(retry) = self.pending.get_mut(&tid) {
+                                retry.next_try_ms = retry_at;
+                            }
                             events.push(RecoveryEvent::RescheduleDeferred {
                                 topology: tid,
                                 at_ms: now_ms,
@@ -955,5 +1123,222 @@ mod tests {
                 .any(|v| matches!(v, Violation::MemoryOvercommit { .. })),
             "hard constraint violated: {violations:?}"
         );
+    }
+
+    #[test]
+    fn the_shared_detection_window_and_slack_are_consistent() {
+        let cfg = RecoveryConfig::default();
+        assert_eq!(cfg.detection_window_ms(), 3_000.0);
+        assert_eq!(
+            cfg.detection_slack_ms(),
+            cfg.detection_window_ms()
+                + f64::from(RecoveryManager::DETECTION_SLACK_INTERVALS) * cfg.heartbeat_interval_ms
+        );
+    }
+
+    /// Satellite boundary: at exactly `miss_threshold` consecutive
+    /// misses — silence of exactly `detection_window_ms` — the
+    /// declaration fires; one tick inside the window it does not.
+    #[test]
+    fn declaration_fires_exactly_at_the_miss_threshold_boundary() {
+        let t = linear("t", 2, 128.0);
+        let cfg = RecoveryConfig::default();
+        let window = cfg.detection_window_ms();
+        let mut h = harness(two_node_cluster(2048.0), &t, cfg);
+        step(&mut h, &t, 0.0, &[]);
+        // Strictly inside the window: not yet the threshold's worth of
+        // consecutive misses.
+        assert!(step(&mut h, &t, window - 1.0, &["n0"]).is_empty());
+        // At exactly the window boundary the `>=` closes it.
+        let events = step(&mut h, &t, window, &["n0"]);
+        match &events[0] {
+            RecoveryEvent::NodeDeclaredDead {
+                node,
+                time_to_detect_ms,
+                ..
+            } => {
+                assert_eq!(node, "n0");
+                assert_eq!(*time_to_detect_ms, window);
+            }
+            other => panic!("expected NodeDeclaredDead, got {other:?}"),
+        }
+    }
+
+    /// Satellite hysteresis boundary: a declared-dead node is readmitted
+    /// on exactly its `trust_threshold`-th consecutive beat, not one
+    /// earlier.
+    #[test]
+    fn readmission_lands_exactly_at_trust_threshold_beats() {
+        let t = linear("t", 2, 128.0);
+        let config = RecoveryConfig {
+            miss_threshold: 1,
+            trust_threshold: 3,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config);
+        step(&mut h, &t, 0.0, &[]);
+        let events = step(&mut h, &t, 1_000.0, &["n0"]);
+        assert!(matches!(events[0], RecoveryEvent::NodeDeclaredDead { .. }));
+        // Beats one and two are withheld by the hysteresis.
+        for tick in 2..4 {
+            let events = step(&mut h, &t, f64::from(tick) * 1_000.0, &[]);
+            assert!(
+                !events
+                    .iter()
+                    .any(|e| matches!(e, RecoveryEvent::NodeRecovered { .. })),
+                "readmitted after only {} beats: {events:?}",
+                tick - 1
+            );
+        }
+        assert_eq!(h.manager.suppressed_flaps(), 2);
+        // The third consecutive beat readmits.
+        let events = step(&mut h, &t, 4_000.0, &[]);
+        assert!(
+            events.iter().any(
+                |e| matches!(e, RecoveryEvent::NodeRecovered { ref node, .. } if node == "n0")
+            ),
+            "the trust_threshold-th beat readmits: {events:?}"
+        );
+        assert!(h.cluster.is_alive("n0"));
+    }
+
+    /// Satellite: replaying a flap storm's journal reproduces the live
+    /// manager's suppression bookkeeping exactly.
+    #[test]
+    fn journal_replay_of_a_flap_storm_matches_live_suppressed_flaps() {
+        // The 700 MB topology spans both nodes, so flapping n1 degrades
+        // it and queues upgrade retries that the churn limiter defers,
+        // while the trust hysteresis withholds n1's readmissions.
+        let t = linear("t", 2, 700.0);
+        let config = RecoveryConfig {
+            miss_threshold: 1,
+            trust_threshold: 2,
+            min_reschedule_interval_ms: 60_000.0,
+            journal: true,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config);
+        step(&mut h, &t, 0.0, &[]);
+        for tick in 1..12 {
+            let down: &[&str] = if tick % 2 == 1 { &["n1"] } else { &[] };
+            step(&mut h, &t, f64::from(tick) * 1_000.0, down);
+        }
+        assert!(h.manager.suppressed_flaps() > 0, "the storm was absorbed");
+        let replayed = h.manager.journal().expect("journal attached").replay();
+        assert_eq!(replayed.suppressed_flaps(), h.manager.suppressed_flaps());
+        assert!(replayed.suppressed_readmissions > 0);
+        assert!(replayed.suppressed_reschedules > 0);
+        assert_eq!(
+            replayed.dead.iter().map(String::as_str).collect::<Vec<_>>(),
+            h.manager.dead_nodes().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            replayed.reschedule_attempts,
+            h.manager.reschedule_attempts()
+        );
+    }
+
+    /// Journaling is passive: the same scenario with and without the
+    /// journal produces identical events and counters.
+    #[test]
+    fn journaling_never_changes_control_decisions() {
+        let t = linear("t", 2, 700.0);
+        let base = RecoveryConfig {
+            miss_threshold: 1,
+            trust_threshold: 2,
+            min_reschedule_interval_ms: 60_000.0,
+            ..RecoveryConfig::default()
+        };
+        let journaled = RecoveryConfig {
+            journal: true,
+            ..base.clone()
+        };
+        let run = |config: RecoveryConfig| {
+            let mut h = harness(two_node_cluster(2048.0), &t, config);
+            let mut all = Vec::new();
+            for tick in 0..12 {
+                let down: &[&str] = if tick % 2 == 1 { &["n1"] } else { &[] };
+                all.extend(step(&mut h, &t, f64::from(tick) * 1_000.0, down));
+            }
+            (
+                all,
+                h.manager.suppressed_flaps(),
+                h.manager.reschedule_attempts(),
+            )
+        };
+        assert_eq!(run(base), run(journaled));
+    }
+
+    #[test]
+    fn reassume_replays_the_journal_and_redeclares_diverged_nodes() {
+        let t = linear("t", 2, 128.0);
+        let config = RecoveryConfig {
+            journal: true,
+            ..RecoveryConfig::default()
+        };
+        let mut h = harness(two_node_cluster(2048.0), &t, config.clone());
+        step(&mut h, &t, 0.0, &[]);
+        for ms in 1..=3 {
+            step(&mut h, &t, f64::from(ms) * 1_000.0, &["n0"]);
+        }
+        assert!(h.manager.dead_nodes().any(|n| n == "n0"));
+        assert!(!h.manager.has_pending_reschedules());
+
+        // Nimbus crashes at t=3 s and a successor reassumes at t=10 s
+        // from the predecessor's journal.
+        let journal = h.manager.take_journal();
+        let roster: Vec<String> = h
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
+        let (mut successor, replayed) =
+            RecoveryManager::reassume(config, journal, 10_000.0, &roster);
+        assert!(replayed >= 2, "dead declaration + reschedule: {replayed}");
+        assert!(
+            successor.dead_nodes().any(|n| n == "n0"),
+            "the journaled dead set is adopted"
+        );
+        assert_eq!(
+            successor.reschedule_attempts(),
+            h.manager.reschedule_attempts(),
+            "attempt counters continue, they do not restart"
+        );
+
+        // n1 went silent during the outage: its live state diverged from
+        // the journal's believed-alive. The seeded handoff heartbeat
+        // re-declares it within an ordinary detection window.
+        let events = successor.tick(13_000.0, &mut h.cluster, &mut h.state, &h.scheduler, &[&t]);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::NodeDeclaredDead { node, .. } if node == "n1")),
+            "diverged node re-declared: {events:?}"
+        );
+    }
+
+    #[test]
+    fn reassume_without_a_journal_is_cold_and_blind() {
+        let t = linear("t", 2, 128.0);
+        let mut h = harness(two_node_cluster(2048.0), &t, RecoveryConfig::default());
+        step(&mut h, &t, 0.0, &[]);
+        let roster: Vec<String> = h
+            .cluster
+            .nodes()
+            .iter()
+            .map(|n| n.id().as_str().to_owned())
+            .collect();
+        let (mut cold, replayed) =
+            RecoveryManager::reassume(RecoveryConfig::default(), None, 10_000.0, &roster);
+        assert_eq!(replayed, 0);
+        assert_eq!(cold.dead_nodes().count(), 0);
+        // n0 has been silent since before the failover: the cold
+        // successor never observes it, so it is never declared — the
+        // blind spot the journal closes.
+        for ms in [13_000.0, 16_000.0, 30_000.0] {
+            let events = cold.tick(ms, &mut h.cluster, &mut h.state, &h.scheduler, &[&t]);
+            assert!(events.is_empty(), "a cold successor cannot act: {events:?}");
+        }
     }
 }

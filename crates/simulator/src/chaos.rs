@@ -22,6 +22,14 @@
 //!   from the control-plane replay.) The run yields tuples lost and the
 //!   throughput-dip depth.
 //!
+//! The control plane is itself a fault domain: [`run_control_outage`]
+//! crashes Nimbus mid-scenario (no detection, no rescheduling while it
+//! is down) and fails over to a successor that replays the
+//! write-ahead [`rstorm_core::ControlJournal`] — or starts cold when
+//! journaling is off — and [`run_fault_plan_with`] derives a
+//! [`ReconcileAudit`] whenever a plan carries
+//! [`FaultEvent::NimbusCrash`] / [`FaultEvent::ControlLoss`] atoms.
+//!
 //! Both halves are deterministic, so the whole [`ChaosOutcome`] — report
 //! bits included — is a pure function of `(cluster, topology, config)`.
 //! Any migrations the scenario schedules reach the routing layer through
@@ -36,10 +44,11 @@ use crate::report::{InvariantViolation, RecoveryObservations, SimReport};
 use crate::sim::{CheckedReport, Simulation};
 use rstorm_cluster::Cluster;
 use rstorm_core::{
-    GlobalState, RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager, ScheduleError,
-    Scheduler, SchedulingPlan,
+    Assignment, GlobalState, RStormScheduler, RecoveryConfig, RecoveryEvent, RecoveryManager,
+    ScheduleError, Scheduler, SchedulingPlan,
 };
 use rstorm_topology::Topology;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -72,6 +81,16 @@ pub enum ChaosError {
         /// The scheduler's reason.
         error: ScheduleError,
     },
+    /// The adaptive-rebalance migration path hit an inconsistent
+    /// lookup: a task outside the task set, an unplaced task in a
+    /// supposedly complete assignment, or a delta plan over a topology
+    /// the state never scheduled.
+    MigrationPlanning {
+        /// The topology whose migration could not be planned.
+        topology: String,
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ChaosError {
@@ -90,6 +109,9 @@ impl fmt::Display for ChaosError {
                 f,
                 "no initial placement for `{topology}` on the healthy cluster: {error}"
             ),
+            Self::MigrationPlanning { topology, reason } => {
+                write!(f, "cannot plan a migration for `{topology}`: {reason}")
+            }
         }
     }
 }
@@ -169,6 +191,39 @@ pub struct PlanOutcome {
     pub events: Vec<RecoveryEvent>,
     /// The derived recovery metrics (also embedded in `report`).
     pub observations: RecoveryObservations,
+    /// Post-failover reconciliation audit — `Some` exactly when the plan
+    /// carried control-plane events ([`FaultPlan::has_control_faults`]),
+    /// the fuzz plane's reconciliation-oracle input.
+    pub reconciliation: Option<ReconcileAudit>,
+}
+
+/// What a successor's post-failover reconciliation looked like — the
+/// control-plane analog of [`RecoveryObservations`], derived by
+/// [`run_fault_plan_with`] whenever the plan carries Nimbus or
+/// control-channel faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconcileAudit {
+    /// Latency from the first Nimbus outage's start to the first tick a
+    /// successor reassumed control; `-1.0` when no outage ended inside
+    /// the run (or the plan had no Nimbus crash at all).
+    pub time_to_reassume_ms: f64,
+    /// Journal decisions the successor(s) replayed on reassumption —
+    /// zero for a cold (journal-less) failover.
+    pub decisions_replayed: u64,
+    /// Reconciliation-convergence oracle: once the control plane
+    /// quiesced (no reschedule pending), the surviving placement covers
+    /// exactly as many tasks as a from-scratch reschedule of the same
+    /// topology on the surviving cluster would — adopted placements may
+    /// sit on different slots, but no capacity the successor could have
+    /// used goes unused. Vacuously `true` while retries are still
+    /// pending at the horizon.
+    pub converged: bool,
+    /// Placement-integrity oracle: `true` when some task ended up both
+    /// placed and declared unplaced, covered by neither, parked on a
+    /// node the control plane believes dead with nothing pending to fix
+    /// it, or the whole assignment vanished without a pending
+    /// reschedule.
+    pub double_placed_or_orphaned: bool,
 }
 
 /// Runs the crash-then-recover scenario described by `cfg` for one
@@ -271,25 +326,7 @@ pub fn try_run_crash_recover_with(
         t += interval;
     }
 
-    let mut detect_at = None;
-    let mut first_resched = None;
-    let mut recovered_at = None;
-    for event in &events {
-        match event {
-            RecoveryEvent::NodeDeclaredDead { at_ms, .. } => {
-                detect_at.get_or_insert(*at_ms);
-            }
-            RecoveryEvent::TopologyRescheduled {
-                at_ms, unplaced, ..
-            } => {
-                first_resched.get_or_insert(*at_ms);
-                if *unplaced == 0 {
-                    recovered_at.get_or_insert(*at_ms);
-                }
-            }
-            _ => {}
-        }
-    }
+    let (detect_at, first_resched, recovered_at) = fold_recovery_events(&events);
 
     // -- Data plane: the same outage injected into the simulator. --
     let mut plan = FaultPlan::new().crash_node(cfg.crash_at_ms, &cfg.victim);
@@ -354,6 +391,13 @@ pub fn try_run_crash_recover_with(
 ///   ([`Simulation::run_checked`]), so `sim_cfg.check_invariants = true`
 ///   surfaces accounting violations in the outcome.
 ///
+/// Control-plane atoms compose in: during a
+/// [`FaultEvent::NimbusCrash`] window the manager neither observes nor
+/// ticks (a successor reassumes at the first tick after it), during a
+/// [`FaultEvent::ControlLoss`] window it ticks but observes nothing —
+/// and the outcome carries a [`ReconcileAudit`] whenever the plan has
+/// either.
+///
 /// The derived [`RecoveryObservations`] anchor on the plan's earliest
 /// fault (detection/recovery latencies are measured from there).
 ///
@@ -384,22 +428,15 @@ pub fn run_fault_plan_with(
                     return Err(ChaosError::UnknownRack { rack: rack.clone() });
                 }
             }
-            FaultEvent::LinkDegrade { .. } => {}
+            // Link and control-plane events carry no node/rack names to
+            // resolve.
+            FaultEvent::LinkDegrade { .. }
+            | FaultEvent::NimbusCrash { .. }
+            | FaultEvent::ControlLoss { .. } => {}
         }
     }
 
     // -- Control plane: replay the recovery loop over heartbeat ticks. --
-    let mut control = (**cluster).clone();
-    let mut state = GlobalState::new(&control);
-    let initial = scheduler
-        .schedule(topology, &control, &mut state)
-        .map_err(|error| ChaosError::InitialPlacement {
-            topology: topology.id().as_str().to_owned(),
-            error,
-        })?;
-    let mut manager = RecoveryManager::new(recovery.clone());
-    let mut events = Vec::new();
-
     // A node is silent while any of its own down windows or its rack's
     // partition windows covers the tick.
     let node_windows = plan.node_down_windows();
@@ -417,39 +454,28 @@ pub fn run_fault_plan_with(
             (name, windows)
         })
         .collect();
+    let nimbus_windows = plan.nimbus_down_windows();
+    let loss_windows = plan.control_loss_windows();
+    let replay = replay_control_plane(
+        cluster,
+        topology,
+        recovery,
+        scheduler,
+        sim_cfg.sim_time_ms,
+        &down_windows,
+        &nimbus_windows,
+        &loss_windows,
+    )?;
+    let ControlReplay {
+        manager,
+        events,
+        state,
+        initial,
+        reassumed_at_ms,
+        decisions_replayed,
+    } = replay;
 
-    let interval = recovery.heartbeat_interval_ms;
-    let mut t = 0.0;
-    while t <= sim_cfg.sim_time_ms {
-        for (name, windows) in &down_windows {
-            let down = windows.iter().any(|&(at, until)| t >= at && t < until);
-            if !down {
-                manager.observe_heartbeat(name, t);
-            }
-        }
-        events.extend(manager.tick(t, &mut control, &mut state, scheduler, &[topology]));
-        t += interval;
-    }
-
-    let mut detect_at = None;
-    let mut first_resched = None;
-    let mut recovered_at = None;
-    for event in &events {
-        match event {
-            RecoveryEvent::NodeDeclaredDead { at_ms, .. } => {
-                detect_at.get_or_insert(*at_ms);
-            }
-            RecoveryEvent::TopologyRescheduled {
-                at_ms, unplaced, ..
-            } => {
-                first_resched.get_or_insert(*at_ms);
-                if *unplaced == 0 {
-                    recovered_at.get_or_insert(*at_ms);
-                }
-            }
-            _ => {}
-        }
-    }
+    let (detect_at, first_resched, recovered_at) = fold_recovery_events(&events);
 
     // -- Data plane: the full plan injected into a checked simulation. --
     let mut sim = Simulation::new(Arc::clone(cluster), sim_cfg.clone());
@@ -491,12 +517,402 @@ pub fn run_fault_plan_with(
     };
     report.recovery = Some(observations);
 
+    // -- Reconciliation audit, when the control plane itself faulted. --
+    let reconciliation = plan.has_control_faults().then(|| {
+        reconcile_audit(
+            cluster,
+            topology,
+            scheduler,
+            &manager,
+            &state,
+            nimbus_windows.first().map(|w| w.0),
+            reassumed_at_ms,
+            decisions_replayed,
+        )
+    });
+
     Ok(PlanOutcome {
         report,
         violations,
         events,
         observations,
+        reconciliation,
     })
+}
+
+/// One control-plane outage scenario: the data-plane victim and outage
+/// window of a [`ChaosConfig`], plus when Nimbus itself goes down and
+/// for how long. Whether the failover is journaled is governed by
+/// `recovery.journal` (see [`rstorm_core::RecoveryConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlOutageConfig {
+    /// The data-plane node to crash. Must exist in the cluster.
+    pub victim: String,
+    /// Simulation time of the victim's crash, in milliseconds.
+    pub crash_at_ms: f64,
+    /// Simulation time the victim starts heartbeating again. Use a value
+    /// past `sim.sim_time_ms` for a crash that never heals.
+    pub heal_at_ms: f64,
+    /// Simulation time Nimbus goes down.
+    pub nimbus_down_at_ms: f64,
+    /// Length of the Nimbus outage in milliseconds.
+    pub nimbus_down_ms: f64,
+    /// Data-plane simulation parameters.
+    pub sim: SimConfig,
+    /// Control-plane recovery-loop parameters — `recovery.journal`
+    /// selects journaled versus cold failover.
+    pub recovery: RecoveryConfig,
+}
+
+impl ControlOutageConfig {
+    /// A scenario with default simulation and recovery knobs (note the
+    /// default journal is **off** — a cold failover).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= crash_at_ms < heal_at_ms`, the Nimbus window
+    /// start is finite and non-negative, and its duration is finite and
+    /// positive.
+    pub fn new(
+        victim: impl Into<String>,
+        crash_at_ms: f64,
+        heal_at_ms: f64,
+        nimbus_down_at_ms: f64,
+        nimbus_down_ms: f64,
+    ) -> Self {
+        assert!(
+            crash_at_ms.is_finite() && heal_at_ms.is_finite() && crash_at_ms >= 0.0,
+            "chaos times must be finite and non-negative, got crash={crash_at_ms} heal={heal_at_ms}"
+        );
+        assert!(
+            crash_at_ms < heal_at_ms,
+            "the victim must heal after it crashes, got crash={crash_at_ms} heal={heal_at_ms}"
+        );
+        assert!(
+            nimbus_down_at_ms.is_finite() && nimbus_down_at_ms >= 0.0,
+            "the Nimbus outage needs a finite non-negative start"
+        );
+        assert!(
+            nimbus_down_ms.is_finite() && nimbus_down_ms > 0.0,
+            "the Nimbus outage must last a positive duration"
+        );
+        Self {
+            victim: victim.into(),
+            crash_at_ms,
+            heal_at_ms,
+            nimbus_down_at_ms,
+            nimbus_down_ms,
+            sim: SimConfig::default(),
+            recovery: RecoveryConfig::default(),
+        }
+    }
+}
+
+/// Everything a control-outage run produced: the [`ChaosOutcome`] fields
+/// plus the failover metrics.
+#[derive(Debug, Clone)]
+pub struct ControlOutcome {
+    /// The fault-injected data-plane report, with
+    /// [`SimReport::recovery`] populated.
+    pub report: SimReport,
+    /// The control-plane recovery events, in occurrence order.
+    pub events: Vec<RecoveryEvent>,
+    /// The control plane's final scheduling plan.
+    pub plan: SchedulingPlan,
+    /// The derived recovery metrics (also embedded in `report`).
+    pub observations: RecoveryObservations,
+    /// Latency from the Nimbus outage's start to the first successor
+    /// tick, or `-1.0` if the outage outlived the run.
+    pub time_to_reassume_ms: f64,
+    /// Journal decisions the successor replayed — zero for a cold
+    /// failover.
+    pub decisions_replayed: u64,
+}
+
+/// Runs a crash-then-recover scenario through a Nimbus outage: the
+/// victim goes silent as in [`run_crash_recover`], but during
+/// `[nimbus_down_at_ms, nimbus_down_at_ms + nimbus_down_ms)` the control
+/// plane observes nothing and decides nothing. At the first tick after
+/// the window a successor reassumes — replaying the journal when
+/// `cfg.recovery.journal` is on, starting cold (and blind to any node
+/// that fell silent before the failover) otherwise. The data plane
+/// mirrors [`run_crash_recover`]: the victim's workers come back the
+/// moment the control plane first re-placed the topology.
+///
+/// # Errors
+///
+/// [`ChaosError::UnknownVictim`] and [`ChaosError::InitialPlacement`].
+pub fn run_control_outage(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    cfg: &ControlOutageConfig,
+) -> Result<ControlOutcome, ChaosError> {
+    if !cluster
+        .nodes()
+        .iter()
+        .any(|n| n.id().as_str() == cfg.victim)
+    {
+        return Err(ChaosError::UnknownVictim {
+            victim: cfg.victim.clone(),
+        });
+    }
+    let scheduler = RStormScheduler::new();
+
+    // -- Control plane: the victim is silent for its outage window. --
+    let down_windows: Vec<(String, Vec<(f64, f64)>)> = cluster
+        .nodes()
+        .iter()
+        .map(|n| {
+            let name = n.id().as_str().to_owned();
+            let windows = if name == cfg.victim {
+                vec![(cfg.crash_at_ms, cfg.heal_at_ms)]
+            } else {
+                Vec::new()
+            };
+            (name, windows)
+        })
+        .collect();
+    let nimbus_windows = vec![(
+        cfg.nimbus_down_at_ms,
+        cfg.nimbus_down_at_ms + cfg.nimbus_down_ms,
+    )];
+    let ControlReplay {
+        manager,
+        events,
+        state,
+        initial,
+        reassumed_at_ms,
+        decisions_replayed,
+    } = replay_control_plane(
+        cluster,
+        topology,
+        &cfg.recovery,
+        &scheduler,
+        cfg.sim.sim_time_ms,
+        &down_windows,
+        &nimbus_windows,
+        &[],
+    )?;
+    let (detect_at, first_resched, recovered_at) = fold_recovery_events(&events);
+
+    // -- Data plane: as in `run_crash_recover`. --
+    let mut plan = FaultPlan::new().crash_node(cfg.crash_at_ms, &cfg.victim);
+    if let Some(at) = first_resched {
+        if at > cfg.crash_at_ms {
+            plan = plan.recover_node(at, &cfg.victim);
+        }
+    }
+    let mut sim = Simulation::new(Arc::clone(cluster), cfg.sim.clone());
+    sim.add_topology(topology, &initial);
+    sim.set_fault_plan(plan);
+    let mut report = sim.run();
+
+    // -- Derived observations. --
+    let outage_end = first_resched.unwrap_or(cfg.sim.sim_time_ms);
+    let dip = report
+        .throughput
+        .get(topology.id().as_str())
+        .map_or(0.0, |t| {
+            dip_depth(
+                &t.windows,
+                t.window_ms,
+                cfg.crash_at_ms,
+                outage_end + t.window_ms,
+            )
+        });
+    let observations = RecoveryObservations {
+        crash_at_ms: cfg.crash_at_ms,
+        time_to_detect_ms: detect_at.map_or(-1.0, |at| at - cfg.crash_at_ms),
+        time_to_recover_ms: recovered_at.map_or(-1.0, |at| at - cfg.crash_at_ms),
+        tuples_lost: report.totals.tuples_lost,
+        throughput_dip_depth: dip,
+        reschedule_attempts: manager.reschedule_attempts(),
+        roots_replayed: report.totals.roots_replayed,
+        tuples_quarantined: report.totals.tuples_quarantined,
+        suppressed_flaps: manager.suppressed_flaps(),
+    };
+    report.recovery = Some(observations);
+
+    Ok(ControlOutcome {
+        report,
+        events,
+        plan: state.plan().clone(),
+        observations,
+        time_to_reassume_ms: reassumed_at_ms.map_or(-1.0, |at| at - cfg.nimbus_down_at_ms),
+        decisions_replayed,
+    })
+}
+
+/// What [`replay_control_plane`] hands back to the harnesses.
+struct ControlReplay {
+    manager: RecoveryManager,
+    events: Vec<RecoveryEvent>,
+    state: GlobalState,
+    initial: Assignment,
+    reassumed_at_ms: Option<f64>,
+    decisions_replayed: u64,
+}
+
+/// The shared control-plane replay: schedules the topology, then steps
+/// heartbeat ticks to `horizon_ms`. A node listed in `down_windows` is
+/// silent while any of its windows covers the tick; while a
+/// `loss_windows` window is active *no* heartbeat is observed (Nimbus
+/// still ticks); while a `nimbus_windows` window is active nothing at
+/// all happens, and at the first tick after it a successor reassumes via
+/// [`RecoveryManager::reassume`] — with the predecessor's journal when
+/// journaling is on, cold otherwise.
+#[allow(clippy::too_many_arguments)]
+fn replay_control_plane(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    recovery: &RecoveryConfig,
+    scheduler: &(dyn Scheduler + '_),
+    horizon_ms: f64,
+    down_windows: &[(String, Vec<(f64, f64)>)],
+    nimbus_windows: &[(f64, f64)],
+    loss_windows: &[(f64, f64)],
+) -> Result<ControlReplay, ChaosError> {
+    let mut control = (**cluster).clone();
+    let mut state = GlobalState::new(&control);
+    let initial = scheduler
+        .schedule(topology, &control, &mut state)
+        .map_err(|error| ChaosError::InitialPlacement {
+            topology: topology.id().as_str().to_owned(),
+            error,
+        })?;
+    let mut manager = RecoveryManager::new(recovery.clone());
+    let mut events = Vec::new();
+    let roster: Vec<String> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.id().as_str().to_owned())
+        .collect();
+
+    let interval = recovery.heartbeat_interval_ms;
+    let covers =
+        |windows: &[(f64, f64)], t: f64| windows.iter().any(|&(at, until)| t >= at && t < until);
+    let mut t = 0.0;
+    let mut was_down = false;
+    let mut reassumed_at_ms = None;
+    let mut decisions_replayed = 0u64;
+    while t <= horizon_ms {
+        if covers(nimbus_windows, t) {
+            // Nimbus is down: no observation, no detection, no
+            // rescheduling — the data plane runs on without it.
+            was_down = true;
+            t += interval;
+            continue;
+        }
+        if was_down {
+            was_down = false;
+            let journal = manager.take_journal();
+            let (successor, replayed) =
+                RecoveryManager::reassume(recovery.clone(), journal, t, &roster);
+            manager = successor;
+            decisions_replayed += replayed;
+            reassumed_at_ms.get_or_insert(t);
+        }
+        let channel_lost = covers(loss_windows, t);
+        for (name, windows) in down_windows {
+            if !channel_lost && !covers(windows, t) {
+                manager.observe_heartbeat(name, t);
+            }
+        }
+        events.extend(manager.tick(t, &mut control, &mut state, scheduler, &[topology]));
+        t += interval;
+    }
+
+    Ok(ControlReplay {
+        manager,
+        events,
+        state,
+        initial,
+        reassumed_at_ms,
+        decisions_replayed,
+    })
+}
+
+/// First detection, first reschedule, and first *full* reschedule times
+/// in an event stream.
+fn fold_recovery_events(events: &[RecoveryEvent]) -> (Option<f64>, Option<f64>, Option<f64>) {
+    let mut detect_at = None;
+    let mut first_resched = None;
+    let mut recovered_at = None;
+    for event in events {
+        match event {
+            RecoveryEvent::NodeDeclaredDead { at_ms, .. } => {
+                detect_at.get_or_insert(*at_ms);
+            }
+            RecoveryEvent::TopologyRescheduled {
+                at_ms, unplaced, ..
+            } => {
+                first_resched.get_or_insert(*at_ms);
+                if *unplaced == 0 {
+                    recovered_at.get_or_insert(*at_ms);
+                }
+            }
+            _ => {}
+        }
+    }
+    (detect_at, first_resched, recovered_at)
+}
+
+/// Derives the [`ReconcileAudit`] from the final control-plane state
+/// (see the field docs for the two oracles).
+#[allow(clippy::too_many_arguments)]
+fn reconcile_audit(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    scheduler: &(dyn Scheduler + '_),
+    manager: &RecoveryManager,
+    state: &GlobalState,
+    first_nimbus_down_ms: Option<f64>,
+    reassumed_at_ms: Option<f64>,
+    decisions_replayed: u64,
+) -> ReconcileAudit {
+    let dead: BTreeSet<&str> = manager.dead_nodes().collect();
+    let quiesced = !manager.has_pending_reschedules();
+    let total = topology.total_tasks() as usize;
+    let assignment = state.plan().assignment(topology.id().as_str());
+
+    let double_placed_or_orphaned = match assignment {
+        Some(a) => {
+            let placed: BTreeSet<_> = a.iter().map(|(task, _)| task).collect();
+            let double = a.unplaced().iter().any(|task| placed.contains(task));
+            let uncovered = placed.len() + a.unplaced().len() != total;
+            let orphaned = quiesced && a.iter().any(|(_, slot)| dead.contains(slot.node.as_str()));
+            double || uncovered || orphaned
+        }
+        // The topology placed initially; an assignment that vanished
+        // with nothing pending to restore it is orphaned wholesale.
+        None => quiesced,
+    };
+
+    let converged = if quiesced {
+        let mut survivors = (**cluster).clone();
+        for node in &dead {
+            survivors.kill_node(node);
+        }
+        let mut fresh = GlobalState::new(&survivors);
+        let from_scratch = scheduler
+            .schedule(topology, &survivors, &mut fresh)
+            .map_or(0, |a| a.len());
+        assignment.map_or(0, Assignment::len) == from_scratch
+    } else {
+        // Still converging at the horizon — the oracle judges quiesced
+        // states only.
+        true
+    };
+
+    ReconcileAudit {
+        time_to_reassume_ms: match (first_nimbus_down_ms, reassumed_at_ms) {
+            (Some(down), Some(up)) => up - down,
+            _ => -1.0,
+        },
+        decisions_replayed,
+        converged,
+        double_placed_or_orphaned,
+    }
 }
 
 /// Depth of the throughput dip: `1 - worst_outage_window / steady_mean`,
@@ -817,5 +1233,141 @@ mod tests {
         assert_eq!(out.report, again.report);
         assert_eq!(out.report.to_json(), again.report.to_json());
         assert_eq!(out.events, again.events);
+    }
+
+    #[test]
+    fn journaled_successor_detects_a_crash_masked_by_the_outage() {
+        // The victim crashes while Nimbus is down, so the silence starts
+        // before any successor exists. A journaled failover seeds the
+        // roster's heartbeats on reassumption and still detects it.
+        let cluster = cluster();
+        let t = topology();
+        let mut cfg = ControlOutageConfig::new(
+            host_node(&cluster, &t),
+            20_000.0,
+            50_000.0,
+            18_000.0,
+            12_000.0,
+        );
+        cfg.sim = SimConfig::quick();
+        cfg.recovery.journal = true;
+        let out = run_control_outage(&cluster, &t, &cfg).unwrap();
+
+        // Reassumption happens at the first tick past the 12 s window.
+        assert!(
+            out.time_to_reassume_ms >= cfg.nimbus_down_ms
+                && out.time_to_reassume_ms
+                    <= cfg.nimbus_down_ms + 2.0 * cfg.recovery.heartbeat_interval_ms,
+            "reassumed after {} ms of a {} ms outage",
+            out.time_to_reassume_ms,
+            cfg.nimbus_down_ms
+        );
+        // Nothing was journaled pre-outage, so nothing replays — the
+        // win here is the seeded roster, not the record replay.
+        assert_eq!(out.decisions_replayed, 0);
+        let declared = out
+            .events
+            .iter()
+            .find_map(|e| match e {
+                RecoveryEvent::NodeDeclaredDead { node, at_ms, .. } if *node == cfg.victim => {
+                    Some(*at_ms)
+                }
+                _ => None,
+            })
+            .expect("the successor must declare the masked crash");
+        assert!(
+            declared >= cfg.nimbus_down_at_ms + cfg.nimbus_down_ms,
+            "declared at {declared} ms, inside the outage"
+        );
+        assert!(out.observations.time_to_recover_ms >= out.observations.time_to_detect_ms);
+
+        // Deterministic end to end.
+        let again = run_control_outage(&cluster, &t, &cfg).unwrap();
+        assert_eq!(out.report, again.report);
+        assert_eq!(out.events, again.events);
+        assert_eq!(out.time_to_reassume_ms, again.time_to_reassume_ms);
+    }
+
+    #[test]
+    fn cold_successor_stays_blind_to_a_pre_failover_silence() {
+        // Same scenario, journal off: the cold successor has never seen
+        // a heartbeat from the victim, so it can never count the misses.
+        let cluster = cluster();
+        let t = topology();
+        let mut cfg = ControlOutageConfig::new(
+            host_node(&cluster, &t),
+            20_000.0,
+            50_000.0,
+            18_000.0,
+            12_000.0,
+        );
+        cfg.sim = SimConfig::quick();
+        assert!(!cfg.recovery.journal, "cold failover is the default");
+        let out = run_control_outage(&cluster, &t, &cfg).unwrap();
+
+        assert_eq!(out.decisions_replayed, 0);
+        assert!(
+            !out.events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::NodeDeclaredDead { .. })),
+            "a cold successor cannot detect a pre-failover silence: {:?}",
+            out.events
+        );
+        assert_eq!(out.observations.time_to_detect_ms, -1.0);
+        assert_eq!(out.observations.time_to_recover_ms, -1.0);
+    }
+
+    #[test]
+    fn successor_replays_pre_outage_decisions_without_redeclaring() {
+        // The crash is detected and rescheduled *before* Nimbus dies;
+        // the successor replays those records and must not act twice.
+        let cluster = cluster();
+        let t = topology();
+        let mut cfg = ControlOutageConfig::new(
+            host_node(&cluster, &t),
+            5_000.0,
+            50_000.0,
+            14_000.0,
+            8_000.0,
+        );
+        cfg.sim = SimConfig::quick();
+        cfg.recovery.journal = true;
+        let out = run_control_outage(&cluster, &t, &cfg).unwrap();
+
+        // At least the dead declaration and one reschedule were in the
+        // journal when the outage hit.
+        assert!(
+            out.decisions_replayed >= 2,
+            "expected the declare + reschedule records, replayed {}",
+            out.decisions_replayed
+        );
+        let declarations = out
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, RecoveryEvent::NodeDeclaredDead { node, .. } if *node == cfg.victim)
+            })
+            .count();
+        assert_eq!(
+            declarations, 1,
+            "the replayed dead set must suppress a duplicate declaration"
+        );
+        assert!(out.observations.time_to_detect_ms > 0.0);
+    }
+
+    #[test]
+    fn control_outage_rejects_unknown_victims_as_typed_error() {
+        let err = run_control_outage(
+            &cluster(),
+            &topology(),
+            &ControlOutageConfig::new("ghost", 1_000.0, 2_000.0, 500.0, 1_000.0),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownVictim {
+                victim: "ghost".into()
+            }
+        );
     }
 }

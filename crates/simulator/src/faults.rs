@@ -36,6 +36,13 @@
 //! * [`FaultPlan::crash_burst`] crashes a set of nodes at the same
 //!   instant and recovers them together — correlated loss (a PDU or
 //!   top-of-rack switch dying).
+//! * [`FaultPlan::nimbus_crash`] and
+//!   [`FaultPlan::lose_control_channel`] are **control-plane** atoms:
+//!   the data-plane engine ignores them, while the control-plane
+//!   harnesses in `crate::chaos` silence detection/rescheduling for the
+//!   outage (Nimbus down, failing over to a successor on return) or
+//!   drop heartbeat observations (channel loss, provoking false
+//!   declarations).
 //!
 //! Plans round-trip through a line-oriented text form
 //! ([`FaultPlan::to_text`] / [`FaultPlan::from_text`]) so the fuzz
@@ -90,6 +97,32 @@ pub enum FaultEvent {
         /// Cluster rack id.
         rack: String,
     },
+    /// The control plane (Nimbus) is down during
+    /// `[at_ms, at_ms + down_ms)`: no heartbeat is observed, no failure
+    /// detected, no reschedule or recovery upgrade fires — while the
+    /// data plane keeps running. At the first control tick after the
+    /// window a successor reassumes, replaying the write-ahead journal
+    /// when `RecoveryConfig::journal` is enabled and starting cold
+    /// otherwise (see `rstorm_core::RecoveryManager::reassume`). A pure
+    /// control-plane event: the data-plane engine ignores it.
+    NimbusCrash {
+        /// Start of the control outage in milliseconds.
+        at_ms: f64,
+        /// Length of the control outage in milliseconds.
+        down_ms: f64,
+    },
+    /// The control channel drops every worker heartbeat during
+    /// `[at_ms, until_ms)`: Nimbus stays up and keeps ticking, but no
+    /// beat reaches it, so nodes *look* silent — a window longer than
+    /// the detection window provokes false dead declarations the trust
+    /// hysteresis must walk back once the channel heals. A pure
+    /// control-plane event: the data-plane engine ignores it.
+    ControlLoss {
+        /// Start of the loss window in milliseconds.
+        at_ms: f64,
+        /// End of the loss window in milliseconds.
+        until_ms: f64,
+    },
 }
 
 impl FaultEvent {
@@ -98,7 +131,9 @@ impl FaultEvent {
             Self::NodeCrash { at_ms, .. }
             | Self::NodeRecover { at_ms, .. }
             | Self::LinkDegrade { at_ms, .. }
-            | Self::RackPartition { at_ms, .. } => *at_ms,
+            | Self::RackPartition { at_ms, .. }
+            | Self::NimbusCrash { at_ms, .. }
+            | Self::ControlLoss { at_ms, .. } => *at_ms,
         }
     }
 }
@@ -187,6 +222,41 @@ impl FaultPlan {
             until_ms,
             rack: rack.into(),
         });
+        self
+    }
+
+    /// Adds a control-plane (Nimbus) outage over
+    /// `[at_ms, at_ms + down_ms)` — see [`FaultEvent::NimbusCrash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative start time, or a non-finite
+    /// or non-positive duration.
+    pub fn nimbus_crash(mut self, at_ms: f64, down_ms: f64) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "invalid fault time");
+        assert!(
+            down_ms.is_finite() && down_ms > 0.0,
+            "control outage must last a positive duration"
+        );
+        self.events.push(FaultEvent::NimbusCrash { at_ms, down_ms });
+        self
+    }
+
+    /// Adds a control-channel loss window `[at_ms, until_ms)` during
+    /// which no worker heartbeat reaches Nimbus — see
+    /// [`FaultEvent::ControlLoss`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite times or `until_ms <= at_ms`.
+    pub fn lose_control_channel(mut self, at_ms: f64, until_ms: f64) -> Self {
+        assert!(at_ms.is_finite() && at_ms >= 0.0, "invalid fault time");
+        assert!(
+            until_ms.is_finite() && until_ms > at_ms,
+            "control-loss window must end after it starts"
+        );
+        self.events
+            .push(FaultEvent::ControlLoss { at_ms, until_ms });
         self
     }
 
@@ -355,6 +425,40 @@ impl FaultPlan {
         windows
     }
 
+    /// Control-plane outage windows `[at, at + down)` in insertion
+    /// order.
+    pub fn nimbus_down_windows(&self) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                FaultEvent::NimbusCrash { at_ms, down_ms } => Some((*at_ms, *at_ms + *down_ms)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Control-channel loss windows `[at, until)` in insertion order.
+    pub fn control_loss_windows(&self) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                FaultEvent::ControlLoss { at_ms, until_ms } => Some((*at_ms, *until_ms)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the plan carries any control-plane event (Nimbus crash
+    /// or control-channel loss).
+    pub fn has_control_faults(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev,
+                FaultEvent::NimbusCrash { .. } | FaultEvent::ControlLoss { .. }
+            )
+        })
+    }
+
     /// Per-rack partition windows `[at, until)` in insertion order.
     pub fn rack_partition_windows(&self) -> BTreeMap<&str, Vec<(f64, f64)>> {
         let mut windows: BTreeMap<&str, Vec<(f64, f64)>> = BTreeMap::new();
@@ -376,9 +480,10 @@ impl FaultPlan {
 
     /// Serializes the plan as one event per line — the regression-corpus
     /// format (`crash <at> <node>`, `recover <at> <node>`,
-    /// `degrade <at> <until> <extra>`, `partition <at> <until> <rack>`),
-    /// with shortest-roundtrip floats so the text is byte-deterministic
-    /// and [`FaultPlan::from_text`] reproduces the plan exactly.
+    /// `degrade <at> <until> <extra>`, `partition <at> <until> <rack>`,
+    /// `nimbus <at> <down>`, `ctrl-loss <at> <until>`), with
+    /// shortest-roundtrip floats so the text is byte-deterministic and
+    /// [`FaultPlan::from_text`] reproduces the plan exactly.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for ev in &self.events {
@@ -404,6 +509,12 @@ impl FaultPlan {
                     rack,
                 } => {
                     out.push_str(&format!("partition {at_ms:?} {until_ms:?} {rack}\n"));
+                }
+                FaultEvent::NimbusCrash { at_ms, down_ms } => {
+                    out.push_str(&format!("nimbus {at_ms:?} {down_ms:?}\n"));
+                }
+                FaultEvent::ControlLoss { at_ms, until_ms } => {
+                    out.push_str(&format!("ctrl-loss {at_ms:?} {until_ms:?}\n"));
                 }
             }
         }
@@ -474,6 +585,26 @@ impl FaultPlan {
                         return Err(err("partition window must end after it starts".into()));
                     }
                     plan = plan.partition_rack(at, until, rack);
+                }
+                "nimbus" => {
+                    let [at, down] = fields[..] else {
+                        return Err(err("`nimbus` takes <at_ms> <down_ms>".into()));
+                    };
+                    let (at, down) = (time(at)?, num(down)?);
+                    if down <= 0.0 {
+                        return Err(err("control outage must last a positive duration".into()));
+                    }
+                    plan = plan.nimbus_crash(at, down);
+                }
+                "ctrl-loss" => {
+                    let [at, until] = fields[..] else {
+                        return Err(err("`ctrl-loss` takes <at_ms> <until_ms>".into()));
+                    };
+                    let (at, until) = (time(at)?, time(until)?);
+                    if until <= at {
+                        return Err(err("control-loss window must end after it starts".into()));
+                    }
+                    plan = plan.lose_control_channel(at, until);
                 }
                 other => return Err(err(format!("unknown event kind `{other}`"))),
             }
@@ -601,11 +732,53 @@ mod tests {
             .crash_node(1_000.5, "node-3")
             .recover_node(5_000.0, "node-3")
             .degrade_links(2_000.0, 3_000.0, 4.25)
-            .partition_rack(10_000.0, 12_000.0, "rack-1");
+            .partition_rack(10_000.0, 12_000.0, "rack-1")
+            .nimbus_crash(15_000.0, 6_000.0)
+            .lose_control_channel(25_000.0, 28_500.0);
         let text = plan.to_text();
         let parsed = FaultPlan::from_text(&text).unwrap();
         assert_eq!(parsed, plan);
         assert_eq!(parsed.to_text(), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn control_plane_windows_are_tracked() {
+        let plan = FaultPlan::new()
+            .nimbus_crash(10_000.0, 5_000.0)
+            .nimbus_crash(30_000.0, 2_000.0)
+            .lose_control_channel(40_000.0, 44_000.0);
+        assert!(plan.has_control_faults());
+        assert_eq!(
+            plan.nimbus_down_windows(),
+            vec![(10_000.0, 15_000.0), (30_000.0, 32_000.0)]
+        );
+        assert_eq!(plan.control_loss_windows(), vec![(40_000.0, 44_000.0)]);
+        // Control-plane atoms never register as data-plane outages.
+        assert!(plan.node_down_windows().is_empty());
+        let data_only = FaultPlan::new().crash_node(1.0, "n0");
+        assert!(!data_only.has_control_faults());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_length_nimbus_outage_rejected() {
+        let _ = FaultPlan::new().nimbus_crash(5.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "control-loss window must end after")]
+    fn inverted_control_loss_window_rejected() {
+        let _ = FaultPlan::new().lose_control_channel(5.0, 5.0);
+    }
+
+    #[test]
+    fn text_parser_rejects_bad_control_events() {
+        let err = FaultPlan::from_text("nimbus 10 0").unwrap_err();
+        assert!(err.to_string().contains("positive duration"), "{err}");
+        let err = FaultPlan::from_text("ctrl-loss 9 4").unwrap_err();
+        assert!(err.to_string().contains("end after"), "{err}");
+        let err = FaultPlan::from_text("nimbus 10").unwrap_err();
+        assert!(err.to_string().contains("takes <at_ms> <down_ms>"), "{err}");
     }
 
     #[test]

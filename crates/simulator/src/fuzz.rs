@@ -2,8 +2,9 @@
 //!
 //! [`run_fuzz_campaign`] samples structured [`FaultPlan`]s from the fault
 //! grammar — crash/recover pairs, lasting crashes, flap storms, correlated
-//! crash bursts, rack partitions, link degradations and background-traffic
-//! burst trains — runs each plan
+//! crash bursts, rack partitions, link degradations, background-traffic
+//! burst trains, Nimbus outages and control-channel loss windows — runs
+//! each plan
 //! through both planes of [`crate::chaos::run_fault_plan_with`], and
 //! checks an **oracle set** per run (see [`OracleKind`]):
 //!
@@ -16,7 +17,14 @@
 //!   can exhaust its budget, so every settled root must have completed;
 //! * **detection liveness** — a node silent long past the heartbeat miss
 //!   window (its own crash or its rack's partition) must be declared dead
-//!   by the control plane;
+//!   by the control plane — with a Nimbus-free span requirement when the
+//!   plan crashes the control plane itself, and skipped entirely for a
+//!   journal-less (structurally blind) failover;
+//! * the two **reconciliation oracles** for plans with control-plane
+//!   faults — the quiesced post-failover placement must cover as many
+//!   tasks as a from-scratch reschedule on the survivors, and no task
+//!   may end up double-placed or orphaned (see
+//!   [`crate::chaos::ReconcileAudit`]);
 //! * **routing parity** — re-running with the incremental-routing flag
 //!   flipped must reproduce the report bit for bit;
 //! * **determinism** — an identical re-run must reproduce the report and
@@ -79,12 +87,23 @@ pub enum OracleKind {
     RoutingParity,
     /// An identical re-run produced different bits.
     Determinism,
+    /// After a control-plane failover the quiesced placement covered
+    /// fewer (or more) tasks than a from-scratch reschedule of the same
+    /// topology on the surviving cluster — reconciliation left capacity
+    /// on the table (see
+    /// [`crate::chaos::ReconcileAudit::converged`]).
+    ReconcileConvergence,
+    /// After a control-plane failover some task ended up double-placed
+    /// or orphaned (see
+    /// [`crate::chaos::ReconcileAudit::double_placed_or_orphaned`]).
+    ReconcilePlacement,
 }
 
 impl OracleKind {
     /// Stable machine-readable label, used in campaign logs and corpus
     /// headers (`invariant:<kind>`, `zero_loss`, `detect_liveness`,
-    /// `routing_parity`, `determinism`).
+    /// `routing_parity`, `determinism`, `reconcile_convergence`,
+    /// `reconcile_placement`).
     pub fn label(&self) -> String {
         match self {
             Self::Invariant(kind) => format!("invariant:{kind}"),
@@ -92,6 +111,8 @@ impl OracleKind {
             Self::DetectLiveness => "detect_liveness".to_owned(),
             Self::RoutingParity => "routing_parity".to_owned(),
             Self::Determinism => "determinism".to_owned(),
+            Self::ReconcileConvergence => "reconcile_convergence".to_owned(),
+            Self::ReconcilePlacement => "reconcile_placement".to_owned(),
         }
     }
 
@@ -108,6 +129,8 @@ impl OracleKind {
             "detect_liveness" => Some(Self::DetectLiveness),
             "routing_parity" => Some(Self::RoutingParity),
             "determinism" => Some(Self::Determinism),
+            "reconcile_convergence" => Some(Self::ReconcileConvergence),
+            "reconcile_placement" => Some(Self::ReconcilePlacement),
             _ => None,
         }
     }
@@ -150,7 +173,13 @@ impl Default for FuzzConfig {
             // structurally impossible and the zero-loss oracle applies to
             // every generated plan.
             sim: SimConfig::quick().with_max_replays(8),
-            recovery: RecoveryConfig::default(),
+            // Journal on: the grammar draws Nimbus outages, and only a
+            // journaled successor owes the detection-liveness and
+            // reconciliation guarantees the oracles check.
+            recovery: RecoveryConfig {
+                journal: true,
+                ..RecoveryConfig::default()
+            },
         }
     }
 }
@@ -350,6 +379,14 @@ pub fn check_fault_plan(
     if has_undetected_outage(cluster, plan, &cfg.recovery, sim.sim_time_ms, &out.events) {
         return Some(OracleKind::DetectLiveness);
     }
+    if let Some(audit) = &out.reconciliation {
+        if !audit.converged {
+            return Some(OracleKind::ReconcileConvergence);
+        }
+        if audit.double_placed_or_orphaned {
+            return Some(OracleKind::ReconcilePlacement);
+        }
+    }
     let flipped = sim
         .clone()
         .with_incremental_routing(!sim.incremental_routing);
@@ -378,10 +415,16 @@ pub fn check_fault_plan(
 /// window so long that the control plane must have declared it dead, yet
 /// no [`RecoveryEvent::NodeDeclaredDead`] names it. A window qualifies
 /// only if it starts after `t = 0` (so the manager has seen the node
-/// heartbeat), lasts at least `(miss_threshold + 2)` heartbeat intervals
-/// — the miss window plus tick-alignment slack — and that span ends
-/// before the horizon. Deliberately conservative: merged adjacent
-/// windows that jointly exceed the slack are not flagged.
+/// heartbeat), contains a **Nimbus-free** span of at least
+/// [`RecoveryConfig::detection_slack_ms`] — the miss window plus
+/// tick-alignment slack, long enough for either the incumbent or a
+/// freshly reassumed successor (whose roster heartbeats are seeded on
+/// replay) to notice the silence — and that span ends before the
+/// horizon. When the plan crashes Nimbus and journaling is **off**, the
+/// check is skipped entirely: a cold successor is structurally blind to
+/// nodes that fell silent before the failover, which is exactly the
+/// gap the journal exists to close. Deliberately conservative: merged
+/// adjacent windows that jointly exceed the slack are not flagged.
 fn has_undetected_outage(
     cluster: &Cluster,
     plan: &FaultPlan,
@@ -389,7 +432,11 @@ fn has_undetected_outage(
     horizon_ms: f64,
     events: &[RecoveryEvent],
 ) -> bool {
-    let slack = f64::from(recovery.miss_threshold + 2) * recovery.heartbeat_interval_ms;
+    let nimbus = plan.nimbus_down_windows();
+    if !nimbus.is_empty() && !recovery.journal {
+        return false;
+    }
+    let slack = recovery.detection_slack_ms();
     let node_windows = plan.node_down_windows();
     let rack_windows = plan.rack_partition_windows();
     for node in cluster.nodes() {
@@ -398,9 +445,11 @@ fn has_undetected_outage(
         if let Some(rw) = rack_windows.get(node.rack().as_str()) {
             windows.extend(rw.iter().copied());
         }
-        let must_detect = windows
-            .iter()
-            .any(|&(at, until)| at > 0.0 && until - at >= slack && at + slack <= horizon_ms);
+        let must_detect = windows.iter().any(|&(at, until)| {
+            at > 0.0
+                && nimbus_free_span(&nimbus, at, until, slack)
+                    .is_some_and(|s| s + slack <= horizon_ms)
+        });
         if must_detect
             && !events
                 .iter()
@@ -412,16 +461,31 @@ fn has_undetected_outage(
     false
 }
 
+/// Earliest start `s` of a span `[s, s + slack]` that fits inside the
+/// silence window `[at, until]` and overlaps no Nimbus outage. Candidate
+/// starts are the window start and each outage's end — the two instants
+/// a detection clock (re)starts. `None` when every candidate span runs
+/// into an outage or past the window.
+fn nimbus_free_span(nimbus: &[(f64, f64)], at: f64, until: f64, slack: f64) -> Option<f64> {
+    let mut candidates = vec![at];
+    candidates.extend(nimbus.iter().map(|&(_, end)| end).filter(|&e| e > at));
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
+    candidates
+        .into_iter()
+        .filter(|&s| s + slack <= until)
+        .find(|&s| !nimbus.iter().any(|&(ns, ne)| ns < s + slack && ne > s))
+}
+
 // ---- plan generation ----------------------------------------------------
 
 /// Samples one structured plan from the fault grammar: 1..=`max_atoms`
 /// atoms, each a crash/recover pair, a lasting crash, a flap storm, a
-/// correlated crash burst, a rack partition, a link degradation or a
+/// correlated crash burst, a rack partition, a link degradation, a
 /// background-traffic burst train (a sequence of short degradation
 /// windows, the shape a periodic bulk transfer leaves on the fair
-/// network plane), with every instant and duration on the
-/// [`QUANTUM_MS`] grid inside the first ~80% of the horizon. Pure in
-/// `(rng state, cluster, cfg)`.
+/// network plane), a Nimbus outage or a control-channel loss window,
+/// with every instant and duration on the [`QUANTUM_MS`] grid inside
+/// the first ~80% of the horizon. Pure in `(rng state, cluster, cfg)`.
 fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> FaultPlan {
     let nodes: Vec<&str> = cluster.nodes().iter().map(|n| n.id().as_str()).collect();
     let racks: Vec<&str> = cluster.racks().iter().map(|r| r.as_str()).collect();
@@ -433,7 +497,7 @@ fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> Fault
     let mut plan = FaultPlan::new();
     for _ in 0..atoms {
         let at = grid(rng);
-        match rng.gen_range(0u8..7) {
+        match rng.gen_range(0u8..9) {
             0 => {
                 let node = nodes[rng.gen_range(0..nodes.len())];
                 let outage = QUANTUM_MS * rng.gen_range(1u64..=20) as f64;
@@ -467,7 +531,7 @@ fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> Fault
                 let extra = QUANTUM_MS * rng.gen_range(1u64..=4) as f64;
                 plan = plan.degrade_links(at, until, extra);
             }
-            _ => {
+            6 => {
                 // Background-traffic burst train: 2..=4 short degradation
                 // windows with gaps, the on/off pattern a periodic bulk
                 // transfer imposes (under the fair network plane each
@@ -481,6 +545,18 @@ fn generate_plan(rng: &mut StdRng, cluster: &Cluster, cfg: &FuzzConfig) -> Fault
                     plan = plan.degrade_links(t, t + len, extra);
                     t += len + gap;
                 }
+            }
+            7 => {
+                // Nimbus outage: the control plane goes dark, then a
+                // successor reassumes and reconciles.
+                let down = QUANTUM_MS * rng.gen_range(2u64..=20) as f64;
+                plan = plan.nimbus_crash(at, down);
+            }
+            _ => {
+                // Control-channel loss: Nimbus keeps ticking but every
+                // node looks silent for the window.
+                let until = at + QUANTUM_MS * rng.gen_range(2u64..=12) as f64;
+                plan = plan.lose_control_channel(at, until);
             }
         }
     }
@@ -579,6 +655,18 @@ pub fn shrink_fault_plan(
                     until_ms: until,
                     extra_latency_ms: *extra_latency_ms,
                 }),
+                FaultEvent::NimbusCrash { at_ms, down_ms } => {
+                    halve_window(*at_ms, *at_ms + *down_ms).map(|until| FaultEvent::NimbusCrash {
+                        at_ms: *at_ms,
+                        down_ms: until - *at_ms,
+                    })
+                }
+                FaultEvent::ControlLoss { at_ms, until_ms } => {
+                    halve_window(*at_ms, *until_ms).map(|until| FaultEvent::ControlLoss {
+                        at_ms: *at_ms,
+                        until_ms: until,
+                    })
+                }
                 _ => None,
             };
             if let Some(ev) = tightened {
@@ -734,7 +822,10 @@ mod tests {
             sim: SimConfig::quick()
                 .with_sim_time_ms(30_000.0)
                 .with_max_replays(8),
-            recovery: RecoveryConfig::default(),
+            recovery: RecoveryConfig {
+                journal: true,
+                ..RecoveryConfig::default()
+            },
         }
     }
 
@@ -752,7 +843,10 @@ mod tests {
             seed: 42,
             max_atoms: 3,
             sim,
-            recovery: RecoveryConfig::default(),
+            recovery: RecoveryConfig {
+                journal: true,
+                ..RecoveryConfig::default()
+            },
         }
     }
 
@@ -764,6 +858,8 @@ mod tests {
             OracleKind::DetectLiveness,
             OracleKind::RoutingParity,
             OracleKind::Determinism,
+            OracleKind::ReconcileConvergence,
+            OracleKind::ReconcilePlacement,
         ];
         for k in kinds {
             assert_eq!(OracleKind::parse(&k.label()), Some(k.clone()), "{k}");
@@ -787,7 +883,9 @@ mod tests {
                 FaultEvent::NodeCrash { at_ms, .. }
                 | FaultEvent::NodeRecover { at_ms, .. }
                 | FaultEvent::LinkDegrade { at_ms, .. }
-                | FaultEvent::RackPartition { at_ms, .. } => *at_ms,
+                | FaultEvent::RackPartition { at_ms, .. }
+                | FaultEvent::NimbusCrash { at_ms, .. }
+                | FaultEvent::ControlLoss { at_ms, .. } => *at_ms,
             };
             assert_eq!(at % QUANTUM_MS, 0.0, "{ev:?} off the time grid");
         }
@@ -951,5 +1049,129 @@ mod tests {
             30_000.0,
             &[]
         ));
+    }
+
+    #[test]
+    fn grammar_covers_control_plane_outages() {
+        let cluster = cluster();
+        let cfg = clean_cfg(1);
+        let mut nimbus = false;
+        let mut loss = false;
+        for k in 0..64 {
+            let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, k));
+            let plan = generate_plan(&mut rng, &cluster, &cfg);
+            nimbus |= !plan.nimbus_down_windows().is_empty();
+            loss |= !plan.control_loss_windows().is_empty();
+            if nimbus && loss {
+                return;
+            }
+        }
+        panic!("64 draws never produced both control-plane atoms (nimbus={nimbus}, loss={loss})");
+    }
+
+    #[test]
+    fn detect_liveness_accounts_for_nimbus_outages() {
+        let cluster = cluster();
+        let victim = cluster.nodes()[0].id().as_str().to_owned();
+        let journaled = RecoveryConfig {
+            journal: true,
+            ..RecoveryConfig::default()
+        };
+        // The outage covers the whole silence window: no detector —
+        // incumbent or successor — ever gets a full slack span, so the
+        // missing declaration is excused.
+        let covered = FaultPlan::new()
+            .crash_node(5_000.0, &victim)
+            .recover_node(12_000.0, &victim)
+            .nimbus_crash(4_000.0, 10_000.0);
+        assert!(!has_undetected_outage(
+            &cluster,
+            &covered,
+            &journaled,
+            30_000.0,
+            &[]
+        ));
+        // The outage ends mid-window with a slack-length remainder: the
+        // reassumed successor owes a declaration.
+        let split = FaultPlan::new()
+            .crash_node(5_000.0, &victim)
+            .recover_node(25_000.0, &victim)
+            .nimbus_crash(4_000.0, 8_000.0);
+        assert!(has_undetected_outage(
+            &cluster,
+            &split,
+            &journaled,
+            30_000.0,
+            &[]
+        ));
+        // A cold (journal-less) failover owes nothing: it is blind to
+        // nodes that fell silent before it took over.
+        let cold = RecoveryConfig::default();
+        assert!(!has_undetected_outage(
+            &cluster,
+            &split,
+            &cold,
+            30_000.0,
+            &[]
+        ));
+        // Without Nimbus faults the journal flag changes nothing.
+        let plain = FaultPlan::new()
+            .crash_node(5_000.0, &victim)
+            .recover_node(25_000.0, &victim);
+        assert!(has_undetected_outage(
+            &cluster,
+            &plain,
+            &cold,
+            30_000.0,
+            &[]
+        ));
+    }
+
+    #[test]
+    fn control_outage_plans_run_clean_and_carry_an_audit() {
+        let cluster = cluster();
+        let t = split_topology();
+        let scheduler = RStormScheduler::new();
+        let cfg = clean_cfg(1);
+        // Crash the spout's host during a Nimbus outage: only the
+        // journaled successor's seeded roster lets it detect the silence.
+        let mut state = rstorm_core::GlobalState::new(&cluster);
+        let host = scheduler
+            .schedule(&t, &cluster, &mut state)
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .1
+            .node
+            .as_str()
+            .to_owned();
+        let plan = FaultPlan::new()
+            .crash_node(8_000.0, &host)
+            .recover_node(20_000.0, &host)
+            .nimbus_crash(6_000.0, 5_000.0);
+        assert_eq!(
+            check_fault_plan(&cluster, &t, &scheduler, &cfg, &plan),
+            None,
+            "a journaled failover over a survivable plan must be clean"
+        );
+        let sim = cfg.sim.clone().with_check_invariants(true);
+        let out =
+            run_fault_plan_with(&cluster, &t, &plan, &sim, &cfg.recovery, &scheduler).unwrap();
+        let audit = out.reconciliation.expect("control faults produce an audit");
+        assert!(
+            audit.time_to_reassume_ms >= 5_000.0,
+            "reassumption happens after the outage, got {}",
+            audit.time_to_reassume_ms
+        );
+        assert!(audit.converged);
+        assert!(!audit.double_placed_or_orphaned);
+        // A fault-free plan carries no audit.
+        let plain = FaultPlan::new()
+            .crash_node(8_000.0, &host)
+            .recover_node(20_000.0, &host);
+        let out =
+            run_fault_plan_with(&cluster, &t, &plain, &sim, &cfg.recovery, &scheduler).unwrap();
+        assert!(out.reconciliation.is_none());
     }
 }

@@ -75,8 +75,9 @@ mod slab;
 pub mod sweep;
 
 pub use chaos::{
-    run_crash_recover, run_crash_recover_with, run_fault_plan_with, try_run_crash_recover_with,
-    ChaosConfig, ChaosError, ChaosOutcome, PlanOutcome,
+    run_control_outage, run_crash_recover, run_crash_recover_with, run_fault_plan_with,
+    try_run_crash_recover_with, ChaosConfig, ChaosError, ChaosOutcome, ControlOutageConfig,
+    ControlOutcome, PlanOutcome, ReconcileAudit,
 };
 pub use config::{NetworkModel, SimConfig};
 pub use faults::{FaultEvent, FaultPlan, ParsePlanError};
@@ -85,7 +86,10 @@ pub use fuzz::{
     FuzzReproducer, FuzzVerdict, OracleKind,
 };
 pub use network::LinkClass;
-pub use rebalance::{refined_clone, run_adaptive_rebalance, AdaptiveConfig, AdaptiveOutcome};
+pub use rebalance::{
+    refined_clone, run_adaptive_rebalance, try_run_adaptive_rebalance, AdaptiveConfig,
+    AdaptiveOutcome,
+};
 pub use reference::ReferenceSimulation;
 pub use report::{
     InvariantViolation, LinkUtilization, NetworkObservations, RecoveryObservations, SimDebugStats,

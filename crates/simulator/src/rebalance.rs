@@ -32,6 +32,7 @@
 //! produces an empty plan, and the adaptive run is then bit-identical to
 //! the static one.
 
+use crate::chaos::ChaosError;
 use crate::config::SimConfig;
 use crate::report::SimReport;
 use crate::sim::Simulation;
@@ -139,12 +140,37 @@ impl AdaptiveOutcome {
 ///
 /// Panics if the topology does not fit the cluster (the scenario needs a
 /// valid initial placement to improve on) or if the configured times are
-/// not positive and finite.
+/// not positive and finite. [`try_run_adaptive_rebalance`] surfaces the
+/// placement and migration-planning failures as values instead.
 pub fn run_adaptive_rebalance(
     cluster: &Arc<Cluster>,
     topology: &Topology,
     cfg: &AdaptiveConfig,
 ) -> AdaptiveOutcome {
+    try_run_adaptive_rebalance(cluster, topology, cfg)
+        .unwrap_or_else(|e| panic!("adaptive rebalance on `{}` failed: {e}", topology.id()))
+}
+
+/// [`run_adaptive_rebalance`] with the recovery→migration lookups
+/// surfaced as typed [`ChaosError`]s instead of panics: an unplaceable
+/// topology is [`ChaosError::InitialPlacement`]; a delta plan or a
+/// full-reschedule baseline over inconsistent state (a task outside the
+/// task set, an incomplete "complete" placement) is
+/// [`ChaosError::MigrationPlanning`].
+///
+/// # Errors
+///
+/// [`ChaosError::InitialPlacement`] and [`ChaosError::MigrationPlanning`].
+///
+/// # Panics
+///
+/// Still panics when `cfg.observe_ms` is not positive and finite — that
+/// is a caller contract, not a property of the fuzzed inputs.
+pub fn try_run_adaptive_rebalance(
+    cluster: &Arc<Cluster>,
+    topology: &Topology,
+    cfg: &AdaptiveConfig,
+) -> Result<AdaptiveOutcome, ChaosError> {
     assert!(
         cfg.observe_ms > 0.0 && cfg.observe_ms.is_finite(),
         "observe_ms must be positive, got {}",
@@ -157,7 +183,10 @@ pub fn run_adaptive_rebalance(
     let scheduler = RStormScheduler::new();
     let initial = scheduler
         .schedule(topology, cluster, &mut state)
-        .expect("adaptive scenario requires an initial placement");
+        .map_err(|error| ChaosError::InitialPlacement {
+            topology: tname.to_owned(),
+            error,
+        })?;
 
     let mut profile_cfg = cfg.sim.clone();
     profile_cfg.sim_time_ms = cfg.observe_ms;
@@ -204,7 +233,10 @@ pub fn run_adaptive_rebalance(
             &refiner,
             &BTreeSet::new(),
         )
-        .expect("the topology was just scheduled");
+        .map_err(|e| ChaosError::MigrationPlanning {
+            topology: tname.to_owned(),
+            reason: format!("delta plan failed on the just-scheduled state: {e}"),
+        })?;
 
     // -- Stage 4: three full-horizon runs off the same initial placement. --
     let run = |migration: Option<&MigrationPlan>| {
@@ -218,11 +250,11 @@ pub fn run_adaptive_rebalance(
     let static_report = run(None);
     let adaptive_report = run(Some(&plan));
 
-    let full = full_reschedule_plan(cluster, topology, &refiner, &initial);
+    let full = full_reschedule_plan(cluster, topology, &refiner, &initial)?;
     let rescheduled_moves = full.len();
     let rescheduled_report = run(Some(&full));
 
-    AdaptiveOutcome {
+    Ok(AdaptiveOutcome {
         drift,
         plan,
         rescheduled_moves,
@@ -230,7 +262,7 @@ pub fn run_adaptive_rebalance(
         static_report,
         adaptive_report,
         rescheduled_report,
-    }
+    })
 }
 
 /// The utilization-law demand estimate of one component's per-task CPU
@@ -274,45 +306,62 @@ fn observed_per_task_demand(
 
 /// The comparison baseline: reschedule the *refined* topology from
 /// scratch on a fresh state and migrate every task whose node changed.
+/// Any inconsistency — the refined topology no longer fitting an empty
+/// cluster, a task missing from the task set, a hole in the "complete"
+/// initial placement — surfaces as [`ChaosError::MigrationPlanning`].
 fn full_reschedule_plan(
     cluster: &Arc<Cluster>,
     topology: &Topology,
     refiner: &ProfileRefiner,
     initial: &rstorm_core::Assignment,
-) -> MigrationPlan {
+) -> Result<MigrationPlan, ChaosError> {
+    let tname = topology.id().as_str();
+    let planning = |reason: String| ChaosError::MigrationPlanning {
+        topology: tname.to_owned(),
+        reason,
+    };
     let refined_topology = refined_clone(topology, refiner);
     let mut fresh = GlobalState::new(cluster);
     let assignment = RStormScheduler::new()
         .schedule(&refined_topology, cluster, &mut fresh)
-        .expect("the refined topology fits an empty cluster like the declared one did");
+        .map_err(|e| {
+            planning(format!(
+                "the refined topology no longer fits an empty cluster: {e}"
+            ))
+        })?;
 
     let task_set = topology.task_set();
-    let moves = assignment
-        .iter()
-        .filter(|(task, slot)| match initial.slot_of(*task) {
+    let mut moves = Vec::new();
+    for (task, slot) in assignment.iter() {
+        let moved = match initial.slot_of(task) {
             Some(old) => old.node != slot.node,
             None => true,
-        })
-        .map(|(task, slot)| MigrationMove {
+        };
+        if !moved {
+            continue;
+        }
+        let component = task_set
+            .task(task)
+            .ok_or_else(|| planning(format!("task {task} is outside the task set")))?
+            .component
+            .as_str()
+            .to_owned();
+        let from = initial
+            .node_of(task)
+            .ok_or_else(|| planning(format!("task {task} has no node in the initial placement")))?
+            .clone();
+        moves.push(MigrationMove {
             task,
-            component: task_set
-                .task(task)
-                .expect("assignment covers the task set")
-                .component
-                .as_str()
-                .to_owned(),
-            from: initial
-                .node_of(task)
-                .expect("initial placement is complete")
-                .clone(),
+            component,
+            from,
             to: slot.node.clone(),
-        })
-        .collect();
-    MigrationPlan {
+        });
+    }
+    Ok(MigrationPlan {
         topology: topology.id().clone(),
         moves,
         updated: assignment,
-    }
+    })
 }
 
 /// A structural clone of `topology` with each component's CPU
@@ -508,6 +557,42 @@ mod tests {
         assert_eq!(a.plan.moves, b.plan.moves);
         assert_eq!(a.adaptive_report, b.adaptive_report);
         assert_eq!(a.rescheduled_report, b.rescheduled_report);
+    }
+
+    #[test]
+    fn unplaceable_topology_surfaces_as_typed_error_and_wrapper_panics() {
+        let cluster = cluster();
+        let mut b = TopologyBuilder::new("galaxy");
+        b.set_spout("feed", 4)
+            .set_profile(ExecutionProfile::new(0.2, 1.0, 120))
+            .set_cpu_load(10.0)
+            .set_memory_load(1_000_000.0); // no emulab node holds a TB
+        let t = b.build().unwrap();
+
+        let err = try_run_adaptive_rebalance(&cluster, &t, &AdaptiveConfig::quick())
+            .expect_err("a topology that fits no node cannot be placed");
+        match &err {
+            ChaosError::InitialPlacement { topology, .. } => assert_eq!(topology, "galaxy"),
+            other => panic!("expected InitialPlacement, got {other}"),
+        }
+        assert!(err.to_string().contains("galaxy"), "{err}");
+
+        let caught = std::panic::catch_unwind(|| {
+            run_adaptive_rebalance(&cluster, &t, &AdaptiveConfig::quick())
+        });
+        assert!(caught.is_err(), "the panicking wrapper still panics");
+    }
+
+    #[test]
+    fn try_runner_matches_the_panicking_wrapper_on_the_happy_path() {
+        let cluster = cluster();
+        let t = honest_topology();
+        let tried = try_run_adaptive_rebalance(&cluster, &t, &AdaptiveConfig::quick())
+            .expect("the honest workload fits");
+        let ran = run_adaptive_rebalance(&cluster, &t, &AdaptiveConfig::quick());
+        assert_eq!(tried.plan.moves, ran.plan.moves);
+        assert_eq!(tried.static_report, ran.static_report);
+        assert_eq!(tried.adaptive_report, ran.adaptive_report);
     }
 
     #[test]

@@ -590,6 +590,10 @@ impl Engine {
                     fault_schedule.push((*until_ms, fault_actions.len()));
                     fault_actions.push(FaultAction::HealRack(r));
                 }
+                // Control-plane events have no data-plane effect: the
+                // engine keeps running; only the chaos harnesses'
+                // RecoveryManager loop reacts to them.
+                FaultEvent::NimbusCrash { .. } | FaultEvent::ControlLoss { .. } => {}
             }
         }
 

@@ -246,6 +246,25 @@ pub enum FaultSpec {
         /// Up time between cycles in milliseconds.
         up_ms: f64,
     },
+    /// A control-plane outage composed with a data-plane crash: the host
+    /// node crashes at `crash_at_ms` (healing at `heal_at_ms`) while
+    /// Nimbus itself is down over
+    /// `[nimbus_at_ms, nimbus_at_ms + nimbus_down_ms)`. The job runs
+    /// with the control journal **enabled**, so the successor that
+    /// reassumes after the window replays the journal and reconciles
+    /// (see [`rstorm_core::RecoveryManager::reassume`]). Survivable —
+    /// the journaled failover preserves detection liveness, so replay
+    /// settles every root.
+    NimbusOutage {
+        /// Simulation time of the host crash in milliseconds.
+        crash_at_ms: f64,
+        /// Simulation time the victim heals in milliseconds.
+        heal_at_ms: f64,
+        /// Simulation time Nimbus goes down.
+        nimbus_at_ms: f64,
+        /// Length of the Nimbus outage in milliseconds.
+        nimbus_down_ms: f64,
+    },
 }
 
 impl FaultSpec {
@@ -258,6 +277,7 @@ impl FaultSpec {
             Self::Partition { .. } => "partition",
             Self::Congestion { .. } => "congestion",
             Self::Flap { .. } => "flap",
+            Self::NimbusOutage { .. } => "nimbus_outage",
         }
     }
 
@@ -440,6 +460,23 @@ fn run_job(grid: &SweepGrid, job: &SweepJob) -> SweepRow {
             );
             run_plan_job(case, &*scheduler, &plan, sim_cfg)
         }
+        FaultSpec::NimbusOutage {
+            crash_at_ms,
+            heal_at_ms,
+            nimbus_at_ms,
+            nimbus_down_ms,
+        } => {
+            let host = host_node(&assignment);
+            let plan = FaultPlan::new()
+                .crash_node(crash_at_ms, &host)
+                .recover_node(heal_at_ms, &host)
+                .nimbus_crash(nimbus_at_ms, nimbus_down_ms);
+            let journaled = RecoveryConfig {
+                journal: true,
+                ..RecoveryConfig::default()
+            };
+            run_plan_job_with(case, &*scheduler, &plan, sim_cfg, &journaled)
+        }
     };
 
     SweepRow {
@@ -482,12 +519,24 @@ fn run_plan_job(
     plan: &FaultPlan,
     sim_cfg: SimConfig,
 ) -> (SimReport, f64, f64) {
+    run_plan_job_with(case, scheduler, plan, sim_cfg, &RecoveryConfig::default())
+}
+
+/// [`run_plan_job`] with explicit recovery knobs — the Nimbus-outage
+/// spec needs the control journal on.
+fn run_plan_job_with(
+    case: &SweepCase,
+    scheduler: &dyn Scheduler,
+    plan: &FaultPlan,
+    sim_cfg: SimConfig,
+    recovery: &RecoveryConfig,
+) -> (SimReport, f64, f64) {
     let out = run_fault_plan_with(
         &case.cluster,
         &case.topology,
         plan,
         &sim_cfg,
-        &RecoveryConfig::default(),
+        recovery,
         scheduler,
     )
     .unwrap_or_else(|e| panic!("fault-plan job failed on sweep case {}: {e}", case.name));
@@ -999,6 +1048,50 @@ mod tests {
             flap.detect_ms.p50, -1.0,
             "sub-window flaps must not be declared"
         );
+    }
+
+    #[test]
+    fn nimbus_outage_spec_survives_with_the_journal_on() {
+        // A worker crashes while Nimbus itself is down; the journaled
+        // successor must reassume, detect, and reschedule in time to
+        // keep every seed lossless.
+        let grid = SweepGrid {
+            cases: vec![SweepCase {
+                name: "ctrl".to_owned(),
+                topology: topology("ctrl"),
+                cluster: cluster(),
+            }],
+            schedulers: vec!["rstorm".to_owned()],
+            faults: vec![FaultSpec::NimbusOutage {
+                crash_at_ms: 4_000.0,
+                heal_at_ms: 12_000.0,
+                nimbus_at_ms: 3_000.0,
+                nimbus_down_ms: 4_000.0,
+            }],
+            seeds: SeedRange::new(0, 2).unwrap(),
+            sim: SimConfig::quick()
+                .with_sim_time_ms(20_000.0)
+                .with_max_replays(6),
+        };
+        let serial = run_sweep(&grid, 1);
+        let parallel = run_sweep(&grid, 4);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.summary.groups.len(), 1);
+        let g = &serial.summary.groups[0];
+        assert_eq!(g.name, "ctrl/rstorm/nimbus_outage");
+        assert!(g.survivable, "the outage spec heals by construction");
+        assert_eq!(g.zero_loss_min, 1.0, "journaled failover lost roots");
+        // The crash lands inside the 3 s..7 s control outage, so
+        // detection (measured from the 4 s crash) cannot finish within
+        // the plain 3 s miss window — the successor only reassumes at
+        // 7 s and restarts the silence clock from its seeded roster.
+        assert!(
+            g.detect_ms.p50 > 3_000.0,
+            "detection after {} ms ignores the control outage",
+            g.detect_ms.p50
+        );
+        assert!(g.recover_ms.p99 >= g.detect_ms.p50);
     }
 
     #[test]

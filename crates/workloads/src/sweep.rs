@@ -69,14 +69,22 @@ const CONGESTION_UNTIL_MS: f64 = 35_000.0;
 /// Congestion severity: capacity shrinks to
 /// `100 / (100 + 400) = 20 %` for the window's duration.
 const CONGESTION_EXTRA_MS: f64 = 400.0;
+/// Nimbus-outage shape of the full grid: the control plane goes dark
+/// 2 s before the worker crash and stays down for 10 s, so the crash
+/// falls entirely inside the outage and only a journaled successor
+/// (the spec runs journal-on) can detect and reschedule it.
+const NIMBUS_AT_MS: f64 = 18_000.0;
+/// Length of the Nimbus outage (milliseconds).
+const NIMBUS_DOWN_MS: f64 = 10_000.0;
 
-/// The full grid: all five benchmark workloads × 3 schedulers × 6 faults
+/// The full grid: all five benchmark workloads × 3 schedulers × 7 faults
 /// × seeds at the paper's 300 s horizon — the production-scale
 /// validation sweep. Includes the non-survivable lasting-crash
 /// scenario, whose groups are exempt from the zero-loss pin, plus the
 /// mixed-fault vocabulary (rack partition, flap storm, background-traffic
-/// congestion on the fair network plane) of the chaos fuzzer — all
-/// survivable, so zero-loss-gated.
+/// congestion on the fair network plane, a worker crash masked by a
+/// Nimbus outage and healed by journaled failover) of the chaos
+/// fuzzer — all survivable, so zero-loss-gated.
 pub fn full_grid(seeds: SeedRange) -> SweepGrid {
     let cases = cases::fig8_cases()
         .into_iter()
@@ -114,6 +122,12 @@ pub fn full_grid(seeds: SeedRange) -> SweepGrid {
                 until_ms: CONGESTION_UNTIL_MS,
                 extra_ms: CONGESTION_EXTRA_MS,
             },
+            FaultSpec::NimbusOutage {
+                crash_at_ms: CRASH_AT_MS,
+                heal_at_ms: HEAL_AT_MS,
+                nimbus_at_ms: NIMBUS_AT_MS,
+                nimbus_down_ms: NIMBUS_DOWN_MS,
+            },
         ],
         seeds,
         sim: SimConfig::default().with_max_replays(MAX_REPLAYS),
@@ -144,7 +158,8 @@ mod tests {
                 "crash_lasting",
                 "partition",
                 "flap",
-                "congestion"
+                "congestion",
+                "nimbus_outage"
             ]
         );
         // Everything but the lasting crash is survivable and therefore
